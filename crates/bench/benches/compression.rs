@@ -1,0 +1,76 @@
+//! Compression benchmarks: the §2 "< 1 byte/instruction" table plus
+//! compressor/decompressor throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use lba::experiment;
+use lba::SystemConfig;
+use lba_bench::render_compression;
+use lba_compress::{BitReader, BitWriter, LogCompressor, LogDecompressor};
+use lba_record::EventRecord;
+
+fn synthetic_stream(n: u64) -> Vec<EventRecord> {
+    // The hot-loop pattern: alu, strided load, taken branch.
+    let mut out = Vec::with_capacity(n as usize * 3);
+    for i in 0..n {
+        out.push(EventRecord::alu(0x1000, 0, Some(1), Some(2), Some(1)));
+        out.push(EventRecord::load(0x1008, 0, Some(3), Some(4), 0x4000_0000 + i * 8, 8));
+        out.push(EventRecord {
+            pc: 0x1010,
+            kind: lba_record::EventKind::Branch,
+            tid: 0,
+            in1: Some(1),
+            in2: Some(0),
+            out: None,
+            addr: 0x1000,
+            size: 1,
+        });
+    }
+    out
+}
+
+fn bench_compression(c: &mut Criterion) {
+    println!(
+        "{}",
+        render_compression(
+            &experiment::compression_table(&SystemConfig::default(), 1).expect("table"),
+        )
+    );
+
+    let records = synthetic_stream(10_000);
+    let mut group = c.benchmark_group("compression");
+    group.throughput(Throughput::Elements(records.len() as u64));
+    group.bench_function("encode_hot_loop", |b| {
+        b.iter(|| {
+            let mut compressor = LogCompressor::new();
+            let mut writer = BitWriter::new();
+            for rec in &records {
+                compressor.encode(rec, &mut writer);
+            }
+            writer.len_bits()
+        })
+    });
+    let bytes = {
+        let mut compressor = LogCompressor::new();
+        let mut writer = BitWriter::new();
+        for rec in &records {
+            compressor.encode(rec, &mut writer);
+        }
+        writer.into_bytes()
+    };
+    group.bench_function("decode_hot_loop", |b| {
+        b.iter(|| {
+            let mut decompressor = LogDecompressor::new();
+            let mut reader = BitReader::new(&bytes);
+            let mut last = 0;
+            for _ in 0..records.len() {
+                last = decompressor.decode(&mut reader).expect("decodes").pc;
+            }
+            last
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_compression);
+criterion_main!(benches);

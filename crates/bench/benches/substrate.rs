@@ -1,0 +1,33 @@
+//! Substrate micro-benchmarks: the building blocks' own throughput
+//! (simulator speed, not paper metrics).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use lba::{run_unmonitored, SystemConfig};
+use lba_workloads::Benchmark;
+
+fn bench_substrate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate");
+    group.sample_size(10);
+
+    // Raw machine throughput (instructions simulated per second).
+    let program = Benchmark::Bc.build();
+    let insts = {
+        let report = run_unmonitored(&program, &SystemConfig::default()).expect("runs");
+        report.trace.instructions()
+    };
+    group.throughput(Throughput::Elements(insts));
+    group.bench_function("machine_steps_bc", |b| {
+        b.iter(|| run_unmonitored(&program, &SystemConfig::default()).expect("runs"))
+    });
+
+    // Cache-hostile case.
+    let mcf = Benchmark::Mcf.build();
+    group.bench_function("machine_steps_mcf", |b| {
+        b.iter(|| run_unmonitored(&mcf, &SystemConfig::default()).expect("runs"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_substrate);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Regenerates every table and figure from the paper's evaluation.
+//!
+//! Usage: `cargo run --release -p lba-bench --bin figures [scale]`
+//!
+//! `scale` multiplies every benchmark's iteration counts (default 1).
+
+use lba::experiment;
+use lba::{LifeguardKind, SystemConfig};
+use lba_bench as render;
+
+fn main() {
+    let scale: u32 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let config = SystemConfig::default();
+    let run = |what: &str, body: &mut dyn FnMut() -> Result<String, lba::RunError>| {
+        match body() {
+            Ok(text) => println!("{text}"),
+            Err(e) => eprintln!("{what} failed: {e}"),
+        }
+    };
+
+    println!("== LBA reproduction: all paper tables and figures (scale {scale}) ==\n");
+
+    let mut summaries = Vec::new();
+    for kind in LifeguardKind::ALL {
+        run(kind.name(), &mut || {
+            let rows = experiment::figure2(kind, &config, scale)?;
+            summaries.push(experiment::summarize(kind, &rows));
+            Ok(render::render_fig2(kind, &rows))
+        });
+    }
+    println!("{}", render::render_summary(&summaries));
+
+    run("workloads", &mut || {
+        Ok(render::render_workloads(&experiment::workload_table(&config, scale)?))
+    });
+    run("compression", &mut || {
+        Ok(render::render_compression(&experiment::compression_table(&config, scale)?))
+    });
+    run("ablation A", &mut || {
+        Ok(render::render_decoupling(&experiment::ablation_decoupling(&config, scale)?))
+    });
+    run("ablation B", &mut || {
+        Ok(render::render_buffer(&experiment::ablation_buffer(&config, scale)?))
+    });
+    run("ablation C", &mut || {
+        Ok(render::render_compression_ablation(&experiment::ablation_compression(
+            &config, scale,
+        )?))
+    });
+    run("filtering", &mut || {
+        Ok(render::render_filtering(&experiment::ext_filtering(&config, scale)?))
+    });
+    run("parallel", &mut || {
+        Ok(render::render_parallel(&experiment::ext_parallel(&config, scale)?))
+    });
+}

@@ -1,0 +1,338 @@
+//! A single set-associative, write-back, LRU cache.
+
+use std::fmt;
+
+/// Geometry of one cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Line size in bytes (power of two).
+    pub line_bytes: u64,
+    /// Associativity (ways per set).
+    pub assoc: usize,
+}
+
+impl CacheConfig {
+    /// The paper's L1 configuration: 16 KiB, 64 B lines, 4-way.
+    #[must_use]
+    pub fn l1_default() -> Self {
+        CacheConfig { size_bytes: 16 << 10, line_bytes: 64, assoc: 4 }
+    }
+
+    /// The paper's shared L2 configuration: 512 KiB, 64 B lines, 8-way.
+    #[must_use]
+    pub fn l2_default() -> Self {
+        CacheConfig { size_bytes: 512 << 10, line_bytes: 64, assoc: 8 }
+    }
+
+    /// Number of sets implied by the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent (see [`CacheConfig::validate`]).
+    #[must_use]
+    pub fn num_sets(&self) -> usize {
+        self.validate();
+        (self.size_bytes / (self.line_bytes * self.assoc as u64)) as usize
+    }
+
+    /// Checks the geometry: power-of-two line size and set count, non-zero
+    /// associativity, capacity divisible by `line_bytes * assoc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid geometry.
+    pub fn validate(&self) {
+        assert!(self.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(self.assoc > 0, "associativity must be non-zero");
+        assert_eq!(
+            self.size_bytes % (self.line_bytes * self.assoc as u64),
+            0,
+            "capacity must divide evenly into sets"
+        );
+        let sets = self.size_bytes / (self.line_bytes * self.assoc as u64);
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+    }
+}
+
+/// Hit/miss counters for one cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Total accesses.
+    pub accesses: u64,
+    /// Accesses that hit.
+    pub hits: u64,
+    /// Accesses that missed.
+    pub misses: u64,
+    /// Dirty lines evicted.
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Miss ratio in `[0, 1]`; zero when there were no accesses.
+    #[must_use]
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} accesses, {} misses ({:.2}%), {} writebacks",
+            self.accesses,
+            self.misses,
+            self.miss_ratio() * 100.0,
+            self.writebacks
+        )
+    }
+}
+
+/// Result of a cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Access {
+    /// The line was present.
+    Hit,
+    /// The line was fetched; `writeback` reports whether a dirty victim was
+    /// evicted.
+    Miss {
+        /// Whether the evicted victim was dirty.
+        writeback: bool,
+    },
+}
+
+impl Access {
+    /// Whether this access hit.
+    #[must_use]
+    pub fn is_hit(&self) -> bool {
+        matches!(self, Access::Hit)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    tag: u64,
+    dirty: bool,
+}
+
+/// A set-associative cache with true-LRU replacement and
+/// write-back/write-allocate policy.
+///
+/// The cache tracks tags only (no data); the [`Memory`](https://docs.rs)
+/// model holds contents. This is the standard trace-driven simulation split.
+///
+/// # Examples
+///
+/// ```
+/// use lba_cache::{Access, CacheConfig, SetAssocCache};
+///
+/// let mut cache = SetAssocCache::new(CacheConfig::l1_default());
+/// assert!(matches!(cache.access(0x1000, false), Access::Miss { .. }));
+/// assert_eq!(cache.access(0x1000, false), Access::Hit);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SetAssocCache {
+    config: CacheConfig,
+    /// Per set: MRU-first vector of lines.
+    sets: Vec<Vec<Line>>,
+    stats: CacheStats,
+    set_mask: u64,
+    line_shift: u32,
+}
+
+impl SetAssocCache {
+    /// Creates an empty cache with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is invalid (see [`CacheConfig::validate`]).
+    #[must_use]
+    pub fn new(config: CacheConfig) -> Self {
+        let num_sets = config.num_sets();
+        SetAssocCache {
+            config,
+            sets: vec![Vec::with_capacity(config.assoc); num_sets],
+            stats: CacheStats::default(),
+            set_mask: num_sets as u64 - 1,
+            line_shift: config.line_bytes.trailing_zeros(),
+        }
+    }
+
+    /// The cache geometry.
+    #[must_use]
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// The line-aligned address of `addr`.
+    #[must_use]
+    pub fn line_addr(&self, addr: u64) -> u64 {
+        addr >> self.line_shift << self.line_shift
+    }
+
+    /// Accesses the line containing `addr`, updating LRU state and
+    /// statistics. `write` marks the line dirty.
+    pub fn access(&mut self, addr: u64, write: bool) -> Access {
+        let tag = addr >> self.line_shift;
+        let set_idx = (tag & self.set_mask) as usize;
+        let set = &mut self.sets[set_idx];
+        self.stats.accesses += 1;
+
+        if let Some(pos) = set.iter().position(|l| l.tag == tag) {
+            let mut line = set.remove(pos);
+            line.dirty |= write;
+            set.insert(0, line);
+            self.stats.hits += 1;
+            return Access::Hit;
+        }
+
+        self.stats.misses += 1;
+        let mut writeback = false;
+        if set.len() == self.config.assoc {
+            let victim = set.pop().expect("full set has a victim");
+            writeback = victim.dirty;
+            if writeback {
+                self.stats.writebacks += 1;
+            }
+        }
+        set.insert(0, Line { tag, dirty: write });
+        Access::Miss { writeback }
+    }
+
+    /// Whether the line containing `addr` is resident (no LRU/stat update).
+    #[must_use]
+    pub fn probe(&self, addr: u64) -> bool {
+        let tag = addr >> self.line_shift;
+        let set_idx = (tag & self.set_mask) as usize;
+        self.sets[set_idx].iter().any(|l| l.tag == tag)
+    }
+
+    /// Invalidates all lines and clears dirty state (statistics are kept).
+    pub fn flush(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SetAssocCache {
+        // 4 sets x 2 ways x 64B lines = 512 bytes.
+        SetAssocCache::new(CacheConfig { size_bytes: 512, line_bytes: 64, assoc: 2 })
+    }
+
+    #[test]
+    fn config_defaults_match_paper() {
+        assert_eq!(CacheConfig::l1_default().size_bytes, 16 << 10);
+        assert_eq!(CacheConfig::l2_default().size_bytes, 512 << 10);
+        CacheConfig::l1_default().validate();
+        CacheConfig::l2_default().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_line_size_panics() {
+        CacheConfig { size_bytes: 512, line_bytes: 48, assoc: 2 }.validate();
+    }
+
+    #[test]
+    fn first_access_misses_second_hits() {
+        let mut c = tiny();
+        assert!(!c.access(0x1000, false).is_hit());
+        assert!(c.access(0x1000, false).is_hit());
+        assert!(c.access(0x103f, false).is_hit(), "same 64B line");
+        assert!(!c.access(0x1040, false).is_hit(), "next line");
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = tiny();
+        // Set index = (addr/64) & 3. Use addresses mapping to set 0:
+        // lines 0, 4, 8 (x64).
+        let a = 0 * 64;
+        let b = 4 * 64;
+        let d = 8 * 64;
+        c.access(a, false);
+        c.access(b, false);
+        c.access(a, false); // a is now MRU
+        c.access(d, false); // evicts b
+        assert!(c.probe(a));
+        assert!(!c.probe(b));
+        assert!(c.probe(d));
+    }
+
+    #[test]
+    fn writeback_counted_on_dirty_eviction() {
+        let mut c = tiny();
+        let a = 0 * 64;
+        let b = 4 * 64;
+        let d = 8 * 64;
+        c.access(a, true); // dirty
+        c.access(b, false);
+        let acc = c.access(d, false); // evicts a (LRU), which is dirty
+        assert_eq!(acc, Access::Miss { writeback: true });
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn write_hit_marks_line_dirty() {
+        let mut c = tiny();
+        let a = 0 * 64;
+        c.access(a, false);
+        c.access(a, true); // dirty via hit
+        let b = 4 * 64;
+        let d = 8 * 64;
+        c.access(b, false);
+        c.access(d, false); // evicts a
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut c = tiny();
+        c.access(0, false);
+        c.access(0, false);
+        c.access(64, false);
+        let s = c.stats();
+        assert_eq!(s.accesses, 3);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 2);
+        assert!((s.miss_ratio() - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flush_empties_cache_but_keeps_stats() {
+        let mut c = tiny();
+        c.access(0, false);
+        c.flush();
+        assert!(!c.probe(0));
+        assert_eq!(c.stats().accesses, 1);
+    }
+
+    #[test]
+    fn working_set_larger_than_cache_thrashes() {
+        let mut c = tiny(); // 512 bytes
+        // Stream over 4 KiB twice: second pass should still miss everywhere.
+        for pass in 0..2 {
+            for line in 0..64u64 {
+                let acc = c.access(line * 64, false);
+                assert!(!acc.is_hit(), "pass {pass} line {line} unexpectedly hit");
+            }
+        }
+    }
+}

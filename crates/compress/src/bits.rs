@@ -1,0 +1,262 @@
+//! LSB-first bit-level I/O with zig-zag varints.
+
+/// Appends bits (LSB-first within each byte) to a growable buffer.
+///
+/// # Examples
+///
+/// ```
+/// use lba_compress::{BitReader, BitWriter};
+///
+/// let mut w = BitWriter::new();
+/// w.write_bit(true);
+/// w.write_bits(0b101, 3);
+/// let bytes = w.into_bytes();
+/// let mut r = BitReader::new(&bytes);
+/// assert!(r.read_bit().unwrap());
+/// assert_eq!(r.read_bits(3).unwrap(), 0b101);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    /// Number of valid bits in the final partial byte (0 = none pending).
+    bit_pos: u32,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total bits written so far.
+    #[must_use]
+    pub fn len_bits(&self) -> u64 {
+        if self.bit_pos == 0 {
+            self.bytes.len() as u64 * 8
+        } else {
+            (self.bytes.len() as u64 - 1) * 8 + u64::from(self.bit_pos)
+        }
+    }
+
+    /// Writes a single bit.
+    pub fn write_bit(&mut self, bit: bool) {
+        if self.bit_pos == 0 {
+            self.bytes.push(0);
+            self.bit_pos = 0;
+        }
+        if bit {
+            let last = self.bytes.last_mut().expect("pushed above or pending");
+            *last |= 1 << self.bit_pos;
+        }
+        self.bit_pos = (self.bit_pos + 1) % 8;
+    }
+
+    /// Writes the low `n` bits of `value`, LSB first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 64`.
+    pub fn write_bits(&mut self, value: u64, n: u32) {
+        assert!(n <= 64, "cannot write more than 64 bits at once");
+        for i in 0..n {
+            self.write_bit(value >> i & 1 == 1);
+        }
+    }
+
+    /// Writes an unsigned value as nibble-group varint: groups of
+    /// (1 continuation bit + 4 data bits), low nibble first.
+    pub fn write_uvarint(&mut self, mut value: u64) {
+        loop {
+            let nibble = value & 0xf;
+            value >>= 4;
+            let more = value != 0;
+            self.write_bit(more);
+            self.write_bits(nibble, 4);
+            if !more {
+                break;
+            }
+        }
+    }
+
+    /// Writes a signed value with zig-zag encoding.
+    pub fn write_ivarint(&mut self, value: i64) {
+        self.write_uvarint(zigzag(value));
+    }
+
+    /// Consumes the writer, returning the backing bytes (final byte
+    /// zero-padded).
+    #[must_use]
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+}
+
+/// Reads bits written by [`BitWriter`].
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    pos: u64,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over `bytes`.
+    #[must_use]
+    pub fn new(bytes: &'a [u8]) -> Self {
+        BitReader { bytes, pos: 0 }
+    }
+
+    /// Bits consumed so far.
+    #[must_use]
+    pub fn bits_read(&self) -> u64 {
+        self.pos
+    }
+
+    /// Reads one bit, or `None` at end of stream.
+    pub fn read_bit(&mut self) -> Option<bool> {
+        let byte = *self.bytes.get((self.pos / 8) as usize)?;
+        let bit = byte >> (self.pos % 8) & 1 == 1;
+        self.pos += 1;
+        Some(bit)
+    }
+
+    /// Reads `n` bits (LSB first), or `None` if the stream is exhausted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 64`.
+    pub fn read_bits(&mut self, n: u32) -> Option<u64> {
+        assert!(n <= 64, "cannot read more than 64 bits at once");
+        let mut out = 0u64;
+        for i in 0..n {
+            if self.read_bit()? {
+                out |= 1 << i;
+            }
+        }
+        Some(out)
+    }
+
+    /// Reads a nibble-group unsigned varint.
+    pub fn read_uvarint(&mut self) -> Option<u64> {
+        let mut out = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let more = self.read_bit()?;
+            let nibble = self.read_bits(4)?;
+            out |= nibble << shift;
+            if !more {
+                return Some(out);
+            }
+            shift += 4;
+            if shift >= 64 {
+                return None;
+            }
+        }
+    }
+
+    /// Reads a zig-zag signed varint.
+    pub fn read_ivarint(&mut self) -> Option<i64> {
+        self.read_uvarint().map(unzigzag)
+    }
+}
+
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_bits_round_trip() {
+        let mut w = BitWriter::new();
+        let pattern = [true, false, true, true, false, false, true, false, true];
+        for &b in &pattern {
+            w.write_bit(b);
+        }
+        assert_eq!(w.len_bits(), 9);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &b in &pattern {
+            assert_eq!(r.read_bit(), Some(b));
+        }
+    }
+
+    #[test]
+    fn multi_bit_values_round_trip() {
+        let mut w = BitWriter::new();
+        w.write_bits(0xdead_beef, 32);
+        w.write_bits(0x3, 2);
+        w.write_bits(u64::MAX, 64);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(32), Some(0xdead_beef));
+        assert_eq!(r.read_bits(2), Some(0x3));
+        assert_eq!(r.read_bits(64), Some(u64::MAX));
+    }
+
+    #[test]
+    fn uvarint_sizes_scale_with_magnitude() {
+        for (value, max_bits) in [(0u64, 5), (15, 5), (16, 10), (255, 10), (1 << 20, 30)] {
+            let mut w = BitWriter::new();
+            w.write_uvarint(value);
+            assert!(
+                w.len_bits() <= max_bits,
+                "uvarint({value}) took {} bits, expected <= {max_bits}",
+                w.len_bits()
+            );
+            let bytes = w.into_bytes();
+            let mut r = BitReader::new(&bytes);
+            assert_eq!(r.read_uvarint(), Some(value));
+        }
+    }
+
+    #[test]
+    fn ivarint_round_trips_extremes() {
+        for value in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN, 0x7fff_ffff, -0x8000_0000] {
+            let mut w = BitWriter::new();
+            w.write_ivarint(value);
+            let bytes = w.into_bytes();
+            let mut r = BitReader::new(&bytes);
+            assert_eq!(r.read_ivarint(), Some(value), "value {value}");
+        }
+    }
+
+    #[test]
+    fn reader_returns_none_at_end() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b10, 2);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        // The final byte is padded, so reads succeed to the byte boundary…
+        assert!(r.read_bits(8).is_some());
+        // …and fail past it.
+        assert_eq!(r.read_bit(), None);
+        assert_eq!(r.read_bits(4), None);
+    }
+
+    #[test]
+    fn zigzag_is_bijective_on_samples() {
+        for v in [-5i64, -1, 0, 1, 5, i64::MIN, i64::MAX] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+    }
+
+    #[test]
+    fn bits_read_tracks_position() {
+        let mut w = BitWriter::new();
+        w.write_bits(0, 13);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        let _ = r.read_bits(5);
+        assert_eq!(r.bits_read(), 5);
+    }
+}

@@ -1,0 +1,716 @@
+//! The streaming record compressor/decompressor pair.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use lba_record::{EventKind, EventRecord, RAW_RECORD_BYTES};
+
+use crate::bits::{BitReader, BitWriter};
+use crate::predictors::FcmPredictor;
+
+/// Static (per-PC) record fields cached by both ends of the stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct StaticInfo {
+    kind: EventKind,
+    in1: Option<u8>,
+    in2: Option<u8>,
+    out: Option<u8>,
+    /// Load/store width in bytes (0 when not a memory access).
+    width: u32,
+    /// Direct branch/jump/call target, or syscall number (kind-dependent).
+    static_word: u64,
+}
+
+/// Per-PC dynamic prediction state.
+#[derive(Debug, Clone)]
+struct PcEntry {
+    statics: StaticInfo,
+    addr_last: u64,
+    addr_stride: u64,
+    /// Learned offset from the *previous record's* address (whatever PC it
+    /// came from) to this PC's address — catches base+0/+8/+16 field walks
+    /// whose base is itself unpredictable.
+    glob_offset: u64,
+    d1: u64,
+    d2: u64,
+    last_size: u32,
+}
+
+impl PcEntry {
+    fn new(statics: StaticInfo) -> Self {
+        PcEntry {
+            statics,
+            addr_last: 0,
+            addr_stride: 0,
+            glob_offset: 0,
+            d1: 0,
+            d2: 0,
+            last_size: 0,
+        }
+    }
+}
+
+fn has_dynamic_addr(kind: EventKind) -> bool {
+    matches!(
+        kind,
+        EventKind::Load
+            | EventKind::Store
+            | EventKind::IndirectJump
+            | EventKind::Alloc
+            | EventKind::Free
+            | EventKind::Lock
+            | EventKind::Unlock
+            | EventKind::Recv
+            | EventKind::Return
+    )
+}
+
+fn has_static_word(kind: EventKind) -> bool {
+    matches!(
+        kind,
+        EventKind::Branch | EventKind::Jump | EventKind::Call | EventKind::Syscall
+    )
+}
+
+fn has_dynamic_size(kind: EventKind) -> bool {
+    matches!(kind, EventKind::Alloc | EventKind::Recv)
+}
+
+/// Address-predictor outcome codes (2 bits on the wire; `ADDR_ESCAPE` is
+/// followed by one bit selecting last-value (0) or miss-with-varint (1)).
+const ADDR_STRIDE: u64 = 0;
+const ADDR_GLOBAL: u64 = 1;
+const ADDR_FCM: u64 = 2;
+const ADDR_ESCAPE: u64 = 3;
+
+/// Aggregate compression statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompressionStats {
+    /// Records encoded.
+    pub records: u64,
+    /// Total encoded bits.
+    pub bits: u64,
+}
+
+impl CompressionStats {
+    /// Encoded size in bytes (rounded up).
+    #[must_use]
+    pub fn bytes(&self) -> u64 {
+        self.bits.div_ceil(8)
+    }
+
+    /// Average bytes per record — the paper's headline metric
+    /// (< 1 byte/instruction).
+    #[must_use]
+    pub fn bytes_per_record(&self) -> f64 {
+        if self.records == 0 {
+            0.0
+        } else {
+            self.bits as f64 / 8.0 / self.records as f64
+        }
+    }
+
+    /// Compression ratio versus the raw 25-byte record encoding.
+    #[must_use]
+    pub fn ratio_vs_raw(&self) -> f64 {
+        if self.bits == 0 {
+            1.0
+        } else {
+            (self.records * RAW_RECORD_BYTES as u64) as f64 / self.bytes() as f64
+        }
+    }
+}
+
+impl fmt::Display for CompressionStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} records, {:.3} B/record ({:.1}x vs raw)",
+            self.records,
+            self.bytes_per_record(),
+            self.ratio_vs_raw()
+        )
+    }
+}
+
+/// Shared predictor state for one direction of the stream.
+///
+/// The program counter is predicted with a *last-successor* table (a BTB
+/// analogue): for each PC, remember the PC that followed it last time.
+/// Sequential code and loop back-edges both hit with one flag bit; only the
+/// first traversal of an edge and data-dependent branch flips pay a varint.
+#[derive(Debug, Default)]
+struct StreamState {
+    /// Per-thread most recent PC (`u64::MAX` = no instruction yet).
+    last_pc: Vec<u64>,
+    /// Last observed successor of each PC (shared across threads).
+    succ: HashMap<u64, u64>,
+    entries: HashMap<u64, PcEntry>,
+    fcm: Option<FcmPredictor>,
+    last_tid: u8,
+    /// Address of the most recent address-carrying record, any PC (feeds
+    /// the global-correlation predictor).
+    global_last_addr: u64,
+}
+
+impl StreamState {
+    fn new() -> Self {
+        StreamState {
+            last_pc: Vec::new(),
+            succ: HashMap::new(),
+            entries: HashMap::new(),
+            fcm: Some(FcmPredictor::default()),
+            last_tid: 0,
+            global_last_addr: 0,
+        }
+    }
+
+    /// Predicted PC for the next record of `tid`.
+    fn predict_pc(&mut self, tid: u8) -> u64 {
+        let idx = tid as usize;
+        if self.last_pc.len() <= idx {
+            self.last_pc.resize(idx + 1, u64::MAX);
+        }
+        let last = self.last_pc[idx];
+        if last == u64::MAX {
+            return 0;
+        }
+        self.succ.get(&last).copied().unwrap_or_else(|| last.wrapping_add(8))
+    }
+
+    /// Records the actual PC of `tid`'s newest record.
+    fn update_pc(&mut self, tid: u8, pc: u64) {
+        let idx = tid as usize;
+        let last = self.last_pc[idx];
+        if last != u64::MAX {
+            self.succ.insert(last, pc);
+        }
+        self.last_pc[idx] = pc;
+    }
+}
+
+/// The hardware log-compression engine model.
+///
+/// Feed records in retirement order; [`LogCompressor::encode`] appends the
+/// compressed form to a [`BitWriter`] and returns the bit cost, which the
+/// transport layer uses for occupancy accounting.
+#[derive(Debug)]
+pub struct LogCompressor {
+    state: StreamState,
+    stats: CompressionStats,
+}
+
+impl Default for LogCompressor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogCompressor {
+    /// Creates a compressor with cold predictors.
+    #[must_use]
+    pub fn new() -> Self {
+        LogCompressor { state: StreamState::new(), stats: CompressionStats::default() }
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> CompressionStats {
+        self.stats
+    }
+
+    /// Encodes one record, returning the number of bits written.
+    pub fn encode(&mut self, rec: &EventRecord, w: &mut BitWriter) -> u64 {
+        let start = w.len_bits();
+        let s = &mut self.state;
+
+        // 1. Thread id.
+        if rec.tid == s.last_tid {
+            w.write_bit(true);
+        } else {
+            w.write_bit(false);
+            w.write_bits(u64::from(rec.tid), 8);
+            s.last_tid = rec.tid;
+        }
+
+        // 2. Program counter (last-successor prediction).
+        let predicted = s.predict_pc(rec.tid);
+        if predicted == rec.pc {
+            w.write_bit(true);
+        } else {
+            w.write_bit(false);
+            w.write_ivarint(rec.pc.wrapping_sub(predicted) as i64);
+        }
+        s.update_pc(rec.tid, rec.pc);
+
+        // 3. Static fields via the per-PC table.
+        let statics = StaticInfo {
+            kind: rec.kind,
+            in1: rec.in1,
+            in2: rec.in2,
+            out: rec.out,
+            width: if rec.is_memory() { rec.size } else { 0 },
+            static_word: match rec.kind {
+                EventKind::Branch | EventKind::Jump | EventKind::Call => rec.addr,
+                EventKind::Syscall => u64::from(rec.size),
+                _ => 0,
+            },
+        };
+        let hit = s.entries.get(&rec.pc).is_some_and(|e| e.statics == statics);
+        if hit {
+            w.write_bit(true);
+        } else {
+            w.write_bit(false);
+            write_statics(w, &statics);
+            s.entries.insert(rec.pc, PcEntry::new(statics));
+        }
+
+        // 4. Dynamic fields.
+        if rec.kind == EventKind::Branch {
+            w.write_bit(rec.size != 0);
+        }
+        if has_dynamic_addr(rec.kind) {
+            let fcm = s.fcm.as_mut().expect("fcm always present");
+            let entry = s.entries.get_mut(&rec.pc).expect("inserted above");
+            encode_addr(w, fcm, rec.pc, entry, &mut s.global_last_addr, rec.addr);
+        }
+        if has_dynamic_size(rec.kind) {
+            let entry = s.entries.get_mut(&rec.pc).expect("inserted above");
+            if entry.last_size == rec.size {
+                w.write_bit(true);
+            } else {
+                w.write_bit(false);
+                w.write_uvarint(u64::from(rec.size));
+                entry.last_size = rec.size;
+            }
+        }
+
+        let bits = w.len_bits() - start;
+        self.stats.records += 1;
+        self.stats.bits += bits;
+        bits
+    }
+}
+
+fn write_statics(w: &mut BitWriter, st: &StaticInfo) {
+    w.write_bits(u64::from(st.kind.code()), 4);
+    for op in [st.in1, st.in2, st.out] {
+        match op {
+            Some(reg) => {
+                w.write_bit(true);
+                w.write_bits(u64::from(reg), 4);
+            }
+            None => w.write_bit(false),
+        }
+    }
+    if matches!(st.kind, EventKind::Load | EventKind::Store) {
+        w.write_bits(u64::from(st.width.trailing_zeros()), 2);
+    }
+    if has_static_word(st.kind) {
+        w.write_uvarint(st.static_word);
+    }
+}
+
+fn encode_addr(
+    w: &mut BitWriter,
+    fcm: &mut FcmPredictor,
+    pc: u64,
+    e: &mut PcEntry,
+    global_last: &mut u64,
+    actual: u64,
+) {
+    let stride_pred = e.addr_last.wrapping_add(e.addr_stride);
+    let global_pred = global_last.wrapping_add(e.glob_offset);
+    let fcm_pred = e.addr_last.wrapping_add(fcm.predict(pc, e.d1, e.d2));
+    if stride_pred == actual {
+        w.write_bits(ADDR_STRIDE, 2);
+    } else if global_pred == actual {
+        w.write_bits(ADDR_GLOBAL, 2);
+    } else if fcm_pred == actual {
+        w.write_bits(ADDR_FCM, 2);
+    } else if e.addr_last == actual {
+        w.write_bits(ADDR_ESCAPE, 2);
+        w.write_bit(false); // last-value
+    } else {
+        w.write_bits(ADDR_ESCAPE, 2);
+        w.write_bit(true); // miss
+        w.write_ivarint(actual.wrapping_sub(e.addr_last) as i64);
+    }
+    update_addr(fcm, pc, e, global_last, actual);
+}
+
+fn update_addr(
+    fcm: &mut FcmPredictor,
+    pc: u64,
+    e: &mut PcEntry,
+    global_last: &mut u64,
+    actual: u64,
+) {
+    let delta = actual.wrapping_sub(e.addr_last);
+    fcm.update(pc, e.d1, e.d2, delta);
+    e.d2 = e.d1;
+    e.d1 = delta;
+    e.addr_stride = delta;
+    e.addr_last = actual;
+    e.glob_offset = actual.wrapping_sub(*global_last);
+    *global_last = actual;
+}
+
+/// Error produced by [`LogDecompressor::decode`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeStreamError {
+    /// The bit stream ended mid-record.
+    UnexpectedEof,
+    /// A static payload named an invalid event-kind code.
+    BadKind(u8),
+}
+
+impl fmt::Display for DecodeStreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeStreamError::UnexpectedEof => write!(f, "compressed stream ended mid-record"),
+            DecodeStreamError::BadKind(k) => write!(f, "invalid event kind code {k} in stream"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeStreamError {}
+
+/// The hardware log-decompression engine model: mirrors [`LogCompressor`]
+/// predictor-for-predictor, reproducing the exact record stream.
+#[derive(Debug)]
+pub struct LogDecompressor {
+    state: StreamState,
+}
+
+impl Default for LogDecompressor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogDecompressor {
+    /// Creates a decompressor with cold predictors.
+    #[must_use]
+    pub fn new() -> Self {
+        LogDecompressor { state: StreamState::new() }
+    }
+
+    /// Decodes the next record.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeStreamError`] when the stream is truncated or
+    /// corrupt.
+    pub fn decode(&mut self, r: &mut BitReader<'_>) -> Result<EventRecord, DecodeStreamError> {
+        let eof = DecodeStreamError::UnexpectedEof;
+        let s = &mut self.state;
+
+        // 1. Thread id.
+        let tid = if r.read_bit().ok_or(eof.clone())? {
+            s.last_tid
+        } else {
+            let tid = r.read_bits(8).ok_or(eof.clone())? as u8;
+            s.last_tid = tid;
+            tid
+        };
+
+        // 2. Program counter.
+        let predicted = s.predict_pc(tid);
+        let pc = if r.read_bit().ok_or(eof.clone())? {
+            predicted
+        } else {
+            let delta = r.read_ivarint().ok_or(eof.clone())?;
+            predicted.wrapping_add(delta as u64)
+        };
+        s.update_pc(tid, pc);
+
+        // 3. Static fields.
+        let statics = if r.read_bit().ok_or(eof.clone())? {
+            s.entries.get(&pc).expect("static hit implies known pc").statics
+        } else {
+            let statics = read_statics(r)?;
+            s.entries.insert(pc, PcEntry::new(statics));
+            statics
+        };
+
+        // 4. Dynamic fields.
+        let mut size = match statics.kind {
+            EventKind::Load | EventKind::Store => statics.width,
+            EventKind::Syscall => statics.static_word as u32,
+            _ => 0,
+        };
+        let mut addr = if has_static_word(statics.kind) && statics.kind != EventKind::Syscall {
+            statics.static_word
+        } else {
+            0
+        };
+        if statics.kind == EventKind::Branch {
+            size = u32::from(r.read_bit().ok_or(eof.clone())?);
+        }
+        if has_dynamic_addr(statics.kind) {
+            let fcm = s.fcm.as_mut().expect("fcm always present");
+            let entry = s.entries.get_mut(&pc).expect("entry exists");
+            addr = decode_addr(r, fcm, pc, entry, &mut s.global_last_addr)?;
+        }
+        if has_dynamic_size(statics.kind) {
+            let entry = s.entries.get_mut(&pc).expect("entry exists");
+            if r.read_bit().ok_or(eof.clone())? {
+                size = entry.last_size;
+            } else {
+                size = r.read_uvarint().ok_or(eof)? as u32;
+                entry.last_size = size;
+            }
+        }
+
+        Ok(EventRecord {
+            pc,
+            kind: statics.kind,
+            tid,
+            in1: statics.in1,
+            in2: statics.in2,
+            out: statics.out,
+            addr,
+            size,
+        })
+    }
+}
+
+fn read_statics(r: &mut BitReader<'_>) -> Result<StaticInfo, DecodeStreamError> {
+    let eof = DecodeStreamError::UnexpectedEof;
+    let code = r.read_bits(4).ok_or(eof.clone())? as u8;
+    let kind = EventKind::from_code(code).ok_or(DecodeStreamError::BadKind(code))?;
+    let mut ops = [None; 3];
+    for op in &mut ops {
+        if r.read_bit().ok_or(eof.clone())? {
+            *op = Some(r.read_bits(4).ok_or(eof.clone())? as u8);
+        }
+    }
+    let width = if matches!(kind, EventKind::Load | EventKind::Store) {
+        1u32 << r.read_bits(2).ok_or(eof.clone())?
+    } else {
+        0
+    };
+    let static_word =
+        if has_static_word(kind) { r.read_uvarint().ok_or(eof)? } else { 0 };
+    Ok(StaticInfo { kind, in1: ops[0], in2: ops[1], out: ops[2], width, static_word })
+}
+
+fn decode_addr(
+    r: &mut BitReader<'_>,
+    fcm: &mut FcmPredictor,
+    pc: u64,
+    e: &mut PcEntry,
+    global_last: &mut u64,
+) -> Result<u64, DecodeStreamError> {
+    let eof = DecodeStreamError::UnexpectedEof;
+    let code = r.read_bits(2).ok_or(eof.clone())?;
+    let actual = match code {
+        ADDR_STRIDE => e.addr_last.wrapping_add(e.addr_stride),
+        ADDR_GLOBAL => global_last.wrapping_add(e.glob_offset),
+        ADDR_FCM => e.addr_last.wrapping_add(fcm.predict(pc, e.d1, e.d2)),
+        _ => {
+            if r.read_bit().ok_or(eof.clone())? {
+                let delta = r.read_ivarint().ok_or(eof)?;
+                e.addr_last.wrapping_add(delta as u64)
+            } else {
+                e.addr_last
+            }
+        }
+    };
+    update_addr(fcm, pc, e, global_last, actual);
+    Ok(actual)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(records: &[EventRecord]) -> CompressionStats {
+        let mut c = LogCompressor::new();
+        let mut w = BitWriter::new();
+        for rec in records {
+            c.encode(rec, &mut w);
+        }
+        let stats = c.stats();
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        let mut d = LogDecompressor::new();
+        for (i, rec) in records.iter().enumerate() {
+            let got = d.decode(&mut r).unwrap_or_else(|e| panic!("record {i}: {e}"));
+            assert_eq!(got, *rec, "record {i} mismatched");
+        }
+        stats
+    }
+
+    #[test]
+    fn mixed_kinds_round_trip() {
+        let records = vec![
+            EventRecord::alu(0x1000, 0, Some(1), Some(2), Some(3)),
+            EventRecord::load(0x1008, 0, Some(2), Some(1), 0x4000_0000, 8),
+            EventRecord::store(0x1010, 0, Some(1), Some(2), 0x4000_0100, 4),
+            EventRecord {
+                pc: 0x1018,
+                kind: EventKind::Branch,
+                tid: 0,
+                in1: Some(1),
+                in2: Some(0),
+                out: None,
+                addr: 0x1000,
+                size: 1,
+            },
+            EventRecord {
+                pc: 0x1020,
+                kind: EventKind::Alloc,
+                tid: 0,
+                in1: Some(4),
+                in2: None,
+                out: Some(5),
+                addr: 0x4000_0200,
+                size: 64,
+            },
+            EventRecord {
+                pc: 0x1028,
+                kind: EventKind::Syscall,
+                tid: 0,
+                in1: None,
+                in2: None,
+                out: None,
+                addr: 0,
+                size: 7,
+            },
+            EventRecord {
+                pc: 0x1030,
+                kind: EventKind::ThreadEnd,
+                tid: 0,
+                in1: None,
+                in2: None,
+                out: None,
+                addr: 0,
+                size: 0,
+            },
+        ];
+        round_trip(&records);
+    }
+
+    #[test]
+    fn hot_loop_compresses_below_one_byte() {
+        // Model a tight loop: alu, strided load, branch — repeated.
+        let mut records = Vec::new();
+        for i in 0..10_000u64 {
+            records.push(EventRecord::alu(0x1000, 0, Some(1), Some(2), Some(1)));
+            records.push(EventRecord::load(0x1008, 0, Some(3), Some(4), 0x4000_0000 + i * 8, 8));
+            records.push(EventRecord {
+                pc: 0x1010,
+                kind: EventKind::Branch,
+                tid: 0,
+                in1: Some(1),
+                in2: Some(0),
+                out: None,
+                addr: 0x1000,
+                size: 1,
+            });
+        }
+        let stats = round_trip(&records);
+        assert!(
+            stats.bytes_per_record() < 1.0,
+            "expected <1 B/record, got {:.3}",
+            stats.bytes_per_record()
+        );
+    }
+
+    #[test]
+    fn interleaved_threads_round_trip() {
+        let mut records = Vec::new();
+        for i in 0..200u64 {
+            let tid = (i % 3) as u8;
+            records.push(EventRecord::load(
+                0x1000 + tid as u64 * 8,
+                tid,
+                Some(1),
+                Some(2),
+                0x4000_0000 + i * 16,
+                4,
+            ));
+        }
+        round_trip(&records);
+    }
+
+    #[test]
+    fn random_addresses_still_round_trip() {
+        // Linear congruential garbage addresses: predictor misses galore.
+        let mut x = 0x12345u64;
+        let mut records = Vec::new();
+        for _ in 0..500 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            records.push(EventRecord::load(0x1000, 0, Some(1), None, x, 1));
+        }
+        let stats = round_trip(&records);
+        assert!(stats.bytes_per_record() < RAW_RECORD_BYTES as f64, "never worse than raw + eps");
+    }
+
+    #[test]
+    fn alternating_stride_pattern_uses_fcm() {
+        // +8/+56 alternation defeats stride; FCM should catch it, keeping
+        // the cost low.
+        let mut addr = 0x4000_0000u64;
+        let mut records = Vec::new();
+        for i in 0..4000 {
+            records.push(EventRecord::load(0x1000, 0, Some(1), None, addr, 8));
+            addr += if i % 2 == 0 { 8 } else { 56 };
+        }
+        let stats = round_trip(&records);
+        assert!(
+            stats.bytes_per_record() < 1.5,
+            "fcm should keep alternating strides cheap, got {:.3}",
+            stats.bytes_per_record()
+        );
+    }
+
+    #[test]
+    fn truncated_stream_reports_eof() {
+        let mut c = LogCompressor::new();
+        let mut w = BitWriter::new();
+        c.encode(
+            &EventRecord::load(0x1000, 3, Some(1), None, 0x4000_0000, 8),
+            &mut w,
+        );
+        let mut bytes = w.into_bytes();
+        bytes.truncate(1);
+        let mut d = LogDecompressor::new();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(d.decode(&mut r), Err(DecodeStreamError::UnexpectedEof));
+    }
+
+    #[test]
+    fn stats_track_records_and_ratio() {
+        let mut c = LogCompressor::new();
+        let mut w = BitWriter::new();
+        for _ in 0..10 {
+            c.encode(&EventRecord::alu(0x1000, 0, Some(1), Some(2), Some(3)), &mut w);
+        }
+        let stats = c.stats();
+        assert_eq!(stats.records, 10);
+        assert!(stats.bits > 0);
+        assert!(stats.ratio_vs_raw() > 1.0);
+    }
+
+    #[test]
+    fn alloc_sizes_use_last_value_prediction() {
+        let mut records = Vec::new();
+        for i in 0..100u64 {
+            records.push(EventRecord {
+                pc: 0x1000,
+                kind: EventKind::Alloc,
+                tid: 0,
+                in1: Some(1),
+                in2: None,
+                out: Some(2),
+                addr: 0x4000_0000 + i * 64,
+                size: 64,
+            });
+        }
+        let stats = round_trip(&records);
+        assert!(stats.bytes_per_record() < 1.5);
+    }
+}

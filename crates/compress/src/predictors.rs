@@ -1,0 +1,183 @@
+//! Value predictors used by the VPC-style compressor.
+//!
+//! All predictors are deterministic and updated identically by the
+//! compressor and decompressor, which is what makes flag-bit encoding
+//! lossless.
+
+/// Predicts the last seen value.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LastValuePredictor {
+    last: u64,
+}
+
+impl LastValuePredictor {
+    /// Creates a predictor whose initial prediction is 0.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current prediction.
+    #[must_use]
+    pub fn predict(&self) -> u64 {
+        self.last
+    }
+
+    /// Records the actual value.
+    pub fn update(&mut self, actual: u64) {
+        self.last = actual;
+    }
+}
+
+/// Predicts `last + stride`, tracking the most recent stride.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StridePredictor {
+    last: u64,
+    stride: u64,
+}
+
+impl StridePredictor {
+    /// Creates a predictor whose initial prediction is 0.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current prediction.
+    #[must_use]
+    pub fn predict(&self) -> u64 {
+        self.last.wrapping_add(self.stride)
+    }
+
+    /// The last observed value.
+    #[must_use]
+    pub fn last(&self) -> u64 {
+        self.last
+    }
+
+    /// Records the actual value, updating the stride.
+    pub fn update(&mut self, actual: u64) {
+        self.stride = actual.wrapping_sub(self.last);
+        self.last = actual;
+    }
+}
+
+/// A finite-context-method predictor over value deltas.
+///
+/// The context is a hash of the two most recent deltas (kept by the caller,
+/// per log source); the table maps contexts to the predicted next delta.
+/// This catches repeating non-constant stride patterns (e.g. struct-of-array
+/// walks) that defeat the plain stride predictor.
+#[derive(Debug, Clone)]
+pub struct FcmPredictor {
+    table: Vec<u64>,
+    mask: u64,
+}
+
+impl FcmPredictor {
+    /// Creates a predictor with `2^log2_entries` table entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `log2_entries` is 0 or exceeds 24.
+    #[must_use]
+    pub fn new(log2_entries: u32) -> Self {
+        assert!((1..=24).contains(&log2_entries), "table size out of range");
+        let len = 1usize << log2_entries;
+        FcmPredictor { table: vec![0; len], mask: (len - 1) as u64 }
+    }
+
+    fn index(&self, key: u64, d1: u64, d2: u64) -> usize {
+        // Mix the source key and the two recent deltas (Fibonacci hashing).
+        let h = key
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            ^ d1.wrapping_mul(0xbf58_476d_1ce4_e5b9)
+            ^ d2.wrapping_mul(0x94d0_49bb_1331_11eb);
+        (h & self.mask) as usize
+    }
+
+    /// Predicted next delta for source `key` with recent deltas `d1`, `d2`.
+    #[must_use]
+    pub fn predict(&self, key: u64, d1: u64, d2: u64) -> u64 {
+        self.table[self.index(key, d1, d2)]
+    }
+
+    /// Records the actual delta for the context.
+    pub fn update(&mut self, key: u64, d1: u64, d2: u64, actual_delta: u64) {
+        let idx = self.index(key, d1, d2);
+        self.table[idx] = actual_delta;
+    }
+}
+
+impl Default for FcmPredictor {
+    fn default() -> Self {
+        Self::new(14)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn last_value_predicts_repeats() {
+        let mut p = LastValuePredictor::new();
+        p.update(7);
+        assert_eq!(p.predict(), 7);
+        p.update(9);
+        assert_eq!(p.predict(), 9);
+    }
+
+    #[test]
+    fn stride_predicts_arithmetic_sequences() {
+        let mut p = StridePredictor::new();
+        p.update(100);
+        p.update(108);
+        assert_eq!(p.predict(), 116);
+        p.update(116);
+        assert_eq!(p.predict(), 124);
+    }
+
+    #[test]
+    fn stride_handles_negative_strides_via_wrapping() {
+        let mut p = StridePredictor::new();
+        p.update(100);
+        p.update(92);
+        assert_eq!(p.predict(), 84);
+    }
+
+    #[test]
+    fn fcm_learns_alternating_deltas() {
+        // Pattern +8, +24, +8, +24… defeats a stride predictor but has a
+        // deterministic delta given the previous two deltas.
+        let mut p = FcmPredictor::new(10);
+        let key = 0x1040;
+        let (mut d1, mut d2) = (0u64, 0u64);
+        let deltas = [8u64, 24, 8, 24, 8, 24, 8, 24];
+        let mut hits = 0;
+        for &d in &deltas {
+            if p.predict(key, d1, d2) == d {
+                hits += 1;
+            }
+            p.update(key, d1, d2, d);
+            d2 = d1;
+            d1 = d;
+        }
+        assert!(hits >= 4, "fcm should learn the alternation, got {hits} hits");
+    }
+
+    #[test]
+    fn fcm_sources_are_mostly_independent() {
+        let mut p = FcmPredictor::new(14);
+        p.update(1, 0, 0, 42);
+        // A different key with the same delta context should (almost
+        // certainly) map elsewhere.
+        assert_ne!(p.predict(2, 0, 0), 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "table size")]
+    fn fcm_rejects_zero_size() {
+        let _ = FcmPredictor::new(0);
+    }
+}

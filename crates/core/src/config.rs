@@ -1,0 +1,103 @@
+//! System configuration.
+
+use lba_cache::MemSystemConfig;
+use lba_cpu::MachineConfig;
+use lba_dbi::DbiConfig;
+use lba_lifeguard::{AddrRangeFilter, DispatchConfig};
+
+/// Configuration of the log pipeline (capture → compress → buffer →
+/// dispatch).
+#[derive(Debug, Clone)]
+pub struct LogConfig {
+    /// Log buffer capacity in bytes (a region carried by the cache
+    /// hierarchy in the paper's design).
+    pub buffer_bytes: u64,
+    /// Whether the VPC compression engine is enabled (ablation C turns it
+    /// off to show the bandwidth pressure of a raw log).
+    pub compression: bool,
+    /// Shared-L2 occupancy cycles charged per 64-byte line of log data
+    /// moved (written by the capture engine, read by the dispatch engine).
+    pub line_transfer_cycles: u64,
+    /// Whether the OS stalls each application syscall until the lifeguard
+    /// drains the preceding log entries (§2 containment policy).
+    pub syscall_stall: bool,
+    /// Whether the application and lifeguard cores run decoupled. When
+    /// `false` the application waits for the lifeguard after *every*
+    /// record (the lock-step ablation).
+    pub decoupled: bool,
+    /// Optional capture-side address-range filter (§3 future work).
+    pub filter: Option<AddrRangeFilter>,
+    /// Validate compressor/decompressor round-trip at end of run
+    /// (test/debug aid; costs memory proportional to the trace).
+    pub verify_compression: bool,
+}
+
+impl Default for LogConfig {
+    fn default() -> Self {
+        LogConfig {
+            buffer_bytes: 64 << 10,
+            compression: true,
+            line_transfer_cycles: 4,
+            syscall_stall: true,
+            decoupled: true,
+            filter: None,
+            verify_compression: false,
+        }
+    }
+}
+
+/// Top-level configuration shared by all three execution models.
+///
+/// # Examples
+///
+/// ```
+/// use lba::SystemConfig;
+///
+/// let mut config = SystemConfig::default();
+/// config.log.buffer_bytes = 8 << 10; // small buffer: more back-pressure
+/// assert!(config.log.compression);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SystemConfig {
+    /// CPU/runtime model (quantum, heap size, runtime-event costs).
+    pub machine: MachineConfig,
+    /// Log pipeline parameters.
+    pub log: LogConfig,
+    /// Lifeguard-core dispatch cycle model.
+    pub dispatch: DispatchConfig,
+    /// DBI baseline cycle model.
+    pub dbi: DbiConfig,
+}
+
+impl SystemConfig {
+    /// Memory-system geometry for the unmonitored and DBI runs (one core).
+    #[must_use]
+    pub fn mem_single(&self) -> MemSystemConfig {
+        MemSystemConfig::single_core()
+    }
+
+    /// Memory-system geometry for the LBA run (application + lifeguard).
+    #[must_use]
+    pub fn mem_dual(&self) -> MemSystemConfig {
+        MemSystemConfig::dual_core()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_parameters() {
+        let c = SystemConfig::default();
+        assert_eq!(c.log.buffer_bytes, 64 << 10);
+        assert!(c.log.compression);
+        assert!(c.log.syscall_stall);
+        assert!(c.log.decoupled);
+        assert_eq!(c.mem_dual().cores, 2);
+        assert_eq!(c.mem_single().cores, 1);
+        // The paper's cache geometry flows through from lba-cache.
+        assert_eq!(c.mem_dual().l1d.size_bytes, 16 << 10);
+        assert_eq!(c.mem_dual().l2.size_bytes, 512 << 10);
+    }
+}

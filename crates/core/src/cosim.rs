@@ -1,0 +1,359 @@
+//! The LBA co-simulation: two decoupled cores coordinating through the
+//! log buffer.
+
+use lba_cache::MemSystem;
+use lba_compress::{BitReader, BitWriter, LogCompressor, LogDecompressor};
+use lba_cpu::{Machine, RunError, StepOutcome};
+use lba_isa::Program;
+use lba_lifeguard::{DispatchEngine, Finding, Lifeguard};
+use lba_record::{EventKind, EventRecord, TraceStats, RAW_RECORD_BYTES};
+use lba_transport::LogBufferModel;
+
+use crate::config::SystemConfig;
+use crate::report::{LogStats, Mode, RunReport, StallBreakdown};
+
+/// The lifeguard core's MemSystem index (the application core is 0, which
+/// is the machine's default).
+const LG_CORE: usize = 1;
+
+/// Bits per transferred cache line of log data.
+const LINE_BITS: u64 = 64 * 8;
+
+struct Cosim<'a> {
+    mem: MemSystem,
+    buffer: LogBufferModel,
+    engine: DispatchEngine,
+    lifeguard: &'a mut dyn Lifeguard,
+    findings: Vec<Finding>,
+    /// Application-core clock (cycles).
+    t_app: u64,
+    /// Lifeguard-core clock (cycles).
+    t_lg: u64,
+    /// Pending log bits not yet accounted as line transfers.
+    line_accum: u64,
+    line_transfer_cycles: u64,
+    stalls: StallBreakdown,
+}
+
+impl Cosim<'_> {
+    /// Consumes one buffered entry on the lifeguard core, advancing its
+    /// clock. Returns `false` when the buffer is empty.
+    fn consume_one(&mut self) -> bool {
+        let Some(entry) = self.buffer.pop() else {
+            return false;
+        };
+        // The lifeguard cannot read an entry before it was produced.
+        self.t_lg = self.t_lg.max(entry.ready_at);
+        self.t_lg += self.engine.deliver(
+            self.lifeguard,
+            &entry.record,
+            &mut self.mem,
+            LG_CORE,
+            &mut self.findings,
+        );
+        true
+    }
+
+    /// Drains the buffer completely (syscall stall and end-of-program).
+    fn drain(&mut self) {
+        while self.consume_one() {}
+    }
+}
+
+/// Runs `program` under LBA: the application executes on core 0 while the
+/// lifeguard consumes the compressed log on core 1.
+///
+/// The two cores are decoupled (per §2 of the paper): the application only
+/// waits when (i) the log buffer is full — back-pressure — or (ii) it
+/// enters a syscall and the OS enforces the containment policy by draining
+/// the log first. End-to-end time is the later of the two core clocks.
+///
+/// # Errors
+///
+/// Propagates any [`RunError`] from the machine.
+///
+/// # Panics
+///
+/// Panics if `config.log.verify_compression` is set and the compressed
+/// stream fails to round-trip (a compressor bug, not a user error).
+pub fn run_lba(
+    program: &Program,
+    lifeguard: &mut dyn Lifeguard,
+    config: &SystemConfig,
+) -> Result<RunReport, RunError> {
+    let mut machine = Machine::new(program, config.machine);
+    let mut compressor = LogCompressor::new();
+    let mut bits_out = BitWriter::new();
+    let mut trace = TraceStats::new();
+    let mut verify_log: Vec<EventRecord> = Vec::new();
+
+    let mut sim = Cosim {
+        mem: MemSystem::new(config.mem_dual()),
+        buffer: LogBufferModel::new(config.log.buffer_bytes),
+        engine: DispatchEngine::new(config.dispatch),
+        lifeguard,
+        findings: Vec::new(),
+        t_app: 0,
+        t_lg: 0,
+        line_accum: 0,
+        line_transfer_cycles: config.log.line_transfer_cycles,
+        stalls: StallBreakdown::default(),
+    };
+    let mut filtered: u64 = 0;
+
+    loop {
+        match machine.step(&mut sim.mem)? {
+            StepOutcome::Finished => break,
+            StepOutcome::Retired(r) => {
+                sim.t_app += r.cycles;
+                trace.observe(&r.record);
+
+                // Capture-side address-range filter (extension).
+                if let Some(filter) = &config.log.filter {
+                    if !filter.passes(&r.record) {
+                        filtered += 1;
+                        continue;
+                    }
+                }
+
+                // Compression engine (hardware: no app cycles, but the
+                // compressed bytes occupy shared-L2 bandwidth).
+                let bits = if config.log.compression {
+                    compressor.encode(&r.record, &mut bits_out)
+                } else {
+                    compressor.encode(&r.record, &mut bits_out); // stats only
+                    (RAW_RECORD_BYTES * 8) as u64
+                };
+                if config.log.verify_compression {
+                    verify_log.push(r.record);
+                }
+                sim.line_accum += bits;
+                while sim.line_accum >= LINE_BITS {
+                    sim.line_accum -= LINE_BITS;
+                    // One line written by capture, later read by dispatch.
+                    sim.t_app += sim.line_transfer_cycles;
+                    sim.t_lg += sim.line_transfer_cycles;
+                }
+
+                // Back-pressure: wait (by advancing the consumer) until the
+                // entry fits.
+                if !sim.buffer.fits(bits) {
+                    let before = sim.t_app;
+                    while !sim.buffer.fits(bits) && sim.consume_one() {}
+                    sim.t_app = sim.t_app.max(sim.t_lg);
+                    sim.stalls.buffer_full_cycles += sim.t_app - before;
+                }
+                sim.buffer
+                    .try_push(r.record, bits, sim.t_app)
+                    .expect("space was freed above");
+
+                // Containment: stall the syscall until the lifeguard has
+                // checked everything that precedes it.
+                if r.record.kind == EventKind::Syscall && config.log.syscall_stall {
+                    let before = sim.t_app;
+                    sim.drain();
+                    sim.t_app = sim.t_app.max(sim.t_lg);
+                    sim.stalls.syscall_stall_cycles += sim.t_app - before;
+                    sim.stalls.syscalls += 1;
+                } else if !config.log.decoupled {
+                    // Lock-step ablation: synchronise after every record.
+                    sim.drain();
+                    sim.t_app = sim.t_app.max(sim.t_lg);
+                }
+            }
+        }
+    }
+
+    // End of program: the lifeguard finishes the remaining log and runs its
+    // final checks.
+    sim.drain();
+    sim.t_lg += sim.engine.finish(sim.lifeguard, &mut sim.mem, LG_CORE, &mut sim.findings);
+
+    if config.log.verify_compression {
+        let bytes = bits_out.into_bytes();
+        let mut reader = BitReader::new(&bytes);
+        let mut decompressor = LogDecompressor::new();
+        for (i, expected) in verify_log.iter().enumerate() {
+            let got = decompressor
+                .decode(&mut reader)
+                .unwrap_or_else(|e| panic!("decompression failed at record {i}: {e}"));
+            assert_eq!(got, *expected, "compression round-trip mismatch at record {i}");
+        }
+    }
+
+    let stats = compressor.stats();
+    let instructions = trace.instructions().max(1);
+    Ok(RunReport {
+        program: program.name().to_string(),
+        mode: Mode::Lba,
+        total_cycles: sim.t_app.max(sim.t_lg),
+        app_cycles: sim.t_app,
+        lifeguard_cycles: sim.t_lg,
+        trace,
+        findings: sim.findings,
+        log: LogStats {
+            records: stats.records,
+            filtered,
+            compressed_bits: stats.bits,
+            bytes_per_instruction: stats.bits as f64 / 8.0 / instructions as f64,
+        },
+        stalls: sim.stalls,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run::{run_dbi, run_unmonitored};
+    use lba_lifeguard::FindingKind;
+    use lba_lifeguards::{AddrCheck, LockSet, TaintCheck};
+    use lba_workloads::{bugs, Benchmark};
+
+    #[test]
+    fn lba_slower_than_baseline_faster_than_dbi() {
+        let program = Benchmark::Gzip.build();
+        let config = SystemConfig::default();
+        let base = run_unmonitored(&program, &config).unwrap();
+
+        let mut lg = AddrCheck::new();
+        let lba = run_lba(&program, &mut lg, &config).unwrap();
+        let mut lg = AddrCheck::new();
+        let dbi = run_dbi(&program, &mut lg, &config).unwrap();
+
+        let lba_x = lba.slowdown_vs(&base);
+        let dbi_x = dbi.slowdown_vs(&base);
+        assert!(lba_x > 1.0, "monitoring is not free: {lba_x:.2}");
+        assert!(dbi_x > 2.0 * lba_x, "LBA ({lba_x:.1}x) must beat DBI ({dbi_x:.1}x) well");
+    }
+
+    #[test]
+    fn lba_detects_planted_memory_bugs() {
+        let program = bugs::memory_bugs();
+        let mut lg = AddrCheck::new();
+        let report = run_lba(&program, &mut lg, &SystemConfig::default()).unwrap();
+        use FindingKind::*;
+        for kind in [UnallocatedAccess, DoubleFree, InvalidFree, Leak] {
+            assert!(report.findings_of(kind).next().is_some(), "missing {kind}");
+        }
+    }
+
+    #[test]
+    fn lba_detects_exploit() {
+        let program = bugs::exploit();
+        let mut lg = TaintCheck::new();
+        let report = run_lba(&program, &mut lg, &SystemConfig::default()).unwrap();
+        assert!(report.findings_of(FindingKind::TaintedJump).next().is_some());
+    }
+
+    #[test]
+    fn lba_detects_data_race() {
+        let program = bugs::data_race();
+        let mut lg = LockSet::new();
+        let report = run_lba(&program, &mut lg, &SystemConfig::default()).unwrap();
+        assert!(report.findings_of(FindingKind::DataRace).next().is_some());
+    }
+
+    #[test]
+    fn clean_benchmarks_have_no_findings() {
+        let config = SystemConfig::default();
+        for benchmark in [Benchmark::Gzip, Benchmark::Water] {
+            let program = benchmark.build();
+            let mut addr = AddrCheck::new();
+            let report = run_lba(&program, &mut addr, &config).unwrap();
+            assert!(
+                report.findings.is_empty(),
+                "{}/addrcheck: {:?}",
+                benchmark.name(),
+                report.findings
+            );
+            let mut lock = LockSet::new();
+            let report = run_lba(&program, &mut lock, &config).unwrap();
+            assert!(
+                report.findings.is_empty(),
+                "{}/lockset: {:?}",
+                benchmark.name(),
+                report.findings
+            );
+        }
+    }
+
+    #[test]
+    fn compression_round_trip_verified_inline() {
+        let program = Benchmark::Tidy.build();
+        let mut config = SystemConfig::default();
+        config.log.verify_compression = true;
+        let mut lg = AddrCheck::new();
+        // run_lba panics internally if the round-trip fails.
+        let report = run_lba(&program, &mut lg, &config).unwrap();
+        assert!(report.log.records > 0);
+    }
+
+    #[test]
+    fn compressed_log_is_below_one_byte_per_instruction() {
+        let config = SystemConfig::default();
+        let program = Benchmark::Gzip.build();
+        let mut lg = AddrCheck::new();
+        let report = run_lba(&program, &mut lg, &config).unwrap();
+        assert!(
+            report.log.bytes_per_instruction < 1.0,
+            "got {:.3} B/inst",
+            report.log.bytes_per_instruction
+        );
+    }
+
+    #[test]
+    fn tiny_buffer_causes_back_pressure() {
+        let program = Benchmark::Bc.build();
+        let mut config = SystemConfig::default();
+        config.log.buffer_bytes = 64;
+        let mut lg = TaintCheck::new();
+        let report = run_lba(&program, &mut lg, &config).unwrap();
+        assert!(report.stalls.buffer_full_cycles > 0, "64-byte buffer must stall");
+    }
+
+    #[test]
+    fn syscall_stalls_are_charged() {
+        let program = Benchmark::Gs.build();
+        let config = SystemConfig::default();
+        let mut lg = AddrCheck::new();
+        let report = run_lba(&program, &mut lg, &config).unwrap();
+        assert!(report.stalls.syscalls > 0);
+        assert!(report.stalls.syscall_stall_cycles > 0);
+    }
+
+    #[test]
+    fn lockstep_is_no_faster_than_decoupled() {
+        let program = Benchmark::Bc.build();
+        let mut config = SystemConfig::default();
+        let mut lg = TaintCheck::new();
+        let decoupled = run_lba(&program, &mut lg, &config).unwrap();
+        config.log.decoupled = false;
+        let mut lg = TaintCheck::new();
+        let lockstep = run_lba(&program, &mut lg, &config).unwrap();
+        assert!(lockstep.total_cycles >= decoupled.total_cycles);
+    }
+
+    #[test]
+    fn heap_filter_cuts_lifeguard_work() {
+        let program = Benchmark::Gzip.build();
+        let config = SystemConfig::default();
+        let mut lg = AddrCheck::new();
+        let unfiltered = run_lba(&program, &mut lg, &config).unwrap();
+
+        let mut filtered_cfg = SystemConfig::default();
+        filtered_cfg.log.filter = Some(lba_lifeguard::AddrRangeFilter::new(vec![(
+            lba_mem::layout::HEAP_BASE,
+            lba_mem::layout::HEAP_END,
+        )]));
+        let mut lg = AddrCheck::new();
+        let filtered = run_lba(&program, &mut lg, &filtered_cfg).unwrap();
+
+        assert!(filtered.log.filtered > 0, "filter must drop events");
+        assert!(
+            filtered.lifeguard_cycles < unfiltered.lifeguard_cycles,
+            "filtering must reduce lifeguard time"
+        );
+        // Heap-range filtering is sound for AddrCheck: same findings.
+        assert_eq!(filtered.findings, unfiltered.findings);
+    }
+}

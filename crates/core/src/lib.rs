@@ -1,0 +1,64 @@
+//! # LBA: Log-Based Architectures
+//!
+//! A full-system reproduction of *"Log-Based Architectures for
+//! General-Purpose Monitoring of Deployed Code"* (Chen et al., ASID'06 —
+//! the ASPLOS 2006 workshop on architectural and system support for
+//! improving software dependability).
+//!
+//! The paper proposes hardware support on a chip multiprocessor for
+//! **logging an application's dynamic instruction trace** on one core and
+//! delivering it — compressed, through the cache hierarchy — to a second
+//! core, where a *lifeguard* consumes it as a stream of typed event
+//! records. This crate ties the substrates together into the paper's three
+//! execution models:
+//!
+//! * [`run_unmonitored`] — the baseline: the program alone on one core;
+//! * [`run_lba`] — the proposed system: capture → VPC compression → log
+//!   buffer → `nlba` dispatch → lifeguard handlers on a second core, with
+//!   decoupled clocks, back-pressure, and syscall-stall containment;
+//! * [`run_dbi`] — the comparison point: the same lifeguard inline via
+//!   Valgrind-style dynamic binary instrumentation on the application core.
+//!
+//! The [`experiment`] module regenerates every table and figure in the
+//! paper (`cargo run --release -p lba-bench --bin figures`), and the
+//! [`parallel`] and filtering extensions implement the §3 future work.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use lba::{run_lba, run_unmonitored, SystemConfig};
+//! use lba_lifeguards::AddrCheck;
+//! use lba_workloads::bugs;
+//!
+//! let program = bugs::memory_bugs();
+//! let config = SystemConfig::default();
+//!
+//! let baseline = run_unmonitored(&program, &config)?;
+//! let mut addrcheck = AddrCheck::new();
+//! let monitored = run_lba(&program, &mut addrcheck, &config)?;
+//!
+//! assert!(!monitored.findings.is_empty(), "the planted bugs are caught");
+//! let slowdown = monitored.slowdown_vs(&baseline);
+//! assert!(slowdown > 1.0);
+//! # Ok::<(), lba::RunError>(())
+//! ```
+
+mod config;
+mod cosim;
+pub mod experiment;
+mod kind;
+mod live;
+pub mod parallel;
+mod report;
+mod run;
+pub mod table;
+
+pub use config::{LogConfig, SystemConfig};
+pub use cosim::run_lba;
+pub use kind::LifeguardKind;
+pub use live::run_live;
+pub use report::{LogStats, Mode, RunReport, StallBreakdown};
+pub use run::{run_dbi, run_unmonitored};
+
+// The execution error type comes from the CPU substrate.
+pub use lba_cpu::RunError;

@@ -1,0 +1,85 @@
+//! Live monitoring: application and lifeguard on real OS threads.
+//!
+//! The timing results come from the deterministic co-simulation
+//! ([`run_lba`](crate::run_lba)); this mode demonstrates the *functional*
+//! pipeline with genuine parallelism — the machine produces records on one
+//! thread while the lifeguard consumes them on another, connected by the
+//! bounded SPSC channel from `lba-transport`. Integration tests assert the
+//! findings match the deterministic mode exactly.
+
+use std::thread;
+
+use lba_cache::MemSystem;
+use lba_cpu::{Machine, RunError};
+use lba_isa::Program;
+use lba_lifeguard::{DispatchEngine, Finding, Lifeguard};
+use lba_transport::live;
+
+use crate::config::SystemConfig;
+
+/// Runs `program` on one thread and the lifeguard on another, returning
+/// the lifeguard's findings.
+///
+/// # Errors
+///
+/// Propagates any [`RunError`] from the machine thread.
+pub fn run_live(
+    program: &Program,
+    lifeguard: &mut dyn Lifeguard,
+    config: &SystemConfig,
+) -> Result<Vec<Finding>, RunError> {
+    let (tx, rx) = live::channel(4096);
+    let engine = DispatchEngine::new(config.dispatch);
+    let machine_config = config.machine;
+
+    let result = thread::scope(|scope| {
+        let producer = scope.spawn(move || -> Result<(), RunError> {
+            let mut machine = Machine::new(program, machine_config);
+            let mut mem = MemSystem::new(config.mem_single());
+            machine.run(&mut mem, |r| tx.send(r.record))?;
+            Ok(())
+            // `tx` drops here, closing the channel.
+        });
+
+        // Consume on this thread: shadow-cost accounting still needs a
+        // MemSystem, but live mode is functional — timing is not reported.
+        let mut mem = MemSystem::new(config.mem_dual());
+        let mut findings = Vec::new();
+        while let Some(record) = rx.recv() {
+            engine.deliver(lifeguard, &record, &mut mem, 1, &mut findings);
+        }
+        engine.finish(lifeguard, &mut mem, 1, &mut findings);
+
+        producer.join().expect("producer thread must not panic")?;
+        Ok(findings)
+    });
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cosim::run_lba;
+    use lba_lifeguard::FindingKind;
+    use lba_lifeguards::{AddrCheck, TaintCheck};
+    use lba_workloads::bugs;
+
+    #[test]
+    fn live_mode_detects_bugs() {
+        let program = bugs::memory_bugs();
+        let mut lg = AddrCheck::new();
+        let findings = run_live(&program, &mut lg, &SystemConfig::default()).unwrap();
+        assert!(findings.iter().any(|f| f.kind == FindingKind::DoubleFree));
+    }
+
+    #[test]
+    fn live_findings_match_deterministic_mode() {
+        let config = SystemConfig::default();
+        let program = bugs::exploit();
+        let mut lg = TaintCheck::new();
+        let live = run_live(&program, &mut lg, &config).unwrap();
+        let mut lg = TaintCheck::new();
+        let cosim = run_lba(&program, &mut lg, &config).unwrap();
+        assert_eq!(live, cosim.findings);
+    }
+}

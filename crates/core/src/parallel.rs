@@ -1,0 +1,210 @@
+//! Parallel lifeguards: splitting one lifeguard across multiple cores.
+//!
+//! §1 of the paper: "the lifeguard functionality can be split across
+//! multiple cores, exploiting further parallelism to speed up lifeguards";
+//! §3 names "parallelizing lifeguards" as ongoing work. This module
+//! implements the address-interleaved variant for lifeguards whose
+//! per-address state is independent (AddrCheck, LockSet):
+//!
+//! * load/store events are **routed** to the shard owning their cache
+//!   line (`(addr / 64) % shards`);
+//! * all other events (alloc/free, lock/unlock, …) are **broadcast**,
+//!   because they update state every shard needs;
+//! * lifeguard time is the *maximum* over the shards' clocks, each shard
+//!   running on its own core with its own L1.
+//!
+//! TaintCheck is deliberately not supported: its register state forms a
+//! sequential dependence chain through every instruction, so address
+//! interleaving is unsound for it — the follow-up LBA literature
+//! parallelises it with very different techniques.
+
+use lba_cache::MemSystem;
+use lba_cache::MemSystemConfig;
+use lba_cpu::{Machine, RunError, StepOutcome};
+use lba_isa::Program;
+use lba_lifeguard::{DispatchEngine, Finding, Lifeguard};
+use lba_record::{EventKind, TraceStats};
+
+use crate::config::SystemConfig;
+
+/// Result of a parallel-lifeguard run.
+#[derive(Debug, Clone)]
+pub struct ParallelReport {
+    /// Shard count.
+    pub shards: usize,
+    /// Application-core cycles (no back-pressure modelled here; the
+    /// parallel study isolates lifeguard-side scaling).
+    pub app_cycles: u64,
+    /// Per-shard lifeguard-core cycles.
+    pub shard_cycles: Vec<u64>,
+    /// End-to-end cycles: `max(app, slowest shard)`.
+    pub total_cycles: u64,
+    /// Findings merged over shards, deduplicated.
+    pub findings: Vec<Finding>,
+    /// Retired-instruction statistics.
+    pub trace: TraceStats,
+}
+
+impl ParallelReport {
+    /// The slowest shard's cycles.
+    #[must_use]
+    pub fn max_shard_cycles(&self) -> u64 {
+        self.shard_cycles.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// Runs `program` with the lifeguard sharded `shards` ways by address.
+///
+/// `make_lifeguard` builds one (identical) lifeguard instance per shard.
+///
+/// # Errors
+///
+/// Propagates any [`RunError`] from the machine.
+///
+/// # Panics
+///
+/// Panics if `shards` is zero.
+pub fn run_lba_parallel(
+    program: &Program,
+    make_lifeguard: impl Fn() -> Box<dyn Lifeguard>,
+    shards: usize,
+    config: &SystemConfig,
+) -> Result<ParallelReport, RunError> {
+    assert!(shards > 0, "need at least one shard");
+    let mut machine = Machine::new(program, config.machine);
+    // Core 0: application. Cores 1..=shards: lifeguard shards.
+    let mut mem = MemSystem::new(MemSystemConfig::multi_core(shards + 1));
+    let engine = DispatchEngine::new(config.dispatch);
+    let mut lifeguards: Vec<Box<dyn Lifeguard>> = (0..shards).map(|_| make_lifeguard()).collect();
+    let mut shard_findings: Vec<Vec<Finding>> = vec![Vec::new(); shards];
+    let mut shard_cycles = vec![0u64; shards];
+    let mut trace = TraceStats::new();
+    let mut app_cycles = 0u64;
+
+    loop {
+        match machine.step(&mut mem)? {
+            StepOutcome::Finished => break,
+            StepOutcome::Retired(r) => {
+                trace.observe(&r.record);
+                app_cycles += r.cycles;
+                let route = match r.record.kind {
+                    EventKind::Load | EventKind::Store => {
+                        Some(((r.record.addr / 64) % shards as u64) as usize)
+                    }
+                    _ => None, // broadcast
+                };
+                for (idx, lifeguard) in lifeguards.iter_mut().enumerate() {
+                    let cycles = match route {
+                        Some(owner) if owner != idx => {
+                            // Routed elsewhere: this shard skips the record
+                            // (its dispatch sees a no-op entry).
+                            engine.config().unsubscribed_cycles
+                        }
+                        _ => engine.deliver(
+                            lifeguard.as_mut(),
+                            &r.record,
+                            &mut mem,
+                            1 + idx,
+                            &mut shard_findings[idx],
+                        ),
+                    };
+                    shard_cycles[idx] += cycles;
+                }
+            }
+        }
+    }
+    for (idx, lifeguard) in lifeguards.iter_mut().enumerate() {
+        shard_cycles[idx] +=
+            engine.finish(lifeguard.as_mut(), &mut mem, 1 + idx, &mut shard_findings[idx]);
+    }
+
+    // Merge findings; broadcast events can produce duplicates (e.g. every
+    // shard sees the same double free).
+    let mut findings: Vec<Finding> = Vec::new();
+    for shard in shard_findings {
+        for f in shard {
+            if !findings.iter().any(|g| {
+                g.kind == f.kind && g.pc == f.pc && g.addr == f.addr && g.tid == f.tid
+            }) {
+                findings.push(f);
+            }
+        }
+    }
+
+    let total_cycles = app_cycles.max(shard_cycles.iter().copied().max().unwrap_or(0));
+    Ok(ParallelReport { shards, app_cycles, shard_cycles, total_cycles, findings, trace })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kind::LifeguardKind;
+    use crate::run::run_unmonitored;
+    use lba_lifeguard::FindingKind;
+    use lba_workloads::{bugs, Benchmark};
+
+    #[test]
+    fn sharded_lockset_scales() {
+        let program = Benchmark::Zchaff.build();
+        let config = SystemConfig::default();
+        let one =
+            run_lba_parallel(&program, || LifeguardKind::LockSet.make_lba(), 1, &config).unwrap();
+        let four =
+            run_lba_parallel(&program, || LifeguardKind::LockSet.make_lba(), 4, &config).unwrap();
+        assert!(
+            four.max_shard_cycles() * 2 < one.max_shard_cycles(),
+            "4 shards ({}) should at least halve one shard ({})",
+            four.max_shard_cycles(),
+            one.max_shard_cycles()
+        );
+    }
+
+    #[test]
+    fn sharded_addrcheck_still_detects_bugs() {
+        let program = bugs::memory_bugs();
+        let config = SystemConfig::default();
+        let report =
+            run_lba_parallel(&program, || LifeguardKind::AddrCheck.make_lba(), 4, &config)
+                .unwrap();
+        use FindingKind::*;
+        for kind in [UnallocatedAccess, DoubleFree, InvalidFree, Leak] {
+            assert!(
+                report.findings.iter().any(|f| f.kind == kind),
+                "missing {kind} in sharded run"
+            );
+        }
+        // And duplicates from broadcast events were merged away.
+        let doubles = report.findings.iter().filter(|f| f.kind == DoubleFree).count();
+        assert_eq!(doubles, 1);
+    }
+
+    #[test]
+    fn parallel_beats_app_bound_eventually() {
+        // With enough shards the lifeguard stops being the bottleneck.
+        let program = Benchmark::Water.build();
+        let config = SystemConfig::default();
+        let base = run_unmonitored(&program, &config).unwrap();
+        let eight =
+            run_lba_parallel(&program, || LifeguardKind::LockSet.make_lba(), 8, &config).unwrap();
+        let slowdown = eight.total_cycles as f64 / base.total_cycles as f64;
+        let single =
+            run_lba_parallel(&program, || LifeguardKind::LockSet.make_lba(), 1, &config).unwrap();
+        let single_slowdown = single.total_cycles as f64 / base.total_cycles as f64;
+        assert!(
+            slowdown < single_slowdown / 2.0,
+            "8 shards ({slowdown:.1}x) should far outpace 1 ({single_slowdown:.1}x)"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        let program = bugs::memory_bugs();
+        let _ = run_lba_parallel(
+            &program,
+            || LifeguardKind::AddrCheck.make_lba(),
+            0,
+            &SystemConfig::default(),
+        );
+    }
+}

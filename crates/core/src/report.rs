@@ -1,0 +1,170 @@
+//! Execution reports.
+
+use std::fmt;
+
+use lba_lifeguard::Finding;
+use lba_record::TraceStats;
+
+/// Which execution model produced a report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// No monitoring.
+    Unmonitored,
+    /// LBA: lifeguard on a second core fed by the hardware log.
+    Lba,
+    /// Valgrind-style DBI: lifeguard inline on the application core.
+    Dbi,
+}
+
+impl fmt::Display for Mode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Mode::Unmonitored => "unmonitored",
+            Mode::Lba => "lba",
+            Mode::Dbi => "dbi",
+        })
+    }
+}
+
+/// Where the application core lost time to monitoring.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StallBreakdown {
+    /// Cycles stalled because the log buffer was full (back-pressure).
+    pub buffer_full_cycles: u64,
+    /// Cycles stalled at syscalls waiting for the lifeguard to drain the
+    /// log (the containment policy).
+    pub syscall_stall_cycles: u64,
+    /// Number of syscalls that stalled.
+    pub syscalls: u64,
+}
+
+/// Log-pipeline statistics for an LBA run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LogStats {
+    /// Records that entered the log (after any capture filter).
+    pub records: u64,
+    /// Records dropped by the capture-side address filter.
+    pub filtered: u64,
+    /// Total compressed bits written.
+    pub compressed_bits: u64,
+    /// Average compressed bytes per retired instruction — the paper's
+    /// < 1 B/instruction claim.
+    pub bytes_per_instruction: f64,
+}
+
+/// The result of one execution.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Program name.
+    pub program: String,
+    /// Execution model.
+    pub mode: Mode,
+    /// End-to-end time in cycles (for LBA: max of the two cores' clocks).
+    pub total_cycles: u64,
+    /// Application-core time including monitoring-induced stalls.
+    pub app_cycles: u64,
+    /// Lifeguard-core time (zero for unmonitored; equals the inline
+    /// monitoring overhead for DBI).
+    pub lifeguard_cycles: u64,
+    /// Retired-instruction statistics.
+    pub trace: TraceStats,
+    /// Problems the lifeguard reported.
+    pub findings: Vec<Finding>,
+    /// Log statistics (LBA only; default elsewhere).
+    pub log: LogStats,
+    /// Application stall breakdown (LBA only; default elsewhere).
+    pub stalls: StallBreakdown,
+}
+
+impl RunReport {
+    /// Slowdown of this run relative to a baseline (usually the
+    /// unmonitored run of the same program).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the baseline ran zero cycles.
+    #[must_use]
+    pub fn slowdown_vs(&self, baseline: &RunReport) -> f64 {
+        assert!(baseline.total_cycles > 0, "baseline must have run");
+        self.total_cycles as f64 / baseline.total_cycles as f64
+    }
+
+    /// Findings of a particular kind.
+    pub fn findings_of(
+        &self,
+        kind: lba_lifeguard::FindingKind,
+    ) -> impl Iterator<Item = &Finding> + '_ {
+        self.findings.iter().filter(move |f| f.kind == kind)
+    }
+}
+
+impl fmt::Display for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} [{}]: {} cycles ({} instructions, CPI {:.2})",
+            self.program,
+            self.mode,
+            self.total_cycles,
+            self.trace.instructions(),
+            self.total_cycles as f64 / self.trace.instructions().max(1) as f64,
+        )?;
+        if self.mode == Mode::Lba {
+            writeln!(
+                f,
+                "  log: {} records, {:.3} B/inst; stalls: buffer {} cy, syscall {} cy ({} syscalls)",
+                self.log.records,
+                self.log.bytes_per_instruction,
+                self.stalls.buffer_full_cycles,
+                self.stalls.syscall_stall_cycles,
+                self.stalls.syscalls,
+            )?;
+        }
+        for finding in &self.findings {
+            writeln!(f, "  {finding}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(mode: Mode, cycles: u64) -> RunReport {
+        RunReport {
+            program: "t".into(),
+            mode,
+            total_cycles: cycles,
+            app_cycles: cycles,
+            lifeguard_cycles: 0,
+            trace: TraceStats::new(),
+            findings: Vec::new(),
+            log: LogStats::default(),
+            stalls: StallBreakdown::default(),
+        }
+    }
+
+    #[test]
+    fn slowdown_is_a_ratio() {
+        let base = report(Mode::Unmonitored, 100);
+        let lba = report(Mode::Lba, 390);
+        assert!((lba.slowdown_vs(&base) - 3.9).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "baseline")]
+    fn zero_baseline_panics() {
+        let base = report(Mode::Unmonitored, 0);
+        let lba = report(Mode::Lba, 10);
+        let _ = lba.slowdown_vs(&base);
+    }
+
+    #[test]
+    fn display_includes_mode_and_cycles() {
+        let r = report(Mode::Dbi, 1234);
+        let s = r.to_string();
+        assert!(s.contains("dbi"));
+        assert!(s.contains("1234"));
+    }
+}

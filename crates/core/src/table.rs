@@ -1,0 +1,123 @@
+//! Minimal text-table rendering for experiment output.
+
+use std::fmt;
+
+/// A simple aligned text table.
+///
+/// # Examples
+///
+/// ```
+/// use lba::table::TextTable;
+///
+/// let mut t = TextTable::new(["benchmark", "slowdown"]);
+/// t.row(["gzip", "3.4x"]);
+/// let s = t.to_string();
+/// assert!(s.contains("benchmark"));
+/// assert!(s.contains("gzip"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new<I, S>(headers: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        TextTable { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row; missing cells render empty, extra cells are kept.
+    pub fn row<I, S>(&mut self, cells: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for TextTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let columns = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain([self.headers.len()])
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; columns];
+        for (i, h) in self.headers.iter().enumerate() {
+            widths[i] = widths[i].max(h.len());
+        }
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let render = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, width) in widths.iter().enumerate() {
+                let cell = cells.get(i).map_or("", String::as_str);
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{cell:width$}")?;
+            }
+            writeln!(f)
+        };
+        render(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (columns.saturating_sub(1));
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            render(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(["name", "value"]);
+        t.row(["a", "1"]);
+        t.row(["longer-name", "2"]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // The value column starts at the same offset in every data row.
+        let offset = lines[2].find('1').unwrap();
+        assert_eq!(lines[3].find('2').unwrap(), offset);
+    }
+
+    #[test]
+    fn handles_ragged_rows() {
+        let mut t = TextTable::new(["a"]);
+        t.row(["x", "extra"]);
+        t.row::<[&str; 0], &str>([]);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        let s = t.to_string();
+        assert!(s.contains("extra"));
+    }
+}

@@ -1,0 +1,510 @@
+//! `Assembler`: a builder for constructing [`Program`]s in Rust.
+
+use std::fmt;
+
+use crate::inst::{AluOp, Cond, Instruction, Width};
+use crate::program::{DataSegment, Program, ProgramError, CODE_BASE, INST_BYTES};
+use crate::reg::Reg;
+
+/// A forward-referenceable code label created by [`Assembler::label`].
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Label(usize);
+
+/// Error produced by [`Assembler::finish`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// A label was referenced but never bound with [`Assembler::bind`].
+    UnboundLabel(String),
+    /// A label was bound twice.
+    ReboundLabel(String),
+    /// The finished program failed validation.
+    Program(ProgramError),
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UnboundLabel(name) => write!(f, "label `{name}` was never bound"),
+            AsmError::ReboundLabel(name) => write!(f, "label `{name}` bound more than once"),
+            AsmError::Program(e) => write!(f, "invalid program: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AsmError::Program(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ProgramError> for AsmError {
+    fn from(e: ProgramError) -> Self {
+        AsmError::Program(e)
+    }
+}
+
+/// Pending instruction: either final, or waiting on a label address.
+#[derive(Debug, Clone)]
+enum Pending {
+    Done(Instruction),
+    Branch { cond: Cond, rs1: Reg, rs2: Reg, label: Label },
+    Jump { label: Label },
+    Call { label: Label },
+    /// `lea rd, label`: materialise a code address into a register
+    /// (used to build jump tables and function-pointer slots).
+    Lea { rd: Reg, label: Label },
+}
+
+/// Builder for [`Program`]s.
+///
+/// Instruction methods append one instruction each and return `&mut self`
+/// for chaining. Control flow uses [`Label`]s which may be referenced before
+/// they are bound.
+///
+/// # Examples
+///
+/// ```
+/// use lba_isa::{Assembler, Reg};
+///
+/// let mut asm = Assembler::new("demo");
+/// let end = asm.label("end");
+/// asm.movi(Reg::new(1), 5);
+/// asm.beq(Reg::new(1), Reg::new(1), end);
+/// asm.nop(); // skipped
+/// asm.bind(end);
+/// asm.halt();
+/// let program = asm.finish()?;
+/// assert_eq!(program.len(), 4);
+/// # Ok::<(), lba_isa::AsmError>(())
+/// ```
+#[derive(Debug)]
+pub struct Assembler {
+    name: String,
+    insts: Vec<Pending>,
+    labels: Vec<(String, Option<usize>)>,
+    entries: Vec<Label>,
+    data: Vec<DataSegment>,
+    input: Vec<u8>,
+}
+
+impl Assembler {
+    /// Creates an empty assembler for a program called `name`.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Assembler {
+            name: name.into(),
+            insts: Vec::new(),
+            labels: Vec::new(),
+            entries: Vec::new(),
+            data: Vec::new(),
+            input: Vec::new(),
+        }
+    }
+
+    /// Replaces the program name (used by the text assembler's `.name`).
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    /// Creates a fresh, unbound label. `name` is used in error messages only.
+    pub fn label(&mut self, name: impl Into<String>) -> Label {
+        self.labels.push((name.into(), None));
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the address of the *next* emitted instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was created by a different assembler.
+    pub fn bind(&mut self, label: Label) -> &mut Self {
+        let slot = &mut self.labels[label.0].1;
+        // Rebinding is surfaced at finish() so builder code can stay fluent.
+        if slot.is_none() {
+            *slot = Some(self.insts.len());
+        } else {
+            self.labels[label.0].0.push('\u{0}'); // marker: rebound
+        }
+        self
+    }
+
+    /// Creates a label and immediately binds it here.
+    pub fn here(&mut self, name: impl Into<String>) -> Label {
+        let l = self.label(name);
+        self.bind(l);
+        l
+    }
+
+    /// Declares `label` as a thread entry point. Each entry starts one
+    /// thread; the first entry is thread 0.
+    pub fn entry(&mut self, label: Label) -> &mut Self {
+        self.entries.push(label);
+        self
+    }
+
+    /// Adds an initialised data segment.
+    pub fn data(&mut self, addr: u64, bytes: impl Into<Vec<u8>>) -> &mut Self {
+        self.data.push(DataSegment { addr, bytes: bytes.into() });
+        self
+    }
+
+    /// Appends bytes to the external input stream consumed by `recv`.
+    pub fn input(&mut self, bytes: impl AsRef<[u8]>) -> &mut Self {
+        self.input.extend_from_slice(bytes.as_ref());
+        self
+    }
+
+    /// Number of instructions emitted so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether any instructions have been emitted.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    fn push(&mut self, inst: Instruction) -> &mut Self {
+        self.insts.push(Pending::Done(inst));
+        self
+    }
+
+    /// Emits `nop`.
+    pub fn nop(&mut self) -> &mut Self {
+        self.push(Instruction::Nop)
+    }
+
+    /// Emits `halt`.
+    pub fn halt(&mut self) -> &mut Self {
+        self.push(Instruction::Halt)
+    }
+
+    /// Emits `movi rd, imm`.
+    pub fn movi(&mut self, rd: Reg, imm: i64) -> &mut Self {
+        self.push(Instruction::MovImm { rd, imm })
+    }
+
+    /// Emits `mov rd, rs`.
+    pub fn mov(&mut self, rd: Reg, rs: Reg) -> &mut Self {
+        self.push(Instruction::Mov { rd, rs })
+    }
+
+    /// Emits a three-register ALU operation.
+    pub fn alu(&mut self, op: AluOp, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.push(Instruction::Alu { op, rd, rs1, rs2 })
+    }
+
+    /// Emits a register-immediate ALU operation.
+    pub fn alui(&mut self, op: AluOp, rd: Reg, rs1: Reg, imm: i64) -> &mut Self {
+        self.push(Instruction::AluImm { op, rd, rs1, imm })
+    }
+
+    /// Emits `add rd, rs1, rs2`.
+    pub fn add(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.alu(AluOp::Add, rd, rs1, rs2)
+    }
+
+    /// Emits `sub rd, rs1, rs2`.
+    pub fn sub(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.alu(AluOp::Sub, rd, rs1, rs2)
+    }
+
+    /// Emits `mul rd, rs1, rs2`.
+    pub fn mul(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.alu(AluOp::Mul, rd, rs1, rs2)
+    }
+
+    /// Emits `xor rd, rs1, rs2`.
+    pub fn xor(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.alu(AluOp::Xor, rd, rs1, rs2)
+    }
+
+    /// Emits `and rd, rs1, rs2`.
+    pub fn and(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.alu(AluOp::And, rd, rs1, rs2)
+    }
+
+    /// Emits `or rd, rs1, rs2`.
+    pub fn or(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.alu(AluOp::Or, rd, rs1, rs2)
+    }
+
+    /// Emits `addi rd, rs1, imm`.
+    pub fn addi(&mut self, rd: Reg, rs1: Reg, imm: i64) -> &mut Self {
+        self.alui(AluOp::Add, rd, rs1, imm)
+    }
+
+    /// Emits `subi rd, rs1, imm`.
+    pub fn subi(&mut self, rd: Reg, rs1: Reg, imm: i64) -> &mut Self {
+        self.alui(AluOp::Sub, rd, rs1, imm)
+    }
+
+    /// Emits `muli rd, rs1, imm`.
+    pub fn muli(&mut self, rd: Reg, rs1: Reg, imm: i64) -> &mut Self {
+        self.alui(AluOp::Mul, rd, rs1, imm)
+    }
+
+    /// Emits `andi rd, rs1, imm`.
+    pub fn andi(&mut self, rd: Reg, rs1: Reg, imm: i64) -> &mut Self {
+        self.alui(AluOp::And, rd, rs1, imm)
+    }
+
+    /// Emits `xori rd, rs1, imm`.
+    pub fn xori(&mut self, rd: Reg, rs1: Reg, imm: i64) -> &mut Self {
+        self.alui(AluOp::Xor, rd, rs1, imm)
+    }
+
+    /// Emits `shli rd, rs1, imm`.
+    pub fn shli(&mut self, rd: Reg, rs1: Reg, imm: i64) -> &mut Self {
+        self.alui(AluOp::Shl, rd, rs1, imm)
+    }
+
+    /// Emits `shri rd, rs1, imm`.
+    pub fn shri(&mut self, rd: Reg, rs1: Reg, imm: i64) -> &mut Self {
+        self.alui(AluOp::Shr, rd, rs1, imm)
+    }
+
+    /// Emits `load.<width> rd, [base+offset]`.
+    pub fn load(&mut self, rd: Reg, base: Reg, offset: i64, width: Width) -> &mut Self {
+        self.push(Instruction::Load { rd, base, offset, width })
+    }
+
+    /// Emits `store.<width> src, [base+offset]`.
+    pub fn store(&mut self, src: Reg, base: Reg, offset: i64, width: Width) -> &mut Self {
+        self.push(Instruction::Store { src, base, offset, width })
+    }
+
+    /// Emits a conditional branch to `label`.
+    pub fn branch(&mut self, cond: Cond, rs1: Reg, rs2: Reg, label: Label) -> &mut Self {
+        self.insts.push(Pending::Branch { cond, rs1, rs2, label });
+        self
+    }
+
+    /// Emits `beq rs1, rs2, label`.
+    pub fn beq(&mut self, rs1: Reg, rs2: Reg, label: Label) -> &mut Self {
+        self.branch(Cond::Eq, rs1, rs2, label)
+    }
+
+    /// Emits `bne rs1, rs2, label`.
+    pub fn bne(&mut self, rs1: Reg, rs2: Reg, label: Label) -> &mut Self {
+        self.branch(Cond::Ne, rs1, rs2, label)
+    }
+
+    /// Emits `blt rs1, rs2, label` (signed).
+    pub fn blt(&mut self, rs1: Reg, rs2: Reg, label: Label) -> &mut Self {
+        self.branch(Cond::Lt, rs1, rs2, label)
+    }
+
+    /// Emits `bge rs1, rs2, label` (signed).
+    pub fn bge(&mut self, rs1: Reg, rs2: Reg, label: Label) -> &mut Self {
+        self.branch(Cond::Ge, rs1, rs2, label)
+    }
+
+    /// Emits `jmp label`.
+    pub fn jump(&mut self, label: Label) -> &mut Self {
+        self.insts.push(Pending::Jump { label });
+        self
+    }
+
+    /// Emits `jmpr rs` (indirect jump).
+    pub fn jump_reg(&mut self, rs: Reg) -> &mut Self {
+        self.push(Instruction::JumpReg { rs })
+    }
+
+    /// Emits `call label`.
+    pub fn call(&mut self, label: Label) -> &mut Self {
+        self.insts.push(Pending::Call { label });
+        self
+    }
+
+    /// Emits `callr rs` (indirect call).
+    pub fn call_reg(&mut self, rs: Reg) -> &mut Self {
+        self.push(Instruction::CallReg { rs })
+    }
+
+    /// Emits `ret`.
+    pub fn ret(&mut self) -> &mut Self {
+        self.push(Instruction::Ret)
+    }
+
+    /// Emits `lea rd, label` — materialises the label's code address.
+    pub fn lea(&mut self, rd: Reg, label: Label) -> &mut Self {
+        self.insts.push(Pending::Lea { rd, label });
+        self
+    }
+
+    /// Emits `alloc rd, size_reg`.
+    pub fn alloc(&mut self, rd: Reg, size: Reg) -> &mut Self {
+        self.push(Instruction::Alloc { rd, size })
+    }
+
+    /// Emits `free rs`.
+    pub fn free(&mut self, rs: Reg) -> &mut Self {
+        self.push(Instruction::Free { rs })
+    }
+
+    /// Emits `lock rs`.
+    pub fn lock(&mut self, rs: Reg) -> &mut Self {
+        self.push(Instruction::Lock { rs })
+    }
+
+    /// Emits `unlock rs`.
+    pub fn unlock(&mut self, rs: Reg) -> &mut Self {
+        self.push(Instruction::Unlock { rs })
+    }
+
+    /// Emits `recv base, len`.
+    pub fn recv(&mut self, base: Reg, len: Reg) -> &mut Self {
+        self.push(Instruction::Recv { base, len })
+    }
+
+    /// Emits `syscall num`.
+    pub fn syscall(&mut self, num: u16) -> &mut Self {
+        self.push(Instruction::Syscall { num })
+    }
+
+    fn resolve(&self, label: Label) -> Result<u64, AsmError> {
+        let (name, slot) = &self.labels[label.0];
+        if name.ends_with('\u{0}') {
+            return Err(AsmError::ReboundLabel(name.trim_end_matches('\u{0}').to_string()));
+        }
+        match slot {
+            Some(idx) => Ok(CODE_BASE + *idx as u64 * INST_BYTES),
+            None => Err(AsmError::UnboundLabel(name.clone())),
+        }
+    }
+
+    /// Resolves all labels and validates the program.
+    ///
+    /// If no entry point was declared with [`Assembler::entry`], the first
+    /// instruction becomes the single entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError`] for unbound/rebound labels or validation
+    /// failures (see [`ProgramError`]).
+    pub fn finish(self) -> Result<Program, AsmError> {
+        let mut code = Vec::with_capacity(self.insts.len());
+        for pending in &self.insts {
+            let inst = match *pending {
+                Pending::Done(inst) => inst,
+                Pending::Branch { cond, rs1, rs2, label } => {
+                    Instruction::Branch { cond, rs1, rs2, target: self.resolve(label)? }
+                }
+                Pending::Jump { label } => Instruction::Jump { target: self.resolve(label)? },
+                Pending::Call { label } => Instruction::Call { target: self.resolve(label)? },
+                Pending::Lea { rd, label } => {
+                    Instruction::MovImm { rd, imm: self.resolve(label)? as i64 }
+                }
+            };
+            code.push(inst);
+        }
+        let entries = if self.entries.is_empty() {
+            vec![CODE_BASE]
+        } else {
+            self.entries.iter().map(|&l| self.resolve(l)).collect::<Result<Vec<_>, _>>()?
+        };
+        Ok(Program::new(self.name, code, entries, self.data, self.input)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::r;
+
+    #[test]
+    fn forward_label_resolves() {
+        let mut asm = Assembler::new("t");
+        let end = asm.label("end");
+        asm.jump(end);
+        asm.nop();
+        asm.bind(end);
+        asm.halt();
+        let p = asm.finish().unwrap();
+        assert_eq!(p.code()[0], Instruction::Jump { target: CODE_BASE + 2 * INST_BYTES });
+    }
+
+    #[test]
+    fn unbound_label_is_error() {
+        let mut asm = Assembler::new("t");
+        let nowhere = asm.label("nowhere");
+        asm.jump(nowhere);
+        asm.halt();
+        assert_eq!(asm.finish().unwrap_err(), AsmError::UnboundLabel("nowhere".into()));
+    }
+
+    #[test]
+    fn rebound_label_is_error() {
+        let mut asm = Assembler::new("t");
+        let l = asm.label("twice");
+        asm.bind(l);
+        asm.nop();
+        asm.bind(l);
+        asm.jump(l);
+        asm.halt();
+        assert_eq!(asm.finish().unwrap_err(), AsmError::ReboundLabel("twice".into()));
+    }
+
+    #[test]
+    fn default_entry_is_first_instruction() {
+        let mut asm = Assembler::new("t");
+        asm.halt();
+        let p = asm.finish().unwrap();
+        assert_eq!(p.entries(), &[CODE_BASE]);
+    }
+
+    #[test]
+    fn multiple_entries_for_threads() {
+        let mut asm = Assembler::new("t");
+        let t0 = asm.here("t0");
+        asm.entry(t0);
+        asm.halt();
+        let t1 = asm.here("t1");
+        asm.entry(t1);
+        asm.halt();
+        let p = asm.finish().unwrap();
+        assert_eq!(p.entries().len(), 2);
+        assert_eq!(p.entries()[1], CODE_BASE + INST_BYTES);
+    }
+
+    #[test]
+    fn lea_materialises_label_address() {
+        let mut asm = Assembler::new("t");
+        let f = asm.label("f");
+        asm.lea(r(1), f);
+        asm.halt();
+        asm.bind(f);
+        asm.ret();
+        let p = asm.finish().unwrap();
+        assert_eq!(
+            p.code()[0],
+            Instruction::MovImm { rd: r(1), imm: (CODE_BASE + 2 * INST_BYTES) as i64 }
+        );
+    }
+
+    #[test]
+    fn data_and_input_carried_through() {
+        let mut asm = Assembler::new("t");
+        asm.data(0x10_0000, vec![1, 2, 3]);
+        asm.input([9, 9]);
+        asm.halt();
+        let p = asm.finish().unwrap();
+        assert_eq!(p.data()[0].bytes, vec![1, 2, 3]);
+        assert_eq!(p.input(), &[9, 9]);
+    }
+
+    #[test]
+    fn sugar_methods_emit_expected_instructions() {
+        let mut asm = Assembler::new("t");
+        asm.addi(r(1), r(2), 5).shri(r(3), r(4), 2).halt();
+        let p = asm.finish().unwrap();
+        assert_eq!(p.code()[0], Instruction::AluImm { op: AluOp::Add, rd: r(1), rs1: r(2), imm: 5 });
+        assert_eq!(p.code()[1], Instruction::AluImm { op: AluOp::Shr, rd: r(3), rs1: r(4), imm: 2 });
+    }
+}

@@ -1,0 +1,691 @@
+//! Instruction definitions, binary encoding and disassembly.
+
+use std::fmt;
+
+use crate::reg::Reg;
+
+/// Arithmetic/logic operations for [`Instruction::Alu`] and
+/// [`Instruction::AluImm`].
+///
+/// All operations are defined on 64-bit values with wrapping semantics;
+/// `Div` by zero yields zero (the CPU model documents this choice).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum AluOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Unsigned division; division by zero yields zero.
+    Div,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Logical shift left (shift amount taken modulo 64).
+    Shl,
+    /// Logical shift right (shift amount taken modulo 64).
+    Shr,
+    /// Signed less-than; result is 1 or 0.
+    Slt,
+}
+
+impl AluOp {
+    /// All operations, in encoding order.
+    pub const ALL: [AluOp; 10] = [
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::Mul,
+        AluOp::Div,
+        AluOp::And,
+        AluOp::Or,
+        AluOp::Xor,
+        AluOp::Shl,
+        AluOp::Shr,
+        AluOp::Slt,
+    ];
+
+    fn code(self) -> u8 {
+        Self::ALL.iter().position(|&op| op == self).expect("op listed in ALL") as u8
+    }
+
+    fn from_code(code: u8) -> Option<Self> {
+        Self::ALL.get(code as usize).copied()
+    }
+
+    /// The assembly mnemonic (e.g. `"add"`).
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::Mul => "mul",
+            AluOp::Div => "div",
+            AluOp::And => "and",
+            AluOp::Or => "or",
+            AluOp::Xor => "xor",
+            AluOp::Shl => "shl",
+            AluOp::Shr => "shr",
+            AluOp::Slt => "slt",
+        }
+    }
+}
+
+impl fmt::Display for AluOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Branch conditions for [`Instruction::Branch`].
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Cond {
+    /// Branch when equal.
+    Eq,
+    /// Branch when not equal.
+    Ne,
+    /// Branch when signed less-than.
+    Lt,
+    /// Branch when signed greater-or-equal.
+    Ge,
+}
+
+impl Cond {
+    /// All conditions, in encoding order.
+    pub const ALL: [Cond; 4] = [Cond::Eq, Cond::Ne, Cond::Lt, Cond::Ge];
+
+    fn code(self) -> u8 {
+        Self::ALL.iter().position(|&c| c == self).expect("cond listed in ALL") as u8
+    }
+
+    fn from_code(code: u8) -> Option<Self> {
+        Self::ALL.get(code as usize).copied()
+    }
+
+    /// The assembly mnemonic suffix (e.g. `"eq"` as in `beq`).
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Cond::Eq => "eq",
+            Cond::Ne => "ne",
+            Cond::Lt => "lt",
+            Cond::Ge => "ge",
+        }
+    }
+
+    /// Evaluates the condition on two 64-bit operand values.
+    #[must_use]
+    pub fn eval(self, a: u64, b: u64) -> bool {
+        match self {
+            Cond::Eq => a == b,
+            Cond::Ne => a != b,
+            Cond::Lt => (a as i64) < (b as i64),
+            Cond::Ge => (a as i64) >= (b as i64),
+        }
+    }
+}
+
+/// Memory access widths supported by [`Instruction::Load`] and
+/// [`Instruction::Store`].
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum Width {
+    /// One byte.
+    B1,
+    /// Two bytes.
+    B2,
+    /// Four bytes.
+    B4,
+    /// Eight bytes.
+    B8,
+}
+
+impl Width {
+    /// All widths, in encoding order.
+    pub const ALL: [Width; 4] = [Width::B1, Width::B2, Width::B4, Width::B8];
+
+    /// The width in bytes (1, 2, 4 or 8).
+    #[must_use]
+    pub fn bytes(self) -> u32 {
+        match self {
+            Width::B1 => 1,
+            Width::B2 => 2,
+            Width::B4 => 4,
+            Width::B8 => 8,
+        }
+    }
+
+    /// Creates a width from a byte count.
+    #[must_use]
+    pub fn from_bytes(bytes: u32) -> Option<Self> {
+        match bytes {
+            1 => Some(Width::B1),
+            2 => Some(Width::B2),
+            4 => Some(Width::B4),
+            8 => Some(Width::B8),
+            _ => None,
+        }
+    }
+
+    fn code(self) -> u8 {
+        Self::ALL.iter().position(|&w| w == self).expect("width listed in ALL") as u8
+    }
+
+    fn from_code(code: u8) -> Option<Self> {
+        Self::ALL.get(code as usize).copied()
+    }
+}
+
+impl fmt::Display for Width {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.bytes())
+    }
+}
+
+/// A MiniISA instruction.
+///
+/// Branch, jump and call targets are absolute instruction addresses (the
+/// [`Assembler`](crate::Assembler) resolves labels to addresses).
+///
+/// Runtime events (`Alloc`, `Free`, `Lock`, `Unlock`, `Recv`, `Syscall`) are
+/// first-class instructions so the LBA capture hardware sees them directly;
+/// the paper obtained the equivalent events by instrumenting libc wrappers.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Instruction {
+    /// No operation.
+    Nop,
+    /// Stops the executing thread; the program ends when all threads halt.
+    Halt,
+    /// `rd <- imm`.
+    MovImm {
+        /// Destination register.
+        rd: Reg,
+        /// Immediate value (must fit in `i32` for binary encoding).
+        imm: i64,
+    },
+    /// `rd <- rs`.
+    Mov {
+        /// Destination register.
+        rd: Reg,
+        /// Source register.
+        rs: Reg,
+    },
+    /// `rd <- rs1 op rs2`.
+    Alu {
+        /// Operation.
+        op: AluOp,
+        /// Destination register.
+        rd: Reg,
+        /// First source register.
+        rs1: Reg,
+        /// Second source register.
+        rs2: Reg,
+    },
+    /// `rd <- rs1 op imm`.
+    AluImm {
+        /// Operation.
+        op: AluOp,
+        /// Destination register.
+        rd: Reg,
+        /// Source register.
+        rs1: Reg,
+        /// Immediate operand (must fit in `i32` for binary encoding).
+        imm: i64,
+    },
+    /// `rd <- mem[rs(base) + offset]` (zero-extended).
+    Load {
+        /// Destination register.
+        rd: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Signed byte offset.
+        offset: i64,
+        /// Access width.
+        width: Width,
+    },
+    /// `mem[rs(base) + offset] <- src` (truncated to width).
+    Store {
+        /// Source register holding the value to store.
+        src: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Signed byte offset.
+        offset: i64,
+        /// Access width.
+        width: Width,
+    },
+    /// Conditional branch to an absolute address.
+    Branch {
+        /// Condition.
+        cond: Cond,
+        /// First comparison operand.
+        rs1: Reg,
+        /// Second comparison operand.
+        rs2: Reg,
+        /// Absolute target address.
+        target: u64,
+    },
+    /// Unconditional jump to an absolute address.
+    Jump {
+        /// Absolute target address.
+        target: u64,
+    },
+    /// Indirect jump through a register (the TaintCheck-critical case).
+    JumpReg {
+        /// Register holding the target address.
+        rs: Reg,
+    },
+    /// Call to an absolute address (pushes the return address on the
+    /// core-internal return-address stack).
+    Call {
+        /// Absolute target address.
+        target: u64,
+    },
+    /// Indirect call through a register.
+    CallReg {
+        /// Register holding the target address.
+        rs: Reg,
+    },
+    /// Return to the most recent call site.
+    Ret,
+    /// `rd <- heap_alloc(size_reg)`; a runtime event visible to lifeguards.
+    Alloc {
+        /// Destination register receiving the block address (0 on failure).
+        rd: Reg,
+        /// Register holding the requested size in bytes.
+        size: Reg,
+    },
+    /// `heap_free(rs)`; a runtime event visible to lifeguards.
+    Free {
+        /// Register holding the block address.
+        rs: Reg,
+    },
+    /// Acquires the lock identified by the address in `rs` (blocking).
+    Lock {
+        /// Register holding the lock address.
+        rs: Reg,
+    },
+    /// Releases the lock identified by the address in `rs`.
+    Unlock {
+        /// Register holding the lock address.
+        rs: Reg,
+    },
+    /// Reads external input bytes into `mem[base..base+len]`; the canonical
+    /// taint source.
+    Recv {
+        /// Register holding the destination address.
+        base: Reg,
+        /// Register holding the length in bytes.
+        len: Reg,
+    },
+    /// Traps to the (modelled) operating system. Under LBA the OS stalls the
+    /// syscall until the lifeguard has drained the preceding log entries.
+    Syscall {
+        /// System call number.
+        num: u16,
+    },
+}
+
+/// Error returned by [`Instruction::decode`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeInstructionError {
+    /// The opcode byte does not name an instruction.
+    BadOpcode(u8),
+    /// A register field is out of range.
+    BadRegister(u8),
+    /// An embedded sub-field (ALU op, condition, width) is invalid.
+    BadField(&'static str, u8),
+}
+
+impl fmt::Display for DecodeInstructionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeInstructionError::BadOpcode(op) => write!(f, "unknown opcode {op:#04x}"),
+            DecodeInstructionError::BadRegister(r) => write!(f, "register index {r} out of range"),
+            DecodeInstructionError::BadField(name, v) => {
+                write!(f, "invalid {name} field value {v}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeInstructionError {}
+
+const OP_NOP: u8 = 0x00;
+const OP_HALT: u8 = 0x01;
+const OP_MOVIMM: u8 = 0x02;
+const OP_MOV: u8 = 0x03;
+const OP_ALU: u8 = 0x04;
+const OP_ALUIMM: u8 = 0x05;
+const OP_LOAD: u8 = 0x06;
+const OP_STORE: u8 = 0x07;
+const OP_BRANCH: u8 = 0x08;
+const OP_JUMP: u8 = 0x09;
+const OP_JUMPREG: u8 = 0x0a;
+const OP_CALL: u8 = 0x0b;
+const OP_CALLREG: u8 = 0x0c;
+const OP_RET: u8 = 0x0d;
+const OP_ALLOC: u8 = 0x0e;
+const OP_FREE: u8 = 0x0f;
+const OP_LOCK: u8 = 0x10;
+const OP_UNLOCK: u8 = 0x11;
+const OP_RECV: u8 = 0x12;
+const OP_SYSCALL: u8 = 0x13;
+
+fn reg_of(byte: u8) -> Result<Reg, DecodeInstructionError> {
+    Reg::try_new(byte).ok_or(DecodeInstructionError::BadRegister(byte))
+}
+
+impl Instruction {
+    /// Encodes the instruction into its fixed 8-byte binary form.
+    ///
+    /// Layout: `[opcode, a, b, c, imm: i32 little-endian]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an immediate or target does not fit in 32 bits; the
+    /// [`Assembler`](crate::Assembler) validates this at program-build time.
+    #[must_use]
+    pub fn encode(&self) -> [u8; 8] {
+        let (op, a, b, c, imm): (u8, u8, u8, u8, i64) = match *self {
+            Instruction::Nop => (OP_NOP, 0, 0, 0, 0),
+            Instruction::Halt => (OP_HALT, 0, 0, 0, 0),
+            Instruction::MovImm { rd, imm } => (OP_MOVIMM, rd.to_byte(), 0, 0, imm),
+            Instruction::Mov { rd, rs } => (OP_MOV, rd.to_byte(), rs.to_byte(), 0, 0),
+            Instruction::Alu { op, rd, rs1, rs2 } => {
+                (OP_ALU, rd.to_byte(), rs1.to_byte(), rs2.to_byte() | (op.code() << 4), 0)
+            }
+            Instruction::AluImm { op, rd, rs1, imm } => {
+                (OP_ALUIMM, rd.to_byte(), rs1.to_byte(), op.code(), imm)
+            }
+            Instruction::Load { rd, base, offset, width } => {
+                (OP_LOAD, rd.to_byte(), base.to_byte(), width.code(), offset)
+            }
+            Instruction::Store { src, base, offset, width } => {
+                (OP_STORE, src.to_byte(), base.to_byte(), width.code(), offset)
+            }
+            // Targets are stored as a sign-extended 32-bit immediate, so
+            // the cast must wrap (a target like 0xffff_ffff_8000_0000 is
+            // the sign extension of i32::MIN).
+            Instruction::Branch { cond, rs1, rs2, target } => {
+                (OP_BRANCH, rs1.to_byte(), rs2.to_byte(), cond.code(), target as i64)
+            }
+            Instruction::Jump { target } => (OP_JUMP, 0, 0, 0, target as i64),
+            Instruction::JumpReg { rs } => (OP_JUMPREG, rs.to_byte(), 0, 0, 0),
+            Instruction::Call { target } => (OP_CALL, 0, 0, 0, target as i64),
+            Instruction::CallReg { rs } => (OP_CALLREG, rs.to_byte(), 0, 0, 0),
+            Instruction::Ret => (OP_RET, 0, 0, 0, 0),
+            Instruction::Alloc { rd, size } => (OP_ALLOC, rd.to_byte(), size.to_byte(), 0, 0),
+            Instruction::Free { rs } => (OP_FREE, rs.to_byte(), 0, 0, 0),
+            Instruction::Lock { rs } => (OP_LOCK, rs.to_byte(), 0, 0, 0),
+            Instruction::Unlock { rs } => (OP_UNLOCK, rs.to_byte(), 0, 0, 0),
+            Instruction::Recv { base, len } => (OP_RECV, base.to_byte(), len.to_byte(), 0, 0),
+            Instruction::Syscall { num } => (OP_SYSCALL, 0, 0, 0, i64::from(num)),
+        };
+        let imm32 = i32::try_from(imm).expect("immediate fits in 32 bits");
+        let ib = imm32.to_le_bytes();
+        [op, a, b, c, ib[0], ib[1], ib[2], ib[3]]
+    }
+
+    /// Decodes an instruction from its 8-byte binary form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeInstructionError`] when the opcode or any embedded
+    /// field is invalid.
+    pub fn decode(bytes: [u8; 8]) -> Result<Self, DecodeInstructionError> {
+        let [op, a, b, c, i0, i1, i2, i3] = bytes;
+        let imm = i64::from(i32::from_le_bytes([i0, i1, i2, i3]));
+        Ok(match op {
+            OP_NOP => Instruction::Nop,
+            OP_HALT => Instruction::Halt,
+            OP_MOVIMM => Instruction::MovImm { rd: reg_of(a)?, imm },
+            OP_MOV => Instruction::Mov { rd: reg_of(a)?, rs: reg_of(b)? },
+            OP_ALU => Instruction::Alu {
+                op: AluOp::from_code(c >> 4)
+                    .ok_or(DecodeInstructionError::BadField("alu op", c >> 4))?,
+                rd: reg_of(a)?,
+                rs1: reg_of(b)?,
+                rs2: reg_of(c & 0x0f)?,
+            },
+            OP_ALUIMM => Instruction::AluImm {
+                op: AluOp::from_code(c).ok_or(DecodeInstructionError::BadField("alu op", c))?,
+                rd: reg_of(a)?,
+                rs1: reg_of(b)?,
+                imm,
+            },
+            OP_LOAD => Instruction::Load {
+                rd: reg_of(a)?,
+                base: reg_of(b)?,
+                offset: imm,
+                width: Width::from_code(c).ok_or(DecodeInstructionError::BadField("width", c))?,
+            },
+            OP_STORE => Instruction::Store {
+                src: reg_of(a)?,
+                base: reg_of(b)?,
+                offset: imm,
+                width: Width::from_code(c).ok_or(DecodeInstructionError::BadField("width", c))?,
+            },
+            OP_BRANCH => Instruction::Branch {
+                cond: Cond::from_code(c).ok_or(DecodeInstructionError::BadField("cond", c))?,
+                rs1: reg_of(a)?,
+                rs2: reg_of(b)?,
+                target: imm as u64,
+            },
+            OP_JUMP => Instruction::Jump { target: imm as u64 },
+            OP_JUMPREG => Instruction::JumpReg { rs: reg_of(a)? },
+            OP_CALL => Instruction::Call { target: imm as u64 },
+            OP_CALLREG => Instruction::CallReg { rs: reg_of(a)? },
+            OP_RET => Instruction::Ret,
+            OP_ALLOC => Instruction::Alloc { rd: reg_of(a)?, size: reg_of(b)? },
+            OP_FREE => Instruction::Free { rs: reg_of(a)? },
+            OP_LOCK => Instruction::Lock { rs: reg_of(a)? },
+            OP_UNLOCK => Instruction::Unlock { rs: reg_of(a)? },
+            OP_RECV => Instruction::Recv { base: reg_of(a)?, len: reg_of(b)? },
+            OP_SYSCALL => Instruction::Syscall { num: imm as u16 },
+            other => return Err(DecodeInstructionError::BadOpcode(other)),
+        })
+    }
+
+    /// Whether the instruction performs a data-memory access.
+    #[must_use]
+    pub fn is_memory(&self) -> bool {
+        matches!(self, Instruction::Load { .. } | Instruction::Store { .. })
+    }
+
+    /// Whether the instruction ends a basic block (any control transfer).
+    #[must_use]
+    pub fn is_control(&self) -> bool {
+        matches!(
+            self,
+            Instruction::Branch { .. }
+                | Instruction::Jump { .. }
+                | Instruction::JumpReg { .. }
+                | Instruction::Call { .. }
+                | Instruction::CallReg { .. }
+                | Instruction::Ret
+                | Instruction::Halt
+        )
+    }
+
+    /// The source registers read by this instruction, in operand order.
+    #[must_use]
+    pub fn inputs(&self) -> [Option<Reg>; 2] {
+        match *self {
+            Instruction::Mov { rs, .. } => [Some(rs), None],
+            Instruction::Alu { rs1, rs2, .. } => [Some(rs1), Some(rs2)],
+            Instruction::AluImm { rs1, .. } => [Some(rs1), None],
+            Instruction::Load { base, .. } => [Some(base), None],
+            Instruction::Store { src, base, .. } => [Some(src), Some(base)],
+            Instruction::Branch { rs1, rs2, .. } => [Some(rs1), Some(rs2)],
+            Instruction::JumpReg { rs }
+            | Instruction::CallReg { rs }
+            | Instruction::Free { rs }
+            | Instruction::Lock { rs }
+            | Instruction::Unlock { rs } => [Some(rs), None],
+            Instruction::Alloc { size, .. } => [Some(size), None],
+            Instruction::Recv { base, len } => [Some(base), Some(len)],
+            _ => [None, None],
+        }
+    }
+
+    /// The destination register written by this instruction, if any.
+    #[must_use]
+    pub fn output(&self) -> Option<Reg> {
+        match *self {
+            Instruction::MovImm { rd, .. }
+            | Instruction::Mov { rd, .. }
+            | Instruction::Alu { rd, .. }
+            | Instruction::AluImm { rd, .. }
+            | Instruction::Load { rd, .. }
+            | Instruction::Alloc { rd, .. } => Some(rd),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Instruction::Nop => write!(f, "nop"),
+            Instruction::Halt => write!(f, "halt"),
+            Instruction::MovImm { rd, imm } => write!(f, "movi {rd}, {imm}"),
+            Instruction::Mov { rd, rs } => write!(f, "mov {rd}, {rs}"),
+            Instruction::Alu { op, rd, rs1, rs2 } => write!(f, "{op} {rd}, {rs1}, {rs2}"),
+            Instruction::AluImm { op, rd, rs1, imm } => write!(f, "{op}i {rd}, {rs1}, {imm}"),
+            Instruction::Load { rd, base, offset, width } => {
+                write!(f, "load.{width} {rd}, [{base}{offset:+}]")
+            }
+            Instruction::Store { src, base, offset, width } => {
+                write!(f, "store.{width} {src}, [{base}{offset:+}]")
+            }
+            Instruction::Branch { cond, rs1, rs2, target } => {
+                write!(f, "b{} {rs1}, {rs2}, {target:#x}", cond.mnemonic())
+            }
+            Instruction::Jump { target } => write!(f, "jmp {target:#x}"),
+            Instruction::JumpReg { rs } => write!(f, "jmpr {rs}"),
+            Instruction::Call { target } => write!(f, "call {target:#x}"),
+            Instruction::CallReg { rs } => write!(f, "callr {rs}"),
+            Instruction::Ret => write!(f, "ret"),
+            Instruction::Alloc { rd, size } => write!(f, "alloc {rd}, {size}"),
+            Instruction::Free { rs } => write!(f, "free {rs}"),
+            Instruction::Lock { rs } => write!(f, "lock {rs}"),
+            Instruction::Unlock { rs } => write!(f, "unlock {rs}"),
+            Instruction::Recv { base, len } => write!(f, "recv {base}, {len}"),
+            Instruction::Syscall { num } => write!(f, "syscall {num}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::r;
+
+    fn sample_instructions() -> Vec<Instruction> {
+        vec![
+            Instruction::Nop,
+            Instruction::Halt,
+            Instruction::MovImm { rd: r(1), imm: -42 },
+            Instruction::Mov { rd: r(2), rs: r(3) },
+            Instruction::Alu { op: AluOp::Xor, rd: r(4), rs1: r(5), rs2: r(6) },
+            Instruction::AluImm { op: AluOp::Shl, rd: r(7), rs1: r(8), imm: 13 },
+            Instruction::Load { rd: r(1), base: r(2), offset: -8, width: Width::B4 },
+            Instruction::Store { src: r(3), base: r(4), offset: 16, width: Width::B8 },
+            Instruction::Branch { cond: Cond::Lt, rs1: r(1), rs2: r(0), target: 0x1040 },
+            Instruction::Jump { target: 0x1000 },
+            Instruction::JumpReg { rs: r(9) },
+            Instruction::Call { target: 0x2000 },
+            Instruction::CallReg { rs: r(10) },
+            Instruction::Ret,
+            Instruction::Alloc { rd: r(1), size: r(2) },
+            Instruction::Free { rs: r(1) },
+            Instruction::Lock { rs: r(11) },
+            Instruction::Unlock { rs: r(11) },
+            Instruction::Recv { base: r(1), len: r(2) },
+            Instruction::Syscall { num: 7 },
+        ]
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        for inst in sample_instructions() {
+            let decoded = Instruction::decode(inst.encode()).expect("decodes");
+            assert_eq!(decoded, inst, "round trip failed for {inst}");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_bad_opcode() {
+        let err = Instruction::decode([0xff, 0, 0, 0, 0, 0, 0, 0]).unwrap_err();
+        assert_eq!(err, DecodeInstructionError::BadOpcode(0xff));
+    }
+
+    #[test]
+    fn decode_rejects_bad_register() {
+        // movi with register 16.
+        let err = Instruction::decode([0x02, 16, 0, 0, 0, 0, 0, 0]).unwrap_err();
+        assert_eq!(err, DecodeInstructionError::BadRegister(16));
+    }
+
+    #[test]
+    fn decode_rejects_bad_width() {
+        let err = Instruction::decode([0x06, 1, 2, 9, 0, 0, 0, 0]).unwrap_err();
+        assert_eq!(err, DecodeInstructionError::BadField("width", 9));
+    }
+
+    #[test]
+    fn alu_ops_round_trip_through_codes() {
+        for op in AluOp::ALL {
+            assert_eq!(AluOp::from_code(op.code()), Some(op));
+        }
+        assert_eq!(AluOp::from_code(10), None);
+    }
+
+    #[test]
+    fn cond_eval_matches_semantics() {
+        assert!(Cond::Eq.eval(3, 3));
+        assert!(!Cond::Eq.eval(3, 4));
+        assert!(Cond::Ne.eval(3, 4));
+        assert!(Cond::Lt.eval(u64::MAX, 0), "-1 < 0 signed");
+        assert!(Cond::Ge.eval(0, u64::MAX), "0 >= -1 signed");
+    }
+
+    #[test]
+    fn width_bytes_round_trip() {
+        for w in Width::ALL {
+            assert_eq!(Width::from_bytes(w.bytes()), Some(w));
+        }
+        assert_eq!(Width::from_bytes(3), None);
+    }
+
+    #[test]
+    fn inputs_and_outputs_reported() {
+        let inst = Instruction::Store { src: r(3), base: r(4), offset: 0, width: Width::B1 };
+        assert_eq!(inst.inputs(), [Some(r(3)), Some(r(4))]);
+        assert_eq!(inst.output(), None);
+
+        let inst = Instruction::Load { rd: r(5), base: r(6), offset: 0, width: Width::B1 };
+        assert_eq!(inst.inputs(), [Some(r(6)), None]);
+        assert_eq!(inst.output(), Some(r(5)));
+    }
+
+    #[test]
+    fn control_and_memory_classification() {
+        assert!(Instruction::Ret.is_control());
+        assert!(!Instruction::Nop.is_control());
+        assert!(Instruction::Load { rd: r(1), base: r(2), offset: 0, width: Width::B1 }
+            .is_memory());
+        assert!(!Instruction::Halt.is_memory());
+    }
+
+    #[test]
+    fn display_formats_reasonably() {
+        let inst = Instruction::Load { rd: r(1), base: r(2), offset: -8, width: Width::B4 };
+        assert_eq!(inst.to_string(), "load.4 r1, [r2-8]");
+        let inst = Instruction::Alu { op: AluOp::Add, rd: r(1), rs1: r(2), rs2: r(3) };
+        assert_eq!(inst.to_string(), "add r1, r2, r3");
+    }
+}

@@ -1,0 +1,519 @@
+//! A line-oriented textual assembler for MiniISA.
+//!
+//! Grammar (one item per line; `;` and `#` start comments):
+//!
+//! ```text
+//! .name NAME                  ; program name
+//! .entry LABEL                ; declare a thread entry point
+//! .data ADDR B0 B1 ...        ; initialised bytes at ADDR (hex or decimal)
+//! .input "text"               ; append literal bytes to the input stream
+//! .input B0 B1 ...            ; append raw bytes to the input stream
+//! LABEL:                      ; bind a label
+//! mnemonic operands           ; one instruction
+//! ```
+//!
+//! Supported mnemonics: `nop halt movi mov add sub mul div and or xor shl
+//! shr slt addi subi muli divi andi ori xori shli shri slti load.W store.W
+//! beq bne blt bge jmp jmpr call callr ret lea alloc free lock unlock recv
+//! syscall` with `W ∈ {1,2,4,8}`.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::builder::{AsmError, Assembler, Label};
+use crate::inst::{AluOp, Cond, Width};
+use crate::reg::Reg;
+
+/// Error produced by [`parse_program`], carrying the 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseProgramError {
+    line: usize,
+    message: String,
+}
+
+impl ParseProgramError {
+    fn new(line: usize, message: impl Into<String>) -> Self {
+        ParseProgramError { line, message: message.into() }
+    }
+
+    /// The 1-based source line the error refers to (0 for whole-program
+    /// errors such as unbound labels).
+    #[must_use]
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+impl fmt::Display for ParseProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "assembly error: {}", self.message)
+        } else {
+            write!(f, "line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for ParseProgramError {}
+
+impl From<AsmError> for ParseProgramError {
+    fn from(e: AsmError) -> Self {
+        ParseProgramError::new(0, e.to_string())
+    }
+}
+
+struct Parser {
+    asm: Assembler,
+    labels: HashMap<String, Label>,
+}
+
+impl Parser {
+    fn label(&mut self, name: &str) -> Label {
+        if let Some(&l) = self.labels.get(name) {
+            return l;
+        }
+        let l = self.asm.label(name);
+        self.labels.insert(name.to_string(), l);
+        l
+    }
+}
+
+fn parse_reg(tok: &str, line: usize) -> Result<Reg, ParseProgramError> {
+    let rest = tok
+        .strip_prefix('r')
+        .ok_or_else(|| ParseProgramError::new(line, format!("expected register, got `{tok}`")))?;
+    let idx: u8 = rest
+        .parse()
+        .map_err(|_| ParseProgramError::new(line, format!("bad register `{tok}`")))?;
+    Reg::try_new(idx)
+        .ok_or_else(|| ParseProgramError::new(line, format!("register `{tok}` out of range")))
+}
+
+fn parse_int(tok: &str, line: usize) -> Result<i64, ParseProgramError> {
+    let (neg, body) = match tok.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, tok),
+    };
+    let value = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16)
+    } else {
+        body.parse()
+    }
+    .map_err(|_| ParseProgramError::new(line, format!("bad integer `{tok}`")))?;
+    Ok(if neg { -value } else { value })
+}
+
+/// Splits `[rX+off]` / `[rX-off]` / `[rX]` into base register and offset.
+fn parse_mem_operand(tok: &str, line: usize) -> Result<(Reg, i64), ParseProgramError> {
+    let inner = tok
+        .strip_prefix('[')
+        .and_then(|s| s.strip_suffix(']'))
+        .ok_or_else(|| ParseProgramError::new(line, format!("expected [reg+off], got `{tok}`")))?;
+    if let Some(pos) = inner.rfind(['+', '-']) {
+        if pos > 0 {
+            let base = parse_reg(&inner[..pos], line)?;
+            let sign = if inner.as_bytes()[pos] == b'-' { -1 } else { 1 };
+            let off = parse_int(&inner[pos + 1..], line)?;
+            return Ok((base, sign * off));
+        }
+    }
+    Ok((parse_reg(inner, line)?, 0))
+}
+
+fn alu_op(mnemonic: &str) -> Option<AluOp> {
+    Some(match mnemonic {
+        "add" => AluOp::Add,
+        "sub" => AluOp::Sub,
+        "mul" => AluOp::Mul,
+        "div" => AluOp::Div,
+        "and" => AluOp::And,
+        "or" => AluOp::Or,
+        "xor" => AluOp::Xor,
+        "shl" => AluOp::Shl,
+        "shr" => AluOp::Shr,
+        "slt" => AluOp::Slt,
+        _ => return None,
+    })
+}
+
+fn branch_cond(mnemonic: &str) -> Option<Cond> {
+    Some(match mnemonic {
+        "beq" => Cond::Eq,
+        "bne" => Cond::Ne,
+        "blt" => Cond::Lt,
+        "bge" => Cond::Ge,
+        _ => return None,
+    })
+}
+
+/// Parses a textual MiniISA program.
+///
+/// # Errors
+///
+/// Returns [`ParseProgramError`] with the offending line number on syntax
+/// errors, and line 0 for whole-program failures (unbound labels, program
+/// validation).
+///
+/// # Examples
+///
+/// ```
+/// let program = lba_isa::parse_program(
+///     "
+///     .name loop3
+///     movi r1, 3
+///     top:
+///         subi r1, r1, 1
+///         bne r1, r0, top
+///     halt
+///     ",
+/// )?;
+/// assert_eq!(program.len(), 4);
+/// # Ok::<(), lba_isa::ParseProgramError>(())
+/// ```
+pub fn parse_program(source: &str) -> Result<crate::Program, ParseProgramError> {
+    let mut p = Parser { asm: Assembler::new("anonymous"), labels: HashMap::new() };
+    let mut name: Option<String> = None;
+
+    for (lineno, raw) in source.lines().enumerate() {
+        let line = lineno + 1;
+        let text = raw.split([';', '#']).next().unwrap_or("").trim();
+        if text.is_empty() {
+            continue;
+        }
+
+        if let Some(rest) = text.strip_prefix(".name") {
+            name = Some(rest.trim().to_string());
+            continue;
+        }
+        if let Some(rest) = text.strip_prefix(".entry") {
+            let l = p.label(rest.trim());
+            p.asm.entry(l);
+            continue;
+        }
+        if let Some(rest) = text.strip_prefix(".data") {
+            let mut toks = rest.split_whitespace();
+            let addr = toks
+                .next()
+                .ok_or_else(|| ParseProgramError::new(line, ".data needs an address"))?;
+            let addr = parse_int(addr, line)? as u64;
+            let bytes: Result<Vec<u8>, _> = toks
+                .map(|t| {
+                    parse_int(t, line).and_then(|v| {
+                        u8::try_from(v).map_err(|_| {
+                            ParseProgramError::new(line, format!("byte `{t}` out of range"))
+                        })
+                    })
+                })
+                .collect();
+            p.asm.data(addr, bytes?);
+            continue;
+        }
+        if let Some(rest) = text.strip_prefix(".input") {
+            let rest = rest.trim();
+            if let Some(quoted) = rest.strip_prefix('"').and_then(|s| s.strip_suffix('"')) {
+                p.asm.input(quoted.as_bytes());
+            } else {
+                let bytes: Result<Vec<u8>, _> = rest
+                    .split_whitespace()
+                    .map(|t| {
+                        parse_int(t, line).and_then(|v| {
+                            u8::try_from(v).map_err(|_| {
+                                ParseProgramError::new(line, format!("byte `{t}` out of range"))
+                            })
+                        })
+                    })
+                    .collect();
+                p.asm.input(bytes?);
+            }
+            continue;
+        }
+        if text.starts_with('.') {
+            return Err(ParseProgramError::new(line, format!("unknown directive `{text}`")));
+        }
+
+        if let Some(label_name) = text.strip_suffix(':') {
+            let l = p.label(label_name.trim());
+            p.asm.bind(l);
+            continue;
+        }
+
+        parse_instruction(&mut p, text, line)?;
+    }
+
+    if let Some(name) = name {
+        p.asm.set_name(name);
+    }
+    Ok(p.asm.finish()?)
+}
+
+fn parse_instruction(p: &mut Parser, text: &str, line: usize) -> Result<(), ParseProgramError> {
+    let mut parts = text.splitn(2, char::is_whitespace);
+    let mnemonic = parts.next().expect("non-empty line has a first token");
+    let rest = parts.next().unwrap_or("");
+    let ops: Vec<&str> = rest.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
+
+    let need = |n: usize| -> Result<(), ParseProgramError> {
+        if ops.len() == n {
+            Ok(())
+        } else {
+            Err(ParseProgramError::new(
+                line,
+                format!("`{mnemonic}` expects {n} operand(s), got {}", ops.len()),
+            ))
+        }
+    };
+
+    match mnemonic {
+        "nop" => {
+            need(0)?;
+            p.asm.nop();
+        }
+        "halt" => {
+            need(0)?;
+            p.asm.halt();
+        }
+        "movi" => {
+            need(2)?;
+            let rd = parse_reg(ops[0], line)?;
+            let imm = parse_int(ops[1], line)?;
+            p.asm.movi(rd, imm);
+        }
+        "mov" => {
+            need(2)?;
+            p.asm.mov(parse_reg(ops[0], line)?, parse_reg(ops[1], line)?);
+        }
+        "ret" => {
+            need(0)?;
+            p.asm.ret();
+        }
+        "jmpr" => {
+            need(1)?;
+            p.asm.jump_reg(parse_reg(ops[0], line)?);
+        }
+        "callr" => {
+            need(1)?;
+            p.asm.call_reg(parse_reg(ops[0], line)?);
+        }
+        "jmp" => {
+            need(1)?;
+            let l = p.label(ops[0]);
+            p.asm.jump(l);
+        }
+        "call" => {
+            need(1)?;
+            let l = p.label(ops[0]);
+            p.asm.call(l);
+        }
+        "lea" => {
+            need(2)?;
+            let rd = parse_reg(ops[0], line)?;
+            let l = p.label(ops[1]);
+            p.asm.lea(rd, l);
+        }
+        "alloc" => {
+            need(2)?;
+            p.asm.alloc(parse_reg(ops[0], line)?, parse_reg(ops[1], line)?);
+        }
+        "free" => {
+            need(1)?;
+            p.asm.free(parse_reg(ops[0], line)?);
+        }
+        "lock" => {
+            need(1)?;
+            p.asm.lock(parse_reg(ops[0], line)?);
+        }
+        "unlock" => {
+            need(1)?;
+            p.asm.unlock(parse_reg(ops[0], line)?);
+        }
+        "recv" => {
+            need(2)?;
+            p.asm.recv(parse_reg(ops[0], line)?, parse_reg(ops[1], line)?);
+        }
+        "syscall" => {
+            need(1)?;
+            let num = parse_int(ops[0], line)?;
+            let num = u16::try_from(num)
+                .map_err(|_| ParseProgramError::new(line, "syscall number out of range"))?;
+            p.asm.syscall(num);
+        }
+        m if branch_cond(m).is_some() => {
+            need(3)?;
+            let cond = branch_cond(m).expect("checked above");
+            let rs1 = parse_reg(ops[0], line)?;
+            let rs2 = parse_reg(ops[1], line)?;
+            let l = p.label(ops[2]);
+            p.asm.branch(cond, rs1, rs2, l);
+        }
+        m if m.starts_with("load.") || m.starts_with("store.") => {
+            need(2)?;
+            let (_, w) = m.split_once('.').expect("contains dot");
+            let width = w
+                .parse::<u32>()
+                .ok()
+                .and_then(Width::from_bytes)
+                .ok_or_else(|| ParseProgramError::new(line, format!("bad width in `{m}`")))?;
+            let reg = parse_reg(ops[0], line)?;
+            let (base, off) = parse_mem_operand(ops[1], line)?;
+            if m.starts_with("load.") {
+                p.asm.load(reg, base, off, width);
+            } else {
+                p.asm.store(reg, base, off, width);
+            }
+        }
+        m => {
+            // Register-immediate ALU forms end in `i` (addi, shli, ...).
+            if let Some(op) = m.strip_suffix('i').and_then(alu_op) {
+                need(3)?;
+                let rd = parse_reg(ops[0], line)?;
+                let rs1 = parse_reg(ops[1], line)?;
+                let imm = parse_int(ops[2], line)?;
+                p.asm.alui(op, rd, rs1, imm);
+            } else if let Some(op) = alu_op(m) {
+                need(3)?;
+                let rd = parse_reg(ops[0], line)?;
+                let rs1 = parse_reg(ops[1], line)?;
+                let rs2 = parse_reg(ops[2], line)?;
+                p.asm.alu(op, rd, rs1, rs2);
+            } else {
+                return Err(ParseProgramError::new(line, format!("unknown mnemonic `{m}`")));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::Instruction;
+    use crate::program::CODE_BASE;
+    use crate::reg::r;
+
+    #[test]
+    fn parses_basic_loop() {
+        let p = parse_program(
+            "
+            .name loop
+            movi r1, 4
+            top:
+              subi r1, r1, 1
+              bne r1, r0, top
+            halt
+            ",
+        )
+        .unwrap();
+        assert_eq!(p.name(), "loop");
+        assert_eq!(p.len(), 4);
+        assert!(matches!(p.code()[2], Instruction::Branch { target, .. } if target == CODE_BASE + 8));
+    }
+
+    #[test]
+    fn parses_memory_operands() {
+        let p = parse_program("load.4 r1, [r2+8]\nstore.8 r3, [r4-16]\nload.1 r5, [r6]\nhalt")
+            .unwrap();
+        assert_eq!(
+            p.code()[0],
+            Instruction::Load { rd: r(1), base: r(2), offset: 8, width: Width::B4 }
+        );
+        assert_eq!(
+            p.code()[1],
+            Instruction::Store { src: r(3), base: r(4), offset: -16, width: Width::B8 }
+        );
+        assert_eq!(
+            p.code()[2],
+            Instruction::Load { rd: r(5), base: r(6), offset: 0, width: Width::B1 }
+        );
+    }
+
+    #[test]
+    fn parses_directives() {
+        let p = parse_program(
+            "
+            .name d
+            .data 0x100000 1 2 0xff
+            .input \"hi\"
+            .input 3 4
+            halt
+            ",
+        )
+        .unwrap();
+        assert_eq!(p.data()[0].addr, 0x10_0000);
+        assert_eq!(p.data()[0].bytes, vec![1, 2, 0xff]);
+        assert_eq!(p.input(), b"hi\x03\x04");
+    }
+
+    #[test]
+    fn comments_are_ignored() {
+        let p = parse_program("; leading comment\nmovi r1, 1 # trailing\nhalt").unwrap();
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn error_reports_line_number() {
+        let err = parse_program("nop\nbogus r1\nhalt").unwrap_err();
+        assert_eq!(err.line(), 2);
+        assert!(err.to_string().contains("bogus"));
+    }
+
+    #[test]
+    fn unknown_directive_rejected() {
+        let err = parse_program(".wat 3\nhalt").unwrap_err();
+        assert_eq!(err.line(), 1);
+    }
+
+    #[test]
+    fn wrong_operand_count_rejected() {
+        let err = parse_program("movi r1\nhalt").unwrap_err();
+        assert!(err.to_string().contains("expects 2"));
+    }
+
+    #[test]
+    fn unbound_label_reported_at_finish() {
+        let err = parse_program("jmp nowhere\nhalt").unwrap_err();
+        assert_eq!(err.line(), 0);
+        assert!(err.to_string().contains("nowhere"));
+    }
+
+    #[test]
+    fn entry_directive_sets_entries() {
+        let p = parse_program(
+            "
+            .entry t0
+            .entry t1
+            t0: halt
+            t1: halt
+            ",
+        );
+        // `t0: halt` on one line is not supported (label must stand alone).
+        assert!(p.is_err());
+
+        let p = parse_program(
+            "
+            .entry t0
+            .entry t1
+            t0:
+              halt
+            t1:
+              halt
+            ",
+        )
+        .unwrap();
+        assert_eq!(p.entries().len(), 2);
+    }
+
+    #[test]
+    fn indirect_jump_and_lea() {
+        let p = parse_program(
+            "
+            lea r1, target
+            jmpr r1
+            target:
+              halt
+            ",
+        )
+        .unwrap();
+        assert_eq!(p.code()[0], Instruction::MovImm { rd: r(1), imm: (CODE_BASE + 16) as i64 });
+        assert_eq!(p.code()[1], Instruction::JumpReg { rs: r(1) });
+    }
+}

@@ -1,0 +1,316 @@
+//! Validated program images.
+
+use std::fmt;
+
+use crate::inst::Instruction;
+
+/// Base address of the code segment.
+pub const CODE_BASE: u64 = 0x1000;
+
+/// Size of one encoded instruction in bytes (fixed-width encoding).
+pub const INST_BYTES: u64 = 8;
+
+/// An initialised data segment copied into memory before execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataSegment {
+    /// Destination address of the first byte.
+    pub addr: u64,
+    /// The bytes to copy.
+    pub bytes: Vec<u8>,
+}
+
+/// Error produced when validating a [`Program`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProgramError {
+    /// The program contains no instructions.
+    Empty,
+    /// The program declares no entry point.
+    NoEntry,
+    /// An entry point does not name a valid instruction address.
+    BadEntry(u64),
+    /// A static branch/jump/call target is not a valid instruction address.
+    BadTarget {
+        /// Address of the faulting instruction.
+        pc: u64,
+        /// The invalid target address.
+        target: u64,
+    },
+    /// A data segment overlaps the code image.
+    DataOverlapsCode(u64),
+}
+
+impl fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProgramError::Empty => write!(f, "program has no instructions"),
+            ProgramError::NoEntry => write!(f, "program declares no entry point"),
+            ProgramError::BadEntry(pc) => write!(f, "entry point {pc:#x} is not in the code image"),
+            ProgramError::BadTarget { pc, target } => {
+                write!(f, "instruction at {pc:#x} targets invalid address {target:#x}")
+            }
+            ProgramError::DataOverlapsCode(addr) => {
+                write!(f, "data segment at {addr:#x} overlaps the code image")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProgramError {}
+
+/// A validated, immutable MiniISA program: code, entry points, initialised
+/// data and the external input stream consumed by `recv`.
+///
+/// Construct programs with the [`Assembler`](crate::Assembler) builder or the
+/// [`parse_program`](crate::parse_program) text assembler.
+///
+/// # Examples
+///
+/// ```
+/// use lba_isa::{parse_program, CODE_BASE};
+///
+/// let program = parse_program(
+///     "
+///     .name tiny
+///     .entry main
+///     main:
+///         movi r1, 7
+///         halt
+///     ",
+/// )?;
+/// assert_eq!(program.name(), "tiny");
+/// assert_eq!(program.entries(), &[CODE_BASE]);
+/// # Ok::<(), lba_isa::ParseProgramError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    name: String,
+    code: Vec<Instruction>,
+    entries: Vec<u64>,
+    data: Vec<DataSegment>,
+    input: Vec<u8>,
+}
+
+impl Program {
+    /// Creates and validates a program.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ProgramError`] when the code image is empty, an entry or
+    /// static control-flow target is out of range, or data overlaps code.
+    pub fn new(
+        name: impl Into<String>,
+        code: Vec<Instruction>,
+        entries: Vec<u64>,
+        data: Vec<DataSegment>,
+        input: Vec<u8>,
+    ) -> Result<Self, ProgramError> {
+        if code.is_empty() {
+            return Err(ProgramError::Empty);
+        }
+        if entries.is_empty() {
+            return Err(ProgramError::NoEntry);
+        }
+        let program = Program { name: name.into(), code, entries, data, input };
+        for &entry in &program.entries {
+            if program.index_of(entry).is_none() {
+                return Err(ProgramError::BadEntry(entry));
+            }
+        }
+        for (idx, inst) in program.code.iter().enumerate() {
+            let target = match *inst {
+                Instruction::Branch { target, .. }
+                | Instruction::Jump { target }
+                | Instruction::Call { target } => Some(target),
+                _ => None,
+            };
+            if let Some(target) = target {
+                if program.index_of(target).is_none() {
+                    return Err(ProgramError::BadTarget { pc: program.pc_of(idx), target });
+                }
+            }
+        }
+        let code_end = CODE_BASE + program.code.len() as u64 * INST_BYTES;
+        for seg in &program.data {
+            let seg_end = seg.addr + seg.bytes.len() as u64;
+            if seg.addr < code_end && seg_end > CODE_BASE {
+                return Err(ProgramError::DataOverlapsCode(seg.addr));
+            }
+        }
+        Ok(program)
+    }
+
+    /// The program's human-readable name (e.g. `"gzip"`).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of static instructions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// Whether the code image is empty (never true for a validated program).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.code.is_empty()
+    }
+
+    /// The instruction address for a code index.
+    #[must_use]
+    pub fn pc_of(&self, index: usize) -> u64 {
+        CODE_BASE + index as u64 * INST_BYTES
+    }
+
+    /// The code index for an instruction address, or `None` when `pc` is not
+    /// aligned or outside the image.
+    #[must_use]
+    pub fn index_of(&self, pc: u64) -> Option<usize> {
+        if pc < CODE_BASE || (pc - CODE_BASE) % INST_BYTES != 0 {
+            return None;
+        }
+        let idx = ((pc - CODE_BASE) / INST_BYTES) as usize;
+        (idx < self.code.len()).then_some(idx)
+    }
+
+    /// Fetches the instruction at `pc`, or `None` when out of range.
+    #[must_use]
+    pub fn fetch(&self, pc: u64) -> Option<&Instruction> {
+        self.index_of(pc).map(|i| &self.code[i])
+    }
+
+    /// The instructions in code order.
+    #[must_use]
+    pub fn code(&self) -> &[Instruction] {
+        &self.code
+    }
+
+    /// Entry-point addresses; the machine starts one thread per entry.
+    #[must_use]
+    pub fn entries(&self) -> &[u64] {
+        &self.entries
+    }
+
+    /// Initialised data segments.
+    #[must_use]
+    pub fn data(&self) -> &[DataSegment] {
+        &self.data
+    }
+
+    /// The external input stream consumed by `recv` instructions.
+    #[must_use]
+    pub fn input(&self) -> &[u8] {
+        &self.input
+    }
+
+    /// Encodes the whole code image to bytes (8 bytes per instruction).
+    #[must_use]
+    pub fn encode_code(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.code.len() * INST_BYTES as usize);
+        for inst in &self.code {
+            out.extend_from_slice(&inst.encode());
+        }
+        out
+    }
+
+    /// Renders a disassembly listing of the code image.
+    #[must_use]
+    pub fn disassemble(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (idx, inst) in self.code.iter().enumerate() {
+            let _ = writeln!(out, "{:#08x}: {}", self.pc_of(idx), inst);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::Cond;
+    use crate::reg::r;
+
+    fn halt_program(entries: Vec<u64>) -> Result<Program, ProgramError> {
+        Program::new("t", vec![Instruction::Halt], entries, vec![], vec![])
+    }
+
+    #[test]
+    fn empty_code_rejected() {
+        let err = Program::new("t", vec![], vec![CODE_BASE], vec![], vec![]).unwrap_err();
+        assert_eq!(err, ProgramError::Empty);
+    }
+
+    #[test]
+    fn missing_entry_rejected() {
+        let err = halt_program(vec![]).unwrap_err();
+        assert_eq!(err, ProgramError::NoEntry);
+    }
+
+    #[test]
+    fn bad_entry_rejected() {
+        let err = halt_program(vec![CODE_BASE + 8]).unwrap_err();
+        assert_eq!(err, ProgramError::BadEntry(CODE_BASE + 8));
+    }
+
+    #[test]
+    fn misaligned_entry_rejected() {
+        let err = halt_program(vec![CODE_BASE + 3]).unwrap_err();
+        assert_eq!(err, ProgramError::BadEntry(CODE_BASE + 3));
+    }
+
+    #[test]
+    fn bad_branch_target_rejected() {
+        let code = vec![
+            Instruction::Branch { cond: Cond::Eq, rs1: r(0), rs2: r(0), target: 0x9999 },
+            Instruction::Halt,
+        ];
+        let err = Program::new("t", code, vec![CODE_BASE], vec![], vec![]).unwrap_err();
+        assert!(matches!(err, ProgramError::BadTarget { target: 0x9999, .. }));
+    }
+
+    #[test]
+    fn data_overlapping_code_rejected() {
+        let code = vec![Instruction::Halt];
+        let data = vec![DataSegment { addr: CODE_BASE, bytes: vec![1, 2, 3] }];
+        let err = Program::new("t", code, vec![CODE_BASE], data, vec![]).unwrap_err();
+        assert_eq!(err, ProgramError::DataOverlapsCode(CODE_BASE));
+    }
+
+    #[test]
+    fn pc_index_round_trip() {
+        let code = vec![Instruction::Nop, Instruction::Nop, Instruction::Halt];
+        let p = Program::new("t", code, vec![CODE_BASE], vec![], vec![]).unwrap();
+        for idx in 0..p.len() {
+            assert_eq!(p.index_of(p.pc_of(idx)), Some(idx));
+        }
+        assert_eq!(p.index_of(CODE_BASE + 3 * INST_BYTES), None);
+        assert_eq!(p.index_of(CODE_BASE - 8), None);
+    }
+
+    #[test]
+    fn fetch_returns_instruction() {
+        let code = vec![Instruction::Nop, Instruction::Halt];
+        let p = Program::new("t", code, vec![CODE_BASE], vec![], vec![]).unwrap();
+        assert_eq!(p.fetch(CODE_BASE), Some(&Instruction::Nop));
+        assert_eq!(p.fetch(CODE_BASE + 8), Some(&Instruction::Halt));
+        assert_eq!(p.fetch(CODE_BASE + 16), None);
+    }
+
+    #[test]
+    fn encode_code_emits_eight_bytes_per_instruction() {
+        let code = vec![Instruction::Nop, Instruction::Halt];
+        let p = Program::new("t", code, vec![CODE_BASE], vec![], vec![]).unwrap();
+        assert_eq!(p.encode_code().len(), 16);
+    }
+
+    #[test]
+    fn disassembly_contains_addresses() {
+        let code = vec![Instruction::Nop, Instruction::Halt];
+        let p = Program::new("t", code, vec![CODE_BASE], vec![], vec![]).unwrap();
+        let listing = p.disassemble();
+        assert!(listing.contains("0x001000: nop"));
+        assert!(listing.contains("halt"));
+    }
+}

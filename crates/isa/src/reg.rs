@@ -1,0 +1,125 @@
+//! General-purpose register names.
+
+use std::fmt;
+
+/// One of the sixteen general-purpose registers `r0`–`r15`.
+///
+/// Two registers have a fixed role enforced by the CPU model:
+///
+/// * [`Reg::ZERO`] (`r0`) always reads as zero and ignores writes, like the
+///   RISC-V `x0` register.
+/// * [`Reg::SP`] (`r15`) is initialised to the top of the per-thread stack.
+///
+/// # Examples
+///
+/// ```
+/// use lba_isa::Reg;
+///
+/// let reg = Reg::new(3);
+/// assert_eq!(reg.index(), 3);
+/// assert_eq!(reg.to_string(), "r3");
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Default)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Number of architectural registers.
+    pub const COUNT: usize = 16;
+
+    /// The hard-wired zero register (`r0`).
+    pub const ZERO: Reg = Reg(0);
+
+    /// The stack-pointer register (`r15`).
+    pub const SP: Reg = Reg(15);
+
+    /// Creates a register from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 16`.
+    #[must_use]
+    pub fn new(index: u8) -> Self {
+        assert!(
+            (index as usize) < Self::COUNT,
+            "register index {index} out of range (0..16)"
+        );
+        Reg(index)
+    }
+
+    /// Creates a register from its index, returning `None` when out of range.
+    #[must_use]
+    pub fn try_new(index: u8) -> Option<Self> {
+        ((index as usize) < Self::COUNT).then_some(Reg(index))
+    }
+
+    /// The register's index in `0..16`.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The register's index as the raw byte used in instruction encodings.
+    #[must_use]
+    pub fn to_byte(self) -> u8 {
+        self.0
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Shorthand constructor used heavily by workload generators.
+///
+/// # Panics
+///
+/// Panics if `index >= 16`.
+///
+/// # Examples
+///
+/// ```
+/// use lba_isa::{r, Reg};
+/// assert_eq!(r(5), Reg::new(5));
+/// ```
+#[must_use]
+pub fn r(index: u8) -> Reg {
+    Reg::new(index)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_and_index_round_trip() {
+        for i in 0..16 {
+            assert_eq!(Reg::new(i).index(), i as usize);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn new_rejects_out_of_range() {
+        let _ = Reg::new(16);
+    }
+
+    #[test]
+    fn try_new_rejects_out_of_range() {
+        assert_eq!(Reg::try_new(16), None);
+        assert_eq!(Reg::try_new(15), Some(Reg::SP));
+    }
+
+    #[test]
+    fn display_is_r_prefixed() {
+        assert_eq!(Reg::new(0).to_string(), "r0");
+        assert_eq!(Reg::new(15).to_string(), "r15");
+    }
+
+    #[test]
+    fn constants_have_expected_indices() {
+        assert_eq!(Reg::ZERO.index(), 0);
+        assert_eq!(Reg::SP.index(), 15);
+    }
+}

@@ -1,0 +1,180 @@
+//! The `Lifeguard` trait and the nlba dispatch engine.
+
+use lba_cache::MemSystem;
+use lba_record::{EventMask, EventRecord};
+
+use crate::cost::HandlerCtx;
+use crate::finding::Finding;
+
+/// A monitoring program organised as event handlers (the paper's §2).
+///
+/// Implementations keep their analysis state (shadow memory, lockset
+/// tables, …) internally and charge the cost of their work through the
+/// [`HandlerCtx`] they are handed; detected problems are reported the same
+/// way. The framework — not the lifeguard — decides which core pays
+/// (lifeguard core under LBA, application core under DBI).
+pub trait Lifeguard {
+    /// Short stable name used in findings and reports (e.g. `"taintcheck"`).
+    fn name(&self) -> &'static str;
+
+    /// The event kinds this lifeguard's handlers cover. The dispatch
+    /// hardware routes everything else to a no-op handler.
+    fn subscriptions(&self) -> EventMask;
+
+    /// Handles one subscribed event.
+    fn on_event(&mut self, record: &EventRecord, ctx: &mut HandlerCtx<'_>);
+
+    /// Called once after the last log entry (end-of-program checks such as
+    /// AddrCheck's leak scan). The default does nothing.
+    fn on_finish(&mut self, ctx: &mut HandlerCtx<'_>) {
+        let _ = ctx;
+    }
+}
+
+/// Cycle model of the dispatch engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DispatchConfig {
+    /// Cycles per dispatched record: the `nlba` instruction plus the jump
+    /// table lookup. The paper notes the lookup index "can be determined
+    /// very early" thanks to pipelined, decoupled processing, so this is
+    /// small.
+    pub dispatch_cycles: u64,
+    /// Cycles for a record whose kind the lifeguard did not subscribe to
+    /// (the hardware filter falls through to a trivial handler).
+    pub unsubscribed_cycles: u64,
+}
+
+impl Default for DispatchConfig {
+    fn default() -> Self {
+        DispatchConfig { dispatch_cycles: 2, unsubscribed_cycles: 1 }
+    }
+}
+
+/// The lifeguard-core dispatch engine: decompression hand-off, jump-table
+/// lookup and handler invocation, with cycle accounting.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DispatchEngine {
+    config: DispatchConfig,
+}
+
+impl DispatchEngine {
+    /// Creates an engine with the given cycle model.
+    #[must_use]
+    pub fn new(config: DispatchConfig) -> Self {
+        DispatchEngine { config }
+    }
+
+    /// The engine's cycle model.
+    #[must_use]
+    pub fn config(&self) -> &DispatchConfig {
+        &self.config
+    }
+
+    /// Delivers one record to the lifeguard, charging shadow work to
+    /// `core` of `mem`. Returns the lifeguard-core cycles consumed.
+    pub fn deliver(
+        &self,
+        lifeguard: &mut dyn Lifeguard,
+        record: &EventRecord,
+        mem: &mut MemSystem,
+        core: usize,
+        findings: &mut Vec<Finding>,
+    ) -> u64 {
+        if !lifeguard.subscriptions().contains(record.kind) {
+            return self.config.unsubscribed_cycles;
+        }
+        let mut ctx = HandlerCtx::new(mem, core, findings);
+        lifeguard.on_event(record, &mut ctx);
+        self.config.dispatch_cycles + ctx.cycles()
+    }
+
+    /// Runs the lifeguard's end-of-log hook, returning its cycle cost.
+    pub fn finish(
+        &self,
+        lifeguard: &mut dyn Lifeguard,
+        mem: &mut MemSystem,
+        core: usize,
+        findings: &mut Vec<Finding>,
+    ) -> u64 {
+        let mut ctx = HandlerCtx::new(mem, core, findings);
+        lifeguard.on_finish(&mut ctx);
+        ctx.cycles()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lba_cache::MemSystemConfig;
+    use lba_record::EventKind;
+
+    struct Probe {
+        events: Vec<EventKind>,
+        finished: bool,
+    }
+
+    impl Lifeguard for Probe {
+        fn name(&self) -> &'static str {
+            "probe"
+        }
+        fn subscriptions(&self) -> EventMask {
+            EventMask::of(&[EventKind::Load, EventKind::Alloc])
+        }
+        fn on_event(&mut self, record: &EventRecord, ctx: &mut HandlerCtx<'_>) {
+            self.events.push(record.kind);
+            ctx.alu(5);
+        }
+        fn on_finish(&mut self, ctx: &mut HandlerCtx<'_>) {
+            self.finished = true;
+            ctx.alu(7);
+        }
+    }
+
+    #[test]
+    fn subscribed_events_invoke_handler() {
+        let mut mem = MemSystem::new(MemSystemConfig::dual_core());
+        let mut findings = Vec::new();
+        let engine = DispatchEngine::default();
+        let mut lg = Probe { events: Vec::new(), finished: false };
+        let rec = EventRecord::load(0x1000, 0, Some(1), Some(2), 0x100, 4);
+        let cycles = engine.deliver(&mut lg, &rec, &mut mem, 1, &mut findings);
+        assert_eq!(cycles, 2 + 5);
+        assert_eq!(lg.events, vec![EventKind::Load]);
+    }
+
+    #[test]
+    fn unsubscribed_events_cost_one_cycle() {
+        let mut mem = MemSystem::new(MemSystemConfig::dual_core());
+        let mut findings = Vec::new();
+        let engine = DispatchEngine::default();
+        let mut lg = Probe { events: Vec::new(), finished: false };
+        let rec = EventRecord::alu(0x1000, 0, Some(1), Some(2), Some(3));
+        let cycles = engine.deliver(&mut lg, &rec, &mut mem, 1, &mut findings);
+        assert_eq!(cycles, 1);
+        assert!(lg.events.is_empty(), "handler must not run");
+    }
+
+    #[test]
+    fn finish_runs_end_hook() {
+        let mut mem = MemSystem::new(MemSystemConfig::dual_core());
+        let mut findings = Vec::new();
+        let engine = DispatchEngine::default();
+        let mut lg = Probe { events: Vec::new(), finished: false };
+        let cycles = engine.finish(&mut lg, &mut mem, 1, &mut findings);
+        assert!(lg.finished);
+        assert_eq!(cycles, 7);
+    }
+
+    #[test]
+    fn custom_config_respected() {
+        let mut mem = MemSystem::new(MemSystemConfig::dual_core());
+        let mut findings = Vec::new();
+        let engine =
+            DispatchEngine::new(DispatchConfig { dispatch_cycles: 10, unsubscribed_cycles: 3 });
+        let mut lg = Probe { events: Vec::new(), finished: false };
+        let rec = EventRecord::load(0x1000, 0, None, None, 0, 4);
+        assert_eq!(engine.deliver(&mut lg, &rec, &mut mem, 1, &mut findings), 15);
+        let rec = EventRecord::alu(0x1000, 0, None, None, None);
+        assert_eq!(engine.deliver(&mut lg, &rec, &mut mem, 1, &mut findings), 3);
+    }
+}

@@ -1,0 +1,120 @@
+//! Address-range event filtering (§3 future work, implemented).
+//!
+//! The paper closes by naming "filtering techniques (e.g., address-range
+//! based filtering)" as a planned optimisation: when a lifeguard only cares
+//! about certain address ranges (AddrCheck cares about the heap), the
+//! capture hardware can drop memory events outside those ranges *before*
+//! they enter the log, saving compression bandwidth, buffer space and — most
+//! importantly — lifeguard-core handler time.
+
+use lba_record::{EventKind, EventRecord};
+
+/// A capture-side filter that drops load/store events whose effective
+/// address falls outside every watched range. Non-memory events always
+/// pass (allocation, locking and control events carry semantic state the
+/// lifeguard cannot miss).
+///
+/// # Examples
+///
+/// ```
+/// use lba_lifeguard::AddrRangeFilter;
+/// use lba_record::EventRecord;
+///
+/// let filter = AddrRangeFilter::new(vec![(0x4000_0000, 0x5000_0000)]);
+/// let heap = EventRecord::load(0x1000, 0, None, None, 0x4000_0010, 4);
+/// let stack = EventRecord::load(0x1000, 0, None, None, 0x7fff_0000, 4);
+/// assert!(filter.passes(&heap));
+/// assert!(!filter.passes(&stack));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AddrRangeFilter {
+    /// Half-open `[start, end)` ranges, kept sorted by start.
+    ranges: Vec<(u64, u64)>,
+}
+
+impl AddrRangeFilter {
+    /// Creates a filter watching the given half-open `[start, end)` ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any range is empty or inverted.
+    #[must_use]
+    pub fn new(mut ranges: Vec<(u64, u64)>) -> Self {
+        for &(start, end) in &ranges {
+            assert!(start < end, "filter range {start:#x}..{end:#x} is empty or inverted");
+        }
+        ranges.sort_unstable();
+        AddrRangeFilter { ranges }
+    }
+
+    /// The watched ranges, sorted by start address.
+    #[must_use]
+    pub fn ranges(&self) -> &[(u64, u64)] {
+        &self.ranges
+    }
+
+    /// Whether `addr` falls inside a watched range.
+    #[must_use]
+    pub fn contains(&self, addr: u64) -> bool {
+        // Binary search over sorted disjoint-ish ranges; linear fallback is
+        // fine for the handful of ranges lifeguards use.
+        self.ranges.iter().any(|&(start, end)| (start..end).contains(&addr))
+    }
+
+    /// Whether `record` should enter the log.
+    #[must_use]
+    pub fn passes(&self, record: &EventRecord) -> bool {
+        match record.kind {
+            EventKind::Load | EventKind::Store => self.contains(record.addr),
+            _ => true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_events_filtered_by_address() {
+        let f = AddrRangeFilter::new(vec![(100, 200), (300, 400)]);
+        assert!(f.contains(100));
+        assert!(f.contains(199));
+        assert!(!f.contains(200));
+        assert!(f.contains(350));
+        assert!(!f.contains(250));
+        let inside = EventRecord::store(0, 0, None, None, 150, 4);
+        let outside = EventRecord::store(0, 0, None, None, 250, 4);
+        assert!(f.passes(&inside));
+        assert!(!f.passes(&outside));
+    }
+
+    #[test]
+    fn non_memory_events_always_pass() {
+        let f = AddrRangeFilter::new(vec![(100, 200)]);
+        let alloc = EventRecord {
+            pc: 0,
+            kind: EventKind::Alloc,
+            tid: 0,
+            in1: None,
+            in2: None,
+            out: None,
+            addr: 999, // outside the range — still passes
+            size: 64,
+        };
+        assert!(f.passes(&alloc));
+        assert!(f.passes(&EventRecord::alu(0, 0, None, None, None)));
+    }
+
+    #[test]
+    fn ranges_are_sorted() {
+        let f = AddrRangeFilter::new(vec![(300, 400), (100, 200)]);
+        assert_eq!(f.ranges(), &[(100, 200), (300, 400)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty or inverted")]
+    fn inverted_range_rejected() {
+        let _ = AddrRangeFilter::new(vec![(200, 100)]);
+    }
+}

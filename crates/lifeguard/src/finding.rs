@@ -1,0 +1,106 @@
+//! Lifeguard findings: the problems a monitor detects.
+
+use std::fmt;
+
+/// Classification of a detected problem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FindingKind {
+    /// Access to memory that is not currently allocated (AddrCheck).
+    UnallocatedAccess,
+    /// `free` of an already-freed block (AddrCheck).
+    DoubleFree,
+    /// `free` of an address that is not a block start (AddrCheck).
+    InvalidFree,
+    /// A block still allocated at program exit (AddrCheck).
+    Leak,
+    /// An indirect jump/call through a tainted target (TaintCheck).
+    TaintedJump,
+    /// A syscall argument register carrying tainted data (TaintCheck).
+    TaintedSyscallArg,
+    /// A shared location accessed with an empty candidate lockset (LockSet).
+    DataRace,
+}
+
+impl fmt::Display for FindingKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            FindingKind::UnallocatedAccess => "unallocated-access",
+            FindingKind::DoubleFree => "double-free",
+            FindingKind::InvalidFree => "invalid-free",
+            FindingKind::Leak => "leak",
+            FindingKind::TaintedJump => "tainted-jump",
+            FindingKind::TaintedSyscallArg => "tainted-syscall-arg",
+            FindingKind::DataRace => "data-race",
+        };
+        f.write_str(name)
+    }
+}
+
+/// One detected problem, with enough context to act on it.
+///
+/// The log-based design means findings trail the triggering instruction;
+/// the syscall-stall policy (core crate) bounds that lag at each syscall.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Name of the reporting lifeguard (e.g. `"addrcheck"`).
+    pub lifeguard: &'static str,
+    /// Problem classification.
+    pub kind: FindingKind,
+    /// Program counter of the offending instruction.
+    pub pc: u64,
+    /// Thread that executed it.
+    pub tid: u8,
+    /// Data address involved (0 when not applicable).
+    pub addr: u64,
+    /// Human-readable diagnosis.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {} at pc={:#x} tid={} addr={:#x}: {}",
+            self.lifeguard, self.kind, self.pc, self.tid, self.addr, self.message
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_all_context() {
+        let f = Finding {
+            lifeguard: "addrcheck",
+            kind: FindingKind::DoubleFree,
+            pc: 0x1040,
+            tid: 2,
+            addr: 0x4000_0010,
+            message: "block freed twice".into(),
+        };
+        let s = f.to_string();
+        assert!(s.contains("addrcheck"));
+        assert!(s.contains("double-free"));
+        assert!(s.contains("0x1040"));
+        assert!(s.contains("tid=2"));
+        assert!(s.contains("block freed twice"));
+    }
+
+    #[test]
+    fn kinds_have_distinct_names() {
+        let kinds = [
+            FindingKind::UnallocatedAccess,
+            FindingKind::DoubleFree,
+            FindingKind::InvalidFree,
+            FindingKind::Leak,
+            FindingKind::TaintedJump,
+            FindingKind::TaintedSyscallArg,
+            FindingKind::DataRace,
+        ];
+        let names: std::collections::HashSet<String> =
+            kinds.iter().map(|k| k.to_string()).collect();
+        assert_eq!(names.len(), kinds.len());
+    }
+}

@@ -1,0 +1,188 @@
+//! Functional shadow state: shadow memory and shadow registers.
+
+use std::collections::HashMap;
+
+const PAGE_SHIFT: u32 = 12;
+const PAGE_CELLS: usize = 1 << PAGE_SHIFT;
+const PAGE_MASK: u64 = (PAGE_CELLS as u64) - 1;
+
+/// Sparse per-address shadow state of cell type `T`.
+///
+/// One cell shadows one *granule* of application memory; the granule size
+/// is the lifeguard's choice (AddrCheck and TaintCheck shadow bytes,
+/// LockSet shadows 4-byte words) — callers index by granule number.
+/// Untouched cells read as `T::default()`.
+///
+/// This is the functional half of shadow state; the *cost* of shadow
+/// accesses is charged separately through
+/// [`HandlerCtx`](crate::HandlerCtx), mirroring how the paper separates
+/// lifeguard correctness from lifeguard performance.
+///
+/// # Examples
+///
+/// ```
+/// use lba_lifeguard::ShadowMemory;
+///
+/// let mut shadow: ShadowMemory<u8> = ShadowMemory::new();
+/// assert_eq!(shadow.get(0x4000_0000), 0);
+/// shadow.set(0x4000_0000, 1);
+/// assert_eq!(shadow.get(0x4000_0000), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ShadowMemory<T> {
+    pages: HashMap<u64, Vec<T>>,
+}
+
+impl<T: Copy + Default + PartialEq> ShadowMemory<T> {
+    /// Creates an empty shadow memory.
+    #[must_use]
+    pub fn new() -> Self {
+        ShadowMemory { pages: HashMap::new() }
+    }
+
+    /// The shadow cell for granule `index`.
+    #[must_use]
+    pub fn get(&self, index: u64) -> T {
+        match self.pages.get(&(index >> PAGE_SHIFT)) {
+            Some(page) => page[(index & PAGE_MASK) as usize],
+            None => T::default(),
+        }
+    }
+
+    /// Sets the shadow cell for granule `index`.
+    pub fn set(&mut self, index: u64, value: T) {
+        let page = self
+            .pages
+            .entry(index >> PAGE_SHIFT)
+            .or_insert_with(|| vec![T::default(); PAGE_CELLS]);
+        page[(index & PAGE_MASK) as usize] = value;
+    }
+
+    /// Sets `len` consecutive cells starting at `start`.
+    pub fn set_range(&mut self, start: u64, len: u64, value: T) {
+        for i in 0..len {
+            self.set(start + i, value);
+        }
+    }
+
+    /// Whether all `len` cells starting at `start` equal `value`.
+    #[must_use]
+    pub fn range_is(&self, start: u64, len: u64, value: T) -> bool {
+        (0..len).all(|i| self.get(start + i) == value)
+    }
+
+    /// Number of resident shadow pages (memory-footprint introspection).
+    #[must_use]
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+impl<T: Copy + Default + PartialEq> Default for ShadowMemory<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Per-thread shadow register file of cell type `T`.
+///
+/// # Examples
+///
+/// ```
+/// use lba_lifeguard::ShadowRegs;
+///
+/// let mut regs: ShadowRegs<bool> = ShadowRegs::new();
+/// regs.set(0, 3, true);
+/// assert!(regs.get(0, 3));
+/// assert!(!regs.get(1, 3), "threads have independent shadow registers");
+/// ```
+#[derive(Debug, Clone)]
+pub struct ShadowRegs<T> {
+    threads: Vec<[T; 16]>,
+}
+
+impl<T: Copy + Default> ShadowRegs<T> {
+    /// Creates an empty shadow register file.
+    #[must_use]
+    pub fn new() -> Self {
+        ShadowRegs { threads: Vec::new() }
+    }
+
+    fn ensure(&mut self, tid: u8) {
+        let idx = tid as usize;
+        if self.threads.len() <= idx {
+            self.threads.resize_with(idx + 1, || [T::default(); 16]);
+        }
+    }
+
+    /// The shadow value of register `reg` of thread `tid`.
+    #[must_use]
+    pub fn get(&self, tid: u8, reg: u8) -> T {
+        self.threads
+            .get(tid as usize)
+            .map_or_else(T::default, |regs| regs[(reg & 0xf) as usize])
+    }
+
+    /// Sets the shadow value of register `reg` of thread `tid`.
+    pub fn set(&mut self, tid: u8, reg: u8, value: T) {
+        self.ensure(tid);
+        self.threads[tid as usize][(reg & 0xf) as usize] = value;
+    }
+}
+
+impl<T: Copy + Default> Default for ShadowRegs<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_cells_read_default() {
+        let s: ShadowMemory<u32> = ShadowMemory::new();
+        assert_eq!(s.get(12345), 0);
+        assert_eq!(s.resident_pages(), 0);
+    }
+
+    #[test]
+    fn set_get_round_trip() {
+        let mut s: ShadowMemory<u8> = ShadowMemory::new();
+        s.set(7, 3);
+        s.set(1 << 20, 9);
+        assert_eq!(s.get(7), 3);
+        assert_eq!(s.get(1 << 20), 9);
+        assert_eq!(s.get(8), 0);
+    }
+
+    #[test]
+    fn range_operations() {
+        let mut s: ShadowMemory<u8> = ShadowMemory::new();
+        s.set_range(100, 50, 1);
+        assert!(s.range_is(100, 50, 1));
+        assert!(!s.range_is(99, 2, 1));
+        assert!(!s.range_is(149, 2, 1));
+    }
+
+    #[test]
+    fn range_spans_pages() {
+        let mut s: ShadowMemory<u8> = ShadowMemory::new();
+        let start = (PAGE_CELLS as u64) - 5;
+        s.set_range(start, 10, 2);
+        assert!(s.range_is(start, 10, 2));
+        assert_eq!(s.resident_pages(), 2);
+    }
+
+    #[test]
+    fn shadow_regs_per_thread() {
+        let mut r: ShadowRegs<u8> = ShadowRegs::new();
+        r.set(0, 1, 10);
+        r.set(3, 1, 30);
+        assert_eq!(r.get(0, 1), 10);
+        assert_eq!(r.get(3, 1), 30);
+        assert_eq!(r.get(1, 1), 0);
+        assert_eq!(r.get(200, 5), 0, "unseen thread reads default");
+    }
+}

@@ -1,0 +1,43 @@
+//! The three lifeguards evaluated in the paper (§3).
+//!
+//! * [`AddrCheck`] — "detects accesses to unallocated memory, double
+//!   `free()`, and memory leaks" (after Valgrind's Addrcheck tool);
+//! * [`TaintCheck`] — "detects security exploits by tracking the
+//!   propagation of inputs, and checking if they eventually modify jump
+//!   target addresses or other critical data" (after Newsome & Song);
+//! * [`LockSet`] — "detects possible data races in multithreaded programs
+//!   using the LockSet algorithm" (after Eraser, Savage et al.).
+//!
+//! All three implement [`lba_lifeguard::Lifeguard`], so they run unchanged
+//! under the LBA dispatch engine (on the lifeguard core) and under the DBI
+//! baseline (inline on the application core) — only the cost attribution
+//! differs, exactly as in the paper's comparison.
+//!
+//! # Examples
+//!
+//! ```
+//! use lba_cache::{MemSystem, MemSystemConfig};
+//! use lba_lifeguard::{DispatchEngine, Lifeguard};
+//! use lba_lifeguards::AddrCheck;
+//! use lba_record::{EventKind, EventRecord};
+//!
+//! let mut mem = MemSystem::new(MemSystemConfig::dual_core());
+//! let mut findings = Vec::new();
+//! let engine = DispatchEngine::default();
+//! let mut addrcheck = AddrCheck::new();
+//!
+//! // A load from heap memory that was never allocated:
+//! let rec = EventRecord::load(0x1000, 0, Some(1), Some(2), 0x4000_0040, 8);
+//! engine.deliver(&mut addrcheck, &rec, &mut mem, 1, &mut findings);
+//! assert_eq!(findings.len(), 1);
+//! ```
+
+mod addrcheck;
+mod lockset;
+mod memprofile;
+mod taintcheck;
+
+pub use addrcheck::AddrCheck;
+pub use lockset::{LockSet, LockSetConfig};
+pub use memprofile::{MemProfile, MemoryProfile};
+pub use taintcheck::TaintCheck;

@@ -1,0 +1,103 @@
+//! The canonical simulated address-space layout.
+//!
+//! All components (CPU model, workload generators, lifeguards) share these
+//! constants so that region classification — e.g. AddrCheck checking only
+//! heap addresses, LockSet skipping thread-private stacks — is consistent.
+//!
+//! ```text
+//! 0x0000_1000  code image (8 bytes/instruction)
+//! 0x0010_0000  globals (initialised data segments)
+//! 0x4000_0000  heap (HeapAllocator arena)
+//! 0x7000_0000  per-thread stacks, growing down from STACK_TOP(tid)
+//! ```
+
+/// Base address of the globals region.
+pub const GLOBAL_BASE: u64 = 0x0010_0000;
+
+/// First address past the globals region.
+pub const GLOBAL_END: u64 = 0x4000_0000;
+
+/// Base address of the heap arena.
+pub const HEAP_BASE: u64 = 0x4000_0000;
+
+/// Default heap arena size in bytes (64 MiB).
+pub const HEAP_SIZE: u64 = 64 << 20;
+
+/// First address past the heap arena.
+pub const HEAP_END: u64 = HEAP_BASE + HEAP_SIZE;
+
+/// Per-thread stack size in bytes (1 MiB).
+pub const STACK_SIZE: u64 = 1 << 20;
+
+/// Base of the stack region (all threads).
+pub const STACK_REGION_BASE: u64 = 0x7000_0000;
+
+/// Initial stack pointer for a thread.
+///
+/// Stacks grow downwards; thread `tid`'s stack occupies
+/// `[STACK_TOP(tid) - STACK_SIZE, STACK_TOP(tid))`.
+#[must_use]
+pub fn stack_top(tid: u8) -> u64 {
+    STACK_REGION_BASE + (u64::from(tid) + 1) * STACK_SIZE
+}
+
+/// Whether `addr` lies in the heap arena.
+#[must_use]
+pub fn is_heap(addr: u64) -> bool {
+    (HEAP_BASE..HEAP_END).contains(&addr)
+}
+
+/// Whether `addr` lies in the globals region.
+#[must_use]
+pub fn is_global(addr: u64) -> bool {
+    (GLOBAL_BASE..GLOBAL_END).contains(&addr)
+}
+
+/// Whether `addr` lies in any thread stack.
+#[must_use]
+pub fn is_stack(addr: u64) -> bool {
+    addr >= STACK_REGION_BASE
+}
+
+/// Whether `addr` is in a region that can be shared between threads
+/// (heap or globals) — the set of addresses LockSet monitors.
+#[must_use]
+pub fn is_shared_region(addr: u64) -> bool {
+    is_heap(addr) || is_global(addr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_are_disjoint() {
+        assert!(GLOBAL_END <= HEAP_BASE || HEAP_END <= GLOBAL_BASE);
+        assert!(HEAP_END <= STACK_REGION_BASE);
+    }
+
+    #[test]
+    fn stack_tops_do_not_collide() {
+        for a in 0..8u8 {
+            for b in (a + 1)..8u8 {
+                let (ta, tb) = (stack_top(a), stack_top(b));
+                assert!(ta != tb);
+                assert!((ta as i64 - tb as i64).unsigned_abs() >= STACK_SIZE);
+            }
+        }
+    }
+
+    #[test]
+    fn classification_matches_layout() {
+        assert!(is_heap(HEAP_BASE));
+        assert!(is_heap(HEAP_END - 1));
+        assert!(!is_heap(HEAP_END));
+        assert!(is_global(GLOBAL_BASE));
+        assert!(!is_global(HEAP_BASE));
+        assert!(is_stack(stack_top(0) - 8));
+        assert!(!is_stack(HEAP_BASE));
+        assert!(is_shared_region(HEAP_BASE));
+        assert!(is_shared_region(GLOBAL_BASE));
+        assert!(!is_shared_region(stack_top(1) - 8));
+    }
+}

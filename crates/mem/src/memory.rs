@@ -1,0 +1,233 @@
+//! Sparse paged memory.
+
+use std::collections::HashMap;
+
+const PAGE_SHIFT: u32 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+const PAGE_MASK: u64 = (PAGE_SIZE as u64) - 1;
+
+/// A sparse 64-bit byte-addressable memory backed by 4 KiB pages.
+///
+/// Unwritten memory reads as zero, so programs can be loaded at arbitrary
+/// addresses without pre-touching pages. All multi-byte accesses are
+/// little-endian and may span page boundaries.
+///
+/// # Examples
+///
+/// ```
+/// use lba_mem::Memory;
+///
+/// let mut mem = Memory::new();
+/// assert_eq!(mem.read_u32(0x1234), 0, "untouched memory reads as zero");
+/// mem.write_u16(0xfff, 0xabcd); // spans a page boundary
+/// assert_eq!(mem.read_u16(0xfff), 0xabcd);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Memory {
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+}
+
+impl Memory {
+    /// Creates an empty memory.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of resident (touched) pages.
+    #[must_use]
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Reads one byte.
+    #[must_use]
+    pub fn read_u8(&self, addr: u64) -> u8 {
+        match self.pages.get(&(addr >> PAGE_SHIFT)) {
+            Some(page) => page[(addr & PAGE_MASK) as usize],
+            None => 0,
+        }
+    }
+
+    /// Writes one byte.
+    pub fn write_u8(&mut self, addr: u64, value: u8) {
+        let page = self
+            .pages
+            .entry(addr >> PAGE_SHIFT)
+            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+        page[(addr & PAGE_MASK) as usize] = value;
+    }
+
+    /// Reads `N` little-endian bytes starting at `addr`.
+    fn read_bytes<const N: usize>(&self, addr: u64) -> [u8; N] {
+        let mut out = [0u8; N];
+        // Fast path: whole access within one page.
+        let off = (addr & PAGE_MASK) as usize;
+        if off + N <= PAGE_SIZE {
+            if let Some(page) = self.pages.get(&(addr >> PAGE_SHIFT)) {
+                out.copy_from_slice(&page[off..off + N]);
+            }
+            return out;
+        }
+        for (i, byte) in out.iter_mut().enumerate() {
+            *byte = self.read_u8(addr + i as u64);
+        }
+        out
+    }
+
+    fn write_bytes(&mut self, addr: u64, bytes: &[u8]) {
+        let off = (addr & PAGE_MASK) as usize;
+        if off + bytes.len() <= PAGE_SIZE {
+            let page = self
+                .pages
+                .entry(addr >> PAGE_SHIFT)
+                .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+            page[off..off + bytes.len()].copy_from_slice(bytes);
+            return;
+        }
+        for (i, &b) in bytes.iter().enumerate() {
+            self.write_u8(addr + i as u64, b);
+        }
+    }
+
+    /// Reads a little-endian `u16`.
+    #[must_use]
+    pub fn read_u16(&self, addr: u64) -> u16 {
+        u16::from_le_bytes(self.read_bytes(addr))
+    }
+
+    /// Reads a little-endian `u32`.
+    #[must_use]
+    pub fn read_u32(&self, addr: u64) -> u32 {
+        u32::from_le_bytes(self.read_bytes(addr))
+    }
+
+    /// Reads a little-endian `u64`.
+    #[must_use]
+    pub fn read_u64(&self, addr: u64) -> u64 {
+        u64::from_le_bytes(self.read_bytes(addr))
+    }
+
+    /// Writes a little-endian `u16`.
+    pub fn write_u16(&mut self, addr: u64, value: u16) {
+        self.write_bytes(addr, &value.to_le_bytes());
+    }
+
+    /// Writes a little-endian `u32`.
+    pub fn write_u32(&mut self, addr: u64, value: u32) {
+        self.write_bytes(addr, &value.to_le_bytes());
+    }
+
+    /// Writes a little-endian `u64`.
+    pub fn write_u64(&mut self, addr: u64, value: u64) {
+        self.write_bytes(addr, &value.to_le_bytes());
+    }
+
+    /// Reads a zero-extended value of `width` ∈ {1, 2, 4, 8} bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is not 1, 2, 4 or 8.
+    #[must_use]
+    pub fn read_width(&self, addr: u64, width: u32) -> u64 {
+        match width {
+            1 => u64::from(self.read_u8(addr)),
+            2 => u64::from(self.read_u16(addr)),
+            4 => u64::from(self.read_u32(addr)),
+            8 => self.read_u64(addr),
+            other => panic!("unsupported access width {other}"),
+        }
+    }
+
+    /// Writes the low `width` ∈ {1, 2, 4, 8} bytes of `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is not 1, 2, 4 or 8.
+    pub fn write_width(&mut self, addr: u64, value: u64, width: u32) {
+        match width {
+            1 => self.write_u8(addr, value as u8),
+            2 => self.write_u16(addr, value as u16),
+            4 => self.write_u32(addr, value as u32),
+            8 => self.write_u64(addr, value),
+            other => panic!("unsupported access width {other}"),
+        }
+    }
+
+    /// Copies a byte slice into memory starting at `addr`.
+    pub fn write_slice(&mut self, addr: u64, bytes: &[u8]) {
+        self.write_bytes(addr, bytes);
+    }
+
+    /// Reads `len` bytes starting at `addr`.
+    #[must_use]
+    pub fn read_vec(&self, addr: u64, len: usize) -> Vec<u8> {
+        (0..len).map(|i| self.read_u8(addr + i as u64)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn untouched_memory_reads_zero() {
+        let mem = Memory::new();
+        assert_eq!(mem.read_u8(0), 0);
+        assert_eq!(mem.read_u64(0xffff_ffff_ffff_fff0), 0);
+        assert_eq!(mem.resident_pages(), 0);
+    }
+
+    #[test]
+    fn read_write_round_trip_all_widths() {
+        let mut mem = Memory::new();
+        mem.write_u8(10, 0xab);
+        assert_eq!(mem.read_u8(10), 0xab);
+        mem.write_u16(20, 0x1234);
+        assert_eq!(mem.read_u16(20), 0x1234);
+        mem.write_u32(30, 0xdead_beef);
+        assert_eq!(mem.read_u32(30), 0xdead_beef);
+        mem.write_u64(40, 0x0102_0304_0506_0708);
+        assert_eq!(mem.read_u64(40), 0x0102_0304_0506_0708);
+    }
+
+    #[test]
+    fn little_endian_layout() {
+        let mut mem = Memory::new();
+        mem.write_u32(0, 0x0a0b_0c0d);
+        assert_eq!(mem.read_u8(0), 0x0d);
+        assert_eq!(mem.read_u8(3), 0x0a);
+    }
+
+    #[test]
+    fn cross_page_access() {
+        let mut mem = Memory::new();
+        let addr = (PAGE_SIZE as u64) - 4; // 4 bytes in page 0, 4 in page 1
+        mem.write_u64(addr, 0x1122_3344_5566_7788);
+        assert_eq!(mem.read_u64(addr), 0x1122_3344_5566_7788);
+        assert_eq!(mem.resident_pages(), 2);
+    }
+
+    #[test]
+    fn width_accessors_match_typed_accessors() {
+        let mut mem = Memory::new();
+        mem.write_width(100, 0xffff_ffff_ffff_ffff, 2);
+        assert_eq!(mem.read_u16(100), 0xffff);
+        assert_eq!(mem.read_u32(100), 0x0000_ffff, "write truncated to width");
+        assert_eq!(mem.read_width(100, 2), 0xffff);
+    }
+
+    #[test]
+    fn slice_round_trip() {
+        let mut mem = Memory::new();
+        mem.write_slice(0x5000, b"hello world");
+        assert_eq!(mem.read_vec(0x5000, 11), b"hello world");
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported access width")]
+    fn bad_width_panics() {
+        let mem = Memory::new();
+        let _ = mem.read_width(0, 3);
+    }
+}

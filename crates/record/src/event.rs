@@ -1,0 +1,308 @@
+//! Event kinds and the per-instruction event record.
+
+use std::fmt;
+
+/// The type field of an event record.
+///
+/// `Alu` covers all register-to-register computation (including immediate
+/// moves); the remaining kinds distinguish the events lifeguards subscribe
+/// to. Runtime events (`Alloc` … `Syscall`) correspond to the libc-level
+/// operations the paper's toolchain surfaced by instrumentation.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum EventKind {
+    /// Register computation (ALU op, move, move-immediate).
+    Alu = 0,
+    /// Data load; `addr`/`size` hold the effective address and width.
+    Load = 1,
+    /// Data store; `addr`/`size` hold the effective address and width.
+    Store = 2,
+    /// Conditional branch (taken or not).
+    Branch = 3,
+    /// Direct jump.
+    Jump = 4,
+    /// Indirect jump through a register; `addr` holds the target.
+    IndirectJump = 5,
+    /// Direct call.
+    Call = 6,
+    /// Return.
+    Return = 7,
+    /// Heap allocation; `addr` holds the block address, `size` its length.
+    Alloc = 8,
+    /// Heap free; `addr` holds the block address.
+    Free = 9,
+    /// Lock acquire; `addr` identifies the lock.
+    Lock = 10,
+    /// Lock release; `addr` identifies the lock.
+    Unlock = 11,
+    /// External input; `addr`/`size` delimit the written byte range.
+    Recv = 12,
+    /// System call; `size` holds the syscall number.
+    Syscall = 13,
+    /// Thread termination (emitted when a thread halts).
+    ThreadEnd = 14,
+}
+
+impl EventKind {
+    /// Number of event kinds.
+    pub const COUNT: usize = 15;
+
+    /// All kinds in encoding order.
+    pub const ALL: [EventKind; Self::COUNT] = [
+        EventKind::Alu,
+        EventKind::Load,
+        EventKind::Store,
+        EventKind::Branch,
+        EventKind::Jump,
+        EventKind::IndirectJump,
+        EventKind::Call,
+        EventKind::Return,
+        EventKind::Alloc,
+        EventKind::Free,
+        EventKind::Lock,
+        EventKind::Unlock,
+        EventKind::Recv,
+        EventKind::Syscall,
+        EventKind::ThreadEnd,
+    ];
+
+    /// The kind's code as stored in encoded records.
+    #[must_use]
+    pub fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// Decodes a kind from its code.
+    #[must_use]
+    pub fn from_code(code: u8) -> Option<Self> {
+        Self::ALL.get(code as usize).copied()
+    }
+
+    /// Whether records of this kind carry a meaningful `addr` field.
+    #[must_use]
+    pub fn has_addr(self) -> bool {
+        matches!(
+            self,
+            EventKind::Load
+                | EventKind::Store
+                | EventKind::IndirectJump
+                | EventKind::Alloc
+                | EventKind::Free
+                | EventKind::Lock
+                | EventKind::Unlock
+                | EventKind::Recv
+        )
+    }
+}
+
+impl fmt::Display for EventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            EventKind::Alu => "alu",
+            EventKind::Load => "load",
+            EventKind::Store => "store",
+            EventKind::Branch => "branch",
+            EventKind::Jump => "jump",
+            EventKind::IndirectJump => "ijump",
+            EventKind::Call => "call",
+            EventKind::Return => "return",
+            EventKind::Alloc => "alloc",
+            EventKind::Free => "free",
+            EventKind::Lock => "lock",
+            EventKind::Unlock => "unlock",
+            EventKind::Recv => "recv",
+            EventKind::Syscall => "syscall",
+            EventKind::ThreadEnd => "thread-end",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Size of a raw (uncompressed) encoded record in bytes.
+///
+/// Layout: pc(8) + kind(1) + tid(1) + in1(1) + in2(1) + out(1) + addr(8) +
+/// size(4) = 25 bytes. This is the bandwidth baseline the VPC compressor is
+/// measured against (the paper targets < 1 byte/instruction).
+pub const RAW_RECORD_BYTES: usize = 25;
+
+const NO_OPERAND: u8 = 0xff;
+
+/// Error returned by [`EventRecord::decode_raw`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeRecordError {
+    /// The kind byte is not a valid [`EventKind`] code.
+    BadKind(u8),
+}
+
+impl fmt::Display for DecodeRecordError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeRecordError::BadKind(k) => write!(f, "invalid event kind code {k}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeRecordError {}
+
+/// One log entry: the hardware-captured view of a retired instruction.
+///
+/// Fields are public because the record is a passive data structure shared
+/// by every pipeline stage (capture → compress → transport → dispatch).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct EventRecord {
+    /// Program counter of the retired instruction.
+    pub pc: u64,
+    /// Instruction type.
+    pub kind: EventKind,
+    /// Hardware thread that retired the instruction.
+    pub tid: u8,
+    /// First input operand identifier (register number), if any.
+    pub in1: Option<u8>,
+    /// Second input operand identifier (register number), if any.
+    pub in2: Option<u8>,
+    /// Output operand identifier (register number), if any.
+    pub out: Option<u8>,
+    /// Effective address (meaning depends on `kind`; 0 when absent).
+    pub addr: u64,
+    /// Access width / allocation size / recv length / syscall number.
+    pub size: u32,
+}
+
+impl EventRecord {
+    /// Creates an ALU record.
+    #[must_use]
+    pub fn alu(pc: u64, tid: u8, in1: Option<u8>, in2: Option<u8>, out: Option<u8>) -> Self {
+        EventRecord { pc, kind: EventKind::Alu, tid, in1, in2, out, addr: 0, size: 0 }
+    }
+
+    /// Creates a load record.
+    #[must_use]
+    pub fn load(pc: u64, tid: u8, base: Option<u8>, out: Option<u8>, addr: u64, size: u32) -> Self {
+        EventRecord { pc, kind: EventKind::Load, tid, in1: base, in2: None, out, addr, size }
+    }
+
+    /// Creates a store record.
+    #[must_use]
+    pub fn store(pc: u64, tid: u8, src: Option<u8>, base: Option<u8>, addr: u64, size: u32) -> Self {
+        EventRecord { pc, kind: EventKind::Store, tid, in1: src, in2: base, out: None, addr, size }
+    }
+
+    /// Whether this record is a data-memory reference (load or store).
+    #[must_use]
+    pub fn is_memory(&self) -> bool {
+        matches!(self.kind, EventKind::Load | EventKind::Store)
+    }
+
+    /// Encodes the record into its fixed raw form ([`RAW_RECORD_BYTES`]).
+    #[must_use]
+    pub fn encode_raw(&self) -> [u8; RAW_RECORD_BYTES] {
+        let mut out = [0u8; RAW_RECORD_BYTES];
+        out[0..8].copy_from_slice(&self.pc.to_le_bytes());
+        out[8] = self.kind.code();
+        out[9] = self.tid;
+        out[10] = self.in1.unwrap_or(NO_OPERAND);
+        out[11] = self.in2.unwrap_or(NO_OPERAND);
+        out[12] = self.out.unwrap_or(NO_OPERAND);
+        out[13..21].copy_from_slice(&self.addr.to_le_bytes());
+        out[21..25].copy_from_slice(&self.size.to_le_bytes());
+        out
+    }
+
+    /// Decodes a record from its fixed raw form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeRecordError::BadKind`] when the kind byte is invalid.
+    pub fn decode_raw(bytes: &[u8; RAW_RECORD_BYTES]) -> Result<Self, DecodeRecordError> {
+        let kind =
+            EventKind::from_code(bytes[8]).ok_or(DecodeRecordError::BadKind(bytes[8]))?;
+        let opt = |b: u8| if b == NO_OPERAND { None } else { Some(b) };
+        Ok(EventRecord {
+            pc: u64::from_le_bytes(bytes[0..8].try_into().expect("8 bytes")),
+            kind,
+            tid: bytes[9],
+            in1: opt(bytes[10]),
+            in2: opt(bytes[11]),
+            out: opt(bytes[12]),
+            addr: u64::from_le_bytes(bytes[13..21].try_into().expect("8 bytes")),
+            size: u32::from_le_bytes(bytes[21..25].try_into().expect("4 bytes")),
+        })
+    }
+}
+
+impl fmt::Display for EventRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[t{} {:#x}] {}", self.tid, self.pc, self.kind)?;
+        if self.kind.has_addr() {
+            write!(f, " @{:#x}+{}", self.addr, self.size)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_codes_round_trip() {
+        for kind in EventKind::ALL {
+            assert_eq!(EventKind::from_code(kind.code()), Some(kind));
+        }
+        assert_eq!(EventKind::from_code(EventKind::COUNT as u8), None);
+    }
+
+    #[test]
+    fn raw_encode_decode_round_trip() {
+        let records = [
+            EventRecord::alu(0x1010, 2, Some(1), Some(2), Some(3)),
+            EventRecord::load(0x1018, 0, Some(4), Some(5), 0x4000_0010, 8),
+            EventRecord::store(0x1020, 1, Some(6), Some(7), 0x7000_0000, 1),
+            EventRecord {
+                pc: 0x2000,
+                kind: EventKind::Syscall,
+                tid: 0,
+                in1: None,
+                in2: None,
+                out: None,
+                addr: 0,
+                size: 42,
+            },
+        ];
+        for rec in records {
+            let decoded = EventRecord::decode_raw(&rec.encode_raw()).expect("decodes");
+            assert_eq!(decoded, rec);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_bad_kind() {
+        let mut raw = EventRecord::alu(0, 0, None, None, None).encode_raw();
+        raw[8] = 200;
+        assert_eq!(EventRecord::decode_raw(&raw), Err(DecodeRecordError::BadKind(200)));
+    }
+
+    #[test]
+    fn memory_classification() {
+        assert!(EventRecord::load(0, 0, None, None, 0, 4).is_memory());
+        assert!(EventRecord::store(0, 0, None, None, 0, 4).is_memory());
+        assert!(!EventRecord::alu(0, 0, None, None, None).is_memory());
+    }
+
+    #[test]
+    fn has_addr_matches_kinds() {
+        assert!(EventKind::Load.has_addr());
+        assert!(EventKind::Recv.has_addr());
+        assert!(!EventKind::Alu.has_addr());
+        assert!(!EventKind::Syscall.has_addr());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let rec = EventRecord::load(0x1000, 3, Some(1), Some(2), 0xabc, 4);
+        let s = rec.to_string();
+        assert!(s.contains("t3"));
+        assert!(s.contains("load"));
+        assert!(s.contains("0xabc"));
+    }
+}

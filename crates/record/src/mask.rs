@@ -1,0 +1,164 @@
+//! Event subscription masks for the dispatch hardware.
+
+use std::fmt;
+use std::ops::{BitOr, BitOrAssign};
+
+use crate::event::EventKind;
+
+/// A set of [`EventKind`]s a lifeguard subscribes to.
+///
+/// The LBA dispatch hardware consults this mask: unsubscribed events fall
+/// through to a trivial no-op handler (one cycle in the cost model) instead
+/// of invoking lifeguard code.
+///
+/// # Examples
+///
+/// ```
+/// use lba_record::{EventKind, EventMask};
+///
+/// let mask = EventMask::of(&[EventKind::Load, EventKind::Store]);
+/// assert!(mask.contains(EventKind::Load));
+/// assert!(!mask.contains(EventKind::Alu));
+///
+/// let wider = mask | EventMask::of(&[EventKind::Alloc]);
+/// assert!(wider.contains(EventKind::Alloc));
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct EventMask(u32);
+
+impl EventMask {
+    /// The empty mask.
+    pub const EMPTY: EventMask = EventMask(0);
+
+    /// The mask containing every event kind.
+    pub const ALL: EventMask = EventMask((1 << EventKind::COUNT) - 1);
+
+    /// Creates a mask containing the given kinds.
+    #[must_use]
+    pub fn of(kinds: &[EventKind]) -> Self {
+        let mut mask = EventMask::EMPTY;
+        for &k in kinds {
+            mask.insert(k);
+        }
+        mask
+    }
+
+    /// Adds a kind to the mask.
+    pub fn insert(&mut self, kind: EventKind) {
+        self.0 |= 1 << kind.code();
+    }
+
+    /// Whether the mask contains `kind`.
+    #[must_use]
+    pub fn contains(&self, kind: EventKind) -> bool {
+        self.0 & (1 << kind.code()) != 0
+    }
+
+    /// Whether the mask is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of kinds in the mask.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Iterates over the kinds in the mask in code order.
+    pub fn iter(&self) -> impl Iterator<Item = EventKind> + '_ {
+        EventKind::ALL.into_iter().filter(|k| self.contains(*k))
+    }
+}
+
+impl BitOr for EventMask {
+    type Output = EventMask;
+
+    fn bitor(self, rhs: EventMask) -> EventMask {
+        EventMask(self.0 | rhs.0)
+    }
+}
+
+impl BitOrAssign for EventMask {
+    fn bitor_assign(&mut self, rhs: EventMask) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl FromIterator<EventKind> for EventMask {
+    fn from_iter<I: IntoIterator<Item = EventKind>>(iter: I) -> Self {
+        let mut mask = EventMask::EMPTY;
+        for k in iter {
+            mask.insert(k);
+        }
+        mask
+    }
+}
+
+impl fmt::Display for EventMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, kind) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{kind}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_all() {
+        assert!(EventMask::EMPTY.is_empty());
+        assert_eq!(EventMask::ALL.len(), EventKind::COUNT);
+        for k in EventKind::ALL {
+            assert!(EventMask::ALL.contains(k));
+            assert!(!EventMask::EMPTY.contains(k));
+        }
+    }
+
+    #[test]
+    fn insert_and_contains() {
+        let mut m = EventMask::EMPTY;
+        m.insert(EventKind::Lock);
+        assert!(m.contains(EventKind::Lock));
+        assert!(!m.contains(EventKind::Unlock));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn bitor_unions() {
+        let a = EventMask::of(&[EventKind::Load]);
+        let b = EventMask::of(&[EventKind::Store]);
+        let u = a | b;
+        assert!(u.contains(EventKind::Load) && u.contains(EventKind::Store));
+        let mut c = a;
+        c |= b;
+        assert_eq!(c, u);
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let m: EventMask = [EventKind::Alloc, EventKind::Free].into_iter().collect();
+        assert_eq!(m, EventMask::of(&[EventKind::Alloc, EventKind::Free]));
+    }
+
+    #[test]
+    fn iter_yields_in_code_order() {
+        let m = EventMask::of(&[EventKind::Free, EventKind::Alu]);
+        let kinds: Vec<_> = m.iter().collect();
+        assert_eq!(kinds, vec![EventKind::Alu, EventKind::Free]);
+    }
+
+    #[test]
+    fn display_lists_kinds() {
+        let m = EventMask::of(&[EventKind::Load, EventKind::Store]);
+        assert_eq!(m.to_string(), "{load, store}");
+    }
+}

@@ -1,0 +1,141 @@
+//! Running statistics over an event stream.
+
+use std::fmt;
+
+use crate::event::{EventKind, EventRecord};
+
+/// Counts of retired instructions by kind, plus derived ratios.
+///
+/// Used to reproduce the paper's §3 workload characterisation ("on average,
+/// a benchmark executes 209 million x86 instructions, of which 51% are
+/// memory references").
+///
+/// # Examples
+///
+/// ```
+/// use lba_record::{EventRecord, TraceStats};
+///
+/// let mut stats = TraceStats::new();
+/// stats.observe(&EventRecord::alu(0x1000, 0, None, None, Some(1)));
+/// stats.observe(&EventRecord::load(0x1008, 0, Some(1), Some(2), 0x100, 4));
+/// assert_eq!(stats.instructions(), 2);
+/// assert!((stats.memory_ref_fraction() - 0.5).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceStats {
+    counts: [u64; EventKind::COUNT],
+    total: u64,
+}
+
+impl TraceStats {
+    /// Creates empty statistics.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one event.
+    pub fn observe(&mut self, record: &EventRecord) {
+        self.counts[record.kind.code() as usize] += 1;
+        self.total += 1;
+    }
+
+    /// Total events observed.
+    #[must_use]
+    pub fn instructions(&self) -> u64 {
+        self.total
+    }
+
+    /// Events of a particular kind.
+    #[must_use]
+    pub fn count(&self, kind: EventKind) -> u64 {
+        self.counts[kind.code() as usize]
+    }
+
+    /// Number of data-memory references (loads + stores).
+    #[must_use]
+    pub fn memory_refs(&self) -> u64 {
+        self.count(EventKind::Load) + self.count(EventKind::Store)
+    }
+
+    /// Fraction of events that are memory references, in `[0, 1]`.
+    #[must_use]
+    pub fn memory_ref_fraction(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.memory_refs() as f64 / self.total as f64
+        }
+    }
+
+    /// Merges another statistics object into this one.
+    pub fn merge(&mut self, other: &TraceStats) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.total += other.total;
+    }
+}
+
+impl fmt::Display for TraceStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} instructions, {:.1}% memory references",
+            self.total,
+            self.memory_ref_fraction() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(kind: EventKind) -> EventRecord {
+        EventRecord { pc: 0, kind, tid: 0, in1: None, in2: None, out: None, addr: 0, size: 0 }
+    }
+
+    #[test]
+    fn counts_per_kind() {
+        let mut s = TraceStats::new();
+        s.observe(&rec(EventKind::Alu));
+        s.observe(&rec(EventKind::Alu));
+        s.observe(&rec(EventKind::Lock));
+        assert_eq!(s.count(EventKind::Alu), 2);
+        assert_eq!(s.count(EventKind::Lock), 1);
+        assert_eq!(s.count(EventKind::Free), 0);
+        assert_eq!(s.instructions(), 3);
+    }
+
+    #[test]
+    fn memory_fraction() {
+        let mut s = TraceStats::new();
+        assert_eq!(s.memory_ref_fraction(), 0.0, "empty trace");
+        s.observe(&rec(EventKind::Load));
+        s.observe(&rec(EventKind::Store));
+        s.observe(&rec(EventKind::Alu));
+        s.observe(&rec(EventKind::Branch));
+        assert_eq!(s.memory_refs(), 2);
+        assert!((s.memory_ref_fraction() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = TraceStats::new();
+        a.observe(&rec(EventKind::Load));
+        let mut b = TraceStats::new();
+        b.observe(&rec(EventKind::Store));
+        b.observe(&rec(EventKind::Alu));
+        a.merge(&b);
+        assert_eq!(a.instructions(), 3);
+        assert_eq!(a.memory_refs(), 2);
+    }
+
+    #[test]
+    fn display_mentions_fraction() {
+        let mut s = TraceStats::new();
+        s.observe(&rec(EventKind::Load));
+        assert!(s.to_string().contains("100.0%"));
+    }
+}

@@ -1,0 +1,238 @@
+//! Raw trace serialization — the paper's "trace generation tool".
+//!
+//! §3: "we developed a trace generation tool to produce log record traces
+//! from applications, and a Simics extension module to read the log traces
+//! and perform event-driven lifeguard executions." This module is that
+//! interchange format: a self-describing byte stream of raw records, so
+//! traces can be captured once and replayed through any lifeguard (or
+//! shipped between machines).
+
+use std::fmt;
+
+use crate::event::{DecodeRecordError, EventRecord, RAW_RECORD_BYTES};
+
+/// Magic bytes identifying a trace stream.
+const MAGIC: [u8; 4] = *b"LBA1";
+
+/// Error produced when decoding a trace stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// The stream does not start with the trace magic.
+    BadMagic,
+    /// The stream ended in the middle of a record or the header.
+    Truncated,
+    /// A record failed to decode.
+    BadRecord {
+        /// Index of the bad record.
+        index: u64,
+        /// The underlying decode error.
+        source: DecodeRecordError,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::BadMagic => write!(f, "not an LBA trace (bad magic)"),
+            TraceError::Truncated => write!(f, "trace stream is truncated"),
+            TraceError::BadRecord { index, source } => {
+                write!(f, "record {index} is invalid: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::BadRecord { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// Serializes event records into a raw trace stream.
+///
+/// # Examples
+///
+/// ```
+/// use lba_record::{EventRecord, TraceReader, TraceWriter};
+///
+/// let mut writer = TraceWriter::new();
+/// writer.push(&EventRecord::alu(0x1000, 0, Some(1), None, Some(2)));
+/// let bytes = writer.into_bytes();
+///
+/// let records: Vec<_> = TraceReader::new(&bytes)
+///     .expect("valid trace")
+///     .collect::<Result<_, _>>()
+///     .expect("all records decode");
+/// assert_eq!(records.len(), 1);
+/// assert_eq!(records[0].pc, 0x1000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceWriter {
+    bytes: Vec<u8>,
+    count: u64,
+}
+
+impl Default for TraceWriter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TraceWriter {
+    /// Creates a writer with an empty trace.
+    #[must_use]
+    pub fn new() -> Self {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.extend_from_slice(&0u64.to_le_bytes()); // count, patched later
+        TraceWriter { bytes, count: 0 }
+    }
+
+    /// Appends one record.
+    pub fn push(&mut self, record: &EventRecord) {
+        self.bytes.extend_from_slice(&record.encode_raw());
+        self.count += 1;
+    }
+
+    /// Records written so far.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether the trace is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Finalises the stream (patching the record count) and returns it.
+    #[must_use]
+    pub fn into_bytes(mut self) -> Vec<u8> {
+        self.bytes[4..12].copy_from_slice(&self.count.to_le_bytes());
+        self.bytes
+    }
+}
+
+/// Iterates over the records of a raw trace stream.
+#[derive(Debug, Clone)]
+pub struct TraceReader<'a> {
+    bytes: &'a [u8],
+    remaining: u64,
+    index: u64,
+}
+
+impl<'a> TraceReader<'a> {
+    /// Opens a trace stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::BadMagic`] or [`TraceError::Truncated`] when
+    /// the header is invalid.
+    pub fn new(bytes: &'a [u8]) -> Result<Self, TraceError> {
+        if bytes.len() < 12 {
+            return Err(TraceError::Truncated);
+        }
+        if bytes[0..4] != MAGIC {
+            return Err(TraceError::BadMagic);
+        }
+        let count = u64::from_le_bytes(bytes[4..12].try_into().expect("8 bytes"));
+        Ok(TraceReader { bytes: &bytes[12..], remaining: count, index: 0 })
+    }
+
+    /// Records declared by the header that are still unread.
+    #[must_use]
+    pub fn remaining(&self) -> u64 {
+        self.remaining
+    }
+}
+
+impl Iterator for TraceReader<'_> {
+    type Item = Result<EventRecord, TraceError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.remaining == 0 {
+            return None;
+        }
+        if self.bytes.len() < RAW_RECORD_BYTES {
+            self.remaining = 0;
+            return Some(Err(TraceError::Truncated));
+        }
+        let (head, tail) = self.bytes.split_at(RAW_RECORD_BYTES);
+        self.bytes = tail;
+        self.remaining -= 1;
+        let index = self.index;
+        self.index += 1;
+        let raw: &[u8; RAW_RECORD_BYTES] = head.try_into().expect("split at record size");
+        Some(
+            EventRecord::decode_raw(raw)
+                .map_err(|source| TraceError::BadRecord { index, source }),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(n: u64) -> Vec<EventRecord> {
+        (0..n)
+            .map(|i| EventRecord::load(0x1000 + i * 8, (i % 3) as u8, Some(1), Some(2), i * 64, 8))
+            .collect()
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let records = sample(50);
+        let mut writer = TraceWriter::new();
+        for rec in &records {
+            writer.push(rec);
+        }
+        assert_eq!(writer.len(), 50);
+        let bytes = writer.into_bytes();
+        let read: Vec<EventRecord> =
+            TraceReader::new(&bytes).unwrap().collect::<Result<_, _>>().unwrap();
+        assert_eq!(read, records);
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let bytes = TraceWriter::new().into_bytes();
+        let mut reader = TraceReader::new(&bytes).unwrap();
+        assert_eq!(reader.remaining(), 0);
+        assert!(reader.next().is_none());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = TraceWriter::new().into_bytes();
+        bytes[0] = b'X';
+        assert_eq!(TraceReader::new(&bytes).unwrap_err(), TraceError::BadMagic);
+    }
+
+    #[test]
+    fn truncated_stream_detected() {
+        let mut writer = TraceWriter::new();
+        writer.push(&EventRecord::alu(0x1000, 0, None, None, None));
+        let mut bytes = writer.into_bytes();
+        bytes.truncate(bytes.len() - 3);
+        let results: Vec<_> = TraceReader::new(&bytes).unwrap().collect();
+        assert_eq!(results, vec![Err(TraceError::Truncated)]);
+    }
+
+    #[test]
+    fn corrupt_record_reported_with_index() {
+        let mut writer = TraceWriter::new();
+        writer.push(&EventRecord::alu(0x1000, 0, None, None, None));
+        writer.push(&EventRecord::alu(0x1008, 0, None, None, None));
+        let mut bytes = writer.into_bytes();
+        // Corrupt the second record's kind byte.
+        bytes[12 + RAW_RECORD_BYTES + 8] = 0xee;
+        let results: Vec<_> = TraceReader::new(&bytes).unwrap().collect();
+        assert!(results[0].is_ok());
+        assert!(matches!(results[1], Err(TraceError::BadRecord { index: 1, .. })));
+    }
+}

@@ -1,0 +1,31 @@
+//! Log transport between the application core and the lifeguard core.
+//!
+//! The paper transports the compressed log through the cache hierarchy; the
+//! two cores are deliberately *not* synchronised and coordinate only through
+//! the log buffer. This crate provides both views of that mechanism:
+//!
+//! * [`LogBufferModel`] — the deterministic timing model used by the
+//!   co-simulation: a bounded byte-budget queue whose entries carry their
+//!   production timestamps, giving exact back-pressure (producer stalls on
+//!   full) and lag (consumer waits on empty) behaviour.
+//! * [`live`] — a real single-producer/single-consumer channel (crossbeam)
+//!   for the functional "live monitoring" mode, where application and
+//!   lifeguard genuinely run on different OS threads.
+//!
+//! # Examples
+//!
+//! ```
+//! use lba_record::EventRecord;
+//! use lba_transport::LogBufferModel;
+//!
+//! let mut buf = LogBufferModel::new(64); // 64-byte buffer
+//! let rec = EventRecord::alu(0x1000, 0, None, None, Some(1));
+//! assert!(buf.try_push(rec, 40, 100).is_ok()); // 40 bits at t=100
+//! let entry = buf.pop().expect("one entry queued");
+//! assert_eq!(entry.ready_at, 100);
+//! ```
+
+pub mod live;
+mod model;
+
+pub use model::{BufferFullError, LogBufferModel, TimedEntry, TransportStats};

@@ -1,0 +1,178 @@
+//! Real cross-thread log transport for live monitoring.
+//!
+//! The deterministic [`LogBufferModel`](crate::LogBufferModel) gives exact
+//! timing; this module gives the *functional* equivalent with genuine
+//! parallelism: the application machine runs on one OS thread pushing
+//! records, the lifeguard consumes them on another. Integration tests
+//! assert that both modes produce identical findings.
+//!
+//! # Examples
+//!
+//! ```
+//! use lba_record::EventRecord;
+//! use lba_transport::live;
+//!
+//! let (producer, consumer) = live::channel(1024);
+//! let writer = std::thread::spawn(move || {
+//!     for i in 0..100 {
+//!         producer.send(EventRecord::alu(0x1000 + i * 8, 0, None, None, None));
+//!     }
+//!     // producer dropped here closes the channel
+//! });
+//! let mut seen = 0;
+//! while let Some(_rec) = consumer.recv() {
+//!     seen += 1;
+//! }
+//! writer.join().unwrap();
+//! assert_eq!(seen, 100);
+//! ```
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+use crossbeam::queue::ArrayQueue;
+
+use lba_record::EventRecord;
+
+struct Shared {
+    queue: ArrayQueue<EventRecord>,
+    closed: AtomicBool,
+}
+
+/// The application-side handle: pushes records, blocking on back-pressure.
+pub struct LiveProducer {
+    shared: Arc<Shared>,
+}
+
+/// The lifeguard-side handle: pops records, blocking until data or close.
+pub struct LiveConsumer {
+    shared: Arc<Shared>,
+}
+
+/// Creates a bounded SPSC log channel holding up to `capacity_records`
+/// in-flight records.
+///
+/// Dropping the [`LiveProducer`] closes the channel; [`LiveConsumer::recv`]
+/// then drains the remaining records and returns `None`.
+///
+/// # Panics
+///
+/// Panics if `capacity_records` is zero.
+#[must_use]
+pub fn channel(capacity_records: usize) -> (LiveProducer, LiveConsumer) {
+    assert!(capacity_records > 0, "live channel capacity must be non-zero");
+    let shared = Arc::new(Shared {
+        queue: ArrayQueue::new(capacity_records),
+        closed: AtomicBool::new(false),
+    });
+    (LiveProducer { shared: Arc::clone(&shared) }, LiveConsumer { shared })
+}
+
+impl LiveProducer {
+    /// Sends one record, spinning (with yields) while the buffer is full —
+    /// the live analogue of the model's back-pressure stall.
+    pub fn send(&self, record: EventRecord) {
+        let mut rec = record;
+        loop {
+            match self.shared.queue.push(rec) {
+                Ok(()) => return,
+                Err(back) => {
+                    rec = back;
+                    thread::yield_now();
+                }
+            }
+        }
+    }
+}
+
+impl Drop for LiveProducer {
+    fn drop(&mut self) {
+        self.shared.closed.store(true, Ordering::Release);
+    }
+}
+
+impl LiveConsumer {
+    /// Receives the next record, blocking until one is available. Returns
+    /// `None` once the producer is dropped and the queue is drained.
+    pub fn recv(&self) -> Option<EventRecord> {
+        loop {
+            if let Some(rec) = self.shared.queue.pop() {
+                return Some(rec);
+            }
+            if self.shared.closed.load(Ordering::Acquire) {
+                // Drain anything that raced with the close flag.
+                return self.shared.queue.pop();
+            }
+            thread::yield_now();
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<EventRecord> {
+        self.shared.queue.pop()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(pc: u64) -> EventRecord {
+        EventRecord::alu(pc, 0, None, None, None)
+    }
+
+    #[test]
+    fn records_arrive_in_order() {
+        let (tx, rx) = channel(8);
+        let writer = thread::spawn(move || {
+            for i in 0..1000 {
+                tx.send(rec(i));
+            }
+        });
+        let mut expected = 0;
+        while let Some(r) = rx.recv() {
+            assert_eq!(r.pc, expected);
+            expected += 1;
+        }
+        writer.join().unwrap();
+        assert_eq!(expected, 1000);
+    }
+
+    #[test]
+    fn small_buffer_exerts_back_pressure_without_loss() {
+        let (tx, rx) = channel(1);
+        let writer = thread::spawn(move || {
+            for i in 0..100 {
+                tx.send(rec(i));
+            }
+        });
+        let mut count = 0;
+        while rx.recv().is_some() {
+            count += 1;
+        }
+        writer.join().unwrap();
+        assert_eq!(count, 100);
+    }
+
+    #[test]
+    fn close_with_empty_queue_returns_none() {
+        let (tx, rx) = channel(4);
+        drop(tx);
+        assert_eq!(rx.recv(), None);
+    }
+
+    #[test]
+    fn try_recv_is_nonblocking() {
+        let (tx, rx) = channel(4);
+        assert_eq!(rx.try_recv(), None);
+        tx.send(rec(1));
+        assert_eq!(rx.try_recv().map(|r| r.pc), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_rejected() {
+        let _ = channel(0);
+    }
+}

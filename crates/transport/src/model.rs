@@ -1,0 +1,229 @@
+//! Deterministic timed log-buffer model.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use lba_record::EventRecord;
+
+/// A log entry annotated with its compressed size and production time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimedEntry {
+    /// The event record.
+    pub record: EventRecord,
+    /// Compressed size in bits (occupancy accounting).
+    pub bits: u64,
+    /// Application-core cycle at which the entry became available.
+    pub ready_at: u64,
+}
+
+/// Error returned by [`LogBufferModel::try_push`] when the buffer cannot
+/// accept the entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BufferFullError {
+    /// Bits that were requested.
+    pub bits: u64,
+    /// Bits currently free.
+    pub free_bits: u64,
+}
+
+impl fmt::Display for BufferFullError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "log buffer full: need {} bits, {} free", self.bits, self.free_bits)
+    }
+}
+
+impl std::error::Error for BufferFullError {}
+
+/// Occupancy statistics for a [`LogBufferModel`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransportStats {
+    /// Entries pushed over the buffer's lifetime.
+    pub entries: u64,
+    /// Total bits pushed.
+    pub bits: u64,
+    /// High-water mark of occupancy, in bits.
+    pub high_water_bits: u64,
+}
+
+/// The bounded log buffer connecting the two cores, with timestamped
+/// entries for exact back-pressure simulation.
+///
+/// Capacity is a *byte* budget: the paper sizes the buffer as a memory
+/// region in the cache hierarchy, and compressed records are variable
+/// length, so occupancy is tracked in bits.
+#[derive(Debug, Clone)]
+pub struct LogBufferModel {
+    capacity_bits: u64,
+    queue: VecDeque<TimedEntry>,
+    occupied_bits: u64,
+    stats: TransportStats,
+}
+
+impl LogBufferModel {
+    /// Creates a buffer with a capacity of `capacity_bytes` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity_bytes` is zero.
+    #[must_use]
+    pub fn new(capacity_bytes: u64) -> Self {
+        assert!(capacity_bytes > 0, "log buffer capacity must be non-zero");
+        LogBufferModel {
+            capacity_bits: capacity_bytes * 8,
+            queue: VecDeque::new(),
+            occupied_bits: 0,
+            stats: TransportStats::default(),
+        }
+    }
+
+    /// Capacity in bits.
+    #[must_use]
+    pub fn capacity_bits(&self) -> u64 {
+        self.capacity_bits
+    }
+
+    /// Occupied bits.
+    #[must_use]
+    pub fn occupied_bits(&self) -> u64 {
+        self.occupied_bits
+    }
+
+    /// Whether an entry of `bits` fits right now.
+    ///
+    /// Oversized entries (larger than the whole buffer) are admitted when
+    /// the buffer is empty, so a single huge record cannot wedge the
+    /// pipeline.
+    #[must_use]
+    pub fn fits(&self, bits: u64) -> bool {
+        self.occupied_bits + bits <= self.capacity_bits || self.queue.is_empty()
+    }
+
+    /// Number of queued entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether the buffer is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Lifetime statistics.
+    #[must_use]
+    pub fn stats(&self) -> TransportStats {
+        self.stats
+    }
+
+    /// Pushes an entry produced at application-cycle `ready_at`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BufferFullError`] when the entry does not fit; the caller
+    /// (co-simulation) must drain entries and retry, charging the
+    /// application core the stall time.
+    pub fn try_push(
+        &mut self,
+        record: EventRecord,
+        bits: u64,
+        ready_at: u64,
+    ) -> Result<(), BufferFullError> {
+        if !self.fits(bits) {
+            return Err(BufferFullError {
+                bits,
+                // Saturating: an admitted oversized entry can leave the
+                // buffer over-full.
+                free_bits: self.capacity_bits.saturating_sub(self.occupied_bits),
+            });
+        }
+        self.queue.push_back(TimedEntry { record, bits, ready_at });
+        self.occupied_bits += bits;
+        self.stats.entries += 1;
+        self.stats.bits += bits;
+        self.stats.high_water_bits = self.stats.high_water_bits.max(self.occupied_bits);
+        Ok(())
+    }
+
+    /// Removes and returns the oldest entry.
+    pub fn pop(&mut self) -> Option<TimedEntry> {
+        let entry = self.queue.pop_front()?;
+        self.occupied_bits -= entry.bits;
+        Some(entry)
+    }
+
+    /// Peeks at the oldest entry without removing it.
+    #[must_use]
+    pub fn front(&self) -> Option<&TimedEntry> {
+        self.queue.front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(pc: u64) -> EventRecord {
+        EventRecord::alu(pc, 0, None, None, None)
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut buf = LogBufferModel::new(1024);
+        for i in 0..10 {
+            buf.try_push(rec(i), 8, i).unwrap();
+        }
+        for i in 0..10 {
+            let e = buf.pop().unwrap();
+            assert_eq!(e.record.pc, i);
+            assert_eq!(e.ready_at, i);
+        }
+        assert!(buf.pop().is_none());
+    }
+
+    #[test]
+    fn occupancy_tracks_bits() {
+        let mut buf = LogBufferModel::new(4); // 32 bits
+        buf.try_push(rec(0), 20, 0).unwrap();
+        assert_eq!(buf.occupied_bits(), 20);
+        let err = buf.try_push(rec(1), 20, 1).unwrap_err();
+        assert_eq!(err.free_bits, 12);
+        buf.pop().unwrap();
+        assert_eq!(buf.occupied_bits(), 0);
+        buf.try_push(rec(1), 20, 1).unwrap();
+    }
+
+    #[test]
+    fn oversized_entry_admitted_when_empty() {
+        let mut buf = LogBufferModel::new(1); // 8 bits
+        assert!(buf.try_push(rec(0), 64, 0).is_ok(), "oversized entry must not wedge");
+        assert!(buf.try_push(rec(1), 1, 0).is_err(), "but the buffer is now over-full");
+        buf.pop().unwrap();
+        assert!(buf.try_push(rec(1), 1, 0).is_ok());
+    }
+
+    #[test]
+    fn high_water_mark_recorded() {
+        let mut buf = LogBufferModel::new(16);
+        buf.try_push(rec(0), 40, 0).unwrap();
+        buf.try_push(rec(1), 40, 0).unwrap();
+        buf.pop().unwrap();
+        assert_eq!(buf.stats().high_water_bits, 80);
+        assert_eq!(buf.stats().entries, 2);
+        assert_eq!(buf.stats().bits, 80);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_rejected() {
+        let _ = LogBufferModel::new(0);
+    }
+
+    #[test]
+    fn front_peeks_without_removing() {
+        let mut buf = LogBufferModel::new(64);
+        buf.try_push(rec(7), 8, 3).unwrap();
+        assert_eq!(buf.front().unwrap().record.pc, 7);
+        assert_eq!(buf.len(), 1);
+    }
+}

@@ -1,0 +1,77 @@
+//! `bc` — arbitrary-precision calculator.
+//!
+//! Character: ALU-dominated bignum digit loops over a small working set
+//! (fits comfortably in L1), few runtime events. The least memory-bound of
+//! the seven single-threaded benchmarks.
+
+use lba_isa::{r, Assembler, Program, Reg, Width};
+use lba_mem::layout::GLOBAL_BASE;
+
+use crate::rng;
+
+const NDIGITS: i64 = 32;
+const PASSES: i64 = 320;
+
+const A_BASE: i64 = GLOBAL_BASE as i64;
+const B_BASE: i64 = GLOBAL_BASE as i64 + 0x1000;
+const C_BASE: i64 = GLOBAL_BASE as i64 + 0x2000;
+
+pub(crate) fn build(scale: u32) -> Program {
+    let mut asm = Assembler::new("bc");
+    let mut rand = rng::rng_for("bc");
+    // Operand bignums: NDIGITS 64-bit limbs each.
+    asm.data(A_BASE as u64, rng::bytes(&mut rand, (NDIGITS * 8) as usize));
+    asm.data(B_BASE as u64, rng::bytes(&mut rand, (NDIGITS * 8) as usize));
+
+    let (pa, pb, pc) = (r(1), r(2), r(3));
+    let (pass, i, carry) = (r(4), r(5), r(6));
+    let (x, y, z) = (r(7), r(8), r(9));
+    let sp_slot = r(10); // interpreter operand-stack slot
+
+    asm.movi(pass, PASSES * i64::from(scale));
+    let pass_loop = asm.here("pass_loop");
+    asm.movi(pa, A_BASE);
+    asm.movi(pb, B_BASE);
+    asm.movi(pc, C_BASE);
+    asm.movi(sp_slot, C_BASE + 0x800);
+    asm.movi(carry, 0);
+    asm.movi(i, NDIGITS);
+    let digit_loop = asm.here("digit_loop");
+    // One schoolbook multiply-accumulate limb step. `bc` is a stack-machine
+    // interpreter, so each step also spills/reloads the running total
+    // through its operand stack.
+    asm.load(x, pa, 0, Width::B8);
+    asm.load(y, pb, 0, Width::B8);
+    asm.mul(z, x, y);
+    asm.add(z, z, carry);
+    asm.store(z, sp_slot, 0, Width::B8); // push intermediate
+    asm.shri(carry, z, 32);
+    asm.load(z, sp_slot, 0, Width::B8); // pop intermediate
+    asm.shli(z, z, 32);
+    asm.shri(z, z, 32);
+    asm.store(z, pc, 0, Width::B8);
+    asm.addi(pa, pa, 8);
+    asm.addi(pb, pb, 8);
+    asm.addi(pc, pc, 8);
+    asm.subi(i, i, 1);
+    asm.bne(i, Reg::ZERO, digit_loop);
+    // Print the result line.
+    asm.syscall(1);
+    asm.subi(pass, pass, 1);
+    asm.bne(pass, Reg::ZERO, pass_loop);
+    asm.halt();
+    asm.finish().expect("bc assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_with_expected_shape() {
+        let p = build(1);
+        assert_eq!(p.name(), "bc");
+        assert_eq!(p.entries().len(), 1);
+        assert_eq!(p.data().len(), 2);
+    }
+}

@@ -1,0 +1,76 @@
+//! `gnuplot` — function plotting.
+//!
+//! Character: streaming transforms of sample arrays into point arrays;
+//! medium working set (L1-overflowing, L2-resident), fixed-point
+//! polynomial evaluation between the loads and the store.
+
+use lba_isa::{r, Assembler, Program, Reg, Width};
+use lba_mem::layout::GLOBAL_BASE;
+
+use crate::rng;
+
+const SAMPLES: i64 = 4096;
+const PASSES: i64 = 5;
+
+const SAMPLE_BASE: i64 = GLOBAL_BASE as i64;
+const COEFF_BASE: i64 = GLOBAL_BASE as i64 + 0x10_000;
+const POINT_BASE: i64 = GLOBAL_BASE as i64 + 0x20_000;
+
+pub(crate) fn build(scale: u32) -> Program {
+    let mut asm = Assembler::new("gnuplot");
+    let mut rand = rng::rng_for("gnuplot");
+    asm.data(SAMPLE_BASE as u64, rng::bytes(&mut rand, (SAMPLES * 8) as usize));
+    asm.data(COEFF_BASE as u64, rng::bytes(&mut rand, (SAMPLES * 8) as usize));
+
+    let (ps, pc, pp) = (r(1), r(2), r(3));
+    let (pass, i) = (r(4), r(5));
+    let (x, c, t, u) = (r(6), r(7), r(8), r(9));
+
+    asm.movi(pass, PASSES * i64::from(scale));
+    let pass_loop = asm.here("pass_loop");
+    asm.movi(ps, SAMPLE_BASE);
+    asm.movi(pc, COEFF_BASE);
+    asm.movi(pp, POINT_BASE);
+    asm.movi(i, SAMPLES / 2);
+    let point_loop = asm.here("point_loop");
+    // Two points per iteration (offset addressing); each point is
+    // y = (x*x >> 16) + c, stored as an (x, y) pair.
+    asm.load(x, ps, 0, Width::B8);
+    asm.load(c, pc, 0, Width::B8);
+    asm.mul(t, x, x);
+    asm.shri(t, t, 16);
+    asm.add(t, t, c);
+    asm.store(x, pp, 0, Width::B8);
+    asm.store(t, pp, 8, Width::B8);
+    asm.load(x, ps, 8, Width::B8);
+    asm.load(c, pc, 8, Width::B8);
+    asm.mul(u, x, x);
+    asm.shri(u, u, 16);
+    asm.add(u, u, c);
+    asm.store(x, pp, 16, Width::B8);
+    asm.store(u, pp, 24, Width::B8);
+    asm.addi(ps, ps, 16);
+    asm.addi(pc, pc, 16);
+    asm.addi(pp, pp, 32);
+    asm.subi(i, i, 1);
+    asm.bne(i, Reg::ZERO, point_loop);
+    // Flush the curve to the terminal driver.
+    asm.syscall(1);
+    asm.subi(pass, pass, 1);
+    asm.bne(pass, Reg::ZERO, pass_loop);
+    asm.halt();
+    asm.finish().expect("gnuplot assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_with_expected_shape() {
+        let p = build(1);
+        assert_eq!(p.name(), "gnuplot");
+        assert_eq!(p.data().len(), 2);
+        assert_eq!(p.data()[0].bytes.len(), (SAMPLES * 8) as usize);
+    }
+}

@@ -1,0 +1,82 @@
+//! `gs` — PostScript rendering.
+//!
+//! Character: heavy allocator churn (one raster buffer per page) plus
+//! store-dominated fills and load-blend-store compositing against a global
+//! texture; a syscall ships each finished page. The densest AddrCheck
+//! workload.
+
+use lba_isa::{r, Assembler, Program, Reg, Width};
+use lba_mem::layout::GLOBAL_BASE;
+
+use crate::rng;
+
+const PAGES: i64 = 250;
+const BUF_BYTES: i64 = 1024;
+const TEXTURE_BASE: i64 = GLOBAL_BASE as i64;
+
+pub(crate) fn build(scale: u32) -> Program {
+    let mut asm = Assembler::new("gs");
+    let mut rand = rng::rng_for("gs");
+    asm.data(TEXTURE_BASE as u64, rng::bytes(&mut rand, BUF_BYTES as usize));
+
+    let (page, buf, size) = (r(1), r(2), r(3));
+    let (p, q, i) = (r(4), r(5), r(6));
+    let (v, w, acc) = (r(7), r(8), r(9));
+
+    asm.movi(page, PAGES * i64::from(scale));
+    let page_loop = asm.here("page_loop");
+    asm.movi(size, BUF_BYTES);
+    asm.alloc(buf, size);
+
+    // Fill: unrolled 4x8-byte stores per iteration.
+    asm.mov(p, buf);
+    asm.movi(i, BUF_BYTES / 32);
+    asm.movi(v, 0x00ff_00ff);
+    let fill_loop = asm.here("fill_loop");
+    asm.store(v, p, 0, Width::B8);
+    asm.store(v, p, 8, Width::B8);
+    asm.store(v, p, 16, Width::B8);
+    asm.store(v, p, 24, Width::B8);
+    asm.addi(p, p, 32);
+    asm.subi(i, i, 1);
+    asm.bne(i, Reg::ZERO, fill_loop);
+
+    // Blend the texture into the page: load-load-op-store, unrolled 2x.
+    asm.mov(p, buf);
+    asm.movi(q, TEXTURE_BASE);
+    asm.movi(i, BUF_BYTES / 16);
+    let blend_loop = asm.here("blend_loop");
+    asm.load(v, q, 0, Width::B8);
+    asm.load(w, p, 0, Width::B8);
+    asm.xor(w, w, v);
+    asm.store(w, p, 0, Width::B8);
+    asm.load(v, q, 8, Width::B8);
+    asm.load(w, p, 8, Width::B8);
+    asm.add(w, w, v);
+    asm.store(w, p, 8, Width::B8);
+    asm.addi(p, p, 16);
+    asm.addi(q, q, 16);
+    asm.subi(i, i, 1);
+    asm.bne(i, Reg::ZERO, blend_loop);
+
+    // Checksum one word so the blend is observable, ship the page, release.
+    asm.load(acc, buf, 0, Width::B8);
+    asm.syscall(1);
+    asm.free(buf);
+    asm.subi(page, page, 1);
+    asm.bne(page, Reg::ZERO, page_loop);
+    asm.halt();
+    asm.finish().expect("gs assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_with_expected_shape() {
+        let p = build(1);
+        assert_eq!(p.name(), "gs");
+        assert_eq!(p.entries().len(), 1);
+    }
+}

@@ -1,0 +1,87 @@
+//! `gzip` — sliding-window compression.
+//!
+//! Character: byte-granular input scanning with a hash-table update per
+//! position and window writes; input arrives through `recv` (so gzip is
+//! also a TaintCheck source workload); a syscall writes each compressed
+//! chunk out.
+
+use lba_isa::{r, Assembler, Program, Reg, Width};
+use lba_mem::layout::GLOBAL_BASE;
+
+use crate::rng;
+
+const CHUNKS: i64 = 16;
+const CHUNK_BYTES: i64 = 1024;
+const HASH_BASE: i64 = GLOBAL_BASE as i64;
+
+
+pub(crate) fn build(scale: u32) -> Program {
+    let mut asm = Assembler::new("gzip");
+    let mut rand = rng::rng_for("gzip");
+    asm.input(rng::bytes(&mut rand, 4096));
+
+    let (inbuf, window, size) = (r(1), r(2), r(3));
+    let (chunk, i, h) = (r(4), r(5), r(6));
+    let (c0, c1, a, pos) = (r(7), r(8), r(9), r(10));
+    let (pin, pw) = (r(11), r(12));
+
+    // Allocate the input buffer and the output window on the heap.
+    asm.movi(size, CHUNK_BYTES);
+    asm.alloc(inbuf, size);
+    asm.movi(size, CHUNK_BYTES * 2);
+    asm.alloc(window, size);
+    asm.movi(h, 0);
+    asm.movi(pos, 0);
+
+    asm.movi(chunk, CHUNKS * i64::from(scale));
+    let chunk_loop = asm.here("chunk_loop");
+    // Pull one chunk of input (tainted under TaintCheck).
+    asm.movi(size, CHUNK_BYTES);
+    asm.recv(inbuf, size);
+    asm.mov(pin, inbuf);
+    asm.mov(pw, window);
+    asm.movi(i, CHUNK_BYTES / 2);
+    let byte_loop = asm.here("byte_loop");
+    // Two input bytes per iteration: hash, probe, update, emit.
+    asm.load(c0, pin, 0, Width::B1);
+    asm.load(c1, pin, 1, Width::B1);
+    asm.shli(h, h, 5);
+    asm.xor(h, h, c0);
+    asm.xor(h, h, c1);
+    asm.andi(h, h, 0x7ffc);
+    asm.add(a, Reg::ZERO, h);
+    asm.addi(a, a, HASH_BASE);
+    asm.load(c0, a, 0, Width::B4); // previous position for this hash
+    asm.store(pos, a, 0, Width::B4); // chain update
+    // Probe the window at the chained position for a match.
+    asm.andi(c0, c0, 0x3ff);
+    asm.add(c0, c0, window);
+    asm.load(c0, c0, 0, Width::B1);
+    asm.store(c1, pw, 0, Width::B1); // literal emit
+    asm.store(c0, pw, 1, Width::B1); // match byte emit
+    asm.addi(pin, pin, 2);
+    asm.addi(pw, pw, 2);
+    asm.addi(pos, pos, 2);
+    asm.subi(i, i, 1);
+    asm.bne(i, Reg::ZERO, byte_loop);
+    // Write the compressed chunk.
+    asm.syscall(1);
+    asm.subi(chunk, chunk, 1);
+    asm.bne(chunk, Reg::ZERO, chunk_loop);
+    asm.free(window);
+    asm.free(inbuf);
+    asm.halt();
+    asm.finish().expect("gzip assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_with_expected_shape() {
+        let p = build(1);
+        assert_eq!(p.name(), "gzip");
+        assert_eq!(p.input().len(), 4096);
+    }
+}

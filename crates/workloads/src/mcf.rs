@@ -1,0 +1,77 @@
+//! `mcf` — network-simplex optimisation.
+//!
+//! Character: the cache-hostile benchmark. A 1 MiB heap arena (twice the
+//! shared L2) is first populated, then traversed with data-dependent
+//! pointer chasing: each loaded value determines the next node address, so
+//! nearly every arena access misses L1 and many miss L2.
+
+use lba_isa::{r, Assembler, Program, Reg, Width};
+
+const ARENA_BYTES: i64 = 1 << 20;
+/// Mask selecting a 16-byte-aligned offset within the arena.
+const ARENA_MASK: i64 = ARENA_BYTES - 16;
+const INIT_STRIDE: i64 = 16;
+const OUTER: i64 = 8;
+const CHASES: i64 = 3072;
+
+pub(crate) fn build(scale: u32) -> Program {
+    let mut asm = Assembler::new("mcf");
+
+    let (arena, size, p) = (r(1), r(2), r(3));
+    let (i, outer, seed) = (r(4), r(5), r(6));
+    let (v, c, acc, a) = (r(7), r(8), r(9), r(10));
+
+    asm.movi(size, ARENA_BYTES);
+    asm.alloc(arena, size);
+
+    // Build the network: write a pseudo-random word into every node so the
+    // chase below follows unpredictable links.
+    asm.mov(p, arena);
+    asm.movi(seed, 0x2545F49);
+    asm.movi(i, ARENA_BYTES / INIT_STRIDE);
+    let init_loop = asm.here("init_loop");
+    asm.muli(seed, seed, 0x19660D);
+    asm.addi(seed, seed, 0x3C6EF35F);
+    asm.store(seed, p, 0, Width::B8);
+    asm.store(seed, p, 8, Width::B8);
+    asm.addi(p, p, INIT_STRIDE);
+    asm.subi(i, i, 1);
+    asm.bne(i, Reg::ZERO, init_loop);
+    asm.syscall(2); // network loaded
+
+    // Simplex iterations: dependent pointer chase with a cost update.
+    asm.movi(outer, OUTER * i64::from(scale));
+    asm.movi(v, 0x1234_5678);
+    asm.movi(acc, 0);
+    let outer_loop = asm.here("outer_loop");
+    asm.movi(i, CHASES);
+    let chase_loop = asm.here("chase_loop");
+    // next = arena + (v & mask): the loaded value *is* the link.
+    asm.andi(a, v, ARENA_MASK);
+    asm.add(a, a, arena);
+    asm.load(v, a, 0, Width::B8);
+    asm.load(c, a, 8, Width::B8);
+    asm.add(acc, acc, c);
+    asm.store(acc, a, 8, Width::B8);
+    asm.subi(i, i, 1);
+    asm.bne(i, Reg::ZERO, chase_loop);
+    // Report the improved objective.
+    asm.syscall(1);
+    asm.subi(outer, outer, 1);
+    asm.bne(outer, Reg::ZERO, outer_loop);
+    asm.free(arena);
+    asm.halt();
+    asm.finish().expect("mcf assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_with_expected_shape() {
+        let p = build(1);
+        assert_eq!(p.name(), "mcf");
+        assert_eq!(p.entries().len(), 1);
+    }
+}

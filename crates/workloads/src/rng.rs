@@ -1,0 +1,60 @@
+//! Deterministic pseudo-random data for workload generators.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded RNG for one benchmark; the seed is derived from the benchmark
+/// name so every generator is independent yet reproducible.
+pub(crate) fn rng_for(name: &str) -> StdRng {
+    let mut seed = [0u8; 32];
+    for (i, b) in name.bytes().enumerate() {
+        seed[i % 32] ^= b.wrapping_mul(i as u8 + 31);
+    }
+    seed[0] ^= 0xa5;
+    StdRng::from_seed(seed)
+}
+
+/// `n` pseudo-random bytes.
+pub(crate) fn bytes(rng: &mut StdRng, n: usize) -> Vec<u8> {
+    (0..n).map(|_| rng.gen()).collect()
+}
+
+/// `n` little-endian u32 indices in `0..bound`, as raw bytes (for lookup
+/// tables stored in data segments).
+pub(crate) fn index_table(rng: &mut StdRng, n: usize, bound: u32) -> Vec<u8> {
+    let mut out = Vec::with_capacity(n * 4);
+    for _ in 0..n {
+        let v: u32 = rng.gen_range(0..bound);
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let a = bytes(&mut rng_for("gzip"), 16);
+        let b = bytes(&mut rng_for("gzip"), 16);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_names_differ() {
+        let a = bytes(&mut rng_for("gzip"), 16);
+        let b = bytes(&mut rng_for("mcf"), 16);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn index_table_respects_bound() {
+        let raw = index_table(&mut rng_for("t"), 100, 50);
+        assert_eq!(raw.len(), 400);
+        for chunk in raw.chunks(4) {
+            let v = u32::from_le_bytes(chunk.try_into().unwrap());
+            assert!(v < 50);
+        }
+    }
+}

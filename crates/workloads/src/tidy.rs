@@ -1,0 +1,106 @@
+//! `tidy` — HTML cleanup.
+//!
+//! Character: byte-wise classification of received markup with branches per
+//! character class, a node allocation per "tag", and an output-building
+//! copy phase; mixes parsing, allocation churn and buffer writes.
+
+use lba_isa::{r, Assembler, Program, Reg, Width};
+use lba_mem::layout::GLOBAL_BASE;
+
+use crate::rng;
+
+const CHUNKS: i64 = 8;
+const CHUNK_BYTES: i64 = 2048;
+const NODE_BYTES: i64 = 32;
+/// One node per this many input bytes.
+const TAG_PERIOD: i64 = 64;
+const OUT_BASE: i64 = GLOBAL_BASE as i64 + 0x40_000;
+/// Node pointers saved here so every chunk's nodes are freed afterwards.
+const PTRS_BASE: i64 = GLOBAL_BASE as i64 + 0x50_000;
+
+/// Byte-classification lookup table (a `ctype`-style table).
+const CLASS_BASE: i64 = GLOBAL_BASE as i64 + 0x60_000;
+
+pub(crate) fn build(scale: u32) -> Program {
+    let mut asm = Assembler::new("tidy");
+    let mut rand = rng::rng_for("tidy");
+    asm.input(rng::bytes(&mut rand, 4096));
+    asm.data(CLASS_BASE as u64, rng::bytes(&mut rand, 256));
+
+    let (inbuf, size, chunk) = (r(1), r(2), r(3));
+    let (pin, pout, i) = (r(4), r(5), r(6));
+    let (c, t, node) = (r(7), r(8), r(9));
+    let (pptr, nptr, tagcnt) = (r(10), r(11), r(12));
+    let tbl = r(13);
+
+    asm.movi(size, CHUNK_BYTES);
+    asm.alloc(inbuf, size);
+    asm.movi(tbl, CLASS_BASE);
+
+    asm.movi(chunk, CHUNKS * i64::from(scale));
+    let chunk_loop = asm.here("chunk_loop");
+    asm.movi(size, CHUNK_BYTES);
+    asm.recv(inbuf, size);
+    asm.mov(pin, inbuf);
+    asm.movi(pout, OUT_BASE);
+    asm.movi(pptr, PTRS_BASE);
+    asm.movi(nptr, 0);
+    asm.movi(tagcnt, TAG_PERIOD);
+    asm.movi(i, CHUNK_BYTES);
+
+    let no_tag = asm.label("no_tag");
+    let byte_loop = asm.here("byte_loop");
+    // Table-driven classification (ctype lookup), then emit the byte and
+    // its class to the output and attribute maps.
+    asm.load(c, pin, 0, Width::B1);
+    asm.add(t, tbl, c);
+    asm.load(t, t, 0, Width::B1);
+    asm.store(c, pout, 0, Width::B1);
+    asm.store(t, pout, 0x2000, Width::B1); // attribute map shadows output
+    // Every TAG_PERIOD bytes: allocate a parse node and record it.
+    asm.subi(tagcnt, tagcnt, 1);
+    asm.bne(tagcnt, Reg::ZERO, no_tag);
+    asm.movi(tagcnt, TAG_PERIOD);
+    asm.movi(size, NODE_BYTES);
+    asm.alloc(node, size);
+    asm.store(c, node, 0, Width::B8); // tag byte
+    asm.store(pin, node, 8, Width::B8); // source position
+    asm.store(node, pptr, 0, Width::B8); // remember for cleanup
+    asm.addi(pptr, pptr, 8);
+    asm.addi(nptr, nptr, 1);
+    asm.bind(no_tag);
+    asm.addi(pin, pin, 1);
+    asm.addi(pout, pout, 1);
+    asm.subi(i, i, 1);
+    asm.bne(i, Reg::ZERO, byte_loop);
+
+    // Emit the cleaned chunk, then free this chunk's parse nodes.
+    asm.syscall(1);
+    let done_free = asm.label("done_free");
+    let free_loop_top = asm.here("free_loop");
+    asm.beq(nptr, Reg::ZERO, done_free);
+    asm.subi(pptr, pptr, 8);
+    asm.load(node, pptr, 0, Width::B8);
+    asm.free(node);
+    asm.subi(nptr, nptr, 1);
+    asm.jump(free_loop_top);
+    asm.bind(done_free);
+
+    asm.subi(chunk, chunk, 1);
+    asm.bne(chunk, Reg::ZERO, chunk_loop);
+    asm.free(inbuf);
+    asm.halt();
+    asm.finish().expect("tidy assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_with_expected_shape() {
+        let p = build(1);
+        assert_eq!(p.name(), "tidy");
+        assert!(p.input().len() >= 4096);
+    }
+}

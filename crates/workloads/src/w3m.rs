@@ -1,0 +1,138 @@
+//! `w3m` — text-mode web browser.
+//!
+//! Character: received (network, i.e. *tainted*) pages drive a
+//! character-class handler dispatch through an in-memory **jump table** —
+//! the indirect-jump-dense workload that motivates TaintCheck's
+//! jump-target checking. Each handler updates a rendering state table, and
+//! a render phase copies the line buffer to the screen.
+
+use lba_isa::{r, Assembler, Program, Reg, Width};
+use lba_mem::layout::GLOBAL_BASE;
+
+use crate::rng;
+
+const PAGES: i64 = 6;
+const PAGE_BYTES: i64 = 2048;
+const TABLE_BASE: i64 = GLOBAL_BASE as i64; // 4 handler slots x 8 bytes
+const STATE_BASE: i64 = GLOBAL_BASE as i64 + 0x1000;
+const LINE_BASE: i64 = GLOBAL_BASE as i64 + 0x2000;
+const SCREEN_BASE: i64 = GLOBAL_BASE as i64 + 0x4000;
+
+pub(crate) fn build(scale: u32) -> Program {
+    let mut asm = Assembler::new("w3m");
+    let mut rand = rng::rng_for("w3m");
+    asm.input(rng::bytes(&mut rand, 4096));
+
+    let (inbuf, size, page) = (r(1), r(2), r(3));
+    let (pin, i, c) = (r(4), r(5), r(6));
+    let (cls, a, h, st) = (r(7), r(8), r(9), r(10));
+    let (pl, tab, j, v) = (r(11), r(12), r(13), r(14));
+    let ps = a; // render phase reuses the scratch register
+
+    let h_text = asm.label("h_text");
+    let h_tag = asm.label("h_tag");
+    let h_entity = asm.label("h_entity");
+    let h_ctrl = asm.label("h_ctrl");
+    let after_handler = asm.label("after_handler");
+
+    // Populate the handler jump table (function-pointer slots in memory —
+    // exactly the structure an exploit would overwrite).
+    asm.movi(a, TABLE_BASE);
+    asm.lea(h, h_text);
+    asm.store(h, a, 0, Width::B8);
+    asm.lea(h, h_tag);
+    asm.store(h, a, 8, Width::B8);
+    asm.lea(h, h_entity);
+    asm.store(h, a, 16, Width::B8);
+    asm.lea(h, h_ctrl);
+    asm.store(h, a, 24, Width::B8);
+
+    asm.movi(size, PAGE_BYTES);
+    asm.alloc(inbuf, size);
+    // Loop-invariant bases live in registers (as a compiler would emit).
+    asm.movi(st, STATE_BASE);
+    asm.movi(tab, TABLE_BASE);
+
+    asm.movi(page, PAGES * i64::from(scale));
+    let page_loop = asm.here("page_loop");
+    asm.movi(size, PAGE_BYTES);
+    asm.recv(inbuf, size);
+    asm.mov(pin, inbuf);
+    asm.movi(pl, LINE_BASE);
+    asm.movi(i, PAGE_BYTES);
+
+    let byte_loop = asm.here("byte_loop");
+    asm.load(c, pin, 0, Width::B1);
+    asm.andi(cls, c, 3);
+    asm.shli(cls, cls, 3);
+    asm.add(a, tab, cls);
+    asm.load(h, a, 0, Width::B8);
+    asm.jump_reg(h); // dispatch through the function-pointer table
+
+    // Handlers: each reads and updates the rendering state table, then
+    // falls through to the shared continuation.
+    asm.bind(h_text);
+    asm.load(v, st, 0, Width::B8);
+    asm.add(v, v, c);
+    asm.store(v, st, 0, Width::B8);
+    asm.jump(after_handler);
+
+    asm.bind(h_tag);
+    asm.load(v, st, 8, Width::B8);
+    asm.addi(v, v, 1);
+    asm.store(v, st, 8, Width::B8);
+    asm.jump(after_handler);
+
+    asm.bind(h_entity);
+    asm.load(v, st, 16, Width::B8);
+    asm.xor(v, v, c);
+    asm.store(v, st, 16, Width::B8);
+    asm.jump(after_handler);
+
+    asm.bind(h_ctrl);
+    asm.load(v, st, 24, Width::B8);
+    asm.addi(v, v, 2);
+    asm.store(v, st, 24, Width::B8);
+    asm.jump(after_handler);
+
+    asm.bind(after_handler);
+    // Append the (possibly transformed) byte to the line buffer.
+    asm.andi(j, i, 0x7f);
+    asm.add(a, pl, j);
+    asm.store(c, a, 0, Width::B1);
+    asm.addi(pin, pin, 1);
+    asm.subi(i, i, 1);
+    asm.bne(i, Reg::ZERO, byte_loop);
+
+    // Render: copy the line buffer to the screen, 16 bytes per iteration.
+    asm.movi(ps, SCREEN_BASE);
+    asm.movi(j, 128 / 16);
+    let render_loop = asm.here("render_loop");
+    asm.load(v, pl, 0, Width::B8);
+    asm.store(v, ps, 0, Width::B8);
+    asm.load(v, pl, 8, Width::B8);
+    asm.store(v, ps, 8, Width::B8);
+    asm.addi(pl, pl, 16);
+    asm.addi(ps, ps, 16);
+    asm.subi(j, j, 1);
+    asm.bne(j, Reg::ZERO, render_loop);
+    asm.syscall(1); // blit to terminal
+
+    asm.subi(page, page, 1);
+    asm.bne(page, Reg::ZERO, page_loop);
+    asm.free(inbuf);
+    asm.halt();
+    asm.finish().expect("w3m assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_with_expected_shape() {
+        let p = build(1);
+        assert_eq!(p.name(), "w3m");
+        assert!(p.len() > 50);
+    }
+}

@@ -1,0 +1,85 @@
+//! `water` — SPLASH-2-style molecular dynamics (multi-threaded).
+//!
+//! Character: four threads each integrate a private molecule slab (loads of
+//! position components, fixed-point force math, acceleration store), then
+//! fold their partial forces into a shared global array **under a lock**.
+//! Disciplined locking means LockSet sees heavy monitored traffic but no
+//! races.
+
+use lba_isa::{r, Assembler, Program, Reg, Width};
+use lba_mem::layout::GLOBAL_BASE;
+
+use crate::rng;
+
+const THREADS: usize = 4;
+const MOLECULES: i64 = 512;
+const STEPS: i64 = 8;
+const FORCE_BASE: i64 = GLOBAL_BASE as i64; // shared, lock-protected
+const LOCK_ADDR: i64 = GLOBAL_BASE as i64 + 0x100;
+const PRIV_BASE: i64 = GLOBAL_BASE as i64 + 0x1_0000;
+const PRIV_STRIDE: i64 = 0x8000; // 32 KiB per-thread slab
+
+pub(crate) fn build(scale: u32) -> Program {
+    let mut asm = Assembler::new("water");
+    let mut rand = rng::rng_for("water");
+    for tid in 0..THREADS {
+        asm.data(
+            (PRIV_BASE + tid as i64 * PRIV_STRIDE) as u64,
+            rng::bytes(&mut rand, (MOLECULES * 32) as usize),
+        );
+    }
+
+    let (p, i, steps) = (r(1), r(2), r(3));
+    let (x, y, z, f) = (r(4), r(5), r(6), r(7));
+    let (g, v, lk) = (r(8), r(9), r(10));
+
+    for tid in 0..THREADS {
+        let entry = asm.here(format!("t{tid}"));
+        asm.entry(entry);
+        asm.movi(steps, STEPS * i64::from(scale));
+        let step_loop = asm.here(format!("t{tid}_step"));
+        asm.movi(p, PRIV_BASE + tid as i64 * PRIV_STRIDE);
+        asm.movi(i, MOLECULES);
+        let mol_loop = asm.here(format!("t{tid}_mol"));
+        // Integrate one molecule: read components, compute, store accel.
+        asm.load(x, p, 0, Width::B8);
+        asm.load(y, p, 8, Width::B8);
+        asm.load(z, p, 16, Width::B8);
+        asm.mul(f, x, y);
+        asm.add(f, f, z);
+        asm.shri(f, f, 7);
+        asm.store(f, p, 24, Width::B8);
+        asm.addi(p, p, 32);
+        asm.subi(i, i, 1);
+        asm.bne(i, Reg::ZERO, mol_loop);
+        // Fold the partial force into the shared array, locked.
+        asm.movi(lk, LOCK_ADDR);
+        asm.lock(lk);
+        asm.movi(g, FORCE_BASE);
+        for slot in 0..4 {
+            asm.load(v, g, slot * 8, Width::B8);
+            asm.add(v, v, f);
+            asm.store(v, g, slot * 8, Width::B8);
+        }
+        asm.unlock(lk);
+        // Periodic checkpoint of the trajectory.
+        asm.syscall(1);
+        asm.subi(steps, steps, 1);
+        asm.bne(steps, Reg::ZERO, step_loop);
+        asm.halt();
+    }
+    asm.finish().expect("water assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_with_four_threads() {
+        let p = build(1);
+        assert_eq!(p.name(), "water");
+        assert_eq!(p.entries().len(), THREADS);
+        assert_eq!(p.data().len(), THREADS);
+    }
+}

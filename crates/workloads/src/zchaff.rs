@@ -1,0 +1,103 @@
+//! `zchaff` — SAT solving (multi-threaded).
+//!
+//! Character: two solver threads evaluate clauses from a large shared
+//! read-only clause database with data-dependent (irregular) access
+//! patterns, and push implications onto a shared assignment stack under a
+//! lock. Read-shared data keeps LockSet's shared-state machinery hot; the
+//! irregular clause fetches are cache-unfriendly.
+
+use lba_isa::{r, Assembler, Program, Reg, Width};
+use lba_mem::layout::GLOBAL_BASE;
+
+use crate::rng;
+
+const THREADS: usize = 2;
+const BLOCKS: i64 = 24;
+const EVALS: i64 = 512;
+/// Push an implication every this many evaluations.
+const ASSIGN_PERIOD: i64 = 16;
+const CLAUSE_BASE: i64 = GLOBAL_BASE as i64 + 0x10_0000;
+const CLAUSE_BYTES: i64 = 256 << 10;
+const CLAUSE_MASK: i64 = CLAUSE_BYTES - 8;
+const STACK_BASE: i64 = GLOBAL_BASE as i64; // shared assignment stack
+const LOCK_ADDR: i64 = GLOBAL_BASE as i64 + 0x8000;
+/// Per-thread private tally arrays (8 KiB apart).
+const TALLY_BASE: i64 = GLOBAL_BASE as i64 + 0x20_000;
+
+pub(crate) fn build(scale: u32) -> Program {
+    let mut asm = Assembler::new("zchaff");
+    let mut rand = rng::rng_for("zchaff");
+    // The clause database: shared, read-only, too big for L1.
+    asm.data(CLAUSE_BASE as u64, rng::index_table(&mut rand, (CLAUSE_BYTES / 4) as usize, u32::MAX));
+
+    let (seed, blocks, i) = (r(1), r(2), r(3));
+    let (a, v, w, t) = (r(4), r(5), r(6), r(7));
+    let (lk, sp, idx, period) = (r(8), r(9), r(10), r(11));
+    let (tally, t2) = (r(12), r(13));
+
+    for tid in 0..THREADS {
+        let entry = asm.here(format!("z{tid}"));
+        asm.entry(entry);
+        asm.movi(seed, 0x9E3779 + tid as i64 * 77);
+        // Per-thread watch-literal tally (thread-private global region).
+        asm.movi(tally, TALLY_BASE + tid as i64 * 0x2000);
+        asm.movi(blocks, BLOCKS * i64::from(scale));
+        let block_loop = asm.here(format!("z{tid}_block"));
+        asm.movi(i, EVALS);
+        asm.movi(period, ASSIGN_PERIOD);
+        let skip_assign = asm.label(format!("z{tid}_skip"));
+        let eval_loop = asm.here(format!("z{tid}_eval"));
+        // Irregular clause fetch: LCG-derived offset into the database.
+        asm.muli(seed, seed, 0x19660D);
+        asm.addi(seed, seed, 0x3C6EF35F);
+        asm.andi(a, seed, CLAUSE_MASK);
+        asm.addi(a, a, CLAUSE_BASE);
+        asm.load(v, a, 0, Width::B8);
+        asm.load(w, a, 8, Width::B8);
+        asm.xor(v, v, w);
+        asm.load(w, a, 16, Width::B8);
+        asm.add(v, v, w);
+        // Record the watch tally for this literal (private counters).
+        asm.shri(t2, seed, 16);
+        asm.andi(t2, t2, 0x1ff8);
+        asm.add(t2, t2, tally);
+        asm.load(w, t2, 0, Width::B8);
+        asm.add(w, w, v);
+        asm.store(w, t2, 0, Width::B8);
+        // Every ASSIGN_PERIOD evaluations: lock, push implication, unlock.
+        asm.subi(period, period, 1);
+        asm.bne(period, Reg::ZERO, skip_assign);
+        asm.movi(period, ASSIGN_PERIOD);
+        asm.movi(lk, LOCK_ADDR);
+        asm.lock(lk);
+        asm.movi(sp, STACK_BASE);
+        asm.load(idx, sp, 0, Width::B8);
+        asm.andi(idx, idx, 0xfff);
+        asm.add(t, sp, idx);
+        asm.store(v, t, 8, Width::B8);
+        asm.addi(idx, idx, 8);
+        asm.store(idx, sp, 0, Width::B8);
+        asm.unlock(lk);
+        asm.bind(skip_assign);
+        asm.subi(i, i, 1);
+        asm.bne(i, Reg::ZERO, eval_loop);
+        // Report progress (decision level, conflicts).
+        asm.syscall(1);
+        asm.subi(blocks, blocks, 1);
+        asm.bne(blocks, Reg::ZERO, block_loop);
+        asm.halt();
+    }
+    asm.finish().expect("zchaff assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_with_two_threads() {
+        let p = build(1);
+        assert_eq!(p.name(), "zchaff");
+        assert_eq!(p.entries().len(), THREADS);
+    }
+}

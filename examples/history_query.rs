@@ -1,0 +1,77 @@
+//! "How did I get here?" — the §1 history capability plus the
+//! performance-profiling lifeguard and the raw-trace workflow.
+//!
+//! The program captures a buggy run's log to a trace, replays it through
+//! (i) a history index that answers *who last wrote the freed block* and
+//! *what path led to the bad access*, and (ii) the MemProfile lifeguard
+//! for an always-on memory profile.
+//!
+//! ```sh
+//! cargo run --release --example history_query
+//! ```
+
+use lba_cache::{MemSystem, MemSystemConfig};
+use lba_cpu::{Machine, MachineConfig};
+use lba_lifeguard::history::HistoryIndex;
+use lba_lifeguard::DispatchEngine;
+use lba_lifeguards::{AddrCheck, MemProfile};
+use lba_record::{TraceReader, TraceWriter};
+use lba_workloads::bugs;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Capture: run the buggy program once, writing the raw trace.
+    let program = bugs::memory_bugs();
+    let mut machine = Machine::new(&program, MachineConfig::default());
+    let mut mem = MemSystem::new(MemSystemConfig::single_core());
+    let mut writer = TraceWriter::new();
+    machine.run(&mut mem, |r| writer.push(&r.record))?;
+    let trace = writer.into_bytes();
+    println!("captured {} records ({} bytes raw trace)", TraceReader::new(&trace)?.remaining(), trace.len());
+
+    // 2. Replay through AddrCheck + a history index in one pass.
+    let mut lg_mem = MemSystem::new(MemSystemConfig::dual_core());
+    let engine = DispatchEngine::default();
+    let mut addrcheck = AddrCheck::new();
+    let mut history = HistoryIndex::new(8);
+    let mut profiler = MemProfile::new();
+    let mut findings = Vec::new();
+    for record in TraceReader::new(&trace)? {
+        let record = record?;
+        history.observe(&record);
+        engine.deliver(&mut addrcheck, &record, &mut lg_mem, 1, &mut findings);
+        engine.deliver(&mut profiler, &record, &mut lg_mem, 1, &mut findings);
+    }
+
+    // 3. For the use-after-free finding, ask the history two questions.
+    let uaf = findings
+        .iter()
+        .find(|f| f.kind == lba_lifeguard::FindingKind::UnallocatedAccess)
+        .expect("use-after-free detected");
+    println!("\nfinding: {uaf}");
+
+    println!("\nwho last wrote {:#x}?", uaf.addr);
+    for write in history.last_writers(uaf.addr) {
+        println!("  seq {:>6}: pc={:#x} wrote {} bytes at {:#x}", write.seq, write.pc, write.len, write.addr);
+    }
+
+    println!("\nhow did thread {} get here (last control transfers)?", uaf.tid);
+    for hop in history.path_to_here(uaf.tid).into_iter().take(5) {
+        println!("  seq {:>6}: {:?} at pc={:#x} -> {:#x}", hop.seq, hop.kind, hop.pc, hop.target);
+    }
+
+    // 4. The always-on memory profile from the same log.
+    let profile = profiler.profile();
+    println!(
+        "\nmemory profile: {} loads, {} stores, {} distinct lines, peak live {} B",
+        profile.loads,
+        profile.stores,
+        profile.distinct_lines(),
+        profile.peak_live_bytes,
+    );
+    println!("hottest access sites:");
+    for (pc, count) in profile.hottest_pcs(3) {
+        println!("  pc={pc:#x}: {count} accesses");
+    }
+    assert!(!history.last_writers(uaf.addr).is_empty());
+    Ok(())
+}

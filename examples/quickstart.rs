@@ -1,0 +1,50 @@
+//! Quickstart: assemble a tiny program, run it under LBA with AddrCheck,
+//! and inspect what the lifeguard saw.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use lba::{run_lba, run_unmonitored, SystemConfig};
+use lba_isa::parse_program;
+use lba_lifeguards::AddrCheck;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A program with a use-after-free, written in the textual assembly.
+    let program = parse_program(
+        "
+        .name quickstart
+        movi r1, 64
+        alloc r2, r1        ; r2 = malloc(64)
+        movi r3, 7
+        store.8 r3, [r2+0]  ; fine
+        free r2
+        load.8 r4, [r2+0]   ; bug: use after free
+        syscall 1
+        halt
+        ",
+    )?;
+
+    let config = SystemConfig::default();
+    let baseline = run_unmonitored(&program, &config)?;
+    println!("unmonitored: {} cycles", baseline.total_cycles);
+
+    let mut addrcheck = AddrCheck::new();
+    let monitored = run_lba(&program, &mut addrcheck, &config)?;
+    println!(
+        "under LBA:   {} cycles ({:.1}x), log {:.3} B/inst",
+        monitored.total_cycles,
+        monitored.slowdown_vs(&baseline),
+        monitored.log.bytes_per_instruction,
+    );
+
+    println!("\nlifeguard findings:");
+    for finding in &monitored.findings {
+        println!("  {finding}");
+    }
+    assert!(
+        !monitored.findings.is_empty(),
+        "AddrCheck should have caught the use-after-free"
+    );
+    Ok(())
+}

@@ -1,0 +1,1 @@
+//! Root crate: see `tests/` for cross-crate integration tests and `examples/` for runnable scenarios.

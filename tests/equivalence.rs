@@ -1,0 +1,101 @@
+//! Equivalence tests between execution modes: the deterministic
+//! co-simulation, the live (two-OS-thread) pipeline, the DBI baseline and
+//! the sharded parallel runner must all agree on *what* they detect.
+
+use lba::parallel::run_lba_parallel;
+use lba::{run_dbi, run_lba, run_live, LifeguardKind, SystemConfig};
+use lba_workloads::{bugs, Benchmark};
+
+fn config() -> SystemConfig {
+    SystemConfig::default()
+}
+
+#[test]
+fn live_pipeline_matches_cosim_on_every_bug_program() {
+    for (program, kind) in [
+        (bugs::memory_bugs(), LifeguardKind::AddrCheck),
+        (bugs::exploit(), LifeguardKind::TaintCheck),
+        (bugs::tainted_syscall(), LifeguardKind::TaintCheck),
+        (bugs::data_race(), LifeguardKind::LockSet),
+    ] {
+        let mut lg = kind.make_lba();
+        let cosim = run_lba(&program, lg.as_mut(), &config()).unwrap();
+        let mut lg = kind.make_lba();
+        let live = run_live(&program, lg.as_mut(), &config()).unwrap();
+        assert_eq!(cosim.findings, live, "{}: live/cosim mismatch", program.name());
+    }
+}
+
+#[test]
+fn live_pipeline_matches_cosim_on_a_real_benchmark() {
+    let program = Benchmark::Tidy.build();
+    let mut lg = LifeguardKind::AddrCheck.make_lba();
+    let cosim = run_lba(&program, lg.as_mut(), &config()).unwrap();
+    let mut lg = LifeguardKind::AddrCheck.make_lba();
+    let live = run_live(&program, lg.as_mut(), &config()).unwrap();
+    assert_eq!(cosim.findings, live);
+}
+
+#[test]
+fn parallel_shards_agree_with_single_lifeguard() {
+    for shards in [2usize, 3, 4] {
+        let program = bugs::memory_bugs();
+        let single =
+            run_lba_parallel(&program, || LifeguardKind::AddrCheck.make_lba(), 1, &config())
+                .unwrap();
+        let sharded =
+            run_lba_parallel(&program, || LifeguardKind::AddrCheck.make_lba(), shards, &config())
+                .unwrap();
+        // Same set of findings (order may differ across shard counts).
+        assert_eq!(single.findings.len(), sharded.findings.len(), "{shards} shards");
+        for f in &single.findings {
+            assert!(
+                sharded
+                    .findings
+                    .iter()
+                    .any(|g| g.kind == f.kind && g.addr == f.addr && g.pc == f.pc),
+                "{shards} shards missing {f}"
+            );
+        }
+    }
+}
+
+#[test]
+fn event_stream_is_identical_across_modes() {
+    // LBA and DBI must observe the same retired-instruction stream: same
+    // instruction counts, same kind mix.
+    let program = Benchmark::Gzip.build();
+    let mut lg = LifeguardKind::AddrCheck.make_lba();
+    let lba = run_lba(&program, lg.as_mut(), &config()).unwrap();
+    let mut lg = LifeguardKind::AddrCheck.make_dbi();
+    let dbi = run_dbi(&program, lg.as_mut(), &config()).unwrap();
+    assert_eq!(lba.trace, dbi.trace);
+}
+
+#[test]
+fn lba_runs_are_reproducible() {
+    let program = Benchmark::Zchaff.build();
+    let run = || {
+        let mut lg = LifeguardKind::LockSet.make_lba();
+        let r = run_lba(&program, lg.as_mut(), &config()).unwrap();
+        (r.total_cycles, r.log.compressed_bits, r.findings.len())
+    };
+    assert_eq!(run(), run(), "deterministic co-simulation must reproduce exactly");
+}
+
+#[test]
+fn compression_does_not_change_what_the_lifeguard_sees() {
+    let program = bugs::memory_bugs();
+    let compressed = {
+        let mut lg = LifeguardKind::AddrCheck.make_lba();
+        run_lba(&program, lg.as_mut(), &config()).unwrap()
+    };
+    let raw = {
+        let mut cfg = config();
+        cfg.log.compression = false;
+        let mut lg = LifeguardKind::AddrCheck.make_lba();
+        run_lba(&program, lg.as_mut(), &cfg).unwrap()
+    };
+    assert_eq!(compressed.findings, raw.findings);
+    assert_eq!(compressed.trace, raw.trace);
+}

@@ -1,0 +1,113 @@
+//! Shape assertions on the reproduced figures: the relationships the paper
+//! reports must hold in our reproduction (who wins, by roughly what
+//! factor), even though absolute numbers come from our substitute
+//! substrate (EXPERIMENTS.md).
+
+use lba::experiment::{self, summarize};
+use lba::{LifeguardKind, SystemConfig};
+
+fn config() -> SystemConfig {
+    SystemConfig::default()
+}
+
+#[test]
+fn figure2_lockset_panel_shape() {
+    let rows = experiment::figure2(LifeguardKind::LockSet, &config(), 1).unwrap();
+    assert_eq!(rows.len(), 2, "water and zchaff");
+    for row in &rows {
+        // Valgrind lifeguards incur large slowdowns…
+        assert!(row.valgrind > 8.0, "{}: valgrind only {:.1}x", row.benchmark, row.valgrind);
+        // …and LBA is markedly faster, though still a slowdown.
+        assert!(row.lba > 1.5, "{}: lba suspiciously fast", row.benchmark);
+        assert!(
+            row.speedup() > 2.0,
+            "{}: speedup {:.1}x too small",
+            row.benchmark,
+            row.speedup()
+        );
+    }
+}
+
+#[test]
+fn figure2_addrcheck_panel_shape() {
+    let rows = experiment::figure2(LifeguardKind::AddrCheck, &config(), 1).unwrap();
+    assert_eq!(rows.len(), 7);
+    let summary = summarize(LifeguardKind::AddrCheck, &rows);
+    // Paper: 3.9x average; we accept the band around it.
+    assert!(
+        (2.0..6.5).contains(&summary.lba_avg),
+        "AddrCheck LBA average {:.1}x out of band",
+        summary.lba_avg
+    );
+    // Paper: Valgrind 10-85x band (averages well above LBA).
+    assert!(summary.valgrind_avg > 3.0 * summary.lba_avg);
+    // Paper: LBA lifeguards are 4-19x faster than Valgrind lifeguards.
+    assert!(summary.speedup_min > 2.5, "min speedup {:.1}", summary.speedup_min);
+    assert!(summary.speedup_max < 25.0, "max speedup {:.1}", summary.speedup_max);
+}
+
+#[test]
+fn lifeguard_cost_ordering_matches_paper() {
+    // Paper §3: AddrCheck 3.9x < TaintCheck 4.8x < LockSet 9.7x.
+    let addr = summarize(
+        LifeguardKind::AddrCheck,
+        &experiment::figure2(LifeguardKind::AddrCheck, &config(), 1).unwrap(),
+    );
+    let taint = summarize(
+        LifeguardKind::TaintCheck,
+        &experiment::figure2(LifeguardKind::TaintCheck, &config(), 1).unwrap(),
+    );
+    let lock = summarize(
+        LifeguardKind::LockSet,
+        &experiment::figure2(LifeguardKind::LockSet, &config(), 1).unwrap(),
+    );
+    assert!(
+        addr.lba_avg < taint.lba_avg && taint.lba_avg < lock.lba_avg,
+        "ordering violated: {:.1} / {:.1} / {:.1}",
+        addr.lba_avg,
+        taint.lba_avg,
+        lock.lba_avg
+    );
+}
+
+#[test]
+fn compression_average_is_below_one_byte_per_instruction() {
+    let rows = experiment::compression_table(&config(), 1).unwrap();
+    let avg: f64 =
+        rows.iter().map(|r| r.bytes_per_instruction).sum::<f64>() / rows.len() as f64;
+    assert!(avg < 1.0, "average {avg:.3} B/inst");
+    for row in &rows {
+        assert!(row.bytes_per_instruction < 1.0, "{}: {:.3}", row.benchmark, row.bytes_per_instruction);
+    }
+}
+
+#[test]
+fn filtering_extension_reduces_slowdown_without_losing_soundness() {
+    let rows = experiment::ext_filtering(&config(), 1).unwrap();
+    for row in &rows {
+        assert!(
+            row.filtered <= row.unfiltered + 1e-9,
+            "{}: filtering must not slow things down",
+            row.benchmark
+        );
+        assert!(row.dropped_fraction > 0.0, "{}: nothing dropped", row.benchmark);
+    }
+}
+
+#[test]
+fn parallel_extension_scales_lockset() {
+    let rows = experiment::ext_parallel(&config(), 1).unwrap();
+    assert!(rows.len() >= 3);
+    // More shards, less slowdown (weakly monotone).
+    for pair in rows.windows(2) {
+        assert!(
+            pair[1].slowdown <= pair[0].slowdown + 0.05,
+            "sharding must not hurt: {} -> {}",
+            pair[0].slowdown,
+            pair[1].slowdown
+        );
+    }
+    let first = rows.first().unwrap();
+    let last = rows.last().unwrap();
+    assert!(last.slowdown < first.slowdown * 0.75, "4 shards should pay off");
+}

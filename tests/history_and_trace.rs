@@ -1,0 +1,104 @@
+//! Integration of the §1 history capability, the raw-trace workflow and
+//! the performance-monitoring lifeguard on real workloads.
+
+use lba_cache::{MemSystem, MemSystemConfig};
+use lba_cpu::{Machine, MachineConfig};
+use lba_lifeguard::history::HistoryIndex;
+use lba_lifeguard::DispatchEngine;
+use lba_lifeguards::MemProfile;
+use lba_record::{EventKind, EventRecord, TraceReader, TraceWriter};
+use lba_workloads::{bugs, Benchmark};
+
+/// Runs a program, returning its full raw trace.
+fn capture(program: &lba_isa::Program) -> Vec<u8> {
+    let mut machine = Machine::new(program, MachineConfig::default());
+    let mut mem = MemSystem::new(MemSystemConfig::single_core());
+    let mut writer = TraceWriter::new();
+    machine.run(&mut mem, |r| writer.push(&r.record)).expect("program runs");
+    writer.into_bytes()
+}
+
+#[test]
+fn trace_capture_replay_is_lossless_on_a_benchmark() {
+    let program = Benchmark::Bc.build();
+    let trace = capture(&program);
+
+    // Replay and re-run must observe identical streams.
+    let replayed: Vec<EventRecord> =
+        TraceReader::new(&trace).unwrap().collect::<Result<_, _>>().unwrap();
+    let mut machine = Machine::new(&program, MachineConfig::default());
+    let mut mem = MemSystem::new(MemSystemConfig::single_core());
+    let mut live = Vec::new();
+    machine.run(&mut mem, |r| live.push(r.record)).unwrap();
+    assert_eq!(replayed, live);
+}
+
+#[test]
+fn history_identifies_the_last_writer_of_the_freed_block() {
+    let program = bugs::memory_bugs();
+    let trace = capture(&program);
+    let mut history = HistoryIndex::new(16);
+    let mut free_addr = None;
+    for record in TraceReader::new(&trace).unwrap() {
+        let record = record.unwrap();
+        if record.kind == EventKind::Free && free_addr.is_none() {
+            free_addr = Some(record.addr);
+        }
+        history.observe(&record);
+    }
+    let free_addr = free_addr.expect("program frees a block");
+    let writers = history.last_writers(free_addr + 8);
+    assert!(!writers.is_empty(), "the fill loop wrote the block before the free");
+    // The last write to that word happened before the free in log order.
+    assert!(writers[0].len >= 8);
+}
+
+#[test]
+fn history_path_reaches_every_thread() {
+    let program = Benchmark::Water.build();
+    let trace = capture(&program);
+    let mut history = HistoryIndex::new(32);
+    for record in TraceReader::new(&trace).unwrap() {
+        history.observe(&record.unwrap());
+    }
+    for tid in 0..4 {
+        let path = history.path_to_here(tid);
+        assert!(!path.is_empty(), "thread {tid} has control history");
+        // Paths are newest-first by sequence number.
+        for pair in path.windows(2) {
+            assert!(pair[0].seq > pair[1].seq);
+        }
+    }
+}
+
+#[test]
+fn memprofile_matches_trace_statistics_on_gzip() {
+    let program = Benchmark::Gzip.build();
+    let trace = capture(&program);
+
+    let engine = DispatchEngine::default();
+    let mut mem = MemSystem::new(MemSystemConfig::dual_core());
+    let mut findings = Vec::new();
+    let mut profiler = MemProfile::new();
+    let mut loads = 0u64;
+    let mut stores = 0u64;
+    let mut allocs = 0u64;
+    for record in TraceReader::new(&trace).unwrap() {
+        let record = record.unwrap();
+        match record.kind {
+            EventKind::Load => loads += 1,
+            EventKind::Store => stores += 1,
+            EventKind::Alloc => allocs += 1,
+            _ => {}
+        }
+        engine.deliver(&mut profiler, &record, &mut mem, 1, &mut findings);
+    }
+    let profile = profiler.profile();
+    assert_eq!(profile.loads, loads);
+    assert_eq!(profile.stores, stores);
+    assert_eq!(profile.allocs, allocs);
+    assert!(findings.is_empty(), "profiling reports nothing");
+    // gzip hammers its hash table: the hottest PC should dominate.
+    let hottest = profile.hottest_pcs(1)[0];
+    assert!(hottest.1 > 1000, "hot access site expected, got {hottest:?}");
+}
