@@ -9,12 +9,25 @@ use lba::{LifeguardKind, SystemConfig};
 use lba_bench as render;
 
 fn main() {
-    let scale: u32 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let scale: u32 = match std::env::args().nth(1) {
+        None => 1,
+        Some(arg) => match arg.parse() {
+            Ok(scale) if scale > 0 => scale,
+            _ => {
+                eprintln!("usage: figures [scale]  (scale: positive integer, got {arg:?})");
+                std::process::exit(2);
+            }
+        },
+    };
     let config = SystemConfig::default();
+    let failed = std::cell::Cell::new(false);
     let run = |what: &str, body: &mut dyn FnMut() -> Result<String, lba::RunError>| {
         match body() {
             Ok(text) => println!("{text}"),
-            Err(e) => eprintln!("{what} failed: {e}"),
+            Err(e) => {
+                failed.set(true);
+                eprintln!("{what} failed: {e}");
+            }
         }
     };
 
@@ -53,4 +66,8 @@ fn main() {
     run("parallel", &mut || {
         Ok(render::render_parallel(&experiment::ext_parallel(&config, scale)?))
     });
+
+    if failed.get() {
+        std::process::exit(1);
+    }
 }

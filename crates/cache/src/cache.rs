@@ -264,7 +264,7 @@ mod tests {
         let mut c = tiny();
         // Set index = (addr/64) & 3. Use addresses mapping to set 0:
         // lines 0, 4, 8 (x64).
-        let a = 0 * 64;
+        let a = 0;
         let b = 4 * 64;
         let d = 8 * 64;
         c.access(a, false);
@@ -279,7 +279,7 @@ mod tests {
     #[test]
     fn writeback_counted_on_dirty_eviction() {
         let mut c = tiny();
-        let a = 0 * 64;
+        let a = 0;
         let b = 4 * 64;
         let d = 8 * 64;
         c.access(a, true); // dirty
@@ -292,7 +292,7 @@ mod tests {
     #[test]
     fn write_hit_marks_line_dirty() {
         let mut c = tiny();
-        let a = 0 * 64;
+        let a = 0;
         c.access(a, false);
         c.access(a, true); // dirty via hit
         let b = 4 * 64;

@@ -49,7 +49,7 @@ pub mod experiment;
 mod kind;
 mod live;
 pub mod parallel;
-mod report;
+pub mod report;
 mod run;
 pub mod table;
 

@@ -590,13 +590,9 @@ fn eval_alu(op: AluOp, a: u64, b: u64) -> u64 {
         AluOp::Add => a.wrapping_add(b),
         AluOp::Sub => a.wrapping_sub(b),
         AluOp::Mul => a.wrapping_mul(b),
-        AluOp::Div => {
-            if b == 0 {
-                0
-            } else {
-                a / b
-            }
-        }
+        // Division by zero yields 0 rather than trapping (RISC-V semantics
+        // would give all-ones; 0 keeps planted-bug workloads deterministic).
+        AluOp::Div => a.checked_div(b).unwrap_or(0),
         AluOp::And => a & b,
         AluOp::Or => a | b,
         AluOp::Xor => a ^ b,

@@ -167,7 +167,7 @@ impl Program {
     /// aligned or outside the image.
     #[must_use]
     pub fn index_of(&self, pc: u64) -> Option<usize> {
-        if pc < CODE_BASE || (pc - CODE_BASE) % INST_BYTES != 0 {
+        if pc < CODE_BASE || !(pc - CODE_BASE).is_multiple_of(INST_BYTES) {
             return None;
         }
         let idx = ((pc - CODE_BASE) / INST_BYTES) as usize;

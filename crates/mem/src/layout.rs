@@ -72,8 +72,9 @@ mod tests {
 
     #[test]
     fn regions_are_disjoint() {
-        assert!(GLOBAL_END <= HEAP_BASE || HEAP_END <= GLOBAL_BASE);
-        assert!(HEAP_END <= STACK_REGION_BASE);
+        // Compile-time asserts: the layout is all constants.
+        const _: () = assert!(GLOBAL_END <= HEAP_BASE || HEAP_END <= GLOBAL_BASE);
+        const _: () = assert!(HEAP_END <= STACK_REGION_BASE);
     }
 
     #[test]

@@ -1,0 +1,183 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no network access, so this vendor crate
+//! implements exactly the API subset the workspace's four bench targets use:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`] with a
+//! [`Bencher::iter`] closure, per-group [`Throughput`] / sample-size
+//! configuration, and the [`criterion_group!`] / [`criterion_main!`] macros.
+//! It measures wall-clock time over a fixed number of timed iterations and
+//! prints a mean (plus element throughput when configured) — no statistical
+//! analysis, plots, or baseline comparison, but the same source compiles and
+//! the numbers are usable for coarse regression spotting.
+
+use std::time::Instant;
+
+/// Declared workload size for throughput reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// The benchmark processes this many logical elements per iteration.
+    Elements(u64),
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// Top-level harness handle (API subset of `criterion::Criterion`).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 20,
+            throughput: None,
+        }
+    }
+
+    /// Registers a standalone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut group = self.benchmark_group(id.clone());
+        group.bench_function(id, f);
+        group.finish();
+        self
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed iterations each benchmark runs.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be non-zero");
+        self.sample_size = n;
+        self
+    }
+
+    /// Declares the per-iteration workload size for throughput reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Times one benchmark: `f` receives a [`Bencher`] and must call
+    /// [`Bencher::iter`] with the code under test.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher { samples: self.sample_size, total_nanos: 0.0, iters: 0 };
+        f(&mut bencher);
+        let mean = if bencher.iters == 0 {
+            0.0
+        } else {
+            bencher.total_nanos / bencher.iters as f64
+        };
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if mean > 0.0 => {
+                format!("  ({:.1} Melem/s)", n as f64 / mean * 1e3)
+            }
+            Some(Throughput::Bytes(n)) if mean > 0.0 => {
+                format!("  ({:.1} MiB/s)", n as f64 / mean * 1e9 / f64::from(1u32 << 20))
+            }
+            _ => String::new(),
+        };
+        println!(
+            "bench {}/{}: {:>12.1} ns/iter over {} iters{}",
+            self.name, id, mean, bencher.iters, rate
+        );
+        self
+    }
+
+    /// Ends the group (kept for API parity; reporting is per-function).
+    pub fn finish(&mut self) {}
+}
+
+/// Timer handle passed to each benchmark closure.
+pub struct Bencher {
+    samples: usize,
+    total_nanos: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Runs `f` once untimed (warm-up), then `samples` timed iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let _warmup = black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            let _ = black_box(f());
+        }
+        self.total_nanos += start.elapsed().as_nanos() as f64;
+        self.iters += self.samples as u64;
+    }
+}
+
+/// Opaque value barrier preventing the optimizer from deleting the
+/// benchmarked computation.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Declares a benchmark group function, mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main` running each group, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("t");
+        group.sample_size(3).throughput(Throughput::Elements(10));
+        let mut runs = 0u32;
+        group.bench_function("count", |b| b.iter(|| runs += 1));
+        group.finish();
+        // one warm-up + three timed iterations
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn macros_expand() {
+        fn noop(c: &mut Criterion) {
+            c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        }
+        criterion_group!(group_under_test, noop);
+        group_under_test();
+    }
+}

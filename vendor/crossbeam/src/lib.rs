@@ -1,0 +1,130 @@
+//! Offline stand-in for the [`crossbeam`](https://crates.io/crates/crossbeam)
+//! crate.
+//!
+//! The build environment has no network access, so this vendor crate
+//! implements exactly the API subset the workspace uses:
+//! [`queue::ArrayQueue`], a bounded MPMC queue. The real crate is lock-free;
+//! this stand-in uses a mutexed ring buffer, which preserves the semantics
+//! (bounded, FIFO, `push` hands the value back when full) at lower
+//! throughput. `lba_transport::live` only relies on the semantics.
+
+pub mod queue {
+    //! Concurrent queues (subset of `crossbeam::queue`).
+
+    use std::collections::VecDeque;
+    use std::sync::Mutex;
+
+    /// A bounded FIFO queue (API subset of `crossbeam::queue::ArrayQueue`).
+    #[derive(Debug)]
+    pub struct ArrayQueue<T> {
+        inner: Mutex<VecDeque<T>>,
+        cap: usize,
+    }
+
+    impl<T> ArrayQueue<T> {
+        /// Creates a queue holding at most `cap` elements.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `cap` is zero, matching the real crate.
+        #[must_use]
+        pub fn new(cap: usize) -> Self {
+            assert!(cap > 0, "capacity must be non-zero");
+            ArrayQueue { inner: Mutex::new(VecDeque::with_capacity(cap)), cap }
+        }
+
+        /// Attempts to push `value`; returns it back in `Err` when full.
+        ///
+        /// # Errors
+        ///
+        /// Returns `Err(value)` if the queue is at capacity.
+        pub fn push(&self, value: T) -> Result<(), T> {
+            let mut q = self.inner.lock().unwrap();
+            if q.len() == self.cap {
+                Err(value)
+            } else {
+                q.push_back(value);
+                Ok(())
+            }
+        }
+
+        /// Pops the oldest element, or `None` when empty.
+        pub fn pop(&self) -> Option<T> {
+            self.inner.lock().unwrap().pop_front()
+        }
+
+        /// The maximum number of elements the queue holds.
+        #[must_use]
+        pub fn capacity(&self) -> usize {
+            self.cap
+        }
+
+        /// The number of elements currently queued.
+        #[must_use]
+        pub fn len(&self) -> usize {
+            self.inner.lock().unwrap().len()
+        }
+
+        /// Whether the queue is currently empty.
+        #[must_use]
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::queue::ArrayQueue;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order() {
+        let q = ArrayQueue::new(4);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn full_queue_returns_value() {
+        let q = ArrayQueue::new(1);
+        q.push(10).unwrap();
+        assert_eq!(q.push(11), Err(11));
+        assert_eq!(q.pop(), Some(10));
+        q.push(11).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_panics() {
+        let _: ArrayQueue<u8> = ArrayQueue::new(0);
+    }
+
+    #[test]
+    fn cross_thread_transfer() {
+        let q = Arc::new(ArrayQueue::new(8));
+        let tx = Arc::clone(&q);
+        let writer = std::thread::spawn(move || {
+            for i in 0..1000u64 {
+                let mut v = i;
+                while let Err(back) = tx.push(v) {
+                    v = back;
+                    std::thread::yield_now();
+                }
+            }
+        });
+        let mut expected = 0;
+        while expected < 1000 {
+            if let Some(v) = q.pop() {
+                assert_eq!(v, expected);
+                expected += 1;
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        writer.join().unwrap();
+    }
+}

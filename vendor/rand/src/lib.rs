@@ -1,0 +1,176 @@
+//! Offline stand-in for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! The build environment has no network access, so this vendor crate
+//! implements exactly the API subset the workspace uses: a seedable
+//! deterministic generator ([`rngs::StdRng`]) and the [`Rng`] extension
+//! methods `gen` / `gen_range`. The generator is xoshiro256**, which has
+//! excellent statistical quality for workload synthesis; it makes no
+//! cryptographic claims (neither does the use site).
+
+use core::ops::Range;
+
+/// A seedable random number generator (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// The seed type, fixed per generator.
+    type Seed;
+
+    /// Builds the generator from a fixed seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+}
+
+/// Types that can be sampled uniformly from the generator's raw output
+/// (stand-in for `rand::distributions::Standard` sampling).
+pub trait SampleUniform: Sized + Copy {
+    /// Draws one uniformly distributed value over the type's full range.
+    fn sample_full(rng: &mut dyn RngCore) -> Self;
+    /// Converts to `u128` for range reduction.
+    fn to_u128(self) -> u128;
+    /// Converts back from `u128` after range reduction.
+    fn from_u128(v: u128) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_full(rng: &mut dyn RngCore) -> Self {
+                rng.next_u64() as $t
+            }
+            fn to_u128(self) -> u128 {
+                self as u128
+            }
+            fn from_u128(v: u128) -> Self {
+                v as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize);
+
+/// The object-safe core of a generator (stand-in for `rand_core::RngCore`).
+pub trait RngCore {
+    /// The next 64 raw pseudo-random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Extension methods over any [`RngCore`] (subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Draws one value of an inferred type, uniformly over its full range.
+    fn gen<T: SampleUniform>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_full(self)
+    }
+
+    /// Draws one value uniformly from `range` (half-open, must be non-empty).
+    fn gen_range<T: SampleUniform + PartialOrd>(&mut self, range: Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        assert!(range.start < range.end, "gen_range called with empty range");
+        let lo = range.start.to_u128();
+        let span = range.end.to_u128() - lo;
+        // 128-bit multiply-shift reduction: unbiased enough for workload
+        // synthesis and avoids a modulo on the hot path.
+        let raw = u128::from(self.next_u64());
+        T::from_u128(lo + ((raw * span) >> 64))
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+pub mod rngs {
+    //! Concrete generators (subset of `rand::rngs`).
+
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256** generator standing in for `rand`'s
+    /// `StdRng`. Same shape: 32-byte seed, `u64` output.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, chunk) in seed.chunks_exact(8).enumerate() {
+                s[i] = u64::from_le_bytes(chunk.try_into().unwrap());
+            }
+            // xoshiro must not start from the all-zero state; splitmix the
+            // words once so even degenerate seeds produce a usable state.
+            let mut mix = 0x9e37_79b9_7f4a_7c15u64;
+            for word in &mut s {
+                mix = mix.wrapping_add(*word).wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = mix;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                *word = z ^ (z >> 31);
+            }
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1]
+                .wrapping_mul(5)
+                .rotate_left(7)
+                .wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::from_seed([7; 32]);
+        let mut b = StdRng::from_seed([7; 32]);
+        let xs: Vec<u64> = (0..8).map(|_| a.gen()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.gen()).collect();
+        assert_eq!(xs, ys);
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::from_seed([1; 32]);
+        let mut b = StdRng::from_seed([2; 32]);
+        let xs: Vec<u64> = (0..4).map(|_| a.gen()).collect();
+        let ys: Vec<u64> = (0..4).map(|_| b.gen()).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::from_seed([3; 32]);
+        for _ in 0..10_000 {
+            let v: u32 = rng.gen_range(10..20);
+            assert!((10..20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_span() {
+        let mut rng = StdRng::from_seed([4; 32]);
+        let mut seen = [false; 8];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit: {seen:?}");
+    }
+}
