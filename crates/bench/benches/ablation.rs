@@ -60,8 +60,13 @@ fn bench_ablations(c: &mut Criterion) {
         let config = SystemConfig::default();
         group.bench_function(format!("parallel/{shards}_shards"), |b| {
             b.iter(|| {
-                run_lba_parallel(&zchaff, || LifeguardKind::LockSet.make_lba(), shards, &config)
-                    .expect("runs")
+                run_lba_parallel(
+                    &zchaff,
+                    || LifeguardKind::LockSet.make_lba(),
+                    shards,
+                    &config,
+                )
+                .expect("runs")
             })
         });
     }

@@ -14,7 +14,14 @@ fn synthetic_stream(n: u64) -> Vec<EventRecord> {
     let mut out = Vec::with_capacity(n as usize * 3);
     for i in 0..n {
         out.push(EventRecord::alu(0x1000, 0, Some(1), Some(2), Some(1)));
-        out.push(EventRecord::load(0x1008, 0, Some(3), Some(4), 0x4000_0000 + i * 8, 8));
+        out.push(EventRecord::load(
+            0x1008,
+            0,
+            Some(3),
+            Some(4),
+            0x4000_0000 + i * 8,
+            8,
+        ));
         out.push(EventRecord {
             pc: 0x1010,
             kind: lba_record::EventKind::Branch,

@@ -21,13 +21,11 @@ fn main() {
     };
     let config = SystemConfig::default();
     let failed = std::cell::Cell::new(false);
-    let run = |what: &str, body: &mut dyn FnMut() -> Result<String, lba::RunError>| {
-        match body() {
-            Ok(text) => println!("{text}"),
-            Err(e) => {
-                failed.set(true);
-                eprintln!("{what} failed: {e}");
-            }
+    let run = |what: &str, body: &mut dyn FnMut() -> Result<String, lba::RunError>| match body() {
+        Ok(text) => println!("{text}"),
+        Err(e) => {
+            failed.set(true);
+            eprintln!("{what} failed: {e}");
         }
     };
 
@@ -44,27 +42,39 @@ fn main() {
     println!("{}", render::render_summary(&summaries));
 
     run("workloads", &mut || {
-        Ok(render::render_workloads(&experiment::workload_table(&config, scale)?))
-    });
-    run("compression", &mut || {
-        Ok(render::render_compression(&experiment::compression_table(&config, scale)?))
-    });
-    run("ablation A", &mut || {
-        Ok(render::render_decoupling(&experiment::ablation_decoupling(&config, scale)?))
-    });
-    run("ablation B", &mut || {
-        Ok(render::render_buffer(&experiment::ablation_buffer(&config, scale)?))
-    });
-    run("ablation C", &mut || {
-        Ok(render::render_compression_ablation(&experiment::ablation_compression(
+        Ok(render::render_workloads(&experiment::workload_table(
             &config, scale,
         )?))
     });
+    run("compression", &mut || {
+        Ok(render::render_compression(&experiment::compression_table(
+            &config, scale,
+        )?))
+    });
+    run("ablation A", &mut || {
+        Ok(render::render_decoupling(&experiment::ablation_decoupling(
+            &config, scale,
+        )?))
+    });
+    run("ablation B", &mut || {
+        Ok(render::render_buffer(&experiment::ablation_buffer(
+            &config, scale,
+        )?))
+    });
+    run("ablation C", &mut || {
+        Ok(render::render_compression_ablation(
+            &experiment::ablation_compression(&config, scale)?,
+        ))
+    });
     run("filtering", &mut || {
-        Ok(render::render_filtering(&experiment::ext_filtering(&config, scale)?))
+        Ok(render::render_filtering(&experiment::ext_filtering(
+            &config, scale,
+        )?))
     });
     run("parallel", &mut || {
-        Ok(render::render_parallel(&experiment::ext_parallel(&config, scale)?))
+        Ok(render::render_parallel(&experiment::ext_parallel(
+            &config, scale,
+        )?))
     });
 
     if failed.get() {

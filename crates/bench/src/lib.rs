@@ -134,7 +134,12 @@ pub fn render_compression_ablation(rows: &[CompressionAblationRow]) -> String {
 /// Renders the filtering extension table.
 #[must_use]
 pub fn render_filtering(rows: &[FilterRow]) -> String {
-    let mut t = TextTable::new(["benchmark", "unfiltered", "heap-filtered", "records dropped"]);
+    let mut t = TextTable::new([
+        "benchmark",
+        "unfiltered",
+        "heap-filtered",
+        "records dropped",
+    ]);
     for row in rows {
         t.row([
             row.benchmark.name().to_string(),

@@ -17,13 +17,21 @@ impl CacheConfig {
     /// The paper's L1 configuration: 16 KiB, 64 B lines, 4-way.
     #[must_use]
     pub fn l1_default() -> Self {
-        CacheConfig { size_bytes: 16 << 10, line_bytes: 64, assoc: 4 }
+        CacheConfig {
+            size_bytes: 16 << 10,
+            line_bytes: 64,
+            assoc: 4,
+        }
     }
 
     /// The paper's shared L2 configuration: 512 KiB, 64 B lines, 8-way.
     #[must_use]
     pub fn l2_default() -> Self {
-        CacheConfig { size_bytes: 512 << 10, line_bytes: 64, assoc: 8 }
+        CacheConfig {
+            size_bytes: 512 << 10,
+            line_bytes: 64,
+            assoc: 8,
+        }
     }
 
     /// Number of sets implied by the geometry.
@@ -44,7 +52,10 @@ impl CacheConfig {
     ///
     /// Panics on an invalid geometry.
     pub fn validate(&self) {
-        assert!(self.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            self.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(self.assoc > 0, "associativity must be non-zero");
         assert_eq!(
             self.size_bytes % (self.line_bytes * self.assoc as u64),
@@ -233,7 +244,11 @@ mod tests {
 
     fn tiny() -> SetAssocCache {
         // 4 sets x 2 ways x 64B lines = 512 bytes.
-        SetAssocCache::new(CacheConfig { size_bytes: 512, line_bytes: 64, assoc: 2 })
+        SetAssocCache::new(CacheConfig {
+            size_bytes: 512,
+            line_bytes: 64,
+            assoc: 2,
+        })
     }
 
     #[test]
@@ -247,7 +262,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "power of two")]
     fn bad_line_size_panics() {
-        CacheConfig { size_bytes: 512, line_bytes: 48, assoc: 2 }.validate();
+        CacheConfig {
+            size_bytes: 512,
+            line_bytes: 48,
+            assoc: 2,
+        }
+        .validate();
     }
 
     #[test]
@@ -327,7 +347,7 @@ mod tests {
     #[test]
     fn working_set_larger_than_cache_thrashes() {
         let mut c = tiny(); // 512 bytes
-        // Stream over 4 KiB twice: second pass should still miss everywhere.
+                            // Stream over 4 KiB twice: second pass should still miss everywhere.
         for pass in 0..2 {
             for line in 0..64u64 {
                 let acc = c.access(line * 64, false);

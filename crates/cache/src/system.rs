@@ -16,7 +16,10 @@ pub struct Latencies {
 
 impl Default for Latencies {
     fn default() -> Self {
-        Latencies { l2_hit: 10, memory: 100 }
+        Latencies {
+            l2_hit: 10,
+            memory: 100,
+        }
     }
 }
 
@@ -52,13 +55,19 @@ impl MemSystemConfig {
     /// A single-core configuration (unmonitored and DBI baselines).
     #[must_use]
     pub fn single_core() -> Self {
-        MemSystemConfig { cores: 1, ..Self::dual_core() }
+        MemSystemConfig {
+            cores: 1,
+            ..Self::dual_core()
+        }
     }
 
     /// A configuration with `cores` cores (parallel-lifeguard extension).
     #[must_use]
     pub fn multi_core(cores: usize) -> Self {
-        MemSystemConfig { cores, ..Self::dual_core() }
+        MemSystemConfig {
+            cores,
+            ..Self::dual_core()
+        }
     }
 }
 
@@ -118,7 +127,11 @@ impl MemSystem {
                 l1d: SetAssocCache::new(config.l1d),
             })
             .collect();
-        MemSystem { cores, l2: SetAssocCache::new(config.l2), config }
+        MemSystem {
+            cores,
+            l2: SetAssocCache::new(config.l2),
+            config,
+        }
     }
 
     /// The system configuration.
@@ -139,7 +152,11 @@ impl MemSystem {
 
     /// Penalty for one line-sized access through an L1 (by kind) and the L2.
     fn access_line(&mut self, core: usize, icache: bool, addr: u64, write: bool) -> u64 {
-        let l1 = if icache { &mut self.cores[core].l1i } else { &mut self.cores[core].l1d };
+        let l1 = if icache {
+            &mut self.cores[core].l1i
+        } else {
+            &mut self.cores[core].l1d
+        };
         if l1.access(addr, write).is_hit() {
             return 0;
         }
@@ -240,7 +257,10 @@ mod tests {
         assert_eq!(m.inst_fetch(0, 0x1000), 0);
         // Data access to the same address still misses L1D (it only primed
         // L1I and L2).
-        assert_eq!(m.data_access(0, 0x1000, 4, false), Latencies::default().l2_hit);
+        assert_eq!(
+            m.data_access(0, 0x1000, 4, false),
+            Latencies::default().l2_hit
+        );
     }
 
     #[test]
@@ -248,7 +268,10 @@ mod tests {
         let mut m = sys(2);
         m.data_access(0, 0x200, 4, false);
         // Core 1 misses its own L1 (hits shared L2).
-        assert_eq!(m.data_access(1, 0x200, 4, false), Latencies::default().l2_hit);
+        assert_eq!(
+            m.data_access(1, 0x200, 4, false),
+            Latencies::default().l2_hit
+        );
         let s0 = m.core_stats(0);
         let s1 = m.core_stats(1);
         assert_eq!(s0.l1d.accesses, 1);

@@ -18,8 +18,10 @@
 #[derive(Debug, Clone, Default)]
 pub struct BitWriter {
     bytes: Vec<u8>,
-    /// Number of valid bits in the final partial byte (0 = none pending).
-    bit_pos: u32,
+    /// Pending bits not yet flushed to `bytes` (LSB-first, < 8 of them).
+    acc: u64,
+    /// Number of valid bits in `acc`.
+    acc_bits: u32,
 }
 
 impl BitWriter {
@@ -32,24 +34,16 @@ impl BitWriter {
     /// Total bits written so far.
     #[must_use]
     pub fn len_bits(&self) -> u64 {
-        if self.bit_pos == 0 {
-            self.bytes.len() as u64 * 8
-        } else {
-            (self.bytes.len() as u64 - 1) * 8 + u64::from(self.bit_pos)
-        }
+        self.bytes.len() as u64 * 8 + u64::from(self.acc_bits)
     }
 
     /// Writes a single bit.
     pub fn write_bit(&mut self, bit: bool) {
-        if self.bit_pos == 0 {
-            self.bytes.push(0);
-            self.bit_pos = 0;
+        self.acc |= u64::from(bit) << self.acc_bits;
+        self.acc_bits += 1;
+        if self.acc_bits == 8 {
+            self.flush_acc();
         }
-        if bit {
-            let last = self.bytes.last_mut().expect("pushed above or pending");
-            *last |= 1 << self.bit_pos;
-        }
-        self.bit_pos = (self.bit_pos + 1) % 8;
     }
 
     /// Writes the low `n` bits of `value`, LSB first.
@@ -59,8 +53,39 @@ impl BitWriter {
     /// Panics if `n > 64`.
     pub fn write_bits(&mut self, value: u64, n: u32) {
         assert!(n <= 64, "cannot write more than 64 bits at once");
-        for i in 0..n {
-            self.write_bit(value >> i & 1 == 1);
+        if n == 0 {
+            return;
+        }
+        let value = if n == 64 {
+            value
+        } else {
+            value & ((1u64 << n) - 1)
+        };
+        // `acc` holds < 8 bits, so up to 56 more fit before a flush.
+        let room = 64 - self.acc_bits;
+        if n <= room {
+            self.acc |= value << self.acc_bits;
+            self.acc_bits += n;
+        } else {
+            self.acc |= value << self.acc_bits;
+            let spilled = n - room;
+            self.acc_bits = 64;
+            self.flush_acc();
+            self.acc = value >> (n - spilled);
+            self.acc_bits = spilled;
+        }
+        if self.acc_bits >= 8 {
+            self.flush_acc();
+        }
+    }
+
+    /// Moves whole bytes from the accumulator into the buffer, leaving
+    /// fewer than 8 bits pending.
+    fn flush_acc(&mut self) {
+        while self.acc_bits >= 8 {
+            self.bytes.push(self.acc as u8);
+            self.acc >>= 8;
+            self.acc_bits -= 8;
         }
     }
 
@@ -87,8 +112,43 @@ impl BitWriter {
     /// Consumes the writer, returning the backing bytes (final byte
     /// zero-padded).
     #[must_use]
-    pub fn into_bytes(self) -> Vec<u8> {
+    pub fn into_bytes(mut self) -> Vec<u8> {
+        if self.acc_bits > 0 {
+            self.bytes.push(self.acc as u8);
+        }
         self.bytes
+    }
+
+    /// Flushes the partial byte and exposes the backing bytes without
+    /// consuming the writer — pair with [`clear`](Self::clear) to reuse
+    /// the allocation for the next stream segment.
+    pub fn finish_bytes(&mut self) -> &[u8] {
+        if self.acc_bits > 0 {
+            self.bytes.push(self.acc as u8);
+            self.acc = 0;
+            self.acc_bits = 0;
+        }
+        &self.bytes
+    }
+
+    /// Resets the writer to empty, keeping its allocation.
+    pub fn clear(&mut self) {
+        self.bytes.clear();
+        self.acc = 0;
+        self.acc_bits = 0;
+    }
+
+    /// Flushes the partial byte, hands back the finished buffer, and
+    /// adopts `replacement` (cleared) as the new backing storage — the
+    /// zero-copy frame-sealing primitive.
+    pub fn swap_bytes(&mut self, mut replacement: Vec<u8>) -> Vec<u8> {
+        if self.acc_bits > 0 {
+            self.bytes.push(self.acc as u8);
+            self.acc = 0;
+            self.acc_bits = 0;
+        }
+        replacement.clear();
+        std::mem::replace(&mut self.bytes, replacement)
     }
 }
 
@@ -127,11 +187,20 @@ impl<'a> BitReader<'a> {
     /// Panics if `n > 64`.
     pub fn read_bits(&mut self, n: u32) -> Option<u64> {
         assert!(n <= 64, "cannot read more than 64 bits at once");
+        if self.pos + u64::from(n) > self.bytes.len() as u64 * 8 {
+            return None;
+        }
         let mut out = 0u64;
-        for i in 0..n {
-            if self.read_bit()? {
-                out |= 1 << i;
-            }
+        let mut got = 0u32;
+        while got < n {
+            let byte = self.bytes[(self.pos / 8) as usize];
+            let bit_off = (self.pos % 8) as u32;
+            let avail = 8 - bit_off;
+            let take = (n - got).min(avail);
+            let chunk = (u64::from(byte) >> bit_off) & ((1u64 << take) - 1);
+            out |= chunk << got;
+            self.pos += u64::from(take);
+            got += take;
         }
         Some(out)
     }
@@ -218,7 +287,17 @@ mod tests {
 
     #[test]
     fn ivarint_round_trips_extremes() {
-        for value in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN, 0x7fff_ffff, -0x8000_0000] {
+        for value in [
+            0i64,
+            1,
+            -1,
+            63,
+            -64,
+            i64::MAX,
+            i64::MIN,
+            0x7fff_ffff,
+            -0x8000_0000,
+        ] {
             let mut w = BitWriter::new();
             w.write_ivarint(value);
             let bytes = w.into_bytes();

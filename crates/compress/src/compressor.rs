@@ -1,12 +1,66 @@
 //! The streaming record compressor/decompressor pair.
 
-use std::collections::HashMap;
 use std::fmt;
 
 use lba_record::{EventKind, EventRecord, RAW_RECORD_BYTES};
 
 use crate::bits::{BitReader, BitWriter};
 use crate::predictors::FcmPredictor;
+
+/// log2 of the per-PC table sizes (successor table and static-field /
+/// address-predictor table).
+const PC_TABLE_LOG2: u32 = 12;
+
+/// A direct-mapped, tag-checked table keyed by program counter — the
+/// software model of the finite hardware tables the paper's compression
+/// engine would use (a BTB-style successor table and a per-PC predictor
+/// bank). A colliding PC simply evicts the previous occupant: both ends of
+/// the stream run the identical table, so evictions are mirrored and only
+/// cost compression ratio, never correctness.
+#[derive(Debug, Clone)]
+struct PcTable<T> {
+    slots: Vec<Option<(u64, T)>>,
+}
+
+impl<T: Clone> PcTable<T> {
+    fn new() -> Self {
+        PcTable {
+            slots: vec![None; 1 << PC_TABLE_LOG2],
+        }
+    }
+
+    #[inline]
+    fn index(key: u64) -> usize {
+        // Fibonacci multiply-and-fold: the software stand-in for the
+        // trivial bit-slice index hash hardware would use.
+        let h = key.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        (h >> (64 - PC_TABLE_LOG2)) as usize
+    }
+
+    /// The entry for `key`, if `key` currently owns its slot.
+    #[inline]
+    fn get_mut(&mut self, key: u64) -> Option<&mut T> {
+        match &mut self.slots[Self::index(key)] {
+            Some((tag, value)) if *tag == key => Some(value),
+            _ => None,
+        }
+    }
+
+    /// Installs `value` for `key`, evicting any collider.
+    #[inline]
+    fn insert(&mut self, key: u64, value: T) -> &mut T {
+        let slot = &mut self.slots[Self::index(key)];
+        *slot = Some((key, value));
+        &mut slot.as_mut().expect("just written").1
+    }
+
+    /// The raw slot `key` maps to, for flows that check the tag and then
+    /// conditionally overwrite under a single probe.
+    #[inline]
+    fn slot(&mut self, key: u64) -> &mut Option<(u64, T)> {
+        &mut self.slots[Self::index(key)]
+    }
+}
 
 /// Static (per-PC) record fields cached by both ends of the stream.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -139,14 +193,14 @@ impl fmt::Display for CompressionStats {
 /// analogue): for each PC, remember the PC that followed it last time.
 /// Sequential code and loop back-edges both hit with one flag bit; only the
 /// first traversal of an edge and data-dependent branch flips pay a varint.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct StreamState {
     /// Per-thread most recent PC (`u64::MAX` = no instruction yet).
     last_pc: Vec<u64>,
     /// Last observed successor of each PC (shared across threads).
-    succ: HashMap<u64, u64>,
-    entries: HashMap<u64, PcEntry>,
-    fcm: Option<FcmPredictor>,
+    succ: PcTable<u64>,
+    entries: PcTable<PcEntry>,
+    fcm: FcmPredictor,
     last_tid: u8,
     /// Address of the most recent address-carrying record, any PC (feeds
     /// the global-correlation predictor).
@@ -157,36 +211,29 @@ impl StreamState {
     fn new() -> Self {
         StreamState {
             last_pc: Vec::new(),
-            succ: HashMap::new(),
-            entries: HashMap::new(),
-            fcm: Some(FcmPredictor::default()),
+            succ: PcTable::new(),
+            entries: PcTable::new(),
+            fcm: FcmPredictor::default(),
             last_tid: 0,
             global_last_addr: 0,
         }
     }
 
-    /// Predicted PC for the next record of `tid`.
-    fn predict_pc(&mut self, tid: u8) -> u64 {
+    /// The slot holding `tid`'s most recent PC (`u64::MAX` = first record
+    /// of the thread), growing the table on a new thread id.
+    fn last_pc_slot(&mut self, tid: u8) -> &mut u64 {
         let idx = tid as usize;
         if self.last_pc.len() <= idx {
             self.last_pc.resize(idx + 1, u64::MAX);
         }
-        let last = self.last_pc[idx];
-        if last == u64::MAX {
-            return 0;
-        }
-        self.succ.get(&last).copied().unwrap_or_else(|| last.wrapping_add(8))
+        &mut self.last_pc[idx]
     }
+}
 
-    /// Records the actual PC of `tid`'s newest record.
-    fn update_pc(&mut self, tid: u8, pc: u64) {
-        let idx = tid as usize;
-        let last = self.last_pc[idx];
-        if last != u64::MAX {
-            self.succ.insert(last, pc);
-        }
-        self.last_pc[idx] = pc;
-    }
+/// Default last-successor prediction for a PC never seen before:
+/// fall-through to the next 8-byte instruction slot.
+fn fallthrough(pc: u64) -> u64 {
+    pc.wrapping_add(8)
 }
 
 /// The hardware log-compression engine model.
@@ -210,7 +257,10 @@ impl LogCompressor {
     /// Creates a compressor with cold predictors.
     #[must_use]
     pub fn new() -> Self {
-        LogCompressor { state: StreamState::new(), stats: CompressionStats::default() }
+        LogCompressor {
+            state: StreamState::new(),
+            stats: CompressionStats::default(),
+        }
     }
 
     /// Accumulated statistics.
@@ -224,26 +274,33 @@ impl LogCompressor {
         let start = w.len_bits();
         let s = &mut self.state;
 
-        // 1. Thread id.
-        if rec.tid == s.last_tid {
-            w.write_bit(true);
+        // 1-3. Header: thread id, program counter (last-successor
+        // prediction), and the per-PC static fields. The overwhelmingly
+        // common case — same thread, predicted PC, cached statics — is a
+        // single fast-path bit; otherwise a 0 bit is followed by the three
+        // individual flag-bit fields.
+        let tid_hit = rec.tid == s.last_tid;
+        let last = std::mem::replace(s.last_pc_slot(rec.tid), rec.pc);
+        let predicted = if last == u64::MAX {
+            0
         } else {
-            w.write_bit(false);
-            w.write_bits(u64::from(rec.tid), 8);
-            s.last_tid = rec.tid;
-        }
-
-        // 2. Program counter (last-successor prediction).
-        let predicted = s.predict_pc(rec.tid);
-        if predicted == rec.pc {
-            w.write_bit(true);
-        } else {
-            w.write_bit(false);
-            w.write_ivarint(rec.pc.wrapping_sub(predicted) as i64);
-        }
-        s.update_pc(rec.tid, rec.pc);
-
-        // 3. Static fields via the per-PC table.
+            match s.succ.get_mut(last) {
+                Some(succ) => {
+                    let predicted = *succ;
+                    // In-place update through the same probe; a correct
+                    // prediction needs no write at all.
+                    if predicted != rec.pc {
+                        *succ = rec.pc;
+                    }
+                    predicted
+                }
+                None => {
+                    s.succ.insert(last, rec.pc);
+                    fallthrough(last)
+                }
+            }
+        };
+        let pc_hit = predicted == rec.pc;
         let statics = StaticInfo {
             kind: rec.kind,
             in1: rec.in1,
@@ -256,26 +313,53 @@ impl LogCompressor {
                 _ => 0,
             },
         };
-        let hit = s.entries.get(&rec.pc).is_some_and(|e| e.statics == statics);
-        if hit {
+        let slot = s.entries.slot(rec.pc);
+        let statics_hit = matches!(slot, Some((tag, e)) if *tag == rec.pc && e.statics == statics);
+
+        if tid_hit && pc_hit && statics_hit {
             w.write_bit(true);
         } else {
             w.write_bit(false);
-            write_statics(w, &statics);
-            s.entries.insert(rec.pc, PcEntry::new(statics));
+            if tid_hit {
+                w.write_bit(true);
+            } else {
+                w.write_bit(false);
+                w.write_bits(u64::from(rec.tid), 8);
+                s.last_tid = rec.tid;
+            }
+            if pc_hit {
+                w.write_bit(true);
+            } else {
+                w.write_bit(false);
+                w.write_ivarint(rec.pc.wrapping_sub(predicted) as i64);
+            }
+            if statics_hit {
+                w.write_bit(true);
+            } else {
+                w.write_bit(false);
+                write_statics(w, &statics);
+            }
         }
+        if !statics_hit {
+            *slot = Some((rec.pc, PcEntry::new(statics)));
+        }
+        let entry = &mut slot.as_mut().expect("present or just written").1;
 
-        // 4. Dynamic fields.
+        // 4. Dynamic fields (still under the single `entries` probe).
         if rec.kind == EventKind::Branch {
             w.write_bit(rec.size != 0);
         }
         if has_dynamic_addr(rec.kind) {
-            let fcm = s.fcm.as_mut().expect("fcm always present");
-            let entry = s.entries.get_mut(&rec.pc).expect("inserted above");
-            encode_addr(w, fcm, rec.pc, entry, &mut s.global_last_addr, rec.addr);
+            encode_addr(
+                w,
+                &mut s.fcm,
+                rec.pc,
+                entry,
+                &mut s.global_last_addr,
+                rec.addr,
+            );
         }
         if has_dynamic_size(rec.kind) {
-            let entry = s.entries.get_mut(&rec.pc).expect("inserted above");
             if entry.last_size == rec.size {
                 w.write_bit(true);
             } else {
@@ -321,12 +405,13 @@ fn encode_addr(
 ) {
     let stride_pred = e.addr_last.wrapping_add(e.addr_stride);
     let global_pred = global_last.wrapping_add(e.glob_offset);
-    let fcm_pred = e.addr_last.wrapping_add(fcm.predict(pc, e.d1, e.d2));
     if stride_pred == actual {
         w.write_bits(ADDR_STRIDE, 2);
     } else if global_pred == actual {
         w.write_bits(ADDR_GLOBAL, 2);
-    } else if fcm_pred == actual {
+    // The FCM probe is lazy: it is a pure read, so skipping it on a
+    // stride/global hit leaves the mirrored predictor state untouched.
+    } else if e.addr_last.wrapping_add(fcm.predict(pc, e.d1, e.d2)) == actual {
         w.write_bits(ADDR_FCM, 2);
     } else if e.addr_last == actual {
         w.write_bits(ADDR_ESCAPE, 2);
@@ -393,7 +478,9 @@ impl LogDecompressor {
     /// Creates a decompressor with cold predictors.
     #[must_use]
     pub fn new() -> Self {
-        LogDecompressor { state: StreamState::new() }
+        LogDecompressor {
+            state: StreamState::new(),
+        }
     }
 
     /// Decodes the next record.
@@ -406,8 +493,11 @@ impl LogDecompressor {
         let eof = DecodeStreamError::UnexpectedEof;
         let s = &mut self.state;
 
-        // 1. Thread id.
-        let tid = if r.read_bit().ok_or(eof.clone())? {
+        // 1-3. Header: a set fast-path bit means same thread, predicted
+        // PC, cached statics; a clear bit is followed by the three
+        // individual flag-bit fields (mirroring the encoder).
+        let fast = r.read_bit().ok_or(eof.clone())?;
+        let tid = if fast || r.read_bit().ok_or(eof.clone())? {
             s.last_tid
         } else {
             let tid = r.read_bits(8).ok_or(eof.clone())? as u8;
@@ -415,24 +505,43 @@ impl LogDecompressor {
             tid
         };
 
-        // 2. Program counter.
-        let predicted = s.predict_pc(tid);
-        let pc = if r.read_bit().ok_or(eof.clone())? {
-            predicted
-        } else {
-            let delta = r.read_ivarint().ok_or(eof.clone())?;
-            predicted.wrapping_add(delta as u64)
+        let last = *s.last_pc_slot(tid);
+        let pc_hit = fast || r.read_bit().ok_or(eof.clone())?;
+        let resolve = |predicted: u64, r: &mut BitReader<'_>| {
+            if pc_hit {
+                Ok(predicted)
+            } else {
+                let delta = r.read_ivarint().ok_or(eof.clone())?;
+                Ok(predicted.wrapping_add(delta as u64))
+            }
         };
-        s.update_pc(tid, pc);
+        let pc = if last == u64::MAX {
+            resolve(0, r)?
+        } else {
+            match s.succ.get_mut(last) {
+                Some(succ) => {
+                    let pc = resolve(*succ, r)?;
+                    if *succ != pc {
+                        *succ = pc;
+                    }
+                    pc
+                }
+                None => {
+                    let pc = resolve(fallthrough(last), r)?;
+                    s.succ.insert(last, pc);
+                    pc
+                }
+            }
+        };
+        *s.last_pc_slot(tid) = pc;
 
-        // 3. Static fields.
-        let statics = if r.read_bit().ok_or(eof.clone())? {
-            s.entries.get(&pc).expect("static hit implies known pc").statics
+        let entry: &mut PcEntry = if fast || r.read_bit().ok_or(eof.clone())? {
+            s.entries.get_mut(pc).expect("static hit implies known pc")
         } else {
             let statics = read_statics(r)?;
-            s.entries.insert(pc, PcEntry::new(statics));
-            statics
+            s.entries.insert(pc, PcEntry::new(statics))
         };
+        let statics = entry.statics;
 
         // 4. Dynamic fields.
         let mut size = match statics.kind {
@@ -449,12 +558,9 @@ impl LogDecompressor {
             size = u32::from(r.read_bit().ok_or(eof.clone())?);
         }
         if has_dynamic_addr(statics.kind) {
-            let fcm = s.fcm.as_mut().expect("fcm always present");
-            let entry = s.entries.get_mut(&pc).expect("entry exists");
-            addr = decode_addr(r, fcm, pc, entry, &mut s.global_last_addr)?;
+            addr = decode_addr(r, &mut s.fcm, pc, entry, &mut s.global_last_addr)?;
         }
         if has_dynamic_size(statics.kind) {
-            let entry = s.entries.get_mut(&pc).expect("entry exists");
             if r.read_bit().ok_or(eof.clone())? {
                 size = entry.last_size;
             } else {
@@ -491,9 +597,19 @@ fn read_statics(r: &mut BitReader<'_>) -> Result<StaticInfo, DecodeStreamError> 
     } else {
         0
     };
-    let static_word =
-        if has_static_word(kind) { r.read_uvarint().ok_or(eof)? } else { 0 };
-    Ok(StaticInfo { kind, in1: ops[0], in2: ops[1], out: ops[2], width, static_word })
+    let static_word = if has_static_word(kind) {
+        r.read_uvarint().ok_or(eof)?
+    } else {
+        0
+    };
+    Ok(StaticInfo {
+        kind,
+        in1: ops[0],
+        in2: ops[1],
+        out: ops[2],
+        width,
+        static_word,
+    })
 }
 
 fn decode_addr(
@@ -537,7 +653,9 @@ mod tests {
         let mut r = BitReader::new(&bytes);
         let mut d = LogDecompressor::new();
         for (i, rec) in records.iter().enumerate() {
-            let got = d.decode(&mut r).unwrap_or_else(|e| panic!("record {i}: {e}"));
+            let got = d
+                .decode(&mut r)
+                .unwrap_or_else(|e| panic!("record {i}: {e}"));
             assert_eq!(got, *rec, "record {i} mismatched");
         }
         stats
@@ -599,7 +717,14 @@ mod tests {
         let mut records = Vec::new();
         for i in 0..10_000u64 {
             records.push(EventRecord::alu(0x1000, 0, Some(1), Some(2), Some(1)));
-            records.push(EventRecord::load(0x1008, 0, Some(3), Some(4), 0x4000_0000 + i * 8, 8));
+            records.push(EventRecord::load(
+                0x1008,
+                0,
+                Some(3),
+                Some(4),
+                0x4000_0000 + i * 8,
+                8,
+            ));
             records.push(EventRecord {
                 pc: 0x1010,
                 kind: EventKind::Branch,
@@ -642,11 +767,16 @@ mod tests {
         let mut x = 0x12345u64;
         let mut records = Vec::new();
         for _ in 0..500 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             records.push(EventRecord::load(0x1000, 0, Some(1), None, x, 1));
         }
         let stats = round_trip(&records);
-        assert!(stats.bytes_per_record() < RAW_RECORD_BYTES as f64, "never worse than raw + eps");
+        assert!(
+            stats.bytes_per_record() < RAW_RECORD_BYTES as f64,
+            "never worse than raw + eps"
+        );
     }
 
     #[test]
@@ -687,7 +817,10 @@ mod tests {
         let mut c = LogCompressor::new();
         let mut w = BitWriter::new();
         for _ in 0..10 {
-            c.encode(&EventRecord::alu(0x1000, 0, Some(1), Some(2), Some(3)), &mut w);
+            c.encode(
+                &EventRecord::alu(0x1000, 0, Some(1), Some(2), Some(3)),
+                &mut w,
+            );
         }
         let stats = c.stats();
         assert_eq!(stats.records, 10);

@@ -50,8 +50,13 @@
 
 mod bits;
 mod compressor;
+mod frame;
 mod predictors;
 
 pub use bits::{BitReader, BitWriter};
 pub use compressor::{CompressionStats, DecodeStreamError, LogCompressor, LogDecompressor};
+pub use frame::{
+    Frame, FrameConfig, FrameDecodeError, FrameDecoder, FrameEncoder, FrameStats,
+    FRAME_HEADER_BYTES, FRAME_LINE_BYTES,
+};
 pub use predictors::{FcmPredictor, LastValuePredictor, StridePredictor};

@@ -84,13 +84,15 @@ impl FcmPredictor {
     pub fn new(log2_entries: u32) -> Self {
         assert!((1..=24).contains(&log2_entries), "table size out of range");
         let len = 1usize << log2_entries;
-        FcmPredictor { table: vec![0; len], mask: (len - 1) as u64 }
+        FcmPredictor {
+            table: vec![0; len],
+            mask: (len - 1) as u64,
+        }
     }
 
     fn index(&self, key: u64, d1: u64, d2: u64) -> usize {
         // Mix the source key and the two recent deltas (Fibonacci hashing).
-        let h = key
-            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        let h = key.wrapping_mul(0x9e37_79b9_7f4a_7c15)
             ^ d1.wrapping_mul(0xbf58_476d_1ce4_e5b9)
             ^ d2.wrapping_mul(0x94d0_49bb_1331_11eb);
         (h & self.mask) as usize
@@ -163,7 +165,10 @@ mod tests {
             d2 = d1;
             d1 = d;
         }
-        assert!(hits >= 4, "fcm should learn the alternation, got {hits} hits");
+        assert!(
+            hits >= 4,
+            "fcm should learn the alternation, got {hits} hits"
+        );
     }
 
     #[test]

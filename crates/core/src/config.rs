@@ -1,6 +1,7 @@
 //! System configuration.
 
 use lba_cache::MemSystemConfig;
+use lba_compress::FrameConfig;
 use lba_cpu::MachineConfig;
 use lba_dbi::DbiConfig;
 use lba_lifeguard::{AddrRangeFilter, DispatchConfig};
@@ -15,6 +16,11 @@ pub struct LogConfig {
     /// Whether the VPC compression engine is enabled (ablation C turns it
     /// off to show the bandwidth pressure of a raw log).
     pub compression: bool,
+    /// Records batched into one transport frame before it ships (a frame
+    /// seals early at syscalls and end of program). Larger frames amortise
+    /// the 8-byte header and cache-line padding over more records; smaller
+    /// frames bound the lifeguard's lag more tightly.
+    pub records_per_frame: usize,
     /// Shared-L2 occupancy cycles charged per 64-byte line of log data
     /// moved (written by the capture engine, read by the dispatch engine).
     pub line_transfer_cycles: u64,
@@ -32,11 +38,37 @@ pub struct LogConfig {
     pub verify_compression: bool,
 }
 
+impl LogConfig {
+    /// The frame-codec parameters this log configuration implies (shared
+    /// by the modeled and live transports).
+    #[must_use]
+    pub fn frame_config(&self) -> FrameConfig {
+        FrameConfig {
+            records_per_frame: self.records_per_frame,
+            compress: self.compression,
+        }
+    }
+
+    /// Validates the transport-related fields, returning a descriptive
+    /// error instead of letting the codec panic deeper in the pipeline.
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::ZeroRecordsPerFrame`] when `records_per_frame` is zero.
+    pub fn validate_framing(&self) -> Result<(), lba_cpu::RunError> {
+        if self.records_per_frame == 0 {
+            return Err(lba_cpu::RunError::ZeroRecordsPerFrame);
+        }
+        Ok(())
+    }
+}
+
 impl Default for LogConfig {
     fn default() -> Self {
         LogConfig {
             buffer_bytes: 64 << 10,
             compression: true,
+            records_per_frame: 256,
             line_transfer_cycles: 4,
             syscall_stall: true,
             decoupled: true,
@@ -92,6 +124,7 @@ mod tests {
         let c = SystemConfig::default();
         assert_eq!(c.log.buffer_bytes, 64 << 10);
         assert!(c.log.compression);
+        assert_eq!(c.log.records_per_frame, 256);
         assert!(c.log.syscall_stall);
         assert!(c.log.decoupled);
         assert_eq!(c.mem_dual().cores, 2);

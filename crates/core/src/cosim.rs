@@ -1,13 +1,13 @@
 //! The LBA co-simulation: two decoupled cores coordinating through the
-//! log buffer.
+//! framed log channel.
 
 use lba_cache::MemSystem;
-use lba_compress::{BitReader, BitWriter, LogCompressor, LogDecompressor};
+use lba_compress::FRAME_LINE_BYTES;
 use lba_cpu::{Machine, RunError, StepOutcome};
 use lba_isa::Program;
 use lba_lifeguard::{DispatchEngine, Finding, Lifeguard};
-use lba_record::{EventKind, EventRecord, TraceStats, RAW_RECORD_BYTES};
-use lba_transport::LogBufferModel;
+use lba_record::{EventKind, TraceStats};
+use lba_transport::{LogChannel, ModeledFrameChannel, PushOutcome};
 
 use crate::config::SystemConfig;
 use crate::report::{LogStats, Mode, RunReport, StallBreakdown};
@@ -17,11 +17,11 @@ use crate::report::{LogStats, Mode, RunReport, StallBreakdown};
 const LG_CORE: usize = 1;
 
 /// Bits per transferred cache line of log data.
-const LINE_BITS: u64 = 64 * 8;
+const LINE_BITS: u64 = FRAME_LINE_BYTES as u64 * 8;
 
 struct Cosim<'a> {
     mem: MemSystem,
-    buffer: LogBufferModel,
+    channel: Box<dyn LogChannel>,
     engine: DispatchEngine,
     lifeguard: &'a mut dyn Lifeguard,
     findings: Vec<Finding>,
@@ -29,24 +29,32 @@ struct Cosim<'a> {
     t_app: u64,
     /// Lifeguard-core clock (cycles).
     t_lg: u64,
-    /// Pending log bits not yet accounted as line transfers.
-    line_accum: u64,
     line_transfer_cycles: u64,
     stalls: StallBreakdown,
 }
 
 impl Cosim<'_> {
-    /// Consumes one buffered entry on the lifeguard core, advancing its
-    /// clock. Returns `false` when the buffer is empty.
+    /// Charges both cores the shared-L2 occupancy of a shipped frame:
+    /// written line by line by the capture engine, later read by dispatch.
+    /// Returns the cycles charged to each clock.
+    fn charge_lines(&mut self, wire_bits: u64) -> u64 {
+        let cycles = (wire_bits / LINE_BITS) * self.line_transfer_cycles;
+        self.t_app += cycles;
+        self.t_lg += cycles;
+        cycles
+    }
+
+    /// Consumes one channel record on the lifeguard core, advancing its
+    /// clock. Returns `false` when the channel is empty.
     fn consume_one(&mut self) -> bool {
-        let Some(entry) = self.buffer.pop() else {
+        let Some(popped) = self.channel.pop_record() else {
             return false;
         };
-        // The lifeguard cannot read an entry before it was produced.
-        self.t_lg = self.t_lg.max(entry.ready_at);
+        // The lifeguard cannot read a record before its frame shipped.
+        self.t_lg = self.t_lg.max(popped.ready_at);
         self.t_lg += self.engine.deliver(
             self.lifeguard,
-            &entry.record,
+            &popped.record,
             &mut self.mem,
             LG_CORE,
             &mut self.findings,
@@ -54,48 +62,108 @@ impl Cosim<'_> {
         true
     }
 
-    /// Drains the buffer completely (syscall stall and end-of-program).
+    /// Resolves producer back-pressure: the lifeguard drains records until
+    /// the parked frame is admitted, and the application clock absorbs the
+    /// wait.
+    fn resolve_back_pressure(&mut self) {
+        let before = self.t_app;
+        // Line-transfer cycles for the admitted frame are the ordinary
+        // shipping cost every frame pays; keep them out of the stall
+        // counter.
+        let mut shipped_cycles = 0;
+        while self.channel.has_parked() {
+            let stamp = self.t_app.max(self.t_lg);
+            if let Some(wire_bits) = self.channel.retry_parked(stamp) {
+                shipped_cycles += self.charge_lines(wire_bits);
+                continue;
+            }
+            assert!(
+                self.consume_one(),
+                "a parked frame must be admitted once the buffer drains"
+            );
+        }
+        self.t_app = self.t_app.max(self.t_lg);
+        self.stalls.buffer_full_cycles += (self.t_app - before).saturating_sub(shipped_cycles);
+    }
+
+    /// Applies a producer-side push/flush outcome to the clocks.
+    fn absorb(&mut self, outcome: PushOutcome) {
+        match outcome {
+            PushOutcome::Buffered => {}
+            PushOutcome::Sealed { wire_bits } => {
+                self.charge_lines(wire_bits);
+            }
+            PushOutcome::BackPressure { .. } => self.resolve_back_pressure(),
+        }
+    }
+
+    /// Drains the channel completely, parked frames included (syscall
+    /// stall and end-of-program).
     fn drain(&mut self) {
-        while self.consume_one() {}
+        loop {
+            if self.consume_one() {
+                continue;
+            }
+            let stamp = self.t_app.max(self.t_lg);
+            match self.channel.retry_parked(stamp) {
+                Some(wire_bits) => {
+                    self.charge_lines(wire_bits);
+                }
+                None => break,
+            }
+        }
     }
 }
 
 /// Runs `program` under LBA: the application executes on core 0 while the
-/// lifeguard consumes the compressed log on core 1.
+/// lifeguard consumes the compressed, framed log on core 1.
 ///
 /// The two cores are decoupled (per §2 of the paper): the application only
 /// waits when (i) the log buffer is full — back-pressure — or (ii) it
-/// enters a syscall and the OS enforces the containment policy by draining
-/// the log first. End-to-end time is the later of the two core clocks.
+/// enters a syscall and the OS enforces the containment policy by flushing
+/// the open frame and draining the log first. End-to-end time is the later
+/// of the two core clocks. The transport is driven entirely through the
+/// [`LogChannel`] trait; this run plugs in the deterministic
+/// [`ModeledFrameChannel`], which runs the real frame codec so the timing
+/// model ships the same wire bytes as the live mode.
 ///
 /// # Errors
 ///
-/// Propagates any [`RunError`] from the machine.
+/// Returns [`RunError::LogBufferTooSmall`] when `config.log.buffer_bytes`
+/// cannot hold even one cache-line frame, and propagates any [`RunError`]
+/// from the machine.
 ///
 /// # Panics
 ///
-/// Panics if `config.log.verify_compression` is set and the compressed
-/// stream fails to round-trip (a compressor bug, not a user error).
+/// Panics if `config.log.verify_compression` is set and the framed stream
+/// fails to round-trip (a codec bug, not a user error).
 pub fn run_lba(
     program: &Program,
     lifeguard: &mut dyn Lifeguard,
     config: &SystemConfig,
 ) -> Result<RunReport, RunError> {
+    config.log.validate_framing()?;
+    if config.log.buffer_bytes < FRAME_LINE_BYTES as u64 {
+        return Err(RunError::LogBufferTooSmall {
+            buffer_bytes: config.log.buffer_bytes,
+            frame_bytes: FRAME_LINE_BYTES as u64,
+        });
+    }
     let mut machine = Machine::new(program, config.machine);
-    let mut compressor = LogCompressor::new();
-    let mut bits_out = BitWriter::new();
     let mut trace = TraceStats::new();
-    let mut verify_log: Vec<EventRecord> = Vec::new();
 
     let mut sim = Cosim {
         mem: MemSystem::new(config.mem_dual()),
-        buffer: LogBufferModel::new(config.log.buffer_bytes),
+        channel: Box::new(ModeledFrameChannel::new(
+            config.log.buffer_bytes,
+            config.log.frame_config(),
+            config.log.verify_compression,
+        )),
         engine: DispatchEngine::new(config.dispatch),
         lifeguard,
         findings: Vec::new(),
         t_app: 0,
         t_lg: 0,
-        line_accum: 0,
         line_transfer_cycles: config.log.line_transfer_cycles,
         stalls: StallBreakdown::default(),
     };
@@ -116,47 +184,31 @@ pub fn run_lba(
                     }
                 }
 
-                // Compression engine (hardware: no app cycles, but the
-                // compressed bytes occupy shared-L2 bandwidth).
-                let bits = if config.log.compression {
-                    compressor.encode(&r.record, &mut bits_out)
-                } else {
-                    compressor.encode(&r.record, &mut bits_out); // stats only
-                    (RAW_RECORD_BYTES * 8) as u64
-                };
-                if config.log.verify_compression {
-                    verify_log.push(r.record);
-                }
-                sim.line_accum += bits;
-                while sim.line_accum >= LINE_BITS {
-                    sim.line_accum -= LINE_BITS;
-                    // One line written by capture, later read by dispatch.
-                    sim.t_app += sim.line_transfer_cycles;
-                    sim.t_lg += sim.line_transfer_cycles;
-                }
-
-                // Back-pressure: wait (by advancing the consumer) until the
-                // entry fits.
-                if !sim.buffer.fits(bits) {
-                    let before = sim.t_app;
-                    while !sim.buffer.fits(bits) && sim.consume_one() {}
-                    sim.t_app = sim.t_app.max(sim.t_lg);
-                    sim.stalls.buffer_full_cycles += sim.t_app - before;
-                }
-                sim.buffer
-                    .try_push(r.record, bits, sim.t_app)
-                    .expect("space was freed above");
+                // Capture + compression engine (hardware: no app cycles,
+                // but each shipped frame occupies shared-L2 bandwidth and
+                // buffer space — back-pressure stalls the application).
+                let outcome = sim.channel.push_record(&r.record, sim.t_app);
+                sim.absorb(outcome);
 
                 // Containment: stall the syscall until the lifeguard has
-                // checked everything that precedes it.
+                // checked everything that precedes it — which requires
+                // flushing the open partial frame.
                 if r.record.kind == EventKind::Syscall && config.log.syscall_stall {
+                    // Flush first: any back-pressure it hits is buffer
+                    // stall, kept disjoint from the containment stall
+                    // measured below.
+                    let outcome = sim.channel.flush(sim.t_app);
+                    sim.absorb(outcome);
                     let before = sim.t_app;
                     sim.drain();
                     sim.t_app = sim.t_app.max(sim.t_lg);
                     sim.stalls.syscall_stall_cycles += sim.t_app - before;
                     sim.stalls.syscalls += 1;
                 } else if !config.log.decoupled {
-                    // Lock-step ablation: synchronise after every record.
+                    // Lock-step ablation: synchronise after every record,
+                    // paying a one-record frame each time.
+                    let outcome = sim.channel.flush(sim.t_app);
+                    sim.absorb(outcome);
                     sim.drain();
                     sim.t_app = sim.t_app.max(sim.t_lg);
                 }
@@ -164,24 +216,16 @@ pub fn run_lba(
         }
     }
 
-    // End of program: the lifeguard finishes the remaining log and runs its
-    // final checks.
+    // End of program: flush the partial frame, let the lifeguard finish
+    // the remaining log, and run its final checks.
+    let outcome = sim.channel.flush(sim.t_app);
+    sim.absorb(outcome);
     sim.drain();
-    sim.t_lg += sim.engine.finish(sim.lifeguard, &mut sim.mem, LG_CORE, &mut sim.findings);
+    sim.t_lg += sim
+        .engine
+        .finish(sim.lifeguard, &mut sim.mem, LG_CORE, &mut sim.findings);
 
-    if config.log.verify_compression {
-        let bytes = bits_out.into_bytes();
-        let mut reader = BitReader::new(&bytes);
-        let mut decompressor = LogDecompressor::new();
-        for (i, expected) in verify_log.iter().enumerate() {
-            let got = decompressor
-                .decode(&mut reader)
-                .unwrap_or_else(|e| panic!("decompression failed at record {i}: {e}"));
-            assert_eq!(got, *expected, "compression round-trip mismatch at record {i}");
-        }
-    }
-
-    let stats = compressor.stats();
+    let stats = sim.channel.stats();
     let instructions = trace.instructions().max(1);
     Ok(RunReport {
         program: program.name().to_string(),
@@ -194,8 +238,11 @@ pub fn run_lba(
         log: LogStats {
             records: stats.records,
             filtered,
-            compressed_bits: stats.bits,
-            bytes_per_instruction: stats.bits as f64 / 8.0 / instructions as f64,
+            frames: stats.frames,
+            compressed_bits: stats.payload_bits,
+            wire_bits: stats.wire_bits,
+            bytes_per_instruction: stats.payload_bits as f64 / 8.0 / instructions as f64,
+            wire_bytes_per_instruction: stats.wire_bits as f64 / 8.0 / instructions as f64,
         },
         stalls: sim.stalls,
     })
@@ -223,7 +270,10 @@ mod tests {
         let lba_x = lba.slowdown_vs(&base);
         let dbi_x = dbi.slowdown_vs(&base);
         assert!(lba_x > 1.0, "monitoring is not free: {lba_x:.2}");
-        assert!(dbi_x > 2.0 * lba_x, "LBA ({lba_x:.1}x) must beat DBI ({dbi_x:.1}x) well");
+        assert!(
+            dbi_x > 2.0 * lba_x,
+            "LBA ({lba_x:.1}x) must beat DBI ({dbi_x:.1}x) well"
+        );
     }
 
     #[test]
@@ -242,7 +292,10 @@ mod tests {
         let program = bugs::exploit();
         let mut lg = TaintCheck::new();
         let report = run_lba(&program, &mut lg, &SystemConfig::default()).unwrap();
-        assert!(report.findings_of(FindingKind::TaintedJump).next().is_some());
+        assert!(report
+            .findings_of(FindingKind::TaintedJump)
+            .next()
+            .is_some());
     }
 
     #[test]
@@ -283,7 +336,7 @@ mod tests {
         let mut config = SystemConfig::default();
         config.log.verify_compression = true;
         let mut lg = AddrCheck::new();
-        // run_lba panics internally if the round-trip fails.
+        // The channel panics internally if any frame fails to round-trip.
         let report = run_lba(&program, &mut lg, &config).unwrap();
         assert!(report.log.records > 0);
     }
@@ -299,6 +352,15 @@ mod tests {
             "got {:.3} B/inst",
             report.log.bytes_per_instruction
         );
+        // The claim must survive framing: headers and line padding
+        // included, the wire stays under a byte per instruction.
+        assert!(
+            report.log.wire_bytes_per_instruction < 1.0,
+            "got {:.3} wire B/inst",
+            report.log.wire_bytes_per_instruction
+        );
+        assert!(report.log.wire_bits >= report.log.compressed_bits);
+        assert!(report.log.frames > 0);
     }
 
     #[test]
@@ -308,7 +370,46 @@ mod tests {
         config.log.buffer_bytes = 64;
         let mut lg = TaintCheck::new();
         let report = run_lba(&program, &mut lg, &config).unwrap();
-        assert!(report.stalls.buffer_full_cycles > 0, "64-byte buffer must stall");
+        assert!(
+            report.stalls.buffer_full_cycles > 0,
+            "64-byte buffer must stall"
+        );
+    }
+
+    #[test]
+    fn sub_frame_buffer_is_a_config_error_not_a_panic() {
+        // Regression: this configuration used to reach deep into the
+        // transport before failing; it must be a descriptive error.
+        let program = Benchmark::Bc.build();
+        let mut config = SystemConfig::default();
+        config.log.buffer_bytes = 1;
+        let mut lg = AddrCheck::new();
+        let err = run_lba(&program, &mut lg, &config).unwrap_err();
+        assert_eq!(
+            err,
+            RunError::LogBufferTooSmall {
+                buffer_bytes: 1,
+                frame_bytes: 64
+            },
+            "expected a log-buffer config error"
+        );
+        assert!(
+            err.to_string().contains("cannot hold"),
+            "descriptive message: {err}"
+        );
+    }
+
+    #[test]
+    fn zero_records_per_frame_is_a_config_error_not_a_panic() {
+        let program = Benchmark::Bc.build();
+        let mut config = SystemConfig::default();
+        config.log.records_per_frame = 0;
+        let mut lg = AddrCheck::new();
+        let err = run_lba(&program, &mut lg, &config).unwrap_err();
+        assert_eq!(err, RunError::ZeroRecordsPerFrame);
+        let mut lg = AddrCheck::new();
+        let err = crate::live::run_live(&program, &mut lg, &config).unwrap_err();
+        assert_eq!(err, RunError::ZeroRecordsPerFrame);
     }
 
     #[test]
@@ -355,5 +456,29 @@ mod tests {
         );
         // Heap-range filtering is sound for AddrCheck: same findings.
         assert_eq!(filtered.findings, unfiltered.findings);
+    }
+
+    #[test]
+    fn frame_size_trades_wire_overhead_for_lag() {
+        // Bigger frames amortise header+padding: wire B/inst must not
+        // increase when the batch grows.
+        let program = Benchmark::Gzip.build();
+        let mut small = SystemConfig::default();
+        small.log.records_per_frame = 16;
+        let mut big = SystemConfig::default();
+        big.log.records_per_frame = 1024;
+        let mut lg = AddrCheck::new();
+        let small = run_lba(&program, &mut lg, &small).unwrap();
+        let mut lg = AddrCheck::new();
+        let big = run_lba(&program, &mut lg, &big).unwrap();
+        assert!(
+            big.log.wire_bytes_per_instruction <= small.log.wire_bytes_per_instruction,
+            "1024-record frames ({:.3} B/inst) vs 16-record frames ({:.3} B/inst)",
+            big.log.wire_bytes_per_instruction,
+            small.log.wire_bytes_per_instruction
+        );
+        // Payload is identical either way: framing only changes overhead.
+        assert_eq!(big.log.compressed_bits, small.log.compressed_bits);
+        assert_eq!(big.findings, small.findings);
     }
 }

@@ -172,7 +172,10 @@ pub fn summarize(kind: LifeguardKind, rows: &[Fig2Row]) -> SummaryRow {
         kind,
         lba_avg: rows.iter().map(|r| r.lba).sum::<f64>() / n,
         valgrind_avg: rows.iter().map(|r| r.valgrind).sum::<f64>() / n,
-        speedup_min: rows.iter().map(Fig2Row::speedup).fold(f64::INFINITY, f64::min),
+        speedup_min: rows
+            .iter()
+            .map(Fig2Row::speedup)
+            .fold(f64::INFINITY, f64::min),
         speedup_max: rows.iter().map(Fig2Row::speedup).fold(0.0, f64::max),
         paper_lba_avg: kind.paper_avg_slowdown(),
     }
@@ -322,8 +325,10 @@ pub fn ext_filtering(config: &SystemConfig, scale: u32) -> Result<Vec<FilterRow>
         let mut lg = LifeguardKind::AddrCheck.make_lba();
         let plain = run_lba(&program, lg.as_mut(), config)?;
         let mut cfg = config.clone();
-        cfg.log.filter =
-            Some(AddrRangeFilter::new(vec![(layout::HEAP_BASE, layout::HEAP_END)]));
+        cfg.log.filter = Some(AddrRangeFilter::new(vec![(
+            layout::HEAP_BASE,
+            layout::HEAP_END,
+        )]));
         let mut lg = LifeguardKind::AddrCheck.make_lba();
         let filtered = run_lba(&program, lg.as_mut(), &cfg)?;
         let total = (filtered.log.records + filtered.log.filtered).max(1);
@@ -357,8 +362,12 @@ pub fn ext_parallel(config: &SystemConfig, scale: u32) -> Result<Vec<ParallelRow
     let base = run_unmonitored(&program, config)?;
     let mut rows = Vec::new();
     for shards in [1usize, 2, 4] {
-        let report =
-            run_lba_parallel(&program, || LifeguardKind::LockSet.make_lba(), shards, config)?;
+        let report = run_lba_parallel(
+            &program,
+            || LifeguardKind::LockSet.make_lba(),
+            shards,
+            config,
+        )?;
         rows.push(ParallelRow {
             shards,
             slowdown: report.total_cycles as f64 / base.total_cycles as f64,
@@ -380,7 +389,11 @@ mod tests {
         let rows = figure2(LifeguardKind::LockSet, &cfg(), 1).unwrap();
         assert_eq!(rows.len(), 2);
         for row in &rows {
-            assert!(row.valgrind > row.lba, "{}: DBI must be slower", row.benchmark);
+            assert!(
+                row.valgrind > row.lba,
+                "{}: DBI must be slower",
+                row.benchmark
+            );
             assert!(row.lba > 1.0);
             assert!(row.speedup() > 1.0);
         }
@@ -390,8 +403,7 @@ mod tests {
     fn workload_table_covers_all_benchmarks() {
         let rows = workload_table(&cfg(), 1).unwrap();
         assert_eq!(rows.len(), 9);
-        let avg: f64 =
-            rows.iter().map(|r| r.memory_fraction).sum::<f64>() / rows.len() as f64;
+        let avg: f64 = rows.iter().map(|r| r.memory_fraction).sum::<f64>() / rows.len() as f64;
         assert!(avg > 0.3 && avg < 0.62, "avg memory fraction {avg:.2}");
     }
 
@@ -406,7 +418,11 @@ mod tests {
                 row.benchmark,
                 row.bytes_per_instruction
             );
-            assert!(row.ratio_vs_raw > 25.0 * 0.8, "{}: weak ratio", row.benchmark);
+            assert!(
+                row.ratio_vs_raw > 25.0 * 0.8,
+                "{}: weak ratio",
+                row.benchmark
+            );
         }
     }
 

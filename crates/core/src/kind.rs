@@ -19,8 +19,11 @@ pub enum LifeguardKind {
 
 impl LifeguardKind {
     /// All three, in figure order.
-    pub const ALL: [LifeguardKind; 3] =
-        [LifeguardKind::AddrCheck, LifeguardKind::TaintCheck, LifeguardKind::LockSet];
+    pub const ALL: [LifeguardKind; 3] = [
+        LifeguardKind::AddrCheck,
+        LifeguardKind::TaintCheck,
+        LifeguardKind::LockSet,
+    ];
 
     /// Stable lowercase name.
     #[must_use]

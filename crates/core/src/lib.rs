@@ -13,9 +13,9 @@
 //! execution models:
 //!
 //! * [`run_unmonitored`] — the baseline: the program alone on one core;
-//! * [`run_lba`] — the proposed system: capture → VPC compression → log
-//!   buffer → `nlba` dispatch → lifeguard handlers on a second core, with
-//!   decoupled clocks, back-pressure, and syscall-stall containment;
+//! * [`run_lba`] — the proposed system: capture → VPC compression → framed
+//!   log channel → `nlba` dispatch → lifeguard handlers on a second core,
+//!   with decoupled clocks, back-pressure, and syscall-stall containment;
 //! * [`run_dbi`] — the comparison point: the same lifeguard inline via
 //!   Valgrind-style dynamic binary instrumentation on the application core.
 //!
@@ -57,7 +57,7 @@ pub use config::{LogConfig, SystemConfig};
 pub use cosim::run_lba;
 pub use kind::LifeguardKind;
 pub use live::run_live;
-pub use report::{LogStats, Mode, RunReport, StallBreakdown};
+pub use report::{LiveReport, LogStats, Mode, RunReport, StallBreakdown};
 pub use run::{run_dbi, run_unmonitored};
 
 // The execution error type comes from the CPU substrate.

@@ -10,6 +10,11 @@
 //!   line (`(addr / 64) % shards`);
 //! * all other events (alloc/free, lock/unlock, …) are **broadcast**,
 //!   because they update state every shard needs;
+//! * each shard is fed through its own framed [`LogChannel`] — the same
+//!   transport abstraction the single-lifeguard modes drive — so every
+//!   shard's stream is a real compressed frame sequence and the report
+//!   carries per-shard wire statistics (the stepping stone to sharded
+//!   *live* lifeguards);
 //! * lifeguard time is the *maximum* over the shards' clocks, each shard
 //!   running on its own core with its own L1.
 //!
@@ -18,14 +23,23 @@
 //! interleaving is unsound for it — the follow-up LBA literature
 //! parallelises it with very different techniques.
 
+use std::collections::HashSet;
+
 use lba_cache::MemSystem;
 use lba_cache::MemSystemConfig;
 use lba_cpu::{Machine, RunError, StepOutcome};
 use lba_isa::Program;
 use lba_lifeguard::{DispatchEngine, Finding, Lifeguard};
 use lba_record::{EventKind, TraceStats};
+use lba_transport::{ChannelStats, LogChannel, ModeledFrameChannel};
 
 use crate::config::SystemConfig;
+
+/// Per-shard channel byte budget. The parallel study isolates
+/// lifeguard-side scaling, so no back-pressure is modelled: shards drain
+/// opportunistically as frames seal, keeping transport memory bounded by
+/// this budget rather than the whole log.
+const SHARD_BUFFER_BYTES: u64 = 1 << 20;
 
 /// Result of a parallel-lifeguard run.
 #[derive(Debug, Clone)]
@@ -43,6 +57,8 @@ pub struct ParallelReport {
     pub findings: Vec<Finding>,
     /// Retired-instruction statistics.
     pub trace: TraceStats,
+    /// Per-shard transport statistics (records, frames, wire bits).
+    pub shard_log: Vec<ChannelStats>,
 }
 
 impl ParallelReport {
@@ -71,11 +87,21 @@ pub fn run_lba_parallel(
     config: &SystemConfig,
 ) -> Result<ParallelReport, RunError> {
     assert!(shards > 0, "need at least one shard");
+    config.log.validate_framing()?;
     let mut machine = Machine::new(program, config.machine);
     // Core 0: application. Cores 1..=shards: lifeguard shards.
     let mut mem = MemSystem::new(MemSystemConfig::multi_core(shards + 1));
     let engine = DispatchEngine::new(config.dispatch);
     let mut lifeguards: Vec<Box<dyn Lifeguard>> = (0..shards).map(|_| make_lifeguard()).collect();
+    let mut channels: Vec<Box<dyn LogChannel>> = (0..shards)
+        .map(|_| {
+            Box::new(ModeledFrameChannel::new(
+                SHARD_BUFFER_BYTES,
+                config.log.frame_config(),
+                false,
+            )) as Box<dyn LogChannel>
+        })
+        .collect();
     let mut shard_findings: Vec<Vec<Finding>> = vec![Vec::new(); shards];
     let mut shard_cycles = vec![0u64; shards];
     let mut trace = TraceStats::new();
@@ -93,46 +119,79 @@ pub fn run_lba_parallel(
                     }
                     _ => None, // broadcast
                 };
-                for (idx, lifeguard) in lifeguards.iter_mut().enumerate() {
-                    let cycles = match route {
+                for (idx, channel) in channels.iter_mut().enumerate() {
+                    match route {
                         Some(owner) if owner != idx => {
                             // Routed elsewhere: this shard skips the record
                             // (its dispatch sees a no-op entry).
-                            engine.config().unsubscribed_cycles
+                            shard_cycles[idx] += engine.config().unsubscribed_cycles;
                         }
-                        _ => engine.deliver(
-                            lifeguard.as_mut(),
-                            &r.record,
+                        _ => {
+                            channel.push_record(&r.record, app_cycles);
+                        }
+                    }
+                    // Drain any frames that have sealed, so transport
+                    // memory stays bounded by the shard budget instead of
+                    // the whole log.
+                    while let Some(popped) = channel.pop_record() {
+                        shard_cycles[idx] += engine.deliver(
+                            lifeguards[idx].as_mut(),
+                            &popped.record,
                             &mut mem,
                             1 + idx,
                             &mut shard_findings[idx],
-                        ),
-                    };
-                    shard_cycles[idx] += cycles;
+                        );
+                    }
                 }
             }
         }
     }
-    for (idx, lifeguard) in lifeguards.iter_mut().enumerate() {
-        shard_cycles[idx] +=
-            engine.finish(lifeguard.as_mut(), &mut mem, 1 + idx, &mut shard_findings[idx]);
+
+    // Drain each shard's channel: decode its frame stream in order and
+    // deliver to its lifeguard.
+    for (idx, (channel, lifeguard)) in channels.iter_mut().zip(lifeguards.iter_mut()).enumerate() {
+        channel.flush(app_cycles);
+        while let Some(popped) = channel.pop_record() {
+            shard_cycles[idx] += engine.deliver(
+                lifeguard.as_mut(),
+                &popped.record,
+                &mut mem,
+                1 + idx,
+                &mut shard_findings[idx],
+            );
+        }
+        shard_cycles[idx] += engine.finish(
+            lifeguard.as_mut(),
+            &mut mem,
+            1 + idx,
+            &mut shard_findings[idx],
+        );
     }
 
     // Merge findings; broadcast events can produce duplicates (e.g. every
-    // shard sees the same double free).
+    // shard sees the same double free). Key on the identifying fields —
+    // a hash probe per finding instead of a linear scan.
+    let mut seen = HashSet::new();
     let mut findings: Vec<Finding> = Vec::new();
     for shard in shard_findings {
         for f in shard {
-            if !findings.iter().any(|g| {
-                g.kind == f.kind && g.pc == f.pc && g.addr == f.addr && g.tid == f.tid
-            }) {
+            if seen.insert((f.kind, f.pc, f.addr, f.tid)) {
                 findings.push(f);
             }
         }
     }
 
+    let shard_log: Vec<ChannelStats> = channels.iter().map(|c| c.stats()).collect();
     let total_cycles = app_cycles.max(shard_cycles.iter().copied().max().unwrap_or(0));
-    Ok(ParallelReport { shards, app_cycles, shard_cycles, total_cycles, findings, trace })
+    Ok(ParallelReport {
+        shards,
+        app_cycles,
+        shard_cycles,
+        total_cycles,
+        findings,
+        trace,
+        shard_log,
+    })
 }
 
 #[cfg(test)]
@@ -164,8 +223,7 @@ mod tests {
         let program = bugs::memory_bugs();
         let config = SystemConfig::default();
         let report =
-            run_lba_parallel(&program, || LifeguardKind::AddrCheck.make_lba(), 4, &config)
-                .unwrap();
+            run_lba_parallel(&program, || LifeguardKind::AddrCheck.make_lba(), 4, &config).unwrap();
         use FindingKind::*;
         for kind in [UnallocatedAccess, DoubleFree, InvalidFree, Leak] {
             assert!(
@@ -174,8 +232,29 @@ mod tests {
             );
         }
         // And duplicates from broadcast events were merged away.
-        let doubles = report.findings.iter().filter(|f| f.kind == DoubleFree).count();
+        let doubles = report
+            .findings
+            .iter()
+            .filter(|f| f.kind == DoubleFree)
+            .count();
         assert_eq!(doubles, 1);
+    }
+
+    #[test]
+    fn shards_ship_real_frames() {
+        let program = bugs::memory_bugs();
+        let config = SystemConfig::default();
+        let report =
+            run_lba_parallel(&program, || LifeguardKind::AddrCheck.make_lba(), 3, &config).unwrap();
+        assert_eq!(report.shard_log.len(), 3);
+        let records: u64 = report.shard_log.iter().map(|s| s.records).sum();
+        // Broadcast events are counted once per shard, so the shards
+        // together carry at least the retired event stream.
+        assert!(records >= report.trace.instructions());
+        for stats in &report.shard_log {
+            assert!(stats.frames > 0);
+            assert!(stats.wire_bits >= stats.payload_bits);
+        }
     }
 
     #[test]

@@ -45,11 +45,51 @@ pub struct LogStats {
     pub records: u64,
     /// Records dropped by the capture-side address filter.
     pub filtered: u64,
-    /// Total compressed bits written.
+    /// Transport frames shipped (cache-line-multiple wire units).
+    pub frames: u64,
+    /// Total payload bits written (compressed, or raw when compression is
+    /// off).
     pub compressed_bits: u64,
-    /// Average compressed bytes per retired instruction — the paper's
+    /// Total bits on the wire: payload plus frame headers and line padding.
+    pub wire_bits: u64,
+    /// Average payload bytes per retired instruction — the paper's
     /// < 1 B/instruction claim.
     pub bytes_per_instruction: f64,
+    /// Average *wire* bytes per retired instruction, framing overhead
+    /// included — what the cache hierarchy actually carries.
+    pub wire_bytes_per_instruction: f64,
+}
+
+/// The result of a live (two-OS-thread) run: functional findings plus real
+/// wire statistics; no modeled clocks.
+#[derive(Debug, Clone)]
+pub struct LiveReport {
+    /// Program name.
+    pub program: String,
+    /// Problems the lifeguard reported.
+    pub findings: Vec<Finding>,
+    /// Retired-instruction statistics, gathered on the producer thread.
+    pub trace: TraceStats,
+    /// Log statistics measured on the real framed channel.
+    pub log: LogStats,
+}
+
+impl fmt::Display for LiveReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} [live]: {} instructions; log: {} records in {} frames, {:.3} B/inst on the wire",
+            self.program,
+            self.trace.instructions(),
+            self.log.records,
+            self.log.frames,
+            self.log.wire_bytes_per_instruction,
+        )?;
+        for finding in &self.findings {
+            writeln!(f, "  {finding}")?;
+        }
+        Ok(())
+    }
 }
 
 /// The result of one execution.
@@ -112,9 +152,12 @@ impl fmt::Display for RunReport {
         if self.mode == Mode::Lba {
             writeln!(
                 f,
-                "  log: {} records, {:.3} B/inst; stalls: buffer {} cy, syscall {} cy ({} syscalls)",
+                "  log: {} records in {} frames, {:.3} B/inst ({:.3} on the wire); \
+                 stalls: buffer {} cy, syscall {} cy ({} syscalls)",
                 self.log.records,
+                self.log.frames,
                 self.log.bytes_per_instruction,
+                self.log.wire_bytes_per_instruction,
                 self.stalls.buffer_full_cycles,
                 self.stalls.syscall_stall_cycles,
                 self.stalls.syscalls,

@@ -103,7 +103,10 @@ mod tests {
         let mut lg = AddrCheck::new();
         let dbi = run_dbi(&program, &mut lg, &config).unwrap();
         let slowdown = dbi.slowdown_vs(&base);
-        assert!(slowdown > 3.0, "DBI slowdown {slowdown:.1} unreasonably small");
+        assert!(
+            slowdown > 3.0,
+            "DBI slowdown {slowdown:.1} unreasonably small"
+        );
     }
 
     #[test]

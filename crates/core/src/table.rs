@@ -29,7 +29,10 @@ impl TextTable {
         I: IntoIterator<Item = S>,
         S: Into<String>,
     {
-        TextTable { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        TextTable {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row; missing cells render empty, extra cells are kept.

@@ -33,6 +33,17 @@ pub enum RunError {
         /// The configured limit.
         limit: u64,
     },
+    /// The configured log buffer is smaller than a single transport frame,
+    /// so not even one record could ever be shipped to the lifeguard.
+    LogBufferTooSmall {
+        /// The configured buffer size in bytes.
+        buffer_bytes: u64,
+        /// The minimum frame size in bytes (one cache line).
+        frame_bytes: u64,
+    },
+    /// `records_per_frame` was configured to zero: no frame could ever
+    /// seal, so no record would reach the lifeguard.
+    ZeroRecordsPerFrame,
 }
 
 impl fmt::Display for RunError {
@@ -49,6 +60,16 @@ impl fmt::Display for RunError {
             RunError::CallDepth { tid } => write!(f, "thread {tid} exceeded call depth"),
             RunError::InstructionLimit { limit } => {
                 write!(f, "instruction limit of {limit} reached")
+            }
+            RunError::LogBufferTooSmall {
+                buffer_bytes,
+                frame_bytes,
+            } => write!(
+                f,
+                "log buffer of {buffer_bytes} B cannot hold a single {frame_bytes} B log frame"
+            ),
+            RunError::ZeroRecordsPerFrame => {
+                write!(f, "log records_per_frame must be non-zero")
             }
         }
     }

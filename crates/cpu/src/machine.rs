@@ -186,7 +186,9 @@ impl<'p> Machine<'p> {
 
     fn next_runnable(&self, from: usize) -> Option<usize> {
         let n = self.threads.len();
-        (1..=n).map(|i| (from + i) % n).find(|&i| self.threads[i].state == ThreadState::Runnable)
+        (1..=n)
+            .map(|i| (from + i) % n)
+            .find(|&i| self.threads[i].state == ThreadState::Runnable)
     }
 
     /// Executes until the next instruction retires.
@@ -200,7 +202,9 @@ impl<'p> Machine<'p> {
             return Ok(StepOutcome::Finished);
         }
         if self.retired >= self.config.max_instructions {
-            return Err(RunError::InstructionLimit { limit: self.config.max_instructions });
+            return Err(RunError::InstructionLimit {
+                limit: self.config.max_instructions,
+            });
         }
         let mut attempts = 0;
         loop {
@@ -208,8 +212,7 @@ impl<'p> Machine<'p> {
             if attempts > self.threads.len() + 1 {
                 return Err(RunError::Deadlock);
             }
-            if self.threads[self.current].state != ThreadState::Runnable || self.quantum_left == 0
-            {
+            if self.threads[self.current].state != ThreadState::Runnable || self.quantum_left == 0 {
                 match self.next_runnable(self.current) {
                     Some(idx) => {
                         self.current = idx;
@@ -263,10 +266,7 @@ impl<'p> Machine<'p> {
         let idx = self.current;
         let tid = self.threads[idx].tid;
         let pc = self.threads[idx].pc;
-        let inst = *self
-            .program
-            .fetch(pc)
-            .ok_or(RunError::BadPc { pc, tid })?;
+        let inst = *self.program.fetch(pc).ok_or(RunError::BadPc { pc, tid })?;
 
         let mut cycles = 1 + mem.inst_fetch(core, pc);
         let mut next_pc = pc + INST_BYTES;
@@ -312,7 +312,12 @@ impl<'p> Machine<'p> {
                 self.threads[idx].write(rd, eval_alu(op, a, imm as u64));
                 EventRecord::alu(pc, tid, in1, None, out)
             }
-            Instruction::Load { rd, base, offset, width } => {
+            Instruction::Load {
+                rd,
+                base,
+                offset,
+                width,
+            } => {
                 let ea = self.threads[idx].read(base).wrapping_add(offset as u64);
                 let w = width.bytes();
                 cycles += mem.data_access(core, ea, w, false);
@@ -320,7 +325,12 @@ impl<'p> Machine<'p> {
                 self.threads[idx].write(rd, v);
                 EventRecord::load(pc, tid, in1, out, ea, w)
             }
-            Instruction::Store { src, base, offset, width } => {
+            Instruction::Store {
+                src,
+                base,
+                offset,
+                width,
+            } => {
                 let ea = self.threads[idx].read(base).wrapping_add(offset as u64);
                 let w = width.bytes();
                 cycles += mem.data_access(core, ea, w, true);
@@ -328,7 +338,12 @@ impl<'p> Machine<'p> {
                 self.memory.write_width(ea, v, w);
                 EventRecord::store(pc, tid, in1, in2, ea, w)
             }
-            Instruction::Branch { cond, rs1, rs2, target } => {
+            Instruction::Branch {
+                cond,
+                rs1,
+                rs2,
+                target,
+            } => {
                 let a = self.threads[idx].read(rs1);
                 let b = self.threads[idx].read(rs2);
                 let taken = cond.eval(a, b);
@@ -613,7 +628,9 @@ mod tests {
         let mut machine = Machine::new(&program, MachineConfig::default());
         let mut mem = MemSystem::new(MemSystemConfig::single_core());
         let mut records = Vec::new();
-        let cycles = machine.run(&mut mem, |r| records.push(r.record)).expect("runs");
+        let cycles = machine
+            .run(&mut mem, |r| records.push(r.record))
+            .expect("runs");
         (records, cycles)
     }
 
@@ -654,8 +671,10 @@ mod tests {
             halt
             ",
         );
-        let stores: Vec<_> =
-            records.iter().filter(|r| r.kind == EventKind::Store).collect();
+        let stores: Vec<_> = records
+            .iter()
+            .filter(|r| r.kind == EventKind::Store)
+            .collect();
         assert_eq!(stores.len(), 2);
         assert_eq!(stores[0].addr, 0x10_0000);
         assert_eq!(stores[1].addr, 0x10_0008);
@@ -693,7 +712,11 @@ mod tests {
             kinds,
             vec![EventKind::Call, EventKind::Return, EventKind::ThreadEnd]
         );
-        assert_eq!(records[1].addr, lba_isa::CODE_BASE + INST_BYTES, "returns to halt");
+        assert_eq!(
+            records[1].addr,
+            lba_isa::CODE_BASE + INST_BYTES,
+            "returns to halt"
+        );
     }
 
     #[test]
@@ -759,7 +782,10 @@ mod tests {
               halt
             ",
         );
-        let ij = records.iter().find(|r| r.kind == EventKind::IndirectJump).unwrap();
+        let ij = records
+            .iter()
+            .find(|r| r.kind == EventKind::IndirectJump)
+            .unwrap();
         assert_eq!(ij.addr, lba_isa::CODE_BASE + 3 * INST_BYTES);
         // The nop was skipped.
         assert_eq!(records.len(), 3);
@@ -771,7 +797,13 @@ mod tests {
         let mut machine = Machine::new(&program, MachineConfig::default());
         let mut mem = MemSystem::new(MemSystemConfig::single_core());
         let err = machine.run(&mut mem, |_| {}).unwrap_err();
-        assert!(matches!(err, RunError::BadJumpTarget { target: 0x99_9999, .. }));
+        assert!(matches!(
+            err,
+            RunError::BadJumpTarget {
+                target: 0x99_9999,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -791,7 +823,10 @@ mod tests {
         let tids: std::collections::HashSet<u8> = records.iter().map(|r| r.tid).collect();
         assert_eq!(tids.len(), 2);
         assert_eq!(
-            records.iter().filter(|r| r.kind == EventKind::ThreadEnd).count(),
+            records
+                .iter()
+                .filter(|r| r.kind == EventKind::ThreadEnd)
+                .count(),
             2
         );
     }
@@ -824,8 +859,17 @@ mod tests {
               halt
             ",
         );
-        assert_eq!(records.iter().filter(|r| r.kind == EventKind::Lock).count(), 2);
-        assert_eq!(records.iter().filter(|r| r.kind == EventKind::Unlock).count(), 2);
+        assert_eq!(
+            records.iter().filter(|r| r.kind == EventKind::Lock).count(),
+            2
+        );
+        assert_eq!(
+            records
+                .iter()
+                .filter(|r| r.kind == EventKind::Unlock)
+                .count(),
+            2
+        );
     }
 
     #[test]
@@ -863,7 +907,10 @@ mod tests {
               halt
             ";
         let program = parse_program(src).unwrap();
-        let config = MachineConfig { quantum: 3, ..MachineConfig::default() };
+        let config = MachineConfig {
+            quantum: 3,
+            ..MachineConfig::default()
+        };
         let mut machine = Machine::new(&program, config);
         let mut mem = MemSystem::new(MemSystemConfig::single_core());
         machine.run(&mut mem, |_| {}).unwrap();
@@ -899,7 +946,10 @@ mod tests {
               halt
             ";
         let program = parse_program(src).unwrap();
-        let config = MachineConfig { quantum: 4, ..MachineConfig::default() };
+        let config = MachineConfig {
+            quantum: 4,
+            ..MachineConfig::default()
+        };
         let mut machine = Machine::new(&program, config);
         let mut mem = MemSystem::new(MemSystemConfig::single_core());
         let err = machine.run(&mut mem, |_| {}).unwrap_err();
@@ -909,7 +959,10 @@ mod tests {
     #[test]
     fn instruction_limit_guards_runaway_loops() {
         let program = parse_program("top:\n  jmp top\nhalt").unwrap();
-        let config = MachineConfig { max_instructions: 100, ..MachineConfig::default() };
+        let config = MachineConfig {
+            max_instructions: 100,
+            ..MachineConfig::default()
+        };
         let mut machine = Machine::new(&program, config);
         let mut mem = MemSystem::new(MemSystemConfig::single_core());
         let err = machine.run(&mut mem, |_| {}).unwrap_err();
@@ -943,8 +996,15 @@ mod tests {
             halt
             ",
         );
-        let frees: Vec<_> = records.iter().filter(|r| r.kind == EventKind::Free).collect();
-        assert_eq!(frees.len(), 2, "both frees retire; the lifeguard flags the second");
+        let frees: Vec<_> = records
+            .iter()
+            .filter(|r| r.kind == EventKind::Free)
+            .collect();
+        assert_eq!(
+            frees.len(),
+            2,
+            "both frees retire; the lifeguard flags the second"
+        );
         assert_eq!(frees[0].addr, frees[1].addr);
     }
 
@@ -958,7 +1018,10 @@ mod tests {
             ",
         );
         // 3 instructions at CPI 1 plus at least one I-miss and one D-miss.
-        assert!(cycles_cold > 3 + 100, "cold misses dominate: got {cycles_cold}");
+        assert!(
+            cycles_cold > 3 + 100,
+            "cold misses dominate: got {cycles_cold}"
+        );
     }
 
     #[test]

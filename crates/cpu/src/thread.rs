@@ -33,7 +33,13 @@ impl ThreadCtx {
     pub fn new(tid: u8, entry: u64) -> Self {
         let mut regs = [0u64; Reg::COUNT];
         regs[Reg::SP.index()] = layout::stack_top(tid);
-        ThreadCtx { tid, pc: entry, regs, state: ThreadState::Runnable, ras: Vec::new() }
+        ThreadCtx {
+            tid,
+            pc: entry,
+            regs,
+            state: ThreadState::Runnable,
+            ras: Vec::new(),
+        }
     }
 
     /// Reads a register; `r0` is hard-wired to zero.

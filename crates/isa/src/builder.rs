@@ -50,12 +50,24 @@ impl From<ProgramError> for AsmError {
 #[derive(Debug, Clone)]
 enum Pending {
     Done(Instruction),
-    Branch { cond: Cond, rs1: Reg, rs2: Reg, label: Label },
-    Jump { label: Label },
-    Call { label: Label },
+    Branch {
+        cond: Cond,
+        rs1: Reg,
+        rs2: Reg,
+        label: Label,
+    },
+    Jump {
+        label: Label,
+    },
+    Call {
+        label: Label,
+    },
     /// `lea rd, label`: materialise a code address into a register
     /// (used to build jump tables and function-pointer slots).
-    Lea { rd: Reg, label: Label },
+    Lea {
+        rd: Reg,
+        label: Label,
+    },
 }
 
 /// Builder for [`Program`]s.
@@ -147,7 +159,10 @@ impl Assembler {
 
     /// Adds an initialised data segment.
     pub fn data(&mut self, addr: u64, bytes: impl Into<Vec<u8>>) -> &mut Self {
-        self.data.push(DataSegment { addr, bytes: bytes.into() });
+        self.data.push(DataSegment {
+            addr,
+            bytes: bytes.into(),
+        });
         self
     }
 
@@ -271,17 +286,32 @@ impl Assembler {
 
     /// Emits `load.<width> rd, [base+offset]`.
     pub fn load(&mut self, rd: Reg, base: Reg, offset: i64, width: Width) -> &mut Self {
-        self.push(Instruction::Load { rd, base, offset, width })
+        self.push(Instruction::Load {
+            rd,
+            base,
+            offset,
+            width,
+        })
     }
 
     /// Emits `store.<width> src, [base+offset]`.
     pub fn store(&mut self, src: Reg, base: Reg, offset: i64, width: Width) -> &mut Self {
-        self.push(Instruction::Store { src, base, offset, width })
+        self.push(Instruction::Store {
+            src,
+            base,
+            offset,
+            width,
+        })
     }
 
     /// Emits a conditional branch to `label`.
     pub fn branch(&mut self, cond: Cond, rs1: Reg, rs2: Reg, label: Label) -> &mut Self {
-        self.insts.push(Pending::Branch { cond, rs1, rs2, label });
+        self.insts.push(Pending::Branch {
+            cond,
+            rs1,
+            rs2,
+            label,
+        });
         self
     }
 
@@ -371,7 +401,9 @@ impl Assembler {
     fn resolve(&self, label: Label) -> Result<u64, AsmError> {
         let (name, slot) = &self.labels[label.0];
         if name.ends_with('\u{0}') {
-            return Err(AsmError::ReboundLabel(name.trim_end_matches('\u{0}').to_string()));
+            return Err(AsmError::ReboundLabel(
+                name.trim_end_matches('\u{0}').to_string(),
+            ));
         }
         match slot {
             Some(idx) => Ok(CODE_BASE + *idx as u64 * INST_BYTES),
@@ -393,23 +425,41 @@ impl Assembler {
         for pending in &self.insts {
             let inst = match *pending {
                 Pending::Done(inst) => inst,
-                Pending::Branch { cond, rs1, rs2, label } => {
-                    Instruction::Branch { cond, rs1, rs2, target: self.resolve(label)? }
-                }
-                Pending::Jump { label } => Instruction::Jump { target: self.resolve(label)? },
-                Pending::Call { label } => Instruction::Call { target: self.resolve(label)? },
-                Pending::Lea { rd, label } => {
-                    Instruction::MovImm { rd, imm: self.resolve(label)? as i64 }
-                }
+                Pending::Branch {
+                    cond,
+                    rs1,
+                    rs2,
+                    label,
+                } => Instruction::Branch {
+                    cond,
+                    rs1,
+                    rs2,
+                    target: self.resolve(label)?,
+                },
+                Pending::Jump { label } => Instruction::Jump {
+                    target: self.resolve(label)?,
+                },
+                Pending::Call { label } => Instruction::Call {
+                    target: self.resolve(label)?,
+                },
+                Pending::Lea { rd, label } => Instruction::MovImm {
+                    rd,
+                    imm: self.resolve(label)? as i64,
+                },
             };
             code.push(inst);
         }
         let entries = if self.entries.is_empty() {
             vec![CODE_BASE]
         } else {
-            self.entries.iter().map(|&l| self.resolve(l)).collect::<Result<Vec<_>, _>>()?
+            self.entries
+                .iter()
+                .map(|&l| self.resolve(l))
+                .collect::<Result<Vec<_>, _>>()?
         };
-        Ok(Program::new(self.name, code, entries, self.data, self.input)?)
+        Ok(Program::new(
+            self.name, code, entries, self.data, self.input,
+        )?)
     }
 }
 
@@ -427,7 +477,12 @@ mod tests {
         asm.bind(end);
         asm.halt();
         let p = asm.finish().unwrap();
-        assert_eq!(p.code()[0], Instruction::Jump { target: CODE_BASE + 2 * INST_BYTES });
+        assert_eq!(
+            p.code()[0],
+            Instruction::Jump {
+                target: CODE_BASE + 2 * INST_BYTES
+            }
+        );
     }
 
     #[test]
@@ -436,7 +491,10 @@ mod tests {
         let nowhere = asm.label("nowhere");
         asm.jump(nowhere);
         asm.halt();
-        assert_eq!(asm.finish().unwrap_err(), AsmError::UnboundLabel("nowhere".into()));
+        assert_eq!(
+            asm.finish().unwrap_err(),
+            AsmError::UnboundLabel("nowhere".into())
+        );
     }
 
     #[test]
@@ -448,7 +506,10 @@ mod tests {
         asm.bind(l);
         asm.jump(l);
         asm.halt();
-        assert_eq!(asm.finish().unwrap_err(), AsmError::ReboundLabel("twice".into()));
+        assert_eq!(
+            asm.finish().unwrap_err(),
+            AsmError::ReboundLabel("twice".into())
+        );
     }
 
     #[test]
@@ -484,7 +545,10 @@ mod tests {
         let p = asm.finish().unwrap();
         assert_eq!(
             p.code()[0],
-            Instruction::MovImm { rd: r(1), imm: (CODE_BASE + 2 * INST_BYTES) as i64 }
+            Instruction::MovImm {
+                rd: r(1),
+                imm: (CODE_BASE + 2 * INST_BYTES) as i64
+            }
         );
     }
 
@@ -504,7 +568,23 @@ mod tests {
         let mut asm = Assembler::new("t");
         asm.addi(r(1), r(2), 5).shri(r(3), r(4), 2).halt();
         let p = asm.finish().unwrap();
-        assert_eq!(p.code()[0], Instruction::AluImm { op: AluOp::Add, rd: r(1), rs1: r(2), imm: 5 });
-        assert_eq!(p.code()[1], Instruction::AluImm { op: AluOp::Shr, rd: r(3), rs1: r(4), imm: 2 });
+        assert_eq!(
+            p.code()[0],
+            Instruction::AluImm {
+                op: AluOp::Add,
+                rd: r(1),
+                rs1: r(2),
+                imm: 5
+            }
+        );
+        assert_eq!(
+            p.code()[1],
+            Instruction::AluImm {
+                op: AluOp::Shr,
+                rd: r(3),
+                rs1: r(4),
+                imm: 2
+            }
+        );
     }
 }

@@ -49,7 +49,10 @@ impl AluOp {
     ];
 
     fn code(self) -> u8 {
-        Self::ALL.iter().position(|&op| op == self).expect("op listed in ALL") as u8
+        Self::ALL
+            .iter()
+            .position(|&op| op == self)
+            .expect("op listed in ALL") as u8
     }
 
     fn from_code(code: u8) -> Option<Self> {
@@ -98,7 +101,10 @@ impl Cond {
     pub const ALL: [Cond; 4] = [Cond::Eq, Cond::Ne, Cond::Lt, Cond::Ge];
 
     fn code(self) -> u8 {
-        Self::ALL.iter().position(|&c| c == self).expect("cond listed in ALL") as u8
+        Self::ALL
+            .iter()
+            .position(|&c| c == self)
+            .expect("cond listed in ALL") as u8
     }
 
     fn from_code(code: u8) -> Option<Self> {
@@ -170,7 +176,10 @@ impl Width {
     }
 
     fn code(self) -> u8 {
-        Self::ALL.iter().position(|&w| w == self).expect("width listed in ALL") as u8
+        Self::ALL
+            .iter()
+            .position(|&w| w == self)
+            .expect("width listed in ALL") as u8
     }
 
     fn from_code(code: u8) -> Option<Self> {
@@ -394,24 +403,49 @@ impl Instruction {
             Instruction::Halt => (OP_HALT, 0, 0, 0, 0),
             Instruction::MovImm { rd, imm } => (OP_MOVIMM, rd.to_byte(), 0, 0, imm),
             Instruction::Mov { rd, rs } => (OP_MOV, rd.to_byte(), rs.to_byte(), 0, 0),
-            Instruction::Alu { op, rd, rs1, rs2 } => {
-                (OP_ALU, rd.to_byte(), rs1.to_byte(), rs2.to_byte() | (op.code() << 4), 0)
-            }
+            Instruction::Alu { op, rd, rs1, rs2 } => (
+                OP_ALU,
+                rd.to_byte(),
+                rs1.to_byte(),
+                rs2.to_byte() | (op.code() << 4),
+                0,
+            ),
             Instruction::AluImm { op, rd, rs1, imm } => {
                 (OP_ALUIMM, rd.to_byte(), rs1.to_byte(), op.code(), imm)
             }
-            Instruction::Load { rd, base, offset, width } => {
-                (OP_LOAD, rd.to_byte(), base.to_byte(), width.code(), offset)
-            }
-            Instruction::Store { src, base, offset, width } => {
-                (OP_STORE, src.to_byte(), base.to_byte(), width.code(), offset)
-            }
+            Instruction::Load {
+                rd,
+                base,
+                offset,
+                width,
+            } => (OP_LOAD, rd.to_byte(), base.to_byte(), width.code(), offset),
+            Instruction::Store {
+                src,
+                base,
+                offset,
+                width,
+            } => (
+                OP_STORE,
+                src.to_byte(),
+                base.to_byte(),
+                width.code(),
+                offset,
+            ),
             // Targets are stored as a sign-extended 32-bit immediate, so
             // the cast must wrap (a target like 0xffff_ffff_8000_0000 is
             // the sign extension of i32::MIN).
-            Instruction::Branch { cond, rs1, rs2, target } => {
-                (OP_BRANCH, rs1.to_byte(), rs2.to_byte(), cond.code(), target as i64)
-            }
+            Instruction::Branch {
+                cond,
+                rs1,
+                rs2,
+                target,
+            } => (
+                OP_BRANCH,
+                rs1.to_byte(),
+                rs2.to_byte(),
+                cond.code(),
+                target as i64,
+            ),
             Instruction::Jump { target } => (OP_JUMP, 0, 0, 0, target as i64),
             Instruction::JumpReg { rs } => (OP_JUMPREG, rs.to_byte(), 0, 0, 0),
             Instruction::Call { target } => (OP_CALL, 0, 0, 0, target as i64),
@@ -441,8 +475,14 @@ impl Instruction {
         Ok(match op {
             OP_NOP => Instruction::Nop,
             OP_HALT => Instruction::Halt,
-            OP_MOVIMM => Instruction::MovImm { rd: reg_of(a)?, imm },
-            OP_MOV => Instruction::Mov { rd: reg_of(a)?, rs: reg_of(b)? },
+            OP_MOVIMM => Instruction::MovImm {
+                rd: reg_of(a)?,
+                imm,
+            },
+            OP_MOV => Instruction::Mov {
+                rd: reg_of(a)?,
+                rs: reg_of(b)?,
+            },
             OP_ALU => Instruction::Alu {
                 op: AluOp::from_code(c >> 4)
                     .ok_or(DecodeInstructionError::BadField("alu op", c >> 4))?,
@@ -479,11 +519,17 @@ impl Instruction {
             OP_CALL => Instruction::Call { target: imm as u64 },
             OP_CALLREG => Instruction::CallReg { rs: reg_of(a)? },
             OP_RET => Instruction::Ret,
-            OP_ALLOC => Instruction::Alloc { rd: reg_of(a)?, size: reg_of(b)? },
+            OP_ALLOC => Instruction::Alloc {
+                rd: reg_of(a)?,
+                size: reg_of(b)?,
+            },
             OP_FREE => Instruction::Free { rs: reg_of(a)? },
             OP_LOCK => Instruction::Lock { rs: reg_of(a)? },
             OP_UNLOCK => Instruction::Unlock { rs: reg_of(a)? },
-            OP_RECV => Instruction::Recv { base: reg_of(a)?, len: reg_of(b)? },
+            OP_RECV => Instruction::Recv {
+                base: reg_of(a)?,
+                len: reg_of(b)?,
+            },
             OP_SYSCALL => Instruction::Syscall { num: imm as u16 },
             other => return Err(DecodeInstructionError::BadOpcode(other)),
         })
@@ -555,13 +601,28 @@ impl fmt::Display for Instruction {
             Instruction::Mov { rd, rs } => write!(f, "mov {rd}, {rs}"),
             Instruction::Alu { op, rd, rs1, rs2 } => write!(f, "{op} {rd}, {rs1}, {rs2}"),
             Instruction::AluImm { op, rd, rs1, imm } => write!(f, "{op}i {rd}, {rs1}, {imm}"),
-            Instruction::Load { rd, base, offset, width } => {
+            Instruction::Load {
+                rd,
+                base,
+                offset,
+                width,
+            } => {
                 write!(f, "load.{width} {rd}, [{base}{offset:+}]")
             }
-            Instruction::Store { src, base, offset, width } => {
+            Instruction::Store {
+                src,
+                base,
+                offset,
+                width,
+            } => {
                 write!(f, "store.{width} {src}, [{base}{offset:+}]")
             }
-            Instruction::Branch { cond, rs1, rs2, target } => {
+            Instruction::Branch {
+                cond,
+                rs1,
+                rs2,
+                target,
+            } => {
                 write!(f, "b{} {rs1}, {rs2}, {target:#x}", cond.mnemonic())
             }
             Instruction::Jump { target } => write!(f, "jmp {target:#x}"),
@@ -590,21 +651,52 @@ mod tests {
             Instruction::Halt,
             Instruction::MovImm { rd: r(1), imm: -42 },
             Instruction::Mov { rd: r(2), rs: r(3) },
-            Instruction::Alu { op: AluOp::Xor, rd: r(4), rs1: r(5), rs2: r(6) },
-            Instruction::AluImm { op: AluOp::Shl, rd: r(7), rs1: r(8), imm: 13 },
-            Instruction::Load { rd: r(1), base: r(2), offset: -8, width: Width::B4 },
-            Instruction::Store { src: r(3), base: r(4), offset: 16, width: Width::B8 },
-            Instruction::Branch { cond: Cond::Lt, rs1: r(1), rs2: r(0), target: 0x1040 },
+            Instruction::Alu {
+                op: AluOp::Xor,
+                rd: r(4),
+                rs1: r(5),
+                rs2: r(6),
+            },
+            Instruction::AluImm {
+                op: AluOp::Shl,
+                rd: r(7),
+                rs1: r(8),
+                imm: 13,
+            },
+            Instruction::Load {
+                rd: r(1),
+                base: r(2),
+                offset: -8,
+                width: Width::B4,
+            },
+            Instruction::Store {
+                src: r(3),
+                base: r(4),
+                offset: 16,
+                width: Width::B8,
+            },
+            Instruction::Branch {
+                cond: Cond::Lt,
+                rs1: r(1),
+                rs2: r(0),
+                target: 0x1040,
+            },
             Instruction::Jump { target: 0x1000 },
             Instruction::JumpReg { rs: r(9) },
             Instruction::Call { target: 0x2000 },
             Instruction::CallReg { rs: r(10) },
             Instruction::Ret,
-            Instruction::Alloc { rd: r(1), size: r(2) },
+            Instruction::Alloc {
+                rd: r(1),
+                size: r(2),
+            },
             Instruction::Free { rs: r(1) },
             Instruction::Lock { rs: r(11) },
             Instruction::Unlock { rs: r(11) },
-            Instruction::Recv { base: r(1), len: r(2) },
+            Instruction::Recv {
+                base: r(1),
+                len: r(2),
+            },
             Instruction::Syscall { num: 7 },
         ]
     }
@@ -663,11 +755,21 @@ mod tests {
 
     #[test]
     fn inputs_and_outputs_reported() {
-        let inst = Instruction::Store { src: r(3), base: r(4), offset: 0, width: Width::B1 };
+        let inst = Instruction::Store {
+            src: r(3),
+            base: r(4),
+            offset: 0,
+            width: Width::B1,
+        };
         assert_eq!(inst.inputs(), [Some(r(3)), Some(r(4))]);
         assert_eq!(inst.output(), None);
 
-        let inst = Instruction::Load { rd: r(5), base: r(6), offset: 0, width: Width::B1 };
+        let inst = Instruction::Load {
+            rd: r(5),
+            base: r(6),
+            offset: 0,
+            width: Width::B1,
+        };
         assert_eq!(inst.inputs(), [Some(r(6)), None]);
         assert_eq!(inst.output(), Some(r(5)));
     }
@@ -676,16 +778,31 @@ mod tests {
     fn control_and_memory_classification() {
         assert!(Instruction::Ret.is_control());
         assert!(!Instruction::Nop.is_control());
-        assert!(Instruction::Load { rd: r(1), base: r(2), offset: 0, width: Width::B1 }
-            .is_memory());
+        assert!(Instruction::Load {
+            rd: r(1),
+            base: r(2),
+            offset: 0,
+            width: Width::B1
+        }
+        .is_memory());
         assert!(!Instruction::Halt.is_memory());
     }
 
     #[test]
     fn display_formats_reasonably() {
-        let inst = Instruction::Load { rd: r(1), base: r(2), offset: -8, width: Width::B4 };
+        let inst = Instruction::Load {
+            rd: r(1),
+            base: r(2),
+            offset: -8,
+            width: Width::B4,
+        };
         assert_eq!(inst.to_string(), "load.4 r1, [r2-8]");
-        let inst = Instruction::Alu { op: AluOp::Add, rd: r(1), rs1: r(2), rs2: r(3) };
+        let inst = Instruction::Alu {
+            op: AluOp::Add,
+            rd: r(1),
+            rs1: r(2),
+            rs2: r(3),
+        };
         assert_eq!(inst.to_string(), "add r1, r2, r3");
     }
 }

@@ -33,7 +33,10 @@ pub struct ParseProgramError {
 
 impl ParseProgramError {
     fn new(line: usize, message: impl Into<String>) -> Self {
-        ParseProgramError { line, message: message.into() }
+        ParseProgramError {
+            line,
+            message: message.into(),
+        }
     }
 
     /// The 1-based source line the error refers to (0 for whole-program
@@ -171,7 +174,10 @@ fn branch_cond(mnemonic: &str) -> Option<Cond> {
 /// # Ok::<(), lba_isa::ParseProgramError>(())
 /// ```
 pub fn parse_program(source: &str) -> Result<crate::Program, ParseProgramError> {
-    let mut p = Parser { asm: Assembler::new("anonymous"), labels: HashMap::new() };
+    let mut p = Parser {
+        asm: Assembler::new("anonymous"),
+        labels: HashMap::new(),
+    };
     let mut name: Option<String> = None;
 
     for (lineno, raw) in source.lines().enumerate() {
@@ -228,7 +234,10 @@ pub fn parse_program(source: &str) -> Result<crate::Program, ParseProgramError> 
             continue;
         }
         if text.starts_with('.') {
-            return Err(ParseProgramError::new(line, format!("unknown directive `{text}`")));
+            return Err(ParseProgramError::new(
+                line,
+                format!("unknown directive `{text}`"),
+            ));
         }
 
         if let Some(label_name) = text.strip_suffix(':') {
@@ -250,7 +259,11 @@ fn parse_instruction(p: &mut Parser, text: &str, line: usize) -> Result<(), Pars
     let mut parts = text.splitn(2, char::is_whitespace);
     let mnemonic = parts.next().expect("non-empty line has a first token");
     let rest = parts.next().unwrap_or("");
-    let ops: Vec<&str> = rest.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
+    let ops: Vec<&str> = rest
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect();
 
     let need = |n: usize| -> Result<(), ParseProgramError> {
         if ops.len() == n {
@@ -280,7 +293,8 @@ fn parse_instruction(p: &mut Parser, text: &str, line: usize) -> Result<(), Pars
         }
         "mov" => {
             need(2)?;
-            p.asm.mov(parse_reg(ops[0], line)?, parse_reg(ops[1], line)?);
+            p.asm
+                .mov(parse_reg(ops[0], line)?, parse_reg(ops[1], line)?);
         }
         "ret" => {
             need(0)?;
@@ -312,7 +326,8 @@ fn parse_instruction(p: &mut Parser, text: &str, line: usize) -> Result<(), Pars
         }
         "alloc" => {
             need(2)?;
-            p.asm.alloc(parse_reg(ops[0], line)?, parse_reg(ops[1], line)?);
+            p.asm
+                .alloc(parse_reg(ops[0], line)?, parse_reg(ops[1], line)?);
         }
         "free" => {
             need(1)?;
@@ -328,7 +343,8 @@ fn parse_instruction(p: &mut Parser, text: &str, line: usize) -> Result<(), Pars
         }
         "recv" => {
             need(2)?;
-            p.asm.recv(parse_reg(ops[0], line)?, parse_reg(ops[1], line)?);
+            p.asm
+                .recv(parse_reg(ops[0], line)?, parse_reg(ops[1], line)?);
         }
         "syscall" => {
             need(1)?;
@@ -376,7 +392,10 @@ fn parse_instruction(p: &mut Parser, text: &str, line: usize) -> Result<(), Pars
                 let rs2 = parse_reg(ops[2], line)?;
                 p.asm.alu(op, rd, rs1, rs2);
             } else {
-                return Err(ParseProgramError::new(line, format!("unknown mnemonic `{m}`")));
+                return Err(ParseProgramError::new(
+                    line,
+                    format!("unknown mnemonic `{m}`"),
+                ));
             }
         }
     }
@@ -405,24 +424,41 @@ mod tests {
         .unwrap();
         assert_eq!(p.name(), "loop");
         assert_eq!(p.len(), 4);
-        assert!(matches!(p.code()[2], Instruction::Branch { target, .. } if target == CODE_BASE + 8));
+        assert!(
+            matches!(p.code()[2], Instruction::Branch { target, .. } if target == CODE_BASE + 8)
+        );
     }
 
     #[test]
     fn parses_memory_operands() {
-        let p = parse_program("load.4 r1, [r2+8]\nstore.8 r3, [r4-16]\nload.1 r5, [r6]\nhalt")
-            .unwrap();
+        let p =
+            parse_program("load.4 r1, [r2+8]\nstore.8 r3, [r4-16]\nload.1 r5, [r6]\nhalt").unwrap();
         assert_eq!(
             p.code()[0],
-            Instruction::Load { rd: r(1), base: r(2), offset: 8, width: Width::B4 }
+            Instruction::Load {
+                rd: r(1),
+                base: r(2),
+                offset: 8,
+                width: Width::B4
+            }
         );
         assert_eq!(
             p.code()[1],
-            Instruction::Store { src: r(3), base: r(4), offset: -16, width: Width::B8 }
+            Instruction::Store {
+                src: r(3),
+                base: r(4),
+                offset: -16,
+                width: Width::B8
+            }
         );
         assert_eq!(
             p.code()[2],
-            Instruction::Load { rd: r(5), base: r(6), offset: 0, width: Width::B1 }
+            Instruction::Load {
+                rd: r(5),
+                base: r(6),
+                offset: 0,
+                width: Width::B1
+            }
         );
     }
 
@@ -513,7 +549,13 @@ mod tests {
             ",
         )
         .unwrap();
-        assert_eq!(p.code()[0], Instruction::MovImm { rd: r(1), imm: (CODE_BASE + 16) as i64 });
+        assert_eq!(
+            p.code()[0],
+            Instruction::MovImm {
+                rd: r(1),
+                imm: (CODE_BASE + 16) as i64
+            }
+        );
         assert_eq!(p.code()[1], Instruction::JumpReg { rs: r(1) });
     }
 }

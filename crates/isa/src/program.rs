@@ -46,7 +46,10 @@ impl fmt::Display for ProgramError {
             ProgramError::NoEntry => write!(f, "program declares no entry point"),
             ProgramError::BadEntry(pc) => write!(f, "entry point {pc:#x} is not in the code image"),
             ProgramError::BadTarget { pc, target } => {
-                write!(f, "instruction at {pc:#x} targets invalid address {target:#x}")
+                write!(
+                    f,
+                    "instruction at {pc:#x} targets invalid address {target:#x}"
+                )
             }
             ProgramError::DataOverlapsCode(addr) => {
                 write!(f, "data segment at {addr:#x} overlaps the code image")
@@ -110,7 +113,13 @@ impl Program {
         if entries.is_empty() {
             return Err(ProgramError::NoEntry);
         }
-        let program = Program { name: name.into(), code, entries, data, input };
+        let program = Program {
+            name: name.into(),
+            code,
+            entries,
+            data,
+            input,
+        };
         for &entry in &program.entries {
             if program.index_of(entry).is_none() {
                 return Err(ProgramError::BadEntry(entry));
@@ -125,7 +134,10 @@ impl Program {
             };
             if let Some(target) = target {
                 if program.index_of(target).is_none() {
-                    return Err(ProgramError::BadTarget { pc: program.pc_of(idx), target });
+                    return Err(ProgramError::BadTarget {
+                        pc: program.pc_of(idx),
+                        target,
+                    });
                 }
             }
         }
@@ -263,17 +275,28 @@ mod tests {
     #[test]
     fn bad_branch_target_rejected() {
         let code = vec![
-            Instruction::Branch { cond: Cond::Eq, rs1: r(0), rs2: r(0), target: 0x9999 },
+            Instruction::Branch {
+                cond: Cond::Eq,
+                rs1: r(0),
+                rs2: r(0),
+                target: 0x9999,
+            },
             Instruction::Halt,
         ];
         let err = Program::new("t", code, vec![CODE_BASE], vec![], vec![]).unwrap_err();
-        assert!(matches!(err, ProgramError::BadTarget { target: 0x9999, .. }));
+        assert!(matches!(
+            err,
+            ProgramError::BadTarget { target: 0x9999, .. }
+        ));
     }
 
     #[test]
     fn data_overlapping_code_rejected() {
         let code = vec![Instruction::Halt];
-        let data = vec![DataSegment { addr: CODE_BASE, bytes: vec![1, 2, 3] }];
+        let data = vec![DataSegment {
+            addr: CODE_BASE,
+            bytes: vec![1, 2, 3],
+        }];
         let err = Program::new("t", code, vec![CODE_BASE], data, vec![]).unwrap_err();
         assert_eq!(err, ProgramError::DataOverlapsCode(CODE_BASE));
     }

@@ -49,7 +49,14 @@ impl<'a> HandlerCtx<'a> {
         work_factor_pct: u64,
     ) -> Self {
         assert!(work_factor_pct > 0, "work factor must be non-zero");
-        HandlerCtx { mem, core, findings, cycles: 0, work_factor_pct, pending_work: 0 }
+        HandlerCtx {
+            mem,
+            core,
+            findings,
+            cycles: 0,
+            work_factor_pct,
+            pending_work: 0,
+        }
     }
 
     /// Charges `n` single-cycle instructions of handler work.

@@ -46,7 +46,10 @@ pub struct DispatchConfig {
 
 impl Default for DispatchConfig {
     fn default() -> Self {
-        DispatchConfig { dispatch_cycles: 2, unsubscribed_cycles: 1 }
+        DispatchConfig {
+            dispatch_cycles: 2,
+            unsubscribed_cycles: 1,
+        }
     }
 }
 
@@ -135,7 +138,10 @@ mod tests {
         let mut mem = MemSystem::new(MemSystemConfig::dual_core());
         let mut findings = Vec::new();
         let engine = DispatchEngine::default();
-        let mut lg = Probe { events: Vec::new(), finished: false };
+        let mut lg = Probe {
+            events: Vec::new(),
+            finished: false,
+        };
         let rec = EventRecord::load(0x1000, 0, Some(1), Some(2), 0x100, 4);
         let cycles = engine.deliver(&mut lg, &rec, &mut mem, 1, &mut findings);
         assert_eq!(cycles, 2 + 5);
@@ -147,7 +153,10 @@ mod tests {
         let mut mem = MemSystem::new(MemSystemConfig::dual_core());
         let mut findings = Vec::new();
         let engine = DispatchEngine::default();
-        let mut lg = Probe { events: Vec::new(), finished: false };
+        let mut lg = Probe {
+            events: Vec::new(),
+            finished: false,
+        };
         let rec = EventRecord::alu(0x1000, 0, Some(1), Some(2), Some(3));
         let cycles = engine.deliver(&mut lg, &rec, &mut mem, 1, &mut findings);
         assert_eq!(cycles, 1);
@@ -159,7 +168,10 @@ mod tests {
         let mut mem = MemSystem::new(MemSystemConfig::dual_core());
         let mut findings = Vec::new();
         let engine = DispatchEngine::default();
-        let mut lg = Probe { events: Vec::new(), finished: false };
+        let mut lg = Probe {
+            events: Vec::new(),
+            finished: false,
+        };
         let cycles = engine.finish(&mut lg, &mut mem, 1, &mut findings);
         assert!(lg.finished);
         assert_eq!(cycles, 7);
@@ -169,11 +181,19 @@ mod tests {
     fn custom_config_respected() {
         let mut mem = MemSystem::new(MemSystemConfig::dual_core());
         let mut findings = Vec::new();
-        let engine =
-            DispatchEngine::new(DispatchConfig { dispatch_cycles: 10, unsubscribed_cycles: 3 });
-        let mut lg = Probe { events: Vec::new(), finished: false };
+        let engine = DispatchEngine::new(DispatchConfig {
+            dispatch_cycles: 10,
+            unsubscribed_cycles: 3,
+        });
+        let mut lg = Probe {
+            events: Vec::new(),
+            finished: false,
+        };
         let rec = EventRecord::load(0x1000, 0, None, None, 0, 4);
-        assert_eq!(engine.deliver(&mut lg, &rec, &mut mem, 1, &mut findings), 15);
+        assert_eq!(
+            engine.deliver(&mut lg, &rec, &mut mem, 1, &mut findings),
+            15
+        );
         let rec = EventRecord::alu(0x1000, 0, None, None, None);
         assert_eq!(engine.deliver(&mut lg, &rec, &mut mem, 1, &mut findings), 3);
     }

@@ -41,7 +41,10 @@ impl AddrRangeFilter {
     #[must_use]
     pub fn new(mut ranges: Vec<(u64, u64)>) -> Self {
         for &(start, end) in &ranges {
-            assert!(start < end, "filter range {start:#x}..{end:#x} is empty or inverted");
+            assert!(
+                start < end,
+                "filter range {start:#x}..{end:#x} is empty or inverted"
+            );
         }
         ranges.sort_unstable();
         AddrRangeFilter { ranges }
@@ -58,7 +61,9 @@ impl AddrRangeFilter {
     pub fn contains(&self, addr: u64) -> bool {
         // Binary search over sorted disjoint-ish ranges; linear fallback is
         // fine for the handful of ranges lifeguards use.
-        self.ranges.iter().any(|&(start, end)| (start..end).contains(&addr))
+        self.ranges
+            .iter()
+            .any(|&(start, end)| (start..end).contains(&addr))
     }
 
     /// Whether `record` should enter the log.

@@ -86,7 +86,12 @@ impl HistoryIndex {
     #[must_use]
     pub fn new(depth: usize) -> Self {
         assert!(depth > 0, "history depth must be non-zero");
-        HistoryIndex { depth, seq: 0, writers: HashMap::new(), control: HashMap::new() }
+        HistoryIndex {
+            depth,
+            seq: 0,
+            writers: HashMap::new(),
+            control: HashMap::new(),
+        }
     }
 
     /// Number of records observed.

@@ -37,7 +37,9 @@ impl<T: Copy + Default + PartialEq> ShadowMemory<T> {
     /// Creates an empty shadow memory.
     #[must_use]
     pub fn new() -> Self {
-        ShadowMemory { pages: HashMap::new() }
+        ShadowMemory {
+            pages: HashMap::new(),
+        }
     }
 
     /// The shadow cell for granule `index`.
@@ -105,7 +107,9 @@ impl<T: Copy + Default> ShadowRegs<T> {
     /// Creates an empty shadow register file.
     #[must_use]
     pub fn new() -> Self {
-        ShadowRegs { threads: Vec::new() }
+        ShadowRegs {
+            threads: Vec::new(),
+        }
     }
 
     fn ensure(&mut self, tid: u8) {

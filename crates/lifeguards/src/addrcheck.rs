@@ -127,7 +127,12 @@ impl AddrCheck {
         }
         // Block-table insert: hashing plus bucket write.
         ctx.alu(4);
-        self.blocks.insert(rec.addr, BlockState::Live { len: u64::from(rec.size) });
+        self.blocks.insert(
+            rec.addr,
+            BlockState::Live {
+                len: u64::from(rec.size),
+            },
+        );
         self.mark_range(rec.addr, u64::from(rec.size), 1, ctx);
     }
 
@@ -169,7 +174,12 @@ impl Lifeguard for AddrCheck {
     }
 
     fn subscriptions(&self) -> EventMask {
-        EventMask::of(&[EventKind::Load, EventKind::Store, EventKind::Alloc, EventKind::Free])
+        EventMask::of(&[
+            EventKind::Load,
+            EventKind::Store,
+            EventKind::Alloc,
+            EventKind::Free,
+        ])
     }
 
     fn on_event(&mut self, record: &EventRecord, ctx: &mut HandlerCtx<'_>) {
@@ -230,11 +240,13 @@ mod tests {
         }
 
         fn deliver(&mut self, rec: EventRecord) -> u64 {
-            self.engine.deliver(&mut self.lg, &rec, &mut self.mem, 1, &mut self.findings)
+            self.engine
+                .deliver(&mut self.lg, &rec, &mut self.mem, 1, &mut self.findings)
         }
 
         fn finish(&mut self) {
-            self.engine.finish(&mut self.lg, &mut self.mem, 1, &mut self.findings);
+            self.engine
+                .finish(&mut self.lg, &mut self.mem, 1, &mut self.findings);
         }
 
         fn kinds(&self) -> Vec<FindingKind> {

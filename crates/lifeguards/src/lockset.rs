@@ -41,7 +41,10 @@ pub struct LockSetConfig {
 
 impl Default for LockSetConfig {
     fn default() -> Self {
-        LockSetConfig { memoize: true, call_overhead: 0 }
+        LockSetConfig {
+            memoize: true,
+            call_overhead: 0,
+        }
     }
 }
 
@@ -61,7 +64,10 @@ struct LocksetTable {
 
 impl LocksetTable {
     fn new(memoize: bool) -> Self {
-        let mut t = LocksetTable { memoize, ..Default::default() };
+        let mut t = LocksetTable {
+            memoize,
+            ..Default::default()
+        };
         t.sets.push(Vec::new()); // id 0: empty lockset
         t.intern.insert(Vec::new(), 0);
         t
@@ -131,7 +137,11 @@ impl LocksetTable {
         }
         let (sa, sb) = (&self.sets[a as usize], &self.sets[b as usize]);
         let cost = 6 + 3 * (sa.len() + sb.len()) as u64;
-        let out_set: Vec<u64> = sa.iter().filter(|x| sb.binary_search(x).is_ok()).copied().collect();
+        let out_set: Vec<u64> = sa
+            .iter()
+            .filter(|x| sb.binary_search(x).is_ok())
+            .copied()
+            .collect();
         let out = self.intern(out_set);
         if self.memoize {
             self.intersect_cache.insert((a, b), out);
@@ -287,7 +297,11 @@ impl LockSet {
                 ctx.shadow_read(TABLE_BASE + payload * 16 + 8, 8);
                 let (new_id, cost) = self.table.intersect(old_id, held);
                 ctx.alu(cost);
-                let next = if is_write || state == SHARED_MOD { SHARED_MOD } else { SHARED };
+                let next = if is_write || state == SHARED_MOD {
+                    SHARED_MOD
+                } else {
+                    SHARED
+                };
                 // Mode bits always change on a read↔write alternation;
                 // Eraser writes the shadow word back each time.
                 self.shadow.set(granule, pack(next, u64::from(new_id)));
@@ -324,7 +338,12 @@ impl Lifeguard for LockSet {
     }
 
     fn subscriptions(&self) -> EventMask {
-        EventMask::of(&[EventKind::Load, EventKind::Store, EventKind::Lock, EventKind::Unlock])
+        EventMask::of(&[
+            EventKind::Load,
+            EventKind::Store,
+            EventKind::Lock,
+            EventKind::Unlock,
+        ])
     }
 
     fn on_event(&mut self, rec: &EventRecord, ctx: &mut HandlerCtx<'_>) {
@@ -375,7 +394,8 @@ mod tests {
         }
 
         fn deliver(&mut self, rec: EventRecord) -> u64 {
-            self.engine.deliver(&mut self.lg, &rec, &mut self.mem, 1, &mut self.findings)
+            self.engine
+                .deliver(&mut self.lg, &rec, &mut self.mem, 1, &mut self.findings)
         }
 
         fn lock(&mut self, tid: u8, lock: u64) -> u64 {
@@ -476,7 +496,10 @@ mod tests {
         rig.lock(1, LOCK_B);
         rig.store(1, DATA); // SharedModified, candidate = {B}
         rig.unlock(1, LOCK_B);
-        assert!(rig.findings.is_empty(), "Eraser needs a third access to see ∅");
+        assert!(
+            rig.findings.is_empty(),
+            "Eraser needs a third access to see ∅"
+        );
         rig.lock(0, LOCK_A);
         rig.store(0, DATA); // candidate = {B} ∩ {A} = ∅ → race
         rig.unlock(0, LOCK_A);
@@ -550,7 +573,10 @@ mod tests {
     #[test]
     fn memoized_steady_state_is_cheaper() {
         let steady = |memoize: bool| -> u64 {
-            let mut rig = Rig::with_config(LockSetConfig { memoize, call_overhead: 0 });
+            let mut rig = Rig::with_config(LockSetConfig {
+                memoize,
+                call_overhead: 0,
+            });
             // Build up shared state with two locks held by both threads.
             for tid in 0..2 {
                 rig.lock(tid, LOCK_A);

@@ -122,7 +122,12 @@ impl Lifeguard for MemProfile {
     }
 
     fn subscriptions(&self) -> EventMask {
-        EventMask::of(&[EventKind::Load, EventKind::Store, EventKind::Alloc, EventKind::Free])
+        EventMask::of(&[
+            EventKind::Load,
+            EventKind::Store,
+            EventKind::Alloc,
+            EventKind::Free,
+        ])
     }
 
     fn on_event(&mut self, rec: &EventRecord, ctx: &mut HandlerCtx<'_>) {
@@ -135,7 +140,9 @@ impl Lifeguard for MemProfile {
                     p.stores += 1;
                 }
                 p.bytes_accessed += u64::from(rec.size);
-                *p.line_counts.entry(rec.addr & !(LINE_BYTES - 1)).or_insert(0) += 1;
+                *p.line_counts
+                    .entry(rec.addr & !(LINE_BYTES - 1))
+                    .or_insert(0) += 1;
                 *p.pc_counts.entry(rec.pc).or_insert(0) += 1;
                 // Two hash-table increments: ~4 instructions each, plus
                 // the line/pc arithmetic.
@@ -187,7 +194,8 @@ mod tests {
         }
 
         fn deliver(&mut self, rec: EventRecord) {
-            self.engine.deliver(&mut self.lg, &rec, &mut self.mem, 1, &mut self.findings);
+            self.engine
+                .deliver(&mut self.lg, &rec, &mut self.mem, 1, &mut self.findings);
         }
     }
 

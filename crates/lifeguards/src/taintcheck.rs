@@ -175,8 +175,7 @@ impl Lifeguard for TaintCheck {
             EventKind::Syscall => {
                 // Check the argument registers (r1..r3 by convention).
                 ctx.alu(3);
-                let tainted_arg =
-                    (1..=3u8).find(|&r| self.reg_taint.get(rec.tid, r));
+                let tainted_arg = (1..=3u8).find(|&r| self.reg_taint.get(rec.tid, r));
                 if let Some(reg) = tainted_arg {
                     self.report_once(
                         rec,
@@ -215,7 +214,8 @@ mod tests {
         }
 
         fn deliver(&mut self, rec: EventRecord) {
-            self.engine.deliver(&mut self.lg, &rec, &mut self.mem, 1, &mut self.findings);
+            self.engine
+                .deliver(&mut self.lg, &rec, &mut self.mem, 1, &mut self.findings);
         }
     }
 
@@ -297,8 +297,22 @@ mod tests {
         rig.deliver(EventRecord::load(0x1008, 0, Some(2), Some(3), BUF, 8));
         // Store the tainted register elsewhere, then load it back into a
         // different register.
-        rig.deliver(EventRecord::store(0x1010, 0, Some(3), Some(4), BUF + 0x100, 8));
-        rig.deliver(EventRecord::load(0x1018, 0, Some(4), Some(5), BUF + 0x100, 8));
+        rig.deliver(EventRecord::store(
+            0x1010,
+            0,
+            Some(3),
+            Some(4),
+            BUF + 0x100,
+            8,
+        ));
+        rig.deliver(EventRecord::load(
+            0x1018,
+            0,
+            Some(4),
+            Some(5),
+            BUF + 0x100,
+            8,
+        ));
         assert!(rig.lg.reg_is_tainted(0, 5));
     }
 

@@ -97,7 +97,11 @@ impl HeapAllocator {
     /// Panics if `base` is not 16-byte aligned or `size` is zero.
     #[must_use]
     pub fn new(base: u64, size: u64) -> Self {
-        assert_eq!(base % BLOCK_ALIGN, 0, "heap base must be {BLOCK_ALIGN}-byte aligned");
+        assert_eq!(
+            base % BLOCK_ALIGN,
+            0,
+            "heap base must be {BLOCK_ALIGN}-byte aligned"
+        );
         assert!(size > 0, "heap size must be non-zero");
         let mut free = BTreeMap::new();
         free.insert(base, size);
@@ -274,7 +278,10 @@ mod tests {
     fn invalid_free_detected() {
         let mut h = HeapAllocator::new(BASE, 1 << 16);
         let _ = h.alloc(8).unwrap();
-        assert_eq!(h.free(BASE + 8), Err(HeapError::InvalidFree { addr: BASE + 8 }));
+        assert_eq!(
+            h.free(BASE + 8),
+            Err(HeapError::InvalidFree { addr: BASE + 8 })
+        );
     }
 
     #[test]
@@ -297,7 +304,11 @@ mod tests {
         h.free(b).unwrap();
         h.free(a).unwrap();
         h.free(c).unwrap();
-        assert_eq!(h.alloc(48).unwrap(), BASE, "coalesced arena serves a full-size block");
+        assert_eq!(
+            h.alloc(48).unwrap(),
+            BASE,
+            "coalesced arena serves a full-size block"
+        );
     }
 
     #[test]

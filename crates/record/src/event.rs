@@ -172,19 +172,53 @@ impl EventRecord {
     /// Creates an ALU record.
     #[must_use]
     pub fn alu(pc: u64, tid: u8, in1: Option<u8>, in2: Option<u8>, out: Option<u8>) -> Self {
-        EventRecord { pc, kind: EventKind::Alu, tid, in1, in2, out, addr: 0, size: 0 }
+        EventRecord {
+            pc,
+            kind: EventKind::Alu,
+            tid,
+            in1,
+            in2,
+            out,
+            addr: 0,
+            size: 0,
+        }
     }
 
     /// Creates a load record.
     #[must_use]
     pub fn load(pc: u64, tid: u8, base: Option<u8>, out: Option<u8>, addr: u64, size: u32) -> Self {
-        EventRecord { pc, kind: EventKind::Load, tid, in1: base, in2: None, out, addr, size }
+        EventRecord {
+            pc,
+            kind: EventKind::Load,
+            tid,
+            in1: base,
+            in2: None,
+            out,
+            addr,
+            size,
+        }
     }
 
     /// Creates a store record.
     #[must_use]
-    pub fn store(pc: u64, tid: u8, src: Option<u8>, base: Option<u8>, addr: u64, size: u32) -> Self {
-        EventRecord { pc, kind: EventKind::Store, tid, in1: src, in2: base, out: None, addr, size }
+    pub fn store(
+        pc: u64,
+        tid: u8,
+        src: Option<u8>,
+        base: Option<u8>,
+        addr: u64,
+        size: u32,
+    ) -> Self {
+        EventRecord {
+            pc,
+            kind: EventKind::Store,
+            tid,
+            in1: src,
+            in2: base,
+            out: None,
+            addr,
+            size,
+        }
     }
 
     /// Whether this record is a data-memory reference (load or store).
@@ -214,8 +248,7 @@ impl EventRecord {
     ///
     /// Returns [`DecodeRecordError::BadKind`] when the kind byte is invalid.
     pub fn decode_raw(bytes: &[u8; RAW_RECORD_BYTES]) -> Result<Self, DecodeRecordError> {
-        let kind =
-            EventKind::from_code(bytes[8]).ok_or(DecodeRecordError::BadKind(bytes[8]))?;
+        let kind = EventKind::from_code(bytes[8]).ok_or(DecodeRecordError::BadKind(bytes[8]))?;
         let opt = |b: u8| if b == NO_OPERAND { None } else { Some(b) };
         Ok(EventRecord {
             pc: u64::from_le_bytes(bytes[0..8].try_into().expect("8 bytes")),
@@ -279,7 +312,10 @@ mod tests {
     fn decode_rejects_bad_kind() {
         let mut raw = EventRecord::alu(0, 0, None, None, None).encode_raw();
         raw[8] = 200;
-        assert_eq!(EventRecord::decode_raw(&raw), Err(DecodeRecordError::BadKind(200)));
+        assert_eq!(
+            EventRecord::decode_raw(&raw),
+            Err(DecodeRecordError::BadKind(200))
+        );
     }
 
     #[test]

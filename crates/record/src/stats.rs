@@ -93,7 +93,16 @@ mod tests {
     use super::*;
 
     fn rec(kind: EventKind) -> EventRecord {
-        EventRecord { pc: 0, kind, tid: 0, in1: None, in2: None, out: None, addr: 0, size: 0 }
+        EventRecord {
+            pc: 0,
+            kind,
+            tid: 0,
+            in1: None,
+            in2: None,
+            out: None,
+            addr: 0,
+            size: 0,
+        }
     }
 
     #[test]

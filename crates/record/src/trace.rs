@@ -140,7 +140,11 @@ impl<'a> TraceReader<'a> {
             return Err(TraceError::BadMagic);
         }
         let count = u64::from_le_bytes(bytes[4..12].try_into().expect("8 bytes"));
-        Ok(TraceReader { bytes: &bytes[12..], remaining: count, index: 0 })
+        Ok(TraceReader {
+            bytes: &bytes[12..],
+            remaining: count,
+            index: 0,
+        })
     }
 
     /// Records declared by the header that are still unread.
@@ -167,10 +171,7 @@ impl Iterator for TraceReader<'_> {
         let index = self.index;
         self.index += 1;
         let raw: &[u8; RAW_RECORD_BYTES] = head.try_into().expect("split at record size");
-        Some(
-            EventRecord::decode_raw(raw)
-                .map_err(|source| TraceError::BadRecord { index, source }),
-        )
+        Some(EventRecord::decode_raw(raw).map_err(|source| TraceError::BadRecord { index, source }))
     }
 }
 
@@ -193,8 +194,10 @@ mod tests {
         }
         assert_eq!(writer.len(), 50);
         let bytes = writer.into_bytes();
-        let read: Vec<EventRecord> =
-            TraceReader::new(&bytes).unwrap().collect::<Result<_, _>>().unwrap();
+        let read: Vec<EventRecord> = TraceReader::new(&bytes)
+            .unwrap()
+            .collect::<Result<_, _>>()
+            .unwrap();
         assert_eq!(read, records);
     }
 
@@ -233,6 +236,9 @@ mod tests {
         bytes[12 + RAW_RECORD_BYTES + 8] = 0xee;
         let results: Vec<_> = TraceReader::new(&bytes).unwrap().collect();
         assert!(results[0].is_ok());
-        assert!(matches!(results[1], Err(TraceError::BadRecord { index: 1, .. })));
+        assert!(matches!(
+            results[1],
+            Err(TraceError::BadRecord { index: 1, .. })
+        ));
     }
 }

@@ -1,0 +1,112 @@
+//! The `LogChannel` abstraction: one transport contract for both
+//! execution models.
+//!
+//! The paper's log transport is a stream of compressed cache-line-multiple
+//! frames flowing from the capture engine to the dispatch engine. This
+//! trait captures that contract at record granularity — push on the
+//! producer side, pop on the consumer side, statistics in wire bytes — so
+//! the co-simulation and the live two-thread pipeline drive the identical
+//! interface and differ only in *how* frames move:
+//!
+//! * [`ModeledFrameChannel`](crate::ModeledFrameChannel) — deterministic:
+//!   frames are timestamped and queued against a byte budget, giving exact
+//!   back-pressure and lag accounting;
+//! * [`LiveFrameChannel`](crate::live::LiveFrameChannel) — real: frame byte
+//!   buffers cross an SPSC queue between OS threads, one queue operation
+//!   per frame instead of per record.
+//!
+//! # Back-pressure protocol
+//!
+//! [`push_record`](LogChannel::push_record) returning
+//! [`PushOutcome::BackPressure`] means a sealed frame did not fit and is
+//! *parked*. The producer must free space — pop records via
+//! [`pop_record`](LogChannel::pop_record) — and call
+//! [`retry_parked`](LogChannel::retry_parked) until it succeeds. Channels
+//! that resolve back-pressure internally by blocking (the live channel)
+//! never return `BackPressure`.
+
+use lba_record::EventRecord;
+
+/// Aggregate statistics for one channel, in the units the paper cares
+/// about: records, frames, and bytes on the wire.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChannelStats {
+    /// Records carried by sealed frames.
+    pub records: u64,
+    /// Frames sealed and shipped.
+    pub frames: u64,
+    /// Compressed (or raw) payload bits, before framing.
+    pub payload_bits: u64,
+    /// Bits on the wire: payload plus frame headers and line padding.
+    pub wire_bits: u64,
+    /// High-water mark of in-flight wire bits (how full the buffer got).
+    pub high_water_bits: u64,
+}
+
+impl ChannelStats {
+    /// Average wire bytes per record, framing overhead included.
+    #[must_use]
+    pub fn wire_bytes_per_record(&self) -> f64 {
+        if self.records == 0 {
+            0.0
+        } else {
+            self.wire_bits as f64 / 8.0 / self.records as f64
+        }
+    }
+}
+
+/// A record handed to the consumer, with the producer-clock cycle at which
+/// its frame was shipped (zero for live channels, which have no modeled
+/// clock).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoppedRecord {
+    /// The event record.
+    pub record: EventRecord,
+    /// Producer-core cycle at which the record's frame became visible.
+    pub ready_at: u64,
+}
+
+/// Result of a producer-side push or flush.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushOutcome {
+    /// The record joined the open partial frame; nothing shipped.
+    Buffered,
+    /// The record sealed a frame that was admitted to the transport.
+    Sealed {
+        /// Wire bits shipped (header and padding included).
+        wire_bits: u64,
+    },
+    /// The record sealed a frame that does not fit: it is parked and the
+    /// producer is stalled until space frees (see the module docs).
+    BackPressure {
+        /// Wire bits of the parked frame.
+        wire_bits: u64,
+    },
+}
+
+/// The framed log transport contract (see the module docs).
+pub trait LogChannel {
+    /// Pushes one captured record. `now` is the producer-core cycle used to
+    /// timestamp the frame this record ends up in; live channels ignore it.
+    fn push_record(&mut self, record: &EventRecord, now: u64) -> PushOutcome;
+
+    /// Seals the open partial frame so every pushed record becomes visible
+    /// to the consumer — called at syscalls (containment) and end of
+    /// program.
+    fn flush(&mut self, now: u64) -> PushOutcome;
+
+    /// Pops the next record on the consumer side. `None` means no record is
+    /// currently available (modeled: buffer empty; live: channel closed and
+    /// drained).
+    fn pop_record(&mut self) -> Option<PoppedRecord>;
+
+    /// Whether a sealed frame is parked awaiting space.
+    fn has_parked(&self) -> bool;
+
+    /// Attempts to admit the oldest parked frame, timestamped `now`;
+    /// returns its wire bits on success.
+    fn retry_parked(&mut self, now: u64) -> Option<u64>;
+
+    /// Lifetime statistics over sealed frames.
+    fn stats(&self) -> ChannelStats;
+}

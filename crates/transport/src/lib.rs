@@ -1,31 +1,41 @@
 //! Log transport between the application core and the lifeguard core.
 //!
-//! The paper transports the compressed log through the cache hierarchy; the
-//! two cores are deliberately *not* synchronised and coordinate only through
-//! the log buffer. This crate provides both views of that mechanism:
+//! The paper transports the *compressed* log through the cache hierarchy;
+//! the two cores are deliberately not synchronised and coordinate only
+//! through the log buffer. Since the wire unit is a cache line, transport
+//! here moves **frames** — cache-line-multiple byte buffers produced by
+//! `lba_compress::FrameEncoder` — not individual records. The
+//! [`LogChannel`] trait is the single contract both execution models drive:
 //!
-//! * [`LogBufferModel`] — the deterministic timing model used by the
-//!   co-simulation: a bounded byte-budget queue whose entries carry their
-//!   production timestamps, giving exact back-pressure (producer stalls on
-//!   full) and lag (consumer waits on empty) behaviour.
-//! * [`live`] — a real single-producer/single-consumer channel (crossbeam)
-//!   for the functional "live monitoring" mode, where application and
-//!   lifeguard genuinely run on different OS threads.
+//! * [`ModeledFrameChannel`] — the deterministic timing model used by the
+//!   co-simulation: a real encoder/decoder pair around [`LogBufferModel`],
+//!   a bounded byte-budget frame queue whose entries carry their production
+//!   timestamps, giving exact back-pressure (producer stalls on full) and
+//!   lag (consumer waits on empty) behaviour.
+//! * [`live::LiveFrameChannel`] — a real single-producer/single-consumer
+//!   channel for the "live monitoring" mode, where application and
+//!   lifeguard genuinely run on different OS threads and each frame is one
+//!   queue operation (amortised over `records_per_frame` records).
 //!
 //! # Examples
 //!
 //! ```
+//! use lba_compress::FrameConfig;
 //! use lba_record::EventRecord;
-//! use lba_transport::LogBufferModel;
+//! use lba_transport::{LogChannel, ModeledFrameChannel, PushOutcome};
 //!
-//! let mut buf = LogBufferModel::new(64); // 64-byte buffer
+//! let mut ch = ModeledFrameChannel::new(4096, FrameConfig::default(), false);
 //! let rec = EventRecord::alu(0x1000, 0, None, None, Some(1));
-//! assert!(buf.try_push(rec, 40, 100).is_ok()); // 40 bits at t=100
-//! let entry = buf.pop().expect("one entry queued");
-//! assert_eq!(entry.ready_at, 100);
+//! assert_eq!(ch.push_record(&rec, 100), PushOutcome::Buffered);
+//! assert!(matches!(ch.flush(120), PushOutcome::Sealed { .. }));
+//! let popped = ch.pop_record().expect("one record queued");
+//! assert_eq!(popped.ready_at, 120); // visible when its frame shipped
 //! ```
 
+mod channel;
 pub mod live;
 mod model;
 
-pub use model::{BufferFullError, LogBufferModel, TimedEntry, TransportStats};
+pub use channel::{ChannelStats, LogChannel, PoppedRecord, PushOutcome};
+pub use live::LiveFrameChannel;
+pub use model::{BufferFullError, LogBufferModel, ModeledFrameChannel, TimedFrame, TransportStats};

@@ -1,43 +1,72 @@
 //! Real cross-thread log transport for live monitoring.
 //!
-//! The deterministic [`LogBufferModel`](crate::LogBufferModel) gives exact
-//! timing; this module gives the *functional* equivalent with genuine
-//! parallelism: the application machine runs on one OS thread pushing
-//! records, the lifeguard consumes them on another. Integration tests
-//! assert that both modes produce identical findings.
+//! The deterministic [`ModeledFrameChannel`](crate::ModeledFrameChannel)
+//! gives exact timing; this module gives the *functional* equivalent with
+//! genuine parallelism. Two transports live here:
+//!
+//! * [`channel`] — the legacy per-record SPSC queue: one queue operation
+//!   per [`EventRecord`]. Kept as the uninstrumented baseline the framed
+//!   channel is benchmarked against.
+//! * [`frame_channel`] / [`LiveFrameChannel`] — the framed transport: the
+//!   producer compresses records into cache-line-multiple frames
+//!   ([`FrameEncoder`]) and ships each frame as one byte buffer, amortising
+//!   a queue operation over `records_per_frame` records; the consumer
+//!   decompresses on its own thread. This is the live analogue of the
+//!   paper's compressed log moving through the cache hierarchy, and it
+//!   measures real wire bytes per record.
 //!
 //! # Examples
 //!
 //! ```
+//! use lba_compress::FrameConfig;
 //! use lba_record::EventRecord;
 //! use lba_transport::live;
 //!
-//! let (producer, consumer) = live::channel(1024);
+//! let (mut tx, mut rx) = live::frame_channel(16, FrameConfig::default());
 //! let writer = std::thread::spawn(move || {
 //!     for i in 0..100 {
-//!         producer.send(EventRecord::alu(0x1000 + i * 8, 0, None, None, None));
+//!         tx.push(&EventRecord::alu(0x1000 + i * 8, 0, None, None, None));
 //!     }
-//!     // producer dropped here closes the channel
+//!     // tx dropped here: flushes the partial frame and closes the channel
 //! });
 //! let mut seen = 0;
-//! while let Some(_rec) = consumer.recv() {
+//! while let Some(_rec) = rx.recv() {
 //!     seen += 1;
 //! }
 //! writer.join().unwrap();
 //! assert_eq!(seen, 100);
+//! assert!(rx.stats().frames >= 1);
 //! ```
 
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread;
 
 use crossbeam::queue::ArrayQueue;
 
+use lba_compress::{Frame, FrameConfig, FrameDecoder, FrameEncoder};
 use lba_record::EventRecord;
+
+use crate::channel::{ChannelStats, LogChannel, PoppedRecord, PushOutcome};
+
+/// Spin briefly before yielding to the scheduler: the peer is typically
+/// mid-frame (microseconds away), so burning a few dozen pause
+/// instructions is cheaper than a syscall per poll.
+fn backoff(spins: &mut u32) {
+    if *spins < 128 {
+        *spins += 1;
+        std::hint::spin_loop();
+    } else {
+        thread::yield_now();
+    }
+}
 
 struct Shared {
     queue: ArrayQueue<EventRecord>,
     closed: AtomicBool,
+    /// Set when the consumer is dropped, so a producer blocked on a full
+    /// queue can bail out instead of spinning forever.
+    consumer_gone: AtomicBool,
 }
 
 /// The application-side handle: pushes records, blocking on back-pressure.
@@ -51,7 +80,7 @@ pub struct LiveConsumer {
 }
 
 /// Creates a bounded SPSC log channel holding up to `capacity_records`
-/// in-flight records.
+/// in-flight records — one queue operation per record.
 ///
 /// Dropping the [`LiveProducer`] closes the channel; [`LiveConsumer::recv`]
 /// then drains the remaining records and returns `None`.
@@ -61,25 +90,40 @@ pub struct LiveConsumer {
 /// Panics if `capacity_records` is zero.
 #[must_use]
 pub fn channel(capacity_records: usize) -> (LiveProducer, LiveConsumer) {
-    assert!(capacity_records > 0, "live channel capacity must be non-zero");
+    assert!(
+        capacity_records > 0,
+        "live channel capacity must be non-zero"
+    );
     let shared = Arc::new(Shared {
         queue: ArrayQueue::new(capacity_records),
         closed: AtomicBool::new(false),
+        consumer_gone: AtomicBool::new(false),
     });
-    (LiveProducer { shared: Arc::clone(&shared) }, LiveConsumer { shared })
+    (
+        LiveProducer {
+            shared: Arc::clone(&shared),
+        },
+        LiveConsumer { shared },
+    )
 }
 
 impl LiveProducer {
     /// Sends one record, spinning (with yields) while the buffer is full —
-    /// the live analogue of the model's back-pressure stall.
+    /// the live analogue of the model's back-pressure stall. The record is
+    /// dropped if the consumer has gone away (e.g. panicked), so the
+    /// producer cannot hang.
     pub fn send(&self, record: EventRecord) {
         let mut rec = record;
+        let mut spins = 0;
         loop {
             match self.shared.queue.push(rec) {
                 Ok(()) => return,
                 Err(back) => {
+                    if self.shared.consumer_gone.load(Ordering::Acquire) {
+                        return;
+                    }
                     rec = back;
-                    thread::yield_now();
+                    backoff(&mut spins);
                 }
             }
         }
@@ -96,6 +140,7 @@ impl LiveConsumer {
     /// Receives the next record, blocking until one is available. Returns
     /// `None` once the producer is dropped and the queue is drained.
     pub fn recv(&self) -> Option<EventRecord> {
+        let mut spins = 0;
         loop {
             if let Some(rec) = self.shared.queue.pop() {
                 return Some(rec);
@@ -104,13 +149,352 @@ impl LiveConsumer {
                 // Drain anything that raced with the close flag.
                 return self.shared.queue.pop();
             }
-            thread::yield_now();
+            backoff(&mut spins);
         }
     }
 
     /// Non-blocking receive.
     pub fn try_recv(&self) -> Option<EventRecord> {
         self.shared.queue.pop()
+    }
+}
+
+impl Drop for LiveConsumer {
+    fn drop(&mut self) {
+        self.shared.consumer_gone.store(true, Ordering::Release);
+    }
+}
+
+struct FrameShared {
+    queue: ArrayQueue<Vec<u8>>,
+    /// Spent wire buffers returned by the consumer for the producer to
+    /// refill, sparing an allocation (and a cross-thread free) per frame.
+    pool: ArrayQueue<Vec<u8>>,
+    closed: AtomicBool,
+    /// Set when the receiver is dropped, so a sender blocked on a full
+    /// queue (including the flush in its own Drop) cannot hang.
+    consumer_gone: AtomicBool,
+    /// Wire bits currently queued (producer adds, consumer subtracts); a
+    /// lone relaxed counter so the consumer's pop path stays lock-free.
+    inflight_bits: AtomicU64,
+    /// Cumulative statistics, written by the producer once per frame.
+    stats: Mutex<ChannelStats>,
+}
+
+impl FrameShared {
+    fn snapshot(&self) -> ChannelStats {
+        *self.stats.lock().expect("stats lock")
+    }
+
+    fn account_ship(&self, frame: &Frame) {
+        let inflight = self
+            .inflight_bits
+            .fetch_add(frame.wire_bits(), Ordering::Relaxed)
+            + frame.wire_bits();
+        let mut guard = self.stats.lock().expect("stats lock");
+        guard.records += u64::from(frame.records);
+        guard.frames += 1;
+        guard.payload_bits += frame.payload_bits;
+        guard.wire_bits += frame.wire_bits();
+        guard.high_water_bits = guard.high_water_bits.max(inflight);
+    }
+
+    fn account_pop(&self, bytes: &[u8]) {
+        self.inflight_bits
+            .fetch_sub(bytes.len() as u64 * 8, Ordering::Relaxed);
+    }
+}
+
+/// Producer half of the framed live channel: owns the compressor.
+pub struct FrameSender {
+    encoder: FrameEncoder,
+    shared: Arc<FrameShared>,
+}
+
+impl FrameSender {
+    /// Appends one record; when it completes a frame, ships the frame,
+    /// spinning (with yields) while the queue is full.
+    pub fn push(&mut self, record: &EventRecord) {
+        if let Some(frame) = self.encoder.push(record) {
+            self.ship(frame);
+        }
+    }
+
+    /// Hands a consumer-returned buffer to the encoder for the next frame.
+    fn refill(&mut self) {
+        if let Some(buf) = self.shared.pool.pop() {
+            self.encoder.recycle(buf);
+        }
+    }
+
+    /// Seals and ships the open partial frame — call at syscalls so the
+    /// consumer sees every preceding record (containment), and rely on
+    /// [`Drop`] for the end-of-program flush.
+    pub fn flush(&mut self) {
+        if let Some(frame) = self.encoder.flush() {
+            self.ship(frame);
+        }
+    }
+
+    /// Producer-side statistics over shipped frames.
+    #[must_use]
+    pub fn stats(&self) -> ChannelStats {
+        self.shared.snapshot()
+    }
+
+    fn ship(&mut self, frame: Frame) {
+        self.shared.account_ship(&frame);
+        let mut bytes = frame.bytes;
+        let mut spins = 0;
+        loop {
+            match self.shared.queue.push(bytes) {
+                Ok(()) => break,
+                Err(back) => {
+                    if self.shared.consumer_gone.load(Ordering::Acquire) {
+                        // Receiver dropped (e.g. panicked): discard rather
+                        // than spin forever.
+                        return;
+                    }
+                    bytes = back;
+                    backoff(&mut spins);
+                }
+            }
+        }
+        self.refill();
+    }
+}
+
+impl Drop for FrameSender {
+    fn drop(&mut self) {
+        self.flush();
+        self.shared.closed.store(true, Ordering::Release);
+    }
+}
+
+/// Consumer half of the framed live channel: owns the decompressor.
+pub struct FrameReceiver {
+    decoder: FrameDecoder,
+    /// Decoded records of the current frame, served from `cursor`; the
+    /// buffer is reused across frames to avoid a per-frame allocation.
+    pending: Vec<EventRecord>,
+    cursor: usize,
+    shared: Arc<FrameShared>,
+}
+
+impl FrameReceiver {
+    /// Receives the next record, blocking until a frame arrives. Returns
+    /// `None` once the producer is dropped and the queue is drained.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a frame fails to decode — the producer is in-process, so
+    /// corruption is a codec bug, not an I/O condition.
+    pub fn recv(&mut self) -> Option<EventRecord> {
+        self.recv_ref().copied()
+    }
+
+    /// Like [`recv`](Self::recv), but lends the record out of the decode
+    /// buffer instead of copying it — for consumers (like the lifeguard
+    /// dispatch) that only need `&EventRecord`.
+    pub fn recv_ref(&mut self) -> Option<&EventRecord> {
+        loop {
+            if self.cursor < self.pending.len() {
+                self.cursor += 1;
+                return self.pending.get(self.cursor - 1);
+            }
+            let bytes = self.recv_frame()?;
+            self.decode(&bytes);
+            let _ = self.shared.pool.push(bytes); // return for reuse
+        }
+    }
+
+    /// Non-blocking receive: `None` when no complete frame has arrived.
+    pub fn try_recv(&mut self) -> Option<EventRecord> {
+        loop {
+            if let Some(rec) = self.next_pending() {
+                return Some(rec);
+            }
+            let bytes = self.shared.queue.pop()?;
+            self.shared.account_pop(&bytes);
+            self.decode(&bytes);
+            let _ = self.shared.pool.push(bytes); // return for reuse
+        }
+    }
+
+    /// Channel statistics (complete once the producer has been dropped).
+    #[must_use]
+    pub fn stats(&self) -> ChannelStats {
+        self.shared.snapshot()
+    }
+
+    #[inline]
+    fn next_pending(&mut self) -> Option<EventRecord> {
+        let rec = self.pending.get(self.cursor).copied()?;
+        self.cursor += 1;
+        Some(rec)
+    }
+
+    fn recv_frame(&self) -> Option<Vec<u8>> {
+        let mut spins = 0;
+        loop {
+            if let Some(bytes) = self.shared.queue.pop() {
+                self.shared.account_pop(&bytes);
+                return Some(bytes);
+            }
+            if self.shared.closed.load(Ordering::Acquire) {
+                // Drain anything that raced with the close flag.
+                let bytes = self.shared.queue.pop()?;
+                self.shared.account_pop(&bytes);
+                return Some(bytes);
+            }
+            backoff(&mut spins);
+        }
+    }
+
+    fn decode(&mut self, bytes: &[u8]) {
+        // Drop only the consumed prefix: the unsplit channel can decode a
+        // frame to make room while earlier records are still unread.
+        self.pending.drain(..self.cursor);
+        self.cursor = 0;
+        self.decoder
+            .decode_frame(bytes, &mut self.pending)
+            .unwrap_or_else(|e| panic!("live frame failed to decode: {e}"));
+    }
+}
+
+impl Drop for FrameReceiver {
+    fn drop(&mut self) {
+        self.shared.consumer_gone.store(true, Ordering::Release);
+    }
+}
+
+/// Creates the framed SPSC channel holding up to `capacity_frames`
+/// in-flight frames.
+///
+/// Dropping the [`FrameSender`] flushes the partial frame and closes the
+/// channel; [`FrameReceiver::recv`] then drains what remains and returns
+/// `None`.
+///
+/// # Panics
+///
+/// Panics if `capacity_frames` is zero.
+#[must_use]
+pub fn frame_channel(capacity_frames: usize, config: FrameConfig) -> (FrameSender, FrameReceiver) {
+    assert!(
+        capacity_frames > 0,
+        "live channel capacity must be non-zero"
+    );
+    let shared = Arc::new(FrameShared {
+        queue: ArrayQueue::new(capacity_frames),
+        pool: ArrayQueue::new(capacity_frames),
+        closed: AtomicBool::new(false),
+        consumer_gone: AtomicBool::new(false),
+        inflight_bits: AtomicU64::new(0),
+        stats: Mutex::new(ChannelStats::default()),
+    });
+    (
+        FrameSender {
+            encoder: FrameEncoder::new(config),
+            shared: Arc::clone(&shared),
+        },
+        FrameReceiver {
+            decoder: FrameDecoder::new(config),
+            pending: Vec::new(),
+            cursor: 0,
+            shared,
+        },
+    )
+}
+
+/// Both halves of the framed live channel as one [`LogChannel`].
+///
+/// [`split`](LiveFrameChannel::split) yields the two thread-safe halves for
+/// the genuine two-thread pipeline; unsplit, the channel implements the
+/// trait for single-threaded drivers (tests, benches, and any code written
+/// against `dyn LogChannel`). In unsplit use a full queue is resolved by
+/// decoding the oldest frame in place, so pushes never block.
+pub struct LiveFrameChannel {
+    // Field order matters: the receiver must drop before the sender so the
+    // sender's flush-on-drop sees `consumer_gone` and cannot spin on a
+    // full queue with nobody left to pop it.
+    receiver: FrameReceiver,
+    sender: FrameSender,
+}
+
+impl LiveFrameChannel {
+    /// Creates the channel; see [`frame_channel`] for parameters.
+    #[must_use]
+    pub fn new(capacity_frames: usize, config: FrameConfig) -> Self {
+        let (sender, receiver) = frame_channel(capacity_frames, config);
+        LiveFrameChannel { sender, receiver }
+    }
+
+    /// Splits into the producer and consumer halves for cross-thread use.
+    #[must_use]
+    pub fn split(self) -> (FrameSender, FrameReceiver) {
+        (self.sender, self.receiver)
+    }
+
+    fn ship_nonblocking(&mut self, frame: Frame) -> PushOutcome {
+        let wire_bits = frame.wire_bits();
+        self.sender.shared.account_ship(&frame);
+        let mut bytes = frame.bytes;
+        loop {
+            match self.sender.shared.queue.push(bytes) {
+                Ok(()) => break,
+                Err(back) => {
+                    bytes = back;
+                    // We own the consumer half: make room by decoding the
+                    // oldest frame instead of spinning against ourselves.
+                    let oldest = self
+                        .sender
+                        .shared
+                        .queue
+                        .pop()
+                        .expect("full queue has a frame");
+                    self.receiver.shared.account_pop(&oldest);
+                    self.receiver.decode(&oldest);
+                    let _ = self.receiver.shared.pool.push(oldest);
+                }
+            }
+        }
+        self.sender.refill();
+        PushOutcome::Sealed { wire_bits }
+    }
+}
+
+impl LogChannel for LiveFrameChannel {
+    fn push_record(&mut self, record: &EventRecord, _now: u64) -> PushOutcome {
+        match self.sender.encoder.push(record) {
+            Some(frame) => self.ship_nonblocking(frame),
+            None => PushOutcome::Buffered,
+        }
+    }
+
+    fn flush(&mut self, _now: u64) -> PushOutcome {
+        match self.sender.encoder.flush() {
+            Some(frame) => self.ship_nonblocking(frame),
+            None => PushOutcome::Buffered,
+        }
+    }
+
+    fn pop_record(&mut self) -> Option<PoppedRecord> {
+        self.receiver.try_recv().map(|record| PoppedRecord {
+            record,
+            ready_at: 0,
+        })
+    }
+
+    fn has_parked(&self) -> bool {
+        false // back-pressure is resolved inside push_record
+    }
+
+    fn retry_parked(&mut self, _now: u64) -> Option<u64> {
+        None
+    }
+
+    fn stats(&self) -> ChannelStats {
+        self.sender.shared.snapshot()
     }
 }
 
@@ -174,5 +558,125 @@ mod tests {
     #[should_panic(expected = "non-zero")]
     fn zero_capacity_rejected() {
         let _ = channel(0);
+    }
+
+    #[test]
+    fn framed_records_arrive_in_order_across_threads() {
+        let (mut tx, mut rx) = frame_channel(
+            4,
+            FrameConfig {
+                records_per_frame: 64,
+                compress: true,
+            },
+        );
+        let writer = thread::spawn(move || {
+            for i in 0..5000 {
+                tx.push(&rec(0x1000 + i * 8));
+            }
+        });
+        let mut expected = 0x1000;
+        let mut count = 0u64;
+        while let Some(r) = rx.recv() {
+            assert_eq!(r.pc, expected);
+            expected += 8;
+            count += 1;
+        }
+        writer.join().unwrap();
+        assert_eq!(count, 5000);
+        let stats = rx.stats();
+        assert_eq!(stats.records, 5000);
+        // 5000 records at 64/frame, plus the flush-on-drop partial frame.
+        assert_eq!(stats.frames, 5000 / 64 + 1);
+        assert!(stats.wire_bits >= stats.payload_bits);
+        assert!(stats.high_water_bits > 0);
+    }
+
+    #[test]
+    fn framed_tiny_queue_exerts_back_pressure_without_loss() {
+        let (mut tx, mut rx) = frame_channel(
+            1,
+            FrameConfig {
+                records_per_frame: 8,
+                compress: true,
+            },
+        );
+        let writer = thread::spawn(move || {
+            for i in 0..500 {
+                tx.push(&rec(0x1000 + i * 8));
+            }
+        });
+        let mut count = 0;
+        while rx.recv().is_some() {
+            count += 1;
+        }
+        writer.join().unwrap();
+        assert_eq!(count, 500);
+    }
+
+    #[test]
+    fn framed_raw_mode_round_trips() {
+        let (mut tx, mut rx) = frame_channel(
+            4,
+            FrameConfig {
+                records_per_frame: 16,
+                compress: false,
+            },
+        );
+        let writer = thread::spawn(move || {
+            for i in 0..100 {
+                tx.push(&rec(0x2000 + i * 4));
+            }
+        });
+        let mut count = 0;
+        while rx.recv().is_some() {
+            count += 1;
+        }
+        writer.join().unwrap();
+        assert_eq!(count, 100);
+    }
+
+    #[test]
+    fn flush_makes_partial_frames_visible() {
+        let (mut tx, mut rx) = frame_channel(
+            4,
+            FrameConfig {
+                records_per_frame: 1000,
+                compress: true,
+            },
+        );
+        tx.push(&rec(0x1000));
+        tx.push(&rec(0x1008));
+        assert_eq!(rx.try_recv(), None, "partial frame not visible yet");
+        tx.flush();
+        assert_eq!(rx.try_recv().map(|r| r.pc), Some(0x1000));
+        assert_eq!(rx.try_recv().map(|r| r.pc), Some(0x1008));
+        assert_eq!(rx.try_recv(), None);
+    }
+
+    #[test]
+    fn unsplit_channel_implements_the_trait_without_blocking() {
+        // Queue of one frame, frames of two records: pushes must make
+        // progress by decoding in place rather than deadlocking.
+        let mut ch = LiveFrameChannel::new(
+            1,
+            FrameConfig {
+                records_per_frame: 2,
+                compress: true,
+            },
+        );
+        let mut popped = Vec::new();
+        for i in 0..100 {
+            match ch.push_record(&rec(0x1000 + i * 8), i) {
+                PushOutcome::BackPressure { .. } => panic!("live channel never parks"),
+                PushOutcome::Buffered | PushOutcome::Sealed { .. } => {}
+            }
+        }
+        ch.flush(100);
+        while let Some(p) = ch.pop_record() {
+            popped.push(p.record.pc);
+        }
+        assert_eq!(popped.len(), 100);
+        assert!(popped.windows(2).all(|w| w[0] < w[1]), "in order");
+        assert_eq!(ch.stats().records, 100);
     }
 }

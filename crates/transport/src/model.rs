@@ -1,34 +1,50 @@
-//! Deterministic timed log-buffer model.
+//! Deterministic timed log-buffer model, accounted in frames.
 
 use std::collections::VecDeque;
 use std::fmt;
 
+use lba_compress::{Frame, FrameConfig, FrameDecoder, FrameEncoder, FRAME_LINE_BYTES};
 use lba_record::EventRecord;
 
-/// A log entry annotated with its compressed size and production time.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct TimedEntry {
-    /// The event record.
-    pub record: EventRecord,
-    /// Compressed size in bits (occupancy accounting).
-    pub bits: u64,
-    /// Application-core cycle at which the entry became available.
+use crate::channel::{ChannelStats, LogChannel, PoppedRecord, PushOutcome};
+
+/// A sealed log frame annotated with its production time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimedFrame {
+    /// The frame's wire image (header + payload + padding).
+    pub bytes: Vec<u8>,
+    /// Records carried.
+    pub records: u32,
+    /// Producer-core cycle at which the frame became available.
     pub ready_at: u64,
 }
 
+impl TimedFrame {
+    /// Wire bits this frame occupies in the buffer.
+    #[must_use]
+    pub fn wire_bits(&self) -> u64 {
+        self.bytes.len() as u64 * 8
+    }
+}
+
 /// Error returned by [`LogBufferModel::try_push`] when the buffer cannot
-/// accept the entry.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// accept the frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BufferFullError {
-    /// Bits that were requested.
-    pub bits: u64,
+    /// The frame that was rejected, handed back to the caller.
+    pub frame: TimedFrame,
     /// Bits currently free.
     pub free_bits: u64,
 }
 
 impl fmt::Display for BufferFullError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "log buffer full: need {} bits, {} free", self.bits, self.free_bits)
+        write!(
+            f,
+            "log buffer full: need {} bits, {} free",
+            self.frame.wire_bits(),
+            self.free_bits
+        )
     }
 }
 
@@ -37,24 +53,36 @@ impl std::error::Error for BufferFullError {}
 /// Occupancy statistics for a [`LogBufferModel`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TransportStats {
-    /// Entries pushed over the buffer's lifetime.
-    pub entries: u64,
-    /// Total bits pushed.
-    pub bits: u64,
+    /// Frames pushed over the buffer's lifetime.
+    pub frames: u64,
+    /// Total wire bits pushed.
+    pub wire_bits: u64,
     /// High-water mark of occupancy, in bits.
     pub high_water_bits: u64,
 }
 
 /// The bounded log buffer connecting the two cores, with timestamped
-/// entries for exact back-pressure simulation.
+/// frames for exact back-pressure simulation.
 ///
 /// Capacity is a *byte* budget: the paper sizes the buffer as a memory
-/// region in the cache hierarchy, and compressed records are variable
-/// length, so occupancy is tracked in bits.
+/// region in the cache hierarchy. Occupancy is accounted in whole frames —
+/// the transport unit is a cache-line multiple, not a record.
+///
+/// # Examples
+///
+/// ```
+/// use lba_transport::{LogBufferModel, TimedFrame};
+///
+/// let mut buf = LogBufferModel::new(256); // 256-byte budget: four lines
+/// let frame = TimedFrame { bytes: vec![0; 64], records: 10, ready_at: 100 };
+/// assert!(buf.try_push(frame).is_ok());
+/// let frame = buf.pop().expect("one frame queued");
+/// assert_eq!(frame.ready_at, 100);
+/// ```
 #[derive(Debug, Clone)]
 pub struct LogBufferModel {
     capacity_bits: u64,
-    queue: VecDeque<TimedEntry>,
+    queue: VecDeque<TimedFrame>,
     occupied_bits: u64,
     stats: TransportStats,
 }
@@ -88,17 +116,17 @@ impl LogBufferModel {
         self.occupied_bits
     }
 
-    /// Whether an entry of `bits` fits right now.
+    /// Whether a frame of `bits` fits right now.
     ///
-    /// Oversized entries (larger than the whole buffer) are admitted when
-    /// the buffer is empty, so a single huge record cannot wedge the
+    /// Oversized frames (larger than the whole buffer) are admitted when
+    /// the buffer is empty, so a single huge frame cannot wedge the
     /// pipeline.
     #[must_use]
     pub fn fits(&self, bits: u64) -> bool {
         self.occupied_bits + bits <= self.capacity_bits || self.queue.is_empty()
     }
 
-    /// Number of queued entries.
+    /// Number of queued frames.
     #[must_use]
     pub fn len(&self) -> usize {
         self.queue.len()
@@ -116,46 +144,218 @@ impl LogBufferModel {
         self.stats
     }
 
-    /// Pushes an entry produced at application-cycle `ready_at`.
+    /// Pushes a sealed frame.
     ///
     /// # Errors
     ///
-    /// Returns [`BufferFullError`] when the entry does not fit; the caller
-    /// (co-simulation) must drain entries and retry, charging the
-    /// application core the stall time.
-    pub fn try_push(
-        &mut self,
-        record: EventRecord,
-        bits: u64,
-        ready_at: u64,
-    ) -> Result<(), BufferFullError> {
+    /// Returns [`BufferFullError`] (carrying the frame back) when it does
+    /// not fit; the caller must drain frames and retry, charging the
+    /// producer core the stall time.
+    pub fn try_push(&mut self, frame: TimedFrame) -> Result<(), BufferFullError> {
+        let bits = frame.wire_bits();
         if !self.fits(bits) {
             return Err(BufferFullError {
-                bits,
-                // Saturating: an admitted oversized entry can leave the
+                frame,
+                // Saturating: an admitted oversized frame can leave the
                 // buffer over-full.
                 free_bits: self.capacity_bits.saturating_sub(self.occupied_bits),
             });
         }
-        self.queue.push_back(TimedEntry { record, bits, ready_at });
         self.occupied_bits += bits;
-        self.stats.entries += 1;
-        self.stats.bits += bits;
+        self.stats.frames += 1;
+        self.stats.wire_bits += bits;
         self.stats.high_water_bits = self.stats.high_water_bits.max(self.occupied_bits);
+        self.queue.push_back(frame);
         Ok(())
     }
 
-    /// Removes and returns the oldest entry.
-    pub fn pop(&mut self) -> Option<TimedEntry> {
-        let entry = self.queue.pop_front()?;
-        self.occupied_bits -= entry.bits;
-        Some(entry)
+    /// Removes and returns the oldest frame, freeing its bits.
+    pub fn pop(&mut self) -> Option<TimedFrame> {
+        let frame = self.queue.pop_front()?;
+        self.occupied_bits -= frame.wire_bits();
+        Some(frame)
     }
 
-    /// Peeks at the oldest entry without removing it.
+    /// Peeks at the oldest frame without removing it.
     #[must_use]
-    pub fn front(&self) -> Option<&TimedEntry> {
+    pub fn front(&self) -> Option<&TimedFrame> {
         self.queue.front()
+    }
+}
+
+/// The deterministic [`LogChannel`]: a real [`FrameEncoder`] feeding a
+/// [`LogBufferModel`], with frames decoded back to records on the consumer
+/// side by a [`FrameDecoder`].
+///
+/// The co-simulation drives this channel; because the encoder and decoder
+/// are the genuine codec, the modeled path exercises the same wire format
+/// as the live path, and `verify` cross-checks every decoded record against
+/// the pushed original (with memory bounded by the frames in flight).
+#[derive(Debug)]
+pub struct ModeledFrameChannel {
+    encoder: FrameEncoder,
+    decoder: FrameDecoder,
+    buffer: LogBufferModel,
+    /// Sealed frames awaiting space, oldest first.
+    parked: VecDeque<Frame>,
+    /// Records of the frame currently being consumed.
+    open: VecDeque<EventRecord>,
+    open_ready_at: u64,
+    /// Wire bits of the open frame: its buffer space stays occupied until
+    /// the consumer takes its last record (the dispatch engine reads the
+    /// frame's lines out of the buffer as it processes them).
+    open_held_bits: u64,
+    /// Originals awaiting verification (only populated when `verify`).
+    originals: VecDeque<EventRecord>,
+    verify: bool,
+    scratch: Vec<EventRecord>,
+}
+
+impl ModeledFrameChannel {
+    /// Creates a channel with a `capacity_bytes` buffer budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity_bytes` is smaller than one cache-line frame
+    /// ([`FRAME_LINE_BYTES`]) — callers should reject such configurations
+    /// with a proper error first.
+    #[must_use]
+    pub fn new(capacity_bytes: u64, config: FrameConfig, verify: bool) -> Self {
+        assert!(
+            capacity_bytes >= FRAME_LINE_BYTES as u64,
+            "log buffer of {capacity_bytes} B cannot hold a single {FRAME_LINE_BYTES} B frame"
+        );
+        ModeledFrameChannel {
+            encoder: FrameEncoder::new(config),
+            decoder: FrameDecoder::new(config),
+            buffer: LogBufferModel::new(capacity_bytes),
+            parked: VecDeque::new(),
+            open: VecDeque::new(),
+            open_ready_at: 0,
+            open_held_bits: 0,
+            originals: VecDeque::new(),
+            verify,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// The underlying buffer, for occupancy inspection.
+    #[must_use]
+    pub fn buffer(&self) -> &LogBufferModel {
+        &self.buffer
+    }
+
+    /// Whether a frame of `wire_bits` fits, counting the open frame's
+    /// still-held space. The oversized escape hatch only applies when the
+    /// channel is completely drained.
+    fn frame_fits(&self, wire_bits: u64) -> bool {
+        self.open_held_bits + self.buffer.occupied_bits() + wire_bits <= self.buffer.capacity_bits()
+            || (self.buffer.is_empty() && self.open.is_empty())
+    }
+
+    fn admit_or_park(&mut self, frame: Frame, now: u64) -> PushOutcome {
+        let wire_bits = frame.wire_bits();
+        if !self.parked.is_empty() {
+            // Preserve frame order behind earlier parked frames.
+            self.parked.push_back(frame);
+            return PushOutcome::BackPressure { wire_bits };
+        }
+        if !self.frame_fits(wire_bits) {
+            self.parked.push_back(frame);
+            return PushOutcome::BackPressure { wire_bits };
+        }
+        let timed = TimedFrame {
+            bytes: frame.bytes,
+            records: frame.records,
+            ready_at: now,
+        };
+        self.buffer.try_push(timed).expect("frame_fits was checked");
+        PushOutcome::Sealed { wire_bits }
+    }
+}
+
+impl LogChannel for ModeledFrameChannel {
+    fn push_record(&mut self, record: &EventRecord, now: u64) -> PushOutcome {
+        if self.verify {
+            self.originals.push_back(*record);
+        }
+        match self.encoder.push(record) {
+            Some(frame) => self.admit_or_park(frame, now),
+            None => PushOutcome::Buffered,
+        }
+    }
+
+    fn flush(&mut self, now: u64) -> PushOutcome {
+        match self.encoder.flush() {
+            Some(frame) => self.admit_or_park(frame, now),
+            None => PushOutcome::Buffered,
+        }
+    }
+
+    fn pop_record(&mut self) -> Option<PoppedRecord> {
+        loop {
+            if let Some(record) = self.open.pop_front() {
+                if self.open.is_empty() {
+                    // Last record consumed: the frame's lines are free.
+                    self.open_held_bits = 0;
+                }
+                return Some(PoppedRecord {
+                    record,
+                    ready_at: self.open_ready_at,
+                });
+            }
+            let frame = self.buffer.pop()?;
+            self.open_held_bits = frame.wire_bits();
+            self.scratch.clear();
+            self.decoder
+                .decode_frame(&frame.bytes, &mut self.scratch)
+                .unwrap_or_else(|e| panic!("modeled frame failed to decode: {e}"));
+            if self.verify {
+                for decoded in &self.scratch {
+                    let original = self
+                        .originals
+                        .pop_front()
+                        .expect("more decoded records than were pushed");
+                    assert_eq!(
+                        *decoded, original,
+                        "frame round-trip mismatch: decoded {decoded:?}, pushed {original:?}"
+                    );
+                }
+            }
+            self.open.extend(self.scratch.drain(..));
+            self.open_ready_at = frame.ready_at;
+        }
+    }
+
+    fn has_parked(&self) -> bool {
+        !self.parked.is_empty()
+    }
+
+    fn retry_parked(&mut self, now: u64) -> Option<u64> {
+        let frame = self.parked.front()?;
+        if !self.frame_fits(frame.wire_bits()) {
+            return None;
+        }
+        let frame = self.parked.pop_front().expect("checked above");
+        let wire_bits = frame.wire_bits();
+        let timed = TimedFrame {
+            bytes: frame.bytes,
+            records: frame.records,
+            ready_at: now,
+        };
+        self.buffer.try_push(timed).expect("fits was checked");
+        Some(wire_bits)
+    }
+
+    fn stats(&self) -> ChannelStats {
+        let enc = self.encoder.stats();
+        ChannelStats {
+            records: enc.records,
+            frames: enc.frames,
+            payload_bits: enc.payload_bits,
+            wire_bits: enc.wire_bits,
+            high_water_bits: self.buffer.stats().high_water_bits,
+        }
     }
 }
 
@@ -163,54 +363,68 @@ impl LogBufferModel {
 mod tests {
     use super::*;
 
-    fn rec(pc: u64) -> EventRecord {
-        EventRecord::alu(pc, 0, None, None, None)
+    fn frame(bytes: usize, ready_at: u64) -> TimedFrame {
+        TimedFrame {
+            bytes: vec![0; bytes],
+            records: 1,
+            ready_at,
+        }
     }
 
     #[test]
     fn fifo_order_preserved() {
         let mut buf = LogBufferModel::new(1024);
         for i in 0..10 {
-            buf.try_push(rec(i), 8, i).unwrap();
+            let mut f = frame(64, i);
+            f.records = i as u32;
+            buf.try_push(f).unwrap();
         }
         for i in 0..10 {
-            let e = buf.pop().unwrap();
-            assert_eq!(e.record.pc, i);
-            assert_eq!(e.ready_at, i);
+            let f = buf.pop().unwrap();
+            assert_eq!(f.records, i as u32);
+            assert_eq!(f.ready_at, i);
         }
         assert!(buf.pop().is_none());
     }
 
     #[test]
-    fn occupancy_tracks_bits() {
-        let mut buf = LogBufferModel::new(4); // 32 bits
-        buf.try_push(rec(0), 20, 0).unwrap();
-        assert_eq!(buf.occupied_bits(), 20);
-        let err = buf.try_push(rec(1), 20, 1).unwrap_err();
-        assert_eq!(err.free_bits, 12);
+    fn occupancy_tracks_wire_bits() {
+        let mut buf = LogBufferModel::new(128); // two lines
+        buf.try_push(frame(64, 0)).unwrap();
+        assert_eq!(buf.occupied_bits(), 512);
+        buf.try_push(frame(64, 1)).unwrap();
+        let err = buf.try_push(frame(64, 2)).unwrap_err();
+        assert_eq!(err.free_bits, 0);
+        assert_eq!(err.frame.ready_at, 2, "rejected frame is handed back");
         buf.pop().unwrap();
-        assert_eq!(buf.occupied_bits(), 0);
-        buf.try_push(rec(1), 20, 1).unwrap();
+        assert_eq!(buf.occupied_bits(), 512);
+        buf.try_push(frame(64, 2)).unwrap();
     }
 
     #[test]
-    fn oversized_entry_admitted_when_empty() {
-        let mut buf = LogBufferModel::new(1); // 8 bits
-        assert!(buf.try_push(rec(0), 64, 0).is_ok(), "oversized entry must not wedge");
-        assert!(buf.try_push(rec(1), 1, 0).is_err(), "but the buffer is now over-full");
+    fn oversized_frame_admitted_when_empty() {
+        let mut buf = LogBufferModel::new(64);
+        assert!(
+            buf.try_push(frame(192, 0)).is_ok(),
+            "oversized frame must not wedge"
+        );
+        assert!(
+            buf.try_push(frame(64, 0)).is_err(),
+            "but the buffer is now over-full"
+        );
         buf.pop().unwrap();
-        assert!(buf.try_push(rec(1), 1, 0).is_ok());
+        assert!(buf.try_push(frame(64, 0)).is_ok());
     }
 
     #[test]
     fn high_water_mark_recorded() {
-        let mut buf = LogBufferModel::new(16);
-        buf.try_push(rec(0), 40, 0).unwrap();
-        buf.try_push(rec(1), 40, 0).unwrap();
+        let mut buf = LogBufferModel::new(256);
+        buf.try_push(frame(64, 0)).unwrap();
+        buf.try_push(frame(128, 0)).unwrap();
         buf.pop().unwrap();
-        assert_eq!(buf.stats().high_water_bits, 80);
-        assert_eq!(buf.stats().entries, 2);
-        assert_eq!(buf.stats().bits, 80);
+        assert_eq!(buf.stats().high_water_bits, 192 * 8);
+        assert_eq!(buf.stats().frames, 2);
+        assert_eq!(buf.stats().wire_bits, 192 * 8);
     }
 
     #[test]
@@ -221,9 +435,106 @@ mod tests {
 
     #[test]
     fn front_peeks_without_removing() {
-        let mut buf = LogBufferModel::new(64);
-        buf.try_push(rec(7), 8, 3).unwrap();
-        assert_eq!(buf.front().unwrap().record.pc, 7);
+        let mut buf = LogBufferModel::new(256);
+        buf.try_push(frame(64, 3)).unwrap();
+        assert_eq!(buf.front().unwrap().ready_at, 3);
         assert_eq!(buf.len(), 1);
+    }
+
+    mod channel {
+        use super::*;
+
+        fn rec(i: u64) -> EventRecord {
+            EventRecord::load(0x1000, 0, Some(1), None, 0x4000_0000 + i * 8, 8)
+        }
+
+        fn config(records_per_frame: usize) -> FrameConfig {
+            FrameConfig {
+                records_per_frame,
+                compress: true,
+            }
+        }
+
+        #[test]
+        fn push_pop_round_trips_with_frame_timestamps() {
+            let mut ch = ModeledFrameChannel::new(1 << 16, config(4), true);
+            for i in 0..10 {
+                ch.push_record(&rec(i), 100 + i);
+            }
+            assert!(matches!(ch.flush(200), PushOutcome::Sealed { .. }));
+            let mut seen = 0u64;
+            while let Some(popped) = ch.pop_record() {
+                assert_eq!(popped.record, rec(seen));
+                // Records 0..3 sealed when record 3 was pushed (t=103), etc.
+                let expected_ready = match seen {
+                    0..=3 => 103,
+                    4..=7 => 107,
+                    _ => 200,
+                };
+                assert_eq!(popped.ready_at, expected_ready, "record {seen}");
+                seen += 1;
+            }
+            assert_eq!(seen, 10);
+            let stats = ch.stats();
+            assert_eq!(stats.records, 10);
+            assert_eq!(stats.frames, 3);
+            assert!(stats.wire_bits >= stats.payload_bits);
+        }
+
+        #[test]
+        fn back_pressure_parks_and_retries_in_order() {
+            // One-line budget: the second frame must park.
+            let mut ch = ModeledFrameChannel::new(64, config(2), false);
+            ch.push_record(&rec(0), 0);
+            assert!(matches!(
+                ch.push_record(&rec(1), 1),
+                PushOutcome::Sealed { .. }
+            ));
+            ch.push_record(&rec(2), 2);
+            let outcome = ch.push_record(&rec(3), 3);
+            assert!(matches!(outcome, PushOutcome::BackPressure { .. }));
+            assert!(ch.has_parked());
+            assert!(ch.retry_parked(4).is_none(), "no space freed yet");
+            // The frame's space stays occupied until its *last* record is
+            // consumed, so draining one record is not enough.
+            assert_eq!(ch.pop_record().unwrap().record, rec(0));
+            assert!(
+                ch.retry_parked(4).is_none(),
+                "open frame still holds its lines"
+            );
+            assert_eq!(ch.pop_record().unwrap().record, rec(1));
+            assert!(ch.retry_parked(4).is_some());
+            assert!(!ch.has_parked());
+            assert_eq!(ch.pop_record().unwrap().record, rec(2));
+            assert_eq!(ch.pop_record().unwrap().record, rec(3));
+            assert!(ch.pop_record().is_none());
+        }
+
+        #[test]
+        fn raw_mode_round_trips() {
+            let mut ch = ModeledFrameChannel::new(
+                1 << 16,
+                FrameConfig {
+                    records_per_frame: 3,
+                    compress: false,
+                },
+                true,
+            );
+            for i in 0..7 {
+                ch.push_record(&rec(i), i);
+            }
+            ch.flush(7);
+            let mut n = 0;
+            while ch.pop_record().is_some() {
+                n += 1;
+            }
+            assert_eq!(n, 7);
+        }
+
+        #[test]
+        #[should_panic(expected = "cannot hold a single")]
+        fn sub_line_budget_rejected() {
+            let _ = ModeledFrameChannel::new(1, config(4), false);
+        }
     }
 }

@@ -247,7 +247,10 @@ mod tests {
     fn exploit_payload_targets_privileged_code() {
         let p = exploit();
         let payload_target = u64::from_le_bytes(p.input()[32..40].try_into().unwrap());
-        assert!(p.index_of(payload_target).is_some(), "payload must be a valid code address");
+        assert!(
+            p.index_of(payload_target).is_some(),
+            "payload must be a valid code address"
+        );
     }
 
     #[test]

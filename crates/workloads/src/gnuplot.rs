@@ -19,8 +19,14 @@ const POINT_BASE: i64 = GLOBAL_BASE as i64 + 0x20_000;
 pub(crate) fn build(scale: u32) -> Program {
     let mut asm = Assembler::new("gnuplot");
     let mut rand = rng::rng_for("gnuplot");
-    asm.data(SAMPLE_BASE as u64, rng::bytes(&mut rand, (SAMPLES * 8) as usize));
-    asm.data(COEFF_BASE as u64, rng::bytes(&mut rand, (SAMPLES * 8) as usize));
+    asm.data(
+        SAMPLE_BASE as u64,
+        rng::bytes(&mut rand, (SAMPLES * 8) as usize),
+    );
+    asm.data(
+        COEFF_BASE as u64,
+        rng::bytes(&mut rand, (SAMPLES * 8) as usize),
+    );
 
     let (ps, pc, pp) = (r(1), r(2), r(3));
     let (pass, i) = (r(4), r(5));

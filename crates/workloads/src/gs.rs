@@ -17,7 +17,10 @@ const TEXTURE_BASE: i64 = GLOBAL_BASE as i64;
 pub(crate) fn build(scale: u32) -> Program {
     let mut asm = Assembler::new("gs");
     let mut rand = rng::rng_for("gs");
-    asm.data(TEXTURE_BASE as u64, rng::bytes(&mut rand, BUF_BYTES as usize));
+    asm.data(
+        TEXTURE_BASE as u64,
+        rng::bytes(&mut rand, BUF_BYTES as usize),
+    );
 
     let (page, buf, size) = (r(1), r(2), r(3));
     let (p, q, i) = (r(4), r(5), r(6));

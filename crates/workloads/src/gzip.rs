@@ -14,7 +14,6 @@ const CHUNKS: i64 = 16;
 const CHUNK_BYTES: i64 = 1024;
 const HASH_BASE: i64 = GLOBAL_BASE as i64;
 
-
 pub(crate) fn build(scale: u32) -> Program {
     let mut asm = Assembler::new("gzip");
     let mut rand = rng::rng_for("gzip");
@@ -53,7 +52,7 @@ pub(crate) fn build(scale: u32) -> Program {
     asm.addi(a, a, HASH_BASE);
     asm.load(c0, a, 0, Width::B4); // previous position for this hash
     asm.store(pos, a, 0, Width::B4); // chain update
-    // Probe the window at the chained position for a match.
+                                     // Probe the window at the chained position for a match.
     asm.andi(c0, c0, 0x3ff);
     asm.add(c0, c0, window);
     asm.load(c0, c0, 0, Width::B1);

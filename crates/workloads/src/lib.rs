@@ -171,7 +171,10 @@ mod tests {
         machine
             .run(&mut mem, |r| stats.observe(&r.record))
             .unwrap_or_else(|e| panic!("{} failed: {e}", benchmark.name()));
-        let counts = EventKind::ALL.iter().map(|&k| (k, stats.count(k))).collect();
+        let counts = EventKind::ALL
+            .iter()
+            .map(|&k| (k, stats.count(k)))
+            .collect();
         (stats, counts)
     }
 
@@ -223,7 +226,11 @@ mod tests {
             let program = benchmark.build();
             assert!(program.entries().len() >= 2, "{}", benchmark.name());
             let (stats, _) = run(benchmark);
-            assert!(stats.count(EventKind::Lock) > 0, "{} must lock", benchmark.name());
+            assert!(
+                stats.count(EventKind::Lock) > 0,
+                "{} must lock",
+                benchmark.name()
+            );
             assert_eq!(
                 stats.count(EventKind::Lock),
                 stats.count(EventKind::Unlock),
@@ -244,7 +251,11 @@ mod tests {
     fn taint_source_benchmarks_recv_input() {
         for benchmark in [Benchmark::Gzip, Benchmark::Tidy, Benchmark::W3m] {
             let (stats, _) = run(benchmark);
-            assert!(stats.count(EventKind::Recv) > 0, "{} must recv", benchmark.name());
+            assert!(
+                stats.count(EventKind::Recv) > 0,
+                "{} must recv",
+                benchmark.name()
+            );
         }
     }
 
@@ -291,7 +302,10 @@ mod tests {
             n
         };
         let (n1, n2) = (count(&p1), count(&p2));
-        assert!(n2 > n1 * 3 / 2, "scale 2 ({n2}) should do much more work than scale 1 ({n1})");
+        assert!(
+            n2 > n1 * 3 / 2,
+            "scale 2 ({n2}) should do much more work than scale 1 ({n1})"
+        );
     }
 
     #[test]
@@ -310,7 +324,10 @@ mod tests {
             mem.core_stats(0).l1d.miss_ratio()
         };
         let (mcf, bc) = (miss_ratio(Benchmark::Mcf), miss_ratio(Benchmark::Bc));
-        assert!(mcf > 2.0 * bc, "mcf miss ratio {mcf:.3} should dwarf bc's {bc:.3}");
+        assert!(
+            mcf > 2.0 * bc,
+            "mcf miss ratio {mcf:.3} should dwarf bc's {bc:.3}"
+        );
     }
 
     #[test]

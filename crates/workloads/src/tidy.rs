@@ -57,7 +57,7 @@ pub(crate) fn build(scale: u32) -> Program {
     asm.load(t, t, 0, Width::B1);
     asm.store(c, pout, 0, Width::B1);
     asm.store(t, pout, 0x2000, Width::B1); // attribute map shadows output
-    // Every TAG_PERIOD bytes: allocate a parse node and record it.
+                                           // Every TAG_PERIOD bytes: allocate a parse node and record it.
     asm.subi(tagcnt, tagcnt, 1);
     asm.bne(tagcnt, Reg::ZERO, no_tag);
     asm.movi(tagcnt, TAG_PERIOD);

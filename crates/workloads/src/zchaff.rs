@@ -28,7 +28,10 @@ pub(crate) fn build(scale: u32) -> Program {
     let mut asm = Assembler::new("zchaff");
     let mut rand = rng::rng_for("zchaff");
     // The clause database: shared, read-only, too big for L1.
-    asm.data(CLAUSE_BASE as u64, rng::index_table(&mut rand, (CLAUSE_BYTES / 4) as usize, u32::MAX));
+    asm.data(
+        CLAUSE_BASE as u64,
+        rng::index_table(&mut rand, (CLAUSE_BYTES / 4) as usize, u32::MAX),
+    );
 
     let (seed, blocks, i) = (r(1), r(2), r(3));
     let (a, v, w, t) = (r(4), r(5), r(6), r(7));

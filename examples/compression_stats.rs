@@ -25,8 +25,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             row.ratio_vs_raw
         );
     }
-    let avg: f64 =
-        rows.iter().map(|r| r.bytes_per_instruction).sum::<f64>() / rows.len() as f64;
+    let avg: f64 = rows.iter().map(|r| r.bytes_per_instruction).sum::<f64>() / rows.len() as f64;
     println!("average     {avg:10.3}  (paper target: < 1 byte/instruction)");
     assert!(avg < 1.0);
 

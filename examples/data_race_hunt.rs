@@ -35,6 +35,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         clean.slowdown_vs(&baseline),
     );
     assert!(clean.findings.is_empty(), "no false positives on water");
-    println!("lockset checked {} shared accesses", lockset.checked_accesses());
+    println!(
+        "lockset checked {} shared accesses",
+        lockset.checked_accesses()
+    );
     Ok(())
 }

@@ -26,7 +26,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut writer = TraceWriter::new();
     machine.run(&mut mem, |r| writer.push(&r.record))?;
     let trace = writer.into_bytes();
-    println!("captured {} records ({} bytes raw trace)", TraceReader::new(&trace)?.remaining(), trace.len());
+    println!(
+        "captured {} records ({} bytes raw trace)",
+        TraceReader::new(&trace)?.remaining(),
+        trace.len()
+    );
 
     // 2. Replay through AddrCheck + a history index in one pass.
     let mut lg_mem = MemSystem::new(MemSystemConfig::dual_core());
@@ -51,12 +55,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\nwho last wrote {:#x}?", uaf.addr);
     for write in history.last_writers(uaf.addr) {
-        println!("  seq {:>6}: pc={:#x} wrote {} bytes at {:#x}", write.seq, write.pc, write.len, write.addr);
+        println!(
+            "  seq {:>6}: pc={:#x} wrote {} bytes at {:#x}",
+            write.seq, write.pc, write.len, write.addr
+        );
     }
 
-    println!("\nhow did thread {} get here (last control transfers)?", uaf.tid);
+    println!(
+        "\nhow did thread {} get here (last control transfers)?",
+        uaf.tid
+    );
     for hop in history.path_to_here(uaf.tid).into_iter().take(5) {
-        println!("  seq {:>6}: {:?} at pc={:#x} -> {:#x}", hop.seq, hop.kind, hop.pc, hop.target);
+        println!(
+            "  seq {:>6}: {:?} at pc={:#x} -> {:#x}",
+            hop.seq, hop.kind, hop.pc, hop.target
+        );
     }
 
     // 4. The always-on memory profile from the same log.

@@ -19,7 +19,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut addrcheck = AddrCheck::new();
     let report = run_lba(&program, &mut addrcheck, &config)?;
 
-    println!("memory-bugs under LBA AddrCheck ({:.1}x):", report.slowdown_vs(&baseline));
+    println!(
+        "memory-bugs under LBA AddrCheck ({:.1}x):",
+        report.slowdown_vs(&baseline)
+    );
     for kind in [
         FindingKind::UnallocatedAccess,
         FindingKind::DoubleFree,
@@ -33,7 +36,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
 
-    println!("\npipeline: {} records, {:.3} B/inst compressed", report.log.records, report.log.bytes_per_instruction);
+    println!(
+        "\npipeline: {} records, {:.3} B/inst compressed",
+        report.log.records, report.log.bytes_per_instruction
+    );
     println!(
         "stalls:   {} syscall-stall cycles over {} syscalls (containment)",
         report.stalls.syscall_stall_cycles, report.stalls.syscalls,

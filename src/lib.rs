@@ -18,12 +18,12 @@
 //!  │  lba-cpu       │  machine model: threads, clocks, syscalls    │
 //!  │       │        │                            │        ▲       │
 //!  │   capture      │                            │    dispatch    │
-//!  │ (lba-record)───┼── value-prediction-based ──┼─▶ (lba-lifeguard)
-//!  │       │        │   compression              │        │       │
-//!  │  lba-compress ─┼──▶ log buffer in the ──────┼─▶ lba-lifeguards
-//!  │                │    cache hierarchy         │  AddrCheck ·   │
-//!  │  lba-cache     │   (lba-transport, either   │  TaintCheck ·  │
-//!  │  lba-mem       │    modelled or live SPSC)  │  LockSet ·     │
+//!  │ (lba-record)───┼─ VPC compression + frame ──┼─▶ (lba-lifeguard)
+//!  │       │        │  packing (lba-compress)    │        │       │
+//!  │  FrameEncoder ─┼─▶ LogChannel: cache-line ──┼─▶ lba-lifeguards
+//!  │                │   frames through the       │  AddrCheck ·   │
+//!  │  lba-cache     │   hierarchy (lba-transport,│  TaintCheck ·  │
+//!  │  lba-mem       │   modelled or live SPSC)   │  LockSet ·     │
 //!  └────────────────┘                            │  MemProfile    │
 //!                                                └────────────────┘
 //! ```
@@ -37,8 +37,8 @@
 //! | `lba-cpu`        | execution substrate: machine, threads, run errors     |
 //! | `lba-cache`      | set-associative caches and the two-core memory system |
 //! | `lba-record`     | the typed event-record vocabulary the log carries     |
-//! | `lba-compress`   | value-prediction log compression (< 1 byte/instr)     |
-//! | `lba-transport`  | log buffer timing model + live cross-thread channel   |
+//! | `lba-compress`   | value-prediction log compression + chunked frame codec (< 1 byte/instr on the wire) |
+//! | `lba-transport`  | `LogChannel` trait: framed buffer timing model + live cross-thread frame channel |
 //! | `lba-lifeguard`  | dispatch engine, event filters, findings, history     |
 //! | `lba-lifeguards` | the paper's four lifeguards                           |
 //! | `lba-dbi`        | Valgrind-style inline instrumentation baseline        |
@@ -49,11 +49,12 @@
 //! ## Execution models
 //!
 //! * [`run_unmonitored`] — the baseline: the program alone on one core;
-//! * [`run_lba`] — the proposed system: capture → compression → log buffer →
-//!   dispatch → lifeguard on a second core, with decoupled clocks,
-//!   back-pressure, and syscall-stall containment;
-//! * [`run_live`] — the same pipeline over a real SPSC channel between OS
-//!   threads instead of the deterministic timing model;
+//! * [`run_lba`] — the proposed system: capture → compression → framed log
+//!   channel → dispatch → lifeguard on a second core, with decoupled
+//!   clocks, back-pressure, and syscall-stall containment;
+//! * [`run_live`] — the same framed pipeline over a real SPSC channel
+//!   between OS threads instead of the deterministic timing model: one
+//!   queue operation per frame, real wire bytes measured and reported;
 //! * [`run_dbi`] — the comparison point: the lifeguard inlined via dynamic
 //!   binary instrumentation on the application core.
 //!
@@ -83,8 +84,8 @@
 //! ```
 
 pub use lba_core::{
-    experiment, parallel, report, table, LifeguardKind, LogConfig, LogStats, Mode, RunError,
-    RunReport, StallBreakdown, SystemConfig,
+    experiment, parallel, report, table, LifeguardKind, LiveReport, LogConfig, LogStats, Mode,
+    RunError, RunReport, StallBreakdown, SystemConfig,
 };
 pub use lba_core::{run_dbi, run_lba, run_live, run_unmonitored};
 
@@ -119,7 +120,13 @@ mod facade_smoke {
         let mut lifeguard = kind.make_lba();
         let monitored = crate::run_lba(&program, lifeguard.as_mut(), &config).expect("lba runs");
 
-        assert!(!monitored.findings.is_empty(), "planted bugs must be caught");
-        assert!(monitored.slowdown_vs(&baseline) > 1.0, "monitoring is not free");
+        assert!(
+            !monitored.findings.is_empty(),
+            "planted bugs must be caught"
+        );
+        assert!(
+            monitored.slowdown_vs(&baseline) > 1.0,
+            "monitoring is not free"
+        );
     }
 }

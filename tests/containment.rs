@@ -42,7 +42,10 @@ fn disabling_containment_removes_the_stalls_but_not_detection() {
     // Detection itself does not depend on the stall — only the guarantee
     // about *when* relative to the kernel boundary.
     for report in [&on, &off] {
-        assert!(report.findings_of(FindingKind::TaintedSyscallArg).next().is_some());
+        assert!(report
+            .findings_of(FindingKind::TaintedSyscallArg)
+            .next()
+            .is_some());
     }
 }
 

@@ -27,14 +27,31 @@ fn memory_bugs_caught_under_all_execution_models() {
     let dbi = run_dbi(&program, lg.as_mut(), &config()).unwrap();
     let mut lg = LifeguardKind::AddrCheck.make_lba();
     let live = run_live(&program, lg.as_mut(), &config()).unwrap();
-    let par = run_lba_parallel(&program, || LifeguardKind::AddrCheck.make_lba(), 4, &config())
-        .unwrap();
+    let par = run_lba_parallel(
+        &program,
+        || LifeguardKind::AddrCheck.make_lba(),
+        4,
+        &config(),
+    )
+    .unwrap();
 
     for kind in expected {
-        assert!(lba.findings.iter().any(|f| f.kind == kind), "LBA missing {kind}");
-        assert!(dbi.findings.iter().any(|f| f.kind == kind), "DBI missing {kind}");
-        assert!(live.iter().any(|f| f.kind == kind), "live missing {kind}");
-        assert!(par.findings.iter().any(|f| f.kind == kind), "parallel missing {kind}");
+        assert!(
+            lba.findings.iter().any(|f| f.kind == kind),
+            "LBA missing {kind}"
+        );
+        assert!(
+            dbi.findings.iter().any(|f| f.kind == kind),
+            "DBI missing {kind}"
+        );
+        assert!(
+            live.findings.iter().any(|f| f.kind == kind),
+            "live missing {kind}"
+        );
+        assert!(
+            par.findings.iter().any(|f| f.kind == kind),
+            "parallel missing {kind}"
+        );
     }
 }
 
@@ -58,7 +75,10 @@ fn tainted_syscall_argument_caught() {
     let program = bugs::tainted_syscall();
     let mut lg = LifeguardKind::TaintCheck.make_lba();
     let report = run_lba(&program, lg.as_mut(), &config()).unwrap();
-    assert!(report.findings_of(FindingKind::TaintedSyscallArg).next().is_some());
+    assert!(report
+        .findings_of(FindingKind::TaintedSyscallArg)
+        .next()
+        .is_some());
 }
 
 #[test]
@@ -86,7 +106,12 @@ fn lba_and_dbi_produce_identical_findings_on_bug_programs() {
         // only in cost model, not semantics.
         let mut lg = kind.make_dbi();
         let dbi = run_dbi(&program, lg.as_mut(), &config()).unwrap();
-        assert_eq!(lba.findings, dbi.findings, "{}: finding mismatch", program.name());
+        assert_eq!(
+            lba.findings,
+            dbi.findings,
+            "{}: finding mismatch",
+            program.name()
+        );
     }
 }
 
@@ -110,6 +135,11 @@ fn clean_benchmarks_stay_clean_everywhere() {
         let program = benchmark.build();
         let mut lg = LifeguardKind::LockSet.make_lba();
         let report = run_lba(&program, lg.as_mut(), &config()).unwrap();
-        assert!(report.findings.is_empty(), "{}: {:?}", benchmark.name(), report.findings);
+        assert!(
+            report.findings.is_empty(),
+            "{}: {:?}",
+            benchmark.name(),
+            report.findings
+        );
     }
 }

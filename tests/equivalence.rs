@@ -22,7 +22,55 @@ fn live_pipeline_matches_cosim_on_every_bug_program() {
         let cosim = run_lba(&program, lg.as_mut(), &config()).unwrap();
         let mut lg = kind.make_lba();
         let live = run_live(&program, lg.as_mut(), &config()).unwrap();
-        assert_eq!(cosim.findings, live, "{}: live/cosim mismatch", program.name());
+        assert_eq!(
+            cosim.findings,
+            live.findings,
+            "{}: live/cosim mismatch",
+            program.name()
+        );
+    }
+}
+
+#[test]
+fn live_pipeline_matches_cosim_for_all_four_lifeguards() {
+    // One lifeguard of each kind, each on a program that exercises it;
+    // modeled and live transports must agree finding-for-finding, and the
+    // two channels must ship the identical framed byte stream.
+    type MakeLifeguard = fn() -> Box<dyn lba_lifeguard::Lifeguard>;
+    let cases: Vec<(_, MakeLifeguard)> = vec![
+        (bugs::memory_bugs(), || {
+            Box::new(lba_lifeguards::AddrCheck::new())
+        }),
+        (bugs::exploit(), || {
+            Box::new(lba_lifeguards::TaintCheck::new())
+        }),
+        (bugs::data_race(), || {
+            Box::new(lba_lifeguards::LockSet::new())
+        }),
+        (bugs::memory_bugs(), || {
+            Box::new(lba_lifeguards::MemProfile::new())
+        }),
+    ];
+    for (program, make) in cases {
+        let mut lg = make();
+        let cosim = run_lba(&program, lg.as_mut(), &config()).unwrap();
+        let mut lg = make();
+        let live = run_live(&program, lg.as_mut(), &config()).unwrap();
+        assert_eq!(
+            cosim.findings,
+            live.findings,
+            "{}/{}: live/cosim mismatch",
+            program.name(),
+            make().name()
+        );
+        assert_eq!(cosim.log.records, live.log.records, "{}", program.name());
+        assert_eq!(cosim.log.frames, live.log.frames, "{}", program.name());
+        assert_eq!(
+            cosim.log.wire_bits,
+            live.log.wire_bits,
+            "{}",
+            program.name()
+        );
     }
 }
 
@@ -33,21 +81,37 @@ fn live_pipeline_matches_cosim_on_a_real_benchmark() {
     let cosim = run_lba(&program, lg.as_mut(), &config()).unwrap();
     let mut lg = LifeguardKind::AddrCheck.make_lba();
     let live = run_live(&program, lg.as_mut(), &config()).unwrap();
-    assert_eq!(cosim.findings, live);
+    assert_eq!(cosim.findings, live.findings);
+    // The live channel carries real wire bytes: under a byte per
+    // instruction with compression on, and identical to the model's.
+    assert!(live.log.wire_bytes_per_instruction < 1.0);
+    assert_eq!(cosim.log.wire_bits, live.log.wire_bits);
 }
 
 #[test]
 fn parallel_shards_agree_with_single_lifeguard() {
     for shards in [2usize, 3, 4] {
         let program = bugs::memory_bugs();
-        let single =
-            run_lba_parallel(&program, || LifeguardKind::AddrCheck.make_lba(), 1, &config())
-                .unwrap();
-        let sharded =
-            run_lba_parallel(&program, || LifeguardKind::AddrCheck.make_lba(), shards, &config())
-                .unwrap();
+        let single = run_lba_parallel(
+            &program,
+            || LifeguardKind::AddrCheck.make_lba(),
+            1,
+            &config(),
+        )
+        .unwrap();
+        let sharded = run_lba_parallel(
+            &program,
+            || LifeguardKind::AddrCheck.make_lba(),
+            shards,
+            &config(),
+        )
+        .unwrap();
         // Same set of findings (order may differ across shard counts).
-        assert_eq!(single.findings.len(), sharded.findings.len(), "{shards} shards");
+        assert_eq!(
+            single.findings.len(),
+            sharded.findings.len(),
+            "{shards} shards"
+        );
         for f in &single.findings {
             assert!(
                 sharded
@@ -80,7 +144,11 @@ fn lba_runs_are_reproducible() {
         let r = run_lba(&program, lg.as_mut(), &config()).unwrap();
         (r.total_cycles, r.log.compressed_bits, r.findings.len())
     };
-    assert_eq!(run(), run(), "deterministic co-simulation must reproduce exactly");
+    assert_eq!(
+        run(),
+        run(),
+        "deterministic co-simulation must reproduce exactly"
+    );
 }
 
 #[test]

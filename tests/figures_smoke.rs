@@ -16,7 +16,12 @@ fn figure2_lockset_panel_shape() {
     assert_eq!(rows.len(), 2, "water and zchaff");
     for row in &rows {
         // Valgrind lifeguards incur large slowdowns…
-        assert!(row.valgrind > 8.0, "{}: valgrind only {:.1}x", row.benchmark, row.valgrind);
+        assert!(
+            row.valgrind > 8.0,
+            "{}: valgrind only {:.1}x",
+            row.benchmark,
+            row.valgrind
+        );
         // …and LBA is markedly faster, though still a slowdown.
         assert!(row.lba > 1.5, "{}: lba suspiciously fast", row.benchmark);
         assert!(
@@ -42,8 +47,16 @@ fn figure2_addrcheck_panel_shape() {
     // Paper: Valgrind 10-85x band (averages well above LBA).
     assert!(summary.valgrind_avg > 3.0 * summary.lba_avg);
     // Paper: LBA lifeguards are 4-19x faster than Valgrind lifeguards.
-    assert!(summary.speedup_min > 2.5, "min speedup {:.1}", summary.speedup_min);
-    assert!(summary.speedup_max < 25.0, "max speedup {:.1}", summary.speedup_max);
+    assert!(
+        summary.speedup_min > 2.5,
+        "min speedup {:.1}",
+        summary.speedup_min
+    );
+    assert!(
+        summary.speedup_max < 25.0,
+        "max speedup {:.1}",
+        summary.speedup_max
+    );
 }
 
 #[test]
@@ -73,11 +86,15 @@ fn lifeguard_cost_ordering_matches_paper() {
 #[test]
 fn compression_average_is_below_one_byte_per_instruction() {
     let rows = experiment::compression_table(&config(), 1).unwrap();
-    let avg: f64 =
-        rows.iter().map(|r| r.bytes_per_instruction).sum::<f64>() / rows.len() as f64;
+    let avg: f64 = rows.iter().map(|r| r.bytes_per_instruction).sum::<f64>() / rows.len() as f64;
     assert!(avg < 1.0, "average {avg:.3} B/inst");
     for row in &rows {
-        assert!(row.bytes_per_instruction < 1.0, "{}: {:.3}", row.benchmark, row.bytes_per_instruction);
+        assert!(
+            row.bytes_per_instruction < 1.0,
+            "{}: {:.3}",
+            row.benchmark,
+            row.bytes_per_instruction
+        );
     }
 }
 
@@ -90,7 +107,11 @@ fn filtering_extension_reduces_slowdown_without_losing_soundness() {
             "{}: filtering must not slow things down",
             row.benchmark
         );
-        assert!(row.dropped_fraction > 0.0, "{}: nothing dropped", row.benchmark);
+        assert!(
+            row.dropped_fraction > 0.0,
+            "{}: nothing dropped",
+            row.benchmark
+        );
     }
 }
 
@@ -109,5 +130,8 @@ fn parallel_extension_scales_lockset() {
     }
     let first = rows.first().unwrap();
     let last = rows.last().unwrap();
-    assert!(last.slowdown < first.slowdown * 0.75, "4 shards should pay off");
+    assert!(
+        last.slowdown < first.slowdown * 0.75,
+        "4 shards should pay off"
+    );
 }

@@ -14,7 +14,9 @@ fn capture(program: &lba_isa::Program) -> Vec<u8> {
     let mut machine = Machine::new(program, MachineConfig::default());
     let mut mem = MemSystem::new(MemSystemConfig::single_core());
     let mut writer = TraceWriter::new();
-    machine.run(&mut mem, |r| writer.push(&r.record)).expect("program runs");
+    machine
+        .run(&mut mem, |r| writer.push(&r.record))
+        .expect("program runs");
     writer.into_bytes()
 }
 
@@ -24,8 +26,10 @@ fn trace_capture_replay_is_lossless_on_a_benchmark() {
     let trace = capture(&program);
 
     // Replay and re-run must observe identical streams.
-    let replayed: Vec<EventRecord> =
-        TraceReader::new(&trace).unwrap().collect::<Result<_, _>>().unwrap();
+    let replayed: Vec<EventRecord> = TraceReader::new(&trace)
+        .unwrap()
+        .collect::<Result<_, _>>()
+        .unwrap();
     let mut machine = Machine::new(&program, MachineConfig::default());
     let mut mem = MemSystem::new(MemSystemConfig::single_core());
     let mut live = Vec::new();
@@ -48,7 +52,10 @@ fn history_identifies_the_last_writer_of_the_freed_block() {
     }
     let free_addr = free_addr.expect("program frees a block");
     let writers = history.last_writers(free_addr + 8);
-    assert!(!writers.is_empty(), "the fill loop wrote the block before the free");
+    assert!(
+        !writers.is_empty(),
+        "the fill loop wrote the block before the free"
+    );
     // The last write to that word happened before the free in log order.
     assert!(writers[0].len >= 8);
 }
@@ -100,5 +107,8 @@ fn memprofile_matches_trace_statistics_on_gzip() {
     assert!(findings.is_empty(), "profiling reports nothing");
     // gzip hammers its hash table: the hottest PC should dominate.
     let hottest = profile.hottest_pcs(1)[0];
-    assert!(hottest.1 > 1000, "hot access site expected, got {hottest:?}");
+    assert!(
+        hottest.1 > 1000,
+        "hot access site expected, got {hottest:?}"
+    );
 }

@@ -4,13 +4,16 @@ use proptest::collection::vec;
 use proptest::prelude::*;
 
 use lba_cache::{Access, CacheConfig, MemSystem, MemSystemConfig, SetAssocCache};
-use lba_compress::{BitReader, BitWriter, LogCompressor, LogDecompressor};
+use lba_compress::{
+    BitReader, BitWriter, FrameConfig, FrameDecoder, FrameEncoder, LogCompressor, LogDecompressor,
+    FRAME_LINE_BYTES,
+};
 use lba_isa::Instruction;
 use lba_lifeguard::DispatchEngine;
 use lba_lifeguards::{LockSet, TaintCheck};
 use lba_mem::{layout, HeapAllocator, Memory};
 use lba_record::{EventKind, EventRecord};
-use lba_transport::LogBufferModel;
+use lba_transport::{LogBufferModel, TimedFrame};
 
 fn arb_operand() -> impl Strategy<Value = Option<u8>> {
     prop_oneof![Just(None), (0u8..16).prop_map(Some)]
@@ -170,22 +173,58 @@ proptest! {
 
     #[test]
     fn log_buffer_is_fifo_and_conserves_bits(
-        entries in vec((any::<u64>(), 1u64..200), 1..100)
+        frames in vec((1u32..500, 1usize..8), 1..100)
     ) {
         let mut buffer = LogBufferModel::new(1 << 20);
-        for (i, (pc, bits)) in entries.iter().enumerate() {
-            let rec = EventRecord::alu(*pc, 0, None, None, None);
-            buffer.try_push(rec, *bits, i as u64).unwrap();
+        for (i, (records, lines)) in frames.iter().enumerate() {
+            buffer.try_push(TimedFrame {
+                bytes: vec![0; lines * FRAME_LINE_BYTES],
+                records: *records,
+                ready_at: i as u64,
+            }).unwrap();
         }
-        let total: u64 = entries.iter().map(|(_, b)| *b).sum();
+        let total: u64 = frames.iter().map(|(_, l)| (l * FRAME_LINE_BYTES) as u64 * 8).sum();
         prop_assert_eq!(buffer.occupied_bits(), total);
-        for (i, (pc, bits)) in entries.iter().enumerate() {
-            let entry = buffer.pop().unwrap();
-            prop_assert_eq!(entry.record.pc, *pc);
-            prop_assert_eq!(entry.bits, *bits);
-            prop_assert_eq!(entry.ready_at, i as u64);
+        for (i, (records, lines)) in frames.iter().enumerate() {
+            let frame = buffer.pop().unwrap();
+            prop_assert_eq!(frame.records, *records);
+            prop_assert_eq!(frame.wire_bits(), (lines * FRAME_LINE_BYTES) as u64 * 8);
+            prop_assert_eq!(frame.ready_at, i as u64);
         }
         prop_assert_eq!(buffer.occupied_bits(), 0);
+    }
+
+    #[test]
+    fn framed_codec_round_trips_across_arbitrary_boundaries(
+        records in arb_stream(),
+        records_per_frame in 1usize..40,
+        compress in any::<bool>(),
+        flush_seed in any::<u64>(),
+    ) {
+        // The chunked codec must reproduce any consistent stream exactly,
+        // whatever the frame size and wherever flushes land (syscalls can
+        // seal a frame after any record).
+        let config = FrameConfig { records_per_frame, compress };
+        let mut enc = FrameEncoder::new(config);
+        let mut frames = Vec::new();
+        let mut lcg = flush_seed;
+        for rec in &records {
+            frames.extend(enc.push(rec));
+            lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            if lcg % 5 == 0 {
+                frames.extend(enc.flush());
+            }
+        }
+        frames.extend(enc.flush());
+        prop_assert_eq!(enc.pending_records(), 0);
+
+        let mut dec = FrameDecoder::new(config);
+        let mut out = Vec::new();
+        for frame in &frames {
+            prop_assert_eq!(frame.bytes.len() % FRAME_LINE_BYTES, 0, "line-multiple frames");
+            dec.decode_frame(&frame.bytes, &mut out).expect("frame decodes");
+        }
+        prop_assert_eq!(out, records);
     }
 
     #[test]

@@ -81,7 +81,11 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let id = id.into();
-        let mut bencher = Bencher { samples: self.sample_size, total_nanos: 0.0, iters: 0 };
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            total_nanos: 0.0,
+            iters: 0,
+        };
         f(&mut bencher);
         let mean = if bencher.iters == 0 {
             0.0
@@ -93,7 +97,10 @@ impl BenchmarkGroup<'_> {
                 format!("  ({:.1} Melem/s)", n as f64 / mean * 1e3)
             }
             Some(Throughput::Bytes(n)) if mean > 0.0 => {
-                format!("  ({:.1} MiB/s)", n as f64 / mean * 1e9 / f64::from(1u32 << 20))
+                format!(
+                    "  ({:.1} MiB/s)",
+                    n as f64 / mean * 1e9 / f64::from(1u32 << 20)
+                )
             }
             _ => String::new(),
         };

@@ -30,7 +30,10 @@ pub mod queue {
         #[must_use]
         pub fn new(cap: usize) -> Self {
             assert!(cap > 0, "capacity must be non-zero");
-            ArrayQueue { inner: Mutex::new(VecDeque::with_capacity(cap)), cap }
+            ArrayQueue {
+                inner: Mutex::new(VecDeque::with_capacity(cap)),
+                cap,
+            }
         }
 
         /// Attempts to push `value`; returns it back in `Err` when full.

@@ -162,7 +162,10 @@ impl<T> Union<T> {
     /// Panics if `options` is empty.
     #[must_use]
     pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
-        assert!(!options.is_empty(), "prop_oneof! needs at least one alternative");
+        assert!(
+            !options.is_empty(),
+            "prop_oneof! needs at least one alternative"
+        );
         Union { options }
     }
 }
@@ -224,7 +227,9 @@ impl<T: Arbitrary> Strategy for AnyStrategy<T> {
 /// The canonical strategy for `T`: unconstrained values over its range.
 #[must_use]
 pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
-    AnyStrategy { _marker: PhantomData }
+    AnyStrategy {
+        _marker: PhantomData,
+    }
 }
 
 macro_rules! impl_strategy_for_range {
