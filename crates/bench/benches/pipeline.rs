@@ -1,0 +1,100 @@
+//! End-to-end pipeline throughput: events/sec through `run_lba` and
+//! `run_live` for all four lifeguards, with the pre-batching per-record
+//! consumption path (`LogConfig::batch_dispatch = false`) kept callable as
+//! the baseline, plus an isolated consumption-path pair that contrasts
+//! `pop_record`+`deliver` against `pop_frame`+`deliver_batch` directly.
+//!
+//! `cargo bench -p lba-bench --bench pipeline` prints a best-of-N summary
+//! with the batched-over-per-record speedups before the Criterion samples;
+//! `cargo bench -p lba-bench -- --test` runs everything once as a smoke
+//! check (see the vendored criterion's test mode).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use lba::{run_lba, run_live, SystemConfig};
+use lba_bench::pipeline::{self, PipelineRow};
+use lba_workloads::Benchmark;
+
+fn config(batched: bool) -> SystemConfig {
+    let mut config = SystemConfig::default();
+    config.log.batch_dispatch = batched;
+    config
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let samples = if criterion::is_test_mode() { 1 } else { 5 };
+
+    // Headline summary, printed before the Criterion samples: best-of-N
+    // events/sec for every mode × lifeguard × path, with the
+    // batched-over-per-record speedup per pair.
+    let rows = pipeline::measure_pipeline(samples);
+    println!("{}", pipeline::render_pipeline(&rows));
+
+    let records: u64 = rows.iter().find(|r| r.records > 0).map_or(0, |r| r.records);
+    let program = Benchmark::Gzip.build();
+
+    let mut group = c.benchmark_group("pipeline");
+    group
+        .sample_size(samples)
+        .throughput(Throughput::Elements(records));
+    for PipelineRow {
+        mode,
+        lifeguard,
+        batched,
+        ..
+    } in rows.iter().filter(|r| {
+        (r.mode == "lba" || r.mode == "live") && (r.batched || r.lifeguard == "addrcheck")
+    }) {
+        let id = format!(
+            "{mode}_{lifeguard}_{}",
+            if *batched { "batched" } else { "per_record" }
+        );
+        let make = pipeline::lifeguards()
+            .into_iter()
+            .find(|(name, _)| name == lifeguard)
+            .expect("known lifeguard")
+            .1;
+        let cfg = config(*batched);
+        let program = &program;
+        if *mode == "lba" {
+            group.bench_function(id, |b| {
+                b.iter(|| {
+                    let mut lg = make();
+                    run_lba(program, lg.as_mut(), &cfg)
+                        .expect("runs")
+                        .log
+                        .records
+                })
+            });
+        } else {
+            group.bench_function(id, |b| {
+                b.iter(|| {
+                    let mut lg = make();
+                    run_live(program, lg.as_mut(), &cfg)
+                        .expect("runs")
+                        .log
+                        .records
+                })
+            });
+        }
+    }
+    group.finish();
+
+    // The isolated consumption path: same pre-captured stream, channel
+    // filled identically, only the consumption granularity differs.
+    let stream = pipeline::capture_stream();
+    let mut group = c.benchmark_group("consume");
+    group
+        .sample_size(samples)
+        .throughput(Throughput::Elements(stream.len() as u64));
+    group.bench_function("addrcheck_per_record", |b| {
+        b.iter(|| pipeline::consume_per_record(&stream))
+    });
+    group.bench_function("addrcheck_batched", |b| {
+        b.iter(|| pipeline::consume_batched(&stream))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,4 +1,7 @@
-//! Regenerates every table and figure from the paper's evaluation.
+//! Regenerates every table and figure from the paper's evaluation, plus
+//! the host-throughput trajectory (`BENCH_pipeline.json` in the working
+//! directory — committed at the repo root so every PR shows where
+//! events/sec moved).
 //!
 //! Usage: `cargo run --release -p lba-bench --bin figures [scale]`
 //!
@@ -7,6 +10,7 @@
 use lba::experiment;
 use lba::{LifeguardKind, SystemConfig};
 use lba_bench as render;
+use lba_bench::pipeline;
 
 fn main() {
     let scale: u32 = match std::env::args().nth(1) {
@@ -76,6 +80,21 @@ fn main() {
             &config, scale,
         )?))
     });
+
+    // Host throughput (wall clock, not modeled cycles): the bench
+    // trajectory every future PR regenerates and diffs. Anchored to the
+    // workspace root regardless of the invocation directory.
+    let rows = pipeline::measure_pipeline(5);
+    println!("{}", pipeline::render_pipeline(&rows));
+    let json = pipeline::pipeline_json(&rows);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pipeline.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => {
+            failed.set(true);
+            eprintln!("{path}: {e}");
+        }
+    }
 
     if failed.get() {
         std::process::exit(1);

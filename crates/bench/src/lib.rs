@@ -1,6 +1,9 @@
 //! Rendering helpers shared by the `figures` binary and the Criterion
 //! benches: each function turns one experiment's rows into the text table
-//! the paper reports.
+//! the paper reports. The [`pipeline`] module adds the host-throughput
+//! measurements behind `BENCH_pipeline.json`.
+
+pub mod pipeline;
 
 use lba::experiment::{
     BufferRow, CompressionAblationRow, CompressionRow, DecouplingRow, Fig2Row, FilterRow,

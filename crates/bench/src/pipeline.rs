@@ -1,0 +1,328 @@
+//! End-to-end pipeline throughput: host wall-clock events/sec.
+//!
+//! Everything else in the reproduction reports *modeled* cycles; this
+//! module measures how fast the simulator itself moves events, which is
+//! the ROADMAP's "as fast as the hardware allows" axis. The same rows feed
+//! three places:
+//!
+//! * the `pipeline` Criterion bench (`cargo bench -p lba-bench --bench
+//!   pipeline`), which compares the frame-granular default against the
+//!   pre-batching per-record path kept callable via
+//!   `LogConfig::batch_dispatch = false`;
+//! * the `figures` binary, which appends the rows to its report;
+//! * `BENCH_pipeline.json`, the committed trajectory file every future PR
+//!   re-generates to show where host throughput moved.
+
+use std::time::Instant;
+
+use lba::{run_lba, run_live, SystemConfig};
+use lba_cache::{MemSystem, MemSystemConfig};
+use lba_cpu::Machine;
+use lba_lifeguard::{DispatchEngine, Lifeguard};
+use lba_lifeguards::{AddrCheck, LockSet, MemProfile, TaintCheck};
+use lba_record::EventRecord;
+use lba_transport::{LogChannel, ModeledFrameChannel};
+use lba_workloads::Benchmark;
+
+/// A lifeguard factory used by the measurement matrix.
+pub type LifeguardFactory = fn() -> Box<dyn Lifeguard>;
+
+/// The four lifeguards as (name, factory) pairs — `LifeguardKind` covers
+/// the paper's three; the pipeline bench also drives MemProfile.
+#[must_use]
+pub fn lifeguards() -> Vec<(&'static str, LifeguardFactory)> {
+    vec![
+        ("addrcheck", || Box::new(AddrCheck::new())),
+        ("taintcheck", || Box::new(TaintCheck::new())),
+        ("lockset", || Box::new(LockSet::new())),
+        ("memprofile", || Box::new(MemProfile::new())),
+    ]
+}
+
+/// One throughput measurement.
+#[derive(Debug, Clone)]
+pub struct PipelineRow {
+    /// Execution mode: `"lba"` (deterministic co-simulation) or `"live"`
+    /// (two OS threads).
+    pub mode: &'static str,
+    /// Lifeguard name.
+    pub lifeguard: &'static str,
+    /// Benchmark program.
+    pub benchmark: &'static str,
+    /// Whether consumption was frame-granular (the default) or the
+    /// per-record baseline.
+    pub batched: bool,
+    /// Log records consumed.
+    pub records: u64,
+    /// Best-of-N wall-clock seconds.
+    pub wall_seconds: f64,
+    /// Records per wall-clock second.
+    pub events_per_sec: f64,
+}
+
+/// Best-of-`n` wall time of `body` (the min estimator is robust to
+/// scheduler noise on shared machines), with the record count it reports.
+fn best_of<F: FnMut() -> u64>(n: usize, mut body: F) -> (u64, f64) {
+    let mut best = f64::INFINITY;
+    let mut records = 0;
+    for _ in 0..n {
+        let start = Instant::now();
+        records = body();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    (records, best)
+}
+
+fn config(batched: bool) -> SystemConfig {
+    let mut config = SystemConfig::default();
+    config.log.batch_dispatch = batched;
+    config
+}
+
+/// Runs the full measurement matrix: both execution modes, all four
+/// lifeguards on gzip, batched and per-record, plus the isolated
+/// consumption-path pair. `samples` is the best-of-N count per cell.
+#[must_use]
+pub fn measure_pipeline(samples: usize) -> Vec<PipelineRow> {
+    let program = Benchmark::Gzip.build();
+    let mut rows = measure_consume(samples);
+    for (name, make) in lifeguards() {
+        for batched in [true, false] {
+            let cfg = config(batched);
+            let (records, wall) = best_of(samples, || {
+                let mut lg = make();
+                run_lba(&program, lg.as_mut(), &cfg)
+                    .expect("gzip runs clean")
+                    .log
+                    .records
+            });
+            rows.push(PipelineRow {
+                mode: "lba",
+                lifeguard: name,
+                benchmark: "gzip",
+                batched,
+                records,
+                wall_seconds: wall,
+                events_per_sec: records as f64 / wall,
+            });
+            let (records, wall) = best_of(samples, || {
+                let mut lg = make();
+                run_live(&program, lg.as_mut(), &cfg)
+                    .expect("gzip runs clean")
+                    .log
+                    .records
+            });
+            rows.push(PipelineRow {
+                mode: "live",
+                lifeguard: name,
+                benchmark: "gzip",
+                batched,
+                records,
+                wall_seconds: wall,
+                events_per_sec: records as f64 / wall,
+            });
+        }
+    }
+    rows
+}
+
+/// Captures gzip's record stream once (for the consumption-path cells).
+#[must_use]
+pub fn capture_stream() -> Vec<EventRecord> {
+    let program = Benchmark::Gzip.build();
+    let cfg = SystemConfig::default();
+    let mut machine = Machine::new(&program, cfg.machine);
+    let mut mem = MemSystem::new(cfg.mem_single());
+    let mut records = Vec::new();
+    machine
+        .run(&mut mem, |r| records.push(r.record))
+        .expect("gzip runs clean");
+    records
+}
+
+/// Fills a channel with the whole stream. The per-record baseline decodes
+/// on pop, so it gets the software-decoding channel; the batched path gets
+/// the zero-copy one — the same pairing `run_lba` wires up.
+fn fill_channel(records: &[EventRecord], batched: bool) -> ModeledFrameChannel {
+    let fc = SystemConfig::default().log.frame_config();
+    let mut ch = if batched {
+        ModeledFrameChannel::zero_copy(1 << 26, fc, false)
+    } else {
+        ModeledFrameChannel::new(1 << 26, fc, false)
+    };
+    for (i, rec) in records.iter().enumerate() {
+        ch.push_record(rec, i as u64);
+    }
+    ch.flush(records.len() as u64);
+    ch
+}
+
+/// Pushes the stream and consumes it per-record (`pop_record` +
+/// `deliver`); returns the lifeguard cycles charged.
+#[must_use]
+pub fn consume_per_record(records: &[EventRecord]) -> u64 {
+    let mut ch = fill_channel(records, false);
+    let engine = DispatchEngine::default();
+    let mut mem = MemSystem::new(MemSystemConfig::dual_core());
+    let mut lg = AddrCheck::new();
+    let mut findings = Vec::new();
+    let mut cycles = 0;
+    while let Some(popped) = ch.pop_record() {
+        cycles += engine.deliver(&mut lg, &popped.record, &mut mem, 1, &mut findings);
+    }
+    cycles
+}
+
+/// Pushes the stream and consumes it frame-at-a-time (`pop_frame` +
+/// `deliver_batch`); returns the lifeguard cycles charged.
+#[must_use]
+pub fn consume_batched(records: &[EventRecord]) -> u64 {
+    let mut ch = fill_channel(records, true);
+    let engine = DispatchEngine::default();
+    let mut mem = MemSystem::new(MemSystemConfig::dual_core());
+    let mut lg = AddrCheck::new();
+    let mut findings = Vec::new();
+    let mut cycles = 0;
+    while let Some(frame) = ch.pop_frame() {
+        cycles += engine.deliver_batch(&mut lg, frame.records, &mut mem, 1, &mut findings);
+    }
+    cycles
+}
+
+/// The isolated consumption-path cells: identical pre-captured stream and
+/// channel fill, only the consumption granularity differs — the purest
+/// contrast between the batched path and the pre-change per-record path.
+#[must_use]
+pub fn measure_consume(samples: usize) -> Vec<PipelineRow> {
+    let stream = capture_stream();
+    assert_eq!(
+        consume_per_record(&stream),
+        consume_batched(&stream),
+        "consumption paths must charge identical cycles"
+    );
+    let n = stream.len() as u64;
+    let mut rows = Vec::new();
+    for batched in [true, false] {
+        let (_, wall) = best_of(samples, || {
+            if batched {
+                consume_batched(&stream)
+            } else {
+                consume_per_record(&stream)
+            }
+        });
+        rows.push(PipelineRow {
+            mode: "consume",
+            lifeguard: "addrcheck",
+            benchmark: "gzip",
+            batched,
+            records: n,
+            wall_seconds: wall,
+            events_per_sec: n as f64 / wall,
+        });
+    }
+    rows
+}
+
+/// The headline ratio: batched over per-record events/sec for one
+/// mode+lifeguard pair, if both rows are present.
+#[must_use]
+pub fn speedup(rows: &[PipelineRow], mode: &str, lifeguard: &str) -> Option<f64> {
+    let find = |batched: bool| {
+        rows.iter().find(|r| {
+            r.mode == mode && r.lifeguard == lifeguard && r.batched == batched && r.records > 0
+        })
+    };
+    let batched = find(true)?;
+    let baseline = find(false)?;
+    Some(batched.events_per_sec / baseline.events_per_sec)
+}
+
+/// Renders the pipeline-throughput table.
+#[must_use]
+pub fn render_pipeline(rows: &[PipelineRow]) -> String {
+    use lba::table::TextTable;
+    let mut t = TextTable::new([
+        "mode",
+        "lifeguard",
+        "benchmark",
+        "path",
+        "Mevents/s",
+        "speedup",
+    ]);
+    for row in rows {
+        let speedup = if row.batched {
+            speedup(rows, row.mode, row.lifeguard)
+                .map_or(String::new(), |s| format!("{s:.2}x vs per-record"))
+        } else {
+            String::new()
+        };
+        t.row([
+            row.mode.to_string(),
+            row.lifeguard.to_string(),
+            row.benchmark.to_string(),
+            if row.batched {
+                "frame-batched".to_string()
+            } else {
+                "per-record".to_string()
+            },
+            format!("{:.2}", row.events_per_sec / 1e6),
+            speedup,
+        ]);
+    }
+    format!("Pipeline host throughput (wall clock, best-of-N)\n{t}")
+}
+
+/// Serializes the rows as the `BENCH_pipeline.json` trajectory document.
+/// Hand-rolled JSON: the environment is air-gapped, so no serde.
+#[must_use]
+pub fn pipeline_json(rows: &[PipelineRow]) -> String {
+    let mut out = String::from(
+        "{\n  \"bench\": \"pipeline\",\n  \"unit\": \"events_per_sec\",\n  \"results\": [\n",
+    );
+    for (i, row) in rows.iter().enumerate() {
+        let sep = if i + 1 == rows.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"mode\": \"{}\", \"lifeguard\": \"{}\", \"benchmark\": \"{}\", \"batched\": {}, \"records\": {}, \"wall_seconds\": {:.6}, \"events_per_sec\": {:.0}}}{sep}\n",
+            row.mode, row.lifeguard, row.benchmark, row.batched, row.records, row.wall_seconds, row.events_per_sec,
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_document_is_well_formed_enough() {
+        let rows = vec![
+            PipelineRow {
+                mode: "lba",
+                lifeguard: "addrcheck",
+                benchmark: "gzip",
+                batched: true,
+                records: 10,
+                wall_seconds: 0.5,
+                events_per_sec: 20.0,
+            },
+            PipelineRow {
+                mode: "lba",
+                lifeguard: "addrcheck",
+                benchmark: "gzip",
+                batched: false,
+                records: 10,
+                wall_seconds: 1.0,
+                events_per_sec: 10.0,
+            },
+        ];
+        let json = pipeline_json(&rows);
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+        assert_eq!(json.matches("\"mode\"").count(), 2, "one per row");
+        assert!(!json.contains(",\n  ]"), "no trailing comma");
+        assert_eq!(speedup(&rows, "lba", "addrcheck"), Some(2.0));
+        let table = render_pipeline(&rows);
+        assert!(table.contains("frame-batched"));
+        assert!(table.contains("2.00x vs per-record"));
+    }
+}

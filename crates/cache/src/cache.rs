@@ -150,8 +150,12 @@ struct Line {
 #[derive(Debug, Clone)]
 pub struct SetAssocCache {
     config: CacheConfig,
-    /// Per set: MRU-first vector of lines.
-    sets: Vec<Vec<Line>>,
+    /// All sets' lines in one flat allocation, MRU-first within each set:
+    /// set `s` occupies `lines[s * assoc ..][..lens[s]]`. One contiguous
+    /// block avoids a pointer chase per access.
+    lines: Vec<Line>,
+    /// Valid line count of each set.
+    lens: Vec<u8>,
     stats: CacheStats,
     set_mask: u64,
     line_shift: u32,
@@ -166,9 +170,17 @@ impl SetAssocCache {
     #[must_use]
     pub fn new(config: CacheConfig) -> Self {
         let num_sets = config.num_sets();
+        assert!(config.assoc <= u8::MAX as usize, "associativity fits a u8");
         SetAssocCache {
             config,
-            sets: vec![Vec::with_capacity(config.assoc); num_sets],
+            lines: vec![
+                Line {
+                    tag: 0,
+                    dirty: false
+                };
+                num_sets * config.assoc
+            ],
+            lens: vec![0; num_sets],
             stats: CacheStats::default(),
             set_mask: num_sets as u64 - 1,
             line_shift: config.line_bytes.trailing_zeros(),
@@ -198,27 +210,40 @@ impl SetAssocCache {
     pub fn access(&mut self, addr: u64, write: bool) -> Access {
         let tag = addr >> self.line_shift;
         let set_idx = (tag & self.set_mask) as usize;
-        let set = &mut self.sets[set_idx];
+        let assoc = self.config.assoc;
+        let len = usize::from(self.lens[set_idx]);
+        let set = &mut self.lines[set_idx * assoc..set_idx * assoc + len];
         self.stats.accesses += 1;
 
         if let Some(pos) = set.iter().position(|l| l.tag == tag) {
-            let mut line = set.remove(pos);
-            line.dirty |= write;
-            set.insert(0, line);
+            // Promote to MRU in place; the common already-MRU case is free.
+            if pos != 0 {
+                set[..=pos].rotate_right(1);
+            }
+            set[0].dirty |= write;
             self.stats.hits += 1;
             return Access::Hit;
         }
 
         self.stats.misses += 1;
         let mut writeback = false;
-        if set.len() == self.config.assoc {
-            let victim = set.pop().expect("full set has a victim");
+        if len == assoc {
+            // Evict the LRU tail by rotating it to the front and
+            // overwriting — one shift instead of a pop + front insert.
+            let victim = set[len - 1];
             writeback = victim.dirty;
             if writeback {
                 self.stats.writebacks += 1;
             }
+            set.rotate_right(1);
+            set[0] = Line { tag, dirty: write };
+        } else {
+            // Room left: shift the valid prefix down and install as MRU.
+            let set = &mut self.lines[set_idx * assoc..set_idx * assoc + len + 1];
+            set.rotate_right(1);
+            set[0] = Line { tag, dirty: write };
+            self.lens[set_idx] = (len + 1) as u8;
         }
-        set.insert(0, Line { tag, dirty: write });
         Access::Miss { writeback }
     }
 
@@ -227,14 +252,15 @@ impl SetAssocCache {
     pub fn probe(&self, addr: u64) -> bool {
         let tag = addr >> self.line_shift;
         let set_idx = (tag & self.set_mask) as usize;
-        self.sets[set_idx].iter().any(|l| l.tag == tag)
+        let len = usize::from(self.lens[set_idx]);
+        self.lines[set_idx * self.config.assoc..set_idx * self.config.assoc + len]
+            .iter()
+            .any(|l| l.tag == tag)
     }
 
     /// Invalidates all lines and clears dirty state (statistics are kept).
     pub fn flush(&mut self) {
-        for set in &mut self.sets {
-            set.clear();
-        }
+        self.lens.fill(0);
     }
 }
 

@@ -82,11 +82,15 @@ impl BitWriter {
     /// Moves whole bytes from the accumulator into the buffer, leaving
     /// fewer than 8 bits pending.
     fn flush_acc(&mut self) {
-        while self.acc_bits >= 8 {
-            self.bytes.push(self.acc as u8);
-            self.acc >>= 8;
-            self.acc_bits -= 8;
-        }
+        let whole = (self.acc_bits / 8) as usize;
+        self.bytes
+            .extend_from_slice(&self.acc.to_le_bytes()[..whole]);
+        self.acc = if whole == 8 {
+            0
+        } else {
+            self.acc >> (whole * 8)
+        };
+        self.acc_bits -= whole as u32 * 8;
     }
 
     /// Writes an unsigned value as nibble-group varint: groups of
@@ -153,30 +157,70 @@ impl BitWriter {
 }
 
 /// Reads bits written by [`BitWriter`].
+///
+/// Bits are staged through a 64-bit window so the decoder's flag-bit-heavy
+/// hot path costs a shift and a mask per read, with one buffered refill
+/// every few records instead of per-bit byte indexing.
 #[derive(Debug, Clone)]
 pub struct BitReader<'a> {
     bytes: &'a [u8],
-    pos: u64,
+    /// Next byte index to pull into the window.
+    next: usize,
+    /// Buffered bits, LSB = next bit of the stream.
+    window: u64,
+    /// Valid bits in `window`.
+    avail: u32,
 }
 
 impl<'a> BitReader<'a> {
     /// Creates a reader over `bytes`.
     #[must_use]
     pub fn new(bytes: &'a [u8]) -> Self {
-        BitReader { bytes, pos: 0 }
+        BitReader {
+            bytes,
+            next: 0,
+            window: 0,
+            avail: 0,
+        }
     }
 
     /// Bits consumed so far.
     #[must_use]
     pub fn bits_read(&self) -> u64 {
-        self.pos
+        self.next as u64 * 8 - u64::from(self.avail)
+    }
+
+    /// Bits left in the stream.
+    #[inline]
+    fn bits_left(&self) -> u64 {
+        u64::from(self.avail) + (self.bytes.len() - self.next) as u64 * 8
+    }
+
+    /// Tops the window up to at least 57 valid bits (or stream end).
+    #[inline]
+    fn refill(&mut self) {
+        while self.avail <= 56 {
+            let Some(&byte) = self.bytes.get(self.next) else {
+                return;
+            };
+            self.window |= u64::from(byte) << self.avail;
+            self.next += 1;
+            self.avail += 8;
+        }
     }
 
     /// Reads one bit, or `None` at end of stream.
+    #[inline]
     pub fn read_bit(&mut self) -> Option<bool> {
-        let byte = *self.bytes.get((self.pos / 8) as usize)?;
-        let bit = byte >> (self.pos % 8) & 1 == 1;
-        self.pos += 1;
+        if self.avail == 0 {
+            self.refill();
+            if self.avail == 0 {
+                return None;
+            }
+        }
+        let bit = self.window & 1 == 1;
+        self.window >>= 1;
+        self.avail -= 1;
         Some(bit)
     }
 
@@ -187,22 +231,35 @@ impl<'a> BitReader<'a> {
     /// Panics if `n > 64`.
     pub fn read_bits(&mut self, n: u32) -> Option<u64> {
         assert!(n <= 64, "cannot read more than 64 bits at once");
-        if self.pos + u64::from(n) > self.bytes.len() as u64 * 8 {
+        if n == 0 {
+            return Some(0);
+        }
+        if self.bits_left() < u64::from(n) {
             return None;
         }
-        let mut out = 0u64;
-        let mut got = 0u32;
-        while got < n {
-            let byte = self.bytes[(self.pos / 8) as usize];
-            let bit_off = (self.pos % 8) as u32;
-            let avail = 8 - bit_off;
-            let take = (n - got).min(avail);
-            let chunk = (u64::from(byte) >> bit_off) & ((1u64 << take) - 1);
-            out |= chunk << got;
-            self.pos += u64::from(take);
-            got += take;
+        self.refill();
+        if n <= self.avail {
+            let out = if n == 64 {
+                self.window // avail >= 64 is only possible when full
+            } else {
+                self.window & ((1u64 << n) - 1)
+            };
+            self.window = if n == 64 { 0 } else { self.window >> n };
+            self.avail -= n;
+            return Some(out);
         }
-        Some(out)
+        // The window ran short (only possible near n = 64 with a partial
+        // refill): take what is buffered, refill, take the rest.
+        let low = self.window;
+        let got = self.avail;
+        self.window = 0;
+        self.avail = 0;
+        self.refill();
+        let rest = n - got;
+        let high = self.window & ((1u64 << rest) - 1);
+        self.window >>= rest;
+        self.avail -= rest;
+        Some(low | high << got)
     }
 
     /// Reads a nibble-group unsigned varint.

@@ -490,52 +490,62 @@ impl LogDecompressor {
     /// Returns [`DecodeStreamError`] when the stream is truncated or
     /// corrupt.
     pub fn decode(&mut self, r: &mut BitReader<'_>) -> Result<EventRecord, DecodeStreamError> {
-        let eof = DecodeStreamError::UnexpectedEof;
+        const EOF: DecodeStreamError = DecodeStreamError::UnexpectedEof;
         let s = &mut self.state;
 
         // 1-3. Header: a set fast-path bit means same thread, predicted
         // PC, cached statics; a clear bit is followed by the three
         // individual flag-bit fields (mirroring the encoder).
-        let fast = r.read_bit().ok_or(eof.clone())?;
-        let tid = if fast || r.read_bit().ok_or(eof.clone())? {
+        let fast = r.read_bit().ok_or(EOF)?;
+        let tid = if fast || r.read_bit().ok_or(EOF)? {
             s.last_tid
         } else {
-            let tid = r.read_bits(8).ok_or(eof.clone())? as u8;
+            let tid = r.read_bits(8).ok_or(EOF)? as u8;
             s.last_tid = tid;
             tid
         };
 
-        let last = *s.last_pc_slot(tid);
-        let pc_hit = fast || r.read_bit().ok_or(eof.clone())?;
-        let resolve = |predicted: u64, r: &mut BitReader<'_>| {
+        // One bounds-checked slot per record, shared by the last-PC read
+        // and its write-back.
+        let tid_idx = tid as usize;
+        if s.last_pc.len() <= tid_idx {
+            s.last_pc.resize(tid_idx + 1, u64::MAX);
+        }
+        let last = s.last_pc[tid_idx];
+        let pc_hit = fast || r.read_bit().ok_or(EOF)?;
+        /// The actual PC: the prediction on a hit, otherwise the
+        /// prediction plus an explicit signed delta from the stream.
+        #[inline]
+        fn resolve(pc_hit: bool, predicted: u64, r: &mut BitReader<'_>) -> Option<u64> {
             if pc_hit {
-                Ok(predicted)
+                Some(predicted)
             } else {
-                let delta = r.read_ivarint().ok_or(eof.clone())?;
-                Ok(predicted.wrapping_add(delta as u64))
+                let delta = r.read_ivarint()?;
+                Some(predicted.wrapping_add(delta as u64))
             }
-        };
+        }
         let pc = if last == u64::MAX {
-            resolve(0, r)?
+            resolve(pc_hit, 0, r).ok_or(EOF)?
         } else {
             match s.succ.get_mut(last) {
                 Some(succ) => {
-                    let pc = resolve(*succ, r)?;
-                    if *succ != pc {
+                    let predicted = *succ;
+                    let pc = resolve(pc_hit, predicted, r).ok_or(EOF)?;
+                    if predicted != pc {
                         *succ = pc;
                     }
                     pc
                 }
                 None => {
-                    let pc = resolve(fallthrough(last), r)?;
+                    let pc = resolve(pc_hit, fallthrough(last), r).ok_or(EOF)?;
                     s.succ.insert(last, pc);
                     pc
                 }
             }
         };
-        *s.last_pc_slot(tid) = pc;
+        s.last_pc[tid_idx] = pc;
 
-        let entry: &mut PcEntry = if fast || r.read_bit().ok_or(eof.clone())? {
+        let entry: &mut PcEntry = if fast || r.read_bit().ok_or(EOF)? {
             s.entries.get_mut(pc).expect("static hit implies known pc")
         } else {
             let statics = read_statics(r)?;
@@ -555,16 +565,16 @@ impl LogDecompressor {
             0
         };
         if statics.kind == EventKind::Branch {
-            size = u32::from(r.read_bit().ok_or(eof.clone())?);
+            size = u32::from(r.read_bit().ok_or(EOF)?);
         }
         if has_dynamic_addr(statics.kind) {
             addr = decode_addr(r, &mut s.fcm, pc, entry, &mut s.global_last_addr)?;
         }
         if has_dynamic_size(statics.kind) {
-            if r.read_bit().ok_or(eof.clone())? {
+            if r.read_bit().ok_or(EOF)? {
                 size = entry.last_size;
             } else {
-                size = r.read_uvarint().ok_or(eof)? as u32;
+                size = r.read_uvarint().ok_or(EOF)? as u32;
                 entry.last_size = size;
             }
         }

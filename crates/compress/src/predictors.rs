@@ -113,7 +113,12 @@ impl FcmPredictor {
 
 impl Default for FcmPredictor {
     fn default() -> Self {
-        Self::new(14)
+        // 2^12 entries (32 KiB) keeps the table hot in L1/L2 on both ends
+        // of the stream — the update is a random-indexed store on *every*
+        // address-carrying record, so residency matters more than the last
+        // percent of hit rate. Both sides build the same table, so the
+        // stream stays losslessly decodable.
+        Self::new(12)
     }
 }
 

@@ -31,6 +31,13 @@ pub struct LogConfig {
     /// `false` the application waits for the lifeguard after *every*
     /// record (the lock-step ablation).
     pub decoupled: bool,
+    /// Whether the lifeguard consumes the log frame-at-a-time
+    /// ([`LogChannel::pop_frame`](lba_transport::LogChannel::pop_frame) +
+    /// `DispatchEngine::deliver_batch`) instead of record-at-a-time. Both
+    /// paths produce identical findings, wire bits and modeled cycle
+    /// totals; the per-record path is kept as the throughput-benchmark
+    /// baseline (`false`).
+    pub batch_dispatch: bool,
     /// Optional capture-side address-range filter (§3 future work).
     pub filter: Option<AddrRangeFilter>,
     /// Validate compressor/decompressor round-trip at end of run
@@ -72,6 +79,7 @@ impl Default for LogConfig {
             line_transfer_cycles: 4,
             syscall_stall: true,
             decoupled: true,
+            batch_dispatch: true,
             filter: None,
             verify_compression: false,
         }
@@ -127,6 +135,10 @@ mod tests {
         assert_eq!(c.log.records_per_frame, 256);
         assert!(c.log.syscall_stall);
         assert!(c.log.decoupled);
+        assert!(
+            c.log.batch_dispatch,
+            "frame-granular dispatch is the default"
+        );
         assert_eq!(c.mem_dual().cores, 2);
         assert_eq!(c.mem_single().cores, 1);
         // The paper's cache geometry flows through from lba-cache.

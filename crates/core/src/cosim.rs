@@ -19,9 +19,13 @@ const LG_CORE: usize = 1;
 /// Bits per transferred cache line of log data.
 const LINE_BITS: u64 = FRAME_LINE_BYTES as u64 * 8;
 
-struct Cosim<'a> {
+/// Generic over the channel so the hot loop devirtualises: `run_lba`
+/// instantiates it with [`ModeledFrameChannel`] and the codec inlines into
+/// the push/pop paths, while the `LogChannel` bound keeps the transport
+/// contract the single source of truth.
+struct Cosim<'a, C: LogChannel> {
     mem: MemSystem,
-    channel: Box<dyn LogChannel>,
+    channel: C,
     engine: DispatchEngine,
     lifeguard: &'a mut dyn Lifeguard,
     findings: Vec<Finding>,
@@ -30,10 +34,12 @@ struct Cosim<'a> {
     /// Lifeguard-core clock (cycles).
     t_lg: u64,
     line_transfer_cycles: u64,
+    /// Frame-granular consumption (default) versus the per-record baseline.
+    batch: bool,
     stalls: StallBreakdown,
 }
 
-impl Cosim<'_> {
+impl<C: LogChannel> Cosim<'_, C> {
     /// Charges both cores the shared-L2 occupancy of a shipped frame:
     /// written line by line by the capture engine, later read by dispatch.
     /// Returns the cycles charged to each clock.
@@ -62,6 +68,38 @@ impl Cosim<'_> {
         true
     }
 
+    /// Consumes one whole frame on the lifeguard core, advancing its clock.
+    /// Returns `false` when the channel is empty.
+    ///
+    /// Cycle-equivalent to popping the frame's records one at a time: every
+    /// record of a frame shares its `ready_at` (so the clock catch-up
+    /// happens once), handler costs are additive, and the frame's buffer
+    /// lines free at the same point — after its last record is consumed.
+    fn consume_frame(&mut self) -> bool {
+        let Some(frame) = self.channel.pop_frame() else {
+            return false;
+        };
+        self.t_lg = self.t_lg.max(frame.ready_at);
+        self.t_lg += self.engine.deliver_batch(
+            self.lifeguard,
+            frame.records,
+            &mut self.mem,
+            LG_CORE,
+            &mut self.findings,
+        );
+        true
+    }
+
+    /// Consumes the next unit of log — a frame or a record, per the
+    /// configured granularity.
+    fn consume(&mut self) -> bool {
+        if self.batch {
+            self.consume_frame()
+        } else {
+            self.consume_one()
+        }
+    }
+
     /// Resolves producer back-pressure: the lifeguard drains records until
     /// the parked frame is admitted, and the application clock absorbs the
     /// wait.
@@ -78,7 +116,7 @@ impl Cosim<'_> {
                 continue;
             }
             assert!(
-                self.consume_one(),
+                self.consume(),
                 "a parked frame must be admitted once the buffer drains"
             );
         }
@@ -101,7 +139,7 @@ impl Cosim<'_> {
     /// stall and end-of-program).
     fn drain(&mut self) {
         loop {
-            if self.consume_one() {
+            if self.consume() {
                 continue;
             }
             let stamp = self.t_app.max(self.t_lg);
@@ -126,6 +164,13 @@ impl Cosim<'_> {
 /// [`LogChannel`] trait; this run plugs in the deterministic
 /// [`ModeledFrameChannel`], which runs the real frame codec so the timing
 /// model ships the same wire bytes as the live mode.
+///
+/// Consumption is frame-granular by default: the lifeguard takes each
+/// frame as one slice ([`LogChannel::pop_frame`]) and the dispatch engine
+/// delivers it as a batch, amortising per-record bookkeeping without
+/// changing findings, wire bits or cycle totals (pinned by the
+/// `tests/batching.rs` proptest). `config.log.batch_dispatch = false`
+/// selects the per-record baseline path.
 ///
 /// # Errors
 ///
@@ -152,19 +197,34 @@ pub fn run_lba(
     let mut machine = Machine::new(program, config.machine);
     let mut trace = TraceStats::new();
 
-    let mut sim = Cosim {
-        mem: MemSystem::new(config.mem_dual()),
-        channel: Box::new(ModeledFrameChannel::new(
+    // Batched consumption pairs with the zero-copy channel (the hardware
+    // decompressor's work is modeled, not re-run in host software); the
+    // per-record baseline keeps the software-decoding channel. Both ship
+    // identical wire bytes; `verify_compression` decodes and cross-checks
+    // either way.
+    let channel = if config.log.batch_dispatch {
+        ModeledFrameChannel::zero_copy(
             config.log.buffer_bytes,
             config.log.frame_config(),
             config.log.verify_compression,
-        )),
+        )
+    } else {
+        ModeledFrameChannel::new(
+            config.log.buffer_bytes,
+            config.log.frame_config(),
+            config.log.verify_compression,
+        )
+    };
+    let mut sim = Cosim {
+        mem: MemSystem::new(config.mem_dual()),
+        channel,
         engine: DispatchEngine::new(config.dispatch),
         lifeguard,
         findings: Vec::new(),
         t_app: 0,
         t_lg: 0,
         line_transfer_cycles: config.log.line_transfer_cycles,
+        batch: config.log.batch_dispatch,
         stalls: StallBreakdown::default(),
     };
     let mut filtered: u64 = 0;

@@ -75,10 +75,18 @@ pub fn run_live(
 
         // Consume on this thread: shadow-cost accounting still needs a
         // MemSystem, but live mode is functional — timing is not reported.
+        // Frame-granular by default (one blocking receive and one dispatch
+        // setup per frame); the per-record path is the bench baseline.
         let mut mem = MemSystem::new(config.mem_dual());
         let mut findings = Vec::new();
-        while let Some(record) = rx.recv_ref() {
-            engine.deliver(lifeguard, record, &mut mem, 1, &mut findings);
+        if config.log.batch_dispatch {
+            while let Some(batch) = rx.recv_batch() {
+                engine.deliver_batch(lifeguard, batch, &mut mem, 1, &mut findings);
+            }
+        } else {
+            while let Some(record) = rx.recv_ref() {
+                engine.deliver(lifeguard, record, &mut mem, 1, &mut findings);
+            }
         }
         engine.finish(lifeguard, &mut mem, 1, &mut findings);
 

@@ -95,17 +95,45 @@ pub fn run_lba_parallel(
     let mut lifeguards: Vec<Box<dyn Lifeguard>> = (0..shards).map(|_| make_lifeguard()).collect();
     let mut channels: Vec<Box<dyn LogChannel>> = (0..shards)
         .map(|_| {
-            Box::new(ModeledFrameChannel::new(
-                SHARD_BUFFER_BYTES,
-                config.log.frame_config(),
-                false,
-            )) as Box<dyn LogChannel>
+            let channel = if config.log.batch_dispatch {
+                // Frame-granular consumption pairs with the zero-copy
+                // channel (see `run_lba`); the wire stream is identical.
+                ModeledFrameChannel::zero_copy(SHARD_BUFFER_BYTES, config.log.frame_config(), false)
+            } else {
+                ModeledFrameChannel::new(SHARD_BUFFER_BYTES, config.log.frame_config(), false)
+            };
+            Box::new(channel) as Box<dyn LogChannel>
         })
         .collect();
     let mut shard_findings: Vec<Vec<Finding>> = vec![Vec::new(); shards];
     let mut shard_cycles = vec![0u64; shards];
     let mut trace = TraceStats::new();
     let mut app_cycles = 0u64;
+    let batch = config.log.batch_dispatch;
+
+    /// Drains every currently-available frame (or record, in the
+    /// per-record baseline) of one shard's channel into its lifeguard.
+    fn drain_shard(
+        batch: bool,
+        channel: &mut dyn LogChannel,
+        engine: &DispatchEngine,
+        lifeguard: &mut dyn Lifeguard,
+        mem: &mut MemSystem,
+        core: usize,
+        findings: &mut Vec<Finding>,
+    ) -> u64 {
+        let mut cycles = 0u64;
+        if batch {
+            while let Some(frame) = channel.pop_frame() {
+                cycles += engine.deliver_batch(lifeguard, frame.records, mem, core, findings);
+            }
+        } else {
+            while let Some(popped) = channel.pop_record() {
+                cycles += engine.deliver(lifeguard, &popped.record, mem, core, findings);
+            }
+        }
+        cycles
+    }
 
     loop {
         match machine.step(&mut mem)? {
@@ -133,15 +161,15 @@ pub fn run_lba_parallel(
                     // Drain any frames that have sealed, so transport
                     // memory stays bounded by the shard budget instead of
                     // the whole log.
-                    while let Some(popped) = channel.pop_record() {
-                        shard_cycles[idx] += engine.deliver(
-                            lifeguards[idx].as_mut(),
-                            &popped.record,
-                            &mut mem,
-                            1 + idx,
-                            &mut shard_findings[idx],
-                        );
-                    }
+                    shard_cycles[idx] += drain_shard(
+                        batch,
+                        channel.as_mut(),
+                        &engine,
+                        lifeguards[idx].as_mut(),
+                        &mut mem,
+                        1 + idx,
+                        &mut shard_findings[idx],
+                    );
                 }
             }
         }
@@ -151,15 +179,15 @@ pub fn run_lba_parallel(
     // deliver to its lifeguard.
     for (idx, (channel, lifeguard)) in channels.iter_mut().zip(lifeguards.iter_mut()).enumerate() {
         channel.flush(app_cycles);
-        while let Some(popped) = channel.pop_record() {
-            shard_cycles[idx] += engine.deliver(
-                lifeguard.as_mut(),
-                &popped.record,
-                &mut mem,
-                1 + idx,
-                &mut shard_findings[idx],
-            );
-        }
+        shard_cycles[idx] += drain_shard(
+            batch,
+            channel.as_mut(),
+            &engine,
+            lifeguard.as_mut(),
+            &mut mem,
+            1 + idx,
+            &mut shard_findings[idx],
+        );
         shard_cycles[idx] += engine.finish(
             lifeguard.as_mut(),
             &mut mem,

@@ -91,6 +91,38 @@ impl DispatchEngine {
         self.config.dispatch_cycles + ctx.cycles()
     }
 
+    /// Delivers a whole frame of records in one call, charging shadow work
+    /// to `core` of `mem`. Returns the lifeguard-core cycles consumed.
+    ///
+    /// This is the batch counterpart of [`deliver`](Self::deliver): the
+    /// subscription mask is fetched once and unsubscribed kinds are masked
+    /// in bulk, and one [`HandlerCtx`] spans the frame instead of being
+    /// rebuilt per record. The cycle total is identical to delivering the
+    /// records one at a time — handler work is additive and the engine
+    /// charges fixed per-record dispatch costs — which the equivalence
+    /// proptests pin down.
+    pub fn deliver_batch(
+        &self,
+        lifeguard: &mut dyn Lifeguard,
+        records: &[EventRecord],
+        mem: &mut MemSystem,
+        core: usize,
+        findings: &mut Vec<Finding>,
+    ) -> u64 {
+        let mask = lifeguard.subscriptions();
+        let mut fixed = 0u64;
+        let mut ctx = HandlerCtx::new(mem, core, findings);
+        for record in records {
+            if mask.contains(record.kind) {
+                lifeguard.on_event(record, &mut ctx);
+                fixed += self.config.dispatch_cycles;
+            } else {
+                fixed += self.config.unsubscribed_cycles;
+            }
+        }
+        fixed + ctx.cycles()
+    }
+
     /// Runs the lifeguard's end-of-log hook, returning its cycle cost.
     pub fn finish(
         &self,
@@ -175,6 +207,85 @@ mod tests {
         let cycles = engine.finish(&mut lg, &mut mem, 1, &mut findings);
         assert!(lg.finished);
         assert_eq!(cycles, 7);
+    }
+
+    /// A mixed frame: subscribed loads/allocs interleaved with
+    /// unsubscribed ALU records.
+    fn mixed_frame() -> Vec<EventRecord> {
+        (0..20)
+            .map(|i| match i % 3 {
+                0 => EventRecord::load(0x1000 + i * 8, 0, Some(1), Some(2), 0x100 + i * 4, 4),
+                1 => EventRecord::alu(0x1000 + i * 8, 0, Some(1), Some(2), Some(3)),
+                _ => EventRecord {
+                    pc: 0x1000 + i * 8,
+                    kind: EventKind::Alloc,
+                    tid: 0,
+                    in1: Some(1),
+                    in2: None,
+                    out: Some(2),
+                    addr: 0x4000_0000 + i * 64,
+                    size: 32,
+                },
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_delivery_matches_per_record_sum() {
+        let records = mixed_frame();
+        let engine = DispatchEngine::default();
+
+        let mut mem = MemSystem::new(MemSystemConfig::dual_core());
+        let mut findings = Vec::new();
+        let mut lg = Probe {
+            events: Vec::new(),
+            finished: false,
+        };
+        let per_record: u64 = records
+            .iter()
+            .map(|r| engine.deliver(&mut lg, r, &mut mem, 1, &mut findings))
+            .sum();
+        let per_record_events = lg.events.clone();
+
+        let mut mem = MemSystem::new(MemSystemConfig::dual_core());
+        let mut findings = Vec::new();
+        let mut lg = Probe {
+            events: Vec::new(),
+            finished: false,
+        };
+        let batched = engine.deliver_batch(&mut lg, &records, &mut mem, 1, &mut findings);
+
+        assert_eq!(batched, per_record, "cycle totals must be identical");
+        assert_eq!(lg.events, per_record_events, "handler order must match");
+    }
+
+    #[test]
+    fn batch_spanning_subscription_boundary_charges_unsubscribed_cycles() {
+        // Regression: a frame holding both subscribed and unsubscribed
+        // kinds must charge `unsubscribed_cycles` (not `dispatch_cycles`,
+        // not zero) for each masked record.
+        let mut mem = MemSystem::new(MemSystemConfig::dual_core());
+        let mut findings = Vec::new();
+        let engine = DispatchEngine::new(DispatchConfig {
+            dispatch_cycles: 10,
+            unsubscribed_cycles: 3,
+        });
+        let mut lg = Probe {
+            events: Vec::new(),
+            finished: false,
+        };
+        // Two subscribed loads around three unsubscribed ALU records.
+        let frame = vec![
+            EventRecord::load(0x1000, 0, None, None, 0, 4),
+            EventRecord::alu(0x1008, 0, None, None, None),
+            EventRecord::alu(0x1010, 0, None, None, None),
+            EventRecord::alu(0x1018, 0, None, None, None),
+            EventRecord::load(0x1020, 0, None, None, 64, 4),
+        ];
+        let cycles = engine.deliver_batch(&mut lg, &frame, &mut mem, 1, &mut findings);
+        // Each load: 10 dispatch + 5 handler ALU; each masked record: 3.
+        assert_eq!(cycles, 2 * (10 + 5) + 3 * 3);
+        assert_eq!(lg.events, vec![EventKind::Load, EventKind::Load]);
     }
 
     #[test]

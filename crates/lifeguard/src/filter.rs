@@ -28,12 +28,15 @@ use lba_record::{EventKind, EventRecord};
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AddrRangeFilter {
-    /// Half-open `[start, end)` ranges, kept sorted by start.
+    /// Half-open `[start, end)` ranges, sorted by start with overlapping
+    /// and adjacent input ranges coalesced, so they are pairwise disjoint
+    /// and binary search is sound.
     ranges: Vec<(u64, u64)>,
 }
 
 impl AddrRangeFilter {
     /// Creates a filter watching the given half-open `[start, end)` ranges.
+    /// Overlapping or adjacent ranges are merged.
     ///
     /// # Panics
     ///
@@ -47,23 +50,30 @@ impl AddrRangeFilter {
             );
         }
         ranges.sort_unstable();
-        AddrRangeFilter { ranges }
+        // Coalesce, so `contains` only ever needs the predecessor range.
+        let mut merged: Vec<(u64, u64)> = Vec::with_capacity(ranges.len());
+        for (start, end) in ranges {
+            match merged.last_mut() {
+                Some((_, last_end)) if start <= *last_end => *last_end = (*last_end).max(end),
+                _ => merged.push((start, end)),
+            }
+        }
+        AddrRangeFilter { ranges: merged }
     }
 
-    /// The watched ranges, sorted by start address.
+    /// The watched ranges: sorted by start, pairwise disjoint.
     #[must_use]
     pub fn ranges(&self) -> &[(u64, u64)] {
         &self.ranges
     }
 
-    /// Whether `addr` falls inside a watched range.
+    /// Whether `addr` falls inside a watched range — a binary search for
+    /// the last range starting at or before `addr`, then one end check
+    /// (sound because construction coalesced the ranges).
     #[must_use]
     pub fn contains(&self, addr: u64) -> bool {
-        // Binary search over sorted disjoint-ish ranges; linear fallback is
-        // fine for the handful of ranges lifeguards use.
-        self.ranges
-            .iter()
-            .any(|&(start, end)| (start..end).contains(&addr))
+        let i = self.ranges.partition_point(|&(start, _)| start <= addr);
+        i > 0 && addr < self.ranges[i - 1].1
     }
 
     /// Whether `record` should enter the log.
@@ -121,5 +131,31 @@ mod tests {
     #[should_panic(expected = "empty or inverted")]
     fn inverted_range_rejected() {
         let _ = AddrRangeFilter::new(vec![(200, 100)]);
+    }
+
+    #[test]
+    fn overlapping_ranges_are_coalesced() {
+        // Regression for the binary-search rewrite: an address covered by
+        // an earlier, longer range must still match after its immediate
+        // predecessor range ends.
+        let f = AddrRangeFilter::new(vec![(0, 1000), (500, 600), (990, 1200), (2000, 2001)]);
+        assert_eq!(f.ranges(), &[(0, 1200), (2000, 2001)]);
+        assert!(f.contains(700), "covered only by the first input range");
+        assert!(f.contains(1100));
+        assert!(!f.contains(1200));
+        assert!(f.contains(2000));
+        assert!(!f.contains(1999));
+    }
+
+    #[test]
+    fn binary_search_agrees_with_linear_scan_on_many_ranges() {
+        let ranges: Vec<(u64, u64)> = (0..64).map(|i| (i * 100, i * 100 + 50)).collect();
+        let f = AddrRangeFilter::new(ranges.clone());
+        for addr in 0..6500u64 {
+            let linear = ranges
+                .iter()
+                .any(|&(start, end)| (start..end).contains(&addr));
+            assert_eq!(f.contains(addr), linear, "addr {addr}");
+        }
     }
 }

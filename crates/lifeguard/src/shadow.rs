@@ -1,17 +1,30 @@
 //! Functional shadow state: shadow memory and shadow registers.
 
-use std::collections::HashMap;
+use lba_mem::PageDirectory;
 
 const PAGE_SHIFT: u32 = 12;
 const PAGE_CELLS: usize = 1 << PAGE_SHIFT;
 const PAGE_MASK: u64 = (PAGE_CELLS as u64) - 1;
 
-/// Sparse per-address shadow state of cell type `T`.
+/// Sparse per-address shadow state of cell type `T`, organised as a
+/// two-level direct-mapped page table.
 ///
 /// One cell shadows one *granule* of application memory; the granule size
 /// is the lifeguard's choice (AddrCheck and TaintCheck shadow bytes,
 /// LockSet shadows 4-byte words) — callers index by granule number.
 /// Untouched cells read as `T::default()`.
+///
+/// Level 1 is a [`PageDirectory`] (direct-mapped, tag-checked slots with
+/// a one-entry last-page cache — a software metadata-TLB); level 2 is a
+/// flat 4096-cell page in an arena. The common case — consecutive
+/// accesses landing in one shadow page — costs one compare and one
+/// indexed load, no hashing anywhere.
+///
+/// Range operations work page-at-a-time: [`set_range`](Self::set_range)
+/// fills each covered page with `slice::fill`, and
+/// [`range_is`](Self::range_is) compares whole resident pages (an absent
+/// page trivially matches `T::default()`). Writing `T::default()` over an
+/// absent page does not allocate it.
 ///
 /// This is the functional half of shadow state; the *cost* of shadow
 /// accesses is charged separately through
@@ -30,7 +43,9 @@ const PAGE_MASK: u64 = (PAGE_CELLS as u64) - 1;
 /// ```
 #[derive(Debug, Clone)]
 pub struct ShadowMemory<T> {
-    pages: HashMap<u64, Vec<T>>,
+    dir: PageDirectory,
+    /// Page arena; directory entries index into it and never move.
+    pages: Vec<Box<[T]>>,
 }
 
 impl<T: Copy + Default + PartialEq> ShadowMemory<T> {
@@ -38,39 +53,105 @@ impl<T: Copy + Default + PartialEq> ShadowMemory<T> {
     #[must_use]
     pub fn new() -> Self {
         ShadowMemory {
-            pages: HashMap::new(),
+            dir: PageDirectory::new(),
+            pages: Vec::new(),
         }
+    }
+
+    /// The resident page holding `index`.
+    #[inline]
+    fn page_of(&self, index: u64) -> Option<&[T]> {
+        let idx = self.dir.get(index >> PAGE_SHIFT)?;
+        Some(&self.pages[idx as usize])
+    }
+
+    /// Like [`page_of`](Self::page_of), but creates the page when absent.
+    fn page_of_mut(&mut self, index: u64) -> &mut [T] {
+        let idx = match self.dir.get(index >> PAGE_SHIFT) {
+            Some(idx) => idx,
+            None => {
+                let idx = u32::try_from(self.pages.len()).expect("fewer than 2^32 shadow pages");
+                self.pages
+                    .push(vec![T::default(); PAGE_CELLS].into_boxed_slice());
+                self.dir.insert(index >> PAGE_SHIFT, idx);
+                idx
+            }
+        };
+        &mut self.pages[idx as usize]
     }
 
     /// The shadow cell for granule `index`.
     #[must_use]
+    #[inline]
     pub fn get(&self, index: u64) -> T {
-        match self.pages.get(&(index >> PAGE_SHIFT)) {
+        match self.page_of(index) {
             Some(page) => page[(index & PAGE_MASK) as usize],
             None => T::default(),
         }
     }
 
     /// Sets the shadow cell for granule `index`.
+    #[inline]
     pub fn set(&mut self, index: u64, value: T) {
-        let page = self
-            .pages
-            .entry(index >> PAGE_SHIFT)
-            .or_insert_with(|| vec![T::default(); PAGE_CELLS]);
-        page[(index & PAGE_MASK) as usize] = value;
+        self.page_of_mut(index)[(index & PAGE_MASK) as usize] = value;
     }
 
-    /// Sets `len` consecutive cells starting at `start`.
+    /// Sets `len` consecutive cells starting at `start`, page-at-a-time
+    /// (`slice::fill` per covered page). Writing `T::default()` skips
+    /// pages that are not resident — they already read as default.
+    ///
+    /// Indices wrap around the granule space, matching per-cell `set`
+    /// semantics under wrapping arithmetic.
     pub fn set_range(&mut self, start: u64, len: u64, value: T) {
-        for i in 0..len {
-            self.set(start + i, value);
+        let is_default = value == T::default();
+        let mut index = start;
+        let mut remaining = len;
+        while remaining > 0 {
+            let offset = (index & PAGE_MASK) as usize;
+            let chunk = ((PAGE_CELLS - offset) as u64).min(remaining);
+            if is_default {
+                // Only touch pages that exist; absent pages stay absent.
+                if let Some(idx) = self.dir.get(index >> PAGE_SHIFT) {
+                    self.pages[idx as usize][offset..offset + chunk as usize].fill(value);
+                }
+            } else {
+                self.page_of_mut(index)[offset..offset + chunk as usize].fill(value);
+            }
+            index = index.wrapping_add(chunk);
+            remaining -= chunk;
         }
     }
 
-    /// Whether all `len` cells starting at `start` equal `value`.
+    /// Whether all `len` cells starting at `start` equal `value`,
+    /// page-at-a-time: an absent page matches exactly when `value` is
+    /// `T::default()`; a resident page is compared as a slice.
     #[must_use]
     pub fn range_is(&self, start: u64, len: u64, value: T) -> bool {
-        (0..len).all(|i| self.get(start + i) == value)
+        let is_default = value == T::default();
+        let mut index = start;
+        let mut remaining = len;
+        while remaining > 0 {
+            let offset = (index & PAGE_MASK) as usize;
+            let chunk = ((PAGE_CELLS - offset) as u64).min(remaining);
+            match self.page_of(index) {
+                Some(page) => {
+                    if !page[offset..offset + chunk as usize]
+                        .iter()
+                        .all(|cell| *cell == value)
+                    {
+                        return false;
+                    }
+                }
+                None => {
+                    if !is_default {
+                        return false;
+                    }
+                }
+            }
+            index = index.wrapping_add(chunk);
+            remaining -= chunk;
+        }
+        true
     }
 
     /// Number of resident shadow pages (memory-footprint introspection).
@@ -177,6 +258,98 @@ mod tests {
         s.set_range(start, 10, 2);
         assert!(s.range_is(start, 10, 2));
         assert_eq!(s.resident_pages(), 2);
+    }
+
+    #[test]
+    fn default_set_range_does_not_allocate_absent_pages() {
+        // Satellite regression: writing defaults over an absent page used
+        // to allocate 4 KiB just to store zeros.
+        let mut s: ShadowMemory<u8> = ShadowMemory::new();
+        s.set_range(0, 10 * PAGE_CELLS as u64, 0);
+        assert_eq!(s.resident_pages(), 0, "defaults over absent pages are free");
+        assert!(s.range_is(0, 10 * PAGE_CELLS as u64, 0));
+        // But defaults over a *resident* page must still clear it.
+        s.set(5, 9);
+        assert_eq!(s.resident_pages(), 1);
+        s.set_range(0, 16, 0);
+        assert_eq!(s.get(5), 0);
+    }
+
+    #[test]
+    fn colliding_page_numbers_keep_distinct_state() {
+        // Page numbers congruent modulo every power-of-two directory size
+        // exercise the linear-probe fallback of the direct-mapped level.
+        let mut s: ShadowMemory<u32> = ShadowMemory::new();
+        let stride = 1u64 << 40; // same low bits for every directory size
+        for i in 0..50u64 {
+            s.set(i * stride, i as u32 + 1);
+        }
+        for i in 0..50u64 {
+            assert_eq!(s.get(i * stride), i as u32 + 1, "page {i}");
+        }
+        assert_eq!(s.resident_pages(), 50);
+    }
+
+    #[test]
+    fn directory_growth_preserves_all_pages() {
+        // Many distinct pages force several directory doublings.
+        let mut s: ShadowMemory<u16> = ShadowMemory::new();
+        for i in 0..500u64 {
+            s.set(i * PAGE_CELLS as u64 + (i % 7), (i + 1) as u16);
+        }
+        for i in 0..500u64 {
+            assert_eq!(s.get(i * PAGE_CELLS as u64 + (i % 7)), (i + 1) as u16);
+        }
+        assert_eq!(s.resident_pages(), 500);
+    }
+
+    #[test]
+    fn sparse_64bit_indices_work() {
+        let mut s: ShadowMemory<u8> = ShadowMemory::new();
+        for &index in &[0u64, u64::MAX, u64::MAX / 2, 1 << 52, (1 << 52) + 1] {
+            s.set(index, 7);
+            assert_eq!(s.get(index), 7, "index {index:#x}");
+        }
+    }
+
+    #[test]
+    fn last_page_cache_tracks_switches() {
+        let mut s: ShadowMemory<u8> = ShadowMemory::new();
+        let a = 0u64;
+        let b = 10 * PAGE_CELLS as u64;
+        s.set(a, 1);
+        s.set(b, 2);
+        // Alternate between the two pages: every access must still resolve
+        // to the right one regardless of what the one-entry cache holds.
+        for _ in 0..4 {
+            assert_eq!(s.get(a), 1);
+            assert_eq!(s.get(b), 2);
+        }
+    }
+
+    #[test]
+    fn range_ops_wrap_instead_of_overflowing() {
+        let mut s: ShadowMemory<u8> = ShadowMemory::new();
+        let start = u64::MAX - 2;
+        s.set_range(start, 6, 3); // wraps into page 0
+        assert_eq!(s.get(u64::MAX), 3);
+        assert_eq!(s.get(0), 3);
+        assert_eq!(s.get(2), 3);
+        assert_eq!(s.get(3), 0);
+        assert!(s.range_is(start, 6, 3));
+    }
+
+    #[test]
+    fn range_is_rejects_partial_matches_across_pages() {
+        let mut s: ShadowMemory<u8> = ShadowMemory::new();
+        let start = PAGE_CELLS as u64 - 2;
+        s.set_range(start, 4, 1);
+        s.set(start + 1, 2); // poke a hole mid-range, first page
+        assert!(!s.range_is(start, 4, 1));
+        s.set(start + 1, 1);
+        assert!(s.range_is(start, 4, 1));
+        s.set(start + 3, 2); // hole in the second page
+        assert!(!s.range_is(start, 4, 1));
     }
 
     #[test]

@@ -63,7 +63,9 @@ impl TaintCheck {
     }
 
     fn range_tainted(&self, addr: u64, len: u32) -> bool {
-        (0..u64::from(len)).any(|i| self.mem_taint.get(addr + i) != 0)
+        // A page-granular slice scan: "any byte tainted" is the negation
+        // of "all bytes default".
+        !self.mem_taint.range_is(addr, u64::from(len), 0)
     }
 
     fn report_once(
@@ -131,9 +133,9 @@ impl Lifeguard for TaintCheck {
                 ctx.alu(4);
                 ctx.shadow_write(Self::shadow_addr(rec.addr), rec.size);
                 let t = rec.in1.is_some_and(|r| self.reg_taint.get(rec.tid, r));
-                for i in 0..u64::from(rec.size) {
-                    self.mem_taint.set(rec.addr + i, u8::from(t));
-                }
+                // Clean stores over untouched shadow allocate nothing.
+                self.mem_taint
+                    .set_range(rec.addr, u64::from(rec.size), u8::from(t));
             }
             EventKind::Alloc => {
                 // A fresh pointer is untainted; clear the output register.
@@ -154,9 +156,7 @@ impl Lifeguard for TaintCheck {
                     ctx.alu(1);
                     off += chunk;
                 }
-                for i in 0..len {
-                    self.mem_taint.set(rec.addr + i, 1);
-                }
+                self.mem_taint.set_range(rec.addr, len, 1);
             }
             EventKind::IndirectJump => {
                 ctx.alu(2);

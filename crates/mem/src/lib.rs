@@ -23,6 +23,8 @@
 mod alloc;
 pub mod layout;
 mod memory;
+mod pagedir;
 
 pub use alloc::{HeapAllocator, HeapError};
 pub use memory::Memory;
+pub use pagedir::PageDirectory;

@@ -1,6 +1,6 @@
 //! Sparse paged memory.
 
-use std::collections::HashMap;
+use crate::pagedir::PageDirectory;
 
 const PAGE_SHIFT: u32 = 12;
 const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
@@ -11,6 +11,10 @@ const PAGE_MASK: u64 = (PAGE_SIZE as u64) - 1;
 /// Unwritten memory reads as zero, so programs can be loaded at arbitrary
 /// addresses without pre-touching pages. All multi-byte accesses are
 /// little-endian and may span page boundaries.
+///
+/// Pages live in an arena behind a [`PageDirectory`], so the executor's
+/// hot path — consecutive accesses within one page — resolves with a
+/// compare and an indexed load instead of hashing.
 ///
 /// # Examples
 ///
@@ -24,7 +28,9 @@ const PAGE_MASK: u64 = (PAGE_SIZE as u64) - 1;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct Memory {
-    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+    dir: PageDirectory,
+    /// Page arena; directory entries index into it and never move.
+    pages: Vec<Box<[u8; PAGE_SIZE]>>,
 }
 
 impl Memory {
@@ -40,10 +46,32 @@ impl Memory {
         self.pages.len()
     }
 
+    /// The resident page containing `addr`.
+    #[inline]
+    fn page_of(&self, addr: u64) -> Option<&[u8; PAGE_SIZE]> {
+        let idx = self.dir.get(addr >> PAGE_SHIFT)?;
+        Some(&self.pages[idx as usize])
+    }
+
+    /// Like [`page_of`](Self::page_of), but creates the page when absent.
+    fn page_of_mut(&mut self, addr: u64) -> &mut [u8; PAGE_SIZE] {
+        let page_no = addr >> PAGE_SHIFT;
+        let idx = match self.dir.get(page_no) {
+            Some(idx) => idx,
+            None => {
+                let idx = u32::try_from(self.pages.len()).expect("fewer than 2^32 memory pages");
+                self.pages.push(Box::new([0u8; PAGE_SIZE]));
+                self.dir.insert(page_no, idx);
+                idx
+            }
+        };
+        &mut self.pages[idx as usize]
+    }
+
     /// Reads one byte.
     #[must_use]
     pub fn read_u8(&self, addr: u64) -> u8 {
-        match self.pages.get(&(addr >> PAGE_SHIFT)) {
+        match self.page_of(addr) {
             Some(page) => page[(addr & PAGE_MASK) as usize],
             None => 0,
         }
@@ -51,11 +79,7 @@ impl Memory {
 
     /// Writes one byte.
     pub fn write_u8(&mut self, addr: u64, value: u8) {
-        let page = self
-            .pages
-            .entry(addr >> PAGE_SHIFT)
-            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
-        page[(addr & PAGE_MASK) as usize] = value;
+        self.page_of_mut(addr)[(addr & PAGE_MASK) as usize] = value;
     }
 
     /// Reads `N` little-endian bytes starting at `addr`.
@@ -64,7 +88,7 @@ impl Memory {
         // Fast path: whole access within one page.
         let off = (addr & PAGE_MASK) as usize;
         if off + N <= PAGE_SIZE {
-            if let Some(page) = self.pages.get(&(addr >> PAGE_SHIFT)) {
+            if let Some(page) = self.page_of(addr) {
                 out.copy_from_slice(&page[off..off + N]);
             }
             return out;
@@ -78,10 +102,7 @@ impl Memory {
     fn write_bytes(&mut self, addr: u64, bytes: &[u8]) {
         let off = (addr & PAGE_MASK) as usize;
         if off + bytes.len() <= PAGE_SIZE {
-            let page = self
-                .pages
-                .entry(addr >> PAGE_SHIFT)
-                .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+            let page = self.page_of_mut(addr);
             page[off..off + bytes.len()].copy_from_slice(bytes);
             return;
         }

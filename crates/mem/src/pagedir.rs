@@ -1,0 +1,202 @@
+//! A direct-mapped page directory with a one-entry translation cache —
+//! the indexing structure shared by the sparse paged [`Memory`] model and
+//! the lifeguards' shadow memory.
+//!
+//! Maps sparse 64-bit page numbers to dense `u32` arena indices. Level 1
+//! is a tag-checked slot array addressed by the page number's low bits; a
+//! rare colliding page falls through to the adjacent slot (linear
+//! probing), and the array doubles at three-quarters occupancy so probes
+//! stay short. In front sits a one-entry last-page cache — a software
+//! metadata-TLB — making the common case (consecutive accesses within one
+//! page) one compare, no hashing. Pages are never removed.
+//!
+//! [`Memory`]: crate::Memory
+
+use std::cell::Cell;
+
+/// Sentinel marking an empty directory slot / invalid cache entry.
+const NO_PAGE: u32 = u32::MAX;
+
+/// Initial capacity in slots; doubles when three-quarters full.
+const INITIAL_SLOTS: usize = 64;
+
+/// The direct-mapped page-number → arena-index directory.
+///
+/// # Examples
+///
+/// ```
+/// use lba_mem::PageDirectory;
+///
+/// let mut dir = PageDirectory::new();
+/// assert_eq!(dir.get(7), None);
+/// dir.insert(7, 0);
+/// assert_eq!(dir.get(7), Some(0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct PageDirectory {
+    /// Slot tags: the page number owning each slot (valid only where
+    /// `idx` is not the sentinel).
+    tags: Vec<u64>,
+    /// Slot payloads: the arena index of each slot's page.
+    idx: Vec<u32>,
+    /// Slot-index mask (`tags.len() - 1`; the length is a power of two).
+    mask: u64,
+    /// Occupied slots, for the resize trigger.
+    used: usize,
+    /// Last-page cache: (page number, arena index) of the most recent
+    /// lookup. A `Cell` so read hits refill it through `&self`.
+    last: Cell<(u64, u32)>,
+}
+
+impl Default for PageDirectory {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PageDirectory {
+    /// Creates an empty directory.
+    #[must_use]
+    pub fn new() -> Self {
+        PageDirectory {
+            tags: vec![0; INITIAL_SLOTS],
+            idx: vec![NO_PAGE; INITIAL_SLOTS],
+            mask: INITIAL_SLOTS as u64 - 1,
+            used: 0,
+            last: Cell::new((0, NO_PAGE)),
+        }
+    }
+
+    /// Number of pages entered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.used
+    }
+
+    /// Whether the directory is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.used == 0
+    }
+
+    /// The arena index of `page_no`, if entered — last-page cache first,
+    /// then the direct-mapped probe (refilling the cache on a hit).
+    #[inline]
+    #[must_use]
+    pub fn get(&self, page_no: u64) -> Option<u32> {
+        let (cached_no, cached_idx) = self.last.get();
+        if cached_idx != NO_PAGE && cached_no == page_no {
+            return Some(cached_idx);
+        }
+        let idx = self.probe(page_no)?;
+        self.last.set((page_no, idx));
+        Some(idx)
+    }
+
+    /// Slot-array lookup: one direct-mapped probe in the common case,
+    /// walking forward on collision.
+    #[inline]
+    fn probe(&self, page_no: u64) -> Option<u32> {
+        let mut slot = (page_no & self.mask) as usize;
+        loop {
+            let idx = self.idx[slot];
+            if idx == NO_PAGE {
+                return None;
+            }
+            if self.tags[slot] == page_no {
+                return Some(idx);
+            }
+            slot = (slot + 1) & self.mask as usize;
+        }
+    }
+
+    /// Enters `page_no` → `arena_idx`, growing the slot array when
+    /// three-quarters full, and primes the last-page cache.
+    ///
+    /// The caller must have checked [`get`](Self::get) first: entering a
+    /// page number twice leaves the older entry shadowing the newer one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arena_idx` is the reserved `u32::MAX` sentinel.
+    pub fn insert(&mut self, page_no: u64, arena_idx: u32) {
+        assert_ne!(arena_idx, NO_PAGE, "arena index u32::MAX is reserved");
+        if (self.used + 1) * 4 > self.tags.len() * 3 {
+            self.grow();
+        }
+        self.place(page_no, arena_idx);
+        self.used += 1;
+        self.last.set((page_no, arena_idx));
+    }
+
+    /// Writes one entry into the first free slot of its probe chain.
+    fn place(&mut self, page_no: u64, arena_idx: u32) {
+        let mut slot = (page_no & self.mask) as usize;
+        while self.idx[slot] != NO_PAGE {
+            slot = (slot + 1) & self.mask as usize;
+        }
+        self.tags[slot] = page_no;
+        self.idx[slot] = arena_idx;
+    }
+
+    /// Doubles the slot array and re-enters every page.
+    fn grow(&mut self) {
+        let new_len = self.tags.len() * 2;
+        let old_tags = std::mem::replace(&mut self.tags, vec![0; new_len]);
+        let old_idx = std::mem::replace(&mut self.idx, vec![NO_PAGE; new_len]);
+        self.mask = new_len as u64 - 1;
+        for (tag, idx) in old_tags.into_iter().zip(old_idx) {
+            if idx != NO_PAGE {
+                self.place(tag, idx);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_insert_round_trip() {
+        let mut dir = PageDirectory::new();
+        assert!(dir.is_empty());
+        dir.insert(42, 0);
+        dir.insert(7, 1);
+        assert_eq!(dir.get(42), Some(0));
+        assert_eq!(dir.get(7), Some(1));
+        assert_eq!(dir.get(8), None);
+        assert_eq!(dir.len(), 2);
+    }
+
+    #[test]
+    fn colliding_page_numbers_chain() {
+        // Congruent modulo every power-of-two size: all land in slot 0.
+        let mut dir = PageDirectory::new();
+        for i in 0..50u64 {
+            dir.insert(i << 40, i as u32);
+        }
+        for i in 0..50u64 {
+            assert_eq!(dir.get(i << 40), Some(i as u32), "page {i}");
+        }
+    }
+
+    #[test]
+    fn growth_preserves_entries() {
+        let mut dir = PageDirectory::new();
+        for i in 0..500u64 {
+            dir.insert(i * 3 + 1, i as u32);
+        }
+        for i in 0..500u64 {
+            assert_eq!(dir.get(i * 3 + 1), Some(i as u32));
+        }
+        assert_eq!(dir.len(), 500);
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved")]
+    fn sentinel_arena_index_rejected() {
+        let mut dir = PageDirectory::new();
+        dir.insert(0, u32::MAX);
+    }
+}

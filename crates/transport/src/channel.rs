@@ -66,6 +66,22 @@ pub struct PoppedRecord {
     pub ready_at: u64,
 }
 
+/// A frame's worth of decoded records handed to the consumer in one call,
+/// borrowed from the channel's decode buffer — the batch counterpart of
+/// [`PoppedRecord`].
+///
+/// All records in a frame became visible at the same instant (the frame
+/// ships as a unit), so one `ready_at` stamp covers the whole slice. The
+/// borrow ends before the next channel call, which is exactly the dispatch
+/// engine's consumption pattern: take a frame, deliver it, come back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoppedFrame<'a> {
+    /// The frame's records, in capture order.
+    pub records: &'a [EventRecord],
+    /// Producer-core cycle at which the frame became visible.
+    pub ready_at: u64,
+}
+
 /// Result of a producer-side push or flush.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PushOutcome {
@@ -98,7 +114,20 @@ pub trait LogChannel {
     /// Pops the next record on the consumer side. `None` means no record is
     /// currently available (modeled: buffer empty; live: channel closed and
     /// drained).
+    ///
+    /// This is the record-granular legacy path, kept callable as the
+    /// benchmark baseline; batch consumers use
+    /// [`pop_frame`](LogChannel::pop_frame).
     fn pop_record(&mut self) -> Option<PoppedRecord>;
+
+    /// Pops everything left of the oldest available frame as one slice with
+    /// a single `ready_at` stamp, consuming the frame whole (its buffer
+    /// space frees immediately). `None` means exactly what it means for
+    /// [`pop_record`](LogChannel::pop_record): nothing available right now.
+    ///
+    /// Mixing granularities is allowed: after `k` `pop_record` calls into a
+    /// frame of `n` records, `pop_frame` yields the remaining `n - k`.
+    fn pop_frame(&mut self) -> Option<PoppedFrame<'_>>;
 
     /// Whether a sealed frame is parked awaiting space.
     fn has_parked(&self) -> bool;

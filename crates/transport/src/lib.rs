@@ -17,6 +17,12 @@
 //!   lifeguard genuinely run on different OS threads and each frame is one
 //!   queue operation (amortised over `records_per_frame` records).
 //!
+//! Consumption is frame-granular by default: [`LogChannel::pop_frame`]
+//! lends a whole decoded frame out as one slice with a single `ready_at`
+//! stamp, and the dispatch engine delivers it as a batch. The per-record
+//! [`LogChannel::pop_record`] path is kept callable as the benchmark
+//! baseline.
+//!
 //! # Examples
 //!
 //! ```
@@ -36,6 +42,6 @@ mod channel;
 pub mod live;
 mod model;
 
-pub use channel::{ChannelStats, LogChannel, PoppedRecord, PushOutcome};
+pub use channel::{ChannelStats, LogChannel, PoppedFrame, PoppedRecord, PushOutcome};
 pub use live::LiveFrameChannel;
 pub use model::{BufferFullError, LogBufferModel, ModeledFrameChannel, TimedFrame, TransportStats};

@@ -47,7 +47,7 @@ use crossbeam::queue::ArrayQueue;
 use lba_compress::{Frame, FrameConfig, FrameDecoder, FrameEncoder};
 use lba_record::EventRecord;
 
-use crate::channel::{ChannelStats, LogChannel, PoppedRecord, PushOutcome};
+use crate::channel::{ChannelStats, LogChannel, PoppedFrame, PoppedRecord, PushOutcome};
 
 /// Spin briefly before yielding to the scheduler: the peer is typically
 /// mid-frame (microseconds away), so burning a few dozen pause
@@ -308,6 +308,38 @@ impl FrameReceiver {
         }
     }
 
+    /// Receives a frame's worth of records as one slice, blocking until a
+    /// frame arrives — the batch counterpart of [`recv`](Self::recv), one
+    /// queue operation and one decode per `records_per_frame` records.
+    /// Returns `None` once the producer is dropped and the queue drained.
+    ///
+    /// Mixing with [`recv`](Self::recv) is allowed: records already served
+    /// record-by-record are not repeated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a frame fails to decode (see [`recv`](Self::recv)).
+    pub fn recv_batch(&mut self) -> Option<&[EventRecord]> {
+        if self.cursor >= self.pending.len() {
+            let bytes = self.recv_frame()?;
+            self.ingest(bytes);
+        }
+        Some(self.serve_rest())
+    }
+
+    /// Decodes a received frame buffer and returns it to the buffer pool.
+    fn ingest(&mut self, bytes: Vec<u8>) {
+        self.decode(&bytes);
+        let _ = self.shared.pool.push(bytes); // return for reuse
+    }
+
+    /// Hands out every decoded-but-unserved record as one slice.
+    fn serve_rest(&mut self) -> &[EventRecord] {
+        let start = self.cursor;
+        self.cursor = self.pending.len();
+        &self.pending[start..]
+    }
+
     /// Non-blocking receive: `None` when no complete frame has arrived.
     pub fn try_recv(&mut self) -> Option<EventRecord> {
         loop {
@@ -481,6 +513,20 @@ impl LogChannel for LiveFrameChannel {
     fn pop_record(&mut self) -> Option<PoppedRecord> {
         self.receiver.try_recv().map(|record| PoppedRecord {
             record,
+            ready_at: 0,
+        })
+    }
+
+    fn pop_frame(&mut self) -> Option<PoppedFrame<'_>> {
+        let rx = &mut self.receiver;
+        if rx.cursor >= rx.pending.len() {
+            // Non-blocking like pop_record: only a frame already queued.
+            let bytes = rx.shared.queue.pop()?;
+            rx.shared.account_pop(&bytes);
+            rx.ingest(bytes);
+        }
+        Some(PoppedFrame {
+            records: rx.serve_rest(),
             ready_at: 0,
         })
     }

@@ -6,7 +6,7 @@ use std::fmt;
 use lba_compress::{Frame, FrameConfig, FrameDecoder, FrameEncoder, FRAME_LINE_BYTES};
 use lba_record::EventRecord;
 
-use crate::channel::{ChannelStats, LogChannel, PoppedRecord, PushOutcome};
+use crate::channel::{ChannelStats, LogChannel, PoppedFrame, PoppedRecord, PushOutcome};
 
 /// A sealed log frame annotated with its production time.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -191,6 +191,19 @@ impl LogBufferModel {
 /// are the genuine codec, the modeled path exercises the same wire format
 /// as the live path, and `verify` cross-checks every decoded record against
 /// the pushed original (with memory bounded by the frames in flight).
+///
+/// # Consume modes
+///
+/// The paper's decompressor is a *hardware* engine on the lifeguard core —
+/// its cost is part of the dispatch cycle model, not host work. The
+/// default constructor ([`new`](Self::new)) nevertheless software-decodes
+/// every popped frame, which is the pre-batching behaviour and the
+/// throughput-benchmark baseline. [`zero_copy`](Self::zero_copy) skips the
+/// redundant host decode: sealed frames carry their records alongside the
+/// wire bytes, so consuming hands back the originals while the wire
+/// accounting (and back-pressure timing) still comes from the genuinely
+/// encoded frames. Losslessness stays enforced by `verify` mode, the live
+/// channel (which always decodes for real), and the round-trip suites.
 #[derive(Debug)]
 pub struct ModeledFrameChannel {
     encoder: FrameEncoder,
@@ -209,10 +222,26 @@ pub struct ModeledFrameChannel {
     originals: VecDeque<EventRecord>,
     verify: bool,
     scratch: Vec<EventRecord>,
+    /// Decode buffer for [`pop_frame`](LogChannel::pop_frame): frames are
+    /// decoded straight into it and lent out as a slice, so the batch path
+    /// never copies records through the `open` queue.
+    batch: Vec<EventRecord>,
+    /// Zero-copy consume mode (see the type docs).
+    zero_copy: bool,
+    /// Zero-copy: records of the frame currently being staged (not yet
+    /// sealed by the encoder).
+    staging: Vec<EventRecord>,
+    /// Zero-copy: sealed frames' record batches in seal order, which is
+    /// also pop order (parked frames preserve FIFO).
+    ready: VecDeque<Vec<EventRecord>>,
+    /// Zero-copy: spent record batches recycled to avoid per-frame allocs.
+    batch_pool: Vec<Vec<EventRecord>>,
 }
 
 impl ModeledFrameChannel {
-    /// Creates a channel with a `capacity_bytes` buffer budget.
+    /// Creates a channel with a `capacity_bytes` buffer budget that
+    /// software-decodes every popped frame (the benchmark-baseline mode;
+    /// see the type docs).
     ///
     /// # Panics
     ///
@@ -221,6 +250,24 @@ impl ModeledFrameChannel {
     /// with a proper error first.
     #[must_use]
     pub fn new(capacity_bytes: u64, config: FrameConfig, verify: bool) -> Self {
+        Self::build(capacity_bytes, config, verify, false)
+    }
+
+    /// Creates a channel in zero-copy consume mode: popped frames hand
+    /// back the pushed records, skipping the redundant host decode while
+    /// shipping the identical wire bytes (see the type docs). With
+    /// `verify` set, every frame is additionally decoded with the real
+    /// codec and cross-checked.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity_bytes` is smaller than one cache-line frame.
+    #[must_use]
+    pub fn zero_copy(capacity_bytes: u64, config: FrameConfig, verify: bool) -> Self {
+        Self::build(capacity_bytes, config, verify, true)
+    }
+
+    fn build(capacity_bytes: u64, config: FrameConfig, verify: bool, zero_copy: bool) -> Self {
         assert!(
             capacity_bytes >= FRAME_LINE_BYTES as u64,
             "log buffer of {capacity_bytes} B cannot hold a single {FRAME_LINE_BYTES} B frame"
@@ -236,6 +283,11 @@ impl ModeledFrameChannel {
             originals: VecDeque::new(),
             verify,
             scratch: Vec::new(),
+            batch: Vec::new(),
+            zero_copy,
+            staging: Vec::new(),
+            ready: VecDeque::new(),
+            batch_pool: Vec::new(),
         }
     }
 
@@ -251,6 +303,77 @@ impl ModeledFrameChannel {
     fn frame_fits(&self, wire_bits: u64) -> bool {
         self.open_held_bits + self.buffer.occupied_bits() + wire_bits <= self.buffer.capacity_bits()
             || (self.buffer.is_empty() && self.open.is_empty())
+    }
+
+    /// Cross-checks freshly decoded records against the pushed originals
+    /// (only called when `verify` is set).
+    fn verify_decoded(originals: &mut VecDeque<EventRecord>, decoded: &[EventRecord]) {
+        for decoded in decoded {
+            let original = originals
+                .pop_front()
+                .expect("more decoded records than were pushed");
+            assert_eq!(
+                *decoded, original,
+                "frame round-trip mismatch: decoded {decoded:?}, pushed {original:?}"
+            );
+        }
+    }
+
+    /// Zero-copy bookkeeping at frame seal: the staged records become the
+    /// sealed frame's batch (pop order equals seal order, parked or not).
+    fn seal_staging(&mut self) {
+        if !self.zero_copy {
+            return;
+        }
+        let empty = self.batch_pool.pop().unwrap_or_default();
+        let batch = std::mem::replace(&mut self.staging, empty);
+        self.ready.push_back(batch);
+    }
+
+    /// Produces the records of a just-popped frame as an owned batch:
+    /// zero-copy mode hands back the pushed originals (decoding only to
+    /// cross-check under `verify`); decode mode runs the real decoder.
+    fn take_frame_records(&mut self, frame: &TimedFrame) -> Vec<EventRecord> {
+        if self.zero_copy {
+            let records = self
+                .ready
+                .pop_front()
+                .expect("a popped frame has a staged record batch");
+            assert_eq!(
+                records.len(),
+                frame.records as usize,
+                "staged batch must match the frame's record count"
+            );
+            if self.verify {
+                self.scratch.clear();
+                self.decoder
+                    .decode_frame(&frame.bytes, &mut self.scratch)
+                    .unwrap_or_else(|e| panic!("modeled frame failed to decode: {e}"));
+                assert_eq!(
+                    self.scratch, records,
+                    "frame round-trip mismatch between decoded and pushed records"
+                );
+            }
+            records
+        } else {
+            let mut records = self.batch_pool.pop().unwrap_or_default();
+            records.clear();
+            self.decoder
+                .decode_frame(&frame.bytes, &mut records)
+                .unwrap_or_else(|e| panic!("modeled frame failed to decode: {e}"));
+            if self.verify {
+                Self::verify_decoded(&mut self.originals, &records);
+            }
+            records
+        }
+    }
+
+    /// Returns a spent record batch to the pool for reuse.
+    fn recycle(&mut self, mut batch: Vec<EventRecord>) {
+        if self.batch_pool.len() < 4 {
+            batch.clear();
+            self.batch_pool.push(batch);
+        }
     }
 
     fn admit_or_park(&mut self, frame: Frame, now: u64) -> PushOutcome {
@@ -276,18 +399,27 @@ impl ModeledFrameChannel {
 
 impl LogChannel for ModeledFrameChannel {
     fn push_record(&mut self, record: &EventRecord, now: u64) -> PushOutcome {
-        if self.verify {
+        if self.verify && !self.zero_copy {
             self.originals.push_back(*record);
         }
+        if self.zero_copy {
+            self.staging.push(*record);
+        }
         match self.encoder.push(record) {
-            Some(frame) => self.admit_or_park(frame, now),
+            Some(frame) => {
+                self.seal_staging();
+                self.admit_or_park(frame, now)
+            }
             None => PushOutcome::Buffered,
         }
     }
 
     fn flush(&mut self, now: u64) -> PushOutcome {
         match self.encoder.flush() {
-            Some(frame) => self.admit_or_park(frame, now),
+            Some(frame) => {
+                self.seal_staging();
+                self.admit_or_park(frame, now)
+            }
             None => PushOutcome::Buffered,
         }
     }
@@ -306,25 +438,36 @@ impl LogChannel for ModeledFrameChannel {
             }
             let frame = self.buffer.pop()?;
             self.open_held_bits = frame.wire_bits();
-            self.scratch.clear();
-            self.decoder
-                .decode_frame(&frame.bytes, &mut self.scratch)
-                .unwrap_or_else(|e| panic!("modeled frame failed to decode: {e}"));
-            if self.verify {
-                for decoded in &self.scratch {
-                    let original = self
-                        .originals
-                        .pop_front()
-                        .expect("more decoded records than were pushed");
-                    assert_eq!(
-                        *decoded, original,
-                        "frame round-trip mismatch: decoded {decoded:?}, pushed {original:?}"
-                    );
-                }
-            }
-            self.open.extend(self.scratch.drain(..));
+            let records = self.take_frame_records(&frame);
+            self.open.extend(records.iter().copied());
+            self.recycle(records);
             self.open_ready_at = frame.ready_at;
         }
+    }
+
+    fn pop_frame(&mut self) -> Option<PoppedFrame<'_>> {
+        if !self.open.is_empty() {
+            // Remainder of a frame partially consumed through pop_record:
+            // hand it out whole and release the frame's lines.
+            self.batch.clear();
+            self.batch.extend(self.open.drain(..));
+            self.open_held_bits = 0;
+            return Some(PoppedFrame {
+                records: &self.batch,
+                ready_at: self.open_ready_at,
+            });
+        }
+        let frame = self.buffer.pop()?;
+        // The whole frame is consumed in one step, so its lines free now —
+        // the same release point the per-record path reaches when the
+        // frame's last record is popped.
+        let records = self.take_frame_records(&frame);
+        let spent = std::mem::replace(&mut self.batch, records);
+        self.recycle(spent);
+        Some(PoppedFrame {
+            records: &self.batch,
+            ready_at: frame.ready_at,
+        })
     }
 
     fn has_parked(&self) -> bool {

@@ -17,15 +17,19 @@
 //!  │  lba-isa       │  the simulated ISA: decode/encode, assembler │
 //!  │  lba-cpu       │  machine model: threads, clocks, syscalls    │
 //!  │       │        │                            │        ▲       │
-//!  │   capture      │                            │    dispatch    │
-//!  │ (lba-record)───┼─ VPC compression + frame ──┼─▶ (lba-lifeguard)
-//!  │       │        │  packing (lba-compress)    │        │       │
-//!  │  FrameEncoder ─┼─▶ LogChannel: cache-line ──┼─▶ lba-lifeguards
-//!  │                │   frames through the       │  AddrCheck ·   │
-//!  │  lba-cache     │   hierarchy (lba-transport,│  TaintCheck ·  │
-//!  │  lba-mem       │   modelled or live SPSC)   │  LockSet ·     │
-//!  └────────────────┘                            │  MemProfile    │
-//!                                                └────────────────┘
+//!  │   capture      │                            │ frame-granular │
+//!  │ (lba-record)───┼─ VPC compression + frame ──┼─▶  dispatch    │
+//!  │       │        │  packing (lba-compress)    │ (lba-lifeguard:│
+//!  │  FrameEncoder ─┼─▶ LogChannel: cache-line ──┼─▶ pop_frame +  │
+//!  │                │   frames through the       │ deliver_batch) │
+//!  │  lba-cache     │   hierarchy (lba-transport,│        │       │
+//!  │  lba-mem       │   modelled or live SPSC)   │  lba-lifeguards│
+//!  └────────────────┘                            │  AddrCheck ·   │
+//!         consumption is frame-at-a-time: one    │  TaintCheck ·  │
+//!         ready_at stamp, one HandlerCtx and one │  LockSet ·     │
+//!         subscription-mask fetch per frame (the │  MemProfile    │
+//!         per-record path stays as the bench     └────────────────┘
+//!         baseline, LogConfig::batch_dispatch)
 //! ```
 //!
 //! ## Crate map
@@ -38,8 +42,8 @@
 //! | `lba-cache`      | set-associative caches and the two-core memory system |
 //! | `lba-record`     | the typed event-record vocabulary the log carries     |
 //! | `lba-compress`   | value-prediction log compression + chunked frame codec (< 1 byte/instr on the wire) |
-//! | `lba-transport`  | `LogChannel` trait: framed buffer timing model + live cross-thread frame channel |
-//! | `lba-lifeguard`  | dispatch engine, event filters, findings, history     |
+//! | `lba-transport`  | `LogChannel` trait: framed buffer timing model + live cross-thread frame channel, frame-granular `pop_frame` |
+//! | `lba-lifeguard`  | dispatch engine (batch + per-record), event filters, findings, flat paged shadow memory |
 //! | `lba-lifeguards` | the paper's four lifeguards                           |
 //! | `lba-dbi`        | Valgrind-style inline instrumentation baseline        |
 //! | `lba-workloads`  | deterministic benchmark programs                      |

@@ -2,7 +2,7 @@
 //! benchmark harness.
 //!
 //! The build environment has no network access, so this vendor crate
-//! implements exactly the API subset the workspace's four bench targets use:
+//! implements exactly the API subset the workspace's bench targets use:
 //! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`] with a
 //! [`Bencher::iter`] closure, per-group [`Throughput`] / sample-size
 //! configuration, and the [`criterion_group!`] / [`criterion_main!`] macros.
@@ -10,8 +10,21 @@
 //! prints a mean (plus element throughput when configured) — no statistical
 //! analysis, plots, or baseline comparison, but the same source compiles and
 //! the numbers are usable for coarse regression spotting.
+//!
+//! Like real criterion, passing `--test` (`cargo bench -- --test`) runs
+//! every benchmark exactly once as a smoke check instead of sampling — CI
+//! uses this so bench targets cannot bit-rot without anyone noticing.
 
 use std::time::Instant;
+
+/// Whether the process was invoked in test mode (`--test` among the CLI
+/// arguments), mirroring real criterion's smoke-check flag. Benches doing
+/// their own warm-up/sampling outside the harness should consult this to
+/// keep the CI smoke step fast.
+#[must_use]
+pub fn is_test_mode() -> bool {
+    std::env::args().any(|arg| arg == "--test")
+}
 
 /// Declared workload size for throughput reporting.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -82,7 +95,7 @@ impl BenchmarkGroup<'_> {
     {
         let id = id.into();
         let mut bencher = Bencher {
-            samples: self.sample_size,
+            samples: if is_test_mode() { 1 } else { self.sample_size },
             total_nanos: 0.0,
             iters: 0,
         };
