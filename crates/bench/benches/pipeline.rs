@@ -1,8 +1,10 @@
 //! End-to-end pipeline throughput: events/sec through `run_lba` and
 //! `run_live` for all four lifeguards, with the pre-batching per-record
 //! consumption path (`LogConfig::batch_dispatch = false`) kept callable as
-//! the baseline, plus an isolated consumption-path pair that contrasts
-//! `pop_record`+`deliver` against `pop_frame`+`deliver_batch` directly.
+//! the baseline; the sharded `run_live_parallel` series across shard
+//! counts for the lifeguards that support address interleaving; plus an
+//! isolated consumption-path pair that contrasts `pop_record`+`deliver`
+//! against `pop_frame`+`deliver_batch` directly.
 //!
 //! `cargo bench -p lba-bench --bench pipeline` prints a best-of-N summary
 //! with the batched-over-per-record speedups before the Criterion samples;
@@ -11,8 +13,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
-use lba::{run_lba, run_live, SystemConfig};
-use lba_bench::pipeline::{self, PipelineRow};
+use lba::{run_lba, run_live, run_live_parallel, SystemConfig};
+use lba_bench::pipeline::{self, PipelineRow, SHARD_COUNTS};
 use lba_workloads::Benchmark;
 
 fn config(batched: bool) -> SystemConfig {
@@ -74,6 +76,31 @@ fn bench_pipeline(c: &mut Criterion) {
                         .expect("runs")
                         .log
                         .records
+                })
+            });
+        }
+    }
+    group.finish();
+
+    // The sharded live pipeline: 1 producer + N consumer threads, each
+    // shard decoding its own compressed frame stream.
+    let mut group = c.benchmark_group("live_parallel");
+    group
+        .sample_size(samples)
+        .throughput(Throughput::Elements(records));
+    for (name, make) in pipeline::sharded_lifeguards() {
+        for shards in SHARD_COUNTS {
+            let cfg = config(true);
+            let program = &program;
+            group.bench_function(format!("{name}_x{shards}"), |b| {
+                b.iter(|| {
+                    // Retired records, not per-shard shipped records: the
+                    // group's Throughput::Elements is the single-stream
+                    // count, and broadcasts are transport duplication.
+                    run_live_parallel(program, make, shards, &cfg)
+                        .expect("runs")
+                        .trace
+                        .instructions()
                 })
             });
         }

@@ -15,7 +15,7 @@
 
 use std::time::Instant;
 
-use lba::{run_lba, run_live, SystemConfig};
+use lba::{run_lba, run_live, run_live_parallel, SystemConfig};
 use lba_cache::{MemSystem, MemSystemConfig};
 use lba_cpu::Machine;
 use lba_lifeguard::{DispatchEngine, Lifeguard};
@@ -39,11 +39,28 @@ pub fn lifeguards() -> Vec<(&'static str, LifeguardFactory)> {
     ]
 }
 
+/// The lifeguards the sharded (parallel) modes support — those whose
+/// per-address state is independent, so address-interleaved routing is
+/// sound. TaintCheck is excluded: its register state forms a sequential
+/// dependence chain through every instruction (same soundness note as the
+/// modeled `run_lba_parallel`).
+#[must_use]
+pub fn sharded_lifeguards() -> Vec<(&'static str, LifeguardFactory)> {
+    vec![
+        ("addrcheck", || Box::new(AddrCheck::new())),
+        ("lockset", || Box::new(LockSet::new())),
+    ]
+}
+
+/// Shard counts the live-parallel series measures.
+pub const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+
 /// One throughput measurement.
 #[derive(Debug, Clone)]
 pub struct PipelineRow {
-    /// Execution mode: `"lba"` (deterministic co-simulation) or `"live"`
-    /// (two OS threads).
+    /// Execution mode: `"lba"` (deterministic co-simulation), `"live"`
+    /// (two OS threads), `"live-parallel"` (1 producer + N consumer
+    /// threads), or `"consume"` (isolated consumption path).
     pub mode: &'static str,
     /// Lifeguard name.
     pub lifeguard: &'static str,
@@ -52,6 +69,8 @@ pub struct PipelineRow {
     /// Whether consumption was frame-granular (the default) or the
     /// per-record baseline.
     pub batched: bool,
+    /// Lifeguard shard count (1 for the unsharded modes).
+    pub shards: usize,
     /// Log records consumed.
     pub records: u64,
     /// Best-of-N wall-clock seconds.
@@ -80,8 +99,9 @@ fn config(batched: bool) -> SystemConfig {
 }
 
 /// Runs the full measurement matrix: both execution modes, all four
-/// lifeguards on gzip, batched and per-record, plus the isolated
-/// consumption-path pair. `samples` is the best-of-N count per cell.
+/// lifeguards on gzip, batched and per-record, the live-parallel series
+/// across shard counts, plus the isolated consumption-path pair.
+/// `samples` is the best-of-N count per cell.
 #[must_use]
 pub fn measure_pipeline(samples: usize) -> Vec<PipelineRow> {
     let program = Benchmark::Gzip.build();
@@ -101,6 +121,7 @@ pub fn measure_pipeline(samples: usize) -> Vec<PipelineRow> {
                 lifeguard: name,
                 benchmark: "gzip",
                 batched,
+                shards: 1,
                 records,
                 wall_seconds: wall,
                 events_per_sec: records as f64 / wall,
@@ -117,6 +138,44 @@ pub fn measure_pipeline(samples: usize) -> Vec<PipelineRow> {
                 lifeguard: name,
                 benchmark: "gzip",
                 batched,
+                shards: 1,
+                records,
+                wall_seconds: wall,
+                events_per_sec: records as f64 / wall,
+            });
+        }
+    }
+    rows.extend(measure_live_parallel(samples));
+    rows
+}
+
+/// The live-parallel series: events/sec through `run_live_parallel` on
+/// gzip for every supported lifeguard at each shard count. Events are
+/// *retired records* — the same work whatever the shard count — so the
+/// rate is comparable across shard counts and with the unsharded live
+/// series. (Broadcast records are shipped once per shard, but that is
+/// transport duplication, not new events; counting it would manufacture
+/// phantom speedup from duplicated work.) Consumption stays on the
+/// default frame-granular path.
+#[must_use]
+pub fn measure_live_parallel(samples: usize) -> Vec<PipelineRow> {
+    let program = Benchmark::Gzip.build();
+    let cfg = config(true);
+    let mut rows = Vec::new();
+    for (name, make) in sharded_lifeguards() {
+        for shards in SHARD_COUNTS {
+            let (records, wall) = best_of(samples, || {
+                run_live_parallel(&program, make, shards, &cfg)
+                    .expect("gzip runs clean")
+                    .trace
+                    .instructions()
+            });
+            rows.push(PipelineRow {
+                mode: "live-parallel",
+                lifeguard: name,
+                benchmark: "gzip",
+                batched: true,
+                shards,
                 records,
                 wall_seconds: wall,
                 events_per_sec: records as f64 / wall,
@@ -215,6 +274,7 @@ pub fn measure_consume(samples: usize) -> Vec<PipelineRow> {
             lifeguard: "addrcheck",
             benchmark: "gzip",
             batched,
+            shards: 1,
             records: n,
             wall_seconds: wall,
             events_per_sec: n as f64 / wall,
@@ -237,6 +297,21 @@ pub fn speedup(rows: &[PipelineRow], mode: &str, lifeguard: &str) -> Option<f64>
     Some(batched.events_per_sec / baseline.events_per_sec)
 }
 
+/// The sharded ratio: a live-parallel row's events/sec over the one-shard
+/// row of the same lifeguard, if both are present. On genuinely parallel
+/// hardware this is the scaling curve; on a 1-vCPU box it hovers near (or
+/// below) 1.0 because the threads cannot overlap.
+#[must_use]
+pub fn shard_speedup(rows: &[PipelineRow], lifeguard: &str, shards: usize) -> Option<f64> {
+    let find = |shards: usize| {
+        rows.iter()
+            .find(|r| r.mode == "live-parallel" && r.lifeguard == lifeguard && r.shards == shards)
+    };
+    let sharded = find(shards)?;
+    let single = find(1)?;
+    Some(sharded.events_per_sec / single.events_per_sec)
+}
+
 /// Renders the pipeline-throughput table.
 #[must_use]
 pub fn render_pipeline(rows: &[PipelineRow]) -> String {
@@ -246,11 +321,15 @@ pub fn render_pipeline(rows: &[PipelineRow]) -> String {
         "lifeguard",
         "benchmark",
         "path",
+        "shards",
         "Mevents/s",
         "speedup",
     ]);
     for row in rows {
-        let speedup = if row.batched {
+        let speedup = if row.mode == "live-parallel" && row.shards > 1 {
+            shard_speedup(rows, row.lifeguard, row.shards)
+                .map_or(String::new(), |s| format!("{s:.2}x vs 1 shard"))
+        } else if row.batched {
             speedup(rows, row.mode, row.lifeguard)
                 .map_or(String::new(), |s| format!("{s:.2}x vs per-record"))
         } else {
@@ -265,6 +344,7 @@ pub fn render_pipeline(rows: &[PipelineRow]) -> String {
             } else {
                 "per-record".to_string()
             },
+            row.shards.to_string(),
             format!("{:.2}", row.events_per_sec / 1e6),
             speedup,
         ]);
@@ -282,8 +362,8 @@ pub fn pipeline_json(rows: &[PipelineRow]) -> String {
     for (i, row) in rows.iter().enumerate() {
         let sep = if i + 1 == rows.len() { "" } else { "," };
         out.push_str(&format!(
-            "    {{\"mode\": \"{}\", \"lifeguard\": \"{}\", \"benchmark\": \"{}\", \"batched\": {}, \"records\": {}, \"wall_seconds\": {:.6}, \"events_per_sec\": {:.0}}}{sep}\n",
-            row.mode, row.lifeguard, row.benchmark, row.batched, row.records, row.wall_seconds, row.events_per_sec,
+            "    {{\"mode\": \"{}\", \"lifeguard\": \"{}\", \"benchmark\": \"{}\", \"batched\": {}, \"shards\": {}, \"records\": {}, \"wall_seconds\": {:.6}, \"events_per_sec\": {:.0}}}{sep}\n",
+            row.mode, row.lifeguard, row.benchmark, row.batched, row.shards, row.records, row.wall_seconds, row.events_per_sec,
         ));
     }
     out.push_str("  ]\n}\n");
@@ -294,35 +374,47 @@ pub fn pipeline_json(rows: &[PipelineRow]) -> String {
 mod tests {
     use super::*;
 
+    fn row(mode: &'static str, batched: bool, shards: usize, events_per_sec: f64) -> PipelineRow {
+        PipelineRow {
+            mode,
+            lifeguard: "addrcheck",
+            benchmark: "gzip",
+            batched,
+            shards,
+            records: 10,
+            wall_seconds: 10.0 / events_per_sec,
+            events_per_sec,
+        }
+    }
+
     #[test]
     fn json_document_is_well_formed_enough() {
-        let rows = vec![
-            PipelineRow {
-                mode: "lba",
-                lifeguard: "addrcheck",
-                benchmark: "gzip",
-                batched: true,
-                records: 10,
-                wall_seconds: 0.5,
-                events_per_sec: 20.0,
-            },
-            PipelineRow {
-                mode: "lba",
-                lifeguard: "addrcheck",
-                benchmark: "gzip",
-                batched: false,
-                records: 10,
-                wall_seconds: 1.0,
-                events_per_sec: 10.0,
-            },
-        ];
+        let rows = vec![row("lba", true, 1, 20.0), row("lba", false, 1, 10.0)];
         let json = pipeline_json(&rows);
         assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
         assert_eq!(json.matches("\"mode\"").count(), 2, "one per row");
+        assert_eq!(
+            json.matches("\"shards\"").count(),
+            2,
+            "every row carries its shard count"
+        );
         assert!(!json.contains(",\n  ]"), "no trailing comma");
         assert_eq!(speedup(&rows, "lba", "addrcheck"), Some(2.0));
         let table = render_pipeline(&rows);
         assert!(table.contains("frame-batched"));
         assert!(table.contains("2.00x vs per-record"));
+    }
+
+    #[test]
+    fn shard_speedup_compares_against_one_shard() {
+        let rows = vec![
+            row("live-parallel", true, 1, 10.0),
+            row("live-parallel", true, 2, 15.0),
+            row("live-parallel", true, 4, 30.0),
+        ];
+        assert_eq!(shard_speedup(&rows, "addrcheck", 4), Some(3.0));
+        assert_eq!(shard_speedup(&rows, "lockset", 4), None);
+        let table = render_pipeline(&rows);
+        assert!(table.contains("3.00x vs 1 shard"));
     }
 }

@@ -58,6 +58,20 @@ pub struct FrameConfig {
     pub compress: bool,
 }
 
+impl FrameConfig {
+    /// Nominal wire size of one sealed full frame under this configuration:
+    /// header plus `records_per_frame` raw-encoded records, padded to the
+    /// cache-line multiple. Compression typically shrinks the payload well
+    /// below this, so the figure serves as the budget-to-frame-count
+    /// conversion (e.g. turning a byte budget into a live queue depth), not
+    /// as a hard per-frame bound.
+    #[must_use]
+    pub fn nominal_wire_bytes(&self) -> usize {
+        let unpadded = FRAME_HEADER_BYTES + self.records_per_frame * RAW_RECORD_BYTES;
+        unpadded.div_ceil(FRAME_LINE_BYTES) * FRAME_LINE_BYTES
+    }
+}
+
 impl Default for FrameConfig {
     fn default() -> Self {
         FrameConfig {
@@ -589,5 +603,24 @@ mod tests {
             dec.decode_frame(&frame.bytes, &mut out),
             Err(FrameDecodeError::Codec(DecodeStreamError::UnexpectedEof))
         ));
+    }
+
+    #[test]
+    fn nominal_wire_bytes_is_line_multiple_and_covers_raw_frames() {
+        // One record: header + 25 B rounds up to one line.
+        let one = FrameConfig {
+            records_per_frame: 1,
+            compress: false,
+        };
+        assert_eq!(one.nominal_wire_bytes(), FRAME_LINE_BYTES);
+        // The default config: 8 + 256 * 25 = 6408 -> 101 lines.
+        assert_eq!(FrameConfig::default().nominal_wire_bytes(), 101 * 64);
+        // In raw mode the nominal size is exact: a sealed full frame's
+        // wire image is header + records * RAW_RECORD_BYTES, padded.
+        let mut enc = FrameEncoder::new(one);
+        let frame = enc
+            .push(&EventRecord::alu(0x1000, 0, None, None, None))
+            .expect("one-record frames seal per push");
+        assert_eq!(frame.bytes.len(), one.nominal_wire_bytes());
     }
 }

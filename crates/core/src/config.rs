@@ -6,6 +6,13 @@ use lba_cpu::MachineConfig;
 use lba_dbi::DbiConfig;
 use lba_lifeguard::{AddrRangeFilter, DispatchConfig};
 
+/// Ceiling on the live channel queue depth derived by
+/// [`LogConfig::live_channel_frames`] — the queues are allocated eagerly,
+/// so the depth must stay bounded no matter the byte budget. At the
+/// default frame size this is ~6.3 MiB of in-flight wire per channel,
+/// far past the point where back-pressure has any effect.
+pub const MAX_LIVE_CHANNEL_FRAMES: usize = 1024;
+
 /// Configuration of the log pipeline (capture → compress → buffer →
 /// dispatch).
 #[derive(Debug, Clone)]
@@ -54,6 +61,29 @@ impl LogConfig {
             records_per_frame: self.records_per_frame,
             compress: self.compression,
         }
+    }
+
+    /// Frames the live SPSC queue may hold before the producer blocks —
+    /// the live analogue of the modeled buffer's byte budget: the depth at
+    /// which `buffer_bytes` worth of nominal (raw-encoded, line-padded)
+    /// frames fills the queue, but always at least one frame so every
+    /// configuration can make progress.
+    ///
+    /// The depth is capped at [`MAX_LIVE_CHANNEL_FRAMES`]: unlike the
+    /// modeled buffer, whose budget is pure accounting, the live channel
+    /// eagerly allocates two queues of this depth per shard, so an
+    /// astronomical `buffer_bytes` must not translate into an
+    /// astronomical allocation.
+    ///
+    /// Shared by `run_live` (one channel) and `run_live_parallel` (one
+    /// channel per shard), so shrinking `buffer_bytes` tightens live
+    /// back-pressure the same way it does in the co-simulation.
+    #[must_use]
+    pub fn live_channel_frames(&self) -> usize {
+        let frame_bytes = self.frame_config().nominal_wire_bytes() as u64;
+        usize::try_from(self.buffer_bytes / frame_bytes)
+            .unwrap_or(usize::MAX)
+            .clamp(1, MAX_LIVE_CHANNEL_FRAMES)
     }
 
     /// Validates the transport-related fields, returning a descriptive
@@ -144,5 +174,26 @@ mod tests {
         // The paper's cache geometry flows through from lba-cache.
         assert_eq!(c.mem_dual().l1d.size_bytes, 16 << 10);
         assert_eq!(c.mem_dual().l2.size_bytes, 512 << 10);
+    }
+
+    #[test]
+    fn live_channel_depth_tracks_the_buffer_budget() {
+        // Default: 64 KiB budget over 6464-byte nominal frames = 10 deep.
+        let mut c = LogConfig::default();
+        assert_eq!(c.live_channel_frames(), 10);
+        // A bigger budget deepens the queue proportionally…
+        c.buffer_bytes = 256 << 10;
+        assert_eq!(c.live_channel_frames(), 40);
+        // …bigger frames shallow it…
+        c.records_per_frame = 1024;
+        assert!(c.live_channel_frames() < 40);
+        // …and a sub-frame budget still leaves one slot (the live mode is
+        // functional: the producer just blocks more).
+        c.buffer_bytes = 64;
+        assert_eq!(c.live_channel_frames(), 1);
+        // An astronomical budget cannot become an astronomical eager
+        // allocation: the depth caps out.
+        c.buffer_bytes = 1 << 40;
+        assert_eq!(c.live_channel_frames(), MAX_LIVE_CHANNEL_FRAMES);
     }
 }

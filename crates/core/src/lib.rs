@@ -21,7 +21,10 @@
 //!
 //! The [`experiment`] module regenerates every table and figure in the
 //! paper (`cargo run --release -p lba-bench --bin figures`), and the
-//! [`parallel`] and filtering extensions implement the §3 future work.
+//! [`parallel`], [`live_parallel`] and filtering extensions implement the
+//! §3 future work — [`run_live_parallel`] runs the sharded design for
+//! real, with one consumer thread per shard decoding its own compressed
+//! frame stream.
 //!
 //! # Quickstart
 //!
@@ -48,17 +51,24 @@ mod cosim;
 pub mod experiment;
 mod kind;
 mod live;
+pub mod live_parallel;
 pub mod parallel;
 pub mod report;
 mod run;
 pub mod table;
 
-pub use config::{LogConfig, SystemConfig};
+pub use config::{LogConfig, SystemConfig, MAX_LIVE_CHANNEL_FRAMES};
 pub use cosim::run_lba;
 pub use kind::LifeguardKind;
 pub use live::run_live;
-pub use report::{LiveReport, LogStats, Mode, RunReport, StallBreakdown};
+pub use live_parallel::run_live_parallel;
+pub use report::{LiveParallelReport, LiveReport, LogStats, Mode, RunReport, StallBreakdown};
 pub use run::{run_dbi, run_unmonitored};
+
+// Per-shard transport statistics appear in the parallel reports; re-export
+// the type so downstream code can name it without a direct lba-transport
+// dependency.
+pub use lba_transport::ChannelStats;
 
 // The execution error type comes from the CPU substrate.
 pub use lba_cpu::RunError;

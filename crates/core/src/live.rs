@@ -24,10 +24,6 @@ use lba_transport::live;
 use crate::config::SystemConfig;
 use crate::report::{LiveReport, LogStats};
 
-/// Frames in flight before the producer blocks (the live analogue of the
-/// modeled buffer's byte budget).
-const CHANNEL_FRAMES: usize = 64;
-
 /// Runs `program` on one thread and the lifeguard on another, returning
 /// the lifeguard's findings together with the measured wire statistics.
 ///
@@ -45,7 +41,12 @@ pub fn run_live(
     config: &SystemConfig,
 ) -> Result<LiveReport, RunError> {
     config.log.validate_framing()?;
-    let (mut tx, mut rx) = live::frame_channel(CHANNEL_FRAMES, config.log.frame_config());
+    // The queue depth — frames in flight before the producer blocks — is
+    // the live analogue of the modeled buffer's byte budget, derived from
+    // `buffer_bytes` rather than hard-coded (regression: a fixed depth of
+    // 64 used to ignore the budget entirely).
+    let (mut tx, mut rx) =
+        live::frame_channel(config.log.live_channel_frames(), config.log.frame_config());
     let engine = DispatchEngine::new(config.dispatch);
     let machine_config = config.machine;
 
@@ -164,6 +165,26 @@ mod tests {
         assert_eq!(report.log.compressed_bits, cosim.log.compressed_bits);
         assert_eq!(report.log.frames, cosim.log.frames);
         assert_eq!(report.log.wire_bits, cosim.log.wire_bits);
+    }
+
+    #[test]
+    fn live_back_pressure_depth_follows_the_buffer_budget() {
+        // Regression: the live mode used to hard-code a 64-frame queue and
+        // silently ignore `buffer_bytes`. A sub-frame budget now means a
+        // one-deep queue — maximal back-pressure — and the pipeline must
+        // still complete, lossless, with the same wire stream the default
+        // budget ships.
+        let program = bugs::memory_bugs();
+        let mut tight = SystemConfig::default();
+        tight.log.buffer_bytes = 64;
+        assert_eq!(tight.log.live_channel_frames(), 1);
+        let mut lg = AddrCheck::new();
+        let constrained = run_live(&program, &mut lg, &tight).unwrap();
+        let mut lg = AddrCheck::new();
+        let roomy = run_live(&program, &mut lg, &SystemConfig::default()).unwrap();
+        assert_eq!(constrained.findings, roomy.findings);
+        assert_eq!(constrained.log.records, roomy.log.records);
+        assert_eq!(constrained.log.wire_bits, roomy.log.wire_bits);
     }
 
     #[test]

@@ -30,8 +30,8 @@ use lba_cache::MemSystemConfig;
 use lba_cpu::{Machine, RunError, StepOutcome};
 use lba_isa::Program;
 use lba_lifeguard::{DispatchEngine, Finding, Lifeguard};
-use lba_record::{EventKind, TraceStats};
-use lba_transport::{ChannelStats, LogChannel, ModeledFrameChannel};
+use lba_record::TraceStats;
+use lba_transport::{shard_of, ChannelStats, LogChannel, ModeledFrameChannel};
 
 use crate::config::SystemConfig;
 
@@ -67,6 +67,26 @@ impl ParallelReport {
     pub fn max_shard_cycles(&self) -> u64 {
         self.shard_cycles.iter().copied().max().unwrap_or(0)
     }
+}
+
+/// Merges per-shard finding lists in shard order, deduplicating on the
+/// identifying fields — broadcast events surface the same finding on every
+/// shard (e.g. each one sees the same double free). Shared by the modeled
+/// and live sharded modes so their merge semantics cannot drift apart (the
+/// integration tests pin their outputs equal).
+pub(crate) fn merge_shard_findings(
+    shard_findings: impl IntoIterator<Item = Vec<Finding>>,
+) -> Vec<Finding> {
+    let mut seen = HashSet::new();
+    let mut findings = Vec::new();
+    for shard in shard_findings {
+        for f in shard {
+            if seen.insert((f.kind, f.pc, f.addr, f.tid)) {
+                findings.push(f);
+            }
+        }
+    }
+    findings
 }
 
 /// Runs `program` with the lifeguard sharded `shards` ways by address.
@@ -141,12 +161,9 @@ pub fn run_lba_parallel(
             StepOutcome::Retired(r) => {
                 trace.observe(&r.record);
                 app_cycles += r.cycles;
-                let route = match r.record.kind {
-                    EventKind::Load | EventKind::Store => {
-                        Some(((r.record.addr / 64) % shards as u64) as usize)
-                    }
-                    _ => None, // broadcast
-                };
+                // Address-interleaved routing, shared with the live mode
+                // (`None` means broadcast).
+                let route = shard_of(&r.record, shards);
                 for (idx, channel) in channels.iter_mut().enumerate() {
                     match route {
                         Some(owner) if owner != idx => {
@@ -196,19 +213,7 @@ pub fn run_lba_parallel(
         );
     }
 
-    // Merge findings; broadcast events can produce duplicates (e.g. every
-    // shard sees the same double free). Key on the identifying fields —
-    // a hash probe per finding instead of a linear scan.
-    let mut seen = HashSet::new();
-    let mut findings: Vec<Finding> = Vec::new();
-    for shard in shard_findings {
-        for f in shard {
-            if seen.insert((f.kind, f.pc, f.addr, f.tid)) {
-                findings.push(f);
-            }
-        }
-    }
-
+    let findings = merge_shard_findings(shard_findings);
     let shard_log: Vec<ChannelStats> = channels.iter().map(|c| c.stats()).collect();
     let total_cycles = app_cycles.max(shard_cycles.iter().copied().max().unwrap_or(0));
     Ok(ParallelReport {

@@ -4,6 +4,7 @@ use std::fmt;
 
 use lba_lifeguard::Finding;
 use lba_record::TraceStats;
+use lba_transport::ChannelStats;
 
 /// Which execution model produced a report.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -84,6 +85,63 @@ impl fmt::Display for LiveReport {
             self.log.records,
             self.log.frames,
             self.log.wire_bytes_per_instruction,
+        )?;
+        for finding in &self.findings {
+            writeln!(f, "  {finding}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The result of a sharded live run (`run_live_parallel`): one producer
+/// thread fanning the log out to `shards` consumer threads, each decoding
+/// its own compressed frame stream. Findings are merged and deduplicated
+/// across shards; the transport statistics stay per shard, because each
+/// shard is an independent wire stream with its own predictor state. No
+/// modeled clocks — for timing, see
+/// [`ParallelReport`](crate::parallel::ParallelReport).
+#[derive(Debug, Clone)]
+pub struct LiveParallelReport {
+    /// Program name.
+    pub program: String,
+    /// Shard count (consumer threads).
+    pub shards: usize,
+    /// Findings merged over shards, deduplicated on `(kind, pc, addr,
+    /// tid)` — broadcast events surface the same finding on every shard.
+    pub findings: Vec<Finding>,
+    /// Retired-instruction statistics, gathered on the producer thread.
+    pub trace: TraceStats,
+    /// Per-shard transport statistics (records, frames, wire bits), in
+    /// shard order.
+    pub shard_log: Vec<ChannelStats>,
+}
+
+impl LiveParallelReport {
+    /// Records carried across all shards. Broadcast records are counted
+    /// once per shard, so this is at least the retired event count.
+    #[must_use]
+    pub fn total_records(&self) -> u64 {
+        self.shard_log.iter().map(|s| s.records).sum()
+    }
+
+    /// Wire bits shipped across all shards.
+    #[must_use]
+    pub fn total_wire_bits(&self) -> u64 {
+        self.shard_log.iter().map(|s| s.wire_bits).sum()
+    }
+}
+
+impl fmt::Display for LiveParallelReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} [live x{} shards]: {} instructions; log: {} records, {} frames, {} wire bits across shards",
+            self.program,
+            self.shards,
+            self.trace.instructions(),
+            self.total_records(),
+            self.shard_log.iter().map(|s| s.frames).sum::<u64>(),
+            self.total_wire_bits(),
         )?;
         for finding in &self.findings {
             writeln!(f, "  {finding}")?;

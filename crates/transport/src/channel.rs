@@ -25,7 +25,29 @@
 //! that resolve back-pressure internally by blocking (the live channel)
 //! never return `BackPressure`.
 
-use lba_record::EventRecord;
+use lba_record::{EventKind, EventRecord};
+
+/// The shard owning `record` under address-interleaved routing, or `None`
+/// for records every shard must see.
+///
+/// Load/store records belong to the shard owning their 64-byte cache line
+/// (`(addr / 64) % shards`); every other kind (alloc/free, lock/unlock,
+/// syscalls, …) is broadcast because it updates state all shards need.
+/// Both the modeled (`run_lba_parallel`) and live (`run_live_parallel`)
+/// sharded modes route with this function, so their per-shard record
+/// streams — and therefore their per-shard wire streams — are identical.
+///
+/// # Panics
+///
+/// Panics if `shards` is zero.
+#[must_use]
+pub fn shard_of(record: &EventRecord, shards: usize) -> Option<usize> {
+    assert!(shards > 0, "need at least one shard");
+    match record.kind {
+        EventKind::Load | EventKind::Store => Some(((record.addr / 64) % shards as u64) as usize),
+        _ => None,
+    }
+}
 
 /// Aggregate statistics for one channel, in the units the paper cares
 /// about: records, frames, and bytes on the wire.

@@ -42,6 +42,6 @@ mod channel;
 pub mod live;
 mod model;
 
-pub use channel::{ChannelStats, LogChannel, PoppedFrame, PoppedRecord, PushOutcome};
+pub use channel::{shard_of, ChannelStats, LogChannel, PoppedFrame, PoppedRecord, PushOutcome};
 pub use live::LiveFrameChannel;
 pub use model::{BufferFullError, LogBufferModel, ModeledFrameChannel, TimedFrame, TransportStats};

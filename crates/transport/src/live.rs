@@ -181,22 +181,57 @@ struct FrameShared {
     stats: Mutex<ChannelStats>,
 }
 
+/// A sealed frame's metadata, captured before its byte buffer moves into
+/// the queue so the accounting can be committed (or abandoned) after the
+/// enqueue attempt resolves.
+#[derive(Clone, Copy)]
+struct ShipTicket {
+    records: u32,
+    payload_bits: u64,
+    wire_bits: u64,
+    /// In-flight wire bits the instant this frame was sealed (the
+    /// high-water candidate).
+    inflight_bits: u64,
+}
+
 impl FrameShared {
     fn snapshot(&self) -> ChannelStats {
         *self.stats.lock().expect("stats lock")
     }
 
-    fn account_ship(&self, frame: &Frame) {
-        let inflight = self
-            .inflight_bits
-            .fetch_add(frame.wire_bits(), Ordering::Relaxed)
-            + frame.wire_bits();
+    /// Marks a sealed frame in flight and captures its accounting ticket.
+    /// Must be called before the enqueue attempt (so the consumer's
+    /// [`account_pop`](Self::account_pop) can never run first and underflow
+    /// the counter); pair with [`commit_ship`](Self::commit_ship) once the
+    /// frame is queued, or [`abort_ship`](Self::abort_ship) if it is
+    /// discarded — cumulative statistics must only ever describe frames the
+    /// consumer can actually receive.
+    fn begin_ship(&self, frame: &Frame) -> ShipTicket {
+        let wire_bits = frame.wire_bits();
+        let inflight = self.inflight_bits.fetch_add(wire_bits, Ordering::Relaxed) + wire_bits;
+        ShipTicket {
+            records: frame.records,
+            payload_bits: frame.payload_bits,
+            wire_bits,
+            inflight_bits: inflight,
+        }
+    }
+
+    /// Folds a successfully enqueued frame into the cumulative statistics.
+    fn commit_ship(&self, ticket: ShipTicket) {
         let mut guard = self.stats.lock().expect("stats lock");
-        guard.records += u64::from(frame.records);
+        guard.records += u64::from(ticket.records);
         guard.frames += 1;
-        guard.payload_bits += frame.payload_bits;
-        guard.wire_bits += frame.wire_bits();
-        guard.high_water_bits = guard.high_water_bits.max(inflight);
+        guard.payload_bits += ticket.payload_bits;
+        guard.wire_bits += ticket.wire_bits;
+        guard.high_water_bits = guard.high_water_bits.max(ticket.inflight_bits);
+    }
+
+    /// Releases a discarded frame's in-flight occupancy without touching
+    /// the cumulative statistics.
+    fn abort_ship(&self, ticket: ShipTicket) {
+        self.inflight_bits
+            .fetch_sub(ticket.wire_bits, Ordering::Relaxed);
     }
 
     fn account_pop(&self, bytes: &[u8]) {
@@ -243,7 +278,7 @@ impl FrameSender {
     }
 
     fn ship(&mut self, frame: Frame) {
-        self.shared.account_ship(&frame);
+        let ticket = self.shared.begin_ship(&frame);
         let mut bytes = frame.bytes;
         let mut spins = 0;
         loop {
@@ -252,7 +287,10 @@ impl FrameSender {
                 Err(back) => {
                     if self.shared.consumer_gone.load(Ordering::Acquire) {
                         // Receiver dropped (e.g. panicked): discard rather
-                        // than spin forever.
+                        // than spin forever — and back the accounting out,
+                        // so the statistics describe only frames that
+                        // actually shipped.
+                        self.shared.abort_ship(ticket);
                         return;
                     }
                     bytes = back;
@@ -260,6 +298,7 @@ impl FrameSender {
                 }
             }
         }
+        self.shared.commit_ship(ticket);
         self.refill();
     }
 }
@@ -438,6 +477,31 @@ pub fn frame_channel(capacity_frames: usize, config: FrameConfig) -> (FrameSende
     )
 }
 
+/// Creates `shards` independent framed SPSC channels — the live-parallel
+/// fan-out. Each pair is a [`frame_channel`] of its own: its own compressor
+/// and decompressor (so predictor state never crosses shards and the shard
+/// streams decode concurrently on different cores), its own frame queue of
+/// `capacity_frames`, and its own [`ChannelStats`].
+///
+/// Routing records to shards is the caller's job; see
+/// [`shard_of`](crate::shard_of) for the address-interleaved policy both
+/// sharded run modes use.
+///
+/// # Panics
+///
+/// Panics if `shards` or `capacity_frames` is zero.
+#[must_use]
+pub fn shard_frame_channels(
+    shards: usize,
+    capacity_frames: usize,
+    config: FrameConfig,
+) -> (Vec<FrameSender>, Vec<FrameReceiver>) {
+    assert!(shards > 0, "need at least one shard");
+    (0..shards)
+        .map(|_| frame_channel(capacity_frames, config))
+        .unzip()
+}
+
 /// Both halves of the framed live channel as one [`LogChannel`].
 ///
 /// [`split`](LiveFrameChannel::split) yields the two thread-safe halves for
@@ -469,7 +533,7 @@ impl LiveFrameChannel {
 
     fn ship_nonblocking(&mut self, frame: Frame) -> PushOutcome {
         let wire_bits = frame.wire_bits();
-        self.sender.shared.account_ship(&frame);
+        let ticket = self.sender.shared.begin_ship(&frame);
         let mut bytes = frame.bytes;
         loop {
             match self.sender.shared.queue.push(bytes) {
@@ -490,6 +554,7 @@ impl LiveFrameChannel {
                 }
             }
         }
+        self.sender.shared.commit_ship(ticket);
         self.sender.refill();
         PushOutcome::Sealed { wire_bits }
     }
@@ -697,6 +762,80 @@ mod tests {
         assert_eq!(rx.try_recv().map(|r| r.pc), Some(0x1000));
         assert_eq!(rx.try_recv().map(|r| r.pc), Some(0x1008));
         assert_eq!(rx.try_recv(), None);
+    }
+
+    #[test]
+    fn discarded_frames_leave_stats_untouched() {
+        // Regression: `ship` used to account records/frames/wire bits (and
+        // add in-flight occupancy) *before* the enqueue, so a frame
+        // discarded because the receiver vanished inflated the statistics
+        // and leaked `inflight_bits`, skewing `high_water_bits` forever.
+        let (mut tx, rx) = frame_channel(
+            1,
+            FrameConfig {
+                records_per_frame: 4,
+                compress: true,
+            },
+        );
+        // Seal one frame: it occupies the queue's only slot.
+        for i in 0..4 {
+            tx.push(&rec(0x1000 + i * 8));
+        }
+        let queued = tx.stats();
+        assert_eq!(queued.frames, 1);
+        assert_eq!(queued.records, 4);
+
+        // Receiver gone mid-stream: every further sealed frame hits the
+        // full queue and is discarded.
+        drop(rx);
+        for i in 0..40 {
+            tx.push(&rec(0x2000 + i * 8));
+        }
+        assert_eq!(tx.stats(), queued, "discarded frames must not count");
+
+        // The flush of a partial frame is discarded the same way — and the
+        // high-water mark cannot creep from leaked in-flight bits.
+        tx.push(&rec(0x3000));
+        tx.flush();
+        assert_eq!(tx.stats(), queued);
+    }
+
+    #[test]
+    fn shard_channels_are_independent_streams() {
+        let config = FrameConfig {
+            records_per_frame: 8,
+            compress: true,
+        };
+        let (txs, rxs) = shard_frame_channels(3, 4, config);
+        assert_eq!(txs.len(), 3);
+        let writers: Vec<_> = txs
+            .into_iter()
+            .enumerate()
+            .map(|(shard, mut tx)| {
+                thread::spawn(move || {
+                    for i in 0..100u64 {
+                        tx.push(&rec(0x1000 * (shard as u64 + 1) + i * 8));
+                    }
+                })
+            })
+            .collect();
+        for (shard, mut rx) in rxs.into_iter().enumerate() {
+            let mut expected = 0x1000 * (shard as u64 + 1);
+            let mut count = 0;
+            while let Some(r) = rx.recv() {
+                assert_eq!(r.pc, expected, "shard {shard} stream stays in order");
+                expected += 8;
+                count += 1;
+            }
+            assert_eq!(count, 100);
+            let stats = rx.stats();
+            assert_eq!(stats.records, 100);
+            assert!(stats.frames >= 100 / 8);
+            assert!(stats.wire_bits >= stats.payload_bits);
+        }
+        for w in writers {
+            w.join().unwrap();
+        }
     }
 
     #[test]

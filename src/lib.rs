@@ -11,7 +11,7 @@
 //! This crate is the facade over that pipeline:
 //!
 //! ```text
-//!   application core                              lifeguard core
+//!   application core                              lifeguard core(s)
 //!  ┌────────────────┐                            ┌────────────────┐
 //!  │  lba-workloads │  synthetic SPEC-like programs (gzip, mcf, …) │
 //!  │  lba-isa       │  the simulated ISA: decode/encode, assembler │
@@ -21,14 +21,17 @@
 //!  │ (lba-record)───┼─ VPC compression + frame ──┼─▶  dispatch    │
 //!  │       │        │  packing (lba-compress)    │ (lba-lifeguard:│
 //!  │  FrameEncoder ─┼─▶ LogChannel: cache-line ──┼─▶ pop_frame +  │
-//!  │                │   frames through the       │ deliver_batch) │
-//!  │  lba-cache     │   hierarchy (lba-transport,│        │       │
-//!  │  lba-mem       │   modelled or live SPSC)   │  lba-lifeguards│
-//!  └────────────────┘                            │  AddrCheck ·   │
-//!         consumption is frame-at-a-time: one    │  TaintCheck ·  │
-//!         ready_at stamp, one HandlerCtx and one │  LockSet ·     │
-//!         subscription-mask fetch per frame (the │  MemProfile    │
-//!         per-record path stays as the bench     └────────────────┘
+//!  │       │        │   frames through the       │ deliver_batch) │
+//!  │  shard_of ─────┼─▶ hierarchy (lba-transport,│        │       │
+//!  │  fan-out: one  │   modelled or live SPSC;   │  lba-lifeguards│
+//!  │  stream/shard  │   sharded: N streams, one  │  AddrCheck ·   │
+//!  │  lba-cache     │   predictor bank + decoder │  TaintCheck ·  │
+//!  │  lba-mem       │   thread per shard)        │  LockSet ·     │
+//!  └────────────────┘                            │  MemProfile    │
+//!         consumption is frame-at-a-time: one    └────────────────┘
+//!         ready_at stamp, one HandlerCtx and one
+//!         subscription-mask fetch per frame (the
+//!         per-record path stays as the bench
 //!         baseline, LogConfig::batch_dispatch)
 //! ```
 //!
@@ -42,7 +45,7 @@
 //! | `lba-cache`      | set-associative caches and the two-core memory system |
 //! | `lba-record`     | the typed event-record vocabulary the log carries     |
 //! | `lba-compress`   | value-prediction log compression + chunked frame codec (< 1 byte/instr on the wire) |
-//! | `lba-transport`  | `LogChannel` trait: framed buffer timing model + live cross-thread frame channel, frame-granular `pop_frame` |
+//! | `lba-transport`  | `LogChannel` trait: framed buffer timing model + live cross-thread frame channel, frame-granular `pop_frame`, `shard_of` routing and per-shard channel fan-out |
 //! | `lba-lifeguard`  | dispatch engine (batch + per-record), event filters, findings, flat paged shadow memory |
 //! | `lba-lifeguards` | the paper's four lifeguards                           |
 //! | `lba-dbi`        | Valgrind-style inline instrumentation baseline        |
@@ -59,13 +62,17 @@
 //! * [`run_live`] — the same framed pipeline over a real SPSC channel
 //!   between OS threads instead of the deterministic timing model: one
 //!   queue operation per frame, real wire bytes measured and reported;
+//! * [`run_live_parallel`] — the sharded live mode: load/store records
+//!   route to the shard owning their cache line, every shard is its own
+//!   compressed frame stream with its own predictor bank, and N consumer
+//!   threads decode and dispatch concurrently;
 //! * [`run_dbi`] — the comparison point: the lifeguard inlined via dynamic
 //!   binary instrumentation on the application core.
 //!
 //! The [`experiment`] module regenerates every table and figure in the paper
 //! (`cargo run --release -p lba-bench --bin figures`), and the [`parallel`]
-//! module implements the §3 future-work extension of sharding one log
-//! across several lifeguard cores.
+//! module models the §3 future-work extension of sharding one log across
+//! several lifeguard cores ([`run_live_parallel`] runs it for real).
 //!
 //! ## Quickstart
 //!
@@ -88,10 +95,11 @@
 //! ```
 
 pub use lba_core::{
-    experiment, parallel, report, table, LifeguardKind, LiveReport, LogConfig, LogStats, Mode,
-    RunError, RunReport, StallBreakdown, SystemConfig,
+    experiment, live_parallel, parallel, report, table, ChannelStats, LifeguardKind,
+    LiveParallelReport, LiveReport, LogConfig, LogStats, Mode, RunError, RunReport, StallBreakdown,
+    SystemConfig,
 };
-pub use lba_core::{run_dbi, run_lba, run_live, run_unmonitored};
+pub use lba_core::{run_dbi, run_lba, run_live, run_live_parallel, run_unmonitored};
 
 #[cfg(test)]
 mod facade_smoke {
@@ -118,6 +126,15 @@ mod facade_smoke {
         )
         .expect("parallel run completes");
         assert_eq!(sharded.shards, 2);
+
+        let live_sharded = crate::run_live_parallel(
+            &program,
+            || crate::LifeguardKind::AddrCheck.make_lba(),
+            2,
+            &config,
+        )
+        .expect("live parallel run completes");
+        assert_eq!(live_sharded.findings, sharded.findings);
 
         let baseline = crate::run_unmonitored(&program, &config).expect("baseline runs");
         let kind = crate::LifeguardKind::AddrCheck;

@@ -6,6 +6,7 @@
 
 use proptest::prelude::*;
 
+use lba::parallel::run_lba_parallel;
 use lba::{run_lba, run_live, LogStats, SystemConfig};
 use lba_isa::Program;
 use lba_lifeguard::Lifeguard;
@@ -85,6 +86,51 @@ fn assert_paths_equivalent(
     );
 }
 
+/// The sharded counterpart of [`assert_paths_equivalent`]: frame-granular
+/// and per-record consumption must be observationally identical through
+/// `run_lba_parallel` too — per-shard cycles, merged findings, and
+/// per-shard `ChannelStats` (the modeled channel is deterministic, so the
+/// high-water mark must match as well).
+fn assert_parallel_paths_equivalent(
+    program: &Program,
+    lifeguard_idx: usize,
+    shards: usize,
+    records_per_frame: usize,
+) {
+    let mut batched_cfg = SystemConfig::default();
+    batched_cfg.log.records_per_frame = records_per_frame;
+    batched_cfg.log.batch_dispatch = true;
+    let mut per_record_cfg = batched_cfg.clone();
+    per_record_cfg.log.batch_dispatch = false;
+
+    let make = || make_lifeguard(lifeguard_idx);
+    let batched = run_lba_parallel(program, make, shards, &batched_cfg).expect("batched run");
+    let per_record =
+        run_lba_parallel(program, make, shards, &per_record_cfg).expect("per-record run");
+
+    let what = format!(
+        "{} / lifeguard {lifeguard_idx} / {shards} shards / frame {records_per_frame}",
+        program.name()
+    );
+    assert_eq!(batched.findings, per_record.findings, "findings: {what}");
+    assert_eq!(
+        batched.app_cycles, per_record.app_cycles,
+        "app_cycles: {what}"
+    );
+    assert_eq!(
+        batched.shard_cycles, per_record.shard_cycles,
+        "shard_cycles: {what}"
+    );
+    assert_eq!(
+        batched.total_cycles, per_record.total_cycles,
+        "total_cycles: {what}"
+    );
+    assert_eq!(
+        batched.shard_log, per_record.shard_log,
+        "shard stats: {what}"
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -101,6 +147,23 @@ proptest! {
         let program = make_program(program_idx);
         assert_paths_equivalent(&program, lifeguard_idx, records_per_frame, 1 << buffer_shift);
     }
+
+    /// The same property through the sharded mode: consumption
+    /// granularity must not change per-shard cycles, findings, or channel
+    /// statistics, whatever the shard count or frame size. (Sharding
+    /// TaintCheck is unsound versus the sequential run, but both
+    /// granularities of the *same* sharded computation are still
+    /// deterministic and must agree.)
+    #[test]
+    fn batched_parallel_consumption_is_observationally_identical(
+        program_idx in 0usize..4,
+        lifeguard_idx in 0usize..4,
+        shards in 1usize..5,
+        records_per_frame in 1usize..400,
+    ) {
+        let program = make_program(program_idx);
+        assert_parallel_paths_equivalent(&program, lifeguard_idx, shards, records_per_frame);
+    }
 }
 
 #[test]
@@ -110,6 +173,8 @@ fn batched_consumption_matches_on_a_real_benchmark() {
     let program = make_program(4);
     assert_paths_equivalent(&program, 0, 7, 1 << 10);
     assert_paths_equivalent(&program, 1, 256, 64 << 10);
+    assert_parallel_paths_equivalent(&program, 0, 4, 7);
+    assert_parallel_paths_equivalent(&program, 2, 3, 256);
 }
 
 #[test]

@@ -116,6 +116,67 @@ fn filtering_extension_reduces_slowdown_without_losing_soundness() {
 }
 
 #[test]
+fn bench_pipeline_trajectory_has_every_series() {
+    // The committed `BENCH_pipeline.json` is the host-throughput ledger
+    // the `figures` bin regenerates each PR; this shape check means the
+    // bin cannot silently drop a series (the file is hand-rolled JSON —
+    // no serde in the air-gapped environment — so the checks are textual).
+    let json = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_pipeline.json"))
+        .expect("committed BENCH_pipeline.json at the repo root");
+
+    assert!(json.contains("\"bench\": \"pipeline\""));
+    assert!(json.contains("\"unit\": \"events_per_sec\""));
+
+    let rows = json.matches("\"mode\"").count();
+    assert!(rows > 0, "no result rows at all");
+    // (`:` included so the header's `"unit": "events_per_sec"` value
+    // doesn't count as a key.)
+    for key in ["\"shards\":", "\"records\":", "\"events_per_sec\":"] {
+        assert_eq!(
+            json.matches(key).count(),
+            rows,
+            "every row must carry {key}"
+        );
+    }
+
+    // The four series: isolated consumption, modeled, live, live-parallel.
+    for mode in ["consume", "lba", "live", "live-parallel"] {
+        assert!(
+            json.contains(&format!("\"mode\": \"{mode}\"")),
+            "missing series {mode}"
+        );
+    }
+    // Single-lifeguard modes cover all four lifeguards…
+    for lifeguard in ["addrcheck", "taintcheck", "lockset", "memprofile"] {
+        assert!(
+            json.contains(&format!(
+                "\"mode\": \"lba\", \"lifeguard\": \"{lifeguard}\""
+            )),
+            "missing lba/{lifeguard}"
+        );
+    }
+    // …and the live-parallel series covers every supported lifeguard at
+    // every shard count (TaintCheck excluded: address interleaving is
+    // unsound for it).
+    for lifeguard in ["addrcheck", "lockset"] {
+        for shards in [1, 2, 4] {
+            let row = format!(
+                "\"mode\": \"live-parallel\", \"lifeguard\": \"{lifeguard}\", \
+                 \"benchmark\": \"gzip\", \"batched\": true, \"shards\": {shards}"
+            );
+            assert!(
+                json.contains(&row),
+                "missing live-parallel/{lifeguard} at {shards} shards"
+            );
+        }
+    }
+    assert!(
+        !json.contains("\"mode\": \"live-parallel\", \"lifeguard\": \"taintcheck\""),
+        "TaintCheck must stay out of the sharded series"
+    );
+}
+
+#[test]
 fn parallel_extension_scales_lockset() {
     let rows = experiment::ext_parallel(&config(), 1).unwrap();
     assert!(rows.len() >= 3);
