@@ -45,7 +45,9 @@ fn bench_pipeline(c: &mut Criterion) {
         batched,
         ..
     } in rows.iter().filter(|r| {
-        (r.mode == "lba" || r.mode == "live") && (r.batched || r.lifeguard == "addrcheck")
+        (r.mode == "lba" || r.mode == "live")
+            && r.window == 0
+            && (r.batched || r.lifeguard == "addrcheck")
     }) {
         let id = format!(
             "{mode}_{lifeguard}_{}",
@@ -104,6 +106,32 @@ fn bench_pipeline(c: &mut Criterion) {
                 })
             });
         }
+    }
+    group.finish();
+
+    // The filtered pipeline: the capture-side idempotency window on, for
+    // the one lifeguard pair that shows both contracts (AddrCheck drops
+    // duplicates outright, MemProfile folds them into Repeat summaries).
+    let mut group = c.benchmark_group("filtered");
+    group
+        .sample_size(samples)
+        .throughput(Throughput::Elements(records));
+    for (name, make) in pipeline::idempotent_lifeguards()
+        .into_iter()
+        .filter(|(name, _)| *name == "addrcheck" || *name == "memprofile")
+    {
+        let mut cfg = config(true);
+        cfg.log.idempotency_window = pipeline::IDEMPOTENT_WINDOW;
+        let program = &program;
+        group.bench_function(format!("lba_{name}_window"), |b| {
+            b.iter(|| {
+                let mut lg = make();
+                run_lba(program, lg.as_mut(), &cfg)
+                    .expect("runs")
+                    .log
+                    .records
+            })
+        });
     }
     group.finish();
 

@@ -6,19 +6,89 @@
 //! Usage: `cargo run --release -p lba-bench --bin figures [scale]`
 //!
 //! `scale` multiplies every benchmark's iteration counts (default 1).
+//!
+//! `figures --bench-smoke` is the CI gate: it measures the pipeline
+//! matrix once, writes `BENCH_pipeline.smoke.json` next to the committed
+//! trajectory (uploaded as a workflow artifact), validates the emitted
+//! document with the same `lba_bench::pipeline::validate_trajectory`
+//! shape check `tests/figures_smoke.rs` runs on the committed file, and
+//! fails if the emitted *schema* (the set of series/cells) diverges from
+//! the committed one — so a PR cannot silently drop or mutate a series
+//! without regenerating the trajectory.
 
 use lba::experiment;
 use lba::{LifeguardKind, SystemConfig};
 use lba_bench as render;
 use lba_bench::pipeline;
 
+/// The committed trajectory and its CI smoke sibling, anchored to the
+/// workspace root regardless of the invocation directory.
+const TRAJECTORY: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pipeline.json");
+const SMOKE: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../BENCH_pipeline.smoke.json"
+);
+
+/// The `--bench-smoke` mode; returns the process exit code.
+fn bench_smoke() -> i32 {
+    let rows = pipeline::measure_pipeline(1);
+    println!("{}", pipeline::render_pipeline(&rows));
+    let json = pipeline::pipeline_json(&rows);
+    if let Err(e) = std::fs::write(SMOKE, &json) {
+        eprintln!("{SMOKE}: {e}");
+        return 1;
+    }
+    println!("wrote {SMOKE}");
+    if let Err(e) = pipeline::validate_trajectory(&json) {
+        eprintln!("emitted trajectory is malformed: {e}");
+        return 1;
+    }
+    let committed = match std::fs::read_to_string(TRAJECTORY) {
+        Ok(committed) => committed,
+        Err(e) => {
+            eprintln!("{TRAJECTORY}: {e}");
+            return 1;
+        }
+    };
+    let emitted_keys = pipeline::trajectory_keys(&json).expect("validated above");
+    match pipeline::trajectory_keys(&committed) {
+        Err(e) => {
+            eprintln!("committed trajectory is malformed: {e}");
+            1
+        }
+        Ok(committed_keys) if committed_keys != emitted_keys => {
+            for gone in committed_keys.difference(&emitted_keys) {
+                eprintln!("series cell dropped vs committed trajectory: {gone}");
+            }
+            for new in emitted_keys.difference(&committed_keys) {
+                eprintln!("series cell missing from committed trajectory: {new}");
+            }
+            eprintln!(
+                "schema diverged: regenerate the trajectory with \
+                 `cargo run --release -p lba-bench --bin figures` and commit it"
+            );
+            1
+        }
+        Ok(_) => {
+            println!("emitted schema matches the committed trajectory");
+            0
+        }
+    }
+}
+
 fn main() {
-    let scale: u32 = match std::env::args().nth(1) {
+    let arg = std::env::args().nth(1);
+    if arg.as_deref() == Some("--bench-smoke") {
+        std::process::exit(bench_smoke());
+    }
+    let scale: u32 = match arg {
         None => 1,
         Some(arg) => match arg.parse() {
             Ok(scale) if scale > 0 => scale,
             _ => {
-                eprintln!("usage: figures [scale]  (scale: positive integer, got {arg:?})");
+                eprintln!(
+                    "usage: figures [scale | --bench-smoke]  (scale: positive integer, got {arg:?})"
+                );
                 std::process::exit(2);
             }
         },
@@ -82,17 +152,19 @@ fn main() {
     });
 
     // Host throughput (wall clock, not modeled cycles): the bench
-    // trajectory every future PR regenerates and diffs. Anchored to the
-    // workspace root regardless of the invocation directory.
+    // trajectory every future PR regenerates and diffs.
     let rows = pipeline::measure_pipeline(5);
     println!("{}", pipeline::render_pipeline(&rows));
     let json = pipeline::pipeline_json(&rows);
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pipeline.json");
-    match std::fs::write(path, &json) {
-        Ok(()) => println!("wrote {path}"),
+    if let Err(e) = pipeline::validate_trajectory(&json) {
+        failed.set(true);
+        eprintln!("emitted trajectory is malformed: {e}");
+    }
+    match std::fs::write(TRAJECTORY, &json) {
+        Ok(()) => println!("wrote {TRAJECTORY}"),
         Err(e) => {
             failed.set(true);
-            eprintln!("{path}: {e}");
+            eprintln!("{TRAJECTORY}: {e}");
         }
     }
 

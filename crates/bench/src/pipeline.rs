@@ -55,6 +55,22 @@ pub fn sharded_lifeguards() -> Vec<(&'static str, LifeguardFactory)> {
 /// Shard counts the live-parallel series measures.
 pub const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
 
+/// Idempotency-window size (entries) used by the filtered series.
+pub const IDEMPOTENT_WINDOW: usize = 4096;
+
+/// The lifeguards whose soundness contract participates in capture-side
+/// dedup — derived from each lifeguard's declared
+/// `Lifeguard::idempotency()` so the filtered series can never drift
+/// from the contracts (today: AddrCheck, LockSet, MemProfile; TaintCheck
+/// declares `IdempotencyClass::None` and stays out).
+#[must_use]
+pub fn idempotent_lifeguards() -> Vec<(&'static str, LifeguardFactory)> {
+    lifeguards()
+        .into_iter()
+        .filter(|(_, make)| make().idempotency().dedupes())
+        .collect()
+}
+
 /// One throughput measurement.
 #[derive(Debug, Clone)]
 pub struct PipelineRow {
@@ -71,8 +87,13 @@ pub struct PipelineRow {
     pub batched: bool,
     /// Lifeguard shard count (1 for the unsharded modes).
     pub shards: usize,
-    /// Log records consumed.
+    /// Capture-side idempotency-window entries (0: unfiltered).
+    pub window: usize,
+    /// Log records shipped (after any capture filtering).
     pub records: u64,
+    /// Bits on the wire, frame headers and padding included (summed over
+    /// shards in the sharded mode).
+    pub wire_bits: u64,
     /// Best-of-N wall-clock seconds.
     pub wall_seconds: f64,
     /// Records per wall-clock second.
@@ -80,16 +101,17 @@ pub struct PipelineRow {
 }
 
 /// Best-of-`n` wall time of `body` (the min estimator is robust to
-/// scheduler noise on shared machines), with the record count it reports.
-fn best_of<F: FnMut() -> u64>(n: usize, mut body: F) -> (u64, f64) {
+/// scheduler noise on shared machines), with the `(records, wire_bits)`
+/// pair it reports.
+fn best_of<F: FnMut() -> (u64, u64)>(n: usize, mut body: F) -> (u64, u64, f64) {
     let mut best = f64::INFINITY;
-    let mut records = 0;
+    let mut volume = (0, 0);
     for _ in 0..n {
         let start = Instant::now();
-        records = body();
+        volume = body();
         best = best.min(start.elapsed().as_secs_f64());
     }
-    (records, best)
+    (volume.0, volume.1, best)
 }
 
 fn config(batched: bool) -> SystemConfig {
@@ -98,10 +120,17 @@ fn config(batched: bool) -> SystemConfig {
     config
 }
 
+fn windowed_config(window: usize) -> SystemConfig {
+    let mut config = SystemConfig::default();
+    config.log.idempotency_window = window;
+    config
+}
+
 /// Runs the full measurement matrix: both execution modes, all four
 /// lifeguards on gzip, batched and per-record, the live-parallel series
-/// across shard counts, plus the isolated consumption-path pair.
-/// `samples` is the best-of-N count per cell.
+/// across shard counts, the filtered-vs-unfiltered idempotency series,
+/// plus the isolated consumption-path pair. `samples` is the best-of-N
+/// count per cell.
 #[must_use]
 pub fn measure_pipeline(samples: usize) -> Vec<PipelineRow> {
     let program = Benchmark::Gzip.build();
@@ -109,43 +138,71 @@ pub fn measure_pipeline(samples: usize) -> Vec<PipelineRow> {
     for (name, make) in lifeguards() {
         for batched in [true, false] {
             let cfg = config(batched);
-            let (records, wall) = best_of(samples, || {
-                let mut lg = make();
-                run_lba(&program, lg.as_mut(), &cfg)
-                    .expect("gzip runs clean")
-                    .log
-                    .records
-            });
-            rows.push(PipelineRow {
-                mode: "lba",
-                lifeguard: name,
-                benchmark: "gzip",
-                batched,
-                shards: 1,
-                records,
-                wall_seconds: wall,
-                events_per_sec: records as f64 / wall,
-            });
-            let (records, wall) = best_of(samples, || {
-                let mut lg = make();
-                run_live(&program, lg.as_mut(), &cfg)
-                    .expect("gzip runs clean")
-                    .log
-                    .records
-            });
-            rows.push(PipelineRow {
-                mode: "live",
-                lifeguard: name,
-                benchmark: "gzip",
-                batched,
-                shards: 1,
-                records,
-                wall_seconds: wall,
-                events_per_sec: records as f64 / wall,
-            });
+            rows.push(measure_mode("lba", name, &make, &cfg, &program, samples));
+            rows.push(measure_mode("live", name, &make, &cfg, &program, samples));
         }
     }
     rows.extend(measure_live_parallel(samples));
+    rows.extend(measure_idempotent(samples));
+    rows
+}
+
+/// One `run_lba`/`run_live` cell. The events/sec numerator is *captured*
+/// (retired) events, not shipped records: a capture filter shrinks the
+/// log, not the workload, so the rate stays comparable across filtered
+/// and unfiltered rows. With the window off the two counts coincide.
+fn measure_mode(
+    mode: &'static str,
+    name: &'static str,
+    make: &LifeguardFactory,
+    cfg: &SystemConfig,
+    program: &lba_isa::Program,
+    samples: usize,
+) -> PipelineRow {
+    let mut captured = 0;
+    let (records, wire_bits, wall) = best_of(samples, || {
+        let mut lg = make();
+        let log = if mode == "lba" {
+            run_lba(program, lg.as_mut(), cfg)
+                .expect("gzip runs clean")
+                .log
+        } else {
+            run_live(program, lg.as_mut(), cfg)
+                .expect("gzip runs clean")
+                .log
+        };
+        captured = log.captured;
+        (log.records, log.wire_bits)
+    });
+    PipelineRow {
+        mode,
+        lifeguard: name,
+        benchmark: "gzip",
+        batched: cfg.log.batch_dispatch,
+        shards: 1,
+        window: cfg.log.idempotency_window,
+        records,
+        wire_bits,
+        wall_seconds: wall,
+        events_per_sec: captured as f64 / wall,
+    }
+}
+
+/// The filtered-vs-unfiltered series: every dedup-participating lifeguard
+/// through both single-lifeguard modes with the capture-side idempotency
+/// window on. The unfiltered counterpart rows are the window-0 cells the
+/// main matrix already measures; these rows show the same workload
+/// shipping fewer records and wire bits (and, on real parallel hardware,
+/// spending less lifeguard time).
+#[must_use]
+pub fn measure_idempotent(samples: usize) -> Vec<PipelineRow> {
+    let program = Benchmark::Gzip.build();
+    let cfg = windowed_config(IDEMPOTENT_WINDOW);
+    let mut rows = Vec::new();
+    for (name, make) in idempotent_lifeguards() {
+        rows.push(measure_mode("lba", name, &make, &cfg, &program, samples));
+        rows.push(measure_mode("live", name, &make, &cfg, &program, samples));
+    }
     rows
 }
 
@@ -164,11 +221,10 @@ pub fn measure_live_parallel(samples: usize) -> Vec<PipelineRow> {
     let mut rows = Vec::new();
     for (name, make) in sharded_lifeguards() {
         for shards in SHARD_COUNTS {
-            let (records, wall) = best_of(samples, || {
-                run_live_parallel(&program, make, shards, &cfg)
-                    .expect("gzip runs clean")
-                    .trace
-                    .instructions()
+            let (records, wire_bits, wall) = best_of(samples, || {
+                let report =
+                    run_live_parallel(&program, make, shards, &cfg).expect("gzip runs clean");
+                (report.trace.instructions(), report.total_wire_bits())
             });
             rows.push(PipelineRow {
                 mode: "live-parallel",
@@ -176,7 +232,9 @@ pub fn measure_live_parallel(samples: usize) -> Vec<PipelineRow> {
                 benchmark: "gzip",
                 batched: true,
                 shards,
+                window: 0,
                 records,
+                wire_bits,
                 wall_seconds: wall,
                 events_per_sec: records as f64 / wall,
             });
@@ -260,13 +318,14 @@ pub fn measure_consume(samples: usize) -> Vec<PipelineRow> {
         "consumption paths must charge identical cycles"
     );
     let n = stream.len() as u64;
+    let wire_bits = fill_channel(&stream, true).stats().wire_bits;
     let mut rows = Vec::new();
     for batched in [true, false] {
-        let (_, wall) = best_of(samples, || {
+        let (_, _, wall) = best_of(samples, || {
             if batched {
-                consume_batched(&stream)
+                (consume_batched(&stream), 0)
             } else {
-                consume_per_record(&stream)
+                (consume_per_record(&stream), 0)
             }
         });
         rows.push(PipelineRow {
@@ -275,7 +334,9 @@ pub fn measure_consume(samples: usize) -> Vec<PipelineRow> {
             benchmark: "gzip",
             batched,
             shards: 1,
+            window: 0,
             records: n,
+            wire_bits,
             wall_seconds: wall,
             events_per_sec: n as f64 / wall,
         });
@@ -284,17 +345,41 @@ pub fn measure_consume(samples: usize) -> Vec<PipelineRow> {
 }
 
 /// The headline ratio: batched over per-record events/sec for one
-/// mode+lifeguard pair, if both rows are present.
+/// mode+lifeguard pair (unfiltered rows only), if both are present.
 #[must_use]
 pub fn speedup(rows: &[PipelineRow], mode: &str, lifeguard: &str) -> Option<f64> {
     let find = |batched: bool| {
         rows.iter().find(|r| {
-            r.mode == mode && r.lifeguard == lifeguard && r.batched == batched && r.records > 0
+            r.mode == mode
+                && r.lifeguard == lifeguard
+                && r.batched == batched
+                && r.window == 0
+                && r.records > 0
         })
     };
     let batched = find(true)?;
     let baseline = find(false)?;
     Some(batched.events_per_sec / baseline.events_per_sec)
+}
+
+/// The filtered ratio: a windowed row's events/sec over the unfiltered
+/// (window 0, batched) row of the same mode and lifeguard. The fraction
+/// of the log the window removed is deterministic; this rate ratio is
+/// the wall-clock echo of it.
+#[must_use]
+pub fn dedup_speedup(rows: &[PipelineRow], mode: &str, lifeguard: &str) -> Option<f64> {
+    let find = |window0: bool| {
+        rows.iter().find(|r| {
+            r.mode == mode
+                && r.lifeguard == lifeguard
+                && r.batched
+                && (r.window == 0) == window0
+                && r.records > 0
+        })
+    };
+    let filtered = find(false)?;
+    let baseline = find(true)?;
+    Some(filtered.events_per_sec / baseline.events_per_sec)
 }
 
 /// The sharded ratio: a live-parallel row's events/sec over the one-shard
@@ -322,11 +407,16 @@ pub fn render_pipeline(rows: &[PipelineRow]) -> String {
         "benchmark",
         "path",
         "shards",
+        "window",
+        "records",
         "Mevents/s",
         "speedup",
     ]);
     for row in rows {
-        let speedup = if row.mode == "live-parallel" && row.shards > 1 {
+        let speedup = if row.window > 0 {
+            dedup_speedup(rows, row.mode, row.lifeguard)
+                .map_or(String::new(), |s| format!("{s:.2}x vs unfiltered"))
+        } else if row.mode == "live-parallel" && row.shards > 1 {
             shard_speedup(rows, row.lifeguard, row.shards)
                 .map_or(String::new(), |s| format!("{s:.2}x vs 1 shard"))
         } else if row.batched {
@@ -345,6 +435,8 @@ pub fn render_pipeline(rows: &[PipelineRow]) -> String {
                 "per-record".to_string()
             },
             row.shards.to_string(),
+            row.window.to_string(),
+            row.records.to_string(),
             format!("{:.2}", row.events_per_sec / 1e6),
             speedup,
         ]);
@@ -362,12 +454,178 @@ pub fn pipeline_json(rows: &[PipelineRow]) -> String {
     for (i, row) in rows.iter().enumerate() {
         let sep = if i + 1 == rows.len() { "" } else { "," };
         out.push_str(&format!(
-            "    {{\"mode\": \"{}\", \"lifeguard\": \"{}\", \"benchmark\": \"{}\", \"batched\": {}, \"shards\": {}, \"records\": {}, \"wall_seconds\": {:.6}, \"events_per_sec\": {:.0}}}{sep}\n",
-            row.mode, row.lifeguard, row.benchmark, row.batched, row.shards, row.records, row.wall_seconds, row.events_per_sec,
+            "    {{\"mode\": \"{}\", \"lifeguard\": \"{}\", \"benchmark\": \"{}\", \"batched\": {}, \"shards\": {}, \"window\": {}, \"records\": {}, \"wire_bits\": {}, \"wall_seconds\": {:.6}, \"events_per_sec\": {:.0}}}{sep}\n",
+            row.mode, row.lifeguard, row.benchmark, row.batched, row.shards, row.window, row.records, row.wire_bits, row.wall_seconds, row.events_per_sec,
         ));
     }
     out.push_str("  ]\n}\n");
     out
+}
+
+/// One value out of a serialized row line, e.g. `row_field(line,
+/// "records")`. The trajectory file is hand-rolled JSON with one row per
+/// line (the environment is air-gapped, so no serde), which keeps this
+/// honest-but-simple extraction sound.
+fn row_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    Some(rest[..end].trim().trim_matches('"'))
+}
+
+fn row_u64(line: &str, key: &str) -> Result<u64, String> {
+    row_field(line, key)
+        .ok_or_else(|| format!("row missing {key}: {line}"))?
+        .parse()
+        .map_err(|e| format!("bad {key} in {line}: {e}"))
+}
+
+/// The identity of every result row — everything but the measurements.
+/// Two trajectory documents with equal key sets have the same *schema*
+/// (same series, same cells); only the numbers moved.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed row.
+pub fn trajectory_keys(json: &str) -> Result<std::collections::BTreeSet<String>, String> {
+    let mut keys = std::collections::BTreeSet::new();
+    for line in json.lines().filter(|l| l.contains("\"mode\"")) {
+        let mut key = String::new();
+        for field in [
+            "mode",
+            "lifeguard",
+            "benchmark",
+            "batched",
+            "shards",
+            "window",
+        ] {
+            let value =
+                row_field(line, field).ok_or_else(|| format!("row missing {field}: {line}"))?;
+            key.push_str(value);
+            key.push('/');
+        }
+        if !keys.insert(key.clone()) {
+            return Err(format!("duplicate row {key}"));
+        }
+    }
+    Ok(keys)
+}
+
+/// Validates a `BENCH_pipeline.json` document's shape: every series the
+/// trajectory promises must be present, every row must carry the full
+/// key set, and the deterministic claims — the filtered series ships
+/// fewer records and wire bits than its unfiltered counterpart,
+/// TaintCheck stays out of the sharded and filtered series — must hold.
+/// Shared by the `tests/figures_smoke.rs` assertion on the committed
+/// file and the `figures --bench-smoke` CI gate on a freshly emitted
+/// one, so the two cannot drift.
+///
+/// # Errors
+///
+/// Returns a description of the first violated expectation.
+pub fn validate_trajectory(json: &str) -> Result<(), String> {
+    for header in ["\"bench\": \"pipeline\"", "\"unit\": \"events_per_sec\""] {
+        if !json.contains(header) {
+            return Err(format!("missing header {header}"));
+        }
+    }
+
+    let rows = json.matches("\"mode\"").count();
+    if rows == 0 {
+        return Err("no result rows at all".into());
+    }
+    // (`:` included so the header's `"unit": "events_per_sec"` value
+    // doesn't count as a key.)
+    for key in [
+        "\"shards\":",
+        "\"window\":",
+        "\"records\":",
+        "\"wire_bits\":",
+        "\"events_per_sec\":",
+    ] {
+        let count = json.matches(key).count();
+        if count != rows {
+            return Err(format!("{count} of {rows} rows carry {key}"));
+        }
+    }
+
+    // The five series: isolated consumption, modeled, live, live-parallel,
+    // and the filtered (windowed) cells riding the lba/live modes.
+    for mode in ["consume", "lba", "live", "live-parallel"] {
+        if !json.contains(&format!("\"mode\": \"{mode}\"")) {
+            return Err(format!("missing series {mode}"));
+        }
+    }
+    // Single-lifeguard modes cover all four lifeguards…
+    for lifeguard in ["addrcheck", "taintcheck", "lockset", "memprofile"] {
+        if !json.contains(&format!(
+            "\"mode\": \"lba\", \"lifeguard\": \"{lifeguard}\""
+        )) {
+            return Err(format!("missing lba/{lifeguard}"));
+        }
+    }
+    // …the live-parallel series covers every supported lifeguard at every
+    // shard count (TaintCheck excluded: address interleaving is unsound
+    // for it)…
+    for lifeguard in ["addrcheck", "lockset"] {
+        for shards in SHARD_COUNTS {
+            let row = format!(
+                "\"mode\": \"live-parallel\", \"lifeguard\": \"{lifeguard}\", \
+                 \"benchmark\": \"gzip\", \"batched\": true, \"shards\": {shards}"
+            );
+            if !json.contains(&row) {
+                return Err(format!(
+                    "missing live-parallel/{lifeguard} at {shards} shards"
+                ));
+            }
+        }
+    }
+    if json.contains("\"mode\": \"live-parallel\", \"lifeguard\": \"taintcheck\"") {
+        return Err("TaintCheck must stay out of the sharded series".into());
+    }
+
+    // …and the filtered-vs-unfiltered series covers every lifeguard whose
+    // soundness contract participates in capture-side dedup, through both
+    // single-lifeguard modes, demonstrably shrinking the shipped log.
+    let find_row = |mode: &str, lifeguard: &str, window: usize| -> Result<&str, String> {
+        let tag = format!(
+            "\"mode\": \"{mode}\", \"lifeguard\": \"{lifeguard}\", \"benchmark\": \"gzip\", \
+             \"batched\": true, \"shards\": 1, \"window\": {window},"
+        );
+        json.lines()
+            .find(|l| l.contains(&tag))
+            .ok_or_else(|| format!("missing {mode}/{lifeguard} row at window {window}"))
+    };
+    for mode in ["lba", "live"] {
+        for lifeguard in ["addrcheck", "lockset", "memprofile"] {
+            let filtered = find_row(mode, lifeguard, IDEMPOTENT_WINDOW)?;
+            let unfiltered = find_row(mode, lifeguard, 0)?;
+            let what = format!("{mode}/{lifeguard}");
+            if row_u64(filtered, "records")? >= row_u64(unfiltered, "records")? {
+                return Err(format!("{what}: filtering must ship fewer records"));
+            }
+            // Wire bits are only asserted for the dedup-heavy showcase:
+            // dropping a third of AddrCheck's stream outweighs the
+            // compression-ratio loss from the holes dedup punches in the
+            // value predictors' patterns. LockSet's exact-address window
+            // dedups too little on gzip to win that trade (fewer records,
+            // *more* bits), which the trajectory records honestly.
+            if lifeguard == "addrcheck"
+                && row_u64(filtered, "wire_bits")? >= row_u64(unfiltered, "wire_bits")?
+            {
+                return Err(format!("{what}: filtering must ship fewer wire bits"));
+            }
+        }
+    }
+    let windowed_taint = json
+        .lines()
+        .filter(|l| l.contains("\"lifeguard\": \"taintcheck\""))
+        .any(|l| row_field(l, "window") != Some("0"));
+    if windowed_taint {
+        return Err("TaintCheck declares IdempotencyClass::None; it has no filtered row".into());
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -381,7 +639,9 @@ mod tests {
             benchmark: "gzip",
             batched,
             shards,
+            window: 0,
             records: 10,
+            wire_bits: 800,
             wall_seconds: 10.0 / events_per_sec,
             events_per_sec,
         }
@@ -416,5 +676,59 @@ mod tests {
         assert_eq!(shard_speedup(&rows, "lockset", 4), None);
         let table = render_pipeline(&rows);
         assert!(table.contains("3.00x vs 1 shard"));
+    }
+
+    #[test]
+    fn dedup_speedup_compares_against_the_unfiltered_cell() {
+        let mut filtered = row("lba", true, 1, 30.0);
+        filtered.window = IDEMPOTENT_WINDOW;
+        filtered.records = 4;
+        let rows = vec![row("lba", true, 1, 10.0), filtered];
+        assert_eq!(dedup_speedup(&rows, "lba", "addrcheck"), Some(3.0));
+        assert_eq!(dedup_speedup(&rows, "live", "addrcheck"), None);
+        let table = render_pipeline(&rows);
+        assert!(table.contains("3.00x vs unfiltered"));
+        // The batched-vs-per-record speedup must ignore windowed rows.
+        assert_eq!(speedup(&rows, "lba", "addrcheck"), None);
+    }
+
+    #[test]
+    fn row_field_extracts_values() {
+        let line = "    {\"mode\": \"lba\", \"lifeguard\": \"addrcheck\", \"window\": 4096, \
+                    \"records\": 12, \"events_per_sec\": 17}";
+        assert_eq!(row_field(line, "mode"), Some("lba"));
+        assert_eq!(row_field(line, "window"), Some("4096"));
+        assert_eq!(row_field(line, "events_per_sec"), Some("17"));
+        assert_eq!(row_field(line, "absent"), None);
+        assert_eq!(row_u64(line, "records"), Ok(12));
+    }
+
+    #[test]
+    fn trajectory_keys_identify_rows() {
+        let mut filtered = row("lba", true, 1, 30.0);
+        filtered.window = IDEMPOTENT_WINDOW;
+        let rows = vec![row("lba", true, 1, 10.0), filtered];
+        let keys = trajectory_keys(&pipeline_json(&rows)).expect("well-formed");
+        assert_eq!(keys.len(), 2, "window distinguishes the rows");
+        // Same schema, different numbers: keys are equal.
+        let faster: Vec<PipelineRow> = rows
+            .iter()
+            .cloned()
+            .map(|mut r| {
+                r.events_per_sec *= 2.0;
+                r
+            })
+            .collect();
+        assert_eq!(keys, trajectory_keys(&pipeline_json(&faster)).unwrap());
+        // A dropped series changes the key set.
+        assert_ne!(keys, trajectory_keys(&pipeline_json(&rows[..1])).unwrap());
+    }
+
+    #[test]
+    fn validate_trajectory_rejects_malformed_documents() {
+        assert!(validate_trajectory("{}").is_err(), "no headers");
+        let rows = vec![row("lba", true, 1, 10.0)];
+        let err = validate_trajectory(&pipeline_json(&rows)).unwrap_err();
+        assert!(err.contains("missing series"), "got: {err}");
     }
 }

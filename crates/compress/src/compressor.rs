@@ -116,6 +116,7 @@ fn has_dynamic_addr(kind: EventKind) -> bool {
             | EventKind::Unlock
             | EventKind::Recv
             | EventKind::Return
+            | EventKind::Repeat
     )
 }
 
@@ -127,7 +128,9 @@ fn has_static_word(kind: EventKind) -> bool {
 }
 
 fn has_dynamic_size(kind: EventKind) -> bool {
-    matches!(kind, EventKind::Alloc | EventKind::Recv)
+    // A Repeat summary's `size` is its fold count, which varies per
+    // occurrence like an allocation length does.
+    matches!(kind, EventKind::Alloc | EventKind::Recv | EventKind::Repeat)
 }
 
 /// Address-predictor outcome codes (2 bits on the wire; `ADDR_ESCAPE` is
@@ -707,6 +710,7 @@ mod tests {
                 addr: 0,
                 size: 7,
             },
+            EventRecord::repeat(0x1008, 0, 0x4000_0000, 8, false, 4096),
             EventRecord {
                 pc: 0x1030,
                 kind: EventKind::ThreadEnd,
@@ -718,6 +722,36 @@ mod tests {
                 size: 0,
             },
         ];
+        round_trip(&records);
+    }
+
+    #[test]
+    fn repeat_summaries_interleaved_with_their_pc_round_trip() {
+        // A Repeat summary reuses its duplicates' PC, so the per-PC static
+        // cache alternates between the load's statics and the summary's:
+        // every alternation must re-escape cleanly, and the varying fold
+        // counts ride the dynamic-size path.
+        let mut records = Vec::new();
+        for i in 0..500u64 {
+            records.push(EventRecord::load(
+                0x2000,
+                0,
+                Some(1),
+                Some(2),
+                0x4000_0000 + (i % 4) * 64,
+                4,
+            ));
+            if i % 7 == 0 {
+                records.push(EventRecord::repeat(
+                    0x2000,
+                    0,
+                    0x4000_0000 + (i % 4) * 64,
+                    4,
+                    false,
+                    (i + 1) as u32,
+                ));
+            }
+        }
         round_trip(&records);
     }
 

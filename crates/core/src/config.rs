@@ -4,7 +4,7 @@ use lba_cache::MemSystemConfig;
 use lba_compress::FrameConfig;
 use lba_cpu::MachineConfig;
 use lba_dbi::DbiConfig;
-use lba_lifeguard::{AddrRangeFilter, DispatchConfig};
+use lba_lifeguard::{AddrRangeFilter, CaptureFilter, DispatchConfig, IdempotencyClass};
 
 /// Ceiling on the live channel queue depth derived by
 /// [`LogConfig::live_channel_frames`] — the queues are allocated eagerly,
@@ -47,6 +47,18 @@ pub struct LogConfig {
     pub batch_dispatch: bool,
     /// Optional capture-side address-range filter (§3 future work).
     pub filter: Option<AddrRangeFilter>,
+    /// Entries in the capture-side idempotency window that suppresses
+    /// duplicate load/store records under the lifeguard's declared
+    /// soundness contract
+    /// ([`Lifeguard::idempotency`](lba_lifeguard::Lifeguard::idempotency)).
+    /// Rounded up to a power of two and clamped to
+    /// [`MAX_WINDOW_ENTRIES`](lba_lifeguard::MAX_WINDOW_ENTRIES) — the
+    /// window is allocated eagerly, like the live channel queues; `0`
+    /// (the default) disables the window, degenerating bit-for-bit to
+    /// the unfiltered pipeline. A lifeguard declaring
+    /// [`IdempotencyClass::None`](lba_lifeguard::IdempotencyClass::None)
+    /// is never filtered regardless of this setting.
+    pub idempotency_window: usize,
     /// Validate compressor/decompressor round-trip at end of run
     /// (test/debug aid; costs memory proportional to the trace).
     pub verify_compression: bool,
@@ -86,12 +98,32 @@ impl LogConfig {
             .clamp(1, MAX_LIVE_CHANNEL_FRAMES)
     }
 
+    /// The single capture-pass predicate for the single-lifeguard modes:
+    /// the address-range filter composed with the idempotency window
+    /// under the lifeguard's declared `class`. `run_lba` and `run_live`
+    /// build their filter here so the two cannot drift.
+    #[must_use]
+    pub fn capture_filter(&self, class: IdempotencyClass) -> CaptureFilter {
+        CaptureFilter::new(self.filter.clone(), self.idempotency_window, class)
+    }
+
+    /// The capture filter for the sharded modes, which mirror the modeled
+    /// parallel study and deliberately ignore the address-range filter
+    /// (see `run_lba_parallel`) but do run the idempotency window — the
+    /// suppression happens before routing, so both sharded modes ship
+    /// identical per-shard streams.
+    #[must_use]
+    pub fn shard_capture_filter(&self, class: IdempotencyClass) -> CaptureFilter {
+        CaptureFilter::new(None, self.idempotency_window, class)
+    }
+
     /// Validates the transport-related fields, returning a descriptive
     /// error instead of letting the codec panic deeper in the pipeline.
     ///
     /// # Errors
     ///
-    /// [`RunError::ZeroRecordsPerFrame`] when `records_per_frame` is zero.
+    /// [`RunError::ZeroRecordsPerFrame`](lba_cpu::RunError::ZeroRecordsPerFrame)
+    /// when `records_per_frame` is zero.
     pub fn validate_framing(&self) -> Result<(), lba_cpu::RunError> {
         if self.records_per_frame == 0 {
             return Err(lba_cpu::RunError::ZeroRecordsPerFrame);
@@ -111,6 +143,7 @@ impl Default for LogConfig {
             decoupled: true,
             batch_dispatch: true,
             filter: None,
+            idempotency_window: 0,
             verify_compression: false,
         }
     }
@@ -169,6 +202,7 @@ mod tests {
             c.log.batch_dispatch,
             "frame-granular dispatch is the default"
         );
+        assert_eq!(c.log.idempotency_window, 0, "capture-side dedup is opt-in");
         assert_eq!(c.mem_dual().cores, 2);
         assert_eq!(c.mem_single().cores, 1);
         // The paper's cache geometry flows through from lba-cache.

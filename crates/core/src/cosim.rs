@@ -172,6 +172,15 @@ impl<C: LogChannel> Cosim<'_, C> {
 /// `tests/batching.rs` proptest). `config.log.batch_dispatch = false`
 /// selects the per-record baseline path.
 ///
+/// Capture runs one filter pass per retired record
+/// ([`LogConfig::capture_filter`](crate::LogConfig::capture_filter)): the
+/// optional address-range filter composed with the idempotency window,
+/// which drops duplicate load/stores the lifeguard's declared contract
+/// (`Lifeguard::idempotency`) proves re-derive an already-reached
+/// verdict — before they cost compression, wire, or dispatch. Findings
+/// are proptest-pinned identical to unfiltered runs
+/// (`tests/idempotency.rs`).
+///
 /// # Errors
 ///
 /// Returns [`RunError::LogBufferTooSmall`] when `config.log.buffer_bytes`
@@ -196,6 +205,12 @@ pub fn run_lba(
     }
     let mut machine = Machine::new(program, config.machine);
     let mut trace = TraceStats::new();
+    // The single capture-pass predicate (address-range filter composed
+    // with the per-lifeguard idempotency window) plus its scratch buffer:
+    // each retired record yields zero or more records to ship (fold
+    // summaries first, then the record itself when admitted).
+    let mut filter = config.log.capture_filter(lifeguard.idempotency());
+    let mut shipping: Vec<lba_record::EventRecord> = Vec::new();
 
     // Batched consumption pairs with the zero-copy channel (the hardware
     // decompressor's work is modeled, not re-run in host software); the
@@ -227,7 +242,6 @@ pub fn run_lba(
         batch: config.log.batch_dispatch,
         stalls: StallBreakdown::default(),
     };
-    let mut filtered: u64 = 0;
 
     loop {
         match machine.step(&mut sim.mem)? {
@@ -236,19 +250,16 @@ pub fn run_lba(
                 sim.t_app += r.cycles;
                 trace.observe(&r.record);
 
-                // Capture-side address-range filter (extension).
-                if let Some(filter) = &config.log.filter {
-                    if !filter.passes(&r.record) {
-                        filtered += 1;
-                        continue;
-                    }
-                }
-
-                // Capture + compression engine (hardware: no app cycles,
-                // but each shipped frame occupies shared-L2 bandwidth and
-                // buffer space — back-pressure stalls the application).
-                let outcome = sim.channel.push_record(&r.record, sim.t_app);
-                sim.absorb(outcome);
+                // Capture pass: range filter + idempotency window decide
+                // what enters the log in one predicate. Whatever ships
+                // feeds the capture + compression engine (hardware: no
+                // app cycles, but each shipped frame occupies shared-L2
+                // bandwidth and buffer space — back-pressure stalls the
+                // application).
+                filter.capture_into(&r.record, &mut shipping, |rec| {
+                    let outcome = sim.channel.push_record(rec, sim.t_app);
+                    sim.absorb(outcome);
+                });
 
                 // Containment: stall the syscall until the lifeguard has
                 // checked everything that precedes it — which requires
@@ -276,8 +287,13 @@ pub fn run_lba(
         }
     }
 
-    // End of program: flush the partial frame, let the lifeguard finish
-    // the remaining log, and run its final checks.
+    // End of program: settle outstanding fold counts, flush the partial
+    // frame, let the lifeguard finish the remaining log, and run its
+    // final checks.
+    filter.finish_into(&mut shipping, |rec| {
+        let outcome = sim.channel.push_record(rec, sim.t_app);
+        sim.absorb(outcome);
+    });
     let outcome = sim.channel.flush(sim.t_app);
     sim.absorb(outcome);
     sim.drain();
@@ -286,6 +302,7 @@ pub fn run_lba(
         .finish(sim.lifeguard, &mut sim.mem, LG_CORE, &mut sim.findings);
 
     let stats = sim.channel.stats();
+    let capture = filter.stats();
     let instructions = trace.instructions().max(1);
     Ok(RunReport {
         program: program.name().to_string(),
@@ -297,7 +314,10 @@ pub fn run_lba(
         findings: sim.findings,
         log: LogStats {
             records: stats.records,
-            filtered,
+            captured: capture.captured,
+            filtered: capture.range_filtered,
+            deduped: capture.deduped,
+            folded: capture.folded,
             frames: stats.frames,
             compressed_bits: stats.payload_bits,
             wire_bits: stats.wire_bits,

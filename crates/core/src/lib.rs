@@ -70,5 +70,9 @@ pub use run::{run_dbi, run_unmonitored};
 // dependency.
 pub use lba_transport::ChannelStats;
 
+// Capture-pass types: the stats appear in run reports, and the class/spec
+// pair is what custom lifeguards implement `Lifeguard::idempotency` with.
+pub use lba_lifeguard::{CaptureFilter, CaptureStats, IdempotencyClass, WindowSpec};
+
 // The execution error type comes from the CPU substrate.
 pub use lba_cpu::RunError;

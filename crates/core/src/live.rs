@@ -17,8 +17,8 @@ use std::thread;
 use lba_cache::MemSystem;
 use lba_cpu::{Machine, RunError};
 use lba_isa::Program;
-use lba_lifeguard::{DispatchEngine, Lifeguard};
-use lba_record::{EventKind, TraceStats};
+use lba_lifeguard::{CaptureStats, DispatchEngine, Lifeguard};
+use lba_record::{EventKind, EventRecord, TraceStats};
 use lba_transport::live;
 
 use crate::config::SystemConfig;
@@ -49,27 +49,27 @@ pub fn run_live(
         live::frame_channel(config.log.live_channel_frames(), config.log.frame_config());
     let engine = DispatchEngine::new(config.dispatch);
     let machine_config = config.machine;
+    // The identical capture pass the co-simulation runs (range filter +
+    // idempotency window in one predicate), so the two modes ship the
+    // same record stream byte for byte.
+    let mut filter = config.log.capture_filter(lifeguard.idempotency());
 
     thread::scope(|scope| {
-        let producer = scope.spawn(move || -> Result<(TraceStats, u64), RunError> {
+        let producer = scope.spawn(move || -> Result<(TraceStats, CaptureStats), RunError> {
             let mut machine = Machine::new(program, machine_config);
             let mut mem = MemSystem::new(config.mem_single());
             let mut trace = TraceStats::new();
-            let mut filtered = 0u64;
+            let mut shipping: Vec<EventRecord> = Vec::new();
             machine.run(&mut mem, |r| {
                 trace.observe(&r.record);
-                if let Some(filter) = &config.log.filter {
-                    if !filter.passes(&r.record) {
-                        filtered += 1;
-                        return;
-                    }
-                }
-                tx.push(&r.record);
+                filter.capture_into(&r.record, &mut shipping, |rec| tx.push(rec));
                 if r.record.kind == EventKind::Syscall && config.log.syscall_stall {
                     tx.flush();
                 }
             })?;
-            Ok((trace, filtered))
+            // Settle outstanding fold counts before the channel closes.
+            filter.finish_into(&mut shipping, |rec| tx.push(rec));
+            Ok((trace, filter.stats()))
             // `tx` drops here: flushes the final partial frame and closes
             // the channel.
         });
@@ -91,7 +91,7 @@ pub fn run_live(
         }
         engine.finish(lifeguard, &mut mem, 1, &mut findings);
 
-        let (trace, filtered) = producer.join().expect("producer thread must not panic")?;
+        let (trace, capture) = producer.join().expect("producer thread must not panic")?;
         let stats = rx.stats();
         let instructions = trace.instructions().max(1);
         Ok(LiveReport {
@@ -99,7 +99,10 @@ pub fn run_live(
             findings,
             log: LogStats {
                 records: stats.records,
-                filtered,
+                captured: capture.captured,
+                filtered: capture.range_filtered,
+                deduped: capture.deduped,
+                folded: capture.folded,
                 frames: stats.frames,
                 compressed_bits: stats.payload_bits,
                 wire_bits: stats.wire_bits,

@@ -30,8 +30,8 @@ use std::thread;
 use lba_cache::MemSystem;
 use lba_cpu::{Machine, RunError};
 use lba_isa::Program;
-use lba_lifeguard::{DispatchEngine, Finding, Lifeguard};
-use lba_record::TraceStats;
+use lba_lifeguard::{CaptureStats, DispatchEngine, Finding, Lifeguard};
+use lba_record::{EventRecord, TraceStats};
 use lba_transport::live::shard_frame_channels;
 use lba_transport::{shard_of, ChannelStats};
 
@@ -55,12 +55,15 @@ const LG_CORE: usize = 1;
 ///
 /// Unlike [`run_live`](crate::run_live), this mode mirrors the modeled
 /// parallel study exactly, so two `LogConfig` fields are deliberately
-/// **ignored**: `filter` (every record ships — the capture filter's
-/// per-lifeguard soundness story has not been worked out for sharded
-/// state) and `syscall_stall` (frames seal only when full or at end of
-/// program; there is no containment flush). This is what keeps each
-/// shard's wire stream byte-identical to `run_lba_parallel`'s, which
-/// ignores the same fields.
+/// **ignored**: `filter` (the address-range filter has no sharded
+/// soundness story) and `syscall_stall` (frames seal only when full or at
+/// end of program; there is no containment flush). The
+/// `idempotency_window` **does** apply: the capture pass runs on the
+/// producer before routing — a suppressed duplicate would have landed on
+/// the same shard as its first occurrence, so the per-lifeguard soundness
+/// contract carries over unchanged — and `run_lba_parallel` runs the
+/// identical pass, which keeps each shard's wire stream byte-identical
+/// between the two modes.
 ///
 /// # Errors
 ///
@@ -121,23 +124,34 @@ pub fn run_live_parallel(
             })
             .collect();
 
-        // Produce on this thread: run the machine and fan the log out.
-        let produced = (|| -> Result<TraceStats, RunError> {
+        // Produce on this thread: run the machine, apply the capture pass
+        // (identical to `run_lba_parallel`'s) and fan the log out.
+        let produced = (|| -> Result<(TraceStats, CaptureStats), RunError> {
             let mut machine = Machine::new(program, config.machine);
             let mut mem = MemSystem::new(config.mem_single());
             let mut trace = TraceStats::new();
-            machine.run(&mut mem, |r| {
-                trace.observe(&r.record);
-                match shard_of(&r.record, shards) {
-                    Some(owner) => senders[owner].push(&r.record),
-                    None => {
-                        for tx in &mut senders {
-                            tx.push(&r.record);
+            let mut filter = config
+                .log
+                .shard_capture_filter(make_lifeguard().idempotency());
+            let mut shipping: Vec<EventRecord> = Vec::new();
+            let fan_out =
+                |rec: &EventRecord, senders: &mut Vec<lba_transport::live::FrameSender>| {
+                    match shard_of(rec, shards) {
+                        Some(owner) => senders[owner].push(rec),
+                        None => {
+                            for tx in senders.iter_mut() {
+                                tx.push(rec);
+                            }
                         }
                     }
-                }
+                };
+            machine.run(&mut mem, |r| {
+                trace.observe(&r.record);
+                filter.capture_into(&r.record, &mut shipping, |rec| fan_out(rec, &mut senders));
             })?;
-            Ok(trace)
+            // Settle outstanding fold counts before the streams close.
+            filter.finish_into(&mut shipping, |rec| fan_out(rec, &mut senders));
+            Ok((trace, filter.stats()))
         })();
         // Close every shard stream (flush-on-drop) whether or not the run
         // errored, so the consumers can finish before any error unwinds.
@@ -151,13 +165,14 @@ pub fn run_live_parallel(
             shard_log.push(stats);
         }
         let findings = crate::parallel::merge_shard_findings(shard_findings);
-        let trace = produced?;
+        let (trace, capture) = produced?;
         Ok(LiveParallelReport {
             program: program.name().to_string(),
             shards,
             findings,
             trace,
             shard_log,
+            capture,
         })
     })
 }

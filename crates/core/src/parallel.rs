@@ -29,7 +29,7 @@ use lba_cache::MemSystem;
 use lba_cache::MemSystemConfig;
 use lba_cpu::{Machine, RunError, StepOutcome};
 use lba_isa::Program;
-use lba_lifeguard::{DispatchEngine, Finding, Lifeguard};
+use lba_lifeguard::{CaptureStats, DispatchEngine, Finding, Lifeguard};
 use lba_record::TraceStats;
 use lba_transport::{shard_of, ChannelStats, LogChannel, ModeledFrameChannel};
 
@@ -59,6 +59,10 @@ pub struct ParallelReport {
     pub trace: TraceStats,
     /// Per-shard transport statistics (records, frames, wire bits).
     pub shard_log: Vec<ChannelStats>,
+    /// What the producer-side capture pass did (the idempotency window
+    /// runs before routing; the address-range filter stays ignored in
+    /// the parallel study).
+    pub capture: CaptureStats,
 }
 
 impl ParallelReport {
@@ -130,6 +134,13 @@ pub fn run_lba_parallel(
     let mut trace = TraceStats::new();
     let mut app_cycles = 0u64;
     let batch = config.log.batch_dispatch;
+    // The capture pass runs *before* routing (duplicates never reach any
+    // shard — same-line duplicates would have landed on the same shard
+    // anyway, so per-shard soundness matches the unsharded argument). The
+    // live sharded mode builds the identical filter, keeping the
+    // per-shard streams byte-identical.
+    let mut filter = config.log.shard_capture_filter(lifeguards[0].idempotency());
+    let mut shipping: Vec<lba_record::EventRecord> = Vec::new();
 
     /// Drains every currently-available frame (or record, in the
     /// per-record baseline) of one shard's channel into its lifeguard.
@@ -155,42 +166,87 @@ pub fn run_lba_parallel(
         cycles
     }
 
+    /// Routes one shipped record into the shard channels and drains any
+    /// sealed frames, so transport memory stays bounded by the shard
+    /// budget instead of the whole log.
+    #[allow(clippy::too_many_arguments)]
+    fn feed_shards(
+        rec: &lba_record::EventRecord,
+        shards: usize,
+        batch: bool,
+        app_cycles: u64,
+        channels: &mut [Box<dyn LogChannel>],
+        engine: &DispatchEngine,
+        lifeguards: &mut [Box<dyn Lifeguard>],
+        mem: &mut MemSystem,
+        shard_cycles: &mut [u64],
+        shard_findings: &mut [Vec<Finding>],
+    ) {
+        // Address-interleaved routing, shared with the live mode
+        // (`None` means broadcast).
+        let route = shard_of(rec, shards);
+        for (idx, channel) in channels.iter_mut().enumerate() {
+            match route {
+                Some(owner) if owner != idx => {
+                    // Routed elsewhere: this shard skips the record
+                    // (its dispatch sees a no-op entry).
+                    shard_cycles[idx] += engine.config().unsubscribed_cycles;
+                }
+                _ => {
+                    channel.push_record(rec, app_cycles);
+                }
+            }
+            shard_cycles[idx] += drain_shard(
+                batch,
+                channel.as_mut(),
+                engine,
+                lifeguards[idx].as_mut(),
+                mem,
+                1 + idx,
+                &mut shard_findings[idx],
+            );
+        }
+    }
+
     loop {
         match machine.step(&mut mem)? {
             StepOutcome::Finished => break,
             StepOutcome::Retired(r) => {
                 trace.observe(&r.record);
                 app_cycles += r.cycles;
-                // Address-interleaved routing, shared with the live mode
-                // (`None` means broadcast).
-                let route = shard_of(&r.record, shards);
-                for (idx, channel) in channels.iter_mut().enumerate() {
-                    match route {
-                        Some(owner) if owner != idx => {
-                            // Routed elsewhere: this shard skips the record
-                            // (its dispatch sees a no-op entry).
-                            shard_cycles[idx] += engine.config().unsubscribed_cycles;
-                        }
-                        _ => {
-                            channel.push_record(&r.record, app_cycles);
-                        }
-                    }
-                    // Drain any frames that have sealed, so transport
-                    // memory stays bounded by the shard budget instead of
-                    // the whole log.
-                    shard_cycles[idx] += drain_shard(
+                filter.capture_into(&r.record, &mut shipping, |rec| {
+                    feed_shards(
+                        rec,
+                        shards,
                         batch,
-                        channel.as_mut(),
+                        app_cycles,
+                        &mut channels,
                         &engine,
-                        lifeguards[idx].as_mut(),
+                        &mut lifeguards,
                         &mut mem,
-                        1 + idx,
-                        &mut shard_findings[idx],
+                        &mut shard_cycles,
+                        &mut shard_findings,
                     );
-                }
+                });
             }
         }
     }
+
+    // Settle outstanding fold counts before the streams close.
+    filter.finish_into(&mut shipping, |rec| {
+        feed_shards(
+            rec,
+            shards,
+            batch,
+            app_cycles,
+            &mut channels,
+            &engine,
+            &mut lifeguards,
+            &mut mem,
+            &mut shard_cycles,
+            &mut shard_findings,
+        );
+    });
 
     // Drain each shard's channel: decode its frame stream in order and
     // deliver to its lifeguard.
@@ -224,6 +280,7 @@ pub fn run_lba_parallel(
         findings,
         trace,
         shard_log,
+        capture: filter.stats(),
     })
 }
 

@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use lba_lifeguard::Finding;
+use lba_lifeguard::{CaptureStats, Finding};
 use lba_record::TraceStats;
 use lba_transport::ChannelStats;
 
@@ -42,10 +42,21 @@ pub struct StallBreakdown {
 /// Log-pipeline statistics for an LBA run.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct LogStats {
-    /// Records that entered the log (after any capture filter).
+    /// Records that entered the log (after the capture pass — what the
+    /// transport actually shipped, fold summaries included).
     pub records: u64,
+    /// Records observed at capture, before any filtering. `captured =
+    /// records + filtered + deduped − folded`.
+    pub captured: u64,
     /// Records dropped by the capture-side address filter.
     pub filtered: u64,
+    /// Duplicate records suppressed by the capture-side idempotency
+    /// window (zero when `LogConfig::idempotency_window` is 0 or the
+    /// lifeguard's contract is `IdempotencyClass::None`).
+    pub deduped: u64,
+    /// `Repeat` summary records synthesized for fold-class lifeguards
+    /// (already counted in `records`).
+    pub folded: u64,
     /// Transport frames shipped (cache-line-multiple wire units).
     pub frames: u64,
     /// Total payload bits written (compressed, or raw when compression is
@@ -114,6 +125,10 @@ pub struct LiveParallelReport {
     /// Per-shard transport statistics (records, frames, wire bits), in
     /// shard order.
     pub shard_log: Vec<ChannelStats>,
+    /// What the producer-side capture pass did (records captured vs.
+    /// shipped; the sharded modes run the idempotency window but not the
+    /// address-range filter).
+    pub capture: CaptureStats,
 }
 
 impl LiveParallelReport {

@@ -5,6 +5,7 @@ use lba_record::{EventMask, EventRecord};
 
 use crate::cost::HandlerCtx;
 use crate::finding::Finding;
+use crate::idempotency::IdempotencyClass;
 
 /// A monitoring program organised as event handlers (the paper's §2).
 ///
@@ -28,6 +29,18 @@ pub trait Lifeguard {
     /// AddrCheck's leak scan). The default does nothing.
     fn on_finish(&mut self, ctx: &mut HandlerCtx<'_>) {
         let _ = ctx;
+    }
+
+    /// The lifeguard's capture-side soundness contract: under which key,
+    /// and until which invalidating events, is re-checking a repeated
+    /// load/store guaranteed to reproduce a verdict this lifeguard
+    /// already reached? The capture filter suppresses duplicates only
+    /// within the declared contract (see
+    /// [`IdempotencyClass`]). The default is the conservative
+    /// [`IdempotencyClass::None`]: no record of an undeclared lifeguard
+    /// is ever dropped.
+    fn idempotency(&self) -> IdempotencyClass {
+        IdempotencyClass::None
     }
 }
 

@@ -19,7 +19,11 @@
 //! * [`ShadowMemory`]/[`ShadowRegs`] — the functional shadow state;
 //! * [`Finding`] — a detected problem (the lifeguard's output);
 //! * [`AddrRangeFilter`] — the paper's proposed address-range filtering
-//!   (§3 "we are working on … filtering techniques").
+//!   (§3 "we are working on … filtering techniques");
+//! * [`CaptureFilter`]/[`IdempotencyClass`] — capture-side idempotent
+//!   duplicate suppression under each lifeguard's declared soundness
+//!   contract ([`Lifeguard::idempotency`]), composed with the range
+//!   filter into one capture pass.
 //!
 //! # Examples
 //!
@@ -62,10 +66,14 @@ mod dispatch;
 mod filter;
 mod finding;
 pub mod history;
+mod idempotency;
 mod shadow;
 
 pub use cost::HandlerCtx;
 pub use dispatch::{DispatchConfig, DispatchEngine, Lifeguard};
 pub use filter::AddrRangeFilter;
 pub use finding::{Finding, FindingKind};
+pub use idempotency::{
+    CaptureFilter, CaptureStats, IdempotencyClass, WindowSpec, MAX_WINDOW_ENTRIES,
+};
 pub use shadow::{ShadowMemory, ShadowRegs};

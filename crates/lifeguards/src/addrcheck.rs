@@ -3,7 +3,9 @@
 
 use std::collections::{HashMap, HashSet};
 
-use lba_lifeguard::{Finding, FindingKind, HandlerCtx, Lifeguard, ShadowMemory};
+use lba_lifeguard::{
+    Finding, FindingKind, HandlerCtx, IdempotencyClass, Lifeguard, ShadowMemory, WindowSpec,
+};
 use lba_mem::layout;
 use lba_record::{EventKind, EventMask, EventRecord};
 
@@ -189,6 +191,23 @@ impl Lifeguard for AddrCheck {
             EventKind::Free => self.handle_free(record, ctx),
             _ => {}
         }
+    }
+
+    /// Capture-side soundness contract: AddrCheck's verdict for an access
+    /// is a pure function of `(pc, granule(addr))` and the granule's
+    /// allocation state — which only `alloc`/`free` events change — and a
+    /// repeated verdict never adds a finding because reports are already
+    /// deduplicated on `(pc, granule)`. So duplicates keyed at the
+    /// 16-byte allocation granule may be dropped outright, with the
+    /// window flushed on every `alloc`/`free`. No thread-switch flush is
+    /// needed: other threads' loads and stores cannot move allocation
+    /// state, and the report dedup key is thread-insensitive.
+    fn idempotency(&self) -> IdempotencyClass {
+        IdempotencyClass::Window(WindowSpec {
+            addr_granule_log2: GRANULE.trailing_zeros() as u8,
+            invalidate_on: EventMask::of(&[EventKind::Alloc, EventKind::Free]),
+            flush_on_thread_switch: false,
+        })
     }
 
     fn on_finish(&mut self, ctx: &mut HandlerCtx<'_>) {

@@ -13,6 +13,36 @@
 //! baseline (inline on the application core) — only the cost attribution
 //! differs, exactly as in the paper's comparison.
 //!
+//! # Capture-filter soundness stories
+//!
+//! Each lifeguard declares how much capture-side duplicate suppression it
+//! tolerates ([`lba_lifeguard::Lifeguard::idempotency`]); the filtered
+//! run is proptest-pinned byte-identical in findings to the unfiltered
+//! one (`tests/idempotency.rs` at the workspace root):
+//!
+//! * [`AddrCheck`] — **window-dedupable at the 16-byte allocation
+//!   granule.** Its verdict is a function of `(pc, granule)` and the
+//!   granule's allocation state; only `alloc`/`free` change that state,
+//!   so they flush the window. Reports are already deduplicated on
+//!   `(pc, granule)`, so a suppressed re-check can never have produced a
+//!   new finding.
+//! * [`LockSet`] — **window-dedupable at the exact address, flushed on
+//!   `lock`/`unlock` and on every thread interleave.** Within one
+//!   same-thread, same-lockset run, Eraser's candidate-set intersection
+//!   is idempotent and the word state machine only moves toward the
+//!   state the first occurrence reached; cross-thread accesses and
+//!   lockset changes — the two things that can alter a settled verdict —
+//!   both flush.
+//! * [`MemProfile`] — **fold-dedupable at the 64-byte line.** Duplicates
+//!   matter only as counts, so the filter accumulates them and re-emits
+//!   an [`lba_record::EventKind::Repeat`] summary on eviction and at
+//!   flush points; the handler multiplies the summary back in, keeping
+//!   every total exact.
+//! * [`TaintCheck`] — **opts out entirely.** Every access propagates
+//!   taint state, so no record is a pure re-check; the filter provably
+//!   never drops from its stream (mirroring its exclusion from
+//!   address-interleaved sharding).
+//!
 //! # Examples
 //!
 //! ```

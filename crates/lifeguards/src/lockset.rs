@@ -2,7 +2,9 @@
 
 use std::collections::{HashMap, HashSet};
 
-use lba_lifeguard::{Finding, FindingKind, HandlerCtx, Lifeguard, ShadowMemory};
+use lba_lifeguard::{
+    Finding, FindingKind, HandlerCtx, IdempotencyClass, Lifeguard, ShadowMemory, WindowSpec,
+};
 use lba_mem::layout;
 use lba_record::{EventKind, EventMask, EventRecord};
 
@@ -363,6 +365,28 @@ impl Lifeguard for LockSet {
             }
             _ => {}
         }
+    }
+
+    /// Capture-side soundness contract: a repeated identical access (same
+    /// `pc`, `tid`, exact `addr` and `size` — exact, because Eraser state
+    /// is per 4-byte word and a wide access may straddle) is
+    /// findings-idempotent as long as (i) the accessor's held lockset is
+    /// unchanged — hence the flush on every `lock`/`unlock` — and (ii) no
+    /// other thread touched the word in between, which would move the
+    /// Virgin → Exclusive → Shared(-Modified) machine — hence the flush
+    /// on every thread interleave. Within one same-thread, same-lockset
+    /// run the candidate-set intersection is idempotent
+    /// (`C ∩ held ∩ held = C ∩ held`), the state machine can only move
+    /// monotonically toward the state the first occurrence already
+    /// reached, and any race report a duplicate could raise was either
+    /// raised by its first occurrence or suppressed by the per-word
+    /// report dedup.
+    fn idempotency(&self) -> IdempotencyClass {
+        IdempotencyClass::Window(WindowSpec {
+            addr_granule_log2: 0,
+            invalidate_on: EventMask::of(&[EventKind::Lock, EventKind::Unlock]),
+            flush_on_thread_switch: true,
+        })
     }
 }
 

@@ -12,7 +12,7 @@
 
 use std::collections::HashMap;
 
-use lba_lifeguard::{HandlerCtx, Lifeguard};
+use lba_lifeguard::{HandlerCtx, IdempotencyClass, Lifeguard, WindowSpec};
 use lba_record::{EventKind, EventMask, EventRecord};
 
 /// Cache-line granularity used for the hot-line histogram.
@@ -127,7 +127,29 @@ impl Lifeguard for MemProfile {
             EventKind::Store,
             EventKind::Alloc,
             EventKind::Free,
+            EventKind::Repeat,
         ])
+    }
+
+    /// Capture-side soundness contract: MemProfile's duplicates are
+    /// meaningful, but only as *counts* — a repeated access at the same
+    /// `pc` and 64-byte line contributes exactly `+1` to the same load or
+    /// store counter, the same line and pc histogram buckets, and
+    /// `+size` bytes. So duplicates may be folded: the capture filter
+    /// accumulates them per window entry and re-emits one
+    /// [`EventKind::Repeat`] summary on eviction or flush, which the
+    /// `on_event` handler multiplies back in. Totals are exact at every
+    /// window flush point (syscalls, via the trigger below, and end of
+    /// program); only the *intermediate* profile between flushes lags.
+    /// Alloc/free never flush: allocation statistics ride un-deduped
+    /// events, and `peak_live_bytes` depends only on their order, which
+    /// filtering preserves.
+    fn idempotency(&self) -> IdempotencyClass {
+        IdempotencyClass::Fold(WindowSpec {
+            addr_granule_log2: LINE_BYTES.trailing_zeros() as u8,
+            invalidate_on: EventMask::of(&[EventKind::Syscall]),
+            flush_on_thread_switch: false,
+        })
     }
 
     fn on_event(&mut self, rec: &EventRecord, ctx: &mut HandlerCtx<'_>) {
@@ -147,6 +169,26 @@ impl Lifeguard for MemProfile {
                 // Two hash-table increments: ~4 instructions each, plus
                 // the line/pc arithmetic.
                 ctx.alu(10);
+            }
+            EventKind::Repeat => {
+                // A capture-side fold summary: `count` suppressed
+                // duplicates of one access, multiplied back in so the
+                // totals match an unfiltered run exactly — one handler
+                // invocation instead of `count`.
+                let count = u64::from(rec.repeat_count());
+                if rec.repeat_is_store() {
+                    p.stores += count;
+                } else {
+                    p.loads += count;
+                }
+                p.bytes_accessed += count * u64::from(rec.repeat_width());
+                *p.line_counts
+                    .entry(rec.addr & !(LINE_BYTES - 1))
+                    .or_insert(0) += count;
+                *p.pc_counts.entry(rec.pc).or_insert(0) += count;
+                // Same bucket work as a single access, plus the count
+                // multiplies.
+                ctx.alu(12);
             }
             EventKind::Alloc => {
                 p.allocs += 1;

@@ -2,7 +2,9 @@
 
 use std::collections::HashSet;
 
-use lba_lifeguard::{Finding, FindingKind, HandlerCtx, Lifeguard, ShadowMemory, ShadowRegs};
+use lba_lifeguard::{
+    Finding, FindingKind, HandlerCtx, IdempotencyClass, Lifeguard, ShadowMemory, ShadowRegs,
+};
 use lba_record::{EventKind, EventMask, EventRecord};
 
 /// Shadow region base for TaintCheck's per-byte taint map.
@@ -103,6 +105,18 @@ impl Lifeguard for TaintCheck {
             EventKind::IndirectJump,
             EventKind::Syscall,
         ])
+    }
+
+    /// Capture-side soundness contract: **none**. Every access propagates
+    /// taint — a load *writes* its destination register's taint, a store
+    /// *writes* shadow memory — so a "duplicate" is never a re-check of a
+    /// settled verdict; dropping one desynchronises the whole downstream
+    /// taint flow (the same sequential-dependence property that excludes
+    /// TaintCheck from address-interleaved sharding). The filter
+    /// therefore never touches TaintCheck's stream, whatever the window
+    /// size.
+    fn idempotency(&self) -> IdempotencyClass {
+        IdempotencyClass::None
     }
 
     fn on_event(&mut self, rec: &EventRecord, ctx: &mut HandlerCtx<'_>) {

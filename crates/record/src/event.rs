@@ -41,11 +41,18 @@ pub enum EventKind {
     Syscall = 13,
     /// Thread termination (emitted when a thread halts).
     ThreadEnd = 14,
+    /// Capture-side fold summary: `size` identical suppressed load/store
+    /// duplicates collapsed into one record by the idempotency filter.
+    /// `pc`/`tid`/`addr` are the duplicates' values, `in1` their access
+    /// width in bytes, and `in2` is 1 for stores, 0 for loads. Only
+    /// lifeguards whose soundness contract folds duplicates into counts
+    /// (MemProfile) subscribe to it.
+    Repeat = 15,
 }
 
 impl EventKind {
     /// Number of event kinds.
-    pub const COUNT: usize = 15;
+    pub const COUNT: usize = 16;
 
     /// All kinds in encoding order.
     pub const ALL: [EventKind; Self::COUNT] = [
@@ -64,6 +71,7 @@ impl EventKind {
         EventKind::Recv,
         EventKind::Syscall,
         EventKind::ThreadEnd,
+        EventKind::Repeat,
     ];
 
     /// The kind's code as stored in encoded records.
@@ -91,6 +99,7 @@ impl EventKind {
                 | EventKind::Lock
                 | EventKind::Unlock
                 | EventKind::Recv
+                | EventKind::Repeat
         )
     }
 }
@@ -113,6 +122,7 @@ impl fmt::Display for EventKind {
             EventKind::Recv => "recv",
             EventKind::Syscall => "syscall",
             EventKind::ThreadEnd => "thread-end",
+            EventKind::Repeat => "repeat",
         };
         f.write_str(name)
     }
@@ -221,6 +231,48 @@ impl EventRecord {
         }
     }
 
+    /// Creates a capture-side fold summary: `count` suppressed duplicates
+    /// of a `width`-byte load (or store, when `is_store`) at `pc`/`addr`
+    /// collapsed into one record. See [`EventKind::Repeat`].
+    #[must_use]
+    pub fn repeat(pc: u64, tid: u8, addr: u64, width: u32, is_store: bool, count: u32) -> Self {
+        debug_assert!(width <= 8, "access width {width} exceeds 8 bytes");
+        EventRecord {
+            pc,
+            kind: EventKind::Repeat,
+            tid,
+            in1: Some(width as u8),
+            in2: Some(u8::from(is_store)),
+            out: None,
+            addr,
+            size: count,
+        }
+    }
+
+    /// For a [`EventKind::Repeat`] record: the number of duplicates folded
+    /// into it.
+    #[must_use]
+    pub fn repeat_count(&self) -> u32 {
+        debug_assert_eq!(self.kind, EventKind::Repeat);
+        self.size
+    }
+
+    /// For a [`EventKind::Repeat`] record: the access width in bytes of
+    /// each folded duplicate.
+    #[must_use]
+    pub fn repeat_width(&self) -> u32 {
+        debug_assert_eq!(self.kind, EventKind::Repeat);
+        u32::from(self.in1.unwrap_or(0))
+    }
+
+    /// For a [`EventKind::Repeat`] record: whether the folded duplicates
+    /// were stores (`false`: loads).
+    #[must_use]
+    pub fn repeat_is_store(&self) -> bool {
+        debug_assert_eq!(self.kind, EventKind::Repeat);
+        self.in2 == Some(1)
+    }
+
     /// Whether this record is a data-memory reference (load or store).
     #[must_use]
     pub fn is_memory(&self) -> bool {
@@ -323,6 +375,20 @@ mod tests {
         assert!(EventRecord::load(0, 0, None, None, 0, 4).is_memory());
         assert!(EventRecord::store(0, 0, None, None, 0, 4).is_memory());
         assert!(!EventRecord::alu(0, 0, None, None, None).is_memory());
+    }
+
+    #[test]
+    fn repeat_summary_round_trips_and_exposes_fields() {
+        let rec = EventRecord::repeat(0x1040, 2, 0x4000_0080, 8, true, 1234);
+        assert_eq!(rec.kind, EventKind::Repeat);
+        assert_eq!(rec.repeat_count(), 1234);
+        assert_eq!(rec.repeat_width(), 8);
+        assert!(rec.repeat_is_store());
+        assert!(!rec.is_memory(), "a summary is not itself an access");
+        let decoded = EventRecord::decode_raw(&rec.encode_raw()).expect("decodes");
+        assert_eq!(decoded, rec);
+        let load_summary = EventRecord::repeat(0x1040, 0, 0x10, 4, false, 1);
+        assert!(!load_summary.repeat_is_store());
     }
 
     #[test]

@@ -31,11 +31,13 @@ use lba_record::{EventKind, EventRecord};
 /// for records every shard must see.
 ///
 /// Load/store records belong to the shard owning their 64-byte cache line
-/// (`(addr / 64) % shards`); every other kind (alloc/free, lock/unlock,
-/// syscalls, …) is broadcast because it updates state all shards need.
-/// Both the modeled (`run_lba_parallel`) and live (`run_live_parallel`)
-/// sharded modes route with this function, so their per-shard record
-/// streams — and therefore their per-shard wire streams — are identical.
+/// (`(addr / 64) % shards`), and a capture-side `Repeat` fold summary
+/// routes with the line-local accesses it summarizes; every other kind
+/// (alloc/free, lock/unlock, syscalls, …) is broadcast because it updates
+/// state all shards need. Both the modeled (`run_lba_parallel`) and live
+/// (`run_live_parallel`) sharded modes route with this function, so their
+/// per-shard record streams — and therefore their per-shard wire
+/// streams — are identical.
 ///
 /// # Panics
 ///
@@ -44,7 +46,9 @@ use lba_record::{EventKind, EventRecord};
 pub fn shard_of(record: &EventRecord, shards: usize) -> Option<usize> {
     assert!(shards > 0, "need at least one shard");
     match record.kind {
-        EventKind::Load | EventKind::Store => Some(((record.addr / 64) % shards as u64) as usize),
+        EventKind::Load | EventKind::Store | EventKind::Repeat => {
+            Some(((record.addr / 64) % shards as u64) as usize)
+        }
         _ => None,
     }
 }

@@ -18,21 +18,33 @@
 //!  │  lba-cpu       │  machine model: threads, clocks, syscalls    │
 //!  │       │        │                            │        ▲       │
 //!  │   capture      │                            │ frame-granular │
-//!  │ (lba-record)───┼─ VPC compression + frame ──┼─▶  dispatch    │
-//!  │       │        │  packing (lba-compress)    │ (lba-lifeguard:│
-//!  │  FrameEncoder ─┼─▶ LogChannel: cache-line ──┼─▶ pop_frame +  │
-//!  │       │        │   frames through the       │ deliver_batch) │
-//!  │  shard_of ─────┼─▶ hierarchy (lba-transport,│        │       │
-//!  │  fan-out: one  │   modelled or live SPSC;   │  lba-lifeguards│
-//!  │  stream/shard  │   sharded: N streams, one  │  AddrCheck ·   │
-//!  │  lba-cache     │   predictor bank + decoder │  TaintCheck ·  │
-//!  │  lba-mem       │   thread per shard)        │  LockSet ·     │
-//!  └────────────────┘                            │  MemProfile    │
-//!         consumption is frame-at-a-time: one    └────────────────┘
+//!  │ (lba-record)   │                            │    dispatch    │
+//!  │       │        │                            │ (lba-lifeguard:│
+//!  │  CaptureFilter─┼─ VPC compression + frame ──┼─▶ pop_frame +  │
+//!  │  addr ranges + │  packing (lba-compress)    │ deliver_batch) │
+//!  │  idempotency   │                            │        │       │
+//!  │  window (drops │                            │  lba-lifeguards│
+//!  │  duplicates,   │                            │  AddrCheck ·   │
+//!  │  folds counts  │                            │  TaintCheck ·  │
+//!  │  into Repeat)  │                            │  LockSet ·     │
+//!  │       │        │                            │  MemProfile    │
+//!  │  FrameEncoder ─┼─▶ LogChannel: cache-line ──┼─▶ (each one    │
+//!  │       │        │   frames through the       │  declares its  │
+//!  │  shard_of ─────┼─▶ hierarchy (lba-transport,│  capture-dedup │
+//!  │  fan-out: one  │   modelled or live SPSC;   │  soundness     │
+//!  │  stream/shard  │   sharded: N streams, one  │  contract via  │
+//!  │  lba-cache     │   predictor bank + decoder │  idempotency())│
+//!  │  lba-mem       │   thread per shard)        │                │
+//!  └────────────────┘                            └────────────────┘
+//!         consumption is frame-at-a-time: one
 //!         ready_at stamp, one HandlerCtx and one
 //!         subscription-mask fetch per frame (the
 //!         per-record path stays as the bench
-//!         baseline, LogConfig::batch_dispatch)
+//!         baseline, LogConfig::batch_dispatch);
+//!         capture is filter-then-compress: the
+//!         idempotency window suppresses cleared
+//!         re-checks before they cost any wire
+//!         (LogConfig::idempotency_window)
 //! ```
 //!
 //! ## Crate map
@@ -43,10 +55,10 @@
 //! | `lba-mem`        | flat memory, heap allocator, address-space layout     |
 //! | `lba-cpu`        | execution substrate: machine, threads, run errors     |
 //! | `lba-cache`      | set-associative caches and the two-core memory system |
-//! | `lba-record`     | the typed event-record vocabulary the log carries     |
+//! | `lba-record`     | the typed event-record vocabulary the log carries (incl. `Repeat` fold summaries) |
 //! | `lba-compress`   | value-prediction log compression + chunked frame codec (< 1 byte/instr on the wire) |
 //! | `lba-transport`  | `LogChannel` trait: framed buffer timing model + live cross-thread frame channel, frame-granular `pop_frame`, `shard_of` routing and per-shard channel fan-out |
-//! | `lba-lifeguard`  | dispatch engine (batch + per-record), event filters, findings, flat paged shadow memory |
+//! | `lba-lifeguard`  | dispatch engine (batch + per-record), capture filters (`AddrRangeFilter` + per-contract idempotency window in one `CaptureFilter` pass), findings, flat paged shadow memory |
 //! | `lba-lifeguards` | the paper's four lifeguards                           |
 //! | `lba-dbi`        | Valgrind-style inline instrumentation baseline        |
 //! | `lba-workloads`  | deterministic benchmark programs                      |
@@ -95,9 +107,9 @@
 //! ```
 
 pub use lba_core::{
-    experiment, live_parallel, parallel, report, table, ChannelStats, LifeguardKind,
-    LiveParallelReport, LiveReport, LogConfig, LogStats, Mode, RunError, RunReport, StallBreakdown,
-    SystemConfig,
+    experiment, live_parallel, parallel, report, table, CaptureFilter, CaptureStats, ChannelStats,
+    IdempotencyClass, LifeguardKind, LiveParallelReport, LiveReport, LogConfig, LogStats, Mode,
+    RunError, RunReport, StallBreakdown, SystemConfig, WindowSpec,
 };
 pub use lba_core::{run_dbi, run_lba, run_live, run_live_parallel, run_unmonitored};
 
