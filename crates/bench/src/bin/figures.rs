@@ -7,19 +7,23 @@
 //!
 //! `scale` multiplies every benchmark's iteration counts (default 1).
 //!
-//! `figures --bench-smoke` is the CI gate: it measures the pipeline
-//! matrix once, writes `BENCH_pipeline.smoke.json` next to the committed
-//! trajectory (uploaded as a workflow artifact), validates the emitted
-//! document with the same `lba_bench::pipeline::validate_trajectory`
-//! shape check `tests/figures_smoke.rs` runs on the committed file, and
-//! fails if the emitted *schema* (the set of series/cells) diverges from
-//! the committed one — so a PR cannot silently drop or mutate a series
+//! `figures --bench-smoke` is the CI gate: it records a run through the
+//! flight recorder and replays it (requiring byte-identical findings and
+//! wire accounting, recording left at `target/flight-recording` for the
+//! artifact upload), measures the pipeline matrix once, writes
+//! `BENCH_pipeline.smoke.json` next to the committed trajectory
+//! (uploaded as a workflow artifact), validates the emitted document
+//! with the same `lba_bench::pipeline::validate_trajectory` shape check
+//! `tests/figures_smoke.rs` runs on the committed file, and fails if the
+//! emitted *schema* (the set of series/cells) diverges from the
+//! committed one — so a PR cannot silently drop or mutate a series
 //! without regenerating the trajectory.
 
 use lba::experiment;
-use lba::{LifeguardKind, SystemConfig};
+use lba::{run_lba, run_replay, LifeguardKind, RecordConfig, SystemConfig};
 use lba_bench as render;
 use lba_bench::pipeline;
+use lba_workloads::bugs;
 
 /// The committed trajectory and its CI smoke sibling, anchored to the
 /// workspace root regardless of the invocation directory.
@@ -28,9 +32,56 @@ const SMOKE: &str = concat!(
     env!("CARGO_MANIFEST_DIR"),
     "/../../BENCH_pipeline.smoke.json"
 );
+/// Where `--bench-smoke` leaves its replay-verified flight recording —
+/// uploaded as a CI artifact so every run ships an actual `lbas/1` stream.
+const RECORDING: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/flight-recording");
+
+/// The `--bench-smoke` flight-recorder gate: record a run, replay the
+/// recording, and require findings and wire-bit accounting byte-identical
+/// to the live run. The recording is left at [`RECORDING`] for the CI
+/// artifact upload.
+fn record_replay_smoke() -> Result<(), String> {
+    let dir = std::path::Path::new(RECORDING);
+    std::fs::remove_dir_all(dir).ok();
+    let program = bugs::data_race();
+    let mut config = SystemConfig::default();
+    config.log.record_to = Some(RecordConfig::new(dir));
+    let kind = LifeguardKind::AddrCheck;
+    let mut lifeguard = kind.make_lba();
+    let recorded = run_lba(&program, lifeguard.as_mut(), &config)
+        .map_err(|e| format!("recording run: {e}"))?;
+
+    let replay =
+        run_replay(dir, || kind.make_lba(), &config).map_err(|e| format!("replay: {e}"))?;
+    if replay.findings != recorded.findings {
+        return Err("replayed findings diverge from the recorded run".into());
+    }
+    if replay.total_wire_bits() != recorded.log.wire_bits
+        || replay.total_records() != recorded.log.records
+    {
+        return Err(format!(
+            "replay accounting diverges: {} wire bits / {} records vs recorded {} / {}",
+            replay.total_wire_bits(),
+            replay.total_records(),
+            recorded.log.wire_bits,
+            recorded.log.records,
+        ));
+    }
+    println!(
+        "flight recording at {RECORDING} replays byte-identical \
+         ({} wire bits, {} findings)",
+        recorded.log.wire_bits,
+        replay.findings.len()
+    );
+    Ok(())
+}
 
 /// The `--bench-smoke` mode; returns the process exit code.
 fn bench_smoke() -> i32 {
+    if let Err(e) = record_replay_smoke() {
+        eprintln!("flight-recorder smoke failed: {e}");
+        return 1;
+    }
     let rows = pipeline::measure_pipeline(1);
     println!("{}", pipeline::render_pipeline(&rows));
     let json = pipeline::pipeline_json(&rows);

@@ -15,7 +15,7 @@
 
 use std::time::Instant;
 
-use lba::{run_lba, run_live, run_live_parallel, SystemConfig};
+use lba::{run_lba, run_live, run_live_parallel, run_replay, RecordConfig, SystemConfig};
 use lba_cache::{MemSystem, MemSystemConfig};
 use lba_cpu::Machine;
 use lba_lifeguard::{DispatchEngine, Lifeguard};
@@ -76,7 +76,8 @@ pub fn idempotent_lifeguards() -> Vec<(&'static str, LifeguardFactory)> {
 pub struct PipelineRow {
     /// Execution mode: `"lba"` (deterministic co-simulation), `"live"`
     /// (two OS threads), `"live-parallel"` (1 producer + N consumer
-    /// threads), or `"consume"` (isolated consumption path).
+    /// threads), `"consume"` (isolated consumption path), or `"replay"`
+    /// (offline replay of a flight-recorder stream).
     pub mode: &'static str,
     /// Lifeguard name.
     pub lifeguard: &'static str,
@@ -144,6 +145,53 @@ pub fn measure_pipeline(samples: usize) -> Vec<PipelineRow> {
     }
     rows.extend(measure_live_parallel(samples));
     rows.extend(measure_idempotent(samples));
+    rows.extend(measure_replay(samples));
+    rows
+}
+
+/// The offline-replay series: gzip's wire stream is recorded once through
+/// the flight recorder (`LogConfig::record_to`), then `run_replay`
+/// re-drives the recording through each lifeguard at host speed — decode
+/// and dispatch only, no application simulation. One recording, four
+/// analyses: the paper's retroactive-monitoring pitch as a throughput
+/// row. Every replay's wire-bit accounting is asserted byte-identical to
+/// the recorded run before the row is reported.
+#[must_use]
+pub fn measure_replay(samples: usize) -> Vec<PipelineRow> {
+    let program = Benchmark::Gzip.build();
+    let dir = std::env::temp_dir().join(format!("lba-bench-replay-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let mut record_cfg = SystemConfig::default();
+    record_cfg.log.record_to = Some(RecordConfig::new(&dir));
+    let mut recorder = AddrCheck::new();
+    let recorded = run_lba(&program, &mut recorder, &record_cfg).expect("gzip runs clean");
+
+    let cfg = SystemConfig::default();
+    let mut rows = Vec::new();
+    for (name, make) in lifeguards() {
+        let (records, wire_bits, wall) = best_of(samples, || {
+            let replay = run_replay(&dir, make, &cfg).expect("recording replays clean");
+            assert_eq!(
+                replay.total_wire_bits(),
+                recorded.log.wire_bits,
+                "replay wire accounting must be byte-identical to the recording"
+            );
+            (replay.total_records(), replay.total_wire_bits())
+        });
+        rows.push(PipelineRow {
+            mode: "replay",
+            lifeguard: name,
+            benchmark: "gzip",
+            batched: true,
+            shards: 1,
+            window: 0,
+            records,
+            wire_bits,
+            wall_seconds: wall,
+            events_per_sec: records as f64 / wall,
+        });
+    }
+    std::fs::remove_dir_all(&dir).ok();
     rows
 }
 
@@ -550,9 +598,10 @@ pub fn validate_trajectory(json: &str) -> Result<(), String> {
         }
     }
 
-    // The five series: isolated consumption, modeled, live, live-parallel,
-    // and the filtered (windowed) cells riding the lba/live modes.
-    for mode in ["consume", "lba", "live", "live-parallel"] {
+    // The six series: isolated consumption, modeled, live, live-parallel,
+    // offline replay, and the filtered (windowed) cells riding the
+    // lba/live modes.
+    for mode in ["consume", "lba", "live", "live-parallel", "replay"] {
         if !json.contains(&format!("\"mode\": \"{mode}\"")) {
             return Err(format!("missing series {mode}"));
         }
@@ -605,15 +654,16 @@ pub fn validate_trajectory(json: &str) -> Result<(), String> {
             if row_u64(filtered, "records")? >= row_u64(unfiltered, "records")? {
                 return Err(format!("{what}: filtering must ship fewer records"));
             }
-            // Wire bits are only asserted for the dedup-heavy showcase:
-            // dropping a third of AddrCheck's stream outweighs the
-            // compression-ratio loss from the holes dedup punches in the
-            // value predictors' patterns. LockSet's exact-address window
-            // dedups too little on gzip to win that trade (fewer records,
-            // *more* bits), which the trajectory records honestly.
-            if lifeguard == "addrcheck"
-                && row_u64(filtered, "wire_bits")? >= row_u64(unfiltered, "wire_bits")?
-            {
+            // Fewer records must also mean fewer bits, for *every*
+            // contract. This pins the compressor's dedup-awareness: the
+            // holes suppression punches in the record stream make the
+            // admitted successor of a PC alternate among a small recent
+            // set, and the MRU successor stack keeps each alternation a
+            // couple of bits instead of a varint escape. A regression
+            // here means a heavily-deduped stream (LockSet's
+            // exact-address window) ships more wire than the unfiltered
+            // run again.
+            if row_u64(filtered, "wire_bits")? >= row_u64(unfiltered, "wire_bits")? {
                 return Err(format!("{what}: filtering must ship fewer wire bits"));
             }
         }

@@ -134,7 +134,8 @@ fn has_dynamic_size(kind: EventKind) -> bool {
 }
 
 /// Address-predictor outcome codes (2 bits on the wire; `ADDR_ESCAPE` is
-/// followed by one bit selecting last-value (0) or miss-with-varint (1)).
+/// followed by a signed varint delta from the last address, zero meaning
+/// a last-value repeat).
 const ADDR_STRIDE: u64 = 0;
 const ADDR_GLOBAL: u64 = 1;
 const ADDR_FCM: u64 = 2;
@@ -190,6 +191,53 @@ impl fmt::Display for CompressionStats {
     }
 }
 
+/// Depth of the per-PC successor stack (see [`Successor`]).
+const SUCC_DEPTH: usize = 4;
+
+/// One successor-table entry: the [`SUCC_DEPTH`] most recent distinct
+/// successors of a PC, most-recently-used first.
+///
+/// The stack makes the PC predictor *dedup-aware*. The capture-side
+/// idempotency window is a finite direct-mapped table, so whether a given
+/// record is suppressed depends on eviction and flush timing: in a deduped
+/// stream the record admitted after PC `A` alternates among `A`'s true
+/// successor and the successors *after* the suppressed runs. A
+/// single-entry table thrashes among those targets and pays a varint
+/// escape on every flip — which is how a heavily-deduped stream
+/// (LockSet's exact-address window) came to ship more wire bits on fewer
+/// records than the unfiltered run. Keeping the recent set makes any
+/// admitted continuation a short unary outcome (depth `d` costs `d+1`
+/// bits in the slow path; depths 1–2 have dedicated fast paths);
+/// genuinely new control flow still evicts the oldest entry.
+#[derive(Debug, Clone, Copy)]
+struct Successor {
+    mru: [u64; SUCC_DEPTH],
+}
+
+impl Successor {
+    fn seed(pc: u64) -> Self {
+        Successor {
+            mru: [pc; SUCC_DEPTH],
+        }
+    }
+
+    /// Applies the MRU update rule after this entry made a prediction: a
+    /// hit moves the matched successor to the front, a miss pushes the
+    /// actual successor and evicts the oldest. The decoder mirrors this
+    /// exactly — the rule is part of the wire format.
+    fn observe(&mut self, actual: u64) {
+        let i = self
+            .mru
+            .iter()
+            .position(|&pc| pc == actual)
+            .unwrap_or(SUCC_DEPTH - 1);
+        for j in (1..=i).rev() {
+            self.mru[j] = self.mru[j - 1];
+        }
+        self.mru[0] = actual;
+    }
+}
+
 /// Shared predictor state for one direction of the stream.
 ///
 /// The program counter is predicted with a *last-successor* table (a BTB
@@ -200,8 +248,9 @@ impl fmt::Display for CompressionStats {
 struct StreamState {
     /// Per-thread most recent PC (`u64::MAX` = no instruction yet).
     last_pc: Vec<u64>,
-    /// Last observed successor of each PC (shared across threads).
-    succ: PcTable<u64>,
+    /// The most recent distinct successors of each PC (shared across
+    /// threads), MRU first (see [`Successor`]).
+    succ: PcTable<Successor>,
     entries: PcTable<PcEntry>,
     fcm: FcmPredictor,
     last_tid: u8,
@@ -277,33 +326,31 @@ impl LogCompressor {
         let start = w.len_bits();
         let s = &mut self.state;
 
-        // 1-3. Header: thread id, program counter (last-successor
+        // 1-3. Header: thread id, program counter (MRU successor-stack
         // prediction), and the per-PC static fields. The overwhelmingly
-        // common case — same thread, predicted PC, cached statics — is a
-        // single fast-path bit; otherwise a 0 bit is followed by the three
-        // individual flag-bit fields.
+        // common case — same thread, most-recent successor, cached
+        // statics — is a single fast-path bit; the same header with the
+        // *second* most-recent successor (the dedup-alternation case) is
+        // two bits; otherwise the three individual flag-bit fields follow.
         let tid_hit = rec.tid == s.last_tid;
         let last = std::mem::replace(s.last_pc_slot(rec.tid), rec.pc);
-        let predicted = if last == u64::MAX {
-            0
+        let stack = if last == u64::MAX {
+            [0; SUCC_DEPTH]
         } else {
             match s.succ.get_mut(last) {
                 Some(succ) => {
-                    let predicted = *succ;
-                    // In-place update through the same probe; a correct
-                    // prediction needs no write at all.
-                    if predicted != rec.pc {
-                        *succ = rec.pc;
-                    }
-                    predicted
+                    let stack = succ.mru;
+                    // In-place update through the same probe.
+                    succ.observe(rec.pc);
+                    stack
                 }
                 None => {
-                    s.succ.insert(last, rec.pc);
-                    fallthrough(last)
+                    s.succ.insert(last, Successor::seed(rec.pc));
+                    [fallthrough(last); SUCC_DEPTH]
                 }
             }
         };
-        let pc_hit = predicted == rec.pc;
+        let depth = stack.iter().position(|&pc| pc == rec.pc);
         let statics = StaticInfo {
             kind: rec.kind,
             in1: rec.in1,
@@ -319,9 +366,16 @@ impl LogCompressor {
         let slot = s.entries.slot(rec.pc);
         let statics_hit = matches!(slot, Some((tag, e)) if *tag == rec.pc && e.statics == statics);
 
-        if tid_hit && pc_hit && statics_hit {
+        if tid_hit && depth == Some(0) && statics_hit {
+            w.write_bit(true);
+        } else if tid_hit && depth == Some(1) && statics_hit {
+            // The alternate fast path: identical header except the PC is
+            // the stack's second entry — the shape dedup alternation
+            // produces in bulk.
+            w.write_bit(false);
             w.write_bit(true);
         } else {
+            w.write_bit(false);
             w.write_bit(false);
             if tid_hit {
                 w.write_bit(true);
@@ -330,11 +384,22 @@ impl LogCompressor {
                 w.write_bits(u64::from(rec.tid), 8);
                 s.last_tid = rec.tid;
             }
-            if pc_hit {
-                w.write_bit(true);
-            } else {
-                w.write_bit(false);
-                w.write_ivarint(rec.pc.wrapping_sub(predicted) as i64);
+            // PC outcome, unary by stack depth: `1` = most recent, `01` =
+            // second, …; SUCC_DEPTH zeros = miss, explicit signed delta
+            // from the front of the stack follows.
+            match depth {
+                Some(d) => {
+                    for _ in 0..d {
+                        w.write_bit(false);
+                    }
+                    w.write_bit(true);
+                }
+                None => {
+                    for _ in 0..SUCC_DEPTH {
+                        w.write_bit(false);
+                    }
+                    w.write_ivarint(rec.pc.wrapping_sub(stack[0]) as i64);
+                }
             }
             if statics_hit {
                 w.write_bit(true);
@@ -416,12 +481,8 @@ fn encode_addr(
     // stride/global hit leaves the mirrored predictor state untouched.
     } else if e.addr_last.wrapping_add(fcm.predict(pc, e.d1, e.d2)) == actual {
         w.write_bits(ADDR_FCM, 2);
-    } else if e.addr_last == actual {
-        w.write_bits(ADDR_ESCAPE, 2);
-        w.write_bit(false); // last-value
     } else {
         w.write_bits(ADDR_ESCAPE, 2);
-        w.write_bit(true); // miss
         w.write_ivarint(actual.wrapping_sub(e.addr_last) as i64);
     }
     update_addr(fcm, pc, e, global_last, actual);
@@ -496,11 +557,14 @@ impl LogDecompressor {
         const EOF: DecodeStreamError = DecodeStreamError::UnexpectedEof;
         let s = &mut self.state;
 
-        // 1-3. Header: a set fast-path bit means same thread, predicted
-        // PC, cached statics; a clear bit is followed by the three
+        // 1-3. Header: a set fast-path bit means same thread, most-recent
+        // successor, cached statics; `01` is the same header resolving to
+        // the stack's second entry; `00` is followed by the three
         // individual flag-bit fields (mirroring the encoder).
         let fast = r.read_bit().ok_or(EOF)?;
-        let tid = if fast || r.read_bit().ok_or(EOF)? {
+        let alt_fast = !fast && r.read_bit().ok_or(EOF)?;
+        let header_hit = fast || alt_fast;
+        let tid = if header_hit || r.read_bit().ok_or(EOF)? {
             s.last_tid
         } else {
             let tid = r.read_bits(8).ok_or(EOF)? as u8;
@@ -515,40 +579,52 @@ impl LogDecompressor {
             s.last_pc.resize(tid_idx + 1, u64::MAX);
         }
         let last = s.last_pc[tid_idx];
-        let pc_hit = fast || r.read_bit().ok_or(EOF)?;
-        /// The actual PC: the prediction on a hit, otherwise the
-        /// prediction plus an explicit signed delta from the stream.
+        /// The actual PC: the fast paths name stack depths 1 and 2
+        /// directly; otherwise a unary code selects the stack depth, and
+        /// failing that an explicit signed delta from the front of the
+        /// stack follows.
         #[inline]
-        fn resolve(pc_hit: bool, predicted: u64, r: &mut BitReader<'_>) -> Option<u64> {
-            if pc_hit {
-                Some(predicted)
-            } else {
-                let delta = r.read_ivarint()?;
-                Some(predicted.wrapping_add(delta as u64))
+        fn resolve(
+            fast: bool,
+            alt_fast: bool,
+            stack: &[u64; SUCC_DEPTH],
+            r: &mut BitReader<'_>,
+        ) -> Option<u64> {
+            if fast {
+                return Some(stack[0]);
             }
+            if alt_fast {
+                return Some(stack[1]);
+            }
+            for &entry in stack {
+                if r.read_bit()? {
+                    return Some(entry);
+                }
+            }
+            let delta = r.read_ivarint()?;
+            Some(stack[0].wrapping_add(delta as u64))
         }
         let pc = if last == u64::MAX {
-            resolve(pc_hit, 0, r).ok_or(EOF)?
+            resolve(fast, alt_fast, &[0; SUCC_DEPTH], r).ok_or(EOF)?
         } else {
             match s.succ.get_mut(last) {
                 Some(succ) => {
-                    let predicted = *succ;
-                    let pc = resolve(pc_hit, predicted, r).ok_or(EOF)?;
-                    if predicted != pc {
-                        *succ = pc;
-                    }
+                    let stack = succ.mru;
+                    let pc = resolve(fast, alt_fast, &stack, r).ok_or(EOF)?;
+                    succ.observe(pc);
                     pc
                 }
                 None => {
-                    let pc = resolve(pc_hit, fallthrough(last), r).ok_or(EOF)?;
-                    s.succ.insert(last, pc);
+                    let f = fallthrough(last);
+                    let pc = resolve(fast, alt_fast, &[f; SUCC_DEPTH], r).ok_or(EOF)?;
+                    s.succ.insert(last, Successor::seed(pc));
                     pc
                 }
             }
         };
         s.last_pc[tid_idx] = pc;
 
-        let entry: &mut PcEntry = if fast || r.read_bit().ok_or(EOF)? {
+        let entry: &mut PcEntry = if header_hit || r.read_bit().ok_or(EOF)? {
             s.entries.get_mut(pc).expect("static hit implies known pc")
         } else {
             let statics = read_statics(r)?;
@@ -639,12 +715,8 @@ fn decode_addr(
         ADDR_GLOBAL => global_last.wrapping_add(e.glob_offset),
         ADDR_FCM => e.addr_last.wrapping_add(fcm.predict(pc, e.d1, e.d2)),
         _ => {
-            if r.read_bit().ok_or(eof.clone())? {
-                let delta = r.read_ivarint().ok_or(eof)?;
-                e.addr_last.wrapping_add(delta as u64)
-            } else {
-                e.addr_last
-            }
+            let delta = r.read_ivarint().ok_or(eof)?;
+            e.addr_last.wrapping_add(delta as u64)
         }
     };
     update_addr(fcm, pc, e, global_last, actual);

@@ -53,6 +53,17 @@ mod compressor;
 mod frame;
 mod predictors;
 
+/// Version of the compressed wire format, mirrored predictor-update rules
+/// included. Durable flight-recorder streams record this value in their
+/// segment headers so offline replay can refuse a stream encoded under a
+/// different codec with a descriptive error instead of decoding garbage.
+/// Bump it whenever the bit layout *or* any encoder/decoder-mirrored
+/// predictor rule changes (version 1 was the single-entry successor
+/// table; version 2 is the dedup-aware MRU successor stack with unary
+/// depth codes, the two-bit alternate fast path, and the simplified
+/// address escape).
+pub const CODEC_VERSION: u32 = 2;
+
 pub use bits::{BitReader, BitWriter};
 pub use compressor::{CompressionStats, DecodeStreamError, LogCompressor, LogDecompressor};
 pub use frame::{

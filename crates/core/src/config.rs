@@ -1,10 +1,56 @@
 //! System configuration.
 
+use std::path::PathBuf;
+
 use lba_cache::MemSystemConfig;
 use lba_compress::FrameConfig;
 use lba_cpu::MachineConfig;
 use lba_dbi::DbiConfig;
 use lba_lifeguard::{AddrRangeFilter, CaptureFilter, DispatchConfig, IdempotencyClass};
+use lba_record::StreamConfig;
+
+/// Where (and under what bounds) a run records its sealed wire frames as
+/// a durable `lbas/1` flight-recorder stream — set [`LogConfig::record_to`]
+/// to enable recording in any of the four run modes.
+///
+/// The single-stream modes (`run_lba`, `run_live`) write stream 0; the
+/// sharded modes write one stream per shard, all into the same directory.
+/// `lba_core::run_replay` later replays the directory through any
+/// lifeguard.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecordConfig {
+    /// Recording directory, created if missing. Segments are named
+    /// `shard-SS.NNNNNN.lbas` inside it.
+    pub dir: PathBuf,
+    /// Rotate to a new segment file past this many bytes.
+    pub segment_bytes: u64,
+    /// Delete the oldest closed segments once a stream's total on-disk
+    /// bytes exceed this cap (`u64::MAX` retains everything; replay needs
+    /// the full stream).
+    pub retain_bytes: u64,
+}
+
+impl RecordConfig {
+    /// Records into `dir` with the default segment size and unbounded
+    /// retention (everything kept, so the run stays replayable).
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        let stream = StreamConfig::default();
+        RecordConfig {
+            dir: dir.into(),
+            segment_bytes: stream.segment_bytes,
+            retain_bytes: stream.retain_bytes,
+        }
+    }
+
+    /// The stream-layer knobs this configuration implies.
+    #[must_use]
+    pub fn stream_config(&self) -> StreamConfig {
+        StreamConfig {
+            segment_bytes: self.segment_bytes,
+            retain_bytes: self.retain_bytes,
+        }
+    }
+}
 
 /// Ceiling on the live channel queue depth derived by
 /// [`LogConfig::live_channel_frames`] — the queues are allocated eagerly,
@@ -62,6 +108,10 @@ pub struct LogConfig {
     /// Validate compressor/decompressor round-trip at end of run
     /// (test/debug aid; costs memory proportional to the trace).
     pub verify_compression: bool,
+    /// When set, the run mirrors every sealed wire frame into a durable
+    /// segmented stream under this recording configuration (the flight
+    /// recorder). `None` (the default) records nothing.
+    pub record_to: Option<RecordConfig>,
 }
 
 impl LogConfig {
@@ -145,6 +195,7 @@ impl Default for LogConfig {
             filter: None,
             idempotency_window: 0,
             verify_compression: false,
+            record_to: None,
         }
     }
 }
@@ -203,6 +254,7 @@ mod tests {
             "frame-granular dispatch is the default"
         );
         assert_eq!(c.log.idempotency_window, 0, "capture-side dedup is opt-in");
+        assert!(c.log.record_to.is_none(), "flight recording is opt-in");
         assert_eq!(c.mem_dual().cores, 2);
         assert_eq!(c.mem_single().cores, 1);
         // The paper's cache geometry flows through from lba-cache.

@@ -217,7 +217,7 @@ pub fn run_lba(
     // per-record baseline keeps the software-decoding channel. Both ship
     // identical wire bytes; `verify_compression` decodes and cross-checks
     // either way.
-    let channel = if config.log.batch_dispatch {
+    let mut channel = if config.log.batch_dispatch {
         ModeledFrameChannel::zero_copy(
             config.log.buffer_bytes,
             config.log.frame_config(),
@@ -230,6 +230,11 @@ pub fn run_lba(
             config.log.verify_compression,
         )
     };
+    // Flight recorder: mirror every sealed frame into stream 0 of the
+    // configured recording directory.
+    if let Some(record) = &config.log.record_to {
+        channel.tee_into(crate::recorder::open_sink(record, 0)?);
+    }
     let mut sim = Cosim {
         mem: MemSystem::new(config.mem_dual()),
         channel,
@@ -300,6 +305,10 @@ pub fn run_lba(
     sim.t_lg += sim
         .engine
         .finish(sim.lifeguard, &mut sim.mem, LG_CORE, &mut sim.findings);
+
+    // Close the flight recording (End record + flush) and surface any
+    // mirror error the channel latched mid-run.
+    crate::recorder::finish_tee(sim.channel.take_tee())?;
 
     let stats = sim.channel.stats();
     let capture = filter.stats();

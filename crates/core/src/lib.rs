@@ -53,16 +53,22 @@ mod kind;
 mod live;
 pub mod live_parallel;
 pub mod parallel;
+mod recorder;
+pub mod replay;
 pub mod report;
 mod run;
 pub mod table;
 
-pub use config::{LogConfig, SystemConfig, MAX_LIVE_CHANNEL_FRAMES};
+pub use config::{LogConfig, RecordConfig, SystemConfig, MAX_LIVE_CHANNEL_FRAMES};
 pub use cosim::run_lba;
 pub use kind::LifeguardKind;
 pub use live::run_live;
 pub use live_parallel::run_live_parallel;
-pub use report::{LiveParallelReport, LiveReport, LogStats, Mode, RunReport, StallBreakdown};
+pub use replay::{run_replay, ReplayError};
+pub use report::{
+    LiveParallelReport, LiveReport, LogStats, Mode, ReplayReport, ReplayStreamStats, RunReport,
+    StallBreakdown,
+};
 pub use run::{run_dbi, run_unmonitored};
 
 // Per-shard transport statistics appear in the parallel reports; re-export

@@ -47,6 +47,12 @@ pub fn run_live(
     // 64 used to ignore the budget entirely).
     let (mut tx, mut rx) =
         live::frame_channel(config.log.live_channel_frames(), config.log.frame_config());
+    // Flight recorder: mirror every shipped frame into stream 0. The sink
+    // moves to the producer thread with `tx` (it is `Send`), so recording
+    // costs nothing on the consumer.
+    if let Some(record) = &config.log.record_to {
+        tx.tee_into(crate::recorder::open_sink(record, 0)?);
+    }
     let engine = DispatchEngine::new(config.dispatch);
     let machine_config = config.machine;
     // The identical capture pass the co-simulation runs (range filter +
@@ -69,6 +75,11 @@ pub fn run_live(
             })?;
             // Settle outstanding fold counts before the channel closes.
             filter.finish_into(&mut shipping, |rec| tx.push(rec));
+            // Seal the final partial frame *before* taking the tee back,
+            // so the recording carries the complete wire stream; the
+            // drop-flush below then has nothing left to ship.
+            tx.flush();
+            crate::recorder::finish_tee(tx.take_tee())?;
             Ok((trace, filter.stats()))
             // `tx` drops here: flushes the final partial frame and closes
             // the channel.

@@ -86,6 +86,14 @@ pub fn run_live_parallel(
         config.log.live_channel_frames(),
         config.log.frame_config(),
     );
+    // Flight recorder: one segmented stream per shard, mirrored on the
+    // producer as each shard's frames ship.
+    if let Some(record) = &config.log.record_to {
+        for (idx, tx) in senders.iter_mut().enumerate() {
+            let stream = u32::try_from(idx).expect("shard count fits u32");
+            tx.tee_into(crate::recorder::open_sink(record, stream)?);
+        }
+    }
     let make_lifeguard = &make_lifeguard;
 
     thread::scope(|scope| {
@@ -151,6 +159,13 @@ pub fn run_live_parallel(
             })?;
             // Settle outstanding fold counts before the streams close.
             filter.finish_into(&mut shipping, |rec| fan_out(rec, &mut senders));
+            // Seal each shard's final partial frame before taking the
+            // tees back, so the recordings carry the complete per-shard
+            // wire streams (the drop-flush below then ships nothing).
+            for tx in senders.iter_mut() {
+                tx.flush();
+                crate::recorder::finish_tee(tx.take_tee())?;
+            }
             Ok((trace, filter.stats()))
         })();
         // Close every shard stream (flush-on-drop) whether or not the run

@@ -117,18 +117,25 @@ pub fn run_lba_parallel(
     let mut mem = MemSystem::new(MemSystemConfig::multi_core(shards + 1));
     let engine = DispatchEngine::new(config.dispatch);
     let mut lifeguards: Vec<Box<dyn Lifeguard>> = (0..shards).map(|_| make_lifeguard()).collect();
-    let mut channels: Vec<Box<dyn LogChannel>> = (0..shards)
+    let mut channels: Vec<ModeledFrameChannel> = (0..shards)
         .map(|_| {
-            let channel = if config.log.batch_dispatch {
+            if config.log.batch_dispatch {
                 // Frame-granular consumption pairs with the zero-copy
                 // channel (see `run_lba`); the wire stream is identical.
                 ModeledFrameChannel::zero_copy(SHARD_BUFFER_BYTES, config.log.frame_config(), false)
             } else {
                 ModeledFrameChannel::new(SHARD_BUFFER_BYTES, config.log.frame_config(), false)
-            };
-            Box::new(channel) as Box<dyn LogChannel>
+            }
         })
         .collect();
+    // Flight recorder: one segmented stream per shard, so replay can
+    // rebuild each shard's independent predictor stream.
+    if let Some(record) = &config.log.record_to {
+        for (idx, channel) in channels.iter_mut().enumerate() {
+            let stream = u32::try_from(idx).expect("shard count fits u32");
+            channel.tee_into(crate::recorder::open_sink(record, stream)?);
+        }
+    }
     let mut shard_findings: Vec<Vec<Finding>> = vec![Vec::new(); shards];
     let mut shard_cycles = vec![0u64; shards];
     let mut trace = TraceStats::new();
@@ -175,7 +182,7 @@ pub fn run_lba_parallel(
         shards: usize,
         batch: bool,
         app_cycles: u64,
-        channels: &mut [Box<dyn LogChannel>],
+        channels: &mut [ModeledFrameChannel],
         engine: &DispatchEngine,
         lifeguards: &mut [Box<dyn Lifeguard>],
         mem: &mut MemSystem,
@@ -198,7 +205,7 @@ pub fn run_lba_parallel(
             }
             shard_cycles[idx] += drain_shard(
                 batch,
-                channel.as_mut(),
+                channel,
                 engine,
                 lifeguards[idx].as_mut(),
                 mem,
@@ -254,7 +261,7 @@ pub fn run_lba_parallel(
         channel.flush(app_cycles);
         shard_cycles[idx] += drain_shard(
             batch,
-            channel.as_mut(),
+            channel,
             &engine,
             lifeguard.as_mut(),
             &mut mem,
@@ -267,6 +274,11 @@ pub fn run_lba_parallel(
             1 + idx,
             &mut shard_findings[idx],
         );
+    }
+
+    // Close each shard's flight recording (End records + flush).
+    for channel in &mut channels {
+        crate::recorder::finish_tee(channel.take_tee())?;
     }
 
     let findings = merge_shard_findings(shard_findings);

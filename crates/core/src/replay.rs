@@ -1,0 +1,211 @@
+//! Offline replay: drive any lifeguard over a recorded flight-recorder
+//! stream set.
+//!
+//! A run with [`LogConfig::record_to`](crate::LogConfig) set leaves a
+//! directory of segmented `lbas/1` streams behind — the exact sealed wire
+//! frames its transport shipped, one stream per shard. [`run_replay`]
+//! opens that directory, validates the headers, re-decodes every frame
+//! through the real [`FrameDecoder`], and delivers the records to a fresh
+//! lifeguard per stream: yesterday's traffic, today's (possibly
+//! *different*) analysis — the paper's retroactive-monitoring story, and
+//! the shape Jahier & Ducassé's one-trace-many-analyses monitor takes.
+//!
+//! Fidelity contract: the recorded frames are the sealed wire images, so
+//! the replay's per-stream wire-bit totals equal the recording run's
+//! transport accounting bit for bit, and the findings equal the original
+//! run's (merged across streams exactly as the sharded modes merge
+//! theirs). Integration tests pin both for all four run modes.
+//!
+//! Replay decodes with the codec parameters in the caller's
+//! [`SystemConfig`] — use the same `compression` / `records_per_frame`
+//! settings the recording run used. A stream sealed under a different
+//! codec *version* is refused up front ([`ReplayError::CodecMismatch`]);
+//! damaged or truncated recordings surface as descriptive
+//! [`ReplayError::Stream`] errors, never panics.
+
+use std::fmt;
+use std::path::Path;
+
+use lba_cache::MemSystem;
+use lba_compress::{FrameDecodeError, FrameDecoder, CODEC_VERSION};
+use lba_lifeguard::{DispatchEngine, Lifeguard};
+use lba_record::{stream_ids, EventRecord, SegmentReader, StreamError};
+
+use crate::config::SystemConfig;
+use crate::parallel::merge_shard_findings;
+use crate::report::{ReplayReport, ReplayStreamStats};
+
+/// The lifeguard-core MemSystem index used for shadow-cost accounting
+/// (replay reports no modeled clocks, like the live modes).
+const LG_CORE: usize = 1;
+
+/// Everything that can go wrong replaying a recording.
+#[derive(Debug)]
+pub enum ReplayError {
+    /// The stream layer reported a problem (missing/truncated/corrupt
+    /// segments, unknown format version, I/O).
+    Stream(StreamError),
+    /// The recording directory holds no streams at all.
+    NoStreams {
+        /// The directory inspected.
+        dir: String,
+    },
+    /// The recording was sealed under a different codec version than this
+    /// build decodes — replaying would produce garbage, so it is refused.
+    CodecMismatch {
+        /// The stream with the mismatched codec.
+        stream: u32,
+        /// Codec version stamped in the recording.
+        recorded: u32,
+        /// Codec version of the running build.
+        running: u32,
+    },
+    /// A recorded frame failed to decode (wrong `compression` /
+    /// `records_per_frame` settings for this recording, or a codec bug).
+    Decode {
+        /// The stream the frame belongs to.
+        stream: u32,
+        /// Zero-based index of the frame within its stream.
+        frame: u64,
+        /// The decoder's error.
+        source: FrameDecodeError,
+    },
+}
+
+impl fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplayError::Stream(e) => write!(f, "{e}"),
+            ReplayError::NoStreams { dir } => {
+                write!(f, "no recorded streams in {dir}")
+            }
+            ReplayError::CodecMismatch {
+                stream,
+                recorded,
+                running,
+            } => write!(
+                f,
+                "stream {stream} was recorded under codec version {recorded}, \
+                 but this build decodes version {running}"
+            ),
+            ReplayError::Decode {
+                stream,
+                frame,
+                source,
+            } => write!(
+                f,
+                "frame {frame} of stream {stream} failed to decode \
+                 (were the recording's compression settings used?): {source}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReplayError::Stream(e) => Some(e),
+            ReplayError::Decode { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<StreamError> for ReplayError {
+    fn from(e: StreamError) -> Self {
+        ReplayError::Stream(e)
+    }
+}
+
+/// Replays every stream recorded in `dir` through a fresh lifeguard per
+/// stream, returning the merged findings and per-stream wire accounting.
+///
+/// `make_lifeguard` builds one lifeguard instance per recorded stream —
+/// it does **not** have to be the lifeguard that ran live; any lifeguard
+/// whose event subscriptions are satisfied by the recorded stream works
+/// (recordings are unfiltered full streams unless the original run
+/// filtered at capture). For a sharded recording the per-stream findings
+/// are merged exactly as the sharded run modes merge theirs.
+///
+/// Replay is functional, not timed: records are delivered frame-at-a-time
+/// at maximum speed, with no transport model in the loop.
+///
+/// # Errors
+///
+/// See [`ReplayError`]: stream-layer damage, a codec-version mismatch,
+/// or a frame that fails to decode.
+pub fn run_replay(
+    dir: impl AsRef<Path>,
+    make_lifeguard: impl Fn() -> Box<dyn Lifeguard>,
+    config: &SystemConfig,
+) -> Result<ReplayReport, ReplayError> {
+    let dir = dir.as_ref();
+    let ids = stream_ids(dir)?;
+    if ids.is_empty() {
+        return Err(ReplayError::NoStreams {
+            dir: dir.display().to_string(),
+        });
+    }
+
+    let mut codec_version = CODEC_VERSION;
+    let mut shard_findings = Vec::with_capacity(ids.len());
+    let mut streams = Vec::with_capacity(ids.len());
+    for &stream in &ids {
+        let mut reader = SegmentReader::open(dir, stream)?;
+        if reader.codec_version() != CODEC_VERSION {
+            return Err(ReplayError::CodecMismatch {
+                stream,
+                recorded: reader.codec_version(),
+                running: CODEC_VERSION,
+            });
+        }
+        codec_version = reader.codec_version();
+
+        // Each stream was sealed by its own encoder (shards never share
+        // predictor state), so each gets a fresh decoder — and its frames
+        // must be decoded in seal order, which the reader guarantees.
+        let mut decoder = FrameDecoder::new(config.log.frame_config());
+        let mut lifeguard = make_lifeguard();
+        let engine = DispatchEngine::new(config.dispatch);
+        let mut mem = MemSystem::new(config.mem_dual());
+        let mut findings = Vec::new();
+        let mut batch: Vec<EventRecord> = Vec::new();
+        let mut stats = ReplayStreamStats {
+            stream,
+            frames: 0,
+            records: 0,
+            wire_bits: 0,
+        };
+        while let Some(frame) = reader.next_frame()? {
+            batch.clear();
+            decoder
+                .decode_frame(&frame.bytes, &mut batch)
+                .map_err(|source| ReplayError::Decode {
+                    stream,
+                    frame: stats.frames,
+                    source,
+                })?;
+            engine.deliver_batch(lifeguard.as_mut(), &batch, &mut mem, LG_CORE, &mut findings);
+            stats.frames += 1;
+            stats.records += batch.len() as u64;
+            stats.wire_bits += frame.wire_bits();
+        }
+        engine.finish(lifeguard.as_mut(), &mut mem, LG_CORE, &mut findings);
+        shard_findings.push(findings);
+        streams.push(stats);
+    }
+
+    // A single-stream recording reproduces the unsharded modes' findings
+    // verbatim; a sharded one merges like the sharded modes do.
+    let findings = if shard_findings.len() == 1 {
+        shard_findings.pop().expect("one stream")
+    } else {
+        merge_shard_findings(shard_findings)
+    };
+    Ok(ReplayReport {
+        dir: dir.display().to_string(),
+        codec_version,
+        streams,
+        findings,
+    })
+}

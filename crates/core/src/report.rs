@@ -165,6 +165,69 @@ impl fmt::Display for LiveParallelReport {
     }
 }
 
+/// Per-stream accounting of an offline replay
+/// ([`run_replay`](crate::run_replay)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplayStreamStats {
+    /// The stream id (shard index of the recording run; 0 unsharded).
+    pub stream: u32,
+    /// Frames replayed from the recording.
+    pub frames: u64,
+    /// Records decoded and delivered.
+    pub records: u64,
+    /// Wire bits of the replayed frames — byte-identical to what the
+    /// recording run's transport shipped on this stream.
+    pub wire_bits: u64,
+}
+
+/// The result of replaying a recorded flight-recorder stream set through
+/// a lifeguard ([`run_replay`](crate::run_replay)).
+#[derive(Debug, Clone)]
+pub struct ReplayReport {
+    /// Recording directory the replay consumed.
+    pub dir: String,
+    /// Codec version the recording was sealed under.
+    pub codec_version: u32,
+    /// Per-stream accounting, ascending by stream id.
+    pub streams: Vec<ReplayStreamStats>,
+    /// Findings of the replayed lifeguard(s) — for a multi-stream
+    /// (sharded) recording, merged exactly as the sharded run modes merge
+    /// theirs, so equality with the original run holds per mode.
+    pub findings: Vec<Finding>,
+}
+
+impl ReplayReport {
+    /// Records decoded across all streams.
+    #[must_use]
+    pub fn total_records(&self) -> u64 {
+        self.streams.iter().map(|s| s.records).sum()
+    }
+
+    /// Wire bits replayed across all streams.
+    #[must_use]
+    pub fn total_wire_bits(&self) -> u64 {
+        self.streams.iter().map(|s| s.wire_bits).sum()
+    }
+}
+
+impl fmt::Display for ReplayReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "replay of {} [codec v{}]: {} stream(s), {} records, {} wire bits",
+            self.dir,
+            self.codec_version,
+            self.streams.len(),
+            self.total_records(),
+            self.total_wire_bits(),
+        )?;
+        for finding in &self.findings {
+            writeln!(f, "  {finding}")?;
+        }
+        Ok(())
+    }
+}
+
 /// The result of one execution.
 #[derive(Debug, Clone)]
 pub struct RunReport {

@@ -44,6 +44,12 @@ pub enum RunError {
     /// `records_per_frame` was configured to zero: no frame could ever
     /// seal, so no record would reach the lifeguard.
     ZeroRecordsPerFrame,
+    /// The run's flight recording could not be written or closed (disk
+    /// full, permissions, retention delete failure).
+    Recording {
+        /// What the stream layer reported.
+        detail: String,
+    },
 }
 
 impl fmt::Display for RunError {
@@ -70,6 +76,9 @@ impl fmt::Display for RunError {
             ),
             RunError::ZeroRecordsPerFrame => {
                 write!(f, "log records_per_frame must be non-zero")
+            }
+            RunError::Recording { detail } => {
+                write!(f, "flight recording failed: {detail}")
             }
         }
     }

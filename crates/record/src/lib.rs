@@ -24,9 +24,14 @@
 mod event;
 mod mask;
 mod stats;
+mod stream;
 mod trace;
 
 pub use event::{DecodeRecordError, EventKind, EventRecord, RAW_RECORD_BYTES};
 pub use mask::EventMask;
 pub use stats::TraceStats;
+pub use stream::{
+    segment_file_name, stream_ids, SegmentReader, SegmentWriter, StreamConfig, StreamError,
+    StreamFrame, StreamSummary, SEGMENT_HEADER_BYTES, STREAM_FORMAT,
+};
 pub use trace::{TraceError, TraceReader, TraceWriter};

@@ -1,0 +1,1012 @@
+//! Durable flight-recorder streams: the `lbas/1` on-disk segment format.
+//!
+//! The in-memory transports ship sealed compressed frames between cores;
+//! this module makes those frames *durable*, so a deployed run leaves a
+//! recording behind — the crash-post-mortem and run-a-different-lifeguard-
+//! later stories the paper motivates. A recording is one **stream** per
+//! wire stream (the single-lifeguard modes have one; the sharded modes
+//! have one per shard), and each stream is a sequence of bounded **segment
+//! files**.
+//!
+//! # Segment layout
+//!
+//! Every segment file starts with a 24-byte header:
+//!
+//! ```text
+//! offset  size  field
+//!      0     8  format identifier: b"lbas/1\n\0" (readable via `head -c8`)
+//!      8     4  codec version (u32 LE) — the compressed wire format the
+//!               frame payloads were sealed under
+//!     12     4  stream id (u32 LE) — shard index; 0 for unsharded modes
+//!     16     4  segment sequence number (u32 LE), contiguous from 0
+//!     20     4  reserved (zero)
+//! ```
+//!
+//! followed by records, each introduced by a one-byte tag:
+//!
+//! * **Frame** (`0x01`): `u64` LE seal timestamp (producer-core cycle in
+//!   the co-simulation; 0 in the live modes, which have no modeled clock),
+//!   `u32` LE record count, `u32` LE payload length in bytes, `u32` LE
+//!   FNV-1a checksum of the payload, then the payload — the sealed frame's
+//!   complete wire image (frame header, compressed payload, line padding),
+//!   so a stream's replayed wire-bit total is exactly the recorded run's.
+//! * **End** (`0x02`): `u64` LE count of frame records in this segment.
+//!   Written when a segment closes — at rotation and at
+//!   [`SegmentWriter::finish`] — so a segment *without* one is positively
+//!   identified as truncated (crash or disk-full mid-write) rather than
+//!   silently short.
+//!
+//! # Segment naming, rotation, retention
+//!
+//! Segments are named `shard-SS.NNNNNN.lbas` (stream id, then sequence
+//! number, both zero-padded decimal) inside the recording directory. A
+//! segment rotates when appending the next frame would push it past
+//! [`StreamConfig::segment_bytes`]; once the stream's total on-disk size
+//! exceeds [`StreamConfig::retain_bytes`], the oldest *closed* segments
+//! are deleted (the segment being written is never deleted), bounding disk
+//! from day one. Retention is a trade: the compressed stream's predictor
+//! state threads through every frame from the start, so replay needs the
+//! stream complete from sequence 0 — a reader that finds the early
+//! segments aged out reports it descriptively instead of decoding garbage.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::fs::{self, File};
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+/// The stream format identifier, also the first line of every segment.
+pub const STREAM_FORMAT: &str = "lbas/1";
+
+/// The 8-byte on-disk form of [`STREAM_FORMAT`].
+const IDENT: [u8; 8] = *b"lbas/1\n\0";
+
+/// Segment header size in bytes (identifier + codec version + stream id +
+/// sequence number + reserved word).
+pub const SEGMENT_HEADER_BYTES: usize = 24;
+
+/// Record tags.
+const TAG_FRAME: u8 = 0x01;
+const TAG_END: u8 = 0x02;
+
+/// On-disk size of a frame record's fixed part (tag + timestamp + record
+/// count + payload length + checksum).
+const FRAME_RECORD_HEADER_BYTES: u64 = 1 + 8 + 4 + 4 + 4;
+
+/// On-disk size of an End record (tag + frame count).
+const END_RECORD_BYTES: u64 = 1 + 8;
+
+/// FNV-1a over the payload, folded to 32 bits — cheap enough to run at
+/// capture (the tee's only per-byte work) yet positively identifies
+/// mid-frame corruption that length checks cannot see.
+fn checksum(bytes: &[u8]) -> u32 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    #[allow(clippy::cast_possible_truncation)]
+    {
+        (h ^ (h >> 32)) as u32
+    }
+}
+
+/// The canonical file name of a segment.
+#[must_use]
+pub fn segment_file_name(stream: u32, seq: u32) -> String {
+    format!("shard-{stream:02}.{seq:06}.lbas")
+}
+
+/// Parses a segment file name back into `(stream, seq)`.
+fn parse_segment_file_name(name: &str) -> Option<(u32, u32)> {
+    let rest = name.strip_prefix("shard-")?.strip_suffix(".lbas")?;
+    let (stream, seq) = rest.split_once('.')?;
+    Some((stream.parse().ok()?, seq.parse().ok()?))
+}
+
+/// Size and retention policy of a recorded stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamConfig {
+    /// Rotate to a new segment once appending the next frame would push
+    /// the current file past this many bytes (a single oversized frame
+    /// still lands whole — segments never split a frame).
+    pub segment_bytes: u64,
+    /// Delete the oldest closed segments once the stream's total on-disk
+    /// bytes exceed this cap. `u64::MAX` (the default) retains everything,
+    /// which full-stream replay requires.
+    pub retain_bytes: u64,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            segment_bytes: 4 << 20,
+            retain_bytes: u64::MAX,
+        }
+    }
+}
+
+/// What [`SegmentWriter::finish`] reports about the completed stream.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamSummary {
+    /// Frame records written over the stream's lifetime.
+    pub frames: u64,
+    /// Bytes written over the stream's lifetime (deleted segments
+    /// included).
+    pub bytes_written: u64,
+    /// Segments currently on disk after retention.
+    pub segments_retained: usize,
+    /// Bytes currently on disk after retention.
+    pub bytes_retained: u64,
+}
+
+/// One recorded frame, as handed back by [`SegmentReader::next_frame`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamFrame {
+    /// Producer-core cycle at which the frame sealed (0 in live modes).
+    pub timestamp: u64,
+    /// Records the frame carries.
+    pub records: u32,
+    /// The sealed frame's complete wire image.
+    pub bytes: Vec<u8>,
+}
+
+impl StreamFrame {
+    /// Wire bits this frame occupied on the original run's transport.
+    #[must_use]
+    pub fn wire_bits(&self) -> u64 {
+        self.bytes.len() as u64 * 8
+    }
+}
+
+/// Everything that can go wrong writing or reading a stream. Every
+/// variant names the file (or directory) involved; none of them panic.
+#[derive(Debug)]
+pub enum StreamError {
+    /// An underlying filesystem operation failed.
+    Io {
+        /// File or directory involved.
+        path: PathBuf,
+        /// The OS error.
+        source: std::io::Error,
+    },
+    /// The file does not start with the `lbas/` identifier.
+    NotAStream {
+        /// Offending file.
+        path: PathBuf,
+    },
+    /// The file is an LBA stream of a format version this reader does not
+    /// understand.
+    UnknownVersion {
+        /// Offending file.
+        path: PathBuf,
+        /// The version string found after `lbas/`.
+        version: String,
+    },
+    /// The segment ended in the middle of a record — a crash or disk-full
+    /// cut the writer off mid-write.
+    Truncated {
+        /// Offending file.
+        path: PathBuf,
+        /// Byte offset at which the record began.
+        offset: u64,
+    },
+    /// The segment ended at a record boundary but without an End record,
+    /// so frames may be missing off its tail.
+    MissingEnd {
+        /// Offending file.
+        path: PathBuf,
+    },
+    /// The segment's bytes are internally inconsistent (bad tag, checksum
+    /// mismatch, frame/record-count disagreement, End-count mismatch).
+    Corrupt {
+        /// Offending file.
+        path: PathBuf,
+        /// Byte offset of the inconsistent record.
+        offset: u64,
+        /// What exactly disagreed.
+        detail: String,
+    },
+    /// The stream's segments do not start at sequence 0 (retention aged
+    /// the early ones out) or have a gap. The compressed stream's
+    /// predictor state threads through every frame, so replay needs the
+    /// segments contiguous from 0.
+    MissingSegments {
+        /// Recording directory.
+        dir: PathBuf,
+        /// Stream id.
+        stream: u32,
+        /// First sequence number expected but not found.
+        expected_seq: u32,
+    },
+    /// The recording directory holds no segments for this stream id.
+    NoSuchStream {
+        /// Recording directory.
+        dir: PathBuf,
+        /// Stream id.
+        stream: u32,
+    },
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamError::Io { path, source } => {
+                write!(f, "stream I/O error on {}: {source}", path.display())
+            }
+            StreamError::NotAStream { path } => {
+                write!(
+                    f,
+                    "{} is not an LBA stream segment (missing lbas/ identifier)",
+                    path.display()
+                )
+            }
+            StreamError::UnknownVersion { path, version } => {
+                write!(
+                    f,
+                    "{} is an lbas/{version} segment; this reader understands {STREAM_FORMAT}",
+                    path.display()
+                )
+            }
+            StreamError::Truncated { path, offset } => {
+                write!(
+                    f,
+                    "{} is truncated mid-record at byte {offset} (writer was cut off)",
+                    path.display()
+                )
+            }
+            StreamError::MissingEnd { path } => {
+                write!(
+                    f,
+                    "{} has no End record: the stream was not closed cleanly \
+                     and frames may be missing off its tail",
+                    path.display()
+                )
+            }
+            StreamError::Corrupt {
+                path,
+                offset,
+                detail,
+            } => {
+                write!(
+                    f,
+                    "{} is corrupt at byte {offset}: {detail}",
+                    path.display()
+                )
+            }
+            StreamError::MissingSegments {
+                dir,
+                stream,
+                expected_seq,
+            } => {
+                write!(
+                    f,
+                    "stream {stream} in {} is missing segment {expected_seq} \
+                     (aged out by retention or deleted); replay needs the \
+                     stream contiguous from segment 0",
+                    dir.display()
+                )
+            }
+            StreamError::NoSuchStream { dir, stream } => {
+                write!(f, "no segments for stream {stream} in {}", dir.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for StreamError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StreamError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl StreamError {
+    fn io(path: &Path, source: std::io::Error) -> Self {
+        StreamError::Io {
+            path: path.to_path_buf(),
+            source,
+        }
+    }
+}
+
+/// Writes one stream as a sequence of rotating, retained segment files.
+///
+/// # Examples
+///
+/// ```
+/// use lba_record::{SegmentReader, SegmentWriter, StreamConfig};
+///
+/// let dir = std::env::temp_dir().join(format!("lbas-doc-{}", std::process::id()));
+/// let mut writer = SegmentWriter::create(&dir, 0, 1, StreamConfig::default())?;
+/// let mut image = [0u8; 64]; // a sealed frame's wire image; first word = record count
+/// image[0..4].copy_from_slice(&2u32.to_le_bytes());
+/// writer.append(7, 2, &image)?;
+/// let summary = writer.finish()?;
+/// assert_eq!(summary.frames, 1);
+///
+/// let mut reader = SegmentReader::open(&dir, 0)?;
+/// assert_eq!(reader.codec_version(), 1);
+/// let frame = reader.next_frame()?.expect("one frame recorded");
+/// assert_eq!((frame.timestamp, frame.records), (7, 2));
+/// assert!(reader.next_frame()?.is_none(), "clean end of stream");
+/// # std::fs::remove_dir_all(&dir).ok();
+/// # Ok::<(), lba_record::StreamError>(())
+/// ```
+#[derive(Debug)]
+pub struct SegmentWriter {
+    dir: PathBuf,
+    stream: u32,
+    codec_version: u32,
+    config: StreamConfig,
+    /// Open segment (None only transiently and after `finish`).
+    file: Option<BufWriter<File>>,
+    seq: u32,
+    segment_bytes: u64,
+    segment_frames: u64,
+    /// Closed segments still on disk, oldest first: `(seq, bytes)`.
+    retained: VecDeque<(u32, u64)>,
+    total_frames: u64,
+    total_bytes: u64,
+}
+
+impl SegmentWriter {
+    /// Creates the recording directory (if needed) and opens segment 0.
+    ///
+    /// `codec_version` is stamped into every segment header — pass the
+    /// version of the codec that seals the frames being recorded (for the
+    /// LBA pipeline, `lba_compress::CODEC_VERSION`).
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::Io`] when the directory or first segment cannot be
+    /// created.
+    pub fn create(
+        dir: &Path,
+        stream: u32,
+        codec_version: u32,
+        config: StreamConfig,
+    ) -> Result<Self, StreamError> {
+        fs::create_dir_all(dir).map_err(|e| StreamError::io(dir, e))?;
+        let mut writer = SegmentWriter {
+            dir: dir.to_path_buf(),
+            stream,
+            codec_version,
+            config,
+            file: None,
+            seq: 0,
+            segment_bytes: 0,
+            segment_frames: 0,
+            retained: VecDeque::new(),
+            total_frames: 0,
+            total_bytes: 0,
+        };
+        writer.open_segment()?;
+        Ok(writer)
+    }
+
+    fn segment_path(&self, seq: u32) -> PathBuf {
+        self.dir.join(segment_file_name(self.stream, seq))
+    }
+
+    fn open_segment(&mut self) -> Result<(), StreamError> {
+        let path = self.segment_path(self.seq);
+        let file = File::create(&path).map_err(|e| StreamError::io(&path, e))?;
+        let mut file = BufWriter::new(file);
+        let mut header = [0u8; SEGMENT_HEADER_BYTES];
+        header[0..8].copy_from_slice(&IDENT);
+        header[8..12].copy_from_slice(&self.codec_version.to_le_bytes());
+        header[12..16].copy_from_slice(&self.stream.to_le_bytes());
+        header[16..20].copy_from_slice(&self.seq.to_le_bytes());
+        file.write_all(&header)
+            .map_err(|e| StreamError::io(&path, e))?;
+        self.file = Some(file);
+        self.segment_bytes = SEGMENT_HEADER_BYTES as u64;
+        self.segment_frames = 0;
+        self.total_bytes += SEGMENT_HEADER_BYTES as u64;
+        Ok(())
+    }
+
+    /// Writes the End record and closes the current segment file.
+    fn close_segment(&mut self) -> Result<(), StreamError> {
+        let path = self.segment_path(self.seq);
+        let mut file = self.file.take().expect("segment open");
+        let mut end = [0u8; END_RECORD_BYTES as usize];
+        end[0] = TAG_END;
+        end[1..9].copy_from_slice(&self.segment_frames.to_le_bytes());
+        file.write_all(&end)
+            .map_err(|e| StreamError::io(&path, e))?;
+        file.flush().map_err(|e| StreamError::io(&path, e))?;
+        self.segment_bytes += END_RECORD_BYTES;
+        self.total_bytes += END_RECORD_BYTES;
+        self.retained.push_back((self.seq, self.segment_bytes));
+        self.segment_bytes = 0; // now accounted under `retained`
+        Ok(())
+    }
+
+    /// Deletes the oldest closed segments until the stream's on-disk bytes
+    /// fit the retention cap (the open segment is never deleted).
+    fn enforce_retention(&mut self) -> Result<(), StreamError> {
+        while self.bytes_retained() > self.config.retain_bytes {
+            let Some((seq, bytes)) = self.retained.pop_front() else {
+                break; // only the open segment is left; nothing to delete
+            };
+            let path = self.segment_path(seq);
+            match fs::remove_file(&path) {
+                Ok(()) => {}
+                Err(e) => {
+                    self.retained.push_front((seq, bytes));
+                    return Err(StreamError::io(&path, e));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Bytes currently on disk: closed segments plus the open one.
+    #[must_use]
+    pub fn bytes_retained(&self) -> u64 {
+        self.retained.iter().map(|(_, b)| b).sum::<u64>() + self.segment_bytes
+    }
+
+    /// Appends one sealed frame's wire image, rotating and enforcing
+    /// retention as configured.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::Io`] when a write, rotation, or retention delete
+    /// fails. After an error the writer is broken; drop it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after [`finish`](Self::finish) (the writer is
+    /// consumed by value there, so this requires unsafe shenanigans) or
+    /// after a previous append error.
+    pub fn append(
+        &mut self,
+        timestamp: u64,
+        records: u32,
+        frame: &[u8],
+    ) -> Result<(), StreamError> {
+        let record_bytes = FRAME_RECORD_HEADER_BYTES + frame.len() as u64;
+        // Rotate when this frame would overflow the segment — unless the
+        // segment is still empty (an oversized frame lands whole).
+        if self.segment_frames > 0
+            && self.segment_bytes + record_bytes + END_RECORD_BYTES > self.config.segment_bytes
+        {
+            self.close_segment()?;
+            self.seq += 1;
+            self.open_segment()?;
+        }
+        let path = self.segment_path(self.seq);
+        let file = self.file.as_mut().expect("segment open");
+        let mut header = [0u8; FRAME_RECORD_HEADER_BYTES as usize];
+        header[0] = TAG_FRAME;
+        header[1..9].copy_from_slice(&timestamp.to_le_bytes());
+        header[9..13].copy_from_slice(&records.to_le_bytes());
+        #[allow(clippy::cast_possible_truncation)]
+        header[13..17].copy_from_slice(&(frame.len() as u32).to_le_bytes());
+        header[17..21].copy_from_slice(&checksum(frame).to_le_bytes());
+        file.write_all(&header)
+            .and_then(|()| file.write_all(frame))
+            .map_err(|e| StreamError::io(&path, e))?;
+        self.segment_bytes += record_bytes;
+        self.segment_frames += 1;
+        self.total_bytes += record_bytes;
+        self.total_frames += 1;
+        self.enforce_retention()
+    }
+
+    /// Closes the stream cleanly: writes the final segment's End record
+    /// and flushes it.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::Io`] when the final write or flush fails.
+    pub fn finish(mut self) -> Result<StreamSummary, StreamError> {
+        self.close_segment()?;
+        self.enforce_retention()?;
+        Ok(StreamSummary {
+            frames: self.total_frames,
+            bytes_written: self.total_bytes,
+            segments_retained: self.retained.len(),
+            bytes_retained: self.retained.iter().map(|(_, b)| b).sum(),
+        })
+    }
+}
+
+/// The stream ids with at least one segment in `dir`, ascending.
+///
+/// # Errors
+///
+/// [`StreamError::Io`] when the directory cannot be listed.
+pub fn stream_ids(dir: &Path) -> Result<Vec<u32>, StreamError> {
+    let mut ids: Vec<u32> = Vec::new();
+    for entry in fs::read_dir(dir).map_err(|e| StreamError::io(dir, e))? {
+        let entry = entry.map_err(|e| StreamError::io(dir, e))?;
+        if let Some((stream, _)) = entry.file_name().to_str().and_then(parse_segment_file_name) {
+            if !ids.contains(&stream) {
+                ids.push(stream);
+            }
+        }
+    }
+    ids.sort_unstable();
+    Ok(ids)
+}
+
+/// Reads one stream's segments back in sequence order, yielding frames
+/// until the clean end of the final segment.
+#[derive(Debug)]
+pub struct SegmentReader {
+    dir: PathBuf,
+    stream: u32,
+    /// Remaining segment sequence numbers, ascending (current one first).
+    segments: VecDeque<u32>,
+    /// Current segment's bytes and read cursor.
+    path: PathBuf,
+    bytes: Vec<u8>,
+    cursor: usize,
+    codec_version: u32,
+    /// Frame records seen in the current segment (checked against End).
+    segment_frames: u64,
+}
+
+impl SegmentReader {
+    /// Opens stream `stream` inside recording directory `dir`, validating
+    /// that its segments are contiguous from sequence 0 and that the first
+    /// segment's header is well-formed.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::NoSuchStream`] when no segment of this stream
+    /// exists, [`StreamError::MissingSegments`] when the stream does not
+    /// start at sequence 0 or has a gap, plus any header-validation error
+    /// from the first segment.
+    pub fn open(dir: &Path, stream: u32) -> Result<Self, StreamError> {
+        let mut seqs: Vec<u32> = Vec::new();
+        for entry in fs::read_dir(dir).map_err(|e| StreamError::io(dir, e))? {
+            let entry = entry.map_err(|e| StreamError::io(dir, e))?;
+            if let Some((s, seq)) = entry.file_name().to_str().and_then(parse_segment_file_name) {
+                if s == stream {
+                    seqs.push(seq);
+                }
+            }
+        }
+        if seqs.is_empty() {
+            return Err(StreamError::NoSuchStream {
+                dir: dir.to_path_buf(),
+                stream,
+            });
+        }
+        seqs.sort_unstable();
+        for (expected, &found) in seqs.iter().enumerate() {
+            let expected = u32::try_from(expected).expect("segment count fits u32");
+            if found != expected {
+                return Err(StreamError::MissingSegments {
+                    dir: dir.to_path_buf(),
+                    stream,
+                    expected_seq: expected,
+                });
+            }
+        }
+        let mut reader = SegmentReader {
+            dir: dir.to_path_buf(),
+            stream,
+            segments: seqs.into_iter().collect(),
+            path: PathBuf::new(),
+            bytes: Vec::new(),
+            cursor: 0,
+            codec_version: 0,
+            segment_frames: 0,
+        };
+        reader
+            .load_next_segment()?
+            .then_some(())
+            .expect("open checked the stream has at least one segment");
+        Ok(reader)
+    }
+
+    /// The codec version stamped in the stream's segment headers.
+    #[must_use]
+    pub fn codec_version(&self) -> u32 {
+        self.codec_version
+    }
+
+    fn corrupt(&self, offset: usize, detail: impl Into<String>) -> StreamError {
+        StreamError::Corrupt {
+            path: self.path.clone(),
+            offset: offset as u64,
+            detail: detail.into(),
+        }
+    }
+
+    /// Loads and header-validates the next segment; `false` when the
+    /// stream has no more segments.
+    fn load_next_segment(&mut self) -> Result<bool, StreamError> {
+        let Some(seq) = self.segments.pop_front() else {
+            return Ok(false);
+        };
+        let path = self.dir.join(segment_file_name(self.stream, seq));
+        let bytes = fs::read(&path).map_err(|e| StreamError::io(&path, e))?;
+        self.path = path;
+        if bytes.len() < 8 || bytes[0..5] != IDENT[0..5] {
+            return Err(StreamError::NotAStream {
+                path: self.path.clone(),
+            });
+        }
+        let version_end = bytes[5..8]
+            .iter()
+            .position(|&b| b == b'\n')
+            .map_or(8, |p| 5 + p);
+        let version = String::from_utf8_lossy(&bytes[5..version_end]).into_owned();
+        if version != "1" {
+            return Err(StreamError::UnknownVersion {
+                path: self.path.clone(),
+                version,
+            });
+        }
+        if bytes.len() < SEGMENT_HEADER_BYTES {
+            return Err(StreamError::Truncated {
+                path: self.path.clone(),
+                offset: bytes.len() as u64,
+            });
+        }
+        let codec = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+        let header_stream = u32::from_le_bytes(bytes[12..16].try_into().expect("4 bytes"));
+        let header_seq = u32::from_le_bytes(bytes[16..20].try_into().expect("4 bytes"));
+        if header_stream != self.stream || header_seq != seq {
+            return Err(self.corrupt(
+                8,
+                format!(
+                    "header says stream {header_stream} segment {header_seq}, \
+                     file name says stream {} segment {seq}",
+                    self.stream
+                ),
+            ));
+        }
+        if self.segment_frames == 0 && self.codec_version != 0 && codec != self.codec_version {
+            // Segments of one stream must agree on the codec.
+            return Err(self.corrupt(
+                8,
+                format!(
+                    "segment codec version {codec} differs from the stream's {}",
+                    self.codec_version
+                ),
+            ));
+        }
+        self.codec_version = codec;
+        self.bytes = bytes;
+        self.cursor = SEGMENT_HEADER_BYTES;
+        self.segment_frames = 0;
+        Ok(true)
+    }
+
+    /// Reads `n` bytes of the current segment, or reports truncation.
+    fn take(&mut self, n: usize, record_start: usize) -> Result<&[u8], StreamError> {
+        if self.cursor + n > self.bytes.len() {
+            return Err(StreamError::Truncated {
+                path: self.path.clone(),
+                offset: record_start as u64,
+            });
+        }
+        let slice = &self.bytes[self.cursor..self.cursor + n];
+        self.cursor += n;
+        Ok(slice)
+    }
+
+    /// The next recorded frame, in seal order across segments, or
+    /// `Ok(None)` at the clean end of the stream.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::Truncated`] when a segment ends mid-record,
+    /// [`StreamError::MissingEnd`] when it ends without an End record,
+    /// and [`StreamError::Corrupt`] for checksum, tag, or count
+    /// inconsistencies.
+    pub fn next_frame(&mut self) -> Result<Option<StreamFrame>, StreamError> {
+        loop {
+            let start = self.cursor;
+            if start >= self.bytes.len() {
+                return Err(StreamError::MissingEnd {
+                    path: self.path.clone(),
+                });
+            }
+            let tag = self.bytes[start];
+            self.cursor += 1;
+            match tag {
+                TAG_FRAME => {
+                    let header = self.take(20, start)?;
+                    let timestamp = u64::from_le_bytes(header[0..8].try_into().expect("8 bytes"));
+                    let records = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes"));
+                    let len =
+                        u32::from_le_bytes(header[12..16].try_into().expect("4 bytes")) as usize;
+                    let sum = u32::from_le_bytes(header[16..20].try_into().expect("4 bytes"));
+                    let payload = self.take(len, start)?.to_vec();
+                    if checksum(&payload) != sum {
+                        return Err(self.corrupt(start, "frame payload checksum mismatch"));
+                    }
+                    // The payload is a sealed frame image whose first word
+                    // is its record count; the stream record repeats it,
+                    // so the two must agree.
+                    if payload.len() >= 4 {
+                        let embedded =
+                            u32::from_le_bytes(payload[0..4].try_into().expect("4 bytes"));
+                        if embedded != records {
+                            return Err(self.corrupt(
+                                start,
+                                format!(
+                                    "stream record says {records} records, \
+                                     frame image says {embedded}"
+                                ),
+                            ));
+                        }
+                    }
+                    self.segment_frames += 1;
+                    return Ok(Some(StreamFrame {
+                        timestamp,
+                        records,
+                        bytes: payload,
+                    }));
+                }
+                TAG_END => {
+                    let count =
+                        u64::from_le_bytes(self.take(8, start)?.try_into().expect("8 bytes"));
+                    if count != self.segment_frames {
+                        return Err(self.corrupt(
+                            start,
+                            format!(
+                                "End record says {count} frames, segment held {}",
+                                self.segment_frames
+                            ),
+                        ));
+                    }
+                    if self.cursor != self.bytes.len() {
+                        return Err(self.corrupt(start, "data after the End record"));
+                    }
+                    if !self.load_next_segment()? {
+                        return Ok(None);
+                    }
+                }
+                other => {
+                    return Err(self.corrupt(start, format!("unknown record tag {other:#04x}")));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static N: AtomicUsize = AtomicUsize::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "lbas-test-{}-{tag}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    /// A fake sealed frame image: record count embedded in the first word,
+    /// line-padded length like the real codec produces.
+    fn frame_image(records: u32, lines: usize) -> Vec<u8> {
+        let mut bytes = vec![0u8; lines * 64];
+        bytes[0..4].copy_from_slice(&records.to_le_bytes());
+        bytes[8] = 0xAB; // some payload
+        bytes
+    }
+
+    #[test]
+    fn round_trips_frames_across_rotated_segments() {
+        let dir = temp_dir("roundtrip");
+        let config = StreamConfig {
+            segment_bytes: 256, // tiny: forces rotation every couple frames
+            retain_bytes: u64::MAX,
+        };
+        let mut writer = SegmentWriter::create(&dir, 3, 2, config).unwrap();
+        let frames: Vec<_> = (0..10u32).map(|i| (u64::from(i) * 100, i + 1)).collect();
+        for &(ts, recs) in &frames {
+            writer.append(ts, recs, &frame_image(recs, 1)).unwrap();
+        }
+        let summary = writer.finish().unwrap();
+        assert_eq!(summary.frames, 10);
+        assert!(summary.segments_retained > 1, "tiny segments must rotate");
+
+        assert_eq!(stream_ids(&dir).unwrap(), vec![3]);
+        let mut reader = SegmentReader::open(&dir, 3).unwrap();
+        assert_eq!(reader.codec_version(), 2);
+        for &(ts, recs) in &frames {
+            let frame = reader.next_frame().unwrap().expect("frame present");
+            assert_eq!((frame.timestamp, frame.records), (ts, recs));
+            assert_eq!(frame.bytes, frame_image(recs, 1));
+        }
+        assert!(reader.next_frame().unwrap().is_none(), "clean end");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn retention_cap_bounds_disk_and_reader_reports_aged_out_start() {
+        let dir = temp_dir("retention");
+        let config = StreamConfig {
+            segment_bytes: 256,
+            retain_bytes: 600,
+        };
+        let mut writer = SegmentWriter::create(&dir, 0, 1, config).unwrap();
+        for i in 0..50u32 {
+            writer.append(u64::from(i), 1, &frame_image(1, 1)).unwrap();
+            assert!(
+                writer.bytes_retained() <= 600,
+                "retention must bound disk during the run: {} B",
+                writer.bytes_retained()
+            );
+        }
+        let summary = writer.finish().unwrap();
+        assert!(summary.bytes_retained <= 600);
+        assert!(summary.bytes_written > 600, "more was written than kept");
+
+        // The on-disk files agree with the summary's accounting.
+        let on_disk: u64 = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().metadata().unwrap().len())
+            .sum();
+        assert_eq!(on_disk, summary.bytes_retained);
+
+        // Replay from the middle is impossible (predictor state): the
+        // reader says so instead of decoding garbage.
+        let err = SegmentReader::open(&dir, 0).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                StreamError::MissingSegments {
+                    expected_seq: 0,
+                    ..
+                }
+            ),
+            "got: {err}"
+        );
+        assert!(err.to_string().contains("contiguous from segment 0"));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncated_segment_is_a_descriptive_error() {
+        let dir = temp_dir("truncated");
+        let mut writer = SegmentWriter::create(&dir, 0, 1, StreamConfig::default()).unwrap();
+        writer.append(1, 2, &frame_image(2, 2)).unwrap();
+        writer.finish().unwrap();
+        let path = dir.join(segment_file_name(0, 0));
+        let mut bytes = fs::read(&path).unwrap();
+        bytes.truncate(bytes.len() - 30); // cut mid-frame-record
+        fs::write(&path, &bytes).unwrap();
+
+        let mut reader = SegmentReader::open(&dir, 0).unwrap();
+        let err = reader.next_frame().unwrap_err();
+        assert!(matches!(err, StreamError::Truncated { .. }), "got: {err}");
+        assert!(err.to_string().contains("truncated mid-record"));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_end_record_is_a_descriptive_error() {
+        let dir = temp_dir("noend");
+        let mut writer = SegmentWriter::create(&dir, 0, 1, StreamConfig::default()).unwrap();
+        writer.append(1, 2, &frame_image(2, 1)).unwrap();
+        writer.finish().unwrap();
+        let path = dir.join(segment_file_name(0, 0));
+        let mut bytes = fs::read(&path).unwrap();
+        bytes.truncate(bytes.len() - END_RECORD_BYTES as usize);
+        fs::write(&path, &bytes).unwrap();
+
+        let mut reader = SegmentReader::open(&dir, 0).unwrap();
+        let frame = reader.next_frame().unwrap().expect("frame still intact");
+        assert_eq!(frame.records, 2);
+        let err = reader.next_frame().unwrap_err();
+        assert!(matches!(err, StreamError::MissingEnd { .. }), "got: {err}");
+        assert!(err.to_string().contains("not closed cleanly"));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unknown_format_version_is_a_descriptive_error() {
+        let dir = temp_dir("version");
+        let mut writer = SegmentWriter::create(&dir, 0, 1, StreamConfig::default()).unwrap();
+        writer.append(1, 1, &frame_image(1, 1)).unwrap();
+        writer.finish().unwrap();
+        let path = dir.join(segment_file_name(0, 0));
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[5] = b'9'; // lbas/9
+        fs::write(&path, &bytes).unwrap();
+
+        let err = SegmentReader::open(&dir, 0).unwrap_err();
+        assert!(
+            matches!(&err, StreamError::UnknownVersion { version, .. } if version == "9"),
+            "got: {err}"
+        );
+        assert!(err.to_string().contains("lbas/9"));
+
+        // And a non-stream file is told apart from a future version.
+        fs::write(&path, b"totally not a stream").unwrap();
+        let err = SegmentReader::open(&dir, 0).unwrap_err();
+        assert!(matches!(err, StreamError::NotAStream { .. }), "got: {err}");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mid_frame_corruption_is_a_descriptive_error() {
+        let dir = temp_dir("corrupt");
+        let mut writer = SegmentWriter::create(&dir, 0, 1, StreamConfig::default()).unwrap();
+        writer.append(1, 4, &frame_image(4, 2)).unwrap();
+        writer.finish().unwrap();
+        let path = dir.join(segment_file_name(0, 0));
+        let mut bytes = fs::read(&path).unwrap();
+        let flip = SEGMENT_HEADER_BYTES + FRAME_RECORD_HEADER_BYTES as usize + 40;
+        bytes[flip] ^= 0xFF; // flip one payload byte
+        fs::write(&path, &bytes).unwrap();
+
+        let mut reader = SegmentReader::open(&dir, 0).unwrap();
+        let err = reader.next_frame().unwrap_err();
+        assert!(matches!(err, StreamError::Corrupt { .. }), "got: {err}");
+        assert!(err.to_string().contains("checksum mismatch"));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn end_record_frame_count_is_verified() {
+        let dir = temp_dir("endcount");
+        let mut writer = SegmentWriter::create(&dir, 0, 1, StreamConfig::default()).unwrap();
+        writer.append(1, 1, &frame_image(1, 1)).unwrap();
+        writer.append(2, 1, &frame_image(1, 1)).unwrap();
+        writer.finish().unwrap();
+        let path = dir.join(segment_file_name(0, 0));
+        let mut bytes = fs::read(&path).unwrap();
+        let end_count_at = bytes.len() - 8;
+        bytes[end_count_at] = 9; // claim 9 frames
+        fs::write(&path, &bytes).unwrap();
+
+        let mut reader = SegmentReader::open(&dir, 0).unwrap();
+        reader.next_frame().unwrap();
+        reader.next_frame().unwrap();
+        let err = reader.next_frame().unwrap_err();
+        assert!(matches!(err, StreamError::Corrupt { .. }), "got: {err}");
+        assert!(err.to_string().contains("End record says 9"));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn oversized_frame_lands_whole() {
+        let dir = temp_dir("oversized");
+        let config = StreamConfig {
+            segment_bytes: 128,
+            retain_bytes: u64::MAX,
+        };
+        let mut writer = SegmentWriter::create(&dir, 0, 1, config).unwrap();
+        // 4 lines = 256 B > the 128 B segment budget.
+        writer.append(1, 7, &frame_image(7, 4)).unwrap();
+        writer.finish().unwrap();
+        let mut reader = SegmentReader::open(&dir, 0).unwrap();
+        let frame = reader.next_frame().unwrap().expect("oversized frame kept");
+        assert_eq!(frame.bytes.len(), 256);
+        assert!(reader.next_frame().unwrap().is_none());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_stream_round_trips() {
+        let dir = temp_dir("empty");
+        let writer = SegmentWriter::create(&dir, 0, 1, StreamConfig::default()).unwrap();
+        let summary = writer.finish().unwrap();
+        assert_eq!(summary.frames, 0);
+        let mut reader = SegmentReader::open(&dir, 0).unwrap();
+        assert!(reader.next_frame().unwrap().is_none());
+        // A stream id that was never recorded is its own error.
+        let err = SegmentReader::open(&dir, 7).unwrap_err();
+        assert!(matches!(err, StreamError::NoSuchStream { stream: 7, .. }));
+        fs::remove_dir_all(&dir).ok();
+    }
+}

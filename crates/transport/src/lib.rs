@@ -41,7 +41,12 @@
 mod channel;
 pub mod live;
 mod model;
+pub mod sink;
 
 pub use channel::{shard_of, ChannelStats, LogChannel, PoppedFrame, PoppedRecord, PushOutcome};
 pub use live::LiveFrameChannel;
 pub use model::{BufferFullError, LogBufferModel, ModeledFrameChannel, TimedFrame, TransportStats};
+pub use sink::{
+    ChannelTee, FrameSink, FrameSource, SealedFrame, SinkError, StreamSink, StreamSource, TeeSink,
+    VecSink,
+};

@@ -48,6 +48,7 @@ use lba_compress::{Frame, FrameConfig, FrameDecoder, FrameEncoder};
 use lba_record::EventRecord;
 
 use crate::channel::{ChannelStats, LogChannel, PoppedFrame, PoppedRecord, PushOutcome};
+use crate::sink::{ChannelTee, FrameSink, FrameSource, SealedFrame, SinkError};
 
 /// Spin briefly before yielding to the scheduler: the peer is typically
 /// mid-frame (microseconds away), so burning a few dozen pause
@@ -244,9 +245,32 @@ impl FrameShared {
 pub struct FrameSender {
     encoder: FrameEncoder,
     shared: Arc<FrameShared>,
+    /// Optional mirror of every shipped frame into a [`FrameSink`] (the
+    /// flight recorder); see [`tee_into`](Self::tee_into).
+    tee: ChannelTee,
 }
 
 impl FrameSender {
+    /// Mirrors every subsequently shipped frame into `sink` — the
+    /// flight-recorder hook. Frames are mirrored before entering the
+    /// queue, so the recording is the exact wire traffic in ship order
+    /// with `sealed_at` 0 (the live transport has no modeled clock). A
+    /// failing sink never disturbs the channel: the first error is
+    /// latched, the sink dropped, and the error surfaces from
+    /// [`take_tee`](Self::take_tee).
+    pub fn tee_into(&mut self, sink: Box<dyn FrameSink + Send>) {
+        self.tee.install(sink);
+    }
+
+    /// Takes the tee sink back (for finishing), or reports the first
+    /// mirror error if the sink failed mid-run.
+    ///
+    /// # Errors
+    ///
+    /// The first error a mirror write hit.
+    pub fn take_tee(&mut self) -> Result<Option<Box<dyn FrameSink + Send>>, SinkError> {
+        self.tee.take()
+    }
     /// Appends one record; when it completes a frame, ships the frame,
     /// spinning (with yields) while the queue is full.
     pub fn push(&mut self, record: &EventRecord) {
@@ -278,6 +302,11 @@ impl FrameSender {
     }
 
     fn ship(&mut self, frame: Frame) {
+        self.tee.mirror(&SealedFrame {
+            bytes: &frame.bytes,
+            records: frame.records,
+            sealed_at: 0,
+        });
         let ticket = self.shared.begin_ship(&frame);
         let mut bytes = frame.bytes;
         let mut spins = 0;
@@ -439,6 +468,16 @@ impl Drop for FrameReceiver {
     }
 }
 
+/// The consumer half as a raw frame drain: blocks for the next sealed
+/// wire image, `Ok(None)` once the producer closed and the queue drained.
+/// A raw drain bypasses the record-level decode — do not interleave with
+/// [`recv`](FrameReceiver::recv) and friends mid-frame.
+impl FrameSource for FrameReceiver {
+    fn next_frame_bytes(&mut self) -> Result<Option<Vec<u8>>, SinkError> {
+        Ok(self.recv_frame())
+    }
+}
+
 /// Creates the framed SPSC channel holding up to `capacity_frames`
 /// in-flight frames.
 ///
@@ -467,6 +506,7 @@ pub fn frame_channel(capacity_frames: usize, config: FrameConfig) -> (FrameSende
         FrameSender {
             encoder: FrameEncoder::new(config),
             shared: Arc::clone(&shared),
+            tee: ChannelTee::default(),
         },
         FrameReceiver {
             decoder: FrameDecoder::new(config),
@@ -531,8 +571,28 @@ impl LiveFrameChannel {
         (self.sender, self.receiver)
     }
 
+    /// Mirrors every subsequently shipped frame into `sink`; see
+    /// [`FrameSender::tee_into`].
+    pub fn tee_into(&mut self, sink: Box<dyn FrameSink + Send>) {
+        self.sender.tee_into(sink);
+    }
+
+    /// Takes the tee sink back; see [`FrameSender::take_tee`].
+    ///
+    /// # Errors
+    ///
+    /// The first error a mirror write hit.
+    pub fn take_tee(&mut self) -> Result<Option<Box<dyn FrameSink + Send>>, SinkError> {
+        self.sender.take_tee()
+    }
+
     fn ship_nonblocking(&mut self, frame: Frame) -> PushOutcome {
         let wire_bits = frame.wire_bits();
+        self.sender.tee.mirror(&SealedFrame {
+            bytes: &frame.bytes,
+            records: frame.records,
+            sealed_at: 0,
+        });
         let ticket = self.sender.shared.begin_ship(&frame);
         let mut bytes = frame.bytes;
         loop {

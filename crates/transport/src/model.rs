@@ -7,6 +7,7 @@ use lba_compress::{Frame, FrameConfig, FrameDecoder, FrameEncoder, FRAME_LINE_BY
 use lba_record::EventRecord;
 
 use crate::channel::{ChannelStats, LogChannel, PoppedFrame, PoppedRecord, PushOutcome};
+use crate::sink::{ChannelTee, FrameSink, FrameSource, SealedFrame, SinkError};
 
 /// A sealed log frame annotated with its production time.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -236,6 +237,9 @@ pub struct ModeledFrameChannel {
     ready: VecDeque<Vec<EventRecord>>,
     /// Zero-copy: spent record batches recycled to avoid per-frame allocs.
     batch_pool: Vec<Vec<EventRecord>>,
+    /// Optional mirror of every sealed frame into a [`FrameSink`] (the
+    /// flight recorder); see [`tee_into`](Self::tee_into).
+    tee: ChannelTee,
 }
 
 impl ModeledFrameChannel {
@@ -288,7 +292,29 @@ impl ModeledFrameChannel {
             staging: Vec::new(),
             ready: VecDeque::new(),
             batch_pool: Vec::new(),
+            tee: ChannelTee::default(),
         }
+    }
+
+    /// Mirrors every subsequently sealed frame into `sink` — the
+    /// flight-recorder hook. The mirror happens at the moment of sealing
+    /// (before admission), so the recorded stream is the exact wire
+    /// traffic in seal order, back-pressure parking included. A failing
+    /// sink never disturbs the channel: the first error is latched, the
+    /// sink dropped, and the error surfaces from
+    /// [`take_tee`](Self::take_tee).
+    pub fn tee_into(&mut self, sink: Box<dyn FrameSink + Send>) {
+        self.tee.install(sink);
+    }
+
+    /// Takes the tee sink back (for finishing), or reports the first
+    /// mirror error if the sink failed mid-run.
+    ///
+    /// # Errors
+    ///
+    /// The first error a mirror write hit.
+    pub fn take_tee(&mut self) -> Result<Option<Box<dyn FrameSink + Send>>, SinkError> {
+        self.tee.take()
     }
 
     /// The underlying buffer, for occupancy inspection.
@@ -408,6 +434,11 @@ impl LogChannel for ModeledFrameChannel {
         match self.encoder.push(record) {
             Some(frame) => {
                 self.seal_staging();
+                self.tee.mirror(&SealedFrame {
+                    bytes: &frame.bytes,
+                    records: frame.records,
+                    sealed_at: now,
+                });
                 self.admit_or_park(frame, now)
             }
             None => PushOutcome::Buffered,
@@ -418,6 +449,11 @@ impl LogChannel for ModeledFrameChannel {
         match self.encoder.flush() {
             Some(frame) => {
                 self.seal_staging();
+                self.tee.mirror(&SealedFrame {
+                    bytes: &frame.bytes,
+                    records: frame.records,
+                    sealed_at: now,
+                });
                 self.admit_or_park(frame, now)
             }
             None => PushOutcome::Buffered,
@@ -499,6 +535,26 @@ impl LogChannel for ModeledFrameChannel {
             wire_bits: enc.wire_bits,
             high_water_bits: self.buffer.stats().high_water_bits,
         }
+    }
+}
+
+/// The consumer half as a raw frame drain: sealed wire images in seal
+/// order, admitted frames first, then parked ones. A raw drain bypasses
+/// the record-level bookkeeping — do not interleave with
+/// [`pop_record`](LogChannel::pop_record) /
+/// [`pop_frame`](LogChannel::pop_frame).
+impl FrameSource for ModeledFrameChannel {
+    fn next_frame_bytes(&mut self) -> Result<Option<Vec<u8>>, SinkError> {
+        let bytes = if let Some(timed) = self.buffer.pop() {
+            Some(timed.bytes)
+        } else {
+            self.parked.pop_front().map(|frame| frame.bytes)
+        };
+        if bytes.is_some() && self.zero_copy {
+            // Keep the staged record batches aligned with the frames.
+            self.ready.pop_front();
+        }
+        Ok(bytes)
     }
 }
 

@@ -35,7 +35,18 @@
 //!  │  stream/shard  │   sharded: N streams, one  │  contract via  │
 //!  │  lba-cache     │   predictor bank + decoder │  idempotency())│
 //!  │  lba-mem       │   thread per shard)        │                │
-//!  └────────────────┘                            └────────────────┘
+//!  └────────────────┘          │ tee             └────────────────┘
+//!                              ▼ (FrameSink)
+//!                 ┌─────────────────────────────┐
+//!                 │  flight recorder (lbas/1):  │
+//!                 │  sealed frames → segmented  │
+//!                 │  on-disk stream, rotation + │
+//!                 │  retention (lba-record);    │
+//!                 │  run_replay re-decodes the  │
+//!                 │  recording through any      │
+//!                 │  lifeguard, byte-identical  │
+//!                 │  (LogConfig::record_to)     │
+//!                 └─────────────────────────────┘
 //!         consumption is frame-at-a-time: one
 //!         ready_at stamp, one HandlerCtx and one
 //!         subscription-mask fetch per frame (the
@@ -55,9 +66,9 @@
 //! | `lba-mem`        | flat memory, heap allocator, address-space layout     |
 //! | `lba-cpu`        | execution substrate: machine, threads, run errors     |
 //! | `lba-cache`      | set-associative caches and the two-core memory system |
-//! | `lba-record`     | the typed event-record vocabulary the log carries (incl. `Repeat` fold summaries) |
-//! | `lba-compress`   | value-prediction log compression + chunked frame codec (< 1 byte/instr on the wire) |
-//! | `lba-transport`  | `LogChannel` trait: framed buffer timing model + live cross-thread frame channel, frame-granular `pop_frame`, `shard_of` routing and per-shard channel fan-out |
+//! | `lba-record`     | the typed event-record vocabulary the log carries (incl. `Repeat` fold summaries) + the segmented `lbas/1` flight-recorder stream format (rotation, retention, End records) |
+//! | `lba-compress`   | value-prediction log compression + chunked frame codec (< 1 byte/instr on the wire), `CODEC_VERSION` stamped into recordings |
+//! | `lba-transport`  | `LogChannel` trait: framed buffer timing model + live cross-thread frame channel, frame-granular `pop_frame`, `shard_of` routing and per-shard channel fan-out; `FrameSink`/`FrameSource` seam with tee mirroring into recordings |
 //! | `lba-lifeguard`  | dispatch engine (batch + per-record), capture filters (`AddrRangeFilter` + per-contract idempotency window in one `CaptureFilter` pass), findings, flat paged shadow memory |
 //! | `lba-lifeguards` | the paper's four lifeguards                           |
 //! | `lba-dbi`        | Valgrind-style inline instrumentation baseline        |
@@ -79,7 +90,12 @@
 //!   compressed frame stream with its own predictor bank, and N consumer
 //!   threads decode and dispatch concurrently;
 //! * [`run_dbi`] — the comparison point: the lifeguard inlined via dynamic
-//!   binary instrumentation on the application core.
+//!   binary instrumentation on the application core;
+//! * [`run_replay`] — offline replay: any of the modes above records its
+//!   sealed wire frames to a segmented on-disk stream
+//!   ([`LogConfig::record_to`]), and replay re-decodes the recording
+//!   through any lifeguard — findings and wire-bit accounting
+//!   byte-identical to the original run, no re-simulation.
 //!
 //! The [`experiment`] module regenerates every table and figure in the paper
 //! (`cargo run --release -p lba-bench --bin figures`), and the [`parallel`]
@@ -107,11 +123,12 @@
 //! ```
 
 pub use lba_core::{
-    experiment, live_parallel, parallel, report, table, CaptureFilter, CaptureStats, ChannelStats,
-    IdempotencyClass, LifeguardKind, LiveParallelReport, LiveReport, LogConfig, LogStats, Mode,
-    RunError, RunReport, StallBreakdown, SystemConfig, WindowSpec,
+    experiment, live_parallel, parallel, replay, report, table, CaptureFilter, CaptureStats,
+    ChannelStats, IdempotencyClass, LifeguardKind, LiveParallelReport, LiveReport, LogConfig,
+    LogStats, Mode, RecordConfig, ReplayError, ReplayReport, ReplayStreamStats, RunError,
+    RunReport, StallBreakdown, SystemConfig, WindowSpec,
 };
-pub use lba_core::{run_dbi, run_lba, run_live, run_live_parallel, run_unmonitored};
+pub use lba_core::{run_dbi, run_lba, run_live, run_live_parallel, run_replay, run_unmonitored};
 
 #[cfg(test)]
 mod facade_smoke {
@@ -161,5 +178,20 @@ mod facade_smoke {
             monitored.slowdown_vs(&baseline) > 1.0,
             "monitoring is not free"
         );
+
+        // Flight recorder re-exports: record the same run, replay it, and
+        // the findings and wire bits come back byte-identical.
+        let dir = std::env::temp_dir().join(format!("lba-facade-smoke-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let mut recording = config.clone();
+        recording.log.record_to = Some(crate::RecordConfig::new(&dir));
+        let mut lifeguard = kind.make_lba();
+        let recorded =
+            crate::run_lba(&program, lifeguard.as_mut(), &recording).expect("recorded run");
+        let replay: crate::ReplayReport =
+            crate::run_replay(&dir, || kind.make_lba(), &config).expect("replay runs");
+        assert_eq!(replay.findings, recorded.findings);
+        assert_eq!(replay.total_wire_bits(), recorded.log.wire_bits);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

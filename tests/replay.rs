@@ -1,0 +1,287 @@
+//! Flight-recorder acceptance: a stream recorded from each of the four
+//! run modes replays with findings and per-stream wire-bit totals
+//! byte-identical to the original run; damaged recordings produce
+//! descriptive errors, never panics; retention bounds disk.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use proptest::prelude::*;
+
+use lba::{
+    run_lba, run_live, run_live_parallel, run_replay, LifeguardKind, RecordConfig, ReplayError,
+    SystemConfig,
+};
+use lba_record::{segment_file_name, StreamError};
+use lba_workloads::{bugs, Benchmark};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    static N: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "lba-replay-test-{}-{tag}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn recording_config(dir: &PathBuf) -> SystemConfig {
+    let mut config = SystemConfig::default();
+    config.log.record_to = Some(RecordConfig::new(dir));
+    config
+}
+
+#[test]
+fn cosim_recording_replays_byte_identical() {
+    let program = bugs::memory_bugs();
+    let dir = temp_dir("cosim");
+    let config = recording_config(&dir);
+    let kind = LifeguardKind::AddrCheck;
+    let mut lg = kind.make_lba();
+    let original = run_lba(&program, lg.as_mut(), &config).unwrap();
+
+    let replay = run_replay(&dir, || kind.make_lba(), &config).unwrap();
+    assert_eq!(replay.findings, original.findings);
+    assert_eq!(replay.streams.len(), 1, "cosim records one stream");
+    assert_eq!(replay.total_wire_bits(), original.log.wire_bits);
+    assert_eq!(replay.total_records(), original.log.records);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn per_record_dispatch_recording_replays_byte_identical() {
+    // The software-decode (non-zero-copy) channel seals the identical
+    // wire stream; its recording must too.
+    let program = bugs::data_race();
+    let dir = temp_dir("per-record");
+    let mut config = recording_config(&dir);
+    config.log.batch_dispatch = false;
+    let kind = LifeguardKind::LockSet;
+    let mut lg = kind.make_lba();
+    let original = run_lba(&program, lg.as_mut(), &config).unwrap();
+
+    let replay = run_replay(&dir, || kind.make_lba(), &config).unwrap();
+    assert_eq!(replay.findings, original.findings);
+    assert_eq!(replay.total_wire_bits(), original.log.wire_bits);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn live_recording_replays_byte_identical() {
+    let program = bugs::exploit();
+    let dir = temp_dir("live");
+    let config = recording_config(&dir);
+    let kind = LifeguardKind::TaintCheck;
+    let mut lg = kind.make_lba();
+    let original = run_live(&program, lg.as_mut(), &config).unwrap();
+
+    let replay = run_replay(&dir, || kind.make_lba(), &config).unwrap();
+    assert_eq!(replay.findings, original.findings);
+    assert_eq!(replay.streams.len(), 1, "live records one stream");
+    assert_eq!(replay.total_wire_bits(), original.log.wire_bits);
+    assert_eq!(replay.total_records(), original.log.records);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn modeled_parallel_recording_replays_byte_identical_per_shard() {
+    let program = bugs::memory_bugs();
+    let dir = temp_dir("parallel");
+    let config = recording_config(&dir);
+    let kind = LifeguardKind::AddrCheck;
+    let original =
+        lba::parallel::run_lba_parallel(&program, || kind.make_lba(), 3, &config).unwrap();
+
+    let replay = run_replay(&dir, || kind.make_lba(), &config).unwrap();
+    assert_eq!(replay.findings, original.findings);
+    assert_eq!(replay.streams.len(), 3, "one recorded stream per shard");
+    for (stream, shard) in replay.streams.iter().zip(&original.shard_log) {
+        assert_eq!(stream.wire_bits, shard.wire_bits, "shard {}", stream.stream);
+        assert_eq!(stream.records, shard.records, "shard {}", stream.stream);
+        assert_eq!(stream.frames, shard.frames, "shard {}", stream.stream);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn live_parallel_recording_replays_byte_identical_per_shard() {
+    let program = bugs::memory_bugs();
+    let dir = temp_dir("live-parallel");
+    let config = recording_config(&dir);
+    let kind = LifeguardKind::AddrCheck;
+    let original = run_live_parallel(&program, || kind.make_lba(), 3, &config).unwrap();
+
+    let replay = run_replay(&dir, || kind.make_lba(), &config).unwrap();
+    assert_eq!(replay.findings, original.findings);
+    assert_eq!(replay.streams.len(), 3, "one recorded stream per shard");
+    for (stream, shard) in replay.streams.iter().zip(&original.shard_log) {
+        assert_eq!(stream.wire_bits, shard.wire_bits, "shard {}", stream.stream);
+        assert_eq!(stream.records, shard.records, "shard {}", stream.stream);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn replay_through_a_different_lifeguard_works() {
+    // The retroactive-monitoring story: AddrCheck ran live; MemProfile-
+    // style reanalysis here is LockSet over the same recorded traffic.
+    let program = bugs::data_race();
+    let dir = temp_dir("cross-lifeguard");
+    let config = recording_config(&dir);
+    let mut lg = LifeguardKind::AddrCheck.make_lba();
+    run_lba(&program, lg.as_mut(), &config).unwrap();
+
+    let replay = run_replay(&dir, || LifeguardKind::LockSet.make_lba(), &config).unwrap();
+    // LockSet over the recorded stream equals LockSet run live.
+    let mut lg = LifeguardKind::LockSet.make_lba();
+    let direct = run_lba(&program, lg.as_mut(), &SystemConfig::default()).unwrap();
+    assert_eq!(replay.findings, direct.findings);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn retention_cap_bounds_disk_and_replay_reports_aged_out() {
+    let program = Benchmark::Gzip.build();
+    let dir = temp_dir("retention");
+    let mut config = SystemConfig::default();
+    config.log.record_to = Some(RecordConfig {
+        dir: dir.clone(),
+        segment_bytes: 8 << 10,
+        retain_bytes: 24 << 10,
+    });
+    let kind = LifeguardKind::AddrCheck;
+    let mut lg = kind.make_lba();
+    let original = run_lba(&program, lg.as_mut(), &config).unwrap();
+    assert!(
+        original.log.wire_bits / 8 > 24 << 10,
+        "workload must outgrow the retention cap for this test to bite"
+    );
+
+    let on_disk: u64 = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().metadata().unwrap().len())
+        .sum();
+    assert!(
+        on_disk <= 24 << 10,
+        "retention must cap total segment bytes: {on_disk} B on disk"
+    );
+
+    // The aged-out stream cannot be replayed (predictor state starts at
+    // segment 0) and says so descriptively.
+    let err = run_replay(&dir, || kind.make_lba(), &config).unwrap_err();
+    assert!(
+        matches!(
+            &err,
+            ReplayError::Stream(StreamError::MissingSegments {
+                expected_seq: 0,
+                ..
+            })
+        ),
+        "got: {err}"
+    );
+    assert!(err.to_string().contains("contiguous from segment 0"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn damaged_recordings_error_descriptively() {
+    let program = bugs::memory_bugs();
+    let dir = temp_dir("damage");
+    let config = recording_config(&dir);
+    let kind = LifeguardKind::AddrCheck;
+    let mut lg = kind.make_lba();
+    run_lba(&program, lg.as_mut(), &config).unwrap();
+    let segment = dir.join(segment_file_name(0, 0));
+    let pristine = std::fs::read(&segment).unwrap();
+
+    // Truncated mid-record.
+    std::fs::write(&segment, &pristine[..pristine.len() - 11]).unwrap();
+    let err = run_replay(&dir, || kind.make_lba(), &config).unwrap_err();
+    assert!(
+        matches!(&err, ReplayError::Stream(StreamError::Truncated { .. })),
+        "got: {err}"
+    );
+
+    // Missing End record (cut exactly at the record boundary).
+    std::fs::write(&segment, &pristine[..pristine.len() - 9]).unwrap();
+    let err = run_replay(&dir, || kind.make_lba(), &config).unwrap_err();
+    assert!(
+        matches!(&err, ReplayError::Stream(StreamError::MissingEnd { .. })),
+        "got: {err}"
+    );
+
+    // Unknown format version.
+    let mut bytes = pristine.clone();
+    bytes[5] = b'7';
+    std::fs::write(&segment, &bytes).unwrap();
+    let err = run_replay(&dir, || kind.make_lba(), &config).unwrap_err();
+    assert!(
+        matches!(&err, ReplayError::Stream(StreamError::UnknownVersion { version, .. }) if version == "7"),
+        "got: {err}"
+    );
+
+    // Mid-frame corruption: flip a payload byte, caught by the checksum.
+    let mut bytes = pristine.clone();
+    let flip = 24 + 21 + 40; // header + frame-record header + into payload
+    bytes[flip] ^= 0x55;
+    std::fs::write(&segment, &bytes).unwrap();
+    let err = run_replay(&dir, || kind.make_lba(), &config).unwrap_err();
+    assert!(
+        matches!(&err, ReplayError::Stream(StreamError::Corrupt { .. })),
+        "got: {err}"
+    );
+    assert!(err.to_string().contains("checksum mismatch"), "got: {err}");
+
+    // Codec-version mismatch: refused up front, not decoded into garbage.
+    let mut bytes = pristine.clone();
+    bytes[8..12].copy_from_slice(&999u32.to_le_bytes());
+    std::fs::write(&segment, &bytes).unwrap();
+    let err = run_replay(&dir, || kind.make_lba(), &config).unwrap_err();
+    assert!(
+        matches!(&err, ReplayError::CodecMismatch { recorded: 999, .. }),
+        "got: {err}"
+    );
+
+    // An empty recording directory is its own descriptive error.
+    std::fs::remove_file(&segment).unwrap();
+    let err = run_replay(&dir, || kind.make_lba(), &config).unwrap_err();
+    assert!(matches!(&err, ReplayError::NoStreams { .. }), "got: {err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Record→replay equality holds across programs × lifeguards ×
+    /// segment sizes: whatever rotation the segment budget forces, the
+    /// replayed findings and wire bits equal the original run's.
+    #[test]
+    fn record_replay_equality_across_the_grid(
+        program_idx in 0usize..3,
+        kind_idx in 0usize..3,
+        segment_bytes in prop_oneof![Just(512u64), Just(4 << 10), Just(64 << 10), Just(4 << 20)],
+    ) {
+        let program = match program_idx {
+            0 => bugs::memory_bugs(),
+            1 => bugs::data_race(),
+            _ => bugs::exploit(),
+        };
+        let kind = LifeguardKind::ALL[kind_idx];
+        let dir = temp_dir("grid");
+        let mut config = SystemConfig::default();
+        config.log.record_to = Some(RecordConfig {
+            dir: dir.clone(),
+            segment_bytes,
+            retain_bytes: u64::MAX,
+        });
+        let mut lg = kind.make_lba();
+        let original = run_lba(&program, lg.as_mut(), &config).unwrap();
+
+        let replay = run_replay(&dir, || kind.make_lba(), &config).unwrap();
+        prop_assert_eq!(&replay.findings, &original.findings);
+        prop_assert_eq!(replay.total_wire_bits(), original.log.wire_bits);
+        prop_assert_eq!(replay.total_records(), original.log.records);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
