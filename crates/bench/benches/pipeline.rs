@@ -13,8 +13,10 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
-use lba::{run_lba, run_live, run_live_parallel, SystemConfig};
-use lba_bench::pipeline::{self, PipelineRow, SHARD_COUNTS};
+use lba::{
+    run_lba, run_live, run_live_parallel, run_live_taint_parallel, run_taint_parallel, SystemConfig,
+};
+use lba_bench::pipeline::{self, PipelineRow, EPOCH_WORKER_COUNTS, SHARD_COUNTS};
 use lba_workloads::Benchmark;
 
 fn config(batched: bool) -> SystemConfig {
@@ -106,6 +108,35 @@ fn bench_pipeline(c: &mut Criterion) {
                 })
             });
         }
+    }
+    group.finish();
+
+    // The epoch-parallel TaintCheck pipeline: whole epochs to summarizer
+    // workers, symbolic transfer functions stitched in order on a merge
+    // core — the one lifeguard address sharding cannot split. Both the
+    // modeled mode (whose deterministic clocks carry the speedup claim)
+    // and the real-thread mode ride the same router and summarizer.
+    let mut group = c.benchmark_group("epoch_taint");
+    group
+        .sample_size(samples)
+        .throughput(Throughput::Elements(records));
+    for workers in EPOCH_WORKER_COUNTS {
+        let cfg = config(true);
+        let program = &program;
+        group.bench_function(format!("modeled_x{workers}"), |b| {
+            b.iter(|| {
+                run_taint_parallel(program, workers, &cfg)
+                    .expect("runs")
+                    .total_cycles
+            })
+        });
+        group.bench_function(format!("live_x{workers}"), |b| {
+            b.iter(|| {
+                run_live_taint_parallel(program, workers, &cfg)
+                    .expect("runs")
+                    .total_records()
+            })
+        });
     }
     group.finish();
 

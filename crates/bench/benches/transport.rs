@@ -12,6 +12,7 @@ use std::thread;
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
 use lba_compress::FrameConfig;
+use lba_lifeguard::ShadowMemory;
 use lba_record::EventRecord;
 use lba_transport::live;
 
@@ -121,6 +122,34 @@ fn bench_transport(c: &mut Criterion) {
     });
     group.bench_function("framed_compressed_x256", |b| {
         b.iter(|| pump_framed(&records, 256))
+    });
+    group.finish();
+
+    bench_shadow_range(c);
+}
+
+/// The shadow-range fast path behind TaintCheck's syscall-argument sweep:
+/// `range_any_nonzero` answers "any taint in this buffer?" from per-page
+/// nonzero counters — clean pages are dismissed with one counter load —
+/// where the general `range_is(.., 0)` must scan every byte to prove the
+/// same thing. TaintCheck's syscall handler asks this question over a
+/// mostly-clean heap on every syscall, so the sweep sits on the epoch
+/// workers' critical path.
+fn bench_shadow_range(c: &mut Criterion) {
+    const SPAN: u64 = 1 << 20;
+    let mut shadow: ShadowMemory<u8> = ShadowMemory::new();
+    // A mostly-clean megabyte: touch every page so residency is equal for
+    // both paths, then taint a single late byte.
+    shadow.set_range(0, SPAN, 0);
+    shadow.set(SPAN - 17, 1);
+
+    let mut group = c.benchmark_group("shadow_range");
+    group.sample_size(10).throughput(Throughput::Bytes(SPAN));
+    group.bench_function("range_is_zero_scan", |b| {
+        b.iter(|| !shadow.range_is(0, SPAN, 0))
+    });
+    group.bench_function("range_any_nonzero_counters", |b| {
+        b.iter(|| shadow.range_any_nonzero(0, SPAN))
     });
     group.finish();
 }

@@ -15,7 +15,10 @@
 
 use std::time::Instant;
 
-use lba::{run_lba, run_live, run_live_parallel, run_replay, RecordConfig, SystemConfig};
+use lba::{
+    run_lba, run_live, run_live_parallel, run_live_taint_parallel, run_replay, run_taint_parallel,
+    RecordConfig, SystemConfig,
+};
 use lba_cache::{MemSystem, MemSystemConfig};
 use lba_cpu::Machine;
 use lba_lifeguard::{DispatchEngine, Lifeguard};
@@ -43,7 +46,8 @@ pub fn lifeguards() -> Vec<(&'static str, LifeguardFactory)> {
 /// per-address state is independent, so address-interleaved routing is
 /// sound. TaintCheck is excluded: its register state forms a sequential
 /// dependence chain through every instruction (same soundness note as the
-/// modeled `run_lba_parallel`).
+/// modeled `run_lba_parallel`); it gets its own "taint-parallel" epoch
+/// series instead (see [`epoch_speedup`]).
 #[must_use]
 pub fn sharded_lifeguards() -> Vec<(&'static str, LifeguardFactory)> {
     vec![
@@ -54,6 +58,14 @@ pub fn sharded_lifeguards() -> Vec<(&'static str, LifeguardFactory)> {
 
 /// Shard counts the live-parallel series measures.
 pub const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// Worker counts the epoch-parallel TaintCheck series measures.
+pub const EPOCH_WORKER_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// Modeled-cycle speedup the 4-worker epoch-parallel TaintCheck row must
+/// show over the sequential `run_lba` TaintCheck row — the trajectory
+/// gate for the epoch mode's reason to exist.
+pub const EPOCH_SPEEDUP_FLOOR: f64 = 1.5;
 
 /// Idempotency-window size (entries) used by the filtered series.
 pub const IDEMPOTENT_WINDOW: usize = 4096;
@@ -99,6 +111,12 @@ pub struct PipelineRow {
     pub wall_seconds: f64,
     /// Records per wall-clock second.
     pub events_per_sec: f64,
+    /// Modeled end-to-end cycles, for the modes with a deterministic
+    /// clock model (`lba` and the modeled `taint-parallel` series); 0 for
+    /// the host-wall-clock-only modes. The epoch-parallel speedup claim
+    /// is made on this column — wall clock cannot show scaling on a
+    /// 1-vCPU box, modeled cycles can.
+    pub modeled_cycles: u64,
 }
 
 /// Best-of-`n` wall time of `body` (the min estimator is robust to
@@ -144,8 +162,71 @@ pub fn measure_pipeline(samples: usize) -> Vec<PipelineRow> {
         }
     }
     rows.extend(measure_live_parallel(samples));
+    rows.extend(measure_taint_parallel(samples));
     rows.extend(measure_idempotent(samples));
     rows.extend(measure_replay(samples));
+    rows
+}
+
+/// The epoch-parallel TaintCheck series: the one lifeguard the sharded
+/// modes cannot split, parallelised by time-slicing instead — whole
+/// epochs to workers computing symbolic transfer-function summaries, a
+/// merge core stitching them in order (`run_taint_parallel` /
+/// `run_live_taint_parallel`). The worker count rides the `shards`
+/// column. Two sub-series:
+///
+/// * `taint-parallel` — the modeled mode; `modeled_cycles` carries its
+///   end-to-end clock, and the trajectory gate demands the 4-worker row
+///   beat the sequential `lba`/`taintcheck` row by
+///   [`EPOCH_SPEEDUP_FLOOR`] on that column (wall clock cannot show
+///   scaling on a 1-vCPU host; the deterministic clock model can);
+/// * `live-taint-parallel` — the same pipeline on real threads,
+///   wall-clock only.
+#[must_use]
+pub fn measure_taint_parallel(samples: usize) -> Vec<PipelineRow> {
+    let program = Benchmark::Gzip.build();
+    let cfg = config(true);
+    let mut rows = Vec::new();
+    for workers in EPOCH_WORKER_COUNTS {
+        let mut modeled_cycles = 0;
+        let (records, wire_bits, wall) = best_of(samples, || {
+            let report = run_taint_parallel(&program, workers, &cfg).expect("gzip runs clean");
+            modeled_cycles = report.total_cycles;
+            (report.log.records, report.log.wire_bits)
+        });
+        rows.push(PipelineRow {
+            mode: "taint-parallel",
+            lifeguard: "taintcheck",
+            benchmark: "gzip",
+            batched: true,
+            shards: workers,
+            window: 0,
+            records,
+            wire_bits,
+            wall_seconds: wall,
+            events_per_sec: records as f64 / wall,
+            modeled_cycles,
+        });
+    }
+    for workers in EPOCH_WORKER_COUNTS {
+        let (records, wire_bits, wall) = best_of(samples, || {
+            let report = run_live_taint_parallel(&program, workers, &cfg).expect("gzip runs clean");
+            (report.total_records(), report.total_wire_bits())
+        });
+        rows.push(PipelineRow {
+            mode: "live-taint-parallel",
+            lifeguard: "taintcheck",
+            benchmark: "gzip",
+            batched: true,
+            shards: workers,
+            window: 0,
+            records,
+            wire_bits,
+            wall_seconds: wall,
+            events_per_sec: records as f64 / wall,
+            modeled_cycles: 0,
+        });
+    }
     rows
 }
 
@@ -189,6 +270,7 @@ pub fn measure_replay(samples: usize) -> Vec<PipelineRow> {
             wire_bits,
             wall_seconds: wall,
             events_per_sec: records as f64 / wall,
+            modeled_cycles: 0,
         });
     }
     std::fs::remove_dir_all(&dir).ok();
@@ -208,12 +290,13 @@ fn measure_mode(
     samples: usize,
 ) -> PipelineRow {
     let mut captured = 0;
+    let mut modeled_cycles = 0;
     let (records, wire_bits, wall) = best_of(samples, || {
         let mut lg = make();
         let log = if mode == "lba" {
-            run_lba(program, lg.as_mut(), cfg)
-                .expect("gzip runs clean")
-                .log
+            let report = run_lba(program, lg.as_mut(), cfg).expect("gzip runs clean");
+            modeled_cycles = report.total_cycles;
+            report.log
         } else {
             run_live(program, lg.as_mut(), cfg)
                 .expect("gzip runs clean")
@@ -233,6 +316,7 @@ fn measure_mode(
         wire_bits,
         wall_seconds: wall,
         events_per_sec: captured as f64 / wall,
+        modeled_cycles,
     }
 }
 
@@ -285,6 +369,7 @@ pub fn measure_live_parallel(samples: usize) -> Vec<PipelineRow> {
                 wire_bits,
                 wall_seconds: wall,
                 events_per_sec: records as f64 / wall,
+                modeled_cycles: 0,
             });
         }
     }
@@ -387,6 +472,7 @@ pub fn measure_consume(samples: usize) -> Vec<PipelineRow> {
             wire_bits,
             wall_seconds: wall,
             events_per_sec: n as f64 / wall,
+            modeled_cycles: 0,
         });
     }
     rows
@@ -430,6 +516,26 @@ pub fn dedup_speedup(rows: &[PipelineRow], mode: &str, lifeguard: &str) -> Optio
     Some(filtered.events_per_sec / baseline.events_per_sec)
 }
 
+/// The epoch-parallel ratio: the sequential `lba`/`taintcheck` row's
+/// modeled cycles over the modeled `taint-parallel` row's at `workers`
+/// workers, if both are present. Computed on the deterministic clock
+/// model, not wall clock — the host may not have the cores to show the
+/// overlap, the model does.
+#[must_use]
+pub fn epoch_speedup(rows: &[PipelineRow], workers: usize) -> Option<f64> {
+    let sequential = rows.iter().find(|r| {
+        r.mode == "lba"
+            && r.lifeguard == "taintcheck"
+            && r.batched
+            && r.window == 0
+            && r.modeled_cycles > 0
+    })?;
+    let parallel = rows
+        .iter()
+        .find(|r| r.mode == "taint-parallel" && r.shards == workers && r.modeled_cycles > 0)?;
+    Some(sequential.modeled_cycles as f64 / parallel.modeled_cycles as f64)
+}
+
 /// The sharded ratio: a live-parallel row's events/sec over the one-shard
 /// row of the same lifeguard, if both are present. On genuinely parallel
 /// hardware this is the scaling curve; on a 1-vCPU box it hovers near (or
@@ -467,6 +573,11 @@ pub fn render_pipeline(rows: &[PipelineRow]) -> String {
         } else if row.mode == "live-parallel" && row.shards > 1 {
             shard_speedup(rows, row.lifeguard, row.shards)
                 .map_or(String::new(), |s| format!("{s:.2}x vs 1 shard"))
+        } else if row.mode == "taint-parallel" {
+            epoch_speedup(rows, row.shards)
+                .map_or(String::new(), |s| format!("{s:.2}x vs sequential"))
+        } else if row.mode == "live-taint-parallel" {
+            String::new()
         } else if row.batched {
             speedup(rows, row.mode, row.lifeguard)
                 .map_or(String::new(), |s| format!("{s:.2}x vs per-record"))
@@ -502,8 +613,8 @@ pub fn pipeline_json(rows: &[PipelineRow]) -> String {
     for (i, row) in rows.iter().enumerate() {
         let sep = if i + 1 == rows.len() { "" } else { "," };
         out.push_str(&format!(
-            "    {{\"mode\": \"{}\", \"lifeguard\": \"{}\", \"benchmark\": \"{}\", \"batched\": {}, \"shards\": {}, \"window\": {}, \"records\": {}, \"wire_bits\": {}, \"wall_seconds\": {:.6}, \"events_per_sec\": {:.0}}}{sep}\n",
-            row.mode, row.lifeguard, row.benchmark, row.batched, row.shards, row.window, row.records, row.wire_bits, row.wall_seconds, row.events_per_sec,
+            "    {{\"mode\": \"{}\", \"lifeguard\": \"{}\", \"benchmark\": \"{}\", \"batched\": {}, \"shards\": {}, \"window\": {}, \"records\": {}, \"wire_bits\": {}, \"modeled_cycles\": {}, \"wall_seconds\": {:.6}, \"events_per_sec\": {:.0}}}{sep}\n",
+            row.mode, row.lifeguard, row.benchmark, row.batched, row.shards, row.window, row.records, row.wire_bits, row.modeled_cycles, row.wall_seconds, row.events_per_sec,
         ));
     }
     out.push_str("  ]\n}\n");
@@ -590,6 +701,7 @@ pub fn validate_trajectory(json: &str) -> Result<(), String> {
         "\"window\":",
         "\"records\":",
         "\"wire_bits\":",
+        "\"modeled_cycles\":",
         "\"events_per_sec\":",
     ] {
         let count = json.matches(key).count();
@@ -598,10 +710,18 @@ pub fn validate_trajectory(json: &str) -> Result<(), String> {
         }
     }
 
-    // The six series: isolated consumption, modeled, live, live-parallel,
-    // offline replay, and the filtered (windowed) cells riding the
-    // lba/live modes.
-    for mode in ["consume", "lba", "live", "live-parallel", "replay"] {
+    // The series: isolated consumption, modeled, live, live-parallel,
+    // the epoch-parallel TaintCheck pair, offline replay, and the
+    // filtered (windowed) cells riding the lba/live modes.
+    for mode in [
+        "consume",
+        "lba",
+        "live",
+        "live-parallel",
+        "taint-parallel",
+        "live-taint-parallel",
+        "replay",
+    ] {
         if !json.contains(&format!("\"mode\": \"{mode}\"")) {
             return Err(format!("missing series {mode}"));
         }
@@ -632,6 +752,52 @@ pub fn validate_trajectory(json: &str) -> Result<(), String> {
     }
     if json.contains("\"mode\": \"live-parallel\", \"lifeguard\": \"taintcheck\"") {
         return Err("TaintCheck must stay out of the sharded series".into());
+    }
+
+    // …the epoch-parallel series covers both execution models at every
+    // worker count (workers ride the shards column)…
+    for mode in ["taint-parallel", "live-taint-parallel"] {
+        for workers in EPOCH_WORKER_COUNTS {
+            let row = format!(
+                "\"mode\": \"{mode}\", \"lifeguard\": \"taintcheck\", \
+                 \"benchmark\": \"gzip\", \"batched\": true, \"shards\": {workers}"
+            );
+            if !json.contains(&row) {
+                return Err(format!("missing {mode} at {workers} workers"));
+            }
+        }
+    }
+    // …and the 4-worker modeled row delivers the speedup the epoch mode
+    // exists for: at least EPOCH_SPEEDUP_FLOOR fewer modeled cycles than
+    // the sequential TaintCheck co-simulation.
+    let sequential_row = json
+        .lines()
+        .find(|l| {
+            l.contains(
+                "\"mode\": \"lba\", \"lifeguard\": \"taintcheck\", \"benchmark\": \"gzip\", \
+                 \"batched\": true, \"shards\": 1, \"window\": 0,",
+            )
+        })
+        .ok_or("missing sequential lba/taintcheck row")?;
+    let parallel_row = json
+        .lines()
+        .find(|l| {
+            l.contains("\"mode\": \"taint-parallel\", \"lifeguard\": \"taintcheck\"")
+                && l.contains("\"shards\": 4,")
+        })
+        .ok_or("missing taint-parallel row at 4 workers")?;
+    let sequential_cycles = row_u64(sequential_row, "modeled_cycles")?;
+    let parallel_cycles = row_u64(parallel_row, "modeled_cycles")?;
+    if parallel_cycles == 0 {
+        return Err("taint-parallel row carries no modeled cycles".into());
+    }
+    let speedup = sequential_cycles as f64 / parallel_cycles as f64;
+    if speedup < EPOCH_SPEEDUP_FLOOR {
+        return Err(format!(
+            "epoch-parallel TaintCheck at 4 workers must be >= {EPOCH_SPEEDUP_FLOOR}x the \
+             sequential modeled cycles, got {speedup:.2}x \
+             ({sequential_cycles} vs {parallel_cycles})"
+        ));
     }
 
     // …and the filtered-vs-unfiltered series covers every lifeguard whose
@@ -694,6 +860,7 @@ mod tests {
             wire_bits: 800,
             wall_seconds: 10.0 / events_per_sec,
             events_per_sec,
+            modeled_cycles: 0,
         }
     }
 
@@ -740,6 +907,28 @@ mod tests {
         assert!(table.contains("3.00x vs unfiltered"));
         // The batched-vs-per-record speedup must ignore windowed rows.
         assert_eq!(speedup(&rows, "lba", "addrcheck"), None);
+    }
+
+    #[test]
+    fn epoch_speedup_compares_modeled_cycles_against_sequential() {
+        let mut sequential = row("lba", true, 1, 10.0);
+        sequential.lifeguard = "taintcheck";
+        sequential.modeled_cycles = 3000;
+        let mut two = row("taint-parallel", true, 2, 10.0);
+        two.lifeguard = "taintcheck";
+        two.modeled_cycles = 2000;
+        let mut four = row("taint-parallel", true, 4, 10.0);
+        four.lifeguard = "taintcheck";
+        four.modeled_cycles = 1500;
+        let rows = vec![sequential, two, four];
+        assert_eq!(epoch_speedup(&rows, 2), Some(1.5));
+        assert_eq!(epoch_speedup(&rows, 4), Some(2.0));
+        assert_eq!(epoch_speedup(&rows, 8), None, "unmeasured worker count");
+        let table = render_pipeline(&rows);
+        assert!(table.contains("2.00x vs sequential"), "got:\n{table}");
+        // The json round-trips the modeled cycles for the gate to read.
+        let json = pipeline_json(&rows);
+        assert!(json.contains("\"modeled_cycles\": 1500"));
     }
 
     #[test]

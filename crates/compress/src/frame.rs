@@ -46,6 +46,12 @@ pub const FRAME_LINE_BYTES: usize = 64;
 /// Bytes of frame header (record count + payload length, both `u32` LE).
 pub const FRAME_HEADER_BYTES: usize = 8;
 
+/// Top bit of the header's record-count word: set when this frame closes
+/// an *epoch* (the unit the epoch-parallel lifeguard modes stitch in
+/// order). The record count occupies the low 31 bits, so the mark costs
+/// no wire bytes; introducing it bumped [`crate::CODEC_VERSION`].
+const EPOCH_END_MARK: u32 = 1 << 31;
+
 /// Configuration shared by [`FrameEncoder`] and [`FrameDecoder`].
 ///
 /// Both ends of a channel must agree on `compress`; `records_per_frame`
@@ -91,6 +97,10 @@ pub struct Frame {
     pub bytes: Vec<u8>,
     /// Payload bits before framing (excludes header and padding).
     pub payload_bits: u64,
+    /// Whether this frame closes an epoch (sealed via
+    /// [`FrameEncoder::push_epoch`] with `end_epoch`); carried on the
+    /// wire as the header's top record-count bit.
+    pub epoch_end: bool,
 }
 
 impl Frame {
@@ -98,6 +108,15 @@ impl Frame {
     #[must_use]
     pub fn wire_bits(&self) -> u64 {
         self.bytes.len() as u64 * 8
+    }
+
+    /// Reads the epoch-end mark straight from a frame's wire image,
+    /// without decoding the payload — the live receivers and offline
+    /// replay use this to reassemble epochs from marked frames.
+    #[must_use]
+    pub fn header_epoch_end(bytes: &[u8]) -> bool {
+        bytes.len() >= 4
+            && u32::from_le_bytes(bytes[0..4].try_into().expect("4 bytes")) & EPOCH_END_MARK != 0
     }
 
     /// Cache lines this frame occupies in transit.
@@ -263,18 +282,28 @@ impl FrameEncoder {
     /// Appends one record; returns the sealed frame when this record
     /// completes one.
     pub fn push(&mut self, record: &EventRecord) -> Option<Frame> {
+        self.push_epoch(record, false)
+    }
+
+    /// Appends one record; seals when the frame fills *or* when
+    /// `end_epoch` marks this record as the last of an epoch. An
+    /// epoch-closing seal carries the wire-level epoch-end mark, so
+    /// frames never straddle an epoch boundary and a consumer can
+    /// reassemble whole epochs from marked frames alone.
+    pub fn push_epoch(&mut self, record: &EventRecord, end_epoch: bool) -> Option<Frame> {
         if self.config.compress {
             self.compressor.encode(record, &mut self.writer);
         } else {
             self.raw.extend_from_slice(&record.encode_raw());
         }
         self.pending += 1;
-        (self.pending as usize >= self.config.records_per_frame).then(|| self.seal())
+        (end_epoch || self.pending as usize >= self.config.records_per_frame)
+            .then(|| self.seal(end_epoch))
     }
 
     /// Seals the current partial frame, if any records are pending.
     pub fn flush(&mut self) -> Option<Frame> {
-        (self.pending > 0).then(|| self.seal())
+        (self.pending > 0).then(|| self.seal(false))
     }
 
     /// Records buffered in the open (unsealed) frame.
@@ -296,7 +325,7 @@ impl FrameEncoder {
         self.compressor.stats()
     }
 
-    fn seal(&mut self) -> Frame {
+    fn seal(&mut self, epoch_end: bool) -> Frame {
         let records = self.pending;
         self.pending = 0;
 
@@ -318,7 +347,8 @@ impl FrameEncoder {
         } else {
             payload_len as u64 * 8
         };
-        bytes[0..4].copy_from_slice(&records.to_le_bytes());
+        let header = records | if epoch_end { EPOCH_END_MARK } else { 0 };
+        bytes[0..4].copy_from_slice(&header.to_le_bytes());
         bytes[4..8].copy_from_slice(&(payload_len as u32).to_le_bytes());
         let padded = bytes.len().div_ceil(FRAME_LINE_BYTES) * FRAME_LINE_BYTES;
         bytes.resize(padded, 0);
@@ -328,6 +358,7 @@ impl FrameEncoder {
             records,
             bytes,
             payload_bits,
+            epoch_end,
         };
         self.stats.records += u64::from(records);
         self.stats.frames += 1;
@@ -380,7 +411,8 @@ impl FrameDecoder {
         if !bytes.len().is_multiple_of(FRAME_LINE_BYTES) {
             return Err(FrameDecodeError::Misaligned { len: bytes.len() });
         }
-        let records = u32::from_le_bytes(bytes[0..4].try_into().expect("4 bytes"));
+        let records =
+            u32::from_le_bytes(bytes[0..4].try_into().expect("4 bytes")) & !EPOCH_END_MARK;
         let payload_len = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes")) as usize;
         let need = FRAME_HEADER_BYTES + payload_len;
         if bytes.len() < need {
@@ -544,6 +576,44 @@ mod tests {
         let stats = enc.stats();
         assert_eq!(stats.frames, 1);
         assert_eq!(stats.wire_bits, FRAME_LINE_BYTES as u64 * 8);
+    }
+
+    #[test]
+    fn epoch_marks_ride_the_header_and_round_trip() {
+        let config = FrameConfig {
+            records_per_frame: 4,
+            compress: true,
+        };
+        let mut enc = FrameEncoder::new(config);
+        let records = stream(6); // 12 records
+        let mut frames = Vec::new();
+        for (i, rec) in records.iter().enumerate() {
+            // Epoch boundaries after records 2 and 9 (0-based): the first
+            // seals a short frame early, the second seals mid-stream after
+            // a full frame already sealed at record 6.
+            frames.extend(enc.push_epoch(rec, i == 2 || i == 9));
+        }
+        frames.extend(enc.flush());
+        let marks: Vec<bool> = frames.iter().map(|f| f.epoch_end).collect();
+        assert_eq!(marks, [true, false, true, false]);
+        assert_eq!(
+            frames.iter().map(|f| f.records).sum::<u32>() as usize,
+            records.len()
+        );
+        // The mark is readable straight off the wire image, and decoding
+        // masks it back out of the record count.
+        let mut dec = FrameDecoder::new(config);
+        let mut out = Vec::new();
+        for frame in &frames {
+            assert_eq!(Frame::header_epoch_end(&frame.bytes), frame.epoch_end);
+            let n = dec.decode_frame(&frame.bytes, &mut out).expect("decodes");
+            assert_eq!(n, frame.records);
+        }
+        assert_eq!(out, records);
+        assert!(
+            !Frame::header_epoch_end(&[0u8; 2]),
+            "short buffer is unmarked"
+        );
     }
 
     #[test]

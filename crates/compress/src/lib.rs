@@ -61,8 +61,10 @@ mod predictors;
 /// predictor rule changes (version 1 was the single-entry successor
 /// table; version 2 is the dedup-aware MRU successor stack with unary
 /// depth codes, the two-bit alternate fast path, and the simplified
-/// address escape).
-pub const CODEC_VERSION: u32 = 2;
+/// address escape; version 3 reserves the top bit of the frame header's
+/// record-count word as the epoch-end mark the epoch-parallel modes
+/// stitch by).
+pub const CODEC_VERSION: u32 = 3;
 
 pub use bits::{BitReader, BitWriter};
 pub use compressor::{CompressionStats, DecodeStreamError, LogCompressor, LogDecompressor};

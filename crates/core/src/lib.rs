@@ -48,6 +48,7 @@
 
 mod config;
 mod cosim;
+pub mod epoch_parallel;
 pub mod experiment;
 mod kind;
 mod live;
@@ -61,6 +62,10 @@ pub mod table;
 
 pub use config::{LogConfig, RecordConfig, SystemConfig, MAX_LIVE_CHANNEL_FRAMES};
 pub use cosim::run_lba;
+pub use epoch_parallel::{
+    run_epoch_parallel, run_live_epoch_parallel, run_live_taint_parallel, run_replay_epoch,
+    run_taint_parallel, EpochParallelReport, LiveEpochParallelReport,
+};
 pub use kind::LifeguardKind;
 pub use live::run_live;
 pub use live_parallel::run_live_parallel;

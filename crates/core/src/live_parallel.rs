@@ -23,7 +23,8 @@
 //!
 //! Like the modeled mode, TaintCheck is unsupported: its register state is
 //! a sequential dependence chain through every instruction, so address
-//! interleaving is unsound for it.
+//! interleaving is unsound for it — use the epoch-parallel mode
+//! ([`crate::run_live_taint_parallel`]) for taint on real threads.
 
 use std::thread;
 

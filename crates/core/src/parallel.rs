@@ -20,8 +20,9 @@
 //!
 //! TaintCheck is deliberately not supported: its register state forms a
 //! sequential dependence chain through every instruction, so address
-//! interleaving is unsound for it — the follow-up LBA literature
-//! parallelises it with very different techniques.
+//! interleaving is unsound for it. Its parallel mode is the epoch
+//! design instead — [`crate::run_taint_parallel`] cuts the stream into
+//! *time* slices and stitches symbolic per-epoch summaries in order.
 
 use std::collections::HashSet;
 

@@ -1,0 +1,83 @@
+//! Epoch-parallel lifeguard machinery: symbolic per-epoch summaries.
+//!
+//! Address-interleaved sharding (`shard_of`) is unsound for lifeguards
+//! whose state forms a sequential dependence chain through every record —
+//! TaintCheck's register taint is the canonical case. The follow-up LBA
+//! literature parallelises those by cutting the log into *epochs* at
+//! syscall/flush boundaries, having N workers compute a symbolic
+//! *transfer function* per epoch (out-state over unknown in-state, plus
+//! findings whose guards reference unknown inputs), and stitching the
+//! summaries sequentially on a merge thread — resolving each summary
+//! against the concrete in-state so the result is byte-identical to the
+//! sequential run.
+//!
+//! These traits are the generic half of that design; any order-sensitive
+//! lifeguard can opt in:
+//!
+//! * [`EpochSummary`] — the transfer function a worker emits per epoch;
+//! * [`EpochSummarizer`] — the worker-side lifeguard that computes
+//!   summaries instead of concrete state (it *is* a [`Lifeguard`], so the
+//!   unmodified dispatch engine drives it and charges the same handler
+//!   costs as the concrete lifeguard it mirrors);
+//! * [`EpochLifeguard`] — the concrete lifeguard that owns the master
+//!   state on the merge thread and absorbs summaries in epoch order.
+//!
+//! Soundness hinges on the summarizer expressing every out-value and
+//! every finding guard over *epoch-entry* state only; see the
+//! `lba-lifeguards` crate docs for TaintCheck's instantiation and the
+//! compose-then-concretize argument.
+
+use crate::cost::HandlerCtx;
+use crate::dispatch::Lifeguard;
+
+/// A symbolic transfer-function summary of one epoch: everything the
+/// merge thread needs to advance the master state across the epoch and
+/// reproduce its findings, expressed over the (unknown at summary time)
+/// epoch-entry state.
+pub trait EpochSummary: Send + 'static {
+    /// Records folded into this summary (per-epoch diagnostics).
+    fn records(&self) -> u64;
+}
+
+/// The worker-side half of an epoch-parallel lifeguard: consumes one
+/// epoch's records through the ordinary [`Lifeguard`] dispatch path —
+/// charging the same handler costs as the concrete lifeguard — while
+/// building a symbolic [`EpochSummary`] instead of concrete state.
+pub trait EpochSummarizer: Lifeguard + Send {
+    /// The summary this summarizer produces.
+    type Summary: EpochSummary;
+
+    /// Seals the current epoch: returns its summary and resets the
+    /// summarizer to the identity transfer function, ready for this
+    /// worker's next epoch.
+    fn finish_epoch(&mut self) -> Self::Summary;
+
+    /// Whether any records have been folded in since the last
+    /// [`finish_epoch`](Self::finish_epoch) — the tail of a stream ships
+    /// unmarked (plain flush), so the driver finalises a dangling open
+    /// epoch exactly when this is true.
+    fn is_open(&self) -> bool;
+}
+
+/// A lifeguard that supports epoch-parallel execution: it can spawn
+/// worker-side summarizers and absorb their summaries, in epoch order,
+/// into its own (master) state on the merge thread.
+pub trait EpochLifeguard: Lifeguard {
+    /// The worker-side summarizer type.
+    type Summarizer: EpochSummarizer;
+
+    /// A fresh summarizer with identity state, for one worker thread.
+    fn summarizer(&self) -> Self::Summarizer;
+
+    /// Absorbs one epoch's summary: resolves its symbolic out-state and
+    /// conditional findings against the master's concrete state (the
+    /// epoch-entry state, since summaries arrive in epoch order), applies
+    /// the writes, and reports the findings that fire — byte-identical,
+    /// by construction, to having run the epoch's records sequentially.
+    /// Stitch work is charged to `ctx` like any handler.
+    fn absorb(
+        &mut self,
+        summary: <Self::Summarizer as EpochSummarizer>::Summary,
+        ctx: &mut HandlerCtx<'_>,
+    );
+}

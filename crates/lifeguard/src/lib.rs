@@ -63,6 +63,7 @@
 
 mod cost;
 mod dispatch;
+mod epoch;
 mod filter;
 mod finding;
 pub mod history;
@@ -71,6 +72,7 @@ mod shadow;
 
 pub use cost::HandlerCtx;
 pub use dispatch::{DispatchConfig, DispatchEngine, Lifeguard};
+pub use epoch::{EpochLifeguard, EpochSummarizer, EpochSummary};
 pub use filter::AddrRangeFilter;
 pub use finding::{Finding, FindingKind};
 pub use idempotency::{

@@ -46,6 +46,12 @@ pub struct ShadowMemory<T> {
     dir: PageDirectory,
     /// Page arena; directory entries index into it and never move.
     pages: Vec<Box<[T]>>,
+    /// Page number of each arena slot (for [`pages`](Self::pages)).
+    numbers: Vec<u64>,
+    /// Non-default cell count per arena slot — the
+    /// [`range_any_nonzero`](Self::range_any_nonzero) fast path answers
+    /// full-page chunks from this counter without touching the page.
+    nonzero: Vec<u32>,
 }
 
 impl<T: Copy + Default + PartialEq> ShadowMemory<T> {
@@ -55,6 +61,8 @@ impl<T: Copy + Default + PartialEq> ShadowMemory<T> {
         ShadowMemory {
             dir: PageDirectory::new(),
             pages: Vec::new(),
+            numbers: Vec::new(),
+            nonzero: Vec::new(),
         }
     }
 
@@ -65,19 +73,21 @@ impl<T: Copy + Default + PartialEq> ShadowMemory<T> {
         Some(&self.pages[idx as usize])
     }
 
-    /// Like [`page_of`](Self::page_of), but creates the page when absent.
-    fn page_of_mut(&mut self, index: u64) -> &mut [T] {
+    /// The arena slot of the page holding `index`, created when absent.
+    fn slot_of_mut(&mut self, index: u64) -> usize {
         let idx = match self.dir.get(index >> PAGE_SHIFT) {
             Some(idx) => idx,
             None => {
                 let idx = u32::try_from(self.pages.len()).expect("fewer than 2^32 shadow pages");
                 self.pages
                     .push(vec![T::default(); PAGE_CELLS].into_boxed_slice());
+                self.numbers.push(index >> PAGE_SHIFT);
+                self.nonzero.push(0);
                 self.dir.insert(index >> PAGE_SHIFT, idx);
                 idx
             }
         };
-        &mut self.pages[idx as usize]
+        idx as usize
     }
 
     /// The shadow cell for granule `index`.
@@ -93,7 +103,12 @@ impl<T: Copy + Default + PartialEq> ShadowMemory<T> {
     /// Sets the shadow cell for granule `index`.
     #[inline]
     pub fn set(&mut self, index: u64, value: T) {
-        self.page_of_mut(index)[(index & PAGE_MASK) as usize] = value;
+        let slot = self.slot_of_mut(index);
+        let cell = &mut self.pages[slot][(index & PAGE_MASK) as usize];
+        let was = *cell != T::default();
+        let is = value != T::default();
+        *cell = value;
+        self.nonzero[slot] = self.nonzero[slot] - u32::from(was) + u32::from(is);
     }
 
     /// Sets `len` consecutive cells starting at `start`, page-at-a-time
@@ -109,13 +124,18 @@ impl<T: Copy + Default + PartialEq> ShadowMemory<T> {
         while remaining > 0 {
             let offset = (index & PAGE_MASK) as usize;
             let chunk = ((PAGE_CELLS - offset) as u64).min(remaining);
-            if is_default {
+            let slot = if is_default {
                 // Only touch pages that exist; absent pages stay absent.
-                if let Some(idx) = self.dir.get(index >> PAGE_SHIFT) {
-                    self.pages[idx as usize][offset..offset + chunk as usize].fill(value);
-                }
+                self.dir.get(index >> PAGE_SHIFT).map(|idx| idx as usize)
             } else {
-                self.page_of_mut(index)[offset..offset + chunk as usize].fill(value);
+                Some(self.slot_of_mut(index))
+            };
+            if let Some(slot) = slot {
+                let cells = &mut self.pages[slot][offset..offset + chunk as usize];
+                let was = cells.iter().filter(|cell| **cell != T::default()).count() as u32;
+                cells.fill(value);
+                let now = if is_default { 0 } else { chunk as u32 };
+                self.nonzero[slot] = self.nonzero[slot] - was + now;
             }
             index = index.wrapping_add(chunk);
             remaining -= chunk;
@@ -152,6 +172,53 @@ impl<T: Copy + Default + PartialEq> ShadowMemory<T> {
             remaining -= chunk;
         }
         true
+    }
+
+    /// Whether any of the `len` cells starting at `start` differs from
+    /// `T::default()` — the hot "any byte tainted?" probe, answered from
+    /// the per-page non-default counters instead of a byte scan: an
+    /// absent page or a zero-count page is skipped outright, a fully
+    /// covered page with a non-zero count answers `true` without touching
+    /// its cells, and only partially covered pages are actually scanned.
+    /// Equivalent to `!range_is(start, len, T::default())`, which stays
+    /// as the slice-compare baseline (see the transport bench's
+    /// `shadow_range` group for the contrast).
+    #[must_use]
+    pub fn range_any_nonzero(&self, start: u64, len: u64) -> bool {
+        let mut index = start;
+        let mut remaining = len;
+        while remaining > 0 {
+            let offset = (index & PAGE_MASK) as usize;
+            let chunk = ((PAGE_CELLS - offset) as u64).min(remaining);
+            if let Some(idx) = self.dir.get(index >> PAGE_SHIFT) {
+                let count = self.nonzero[idx as usize];
+                if count > 0 {
+                    if chunk == PAGE_CELLS as u64 {
+                        return true;
+                    }
+                    if self.pages[idx as usize][offset..offset + chunk as usize]
+                        .iter()
+                        .any(|cell| *cell != T::default())
+                    {
+                        return true;
+                    }
+                }
+            }
+            index = index.wrapping_add(chunk);
+            remaining -= chunk;
+        }
+        false
+    }
+
+    /// Iterates the resident pages as `(first granule index, cells)`
+    /// pairs, in allocation order (deterministic for a deterministic
+    /// write sequence). The epoch-parallel stitch walks a summary's
+    /// touched shadow ranges through this.
+    pub fn pages(&self) -> impl Iterator<Item = (u64, &[T])> + '_ {
+        self.numbers
+            .iter()
+            .zip(self.pages.iter())
+            .map(|(number, page)| (number << PAGE_SHIFT, &page[..]))
     }
 
     /// Number of resident shadow pages (memory-footprint introspection).
@@ -350,6 +417,69 @@ mod tests {
         assert!(s.range_is(start, 4, 1));
         s.set(start + 3, 2); // hole in the second page
         assert!(!s.range_is(start, 4, 1));
+    }
+
+    #[test]
+    fn range_any_nonzero_matches_range_is() {
+        let mut s: ShadowMemory<u8> = ShadowMemory::new();
+        assert!(!s.range_any_nonzero(0, 100 * PAGE_CELLS as u64));
+        s.set(3 * PAGE_CELLS as u64 + 7, 1);
+        // Probe windows around the single non-default cell, spanning
+        // absent pages, zero-count pages, and partial chunks.
+        for (start, len) in [
+            (0u64, 3 * PAGE_CELLS as u64),
+            (0, 4 * PAGE_CELLS as u64),
+            (3 * PAGE_CELLS as u64, 8),
+            (3 * PAGE_CELLS as u64 + 8, 100),
+            (3 * PAGE_CELLS as u64 + 6, 2),
+            (0, 100 * PAGE_CELLS as u64),
+        ] {
+            assert_eq!(
+                s.range_any_nonzero(start, len),
+                !s.range_is(start, len, 0),
+                "window {start}+{len}"
+            );
+        }
+        // Clearing through set_range keeps the counter honest.
+        s.set_range(3 * PAGE_CELLS as u64, PAGE_CELLS as u64, 0);
+        assert!(!s.range_any_nonzero(0, 100 * PAGE_CELLS as u64));
+        // A fully non-default page answers through the counter alone.
+        s.set_range(PAGE_CELLS as u64, PAGE_CELLS as u64, 2);
+        assert!(s.range_any_nonzero(PAGE_CELLS as u64, PAGE_CELLS as u64));
+        assert!(s.range_any_nonzero(0, 2 * PAGE_CELLS as u64));
+    }
+
+    #[test]
+    fn counters_survive_mixed_writes() {
+        let mut s: ShadowMemory<u8> = ShadowMemory::new();
+        s.set(10, 1);
+        s.set(10, 2); // non-default over non-default: count stays 1
+        s.set(11, 1);
+        s.set(10, 0); // back to default: count drops
+        assert!(s.range_any_nonzero(0, 16));
+        s.set(11, 0);
+        assert!(!s.range_any_nonzero(0, PAGE_CELLS as u64));
+        s.set_range(0, 8, 3);
+        s.set_range(4, 8, 3); // overlapping fill: counted once per cell
+        assert!(s.range_any_nonzero(0, 12));
+        s.set_range(0, 12, 0);
+        assert!(!s.range_any_nonzero(0, PAGE_CELLS as u64));
+    }
+
+    #[test]
+    fn pages_iterates_resident_pages_with_bases() {
+        let mut s: ShadowMemory<u8> = ShadowMemory::new();
+        s.set(5, 1);
+        s.set(3 * PAGE_CELLS as u64 + 9, 2);
+        let pages: Vec<(u64, Vec<u8>)> = s
+            .pages()
+            .map(|(base, cells)| (base, cells.to_vec()))
+            .collect();
+        assert_eq!(pages.len(), 2);
+        assert_eq!(pages[0].0, 0);
+        assert_eq!(pages[0].1[5], 1);
+        assert_eq!(pages[1].0, 3 * PAGE_CELLS as u64);
+        assert_eq!(pages[1].1[9], 2);
     }
 
     #[test]

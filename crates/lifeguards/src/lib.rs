@@ -41,7 +41,12 @@
 //! * [`TaintCheck`] — **opts out entirely.** Every access propagates
 //!   taint state, so no record is a pure re-check; the filter provably
 //!   never drops from its stream (mirroring its exclusion from
-//!   address-interleaved sharding).
+//!   address-interleaved sharding). Its parallelism story is *epoch
+//!   summaries* instead: [`taint_summary`] computes per-epoch symbolic
+//!   transfer functions over unknown epoch-entry state, which a merge
+//!   step resolves sequentially — byte-identical findings, summarize
+//!   work off the critical path (see the module's soundness argument
+//!   and `lba_core::run_taint_parallel`).
 //!
 //! # Examples
 //!
@@ -65,9 +70,11 @@
 mod addrcheck;
 mod lockset;
 mod memprofile;
+pub mod taint_summary;
 mod taintcheck;
 
 pub use addrcheck::AddrCheck;
 pub use lockset::{LockSet, LockSetConfig};
 pub use memprofile::{MemProfile, MemoryProfile};
+pub use taint_summary::{SymTaint, TaintDep, TaintSummarizer, TaintSummary};
 pub use taintcheck::TaintCheck;

@@ -1,0 +1,462 @@
+//! Symbolic taint transfer functions: the worker-side half of
+//! epoch-parallel TaintCheck.
+//!
+//! A [`TaintSummarizer`] consumes one epoch's records through the
+//! ordinary dispatch path and computes, instead of concrete taint, a
+//! *transfer function*: for every register it writes and every shadow
+//! byte it touches, an out-state expressed over the unknown epoch-entry
+//! state ([`SymTaint`]), plus the epoch's *conditional findings* —
+//! exploit reports whose guard references unknown inputs. The merge
+//! thread resolves everything against the concrete entry state
+//! (`TaintCheck::absorb` in `taintcheck.rs`), reproducing the sequential
+//! run's findings and state byte for byte.
+//!
+//! # Why a disjunction lattice suffices
+//!
+//! Taint propagation is monotone: every rule ORs source taints into the
+//! destination (`taint(out) = taint(in1) | taint(in2)`, loads OR the
+//! loaded bytes, stores copy the source register). There is no negation
+//! — an operation either *clears* (constant out-state) or *ORs
+//! unknowns*. Every symbolic value is therefore exactly a disjunction
+//! `definite ∨ dep₁ ∨ dep₂ ∨ …` over epoch-entry registers and
+//! epoch-entry shadow ranges, saturating to the constant *tainted* the
+//! moment any definite source joins. Composition (substituting one
+//! epoch's out-state into the next epoch's deps) and concretization
+//! (evaluating deps against concrete entry state) both distribute over
+//! the disjunction, which is the whole soundness argument:
+//! compose-then-concretize ≡ concretize-then-run ≡ sequential.
+//!
+//! The one construct that is *not* a disjunction — TaintCheck's syscall
+//! check reports the **first** tainted register of `r1..r3` — is kept
+//! conditional instead: the pending finding carries all three guards and
+//! the merge thread picks the first that fires, mirroring the
+//! sequential `(1..=3).find(..)` exactly.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use lba_lifeguard::{
+    EpochSummarizer, EpochSummary, FindingKind, HandlerCtx, IdempotencyClass, Lifeguard,
+    ShadowMemory,
+};
+use lba_record::{EventKind, EventMask, EventRecord};
+
+use crate::taintcheck::TaintCheck;
+
+/// One unknown the symbolic value may depend on: a register's or a
+/// shadow range's taint at epoch entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TaintDep {
+    /// Epoch-entry taint of `reg` on thread `tid`.
+    Reg {
+        /// Thread id.
+        tid: u8,
+        /// Register number (masked to the 16-register file).
+        reg: u8,
+    },
+    /// Epoch-entry taint of any byte in `[addr, addr + len)`.
+    Mem {
+        /// First application byte address.
+        addr: u64,
+        /// Bytes covered.
+        len: u64,
+    },
+}
+
+/// A symbolic taint value: `definite ∨ (deps[0] ∨ deps[1] ∨ …)` over
+/// epoch-entry state. `definite` saturates the disjunction (deps are
+/// dropped); an empty, non-definite value is *definitely clean*.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct SymTaint {
+    pub(crate) definite: bool,
+    pub(crate) deps: Vec<TaintDep>,
+}
+
+impl SymTaint {
+    /// The constant *clean* value.
+    #[must_use]
+    pub fn clean() -> Self {
+        SymTaint::default()
+    }
+
+    /// The constant *tainted* value.
+    #[must_use]
+    pub fn tainted() -> Self {
+        SymTaint {
+            definite: true,
+            deps: Vec::new(),
+        }
+    }
+
+    /// The identity value of one epoch-entry register.
+    #[must_use]
+    pub fn reg(tid: u8, reg: u8) -> Self {
+        SymTaint {
+            definite: false,
+            deps: vec![TaintDep::Reg {
+                tid,
+                reg: reg & 0xf,
+            }],
+        }
+    }
+
+    /// Whether this value is the constant *clean* (no report, no write
+    /// of taint can ever come from it).
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        !self.definite && self.deps.is_empty()
+    }
+
+    /// Whether this value is the constant *tainted*.
+    #[must_use]
+    pub fn is_definite(&self) -> bool {
+        self.definite
+    }
+
+    /// ORs `other` into `self`, saturating on definite taint.
+    pub fn or_with(&mut self, other: &SymTaint) {
+        if self.definite {
+            return;
+        }
+        if other.definite {
+            self.definite = true;
+            self.deps.clear();
+            return;
+        }
+        for dep in &other.deps {
+            if !self.deps.contains(dep) {
+                self.deps.push(*dep);
+            }
+        }
+    }
+}
+
+/// A finding whose guard references unknown epoch-entry state; the merge
+/// thread evaluates the guard(s) against the concrete entry state and
+/// reports through the master's dedup, in program order.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum PendingFinding {
+    /// An indirect control transfer through a possibly tainted register.
+    Jump {
+        /// Faulting pc.
+        pc: u64,
+        /// Thread id.
+        tid: u8,
+        /// Jump target (diagnostic).
+        addr: u64,
+        /// Taint of the jump-target register at this point.
+        guard: SymTaint,
+    },
+    /// A syscall with possibly tainted argument registers. The report
+    /// names the *first* tainted register of `r1..r3`, so all three
+    /// guards travel and the merge thread picks.
+    Syscall {
+        /// Faulting pc.
+        pc: u64,
+        /// Thread id.
+        tid: u8,
+        /// The record's addr field (diagnostic).
+        addr: u64,
+        /// Syscall number (diagnostic).
+        size: u32,
+        /// Taint of argument registers r1, r2, r3 at this point.
+        guards: [SymTaint; 3],
+    },
+}
+
+/// The symbolic transfer function of one epoch of TaintCheck's stream.
+#[derive(Debug)]
+pub struct TaintSummary {
+    /// Out-state of every register written this epoch (BTreeMap: the
+    /// stitch applies these in deterministic order). Registers absent
+    /// here pass through unchanged.
+    pub(crate) reg_out: BTreeMap<(u8, u8), SymTaint>,
+    /// Out-state of every shadow byte written this epoch, as interned
+    /// value ids: cell 0 = untouched (pass-through), id `n` = `values[n-1]`.
+    pub(crate) mem_out: ShadowMemory<u32>,
+    /// The interned symbolic values `mem_out` references.
+    pub(crate) values: Vec<SymTaint>,
+    /// Conditional findings, in program order.
+    pub(crate) findings: Vec<PendingFinding>,
+    /// Input bytes marked tainted this epoch (`recv`).
+    pub(crate) tainted_bytes: u64,
+    /// Records folded in (subscribed kinds).
+    pub(crate) records: u64,
+}
+
+impl EpochSummary for TaintSummary {
+    fn records(&self) -> u64 {
+        self.records
+    }
+}
+
+/// Worker-side TaintCheck: same subscriptions, same handler costs, but
+/// the state it builds is the symbolic [`TaintSummary`] of the records
+/// seen since the last [`finish_epoch`](EpochSummarizer::finish_epoch).
+#[derive(Debug, Default)]
+pub struct TaintSummarizer {
+    regs: BTreeMap<(u8, u8), SymTaint>,
+    mem: ShadowMemory<u32>,
+    values: Vec<SymTaint>,
+    /// Interning table over `values` (ids are index + 1).
+    interned: HashMap<SymTaint, u32>,
+    findings: Vec<PendingFinding>,
+    /// Exact-duplicate pending findings suppressed (same key, same
+    /// guards, same diagnostics: if the first fires the master dedups
+    /// the rest; if it doesn't, an identical guard doesn't either).
+    finding_seen: HashSet<PendingFinding>,
+    /// `(pc, kind, tid)` keys guaranteed to have fired already this
+    /// epoch (a definite guard): later pendings with the key are dead.
+    reported: HashSet<(u64, FindingKind, u8)>,
+    tainted_bytes: u64,
+    records: u64,
+}
+
+impl TaintSummarizer {
+    /// Creates a summarizer holding the identity transfer function.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current symbolic value of a register: its in-epoch write if
+    /// any, else the epoch-entry unknown.
+    fn reg_val(&self, tid: u8, reg: u8) -> SymTaint {
+        self.regs
+            .get(&(tid, reg & 0xf))
+            .cloned()
+            .unwrap_or_else(|| SymTaint::reg(tid, reg))
+    }
+
+    /// The merged symbolic taint of `len` shadow bytes at `addr`:
+    /// untouched runs become epoch-entry `Mem` deps (coalesced), touched
+    /// bytes OR their interned values in.
+    fn range_val(&self, addr: u64, len: u64) -> SymTaint {
+        let mut out = SymTaint::clean();
+        let mut untouched_run: Option<(u64, u64)> = None; // (start, len)
+        for i in 0..len {
+            let byte = addr.wrapping_add(i);
+            let id = self.mem.get(byte);
+            if id == 0 {
+                untouched_run = match untouched_run {
+                    Some((start, run)) => Some((start, run + 1)),
+                    None => Some((byte, 1)),
+                };
+            } else {
+                if let Some((start, run)) = untouched_run.take() {
+                    out.or_with(&SymTaint {
+                        definite: false,
+                        deps: vec![TaintDep::Mem {
+                            addr: start,
+                            len: run,
+                        }],
+                    });
+                }
+                out.or_with(&self.values[(id - 1) as usize]);
+                if out.definite {
+                    return out;
+                }
+            }
+        }
+        if let Some((start, run)) = untouched_run {
+            out.or_with(&SymTaint {
+                definite: false,
+                deps: vec![TaintDep::Mem {
+                    addr: start,
+                    len: run,
+                }],
+            });
+        }
+        out
+    }
+
+    /// Interns `value`, returning its id (index into `values` + 1).
+    fn intern(&mut self, value: SymTaint) -> u32 {
+        if let Some(&id) = self.interned.get(&value) {
+            return id;
+        }
+        self.values.push(value.clone());
+        let id = u32::try_from(self.values.len()).expect("fewer than 2^32 distinct values");
+        self.interned.insert(value, id);
+        id
+    }
+
+    fn pend(&mut self, key: (u64, FindingKind, u8), finding: PendingFinding, definite: bool) {
+        if self.reported.contains(&key) || !self.finding_seen.insert(finding.clone()) {
+            return;
+        }
+        if definite {
+            self.reported.insert(key);
+        }
+        self.findings.push(finding);
+    }
+}
+
+impl Lifeguard for TaintSummarizer {
+    fn name(&self) -> &'static str {
+        "taintcheck-summarizer"
+    }
+
+    fn subscriptions(&self) -> EventMask {
+        EventMask::of(&[
+            EventKind::Alu,
+            EventKind::Load,
+            EventKind::Store,
+            EventKind::Alloc,
+            EventKind::Recv,
+            EventKind::IndirectJump,
+            EventKind::Syscall,
+        ])
+    }
+
+    fn idempotency(&self) -> IdempotencyClass {
+        IdempotencyClass::None
+    }
+
+    /// Mirrors `TaintCheck::on_event` rule for rule — same `ctx` cost
+    /// charges, symbolic instead of concrete propagation.
+    fn on_event(&mut self, rec: &EventRecord, ctx: &mut HandlerCtx<'_>) {
+        self.records += 1;
+        match rec.kind {
+            EventKind::Alu => {
+                ctx.alu(3);
+                if let Some(out) = rec.out {
+                    let mut t = SymTaint::clean();
+                    if let Some(r) = rec.in1 {
+                        t.or_with(&self.reg_val(rec.tid, r));
+                    }
+                    if let Some(r) = rec.in2 {
+                        t.or_with(&self.reg_val(rec.tid, r));
+                    }
+                    self.regs.insert((rec.tid, out & 0xf), t);
+                }
+            }
+            EventKind::Load => {
+                ctx.alu(4);
+                ctx.shadow_read(TaintCheck::shadow_addr(rec.addr), rec.size);
+                if let Some(out) = rec.out {
+                    let t = self.range_val(rec.addr, u64::from(rec.size));
+                    self.regs.insert((rec.tid, out & 0xf), t);
+                }
+            }
+            EventKind::Store => {
+                ctx.alu(4);
+                ctx.shadow_write(TaintCheck::shadow_addr(rec.addr), rec.size);
+                let t = rec
+                    .in1
+                    .map_or_else(SymTaint::clean, |r| self.reg_val(rec.tid, r));
+                let id = self.intern(t);
+                self.mem.set_range(rec.addr, u64::from(rec.size), id);
+            }
+            EventKind::Alloc => {
+                ctx.alu(1);
+                if let Some(out) = rec.out {
+                    self.regs.insert((rec.tid, out & 0xf), SymTaint::clean());
+                }
+            }
+            EventKind::Recv => {
+                ctx.alu(2);
+                self.tainted_bytes += u64::from(rec.size);
+                let mut off = 0u64;
+                let len = u64::from(rec.size);
+                while off < len {
+                    let chunk = (len - off).min(8);
+                    ctx.shadow_write(TaintCheck::shadow_addr(rec.addr + off), chunk as u32);
+                    ctx.alu(1);
+                    off += chunk;
+                }
+                let id = self.intern(SymTaint::tainted());
+                self.mem.set_range(rec.addr, len, id);
+            }
+            EventKind::IndirectJump => {
+                ctx.alu(2);
+                let guard = rec
+                    .in1
+                    .map_or_else(SymTaint::clean, |r| self.reg_val(rec.tid, r));
+                if !guard.is_clean() {
+                    let definite = guard.is_definite();
+                    self.pend(
+                        (rec.pc, FindingKind::TaintedJump, rec.tid),
+                        PendingFinding::Jump {
+                            pc: rec.pc,
+                            tid: rec.tid,
+                            addr: rec.addr,
+                            guard,
+                        },
+                        definite,
+                    );
+                }
+            }
+            EventKind::Syscall => {
+                ctx.alu(3);
+                let guards = [
+                    self.reg_val(rec.tid, 1),
+                    self.reg_val(rec.tid, 2),
+                    self.reg_val(rec.tid, 3),
+                ];
+                if guards.iter().any(|g| !g.is_clean()) {
+                    let definite = guards.iter().any(SymTaint::is_definite);
+                    self.pend(
+                        (rec.pc, FindingKind::TaintedSyscallArg, rec.tid),
+                        PendingFinding::Syscall {
+                            pc: rec.pc,
+                            tid: rec.tid,
+                            addr: rec.addr,
+                            size: rec.size,
+                            guards,
+                        },
+                        definite,
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+impl EpochSummarizer for TaintSummarizer {
+    type Summary = TaintSummary;
+
+    fn finish_epoch(&mut self) -> TaintSummary {
+        self.interned.clear();
+        self.finding_seen.clear();
+        self.reported.clear();
+        TaintSummary {
+            reg_out: std::mem::take(&mut self.regs),
+            mem_out: std::mem::take(&mut self.mem),
+            values: std::mem::take(&mut self.values),
+            findings: std::mem::take(&mut self.findings),
+            tainted_bytes: std::mem::take(&mut self.tainted_bytes),
+            records: std::mem::take(&mut self.records),
+        }
+    }
+
+    fn is_open(&self) -> bool {
+        self.records > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sym_taint_saturates_and_dedups() {
+        let mut v = SymTaint::reg(0, 3);
+        v.or_with(&SymTaint::reg(0, 3));
+        assert_eq!(v.deps.len(), 1, "duplicate deps collapse");
+        v.or_with(&SymTaint::reg(1, 4));
+        assert_eq!(v.deps.len(), 2);
+        v.or_with(&SymTaint::tainted());
+        assert!(v.is_definite());
+        assert!(v.deps.is_empty(), "definite saturates the disjunction");
+        v.or_with(&SymTaint::reg(0, 5));
+        assert!(v.deps.is_empty(), "saturated values stay saturated");
+        assert!(SymTaint::clean().is_clean());
+        assert!(!SymTaint::reg(0, 1).is_clean());
+    }
+
+    #[test]
+    fn reg_mask_folds_into_the_16_register_file() {
+        assert_eq!(SymTaint::reg(0, 0x13), SymTaint::reg(0, 3));
+    }
+}

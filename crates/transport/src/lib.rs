@@ -43,7 +43,10 @@ pub mod live;
 mod model;
 pub mod sink;
 
-pub use channel::{shard_of, ChannelStats, LogChannel, PoppedFrame, PoppedRecord, PushOutcome};
+pub use channel::{
+    shard_of, ChannelStats, EpochRoute, EpochRouter, LogChannel, PoppedFrame, PoppedRecord,
+    PushOutcome,
+};
 pub use live::LiveFrameChannel;
 pub use model::{BufferFullError, LogBufferModel, ModeledFrameChannel, TimedFrame, TransportStats};
 pub use sink::{

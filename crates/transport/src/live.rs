@@ -279,6 +279,17 @@ impl FrameSender {
         }
     }
 
+    /// Like [`push`](Self::push), but seals and ships the open frame
+    /// immediately — with the epoch-end mark in its wire header — when
+    /// `end_epoch` is set, so frames never straddle epoch boundaries (see
+    /// [`EpochRouter`](crate::EpochRouter)). With `end_epoch` false this
+    /// is exactly `push`.
+    pub fn push_epoch(&mut self, record: &EventRecord, end_epoch: bool) {
+        if let Some(frame) = self.encoder.push_epoch(record, end_epoch) {
+            self.ship(frame);
+        }
+    }
+
     /// Hands a consumer-returned buffer to the encoder for the next frame.
     fn refill(&mut self) {
         if let Some(buf) = self.shared.pool.pop() {
@@ -346,6 +357,8 @@ pub struct FrameReceiver {
     /// buffer is reused across frames to avoid a per-frame allocation.
     pending: Vec<EventRecord>,
     cursor: usize,
+    /// Whether the most recently decoded frame carried the epoch-end mark.
+    frame_epoch_end: bool,
     shared: Arc<FrameShared>,
 }
 
@@ -393,6 +406,21 @@ impl FrameReceiver {
             self.ingest(bytes);
         }
         Some(self.serve_rest())
+    }
+
+    /// Like [`recv_batch`](Self::recv_batch), but also reports whether the
+    /// served frame carried the epoch-end mark — the consumer half of the
+    /// epoch-parallel transport (see [`EpochRouter`](crate::EpochRouter)
+    /// and [`FrameSender::push_epoch`]). Epoch workers drive this method
+    /// exclusively, so every call serves exactly one frame and the flag
+    /// describes that frame.
+    pub fn recv_batch_epoch(&mut self) -> Option<(&[EventRecord], bool)> {
+        if self.cursor >= self.pending.len() {
+            let bytes = self.recv_frame()?;
+            self.ingest(bytes);
+        }
+        let epoch_end = self.frame_epoch_end;
+        Some((self.serve_rest(), epoch_end))
     }
 
     /// Decodes a received frame buffer and returns it to the buffer pool.
@@ -456,6 +484,7 @@ impl FrameReceiver {
         // frame to make room while earlier records are still unread.
         self.pending.drain(..self.cursor);
         self.cursor = 0;
+        self.frame_epoch_end = Frame::header_epoch_end(bytes);
         self.decoder
             .decode_frame(bytes, &mut self.pending)
             .unwrap_or_else(|e| panic!("live frame failed to decode: {e}"));
@@ -512,6 +541,7 @@ pub fn frame_channel(capacity_frames: usize, config: FrameConfig) -> (FrameSende
             decoder: FrameDecoder::new(config),
             pending: Vec::new(),
             cursor: 0,
+            frame_epoch_end: false,
             shared,
         },
     )
@@ -650,9 +680,11 @@ impl LogChannel for LiveFrameChannel {
             rx.shared.account_pop(&bytes);
             rx.ingest(bytes);
         }
+        let epoch_end = rx.frame_epoch_end;
         Some(PoppedFrame {
             records: rx.serve_rest(),
             ready_at: 0,
+            epoch_end,
         })
     }
 
@@ -858,6 +890,39 @@ mod tests {
         tx.push(&rec(0x3000));
         tx.flush();
         assert_eq!(tx.stats(), queued);
+    }
+
+    #[test]
+    fn epoch_marks_cross_the_live_channel() {
+        let (mut tx, mut rx) = frame_channel(
+            8,
+            FrameConfig {
+                records_per_frame: 4,
+                compress: true,
+            },
+        );
+        let writer = thread::spawn(move || {
+            for i in 0..20u64 {
+                // Epochs of 7: boundaries after records 6 and 13; the tail
+                // (14..20) ships unmarked via the flush-on-drop.
+                tx.push_epoch(&rec(0x1000 + i * 8), i % 7 == 6);
+            }
+        });
+        let mut epochs = Vec::new();
+        let mut current = 0u64;
+        while let Some((records, epoch_end)) = rx.recv_batch_epoch() {
+            current += records.len() as u64;
+            if epoch_end {
+                epochs.push(current);
+                current = 0;
+            }
+        }
+        if current > 0 {
+            epochs.push(current); // the unmarked tail epoch
+        }
+        writer.join().unwrap();
+        assert_eq!(epochs, [7, 7, 6]);
+        assert_eq!(rx.stats().records, 20);
     }
 
     #[test]

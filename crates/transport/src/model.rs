@@ -215,6 +215,8 @@ pub struct ModeledFrameChannel {
     /// Records of the frame currently being consumed.
     open: VecDeque<EventRecord>,
     open_ready_at: u64,
+    /// Whether the open frame carried the epoch-end mark.
+    open_epoch_end: bool,
     /// Wire bits of the open frame: its buffer space stays occupied until
     /// the consumer takes its last record (the dispatch engine reads the
     /// frame's lines out of the buffer as it processes them).
@@ -283,6 +285,7 @@ impl ModeledFrameChannel {
             parked: VecDeque::new(),
             open: VecDeque::new(),
             open_ready_at: 0,
+            open_epoch_end: false,
             open_held_bits: 0,
             originals: VecDeque::new(),
             verify,
@@ -402,6 +405,37 @@ impl ModeledFrameChannel {
         }
     }
 
+    /// Like [`push_record`](LogChannel::push_record), but seals the open
+    /// frame immediately — with the epoch-end mark in its wire header —
+    /// when `end_epoch` is set, so frames never straddle epoch boundaries
+    /// (see [`EpochRouter`](crate::EpochRouter)). With `end_epoch` false
+    /// this is exactly `push_record`.
+    pub fn push_record_epoch(
+        &mut self,
+        record: &EventRecord,
+        now: u64,
+        end_epoch: bool,
+    ) -> PushOutcome {
+        if self.verify && !self.zero_copy {
+            self.originals.push_back(*record);
+        }
+        if self.zero_copy {
+            self.staging.push(*record);
+        }
+        match self.encoder.push_epoch(record, end_epoch) {
+            Some(frame) => {
+                self.seal_staging();
+                self.tee.mirror(&SealedFrame {
+                    bytes: &frame.bytes,
+                    records: frame.records,
+                    sealed_at: now,
+                });
+                self.admit_or_park(frame, now)
+            }
+            None => PushOutcome::Buffered,
+        }
+    }
+
     fn admit_or_park(&mut self, frame: Frame, now: u64) -> PushOutcome {
         let wire_bits = frame.wire_bits();
         if !self.parked.is_empty() {
@@ -425,24 +459,7 @@ impl ModeledFrameChannel {
 
 impl LogChannel for ModeledFrameChannel {
     fn push_record(&mut self, record: &EventRecord, now: u64) -> PushOutcome {
-        if self.verify && !self.zero_copy {
-            self.originals.push_back(*record);
-        }
-        if self.zero_copy {
-            self.staging.push(*record);
-        }
-        match self.encoder.push(record) {
-            Some(frame) => {
-                self.seal_staging();
-                self.tee.mirror(&SealedFrame {
-                    bytes: &frame.bytes,
-                    records: frame.records,
-                    sealed_at: now,
-                });
-                self.admit_or_park(frame, now)
-            }
-            None => PushOutcome::Buffered,
-        }
+        self.push_record_epoch(record, now, false)
     }
 
     fn flush(&mut self, now: u64) -> PushOutcome {
@@ -474,6 +491,7 @@ impl LogChannel for ModeledFrameChannel {
             }
             let frame = self.buffer.pop()?;
             self.open_held_bits = frame.wire_bits();
+            self.open_epoch_end = Frame::header_epoch_end(&frame.bytes);
             let records = self.take_frame_records(&frame);
             self.open.extend(records.iter().copied());
             self.recycle(records);
@@ -491,18 +509,21 @@ impl LogChannel for ModeledFrameChannel {
             return Some(PoppedFrame {
                 records: &self.batch,
                 ready_at: self.open_ready_at,
+                epoch_end: self.open_epoch_end,
             });
         }
         let frame = self.buffer.pop()?;
         // The whole frame is consumed in one step, so its lines free now —
         // the same release point the per-record path reaches when the
         // frame's last record is popped.
+        let epoch_end = Frame::header_epoch_end(&frame.bytes);
         let records = self.take_frame_records(&frame);
         let spent = std::mem::replace(&mut self.batch, records);
         self.recycle(spent);
         Some(PoppedFrame {
             records: &self.batch,
             ready_at: frame.ready_at,
+            epoch_end,
         })
     }
 
@@ -734,6 +755,34 @@ mod tests {
         #[should_panic(expected = "cannot hold a single")]
         fn sub_line_budget_rejected() {
             let _ = ModeledFrameChannel::new(1, config(4), false);
+        }
+
+        #[test]
+        fn epoch_marks_survive_the_modeled_channel() {
+            // Boundary after records 2 and 6; frames of 3 records, so the
+            // epoch seals cut frames early and the marks must pop back out.
+            for zero_copy in [false, true] {
+                let mut ch = if zero_copy {
+                    ModeledFrameChannel::zero_copy(1 << 16, config(3), true)
+                } else {
+                    ModeledFrameChannel::new(1 << 16, config(3), true)
+                };
+                for i in 0..10 {
+                    let end = i == 2 || i == 6;
+                    ch.push_record_epoch(&rec(i), i, end);
+                }
+                ch.flush(20);
+                let mut marks = Vec::new();
+                let mut total = 0;
+                while let Some(frame) = ch.pop_frame() {
+                    total += frame.records.len();
+                    marks.push(frame.epoch_end);
+                }
+                assert_eq!(total, 10);
+                // Frames: [0,1,2]*, [3,4,5], [6]*, [7,8,9] (capacity seal,
+                // unmarked).
+                assert_eq!(marks, [true, false, true, false]);
+            }
         }
     }
 }

@@ -33,9 +33,15 @@
 //!  │  shard_of ─────┼─▶ hierarchy (lba-transport,│  capture-dedup │
 //!  │  fan-out: one  │   modelled or live SPSC;   │  soundness     │
 //!  │  stream/shard  │   sharded: N streams, one  │  contract via  │
-//!  │  lba-cache     │   predictor bank + decoder │  idempotency())│
-//!  │  lba-mem       │   thread per shard)        │                │
-//!  └────────────────┘          │ tee             └────────────────┘
+//!  │  EpochRouter ──┼─▶ predictor bank + decoder │  idempotency())│
+//!  │  whole-epoch   │   thread per shard; epoch  │                │
+//!  │  fan-out (DIFT)│   boundaries ride a frame- ┼─▶ epoch merge: │
+//!  │       │        │   header mark, so whole    │  stitch sym-   │
+//!  │  lba-cache     │   epochs land per worker   │  bolic taint   │
+//!  │  lba-mem       │   and never straddle)      │  summaries in  │
+//!  └────────────────┘          │ tee             │  global epoch  │
+//!                              │                 │  order         │
+//!                              │                 └────────────────┘
 //!                              ▼ (FrameSink)
 //!                 ┌─────────────────────────────┐
 //!                 │  flight recorder (lbas/1):  │
@@ -68,9 +74,9 @@
 //! | `lba-cache`      | set-associative caches and the two-core memory system |
 //! | `lba-record`     | the typed event-record vocabulary the log carries (incl. `Repeat` fold summaries) + the segmented `lbas/1` flight-recorder stream format (rotation, retention, End records) |
 //! | `lba-compress`   | value-prediction log compression + chunked frame codec (< 1 byte/instr on the wire), `CODEC_VERSION` stamped into recordings |
-//! | `lba-transport`  | `LogChannel` trait: framed buffer timing model + live cross-thread frame channel, frame-granular `pop_frame`, `shard_of` routing and per-shard channel fan-out; `FrameSink`/`FrameSource` seam with tee mirroring into recordings |
-//! | `lba-lifeguard`  | dispatch engine (batch + per-record), capture filters (`AddrRangeFilter` + per-contract idempotency window in one `CaptureFilter` pass), findings, flat paged shadow memory |
-//! | `lba-lifeguards` | the paper's four lifeguards                           |
+//! | `lba-transport`  | `LogChannel` trait: framed buffer timing model + live cross-thread frame channel, frame-granular `pop_frame`, `shard_of` routing and per-shard channel fan-out, `EpochRouter` time-slicing with epoch-end marks in the frame header; `FrameSink`/`FrameSource` seam with tee mirroring into recordings |
+//! | `lba-lifeguard`  | dispatch engine (batch + per-record), capture filters (`AddrRangeFilter` + per-contract idempotency window in one `CaptureFilter` pass), findings, flat paged shadow memory, the `EpochSummary`/`EpochSummarizer`/`EpochLifeguard` trait triple behind the epoch-parallel modes |
+//! | `lba-lifeguards` | the paper's four lifeguards + `TaintCheck`'s symbolic epoch summaries (`taint_summary`) |
 //! | `lba-dbi`        | Valgrind-style inline instrumentation baseline        |
 //! | `lba-workloads`  | deterministic benchmark programs                      |
 //! | `lba-core`       | ties it together: run modes, experiments, reports     |
@@ -89,13 +95,23 @@
 //!   route to the shard owning their cache line, every shard is its own
 //!   compressed frame stream with its own predictor bank, and N consumer
 //!   threads decode and dispatch concurrently;
+//! * [`run_taint_parallel`] / [`run_epoch_parallel`] — the epoch-parallel
+//!   mode for *order-sensitive* lifeguards that sharding cannot split:
+//!   the stream is cut into whole epochs at syscall boundaries, workers
+//!   compute symbolic transfer-function summaries in parallel, and a
+//!   merge core stitches them in order — findings byte-identical to the
+//!   sequential run ([`run_live_taint_parallel`] runs it on real
+//!   threads);
 //! * [`run_dbi`] — the comparison point: the lifeguard inlined via dynamic
 //!   binary instrumentation on the application core;
 //! * [`run_replay`] — offline replay: any of the modes above records its
 //!   sealed wire frames to a segmented on-disk stream
 //!   ([`LogConfig::record_to`]), and replay re-decodes the recording
 //!   through any lifeguard — findings and wire-bit accounting
-//!   byte-identical to the original run, no re-simulation.
+//!   byte-identical to the original run, no re-simulation
+//!   ([`run_replay_epoch`] replays an epoch recording through the
+//!   summarize-then-stitch pipeline, epochs rebuilt from the frame
+//!   marks).
 //!
 //! The [`experiment`] module regenerates every table and figure in the paper
 //! (`cargo run --release -p lba-bench --bin figures`), and the [`parallel`]
@@ -123,12 +139,16 @@
 //! ```
 
 pub use lba_core::{
-    experiment, live_parallel, parallel, replay, report, table, CaptureFilter, CaptureStats,
-    ChannelStats, IdempotencyClass, LifeguardKind, LiveParallelReport, LiveReport, LogConfig,
-    LogStats, Mode, RecordConfig, ReplayError, ReplayReport, ReplayStreamStats, RunError,
-    RunReport, StallBreakdown, SystemConfig, WindowSpec,
+    epoch_parallel, experiment, live_parallel, parallel, replay, report, table, CaptureFilter,
+    CaptureStats, ChannelStats, EpochParallelReport, IdempotencyClass, LifeguardKind,
+    LiveEpochParallelReport, LiveParallelReport, LiveReport, LogConfig, LogStats, Mode,
+    RecordConfig, ReplayError, ReplayReport, ReplayStreamStats, RunError, RunReport,
+    StallBreakdown, SystemConfig, WindowSpec,
 };
-pub use lba_core::{run_dbi, run_lba, run_live, run_live_parallel, run_replay, run_unmonitored};
+pub use lba_core::{
+    run_dbi, run_epoch_parallel, run_lba, run_live, run_live_epoch_parallel, run_live_parallel,
+    run_live_taint_parallel, run_replay, run_replay_epoch, run_taint_parallel, run_unmonitored,
+};
 
 #[cfg(test)]
 mod facade_smoke {
@@ -155,6 +175,12 @@ mod facade_smoke {
         )
         .expect("parallel run completes");
         assert_eq!(sharded.shards, 2);
+
+        let epoch = crate::run_taint_parallel(&program, 2, &config).expect("epoch run completes");
+        assert_eq!(epoch.workers, 2);
+        let live_epoch: crate::LiveEpochParallelReport =
+            crate::run_live_taint_parallel(&program, 2, &config).expect("live epoch completes");
+        assert_eq!(live_epoch.findings, epoch.findings);
 
         let live_sharded = crate::run_live_parallel(
             &program,
