@@ -20,10 +20,12 @@
 //! without regenerating the trajectory.
 
 use lba::experiment;
-use lba::{run_lba, run_replay, LifeguardKind, RecordConfig, SystemConfig};
+use lba::{
+    run_lba, run_replay, run_replay_with, LifeguardKind, RecordConfig, ReplayMode, SystemConfig,
+};
 use lba_bench as render;
 use lba_bench::pipeline;
-use lba_workloads::bugs;
+use lba_workloads::{bugs, Benchmark};
 
 /// The committed trajectory and its CI smoke sibling, anchored to the
 /// workspace root regardless of the invocation directory.
@@ -76,10 +78,84 @@ fn record_replay_smoke() -> Result<(), String> {
     Ok(())
 }
 
+/// The `--bench-smoke` fault-injection gate: under the same injected
+/// slow-drain the degraded trajectory rows are measured with, the
+/// adaptive controller must engage, the degraded findings must equal the
+/// undegraded run's byte for byte, a recording made while degraded must
+/// carry its spans into replay, and a torn recording tail must salvage
+/// under `ReplayMode::SalvagePrefix` where strict replay refuses.
+fn fault_injection_smoke() -> Result<(), String> {
+    let program = Benchmark::Gzip.build();
+    let kind = LifeguardKind::AddrCheck;
+    let mut lifeguard = kind.make_lba();
+    let clean = run_lba(&program, lifeguard.as_mut(), &SystemConfig::default())
+        .map_err(|e| format!("clean run: {e}"))?;
+
+    let dir = std::env::temp_dir().join(format!("lba-fault-smoke-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let mut config = pipeline::fault_config("lba", true);
+    config.log.record_to = Some(RecordConfig::new(&dir));
+    let mut lifeguard = kind.make_lba();
+    let degraded =
+        run_lba(&program, lifeguard.as_mut(), &config).map_err(|e| format!("degraded run: {e}"))?;
+    if degraded.degradation.is_empty() {
+        return Err("injected slow drain failed to engage the controller".into());
+    }
+    if degraded.findings != clean.findings {
+        return Err(format!(
+            "degraded findings diverge from the undegraded run \
+             ({} vs {} findings)",
+            degraded.findings.len(),
+            clean.findings.len()
+        ));
+    }
+
+    let replay =
+        run_replay(&dir, || kind.make_lba(), &config).map_err(|e| format!("replay: {e}"))?;
+    if replay.total_degraded_frames() == 0 {
+        return Err("degraded spans did not ride the flight-recorder stream".into());
+    }
+    if replay.findings != degraded.findings {
+        return Err("replay of the degraded recording diverges from the degraded run".into());
+    }
+
+    // Tear the newest segment's tail: strict replay must refuse, salvage
+    // must deliver the checksummed prefix and report the loss.
+    let mut segments: Vec<_> = std::fs::read_dir(&dir)
+        .map_err(|e| format!("{}: {e}", dir.display()))?
+        .map(|entry| entry.expect("readable dir entry").path())
+        .collect();
+    segments.sort();
+    let last = segments.last().ok_or("recording left no segments")?;
+    let bytes = std::fs::read(last).map_err(|e| format!("{}: {e}", last.display()))?;
+    std::fs::write(last, &bytes[..bytes.len() - 11]).map_err(|e| e.to_string())?;
+    if run_replay(&dir, || kind.make_lba(), &config).is_ok() {
+        return Err("strict replay accepted a torn recording".into());
+    }
+    let salvaged = run_replay_with(&dir, || kind.make_lba(), &config, ReplayMode::SalvagePrefix)
+        .map_err(|e| format!("salvage replay: {e}"))?;
+    if !salvaged.is_lossy() {
+        return Err("salvage replay of a torn recording reported no loss".into());
+    }
+    std::fs::remove_dir_all(&dir).ok();
+    println!(
+        "fault-injection smoke: controller engaged ({} records removed), findings \
+         identical, {} degraded frame(s) replayed, torn tail salvaged at frame {}",
+        degraded.degradation.removed(),
+        replay.total_degraded_frames(),
+        salvaged.salvaged[0].frames_salvaged,
+    );
+    Ok(())
+}
+
 /// The `--bench-smoke` mode; returns the process exit code.
 fn bench_smoke() -> i32 {
     if let Err(e) = record_replay_smoke() {
         eprintln!("flight-recorder smoke failed: {e}");
+        return 1;
+    }
+    if let Err(e) = fault_injection_smoke() {
+        eprintln!("fault-injection smoke failed: {e}");
         return 1;
     }
     let rows = pipeline::measure_pipeline(1);

@@ -17,7 +17,7 @@ use std::time::Instant;
 
 use lba::{
     run_lba, run_live, run_live_parallel, run_live_taint_parallel, run_replay, run_taint_parallel,
-    RecordConfig, SystemConfig,
+    AdaptiveConfig, FaultProfile, RecordConfig, SystemConfig,
 };
 use lba_cache::{MemSystem, MemSystemConfig};
 use lba_cpu::Machine;
@@ -117,6 +117,9 @@ pub struct PipelineRow {
     /// is made on this column — wall clock cannot show scaling on a
     /// 1-vCPU box, modeled cycles can.
     pub modeled_cycles: u64,
+    /// Fraction of captured events the adaptive controller sampled out
+    /// (the `*-degraded` series; 0 everywhere else).
+    pub sampled_out_fraction: f64,
 }
 
 /// Best-of-`n` wall time of `body` (the min estimator is robust to
@@ -165,6 +168,7 @@ pub fn measure_pipeline(samples: usize) -> Vec<PipelineRow> {
     rows.extend(measure_taint_parallel(samples));
     rows.extend(measure_idempotent(samples));
     rows.extend(measure_replay(samples));
+    rows.extend(measure_degraded(samples));
     rows
 }
 
@@ -206,6 +210,7 @@ pub fn measure_taint_parallel(samples: usize) -> Vec<PipelineRow> {
             wall_seconds: wall,
             events_per_sec: records as f64 / wall,
             modeled_cycles,
+            sampled_out_fraction: 0.0,
         });
     }
     for workers in EPOCH_WORKER_COUNTS {
@@ -225,6 +230,7 @@ pub fn measure_taint_parallel(samples: usize) -> Vec<PipelineRow> {
             wall_seconds: wall,
             events_per_sec: records as f64 / wall,
             modeled_cycles: 0,
+            sampled_out_fraction: 0.0,
         });
     }
     rows
@@ -271,10 +277,141 @@ pub fn measure_replay(samples: usize) -> Vec<PipelineRow> {
             wall_seconds: wall,
             events_per_sec: records as f64 / wall,
             modeled_cycles: 0,
+            sampled_out_fraction: 0.0,
         });
     }
     std::fs::remove_dir_all(&dir).ok();
     rows
+}
+
+/// The lifeguards whose declared `Lifeguard::degradation()` contract
+/// tolerates anything — derived from the contracts so the degraded
+/// series can never drift from them (today: AddrCheck, LockSet,
+/// MemProfile; TaintCheck declares `DegradationPolicy::none()` and
+/// stays out).
+#[must_use]
+pub fn degradable_lifeguards() -> Vec<(&'static str, LifeguardFactory)> {
+    lifeguards()
+        .into_iter()
+        .filter(|(_, make)| !make().degradation().is_none())
+        .collect()
+}
+
+/// The injected-fault configs the degraded series runs under, per mode.
+/// `adaptive` toggles the controller; the fault profile and buffer budget
+/// are identical either way, so the degraded row and its uncontrolled
+/// counterpart face the *same* load (the trajectory gate compares the
+/// two). The cosim flavour shrinks the modeled buffer so the slow-drain
+/// back-pressure genuinely climbs past the engage threshold; the live
+/// flavour drags the real consumer against a one-frame queue — the same
+/// shapes `tests/degradation.rs` pins as reliably engaging.
+#[must_use]
+pub fn fault_config(mode: &str, adaptive: bool) -> SystemConfig {
+    let mut config = SystemConfig::default();
+    if adaptive {
+        config.log.adaptive = Some(AdaptiveConfig {
+            engage_permille: 300,
+            disengage_permille: 100,
+            sample_stride: 16,
+            ..AdaptiveConfig::default()
+        });
+    }
+    if mode == "lba" {
+        config.log.fault = Some(FaultProfile::slow_drain(42));
+        config.log.buffer_bytes = 2 << 10;
+    } else {
+        config.log.fault = Some(FaultProfile {
+            drain_drag: 20_000,
+            ..FaultProfile::default()
+        });
+        config.log.buffer_bytes = 64;
+    }
+    config
+}
+
+/// The adaptive-degradation series: every contract-degradable lifeguard
+/// through both single-lifeguard modes under injected slow-drain, twice —
+/// once with the controller off (`*-faulted`: the uncontrolled baseline
+/// suffering the full load) and once with it on (`*-degraded`). The
+/// trajectory gate demands the degraded row move events at least as fast
+/// as its uncontrolled counterpart under the identical fault profile —
+/// degradation must buy throughput, not just bookkeep — and the
+/// `sampled_out_fraction` column records how much of the stream the
+/// controller thinned to do it.
+#[must_use]
+pub fn measure_degraded(samples: usize) -> Vec<PipelineRow> {
+    let program = Benchmark::Gzip.build();
+    let mut rows = Vec::new();
+    for (name, make) in degradable_lifeguards() {
+        for mode in ["lba", "live"] {
+            for adaptive in [false, true] {
+                let cfg = fault_config(mode, adaptive);
+                let mut captured = 0;
+                let mut sampled_out = 0;
+                let mut modeled_cycles = 0;
+                let (records, wire_bits, wall) = best_of(samples, || {
+                    let mut lg = make();
+                    let (log, degradation) = if mode == "lba" {
+                        let report = run_lba(&program, lg.as_mut(), &cfg).expect("gzip runs clean");
+                        modeled_cycles = report.total_cycles;
+                        (report.log, report.degradation)
+                    } else {
+                        let report =
+                            run_live(&program, lg.as_mut(), &cfg).expect("gzip runs clean");
+                        (report.log, report.degradation)
+                    };
+                    assert_eq!(
+                        degradation.is_empty(),
+                        !adaptive,
+                        "{mode}/{name}: the controller must engage exactly when configured"
+                    );
+                    captured = log.captured + degradation.removed();
+                    sampled_out = degradation.sampled_out;
+                    (log.records, log.wire_bits)
+                });
+                rows.push(PipelineRow {
+                    mode: if adaptive {
+                        if mode == "lba" {
+                            "lba-degraded"
+                        } else {
+                            "live-degraded"
+                        }
+                    } else if mode == "lba" {
+                        "lba-faulted"
+                    } else {
+                        "live-faulted"
+                    },
+                    lifeguard: name,
+                    benchmark: "gzip",
+                    batched: true,
+                    shards: 1,
+                    window: 0,
+                    records,
+                    wire_bits,
+                    wall_seconds: wall,
+                    events_per_sec: captured as f64 / wall,
+                    modeled_cycles,
+                    sampled_out_fraction: sampled_out as f64 / captured as f64,
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// The degradation payoff: a `{mode}-degraded` row's events/sec over the
+/// `{mode}-faulted` row of the same lifeguard — controller on vs off
+/// under the identical injected fault profile.
+#[must_use]
+pub fn degraded_speedup(rows: &[PipelineRow], mode: &str, lifeguard: &str) -> Option<f64> {
+    let find = |suffix: &str| {
+        let mode = format!("{mode}-{suffix}");
+        rows.iter()
+            .find(|r| r.mode == mode && r.lifeguard == lifeguard)
+    };
+    let degraded = find("degraded")?;
+    let faulted = find("faulted")?;
+    Some(degraded.events_per_sec / faulted.events_per_sec)
 }
 
 /// One `run_lba`/`run_live` cell. The events/sec numerator is *captured*
@@ -317,6 +454,7 @@ fn measure_mode(
         wall_seconds: wall,
         events_per_sec: captured as f64 / wall,
         modeled_cycles,
+        sampled_out_fraction: 0.0,
     }
 }
 
@@ -370,6 +508,7 @@ pub fn measure_live_parallel(samples: usize) -> Vec<PipelineRow> {
                 wall_seconds: wall,
                 events_per_sec: records as f64 / wall,
                 modeled_cycles: 0,
+                sampled_out_fraction: 0.0,
             });
         }
     }
@@ -473,6 +612,7 @@ pub fn measure_consume(samples: usize) -> Vec<PipelineRow> {
             wall_seconds: wall,
             events_per_sec: n as f64 / wall,
             modeled_cycles: 0,
+            sampled_out_fraction: 0.0,
         });
     }
     rows
@@ -578,6 +718,11 @@ pub fn render_pipeline(rows: &[PipelineRow]) -> String {
                 .map_or(String::new(), |s| format!("{s:.2}x vs sequential"))
         } else if row.mode == "live-taint-parallel" {
             String::new()
+        } else if let Some(base) = row.mode.strip_suffix("-degraded") {
+            degraded_speedup(rows, base, row.lifeguard)
+                .map_or(String::new(), |s| format!("{s:.2}x vs uncontrolled"))
+        } else if row.mode.ends_with("-faulted") {
+            String::new()
         } else if row.batched {
             speedup(rows, row.mode, row.lifeguard)
                 .map_or(String::new(), |s| format!("{s:.2}x vs per-record"))
@@ -613,8 +758,8 @@ pub fn pipeline_json(rows: &[PipelineRow]) -> String {
     for (i, row) in rows.iter().enumerate() {
         let sep = if i + 1 == rows.len() { "" } else { "," };
         out.push_str(&format!(
-            "    {{\"mode\": \"{}\", \"lifeguard\": \"{}\", \"benchmark\": \"{}\", \"batched\": {}, \"shards\": {}, \"window\": {}, \"records\": {}, \"wire_bits\": {}, \"modeled_cycles\": {}, \"wall_seconds\": {:.6}, \"events_per_sec\": {:.0}}}{sep}\n",
-            row.mode, row.lifeguard, row.benchmark, row.batched, row.shards, row.window, row.records, row.wire_bits, row.modeled_cycles, row.wall_seconds, row.events_per_sec,
+            "    {{\"mode\": \"{}\", \"lifeguard\": \"{}\", \"benchmark\": \"{}\", \"batched\": {}, \"shards\": {}, \"window\": {}, \"records\": {}, \"wire_bits\": {}, \"modeled_cycles\": {}, \"sampled_out_fraction\": {:.6}, \"wall_seconds\": {:.6}, \"events_per_sec\": {:.0}}}{sep}\n",
+            row.mode, row.lifeguard, row.benchmark, row.batched, row.shards, row.window, row.records, row.wire_bits, row.modeled_cycles, row.sampled_out_fraction, row.wall_seconds, row.events_per_sec,
         ));
     }
     out.push_str("  ]\n}\n");
@@ -634,6 +779,13 @@ fn row_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
 }
 
 fn row_u64(line: &str, key: &str) -> Result<u64, String> {
+    row_field(line, key)
+        .ok_or_else(|| format!("row missing {key}: {line}"))?
+        .parse()
+        .map_err(|e| format!("bad {key} in {line}: {e}"))
+}
+
+fn row_f64(line: &str, key: &str) -> Result<f64, String> {
     row_field(line, key)
         .ok_or_else(|| format!("row missing {key}: {line}"))?
         .parse()
@@ -702,6 +854,7 @@ pub fn validate_trajectory(json: &str) -> Result<(), String> {
         "\"records\":",
         "\"wire_bits\":",
         "\"modeled_cycles\":",
+        "\"sampled_out_fraction\":",
         "\"events_per_sec\":",
     ] {
         let count = json.matches(key).count();
@@ -711,8 +864,9 @@ pub fn validate_trajectory(json: &str) -> Result<(), String> {
     }
 
     // The series: isolated consumption, modeled, live, live-parallel,
-    // the epoch-parallel TaintCheck pair, offline replay, and the
-    // filtered (windowed) cells riding the lba/live modes.
+    // the epoch-parallel TaintCheck pair, offline replay, the adaptive-
+    // degradation pairs, and the filtered (windowed) cells riding the
+    // lba/live modes.
     for mode in [
         "consume",
         "lba",
@@ -721,6 +875,10 @@ pub fn validate_trajectory(json: &str) -> Result<(), String> {
         "taint-parallel",
         "live-taint-parallel",
         "replay",
+        "lba-faulted",
+        "lba-degraded",
+        "live-faulted",
+        "live-degraded",
     ] {
         if !json.contains(&format!("\"mode\": \"{mode}\"")) {
             return Err(format!("missing series {mode}"));
@@ -841,6 +999,85 @@ pub fn validate_trajectory(json: &str) -> Result<(), String> {
     if windowed_taint {
         return Err("TaintCheck declares IdempotencyClass::None; it has no filtered row".into());
     }
+
+    // …and the adaptive-degradation series covers every lifeguard whose
+    // degradation contract tolerates anything, through both
+    // single-lifeguard modes. The claim being gated: under the identical
+    // injected fault profile, the controller-on row relieves the choked
+    // channel instead of merely recording that it was choked. Three
+    // deterministic legs, one per axis the relief shows on:
+    //
+    // * every degraded row ships strictly fewer wire bits than its
+    //   uncontrolled counterpart — true even for LockSet's widen-only
+    //   contract, whose whole relief is the widened dedup window;
+    // * the cosim pair is judged on *modeled* cycles — the slow drain
+    //   there is modeled, so its cost is invisible to the host wall
+    //   clock (the same reason the epoch-parallel gate uses this
+    //   column), while the modeled producer stalls it causes are
+    //   exactly what shipping fewer bits relieves;
+    // * the live pairs whose contracts sample are judged on host
+    //   events/sec — the drag there burns real consumer time per frame,
+    //   so thinning the stream must buy real throughput.
+    let degraded_row = |mode: &str, suffix: &str, lifeguard: &str| -> Result<&str, String> {
+        let tag = format!("\"mode\": \"{mode}-{suffix}\", \"lifeguard\": \"{lifeguard}\"");
+        json.lines()
+            .find(|l| l.contains(&tag))
+            .ok_or_else(|| format!("missing {mode}-{suffix}/{lifeguard} row"))
+    };
+    for mode in ["lba", "live"] {
+        for lifeguard in ["addrcheck", "lockset", "memprofile"] {
+            let degraded = degraded_row(mode, "degraded", lifeguard)?;
+            let faulted = degraded_row(mode, "faulted", lifeguard)?;
+            let what = format!("{mode}/{lifeguard}");
+            if row_u64(degraded, "wire_bits")? >= row_u64(faulted, "wire_bits")? {
+                return Err(format!("{what}: degradation must relieve the wire"));
+            }
+            if row_f64(faulted, "sampled_out_fraction")? != 0.0 {
+                return Err(format!("{what}: no controller, nothing sampled out"));
+            }
+            let fraction = row_f64(degraded, "sampled_out_fraction")?;
+            // LockSet's contract declares no sampling (a sampled-out
+            // access could be a fresh word's first touch); the other two
+            // must actually thin the stream.
+            if lifeguard == "lockset" {
+                if fraction != 0.0 {
+                    return Err(format!("{what}: LockSet declares no sampling"));
+                }
+            } else if fraction <= 0.0 {
+                return Err(format!("{what}: sampling must bite, got {fraction}"));
+            }
+            if mode == "lba" {
+                let controlled = row_u64(degraded, "modeled_cycles")?;
+                let uncontrolled = row_u64(faulted, "modeled_cycles")?;
+                if controlled == 0 || uncontrolled == 0 {
+                    return Err(format!("{what}: cosim rows must carry modeled cycles"));
+                }
+                if controlled > uncontrolled {
+                    return Err(format!(
+                        "{what}: degraded capture must not cost modeled cycles under the \
+                         same injected load, got {controlled} vs {uncontrolled}"
+                    ));
+                }
+            } else if fraction > 0.0 {
+                let controlled = row_f64(degraded, "events_per_sec")?;
+                let uncontrolled = row_f64(faulted, "events_per_sec")?;
+                if controlled < uncontrolled {
+                    return Err(format!(
+                        "{what}: degraded capture must beat the uncontrolled run under \
+                         the same injected load, got {controlled:.0} vs {uncontrolled:.0} \
+                         events/sec"
+                    ));
+                }
+            }
+        }
+    }
+    for suffix in ["degraded", "faulted"] {
+        if json.contains(&format!("-{suffix}\", \"lifeguard\": \"taintcheck\"")) {
+            return Err(
+                "TaintCheck declares DegradationPolicy::none(); it has no degraded row".into(),
+            );
+        }
+    }
     Ok(())
 }
 
@@ -861,6 +1098,7 @@ mod tests {
             wall_seconds: 10.0 / events_per_sec,
             events_per_sec,
             modeled_cycles: 0,
+            sampled_out_fraction: 0.0,
         }
     }
 

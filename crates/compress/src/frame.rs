@@ -52,6 +52,18 @@ pub const FRAME_HEADER_BYTES: usize = 8;
 /// no wire bytes; introducing it bumped [`crate::CODEC_VERSION`].
 const EPOCH_END_MARK: u32 = 1 << 31;
 
+/// Second-from-top bit of the header's record-count word: set when this
+/// frame was sealed while the capture controller held degraded capture
+/// engaged. Degraded spans thereby ride the wire — and the flight
+/// recorder — frame-accurately (the controller seals the open frame at
+/// every engage/disengage transition), so offline replay can report them
+/// without any side channel. The record count keeps the low 30 bits;
+/// introducing this mark bumped [`crate::CODEC_VERSION`] to 4.
+const DEGRADED_MARK: u32 = 1 << 30;
+
+/// Bits of the header count word that carry marks, not record count.
+const HEADER_MARKS: u32 = EPOCH_END_MARK | DEGRADED_MARK;
+
 /// Configuration shared by [`FrameEncoder`] and [`FrameDecoder`].
 ///
 /// Both ends of a channel must agree on `compress`; `records_per_frame`
@@ -101,6 +113,10 @@ pub struct Frame {
     /// [`FrameEncoder::push_epoch`] with `end_epoch`); carried on the
     /// wire as the header's top record-count bit.
     pub epoch_end: bool,
+    /// Whether this frame was sealed while degraded capture was engaged
+    /// (see [`FrameEncoder::set_degraded`]); carried on the wire as the
+    /// header's second-from-top record-count bit.
+    pub degraded: bool,
 }
 
 impl Frame {
@@ -117,6 +133,15 @@ impl Frame {
     pub fn header_epoch_end(bytes: &[u8]) -> bool {
         bytes.len() >= 4
             && u32::from_le_bytes(bytes[0..4].try_into().expect("4 bytes")) & EPOCH_END_MARK != 0
+    }
+
+    /// Reads the degraded-capture mark straight from a frame's wire
+    /// image, without decoding the payload — offline replay uses this to
+    /// reconstruct degraded spans from the flight-recorder stream.
+    #[must_use]
+    pub fn header_degraded(bytes: &[u8]) -> bool {
+        bytes.len() >= 4
+            && u32::from_le_bytes(bytes[0..4].try_into().expect("4 bytes")) & DEGRADED_MARK != 0
     }
 
     /// Cache lines this frame occupies in transit.
@@ -231,6 +256,7 @@ pub struct FrameEncoder {
     writer: BitWriter,
     raw: Vec<u8>,
     pending: u32,
+    degraded: bool,
     stats: FrameStats,
     /// Spent wire buffer donated via [`recycle`](Self::recycle), reused by
     /// the next seal to avoid an allocation per frame.
@@ -255,6 +281,7 @@ impl FrameEncoder {
             writer: BitWriter::new(),
             raw: Vec::new(),
             pending: 0,
+            degraded: false,
             stats: FrameStats::default(),
             scratch: Vec::new(),
         };
@@ -312,6 +339,20 @@ impl FrameEncoder {
         self.pending as usize
     }
 
+    /// Marks frames sealed from now on as carrying degraded capture (the
+    /// wire-level [`Frame::header_degraded`] bit). Callers flush the open
+    /// frame *before* toggling, so the mark is frame-accurate: a frame is
+    /// marked iff every record in it was captured while degraded.
+    pub fn set_degraded(&mut self, on: bool) {
+        self.degraded = on;
+    }
+
+    /// Whether frames sealed now would carry the degraded mark.
+    #[must_use]
+    pub fn degraded(&self) -> bool {
+        self.degraded
+    }
+
     /// Statistics over sealed frames.
     #[must_use]
     pub fn stats(&self) -> FrameStats {
@@ -347,7 +388,9 @@ impl FrameEncoder {
         } else {
             payload_len as u64 * 8
         };
-        let header = records | if epoch_end { EPOCH_END_MARK } else { 0 };
+        let header = records
+            | if epoch_end { EPOCH_END_MARK } else { 0 }
+            | if self.degraded { DEGRADED_MARK } else { 0 };
         bytes[0..4].copy_from_slice(&header.to_le_bytes());
         bytes[4..8].copy_from_slice(&(payload_len as u32).to_le_bytes());
         let padded = bytes.len().div_ceil(FRAME_LINE_BYTES) * FRAME_LINE_BYTES;
@@ -359,6 +402,7 @@ impl FrameEncoder {
             bytes,
             payload_bits,
             epoch_end,
+            degraded: self.degraded,
         };
         self.stats.records += u64::from(records);
         self.stats.frames += 1;
@@ -411,8 +455,7 @@ impl FrameDecoder {
         if !bytes.len().is_multiple_of(FRAME_LINE_BYTES) {
             return Err(FrameDecodeError::Misaligned { len: bytes.len() });
         }
-        let records =
-            u32::from_le_bytes(bytes[0..4].try_into().expect("4 bytes")) & !EPOCH_END_MARK;
+        let records = u32::from_le_bytes(bytes[0..4].try_into().expect("4 bytes")) & !HEADER_MARKS;
         let payload_len = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes")) as usize;
         let need = FRAME_HEADER_BYTES + payload_len;
         if bytes.len() < need {
@@ -614,6 +657,40 @@ mod tests {
             !Frame::header_epoch_end(&[0u8; 2]),
             "short buffer is unmarked"
         );
+    }
+
+    #[test]
+    fn degraded_marks_ride_the_header_and_round_trip() {
+        let config = FrameConfig {
+            records_per_frame: 4,
+            compress: true,
+        };
+        let mut enc = FrameEncoder::new(config);
+        let records = stream(6); // 12 records
+        let mut frames = Vec::new();
+        for (i, rec) in records.iter().enumerate() {
+            // Engage over records 4..8, flushing at each transition the
+            // way the capture controller does.
+            if i == 4 || i == 8 {
+                frames.extend(enc.flush());
+                enc.set_degraded(i == 4);
+            }
+            frames.extend(enc.push(rec));
+        }
+        frames.extend(enc.flush());
+        let marks: Vec<bool> = frames.iter().map(|f| f.degraded).collect();
+        assert_eq!(marks, [false, true, false]);
+        // The mark is readable off the wire image, independent of the
+        // epoch mark, and decoding masks it out of the record count.
+        let mut dec = FrameDecoder::new(config);
+        let mut out = Vec::new();
+        for frame in &frames {
+            assert_eq!(Frame::header_degraded(&frame.bytes), frame.degraded);
+            assert!(!Frame::header_epoch_end(&frame.bytes));
+            let n = dec.decode_frame(&frame.bytes, &mut out).expect("decodes");
+            assert_eq!(n, frame.records);
+        }
+        assert_eq!(out, records);
     }
 
     #[test]

@@ -63,8 +63,10 @@ mod predictors;
 /// depth codes, the two-bit alternate fast path, and the simplified
 /// address escape; version 3 reserves the top bit of the frame header's
 /// record-count word as the epoch-end mark the epoch-parallel modes
-/// stitch by).
-pub const CODEC_VERSION: u32 = 3;
+/// stitch by; version 4 reserves the second-from-top bit as the
+/// degraded-capture mark, so degraded spans survive the flight recorder
+/// and replay can report them).
+pub const CODEC_VERSION: u32 = 4;
 
 pub use bits::{BitReader, BitWriter};
 pub use compressor::{CompressionStats, DecodeStreamError, LogCompressor, LogDecompressor};

@@ -1,13 +1,19 @@
 //! System configuration.
 
 use std::path::PathBuf;
+use std::time::Duration;
 
 use lba_cache::MemSystemConfig;
 use lba_compress::FrameConfig;
 use lba_cpu::MachineConfig;
 use lba_dbi::DbiConfig;
-use lba_lifeguard::{AddrRangeFilter, CaptureFilter, DispatchConfig, IdempotencyClass};
+use lba_lifeguard::{
+    AddrRangeFilter, CaptureFilter, DegradationPolicy, DispatchConfig, IdempotencyClass,
+};
 use lba_record::StreamConfig;
+use lba_transport::FaultProfile;
+
+use crate::controller::AdaptiveConfig;
 
 /// Where (and under what bounds) a run records its sealed wire frames as
 /// a durable `lbas/1` flight-recorder stream — set [`LogConfig::record_to`]
@@ -120,6 +126,31 @@ pub struct LogConfig {
     /// segmented stream under this recording configuration (the flight
     /// recorder). `None` (the default) records nothing.
     pub record_to: Option<RecordConfig>,
+    /// When set, the producer runs the adaptive capture controller
+    /// ([`CaptureController`](crate::CaptureController)): transport
+    /// occupancy past the configured threshold degrades capture along
+    /// exactly the axes the lifeguard's
+    /// [`DegradationPolicy`](lba_lifeguard::DegradationPolicy) permits,
+    /// and every degraded span is accounted in the report's
+    /// [`DegradationStats`](lba_lifeguard::DegradationStats). `None`
+    /// (the default) keeps the pipeline bit-for-bit identical to a
+    /// controller-free build; so does any setting when the lifeguard's
+    /// policy is [`DegradationPolicy::none`](lba_lifeguard::DegradationPolicy::none).
+    pub adaptive: Option<AdaptiveConfig>,
+    /// When set, the run's transport is wrapped in a deterministic
+    /// [`FaultInjector`](lba_transport::FaultInjector) reproducing this
+    /// profile (consumer stalls, slow drain, flaky sink). `None` (the
+    /// default) injects nothing and adds no wrapper overhead beyond a
+    /// pass-through branch.
+    pub fault: Option<FaultProfile>,
+    /// How long the live producer may spin on a full channel before it
+    /// latches a stall and the run fails with
+    /// [`RunError::ChannelStalled`](lba_cpu::RunError::ChannelStalled)
+    /// instead of spinning forever on a wedged consumer. `None` (the
+    /// default) preserves the original unbounded-spin behaviour. Only
+    /// the live modes consult it; the modeled transport has no wall
+    /// clock.
+    pub channel_stall_timeout: Option<Duration>,
 }
 
 impl LogConfig {
@@ -165,6 +196,51 @@ impl LogConfig {
         CaptureFilter::new(self.filter.clone(), self.idempotency_window, class)
     }
 
+    /// The reserve capacity the capture filter's window may widen to
+    /// under adaptive degradation: the configured `widen_entries` when
+    /// `adaptive` is set *and* the lifeguard's policy permits widening,
+    /// zero (no reserve, bit-for-bit the plain filter) otherwise.
+    fn widen_entries(&self, policy: &DegradationPolicy) -> usize {
+        match &self.adaptive {
+            Some(adaptive) if policy.widen_window => adaptive.widen_entries,
+            _ => 0,
+        }
+    }
+
+    /// [`capture_filter`](Self::capture_filter) with the widen reserve
+    /// the adaptive controller needs for this lifeguard's degradation
+    /// policy. Degenerates to the plain filter whenever `adaptive` is
+    /// unset or the policy forbids widening.
+    #[must_use]
+    pub fn adaptive_capture_filter(
+        &self,
+        class: IdempotencyClass,
+        policy: &DegradationPolicy,
+    ) -> CaptureFilter {
+        CaptureFilter::with_widen(
+            self.filter.clone(),
+            self.idempotency_window,
+            self.widen_entries(policy),
+            class,
+        )
+    }
+
+    /// [`shard_capture_filter`](Self::shard_capture_filter) with the
+    /// widen reserve for the sharded modes.
+    #[must_use]
+    pub fn adaptive_shard_capture_filter(
+        &self,
+        class: IdempotencyClass,
+        policy: &DegradationPolicy,
+    ) -> CaptureFilter {
+        CaptureFilter::with_widen(
+            None,
+            self.idempotency_window,
+            self.widen_entries(policy),
+            class,
+        )
+    }
+
     /// The capture filter for the sharded modes, which mirror the modeled
     /// parallel study and deliberately ignore the address-range filter
     /// (see `run_lba_parallel`) but do run the idempotency window — the
@@ -205,6 +281,9 @@ impl Default for LogConfig {
             epoch_records: 1024,
             verify_compression: false,
             record_to: None,
+            adaptive: None,
+            fault: None,
+            channel_stall_timeout: None,
         }
     }
 }
@@ -265,6 +344,12 @@ mod tests {
         assert_eq!(c.log.idempotency_window, 0, "capture-side dedup is opt-in");
         assert_eq!(c.log.epoch_records, 1024);
         assert!(c.log.record_to.is_none(), "flight recording is opt-in");
+        assert!(c.log.adaptive.is_none(), "adaptive capture is opt-in");
+        assert!(c.log.fault.is_none(), "fault injection is opt-in");
+        assert!(
+            c.log.channel_stall_timeout.is_none(),
+            "stall detection is opt-in"
+        );
         assert_eq!(c.mem_dual().cores, 2);
         assert_eq!(c.mem_single().cores, 1);
         // The paper's cache geometry flows through from lba-cache.

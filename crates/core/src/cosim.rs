@@ -5,11 +5,12 @@ use lba_cache::MemSystem;
 use lba_compress::FRAME_LINE_BYTES;
 use lba_cpu::{Machine, RunError, StepOutcome};
 use lba_isa::Program;
-use lba_lifeguard::{DispatchEngine, Finding, Lifeguard};
+use lba_lifeguard::{DegradationStats, DispatchEngine, Finding, Lifeguard};
 use lba_record::{EventKind, TraceStats};
-use lba_transport::{LogChannel, ModeledFrameChannel, PushOutcome};
+use lba_transport::{FaultInjector, LogChannel, ModeledFrameChannel, PushOutcome};
 
 use crate::config::SystemConfig;
+use crate::controller::{CaptureController, Transition, Verdict};
 use crate::report::{LogStats, Mode, RunReport, StallBreakdown};
 
 /// The lifeguard core's MemSystem index (the application core is 0, which
@@ -136,18 +137,24 @@ impl<C: LogChannel> Cosim<'_, C> {
     }
 
     /// Drains the channel completely, parked frames included (syscall
-    /// stall and end-of-program).
+    /// stall and end-of-program). Loops until the channel reports
+    /// [`drained`](LogChannel::drained), not merely until one pop comes
+    /// back empty: under fault injection a pop refusal models a stalled
+    /// consumer, and mistaking it for emptiness would truncate the drain
+    /// and lose findings. Injected stall bursts are bounded, so the loop
+    /// always terminates.
     fn drain(&mut self) {
         loop {
             if self.consume() {
                 continue;
             }
             let stamp = self.t_app.max(self.t_lg);
-            match self.channel.retry_parked(stamp) {
-                Some(wire_bits) => {
-                    self.charge_lines(wire_bits);
-                }
-                None => break,
+            if let Some(wire_bits) = self.channel.retry_parked(stamp) {
+                self.charge_lines(wire_bits);
+                continue;
+            }
+            if self.channel.drained() {
+                break;
             }
         }
     }
@@ -208,9 +215,21 @@ pub fn run_lba(
     // The single capture-pass predicate (address-range filter composed
     // with the per-lifeguard idempotency window) plus its scratch buffer:
     // each retired record yields zero or more records to ship (fold
-    // summaries first, then the record itself when admitted).
-    let mut filter = config.log.capture_filter(lifeguard.idempotency());
+    // summaries first, then the record itself when admitted). Under
+    // adaptive capture the window carries a widen reserve sized by the
+    // lifeguard's degradation policy.
+    let policy = lifeguard.degradation();
+    let mut filter = config
+        .log
+        .adaptive_capture_filter(lifeguard.idempotency(), &policy);
     let mut shipping: Vec<lba_record::EventRecord> = Vec::new();
+    // The adaptive capture controller — absent entirely (not just
+    // disengaged) when the run is not configured for it or the
+    // lifeguard's policy tolerates nothing.
+    let mut controller = config
+        .log
+        .adaptive
+        .and_then(|a| CaptureController::new(a, policy));
 
     // Batched consumption pairs with the zero-copy channel (the hardware
     // decompressor's work is modeled, not re-run in host software); the
@@ -235,6 +254,10 @@ pub fn run_lba(
     if let Some(record) = &config.log.record_to {
         channel.tee_into(crate::recorder::open_sink(record, 0)?);
     }
+    // The transport always runs behind the fault injector; the default
+    // profile is quiet (pure delegation), so an uninjected run pays one
+    // pass-through branch per pop and nothing else.
+    let channel = FaultInjector::new(channel, config.log.fault.unwrap_or_default());
     let mut sim = Cosim {
         mem: MemSystem::new(config.mem_dual()),
         channel,
@@ -255,16 +278,51 @@ pub fn run_lba(
                 sim.t_app += r.cycles;
                 trace.observe(&r.record);
 
+                // Adaptive capture: the controller watches the channel's
+                // load signal and degrades (or restores) capture fidelity
+                // within the lifeguard's declared policy. Transitions
+                // flush first so the wire's degraded mark is
+                // frame-accurate.
+                let mut admit = Verdict::Ship;
+                if let Some(ctl) = controller.as_mut() {
+                    match ctl.tick(sim.channel.load_sample(), sim.findings.len() as u64) {
+                        Some(Transition::Engage { widen }) => {
+                            let outcome = sim.channel.flush(sim.t_app);
+                            sim.absorb(outcome);
+                            if widen {
+                                filter.widen_window();
+                            }
+                            sim.channel.mark_degraded(true);
+                        }
+                        Some(Transition::Disengage { tighten, .. }) => {
+                            let outcome = sim.channel.flush(sim.t_app);
+                            sim.absorb(outcome);
+                            sim.channel.mark_degraded(false);
+                            if tighten {
+                                filter.tighten_window_into(&mut shipping, |rec| {
+                                    let outcome = sim.channel.push_record(rec, sim.t_app);
+                                    sim.absorb(outcome);
+                                });
+                            }
+                        }
+                        None => {}
+                    }
+                    admit = ctl.admit(&r.record);
+                }
+
                 // Capture pass: range filter + idempotency window decide
                 // what enters the log in one predicate. Whatever ships
                 // feeds the capture + compression engine (hardware: no
                 // app cycles, but each shipped frame occupies shared-L2
                 // bandwidth and buffer space — back-pressure stalls the
-                // application).
-                filter.capture_into(&r.record, &mut shipping, |rec| {
-                    let outcome = sim.channel.push_record(rec, sim.t_app);
-                    sim.absorb(outcome);
-                });
+                // application). A record the controller sampled out or
+                // kind-dropped never reaches it.
+                if admit == Verdict::Ship {
+                    filter.capture_into(&r.record, &mut shipping, |rec| {
+                        let outcome = sim.channel.push_record(rec, sim.t_app);
+                        sim.absorb(outcome);
+                    });
+                }
 
                 // Containment: stall the syscall until the lifeguard has
                 // checked everything that precedes it — which requires
@@ -292,6 +350,27 @@ pub fn run_lba(
         }
     }
 
+    // A run ending degraded snaps back first: the closing fold summaries
+    // and final checks happen at full fidelity, and the open degraded
+    // interval closes in the stats.
+    let degradation = match controller {
+        Some(ctl) => {
+            if ctl.engaged() {
+                let outcome = sim.channel.flush(sim.t_app);
+                sim.absorb(outcome);
+                sim.channel.mark_degraded(false);
+                if policy.widen_window {
+                    filter.tighten_window_into(&mut shipping, |rec| {
+                        let outcome = sim.channel.push_record(rec, sim.t_app);
+                        sim.absorb(outcome);
+                    });
+                }
+            }
+            ctl.finish()
+        }
+        None => DegradationStats::default(),
+    };
+
     // End of program: settle outstanding fold counts, flush the partial
     // frame, let the lifeguard finish the remaining log, and run its
     // final checks.
@@ -308,7 +387,7 @@ pub fn run_lba(
 
     // Close the flight recording (End record + flush) and surface any
     // mirror error the channel latched mid-run.
-    crate::recorder::finish_tee(sim.channel.take_tee())?;
+    crate::recorder::finish_tee(sim.channel.inner_mut().take_tee())?;
 
     let stats = sim.channel.stats();
     let capture = filter.stats();
@@ -334,6 +413,7 @@ pub fn run_lba(
             wire_bytes_per_instruction: stats.wire_bits as f64 / 8.0 / instructions as f64,
         },
         stalls: sim.stalls,
+        degradation,
     })
 }
 

@@ -9,13 +9,13 @@
 //! * the producer cuts the record stream into contiguous **epochs** at
 //!   every syscall (the natural containment point, where the log flushes
 //!   anyway) and every `epoch_records` records
-//!   ([`EpochRouter`](lba_transport::EpochRouter)); whole epochs fan out
+//!   ([`EpochRouter`]); whole epochs fan out
 //!   to `workers` workers round-robin, riding the existing framed
 //!   transport — the epoch boundary is a one-bit mark in the sealed
 //!   frame's wire header, so frames never straddle epochs;
 //! * each **worker** consumes its epochs through the unmodified dispatch
 //!   engine, but drives an
-//!   [`EpochSummarizer`](lba_lifeguard::EpochSummarizer) instead of the
+//!   [`EpochSummarizer`] instead of the
 //!   concrete lifeguard: it computes a *symbolic transfer function* —
 //!   per-register and per-touched-shadow-range out-state over unknown
 //!   epoch-entry state, plus findings guarded by symbolic taint values —
@@ -579,6 +579,7 @@ pub fn run_replay_epoch<E: EpochLifeguard>(
             frames: 0,
             records: 0,
             wire_bits: 0,
+            degraded_frames: 0,
         };
         while let Some(frame) = reader.next_frame()? {
             batch.clear();
@@ -598,6 +599,9 @@ pub fn run_replay_epoch<E: EpochLifeguard>(
             stats.frames += 1;
             stats.records += batch.len() as u64;
             stats.wire_bits += frame.wire_bits();
+            if Frame::header_degraded(&frame.bytes) {
+                stats.degraded_frames += 1;
+            }
         }
         if open || summarizer.is_open() {
             done.push_back(summarizer.finish_epoch());
@@ -629,6 +633,7 @@ pub fn run_replay_epoch<E: EpochLifeguard>(
         codec_version,
         streams,
         findings,
+        salvaged: Vec::new(),
     })
 }
 

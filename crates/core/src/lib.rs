@@ -47,6 +47,7 @@
 //! ```
 
 mod config;
+pub mod controller;
 mod cosim;
 pub mod epoch_parallel;
 pub mod experiment;
@@ -61,6 +62,7 @@ mod run;
 pub mod table;
 
 pub use config::{LogConfig, RecordConfig, SystemConfig, MAX_LIVE_CHANNEL_FRAMES};
+pub use controller::{AdaptiveConfig, CaptureController, Transition, Verdict};
 pub use cosim::run_lba;
 pub use epoch_parallel::{
     run_epoch_parallel, run_live_epoch_parallel, run_live_taint_parallel, run_replay_epoch,
@@ -69,21 +71,26 @@ pub use epoch_parallel::{
 pub use kind::LifeguardKind;
 pub use live::run_live;
 pub use live_parallel::run_live_parallel;
-pub use replay::{run_replay, ReplayError};
+pub use replay::{run_replay, run_replay_with, ReplayError, ReplayMode};
 pub use report::{
     LiveParallelReport, LiveReport, LogStats, Mode, ReplayReport, ReplayStreamStats, RunReport,
-    StallBreakdown,
+    SalvagedTail, StallBreakdown,
 };
 pub use run::{run_dbi, run_unmonitored};
 
 // Per-shard transport statistics appear in the parallel reports; re-export
 // the type so downstream code can name it without a direct lba-transport
-// dependency.
-pub use lba_transport::ChannelStats;
+// dependency. The load/fault types parameterize `LogConfig` and the
+// degradation experiments.
+pub use lba_transport::{ChannelStats, FaultInjector, FaultProfile, LoadSample};
 
 // Capture-pass types: the stats appear in run reports, and the class/spec
 // pair is what custom lifeguards implement `Lifeguard::idempotency` with.
-pub use lba_lifeguard::{CaptureFilter, CaptureStats, IdempotencyClass, WindowSpec};
+// The degradation set is the same story for `Lifeguard::degradation`.
+pub use lba_lifeguard::{
+    CaptureFilter, CaptureStats, DegradationPolicy, DegradationStats, DegradedInterval,
+    IdempotencyClass, RegionClassifier, SamplingSpec, WindowSpec, MAX_RECORDED_INTERVALS,
+};
 
 // The execution error type comes from the CPU substrate.
 pub use lba_cpu::RunError;

@@ -12,16 +12,18 @@
 //! Integration tests assert the findings match the deterministic mode
 //! exactly.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::thread;
 
 use lba_cache::MemSystem;
 use lba_cpu::{Machine, RunError};
 use lba_isa::Program;
-use lba_lifeguard::{CaptureStats, DispatchEngine, Lifeguard};
+use lba_lifeguard::{CaptureStats, DegradationStats, DispatchEngine, Lifeguard};
 use lba_record::{EventKind, EventRecord, TraceStats};
 use lba_transport::live;
 
 use crate::config::SystemConfig;
+use crate::controller::{CaptureController, Transition, Verdict};
 use crate::report::{LiveReport, LogStats};
 
 /// Runs `program` on one thread and the lifeguard on another, returning
@@ -53,37 +55,107 @@ pub fn run_live(
     if let Some(record) = &config.log.record_to {
         tx.tee_into(crate::recorder::open_sink(record, 0)?);
     }
+    // Satellite robustness fix: bound the producer's spin on a full queue.
+    // A consumer that genuinely stops draining now surfaces as
+    // `RunError::ChannelStalled` instead of a livelock.
+    tx.set_stall_timeout(config.log.channel_stall_timeout);
+    // Fault injection, live flavour: the consumer burns spin cycles per
+    // frame so the queue genuinely fills and the load signal climbs.
+    if let Some(fault) = &config.log.fault {
+        rx.set_drag(fault.drain_drag);
+    }
     let engine = DispatchEngine::new(config.dispatch);
     let machine_config = config.machine;
     // The identical capture pass the co-simulation runs (range filter +
     // idempotency window in one predicate), so the two modes ship the
     // same record stream byte for byte.
-    let mut filter = config.log.capture_filter(lifeguard.idempotency());
+    let policy = lifeguard.degradation();
+    let mut filter = config
+        .log
+        .adaptive_capture_filter(lifeguard.idempotency(), &policy);
+    let mut controller = config
+        .log
+        .adaptive
+        .and_then(|a| CaptureController::new(a, policy));
+    // The finding-snapback signal: the consumer publishes its running
+    // finding count; any growth the producer's controller observes snaps
+    // capture back to full fidelity.
+    let finding_count = AtomicU64::new(0);
 
     thread::scope(|scope| {
-        let producer = scope.spawn(move || -> Result<(TraceStats, CaptureStats), RunError> {
-            let mut machine = Machine::new(program, machine_config);
-            let mut mem = MemSystem::new(config.mem_single());
-            let mut trace = TraceStats::new();
-            let mut shipping: Vec<EventRecord> = Vec::new();
-            machine.run(&mut mem, |r| {
-                trace.observe(&r.record);
-                filter.capture_into(&r.record, &mut shipping, |rec| tx.push(rec));
-                if r.record.kind == EventKind::Syscall && config.log.syscall_stall {
-                    tx.flush();
+        let finding_count = &finding_count;
+        let producer = scope.spawn(
+            move || -> Result<(TraceStats, CaptureStats, DegradationStats), RunError> {
+                let mut machine = Machine::new(program, machine_config);
+                let mut mem = MemSystem::new(config.mem_single());
+                let mut trace = TraceStats::new();
+                let mut shipping: Vec<EventRecord> = Vec::new();
+                machine.run(&mut mem, |r| {
+                    trace.observe(&r.record);
+                    let mut admit = Verdict::Ship;
+                    if let Some(ctl) = controller.as_mut() {
+                        match ctl.tick(tx.load_sample(), finding_count.load(Ordering::Relaxed)) {
+                            Some(Transition::Engage { widen }) => {
+                                tx.flush();
+                                if widen {
+                                    filter.widen_window();
+                                }
+                                tx.set_degraded(true);
+                            }
+                            Some(Transition::Disengage { tighten, .. }) => {
+                                tx.flush();
+                                tx.set_degraded(false);
+                                if tighten {
+                                    filter.tighten_window_into(&mut shipping, |rec| tx.push(rec));
+                                }
+                            }
+                            None => {}
+                        }
+                        admit = ctl.admit(&r.record);
+                    }
+                    if admit == Verdict::Ship {
+                        filter.capture_into(&r.record, &mut shipping, |rec| tx.push(rec));
+                    }
+                    if r.record.kind == EventKind::Syscall && config.log.syscall_stall {
+                        tx.flush();
+                    }
+                })?;
+                // A latched stall means frames were silently discarded
+                // past the timeout: the run is no longer lossless and
+                // must fail loudly.
+                if tx.stalled() {
+                    return Err(RunError::ChannelStalled);
                 }
-            })?;
-            // Settle outstanding fold counts before the channel closes.
-            filter.finish_into(&mut shipping, |rec| tx.push(rec));
-            // Seal the final partial frame *before* taking the tee back,
-            // so the recording carries the complete wire stream; the
-            // drop-flush below then has nothing left to ship.
-            tx.flush();
-            crate::recorder::finish_tee(tx.take_tee())?;
-            Ok((trace, filter.stats()))
-            // `tx` drops here: flushes the final partial frame and closes
-            // the channel.
-        });
+                // A run ending degraded snaps back first, so the closing
+                // fold summaries ship at full fidelity.
+                let degradation = match controller {
+                    Some(ctl) => {
+                        if ctl.engaged() {
+                            tx.flush();
+                            tx.set_degraded(false);
+                            if policy.widen_window {
+                                filter.tighten_window_into(&mut shipping, |rec| tx.push(rec));
+                            }
+                        }
+                        ctl.finish()
+                    }
+                    None => DegradationStats::default(),
+                };
+                // Settle outstanding fold counts before the channel closes.
+                filter.finish_into(&mut shipping, |rec| tx.push(rec));
+                // Seal the final partial frame *before* taking the tee back,
+                // so the recording carries the complete wire stream; the
+                // drop-flush below then has nothing left to ship.
+                tx.flush();
+                if tx.stalled() {
+                    return Err(RunError::ChannelStalled);
+                }
+                crate::recorder::finish_tee(tx.take_tee())?;
+                Ok((trace, filter.stats(), degradation))
+                // `tx` drops here: flushes the final partial frame and closes
+                // the channel.
+            },
+        );
 
         // Consume on this thread: shadow-cost accounting still needs a
         // MemSystem, but live mode is functional — timing is not reported.
@@ -94,15 +166,18 @@ pub fn run_live(
         if config.log.batch_dispatch {
             while let Some(batch) = rx.recv_batch() {
                 engine.deliver_batch(lifeguard, batch, &mut mem, 1, &mut findings);
+                finding_count.store(findings.len() as u64, Ordering::Relaxed);
             }
         } else {
             while let Some(record) = rx.recv_ref() {
                 engine.deliver(lifeguard, record, &mut mem, 1, &mut findings);
+                finding_count.store(findings.len() as u64, Ordering::Relaxed);
             }
         }
         engine.finish(lifeguard, &mut mem, 1, &mut findings);
 
-        let (trace, capture) = producer.join().expect("producer thread must not panic")?;
+        let (trace, capture, degradation) =
+            producer.join().expect("producer thread must not panic")?;
         let stats = rx.stats();
         let instructions = trace.instructions().max(1);
         Ok(LiveReport {
@@ -121,6 +196,7 @@ pub fn run_live(
                 wire_bytes_per_instruction: stats.wire_bits as f64 / 8.0 / instructions as f64,
             },
             trace,
+            degradation,
         })
     })
 }

@@ -26,17 +26,19 @@
 //! interleaving is unsound for it — use the epoch-parallel mode
 //! ([`crate::run_live_taint_parallel`]) for taint on real threads.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::thread;
 
 use lba_cache::MemSystem;
 use lba_cpu::{Machine, RunError};
 use lba_isa::Program;
-use lba_lifeguard::{CaptureStats, DispatchEngine, Finding, Lifeguard};
+use lba_lifeguard::{CaptureStats, DegradationStats, DispatchEngine, Finding, Lifeguard};
 use lba_record::{EventRecord, TraceStats};
 use lba_transport::live::shard_frame_channels;
-use lba_transport::{shard_of, ChannelStats};
+use lba_transport::{shard_of, ChannelStats, LoadSample};
 
 use crate::config::SystemConfig;
+use crate::controller::{CaptureController, Transition, Verdict};
 use crate::report::LiveParallelReport;
 
 /// The lifeguard-core MemSystem index used by every consumer thread (each
@@ -82,7 +84,7 @@ pub fn run_live_parallel(
 ) -> Result<LiveParallelReport, RunError> {
     assert!(shards > 0, "need at least one shard");
     config.log.validate_framing()?;
-    let (mut senders, receivers) = shard_frame_channels(
+    let (mut senders, mut receivers) = shard_frame_channels(
         shards,
         config.log.live_channel_frames(),
         config.log.frame_config(),
@@ -95,7 +97,21 @@ pub fn run_live_parallel(
             tx.tee_into(crate::recorder::open_sink(record, stream)?);
         }
     }
+    // Stall detection and fault injection, per shard (see `run_live`).
+    for tx in senders.iter_mut() {
+        tx.set_stall_timeout(config.log.channel_stall_timeout);
+    }
+    if let Some(fault) = &config.log.fault {
+        for rx in receivers.iter_mut() {
+            rx.set_drag(fault.drain_drag);
+        }
+    }
     let make_lifeguard = &make_lifeguard;
+    // The finding-snapback signal: consumers accumulate their finding
+    // counts here; any growth the producer's controller observes snaps
+    // capture back to full fidelity.
+    let finding_count = AtomicU64::new(0);
+    let finding_count = &finding_count;
 
     thread::scope(|scope| {
         let consumers: Vec<_> = receivers
@@ -106,6 +122,14 @@ pub fn run_live_parallel(
                     let engine = DispatchEngine::new(config.dispatch);
                     let mut mem = MemSystem::new(config.mem_dual());
                     let mut findings = Vec::new();
+                    let mut published = 0usize;
+                    let publish = |findings: &Vec<Finding>, published: &mut usize| {
+                        if findings.len() > *published {
+                            finding_count
+                                .fetch_add((findings.len() - *published) as u64, Ordering::Relaxed);
+                            *published = findings.len();
+                        }
+                    };
                     if config.log.batch_dispatch {
                         while let Some(batch) = rx.recv_batch() {
                             engine.deliver_batch(
@@ -115,6 +139,7 @@ pub fn run_live_parallel(
                                 LG_CORE,
                                 &mut findings,
                             );
+                            publish(&findings, &mut published);
                         }
                     } else {
                         while let Some(record) = rx.recv_ref() {
@@ -125,6 +150,7 @@ pub fn run_live_parallel(
                                 LG_CORE,
                                 &mut findings,
                             );
+                            publish(&findings, &mut published);
                         }
                     }
                     engine.finish(lifeguard.as_mut(), &mut mem, LG_CORE, &mut findings);
@@ -135,13 +161,20 @@ pub fn run_live_parallel(
 
         // Produce on this thread: run the machine, apply the capture pass
         // (identical to `run_lba_parallel`'s) and fan the log out.
-        let produced = (|| -> Result<(TraceStats, CaptureStats), RunError> {
+        let produced = (|| -> Result<(TraceStats, CaptureStats, DegradationStats), RunError> {
             let mut machine = Machine::new(program, config.machine);
             let mut mem = MemSystem::new(config.mem_single());
             let mut trace = TraceStats::new();
+            let seed = make_lifeguard();
+            let policy = seed.degradation();
             let mut filter = config
                 .log
-                .shard_capture_filter(make_lifeguard().idempotency());
+                .adaptive_shard_capture_filter(seed.idempotency(), &policy);
+            drop(seed);
+            let mut controller = config
+                .log
+                .adaptive
+                .and_then(|a| CaptureController::new(a, policy));
             let mut shipping: Vec<EventRecord> = Vec::new();
             let fan_out =
                 |rec: &EventRecord, senders: &mut Vec<lba_transport::live::FrameSender>| {
@@ -154,10 +187,73 @@ pub fn run_live_parallel(
                         }
                     }
                 };
+            // The sharded producer's load signal: the fullest shard's
+            // queue — one overloaded shard is what blocks the producer.
+            let max_load = |senders: &[lba_transport::live::FrameSender]| {
+                senders
+                    .iter()
+                    .map(|tx| tx.load_sample())
+                    .max_by_key(LoadSample::occupancy_permille)
+                    .unwrap_or(LoadSample {
+                        inflight: 0,
+                        capacity: 0,
+                    })
+            };
             machine.run(&mut mem, |r| {
                 trace.observe(&r.record);
-                filter.capture_into(&r.record, &mut shipping, |rec| fan_out(rec, &mut senders));
+                let mut admit = Verdict::Ship;
+                if let Some(ctl) = controller.as_mut() {
+                    match ctl.tick(max_load(&senders), finding_count.load(Ordering::Relaxed)) {
+                        Some(Transition::Engage { widen }) => {
+                            for tx in senders.iter_mut() {
+                                tx.flush();
+                                tx.set_degraded(true);
+                            }
+                            if widen {
+                                filter.widen_window();
+                            }
+                        }
+                        Some(Transition::Disengage { tighten, .. }) => {
+                            for tx in senders.iter_mut() {
+                                tx.flush();
+                                tx.set_degraded(false);
+                            }
+                            if tighten {
+                                filter.tighten_window_into(&mut shipping, |rec| {
+                                    fan_out(rec, &mut senders);
+                                });
+                            }
+                        }
+                        None => {}
+                    }
+                    admit = ctl.admit(&r.record);
+                }
+                if admit == Verdict::Ship {
+                    filter.capture_into(&r.record, &mut shipping, |rec| fan_out(rec, &mut senders));
+                }
             })?;
+            if senders.iter().any(|tx| tx.stalled()) {
+                return Err(RunError::ChannelStalled);
+            }
+            // A run ending degraded snaps back first, so the closing fold
+            // summaries ship at full fidelity.
+            let degradation = match controller {
+                Some(ctl) => {
+                    if ctl.engaged() {
+                        for tx in senders.iter_mut() {
+                            tx.flush();
+                            tx.set_degraded(false);
+                        }
+                        if policy.widen_window {
+                            filter.tighten_window_into(&mut shipping, |rec| {
+                                fan_out(rec, &mut senders);
+                            });
+                        }
+                    }
+                    ctl.finish()
+                }
+                None => DegradationStats::default(),
+            };
             // Settle outstanding fold counts before the streams close.
             filter.finish_into(&mut shipping, |rec| fan_out(rec, &mut senders));
             // Seal each shard's final partial frame before taking the
@@ -167,7 +263,10 @@ pub fn run_live_parallel(
                 tx.flush();
                 crate::recorder::finish_tee(tx.take_tee())?;
             }
-            Ok((trace, filter.stats()))
+            if senders.iter().any(|tx| tx.stalled()) {
+                return Err(RunError::ChannelStalled);
+            }
+            Ok((trace, filter.stats(), degradation))
         })();
         // Close every shard stream (flush-on-drop) whether or not the run
         // errored, so the consumers can finish before any error unwinds.
@@ -181,7 +280,7 @@ pub fn run_live_parallel(
             shard_log.push(stats);
         }
         let findings = crate::parallel::merge_shard_findings(shard_findings);
-        let (trace, capture) = produced?;
+        let (trace, capture, degradation) = produced?;
         Ok(LiveParallelReport {
             program: program.name().to_string(),
             shards,
@@ -189,6 +288,7 @@ pub fn run_live_parallel(
             trace,
             shard_log,
             capture,
+            degradation,
         })
     })
 }

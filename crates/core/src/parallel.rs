@@ -30,11 +30,14 @@ use lba_cache::MemSystem;
 use lba_cache::MemSystemConfig;
 use lba_cpu::{Machine, RunError, StepOutcome};
 use lba_isa::Program;
-use lba_lifeguard::{CaptureStats, DispatchEngine, Finding, Lifeguard};
+use lba_lifeguard::{CaptureStats, DegradationStats, DispatchEngine, Finding, Lifeguard};
 use lba_record::TraceStats;
-use lba_transport::{shard_of, ChannelStats, LogChannel, ModeledFrameChannel};
+use lba_transport::{
+    shard_of, ChannelStats, FaultInjector, LoadSample, LogChannel, ModeledFrameChannel,
+};
 
 use crate::config::SystemConfig;
+use crate::controller::{CaptureController, Transition, Verdict};
 
 /// Per-shard channel byte budget. The parallel study isolates
 /// lifeguard-side scaling, so no back-pressure is modelled: shards drain
@@ -64,6 +67,10 @@ pub struct ParallelReport {
     /// runs before routing; the address-range filter stays ignored in
     /// the parallel study).
     pub capture: CaptureStats,
+    /// What the adaptive capture controller did on the producer, before
+    /// routing (empty when `LogConfig::adaptive` is unset or the policy
+    /// tolerates nothing).
+    pub degradation: DegradationStats,
 }
 
 impl ParallelReport {
@@ -137,6 +144,13 @@ pub fn run_lba_parallel(
             channel.tee_into(crate::recorder::open_sink(record, stream)?);
         }
     }
+    // Every shard channel runs behind the fault injector (quiet profile =
+    // pure delegation); each shard gets its own deterministic stall
+    // schedule from the shared profile.
+    let mut channels: Vec<FaultInjector<ModeledFrameChannel>> = channels
+        .into_iter()
+        .map(|c| FaultInjector::new(c, config.log.fault.unwrap_or_default()))
+        .collect();
     let mut shard_findings: Vec<Vec<Finding>> = vec![Vec::new(); shards];
     let mut shard_cycles = vec![0u64; shards];
     let mut trace = TraceStats::new();
@@ -147,8 +161,31 @@ pub fn run_lba_parallel(
     // anyway, so per-shard soundness matches the unsharded argument). The
     // live sharded mode builds the identical filter, keeping the
     // per-shard streams byte-identical.
-    let mut filter = config.log.shard_capture_filter(lifeguards[0].idempotency());
+    let policy = lifeguards[0].degradation();
+    let mut filter = config
+        .log
+        .adaptive_shard_capture_filter(lifeguards[0].idempotency(), &policy);
     let mut shipping: Vec<lba_record::EventRecord> = Vec::new();
+    // The adaptive controller runs pre-routing on the producer, driven by
+    // the *most loaded* shard: one overloaded shard is enough to stall
+    // the producer in the real design, so it is the signal that matters.
+    let mut controller = config
+        .log
+        .adaptive
+        .and_then(|a| CaptureController::new(a, policy));
+
+    /// The load signal for a sharded producer: the occupancy of whichever
+    /// shard channel is fullest.
+    fn max_load(channels: &[FaultInjector<ModeledFrameChannel>]) -> LoadSample {
+        channels
+            .iter()
+            .map(|c| c.load_sample())
+            .max_by_key(LoadSample::occupancy_permille)
+            .unwrap_or(LoadSample {
+                inflight: 0,
+                capacity: 0,
+            })
+    }
 
     /// Drains every currently-available frame (or record, in the
     /// per-record baseline) of one shard's channel into its lifeguard.
@@ -183,7 +220,7 @@ pub fn run_lba_parallel(
         shards: usize,
         batch: bool,
         app_cycles: u64,
-        channels: &mut [ModeledFrameChannel],
+        channels: &mut [FaultInjector<ModeledFrameChannel>],
         engine: &DispatchEngine,
         lifeguards: &mut [Box<dyn Lifeguard>],
         mem: &mut MemSystem,
@@ -222,23 +259,95 @@ pub fn run_lba_parallel(
             StepOutcome::Retired(r) => {
                 trace.observe(&r.record);
                 app_cycles += r.cycles;
-                filter.capture_into(&r.record, &mut shipping, |rec| {
-                    feed_shards(
-                        rec,
-                        shards,
-                        batch,
-                        app_cycles,
-                        &mut channels,
-                        &engine,
-                        &mut lifeguards,
-                        &mut mem,
-                        &mut shard_cycles,
-                        &mut shard_findings,
-                    );
-                });
+                let mut admit = Verdict::Ship;
+                if let Some(ctl) = controller.as_mut() {
+                    let findings: u64 = shard_findings.iter().map(|f| f.len() as u64).sum();
+                    match ctl.tick(max_load(&channels), findings) {
+                        Some(Transition::Engage { widen }) => {
+                            for channel in &mut channels {
+                                channel.flush(app_cycles);
+                                channel.mark_degraded(true);
+                            }
+                            if widen {
+                                filter.widen_window();
+                            }
+                        }
+                        Some(Transition::Disengage { tighten, .. }) => {
+                            for channel in &mut channels {
+                                channel.flush(app_cycles);
+                                channel.mark_degraded(false);
+                            }
+                            if tighten {
+                                filter.tighten_window_into(&mut shipping, |rec| {
+                                    feed_shards(
+                                        rec,
+                                        shards,
+                                        batch,
+                                        app_cycles,
+                                        &mut channels,
+                                        &engine,
+                                        &mut lifeguards,
+                                        &mut mem,
+                                        &mut shard_cycles,
+                                        &mut shard_findings,
+                                    );
+                                });
+                            }
+                        }
+                        None => {}
+                    }
+                    admit = ctl.admit(&r.record);
+                }
+                if admit == Verdict::Ship {
+                    filter.capture_into(&r.record, &mut shipping, |rec| {
+                        feed_shards(
+                            rec,
+                            shards,
+                            batch,
+                            app_cycles,
+                            &mut channels,
+                            &engine,
+                            &mut lifeguards,
+                            &mut mem,
+                            &mut shard_cycles,
+                            &mut shard_findings,
+                        );
+                    });
+                }
             }
         }
     }
+
+    // A run ending degraded snaps back first, so the closing fold
+    // summaries ship at full fidelity and the open interval closes.
+    let degradation = match controller {
+        Some(ctl) => {
+            if ctl.engaged() {
+                for channel in &mut channels {
+                    channel.flush(app_cycles);
+                    channel.mark_degraded(false);
+                }
+                if policy.widen_window {
+                    filter.tighten_window_into(&mut shipping, |rec| {
+                        feed_shards(
+                            rec,
+                            shards,
+                            batch,
+                            app_cycles,
+                            &mut channels,
+                            &engine,
+                            &mut lifeguards,
+                            &mut mem,
+                            &mut shard_cycles,
+                            &mut shard_findings,
+                        );
+                    });
+                }
+            }
+            ctl.finish()
+        }
+        None => DegradationStats::default(),
+    };
 
     // Settle outstanding fold counts before the streams close.
     filter.finish_into(&mut shipping, |rec| {
@@ -260,15 +369,24 @@ pub fn run_lba_parallel(
     // deliver to its lifeguard.
     for (idx, (channel, lifeguard)) in channels.iter_mut().zip(lifeguards.iter_mut()).enumerate() {
         channel.flush(app_cycles);
-        shard_cycles[idx] += drain_shard(
-            batch,
-            channel,
-            &engine,
-            lifeguard.as_mut(),
-            &mut mem,
-            1 + idx,
-            &mut shard_findings[idx],
-        );
+        // Loop until the channel is truly empty: under fault injection a
+        // pop refusal models a stalled consumer, and mistaking it for
+        // emptiness would truncate this final drain. Stall bursts are
+        // bounded, so the loop terminates.
+        loop {
+            shard_cycles[idx] += drain_shard(
+                batch,
+                channel,
+                &engine,
+                lifeguard.as_mut(),
+                &mut mem,
+                1 + idx,
+                &mut shard_findings[idx],
+            );
+            if channel.drained() {
+                break;
+            }
+        }
         shard_cycles[idx] += engine.finish(
             lifeguard.as_mut(),
             &mut mem,
@@ -279,7 +397,7 @@ pub fn run_lba_parallel(
 
     // Close each shard's flight recording (End records + flush).
     for channel in &mut channels {
-        crate::recorder::finish_tee(channel.take_tee())?;
+        crate::recorder::finish_tee(channel.inner_mut().take_tee())?;
     }
 
     let findings = merge_shard_findings(shard_findings);
@@ -294,6 +412,7 @@ pub fn run_lba_parallel(
         trace,
         shard_log,
         capture: filter.stats(),
+        degradation,
     })
 }
 

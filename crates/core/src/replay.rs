@@ -27,13 +27,13 @@ use std::fmt;
 use std::path::Path;
 
 use lba_cache::MemSystem;
-use lba_compress::{FrameDecodeError, FrameDecoder, CODEC_VERSION};
+use lba_compress::{Frame, FrameDecodeError, FrameDecoder, CODEC_VERSION};
 use lba_lifeguard::{DispatchEngine, Lifeguard};
 use lba_record::{stream_ids, EventRecord, SegmentReader, StreamError};
 
 use crate::config::SystemConfig;
 use crate::parallel::merge_shard_findings;
-use crate::report::{ReplayReport, ReplayStreamStats};
+use crate::report::{ReplayReport, ReplayStreamStats, SalvagedTail};
 
 /// The lifeguard-core MemSystem index used for shadow-cost accounting
 /// (replay reports no modeled clocks, like the live modes).
@@ -117,6 +117,23 @@ impl From<StreamError> for ReplayError {
     }
 }
 
+/// How a replay treats a damaged recording.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ReplayMode {
+    /// Any stream damage is fatal: the replay fails with a descriptive
+    /// [`ReplayError`] and delivers nothing. The default, and what
+    /// [`run_replay`] always does.
+    #[default]
+    Strict,
+    /// A torn or truncated *tail* is survivable: the checksummed prefix
+    /// of each damaged stream is replayed in full, the tear point is
+    /// reported as a [`SalvagedTail`], and the replay completes with
+    /// whatever the recording still proves. Damage that precedes any
+    /// frame — an unopenable stream, a codec-version mismatch — stays
+    /// fatal: there is no trustworthy prefix to salvage.
+    SalvagePrefix,
+}
+
 /// Replays every stream recorded in `dir` through a fresh lifeguard per
 /// stream, returning the merged findings and per-stream wire accounting.
 ///
@@ -139,6 +156,25 @@ pub fn run_replay(
     make_lifeguard: impl Fn() -> Box<dyn Lifeguard>,
     config: &SystemConfig,
 ) -> Result<ReplayReport, ReplayError> {
+    run_replay_with(dir, make_lifeguard, config, ReplayMode::Strict)
+}
+
+/// [`run_replay`] with an explicit damage policy — see [`ReplayMode`].
+///
+/// # Errors
+///
+/// As [`run_replay`] under [`ReplayMode::Strict`]. Under
+/// [`ReplayMode::SalvagePrefix`] a mid-stream tear is *not* an error:
+/// the damaged stream's checksummed prefix is delivered and the loss is
+/// reported in [`ReplayReport::salvaged`]. Errors that precede any frame
+/// (unopenable stream, codec mismatch, no streams at all) and decode
+/// failures of *intact* frames remain fatal in both modes.
+pub fn run_replay_with(
+    dir: impl AsRef<Path>,
+    make_lifeguard: impl Fn() -> Box<dyn Lifeguard>,
+    config: &SystemConfig,
+    mode: ReplayMode,
+) -> Result<ReplayReport, ReplayError> {
     let dir = dir.as_ref();
     let ids = stream_ids(dir)?;
     if ids.is_empty() {
@@ -150,6 +186,7 @@ pub fn run_replay(
     let mut codec_version = CODEC_VERSION;
     let mut shard_findings = Vec::with_capacity(ids.len());
     let mut streams = Vec::with_capacity(ids.len());
+    let mut salvaged: Vec<SalvagedTail> = Vec::new();
     for &stream in &ids {
         let mut reader = SegmentReader::open(dir, stream)?;
         if reader.codec_version() != CODEC_VERSION {
@@ -175,8 +212,28 @@ pub fn run_replay(
             frames: 0,
             records: 0,
             wire_bits: 0,
+            degraded_frames: 0,
         };
-        while let Some(frame) = reader.next_frame()? {
+        loop {
+            let frame = match reader.next_frame() {
+                Ok(Some(frame)) => frame,
+                Ok(None) => break,
+                Err(e) => {
+                    // Mid-stream damage: everything before this point
+                    // passed its segment checksums. Strict mode refuses
+                    // the whole replay; salvage mode keeps the proven
+                    // prefix and reports exactly where the tail was lost.
+                    if mode == ReplayMode::Strict {
+                        return Err(e.into());
+                    }
+                    salvaged.push(SalvagedTail {
+                        stream,
+                        frames_salvaged: stats.frames,
+                        detail: e.to_string(),
+                    });
+                    break;
+                }
+            };
             batch.clear();
             decoder
                 .decode_frame(&frame.bytes, &mut batch)
@@ -189,6 +246,11 @@ pub fn run_replay(
             stats.frames += 1;
             stats.records += batch.len() as u64;
             stats.wire_bits += frame.wire_bits();
+            // The degraded mark rides the recorded wire image, so replay
+            // can report which spans the original run captured degraded.
+            if Frame::header_degraded(&frame.bytes) {
+                stats.degraded_frames += 1;
+            }
         }
         engine.finish(lifeguard.as_mut(), &mut mem, LG_CORE, &mut findings);
         shard_findings.push(findings);
@@ -207,5 +269,6 @@ pub fn run_replay(
         codec_version,
         streams,
         findings,
+        salvaged,
     })
 }

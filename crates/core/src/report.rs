@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use lba_lifeguard::{CaptureStats, Finding};
+use lba_lifeguard::{CaptureStats, DegradationStats, Finding};
 use lba_record::TraceStats;
 use lba_transport::ChannelStats;
 
@@ -84,6 +84,10 @@ pub struct LiveReport {
     pub trace: TraceStats,
     /// Log statistics measured on the real framed channel.
     pub log: LogStats,
+    /// What the adaptive capture controller did (empty when
+    /// `LogConfig::adaptive` is unset or the lifeguard's policy tolerates
+    /// nothing).
+    pub degradation: DegradationStats,
 }
 
 impl fmt::Display for LiveReport {
@@ -97,11 +101,25 @@ impl fmt::Display for LiveReport {
             self.log.frames,
             self.log.wire_bytes_per_instruction,
         )?;
+        write_degradation(f, &self.degradation)?;
         for finding in &self.findings {
             writeln!(f, "  {finding}")?;
         }
         Ok(())
     }
+}
+
+/// Shared one-line degradation summary for report `Display` impls;
+/// silent when the controller never engaged.
+fn write_degradation(f: &mut fmt::Formatter<'_>, d: &DegradationStats) -> fmt::Result {
+    if d.is_empty() {
+        return Ok(());
+    }
+    writeln!(
+        f,
+        "  degraded: {} interval(s), {} records sampled out, {} kind-dropped, {} snapback(s)",
+        d.engagements, d.sampled_out, d.kind_dropped, d.snapbacks,
+    )
 }
 
 /// The result of a sharded live run (`run_live_parallel`): one producer
@@ -129,6 +147,10 @@ pub struct LiveParallelReport {
     /// shipped; the sharded modes run the idempotency window but not the
     /// address-range filter).
     pub capture: CaptureStats,
+    /// What the adaptive capture controller did on the producer (empty
+    /// when `LogConfig::adaptive` is unset or the policy tolerates
+    /// nothing).
+    pub degradation: DegradationStats,
 }
 
 impl LiveParallelReport {
@@ -158,6 +180,7 @@ impl fmt::Display for LiveParallelReport {
             self.shard_log.iter().map(|s| s.frames).sum::<u64>(),
             self.total_wire_bits(),
         )?;
+        write_degradation(f, &self.degradation)?;
         for finding in &self.findings {
             writeln!(f, "  {finding}")?;
         }
@@ -178,6 +201,24 @@ pub struct ReplayStreamStats {
     /// Wire bits of the replayed frames — byte-identical to what the
     /// recording run's transport shipped on this stream.
     pub wire_bits: u64,
+    /// Frames whose header carried the degraded mark — the recording
+    /// run's adaptive controller was engaged while they sealed, so the
+    /// degraded spans ride the flight-recorder stream into replay.
+    pub degraded_frames: u64,
+}
+
+/// A torn or truncated tail a
+/// [`SalvagePrefix`](crate::ReplayMode::SalvagePrefix) replay cut away:
+/// the checksummed prefix of the stream was replayed, this is what was
+/// abandoned past it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SalvagedTail {
+    /// The stream whose tail was torn.
+    pub stream: u32,
+    /// Frames salvaged before the tear (the replayed prefix).
+    pub frames_salvaged: u64,
+    /// What the stream layer reported at the tear point.
+    pub detail: String,
 }
 
 /// The result of replaying a recorded flight-recorder stream set through
@@ -194,6 +235,10 @@ pub struct ReplayReport {
     /// (sharded) recording, merged exactly as the sharded run modes merge
     /// theirs, so equality with the original run holds per mode.
     pub findings: Vec<Finding>,
+    /// Torn tails a [`SalvagePrefix`](crate::ReplayMode::SalvagePrefix)
+    /// replay cut away, one entry per damaged stream. Always empty under
+    /// [`Strict`](crate::ReplayMode::Strict), which fails instead.
+    pub salvaged: Vec<SalvagedTail>,
 }
 
 impl ReplayReport {
@@ -208,6 +253,19 @@ impl ReplayReport {
     pub fn total_wire_bits(&self) -> u64 {
         self.streams.iter().map(|s| s.wire_bits).sum()
     }
+
+    /// Frames that sealed while the recording run was degraded, across
+    /// all streams.
+    #[must_use]
+    pub fn total_degraded_frames(&self) -> u64 {
+        self.streams.iter().map(|s| s.degraded_frames).sum()
+    }
+
+    /// Whether the replay lost anything to a torn tail.
+    #[must_use]
+    pub fn is_lossy(&self) -> bool {
+        !self.salvaged.is_empty()
+    }
 }
 
 impl fmt::Display for ReplayReport {
@@ -221,6 +279,20 @@ impl fmt::Display for ReplayReport {
             self.total_records(),
             self.total_wire_bits(),
         )?;
+        if self.total_degraded_frames() > 0 {
+            writeln!(
+                f,
+                "  degraded frames replayed: {}",
+                self.total_degraded_frames()
+            )?;
+        }
+        for tail in &self.salvaged {
+            writeln!(
+                f,
+                "  stream {}: salvaged {} frame(s), tail lost ({})",
+                tail.stream, tail.frames_salvaged, tail.detail
+            )?;
+        }
         for finding in &self.findings {
             writeln!(f, "  {finding}")?;
         }
@@ -250,6 +322,10 @@ pub struct RunReport {
     pub log: LogStats,
     /// Application stall breakdown (LBA only; default elsewhere).
     pub stalls: StallBreakdown,
+    /// What the adaptive capture controller did (empty when
+    /// `LogConfig::adaptive` is unset, the lifeguard's policy tolerates
+    /// nothing, or the mode is not LBA).
+    pub degradation: DegradationStats,
 }
 
 impl RunReport {
@@ -299,6 +375,7 @@ impl fmt::Display for RunReport {
                 self.stalls.syscalls,
             )?;
         }
+        write_degradation(f, &self.degradation)?;
         for finding in &self.findings {
             writeln!(f, "  {finding}")?;
         }
@@ -321,6 +398,7 @@ mod tests {
             findings: Vec::new(),
             log: LogStats::default(),
             stalls: StallBreakdown::default(),
+            degradation: DegradationStats::default(),
         }
     }
 

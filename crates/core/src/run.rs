@@ -31,6 +31,7 @@ pub fn run_unmonitored(program: &Program, config: &SystemConfig) -> Result<RunRe
         findings: Vec::new(),
         log: LogStats::default(),
         stalls: StallBreakdown::default(),
+        degradation: lba_lifeguard::DegradationStats::default(),
     })
 }
 
@@ -77,6 +78,7 @@ pub fn run_dbi(
         findings,
         log: LogStats::default(),
         stalls: StallBreakdown::default(),
+        degradation: lba_lifeguard::DegradationStats::default(),
     })
 }
 

@@ -44,6 +44,12 @@ pub enum RunError {
     /// `records_per_frame` was configured to zero: no frame could ever
     /// seal, so no record would reach the lifeguard.
     ZeroRecordsPerFrame,
+    /// The live log channel's consumer stopped draining for longer than
+    /// the configured stall timeout
+    /// (`LogConfig::channel_stall_timeout`): the producer latched the
+    /// stall and abandoned the run instead of spinning on the full queue
+    /// forever.
+    ChannelStalled,
     /// The run's flight recording could not be written or closed (disk
     /// full, permissions, retention delete failure).
     Recording {
@@ -77,6 +83,10 @@ impl fmt::Display for RunError {
             RunError::ZeroRecordsPerFrame => {
                 write!(f, "log records_per_frame must be non-zero")
             }
+            RunError::ChannelStalled => write!(
+                f,
+                "log channel stalled: the consumer stopped draining past the configured timeout"
+            ),
             RunError::Recording { detail } => {
                 write!(f, "flight recording failed: {detail}")
             }

@@ -4,6 +4,7 @@ use lba_cache::MemSystem;
 use lba_record::{EventMask, EventRecord};
 
 use crate::cost::HandlerCtx;
+use crate::degradation::DegradationPolicy;
 use crate::finding::Finding;
 use crate::idempotency::IdempotencyClass;
 
@@ -41,6 +42,16 @@ pub trait Lifeguard {
     /// is ever dropped.
     fn idempotency(&self) -> IdempotencyClass {
         IdempotencyClass::None
+    }
+
+    /// The lifeguard's capture-side degradation contract: which fidelity
+    /// reductions may the capture controller apply to this lifeguard's
+    /// stream while the transport is under back-pressure (see
+    /// [`DegradationPolicy`])? The default is the conservative
+    /// [`DegradationPolicy::none`]: an undeclared lifeguard's stream is
+    /// never degraded — the controller is not even constructed for it.
+    fn degradation(&self) -> DegradationPolicy {
+        DegradationPolicy::none()
     }
 }
 

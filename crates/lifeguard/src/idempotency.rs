@@ -134,6 +134,17 @@ struct Entry {
 struct IdempotencyWindow {
     slots: Vec<Option<Entry>>,
     mask: usize,
+    /// Logical mask and liveness to restore on
+    /// [`CaptureFilter::tighten_window`]. Equal to the current state for
+    /// windows built without a widen reserve.
+    base_mask: usize,
+    base_live: bool,
+    /// Mask covering the whole table — what widening switches to.
+    wide_mask: usize,
+    /// Whether the window currently participates in capture at all. A
+    /// widen-only window (base entries zero) starts dormant and only
+    /// filters while degradation holds it widened.
+    live: bool,
     spec: WindowSpec,
     fold: bool,
     last_tid: Option<u8>,
@@ -141,17 +152,31 @@ struct IdempotencyWindow {
 
 impl IdempotencyWindow {
     fn new(entries: usize, class: IdempotencyClass) -> Option<Self> {
+        Self::with_widen(entries, 0, class)
+    }
+
+    fn with_widen(entries: usize, widen_entries: usize, class: IdempotencyClass) -> Option<Self> {
         let spec = *class.spec()?;
-        if entries == 0 {
+        if entries == 0 && widen_entries == 0 {
             return None;
         }
         // Clamp before rounding: the ceiling is itself a power of two,
         // and `next_power_of_two` on an un-clamped huge value would
         // overflow in debug builds.
-        let len = entries.min(MAX_WINDOW_ENTRIES).next_power_of_two();
+        let round = |n: usize| n.min(MAX_WINDOW_ENTRIES).next_power_of_two();
+        let base_len = if entries == 0 { 0 } else { round(entries) };
+        let len = round(widen_entries.max(1)).max(base_len.max(1));
+        let base_live = base_len > 0;
+        // A dormant base window keeps the base mask equal to the wide
+        // one; liveness, not the mask, is what keeps it inert.
+        let base_mask = if base_live { base_len - 1 } else { len - 1 };
         Some(IdempotencyWindow {
             slots: vec![None; len],
-            mask: len - 1,
+            mask: base_mask,
+            base_mask,
+            base_live,
+            wide_mask: len - 1,
+            live: base_live,
             spec,
             fold: matches!(class, IdempotencyClass::Fold(_)),
             last_tid: None,
@@ -270,7 +295,76 @@ impl CaptureFilter {
     /// (unfiltered) hot path.
     #[must_use]
     pub fn is_passthrough(&self) -> bool {
-        self.range.is_none() && self.window.is_none()
+        self.range.is_none() && !self.window.as_ref().is_some_and(|w| w.live)
+    }
+
+    /// Creates the composed filter with a widen reserve: the window's
+    /// table is allocated at `widen_entries` (clamped like everything
+    /// else) but runs at `window_entries` until
+    /// [`widen_window`](Self::widen_window) switches it over. With
+    /// `window_entries == 0` the window starts dormant and only filters
+    /// while widened — degradation can switch dedup *on*, not just make
+    /// it bigger.
+    #[must_use]
+    pub fn with_widen(
+        range: Option<AddrRangeFilter>,
+        window_entries: usize,
+        widen_entries: usize,
+        class: IdempotencyClass,
+    ) -> Self {
+        CaptureFilter {
+            range,
+            window: IdempotencyWindow::with_widen(window_entries, widen_entries, class),
+            stats: CaptureStats::default(),
+        }
+    }
+
+    /// Switches the window to its full (widened) capacity. Sound for any
+    /// lifeguard whose policy allows it: the spec is unchanged, so a
+    /// wider window only suppresses more duplicates under the same
+    /// contract; entries keyed under the old mask merely stop being
+    /// found, costing dedup efficiency, never soundness (their pending
+    /// fold counts still settle at the next flush, which walks the whole
+    /// table). Returns whether anything changed.
+    pub fn widen_window(&mut self) -> bool {
+        match &mut self.window {
+            Some(w) if !w.live || w.mask != w.wide_mask => {
+                w.mask = w.wide_mask;
+                w.live = true;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Restores the window to its configured capacity, flushing it first
+    /// — the "what must flush on re-tightening" half of the degradation
+    /// contract: every pending fold count settles and every cleared
+    /// verdict is forgotten, so post-tighten capture behaves as if the
+    /// widened interval never existed. `out` is cleared and refilled
+    /// with the summaries to ship.
+    pub fn tighten_window(&mut self, out: &mut Vec<EventRecord>) {
+        out.clear();
+        if let Some(w) = &mut self.window {
+            w.flush(out, &mut self.stats.folded);
+            w.mask = w.base_mask;
+            w.live = w.base_live;
+            w.last_tid = None;
+        }
+        self.stats.shipped += out.len() as u64;
+    }
+
+    /// The shipping counterpart of [`tighten_window`](Self::tighten_window),
+    /// mirroring [`finish_into`](Self::finish_into).
+    pub fn tighten_window_into(
+        &mut self,
+        scratch: &mut Vec<EventRecord>,
+        mut ship: impl FnMut(&EventRecord),
+    ) {
+        self.tighten_window(scratch);
+        for rec in scratch.iter() {
+            ship(rec);
+        }
     }
 
     /// The fast-path ledger update paired with
@@ -297,7 +391,7 @@ impl CaptureFilter {
                 return;
             }
         }
-        if let Some(window) = &mut self.window {
+        if let Some(window) = self.window.as_mut().filter(|w| w.live) {
             // Cross-thread interleaving can move per-address state the
             // cleared verdicts depend on (LockSet's Eraser machine).
             if window.spec.flush_on_thread_switch && window.last_tid != Some(rec.tid) {
@@ -652,5 +746,83 @@ mod tests {
             })
             .sum();
         assert_eq!(replayed, 200);
+    }
+
+    #[test]
+    fn widen_only_window_starts_dormant() {
+        let mut f = CaptureFilter::with_widen(None, 0, 64, window_class(0, &[], false));
+        assert!(f.is_passthrough(), "dormant until widened");
+        let mut out = Vec::new();
+        f.capture(&load(0x1000, 0x40), &mut out);
+        f.capture(&load(0x1000, 0x40), &mut out);
+        assert_eq!(out.as_slice(), &[load(0x1000, 0x40)], "no dedup yet");
+        assert!(f.widen_window());
+        assert!(!f.is_passthrough());
+        f.capture(&load(0x1000, 0x40), &mut out);
+        f.capture(&load(0x1000, 0x40), &mut out);
+        assert!(out.is_empty(), "widened window dedups");
+        f.tighten_window(&mut out);
+        assert!(f.is_passthrough(), "tighten restores dormancy");
+        f.capture(&load(0x1000, 0x40), &mut out);
+        assert_eq!(out.len(), 1, "post-tighten capture is full fidelity");
+        assert_eq!(f.stats().deduped, 1);
+    }
+
+    #[test]
+    fn tighten_settles_fold_counts_exactly() {
+        let mut f = CaptureFilter::with_widen(None, 0, 16, fold_class(6, &[]));
+        assert!(f.widen_window());
+        let mut out = Vec::new();
+        let mut shipped = Vec::new();
+        for _ in 0..5 {
+            f.capture(&load(0x1000, 0x40), &mut out);
+            shipped.extend_from_slice(&out);
+        }
+        f.tighten_window(&mut out);
+        shipped.extend_from_slice(&out);
+        // One access + one summary covering the four suppressed hits.
+        assert_eq!(shipped.len(), 2);
+        assert_eq!(shipped[1].kind, EventKind::Repeat);
+        assert_eq!(shipped[1].repeat_count(), 4);
+        let stats = f.stats();
+        assert_eq!(
+            stats.shipped,
+            stats.captured - stats.range_filtered - stats.deduped + stats.folded
+        );
+    }
+
+    #[test]
+    fn widening_a_live_window_keeps_the_ledger_balanced() {
+        let mut f = CaptureFilter::with_widen(None, 4, 256, fold_class(0, &[]));
+        assert!(!f.is_passthrough());
+        let mut out = Vec::new();
+        let mut shipped = 0u64;
+        for i in 0..300u64 {
+            f.capture(&load(0x1000 + (i % 11) * 8, 0x40 + (i % 13) * 4), &mut out);
+            shipped += out.len() as u64;
+            if i == 100 {
+                assert!(f.widen_window());
+            }
+            if i == 200 {
+                f.tighten_window(&mut out);
+                shipped += out.len() as u64;
+            }
+        }
+        f.finish(&mut out);
+        shipped += out.len() as u64;
+        let stats = f.stats();
+        assert_eq!(stats.shipped, shipped);
+        assert_eq!(
+            stats.shipped,
+            stats.captured - stats.range_filtered - stats.deduped + stats.folded
+        );
+    }
+
+    #[test]
+    fn widen_without_reserve_is_a_noop() {
+        let mut f = CaptureFilter::new(None, 16, window_class(0, &[], false));
+        assert!(!f.widen_window(), "no reserve: already at full capacity");
+        let mut none = CaptureFilter::new(None, 0, IdempotencyClass::None);
+        assert!(!none.widen_window(), "None-class never grows a window");
     }
 }

@@ -62,6 +62,7 @@
 //! ```
 
 mod cost;
+mod degradation;
 mod dispatch;
 mod epoch;
 mod filter;
@@ -71,6 +72,10 @@ mod idempotency;
 mod shadow;
 
 pub use cost::HandlerCtx;
+pub use degradation::{
+    AlwaysSettled, DegradationPolicy, DegradationStats, DegradedInterval, RegionClassifier,
+    RegionSampler, SamplingSpec, MAX_RECORDED_INTERVALS,
+};
 pub use dispatch::{DispatchConfig, DispatchEngine, Lifeguard};
 pub use epoch::{EpochLifeguard, EpochSummarizer, EpochSummary};
 pub use filter::AddrRangeFilter;

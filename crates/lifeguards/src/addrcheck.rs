@@ -4,7 +4,8 @@
 use std::collections::{HashMap, HashSet};
 
 use lba_lifeguard::{
-    Finding, FindingKind, HandlerCtx, IdempotencyClass, Lifeguard, ShadowMemory, WindowSpec,
+    DegradationPolicy, Finding, FindingKind, HandlerCtx, IdempotencyClass, Lifeguard,
+    RegionClassifier, SamplingSpec, ShadowMemory, WindowSpec,
 };
 use lba_mem::layout;
 use lba_record::{EventKind, EventMask, EventRecord};
@@ -170,6 +171,61 @@ impl AddrCheck {
     }
 }
 
+/// AddrCheck's capture-side soundness oracle for region sampling: a
+/// miniature mirror of the allocation state the lifeguard itself keeps,
+/// rebuilt from the same `alloc`/`free` records (the classifier observes
+/// every record in stream order, before any degradation decision, so it
+/// never lags the verdict state downstream).
+///
+/// An access is *settled* when it provably cannot change AddrCheck's
+/// findings: it lies outside the heap (AddrCheck ignores it), or every
+/// 16-byte granule it touches is currently allocated (the shadow lookup
+/// reports it clean). Accesses to freed or never-allocated heap granules
+/// are never settled — they are exactly the ones that produce
+/// `UnallocatedAccess` findings — so they always ship, degraded or not.
+#[derive(Debug, Default)]
+pub struct AllocSettled {
+    /// Live blocks only (`addr → len`): a free removes its block, a
+    /// double/invalid free changes nothing, mirroring [`AddrCheck`].
+    blocks: HashMap<u64, u64>,
+    allocated: HashSet<u64>,
+}
+
+impl AllocSettled {
+    fn granules(addr: u64, len: u64) -> std::ops::RangeInclusive<u64> {
+        // First-to-last *byte*, so an unaligned span still covers every
+        // granule it touches.
+        AddrCheck::granule(addr)..=AddrCheck::granule(addr + len.max(1) - 1)
+    }
+}
+
+impl RegionClassifier for AllocSettled {
+    fn observe(&mut self, rec: &EventRecord) {
+        match rec.kind {
+            EventKind::Alloc if rec.addr != 0 => {
+                let len = u64::from(rec.size);
+                self.blocks.insert(rec.addr, len);
+                self.allocated.extend(Self::granules(rec.addr, len));
+            }
+            EventKind::Free => {
+                if let Some(len) = self.blocks.remove(&rec.addr) {
+                    for g in Self::granules(rec.addr, len) {
+                        self.allocated.remove(&g);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn verdict_settled(&self, rec: &EventRecord) -> bool {
+        if !layout::is_heap(rec.addr) {
+            return true;
+        }
+        Self::granules(rec.addr, u64::from(rec.size)).all(|g| self.allocated.contains(&g))
+    }
+}
+
 impl Lifeguard for AddrCheck {
     fn name(&self) -> &'static str {
         "addrcheck"
@@ -208,6 +264,47 @@ impl Lifeguard for AddrCheck {
             invalidate_on: EventMask::of(&[EventKind::Alloc, EventKind::Free]),
             flush_on_thread_switch: false,
         })
+    }
+
+    /// Degradation-soundness contract, piece by piece:
+    ///
+    /// * **Window widening** — sound for the same reason the window
+    ///   itself is: a wider window under the identical [`WindowSpec`]
+    ///   only suppresses more `(pc, granule)` duplicates, each of which
+    ///   is findings-idempotent per the argument above, and
+    ///   re-tightening flushes the extra entries.
+    /// * **Droppable kinds** — `lock`/`unlock` carry no allocation
+    ///   state, AddrCheck does not subscribe to them, and the window
+    ///   does not invalidate on them; dropping them at capture removes
+    ///   wire traffic the dispatch engine would mask to a no-op anyway.
+    /// * **Sampling** — gated by [`AllocSettled`], which mirrors the
+    ///   block table from the same `alloc`/`free` stream: only accesses
+    ///   whose every granule is currently allocated (or lies outside the
+    ///   heap) may be demoted, and those are exactly the accesses whose
+    ///   shadow lookup is clean and whose dedup key adds nothing — no
+    ///   finding can appear, disappear, or change. Every `alloc`/`free`
+    ///   repromotes all regions, so demotion never outlives the
+    ///   allocation state it was proven against.
+    ///
+    /// Findings under any mix of these are therefore byte-identical to
+    /// an undegraded run (`findings_sound`), which the degradation test
+    /// grid pins.
+    fn degradation(&self) -> DegradationPolicy {
+        DegradationPolicy {
+            widen_window: true,
+            droppable: EventMask::of(&[EventKind::Lock, EventKind::Unlock]),
+            sampling: Some(SamplingSpec {
+                region_granule_log2: GRANULE.trailing_zeros() as u8,
+                // Demote a granule after 8 consecutively-clean accesses;
+                // then ship 1 in 8. Modest, because every alloc/free
+                // restarts the proof.
+                clean_threshold: 8,
+                sample_rate: 8,
+                repromote_on: EventMask::of(&[EventKind::Alloc, EventKind::Free]),
+                make_classifier: || Box::new(AllocSettled::default()),
+            }),
+            findings_sound: true,
+        }
     }
 
     fn on_finish(&mut self, ctx: &mut HandlerCtx<'_>) {
@@ -390,6 +487,59 @@ mod tests {
         // And freeing it again is legitimate.
         rig.deliver(free(HEAP));
         assert!(rig.findings.is_empty());
+    }
+
+    #[test]
+    fn alloc_settled_mirrors_allocation_state() {
+        use lba_lifeguard::RegionClassifier;
+        let mut cls = AllocSettled::default();
+        let probe = load(0x1010, HEAP + 8);
+        assert!(
+            !cls.verdict_settled(&probe),
+            "unallocated heap is unsettled"
+        );
+        cls.observe(&alloc(HEAP, 64));
+        assert!(cls.verdict_settled(&probe), "allocated granule settles");
+        cls.observe(&free(HEAP));
+        assert!(!cls.verdict_settled(&probe), "freed granule unsettles");
+        // Double free / invalid free leave the mirror unchanged.
+        cls.observe(&free(HEAP));
+        cls.observe(&free(HEAP + 8));
+        assert!(!cls.verdict_settled(&probe));
+    }
+
+    #[test]
+    fn alloc_settled_requires_every_touched_granule() {
+        use lba_lifeguard::RegionClassifier;
+        let mut cls = AllocSettled::default();
+        cls.observe(&alloc(HEAP, 16));
+        // An 8-byte access straddling into the next, unallocated granule
+        // is not settled; the same access within the block is.
+        assert!(!cls.verdict_settled(&load(0x1010, HEAP + 12)));
+        assert!(cls.verdict_settled(&load(0x1010, HEAP + 4)));
+    }
+
+    #[test]
+    fn alloc_settled_ignores_non_heap_addresses() {
+        use lba_lifeguard::RegionClassifier;
+        let cls = AllocSettled::default();
+        assert!(cls.verdict_settled(&load(0x1010, layout::stack_top(0) - 8)));
+        assert!(cls.verdict_settled(&load(0x1010, layout::GLOBAL_BASE)));
+    }
+
+    #[test]
+    fn degradation_policy_excludes_window_invalidators() {
+        // The contract: droppable kinds must never overlap what the
+        // idempotency window invalidates on, or the flush triggers would
+        // be dropped before reaching the filter.
+        let lg = AddrCheck::new();
+        let policy = lg.degradation();
+        assert!(!policy.droppable.contains(EventKind::Alloc));
+        assert!(!policy.droppable.contains(EventKind::Free));
+        assert!(!policy.droppable.contains(EventKind::Load));
+        assert!(!policy.droppable.contains(EventKind::Store));
+        assert!(policy.findings_sound);
+        assert!(!policy.is_none());
     }
 
     #[test]

@@ -48,6 +48,25 @@
 //!   work off the critical path (see the module's soundness argument
 //!   and `lba_core::run_taint_parallel`).
 //!
+//! # Degradation contracts
+//!
+//! Each lifeguard likewise declares how capture may *degrade* under
+//! back-pressure ([`lba_lifeguard::Lifeguard::degradation`]), following
+//! the same contract discipline; the per-lifeguard soundness arguments
+//! sit next to the idempotency stories on each `degradation` impl, and
+//! `tests/degradation.rs` pins them:
+//!
+//! * [`AddrCheck`] — widening, `lock`/`unlock` dropping, and sampling of
+//!   provably-allocated regions via its [`AllocSettled`] oracle;
+//! * [`LockSet`] — widening only (an interleave or first touch must
+//!   never be masked);
+//! * [`MemProfile`] — widening, dropping of every profile-irrelevant
+//!   kind, and unconditional sampling (its profile, not any finding, is
+//!   what degrades);
+//! * [`TaintCheck`] — nothing: a none-policy means the capture
+//!   controller is never constructed and its stream is provably
+//!   untouched.
+//!
 //! # Examples
 //!
 //! ```
@@ -73,7 +92,7 @@ mod memprofile;
 pub mod taint_summary;
 mod taintcheck;
 
-pub use addrcheck::AddrCheck;
+pub use addrcheck::{AddrCheck, AllocSettled};
 pub use lockset::{LockSet, LockSetConfig};
 pub use memprofile::{MemProfile, MemoryProfile};
 pub use taint_summary::{SymTaint, TaintDep, TaintSummarizer, TaintSummary};

@@ -3,7 +3,8 @@
 use std::collections::{HashMap, HashSet};
 
 use lba_lifeguard::{
-    Finding, FindingKind, HandlerCtx, IdempotencyClass, Lifeguard, ShadowMemory, WindowSpec,
+    DegradationPolicy, Finding, FindingKind, HandlerCtx, IdempotencyClass, Lifeguard, ShadowMemory,
+    WindowSpec,
 };
 use lba_mem::layout;
 use lba_record::{EventKind, EventMask, EventRecord};
@@ -387,6 +388,35 @@ impl Lifeguard for LockSet {
             invalidate_on: EventMask::of(&[EventKind::Lock, EventKind::Unlock]),
             flush_on_thread_switch: true,
         })
+    }
+
+    /// Degradation-soundness contract: LockSet tolerates **window
+    /// widening only**.
+    ///
+    /// * **Widening** is sound because each suppressed duplicate is
+    ///   findings-idempotent under the window contract above, and the
+    ///   window's flush triggers (`lock`/`unlock`, thread interleave)
+    ///   are unchanged by its size; re-tightening flushes the extra
+    ///   entries.
+    /// * **No droppable kinds**: the thread-switch flush is keyed off
+    ///   *every* record of another thread, access or not — a dropped
+    ///   `alu`-only interleave would mask the tid change the window's
+    ///   soundness argument conditions on. A droppable set would need a
+    ///   proof that it can never hide an interleave; LockSet declares
+    ///   none instead.
+    /// * **No sampling**: a sampled-out access could be a fresh word's
+    ///   first touch, whose Virgin → Exclusive initialisation every
+    ///   later transition of the Eraser machine (and so every later
+    ///   race verdict on that word) depends on. No capture-side oracle
+    ///   can call a word's verdict "settled" while further accesses can
+    ///   still empty its candidate lockset.
+    fn degradation(&self) -> DegradationPolicy {
+        DegradationPolicy {
+            widen_window: true,
+            droppable: EventMask::EMPTY,
+            sampling: None,
+            findings_sound: true,
+        }
     }
 }
 

@@ -12,7 +12,10 @@
 
 use std::collections::HashMap;
 
-use lba_lifeguard::{HandlerCtx, IdempotencyClass, Lifeguard, WindowSpec};
+use lba_lifeguard::{
+    AlwaysSettled, DegradationPolicy, HandlerCtx, IdempotencyClass, Lifeguard, SamplingSpec,
+    WindowSpec,
+};
 use lba_record::{EventKind, EventMask, EventRecord};
 
 /// Cache-line granularity used for the hot-line histogram.
@@ -150,6 +153,52 @@ impl Lifeguard for MemProfile {
             invalidate_on: EventMask::of(&[EventKind::Syscall]),
             flush_on_thread_switch: false,
         })
+    }
+
+    /// Degradation-soundness contract: MemProfile has no findings to
+    /// protect (`findings_sound` is trivially kept — the degraded and
+    /// undegraded finding sets are both empty); what degrades is the
+    /// *profile*, from exact counts to a sampled estimate, and only
+    /// while the load signal is past threshold.
+    ///
+    /// * **Window widening** — a wider fold window only accumulates
+    ///   more duplicates per `Repeat` summary; totals stay exact at
+    ///   every flush point.
+    /// * **Droppable kinds** — everything the profile never reads:
+    ///   control-flow, lock, input and liveness records. `syscall` is
+    ///   *excluded* even though unread, because the fold window
+    ///   invalidates on it — dropping it would defer the flush that
+    ///   keeps totals exact at syscall boundaries.
+    /// * **Sampling** — [`AlwaysSettled`]: with no verdicts at stake,
+    ///   every access is settled by definition, so long-hot 64-byte
+    ///   lines demote to 1-in-N capture and the histogram under-counts
+    ///   (by exactly the amount `DegradationStats::sampled_out`
+    ///   records) until load falls. Nothing repromotes regions except
+    ///   the always-on triggers (findings cannot occur; syscalls do).
+    fn degradation(&self) -> DegradationPolicy {
+        DegradationPolicy {
+            widen_window: true,
+            droppable: EventMask::of(&[
+                EventKind::Alu,
+                EventKind::Branch,
+                EventKind::Jump,
+                EventKind::IndirectJump,
+                EventKind::Call,
+                EventKind::Return,
+                EventKind::Lock,
+                EventKind::Unlock,
+                EventKind::Recv,
+                EventKind::ThreadEnd,
+            ]),
+            sampling: Some(SamplingSpec {
+                region_granule_log2: LINE_BYTES.trailing_zeros() as u8,
+                clean_threshold: 8,
+                sample_rate: 8,
+                repromote_on: EventMask::EMPTY,
+                make_classifier: || Box::new(AlwaysSettled),
+            }),
+            findings_sound: true,
+        }
     }
 
     fn on_event(&mut self, rec: &EventRecord, ctx: &mut HandlerCtx<'_>) {

@@ -3,8 +3,8 @@
 use std::collections::HashSet;
 
 use lba_lifeguard::{
-    EpochLifeguard, Finding, FindingKind, HandlerCtx, IdempotencyClass, Lifeguard, ShadowMemory,
-    ShadowRegs,
+    DegradationPolicy, EpochLifeguard, Finding, FindingKind, HandlerCtx, IdempotencyClass,
+    Lifeguard, ShadowMemory, ShadowRegs,
 };
 use lba_record::{EventKind, EventMask, EventRecord};
 
@@ -247,6 +247,23 @@ impl Lifeguard for TaintCheck {
     /// size.
     fn idempotency(&self) -> IdempotencyClass {
         IdempotencyClass::None
+    }
+
+    /// Degradation contract: TaintCheck tolerates **nothing**, for the
+    /// same reason its idempotency class is `None` writ large. Taint is
+    /// a property of the *complete* data-flow graph: an `alu` record
+    /// moves taint between registers (and an immediate clears it), so
+    /// no kind is profile-only; a repeated access is not idempotent
+    /// (the taint it copies may differ each time), so no window may
+    /// widen; and no capture-side oracle can call an access "settled" —
+    /// any load can pull taint into a register that later reaches an
+    /// indirect jump. Declaring [`DegradationPolicy::none`] makes the
+    /// guarantee structural: the capture controller is never even
+    /// constructed for a none-policy, so TaintCheck's degraded and
+    /// undegraded pipelines are the same code path and its stream is
+    /// provably untouched under any load.
+    fn degradation(&self) -> DegradationPolicy {
+        DegradationPolicy::none()
     }
 
     fn on_event(&mut self, rec: &EventRecord, ctx: &mut HandlerCtx<'_>) {

@@ -730,12 +730,13 @@ impl SegmentReader {
                     // The payload is a sealed frame image whose first word
                     // is its record count; the stream record repeats it,
                     // so the two must agree. Since codec v3 the word's top
-                    // bit is the epoch-end mark (see `lba_compress`), not
-                    // part of the count — mask it before comparing.
+                    // bit is the epoch-end mark and since v4 bit 30 is the
+                    // degraded mark (see `lba_compress`), not part of the
+                    // count — mask both before comparing.
                     if payload.len() >= 4 {
                         let embedded =
                             u32::from_le_bytes(payload[0..4].try_into().expect("4 bytes"))
-                                & !(1 << 31);
+                                & !((1 << 31) | (1 << 30));
                         if embedded != records {
                             return Err(self.corrupt(
                                 start,

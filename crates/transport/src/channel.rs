@@ -154,6 +154,37 @@ impl EpochRouter {
     }
 }
 
+/// A cheap producer-side snapshot of transport occupancy — the load
+/// signal the adaptive capture controller steers by.
+///
+/// Units are transport-specific: bits for the modeled byte-budget buffer,
+/// queue slots for the live frame queue. Only the *ratio* matters, which
+/// is what [`occupancy_permille`](Self::occupancy_permille) exposes; the
+/// controller's hysteresis thresholds are expressed in permille so they
+/// apply uniformly to both transports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LoadSample {
+    /// Occupied transport units currently in flight toward the consumer
+    /// (parked frames included — they are the clearest overload signal).
+    pub inflight: u64,
+    /// The transport's capacity in the same units.
+    pub capacity: u64,
+}
+
+impl LoadSample {
+    /// Occupancy as a permille ratio (0 = empty, 1000 = full). Exceeds
+    /// 1000 when parked frames or an oversized admission leave the
+    /// transport over-committed.
+    #[must_use]
+    pub fn occupancy_permille(&self) -> u32 {
+        if self.capacity == 0 {
+            return 0;
+        }
+        let ratio = u128::from(self.inflight) * 1000 / u128::from(self.capacity);
+        u32::try_from(ratio).unwrap_or(u32::MAX)
+    }
+}
+
 /// Aggregate statistics for one channel, in the units the paper cares
 /// about: records, frames, and bytes on the wire.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -269,4 +300,31 @@ pub trait LogChannel {
 
     /// Lifetime statistics over sealed frames.
     fn stats(&self) -> ChannelStats;
+
+    /// Whether nothing remains for the consumer — no queued, parked, or
+    /// partially-consumed frame. Drain loops use this to tell a transient
+    /// pop refusal (fault injection modeling a stalled consumer) from a
+    /// truly empty channel, so injected stalls can never truncate an
+    /// end-of-run drain. The default `true` matches channels that resolve
+    /// availability by blocking instead of refusing.
+    fn drained(&self) -> bool {
+        true
+    }
+
+    /// A cheap occupancy snapshot for the adaptive capture controller.
+    /// Channels that cannot measure load return the default (empty)
+    /// sample, which reads as zero occupancy — the controller never
+    /// engages on them.
+    fn load_sample(&self) -> LoadSample {
+        LoadSample::default()
+    }
+
+    /// Sets or clears the degraded-capture mark carried by subsequently
+    /// sealed frames (`FrameEncoder::set_degraded`), so degraded spans
+    /// survive the flight recorder and replay. Callers flush before
+    /// toggling, keeping the mark frame-accurate. Channels without a real
+    /// encoder ignore the call.
+    fn mark_degraded(&mut self, on: bool) {
+        let _ = on;
+    }
 }

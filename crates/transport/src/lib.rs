@@ -39,14 +39,16 @@
 //! ```
 
 mod channel;
+pub mod fault;
 pub mod live;
 mod model;
 pub mod sink;
 
 pub use channel::{
-    shard_of, ChannelStats, EpochRoute, EpochRouter, LogChannel, PoppedFrame, PoppedRecord,
-    PushOutcome,
+    shard_of, ChannelStats, EpochRoute, EpochRouter, LoadSample, LogChannel, PoppedFrame,
+    PoppedRecord, PushOutcome,
 };
+pub use fault::{FaultInjector, FaultProfile, FaultSink, RetrySink};
 pub use live::LiveFrameChannel;
 pub use model::{BufferFullError, LogBufferModel, ModeledFrameChannel, TimedFrame, TransportStats};
 pub use sink::{

@@ -41,13 +41,16 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread;
+use std::time::{Duration, Instant};
 
 use crossbeam::queue::ArrayQueue;
 
 use lba_compress::{Frame, FrameConfig, FrameDecoder, FrameEncoder};
 use lba_record::EventRecord;
 
-use crate::channel::{ChannelStats, LogChannel, PoppedFrame, PoppedRecord, PushOutcome};
+use crate::channel::{
+    ChannelStats, LoadSample, LogChannel, PoppedFrame, PoppedRecord, PushOutcome,
+};
 use crate::sink::{ChannelTee, FrameSink, FrameSource, SealedFrame, SinkError};
 
 /// Spin briefly before yielding to the scheduler: the peer is typically
@@ -248,6 +251,14 @@ pub struct FrameSender {
     /// Optional mirror of every shipped frame into a [`FrameSink`] (the
     /// flight recorder); see [`tee_into`](Self::tee_into).
     tee: ChannelTee,
+    /// How long [`ship`](Self::ship) may spin against a full queue before
+    /// declaring the consumer stalled; `None` (the default) spins forever,
+    /// the pre-timeout behaviour.
+    stall_timeout: Option<Duration>,
+    /// Latched once a ship attempt exceeded `stall_timeout`. Every later
+    /// frame is discarded immediately — the run is reporting a fatal
+    /// stall, so there is no consumer left worth waiting for.
+    stalled: bool,
 }
 
 impl FrameSender {
@@ -271,6 +282,39 @@ impl FrameSender {
     pub fn take_tee(&mut self) -> Result<Option<Box<dyn FrameSink + Send>>, SinkError> {
         self.tee.take()
     }
+
+    /// Bounds how long a ship may spin against a full queue before the
+    /// consumer is declared stalled (see [`stalled`](Self::stalled)).
+    /// `None` restores the unbounded spin.
+    pub fn set_stall_timeout(&mut self, timeout: Option<Duration>) {
+        self.stall_timeout = timeout;
+    }
+
+    /// Whether a ship attempt exceeded the stall timeout. Once set, the
+    /// sender discards every further frame; the driver surfaces the
+    /// condition as a run error.
+    #[must_use]
+    pub fn stalled(&self) -> bool {
+        self.stalled
+    }
+
+    /// The producer-visible transport load: queued frames against the
+    /// queue's slot capacity. One relaxed length read — cheap enough to
+    /// sample on every capture-controller step.
+    #[must_use]
+    pub fn load_sample(&self) -> LoadSample {
+        LoadSample {
+            inflight: self.shared.queue.len() as u64,
+            capacity: self.shared.queue.capacity() as u64,
+        }
+    }
+
+    /// Sets or clears the degraded-capture mark on subsequently sealed
+    /// frames; callers flush first so the mark is frame-accurate.
+    pub fn set_degraded(&mut self, on: bool) {
+        self.encoder.set_degraded(on);
+    }
+
     /// Appends one record; when it completes a frame, ships the frame,
     /// spinning (with yields) while the queue is full.
     pub fn push(&mut self, record: &EventRecord) {
@@ -313,6 +357,12 @@ impl FrameSender {
     }
 
     fn ship(&mut self, frame: Frame) {
+        if self.stalled {
+            // A stall was already declared: the run is on its way to a
+            // fatal error, so discard instead of re-paying the timeout on
+            // every sealed frame (the Drop-driven flush included).
+            return;
+        }
         self.tee.mirror(&SealedFrame {
             bytes: &frame.bytes,
             records: frame.records,
@@ -321,6 +371,9 @@ impl FrameSender {
         let ticket = self.shared.begin_ship(&frame);
         let mut bytes = frame.bytes;
         let mut spins = 0;
+        // The stall clock starts at the first failed push, so the fast
+        // path never reads the OS clock.
+        let mut stall_start: Option<Instant> = None;
         loop {
             match self.shared.queue.push(bytes) {
                 Ok(()) => break,
@@ -332,6 +385,19 @@ impl FrameSender {
                         // actually shipped.
                         self.shared.abort_ship(ticket);
                         return;
+                    }
+                    if let Some(limit) = self.stall_timeout {
+                        let start = stall_start.get_or_insert_with(Instant::now);
+                        if start.elapsed() >= limit {
+                            // Consumer alive but not draining: latch the
+                            // stall instead of spinning unboundedly. The
+                            // frame is discarded with its accounting
+                            // backed out, exactly like the
+                            // consumer-gone path.
+                            self.shared.abort_ship(ticket);
+                            self.stalled = true;
+                            return;
+                        }
                     }
                     bytes = back;
                     backoff(&mut spins);
@@ -359,10 +425,29 @@ pub struct FrameReceiver {
     cursor: usize,
     /// Whether the most recently decoded frame carried the epoch-end mark.
     frame_epoch_end: bool,
+    /// Fault injection: spin iterations burned before each frame receive,
+    /// simulating a lifeguard core that drains slowly (see
+    /// [`set_drag`](Self::set_drag)).
+    drag: u32,
     shared: Arc<FrameShared>,
 }
 
 impl FrameReceiver {
+    /// Fault injection: burn `spins` pause iterations before every frame
+    /// receive, simulating a slow-draining consumer so the queue fills
+    /// and the producer's [`LoadSample`] climbs. Zero (the default)
+    /// disables the drag.
+    pub fn set_drag(&mut self, spins: u32) {
+        self.drag = spins;
+    }
+
+    /// Burns the configured drag (no-op when disabled).
+    fn apply_drag(&self) {
+        for _ in 0..self.drag {
+            std::hint::spin_loop();
+        }
+    }
+
     /// Receives the next record, blocking until a frame arrives. Returns
     /// `None` once the producer is dropped and the queue is drained.
     ///
@@ -442,6 +527,7 @@ impl FrameReceiver {
             if let Some(rec) = self.next_pending() {
                 return Some(rec);
             }
+            self.apply_drag();
             let bytes = self.shared.queue.pop()?;
             self.shared.account_pop(&bytes);
             self.decode(&bytes);
@@ -463,6 +549,7 @@ impl FrameReceiver {
     }
 
     fn recv_frame(&self) -> Option<Vec<u8>> {
+        self.apply_drag();
         let mut spins = 0;
         loop {
             if let Some(bytes) = self.shared.queue.pop() {
@@ -536,12 +623,15 @@ pub fn frame_channel(capacity_frames: usize, config: FrameConfig) -> (FrameSende
             encoder: FrameEncoder::new(config),
             shared: Arc::clone(&shared),
             tee: ChannelTee::default(),
+            stall_timeout: None,
+            stalled: false,
         },
         FrameReceiver {
             decoder: FrameDecoder::new(config),
             pending: Vec::new(),
             cursor: 0,
             frame_epoch_end: false,
+            drag: 0,
             shared,
         },
     )
@@ -698,6 +788,14 @@ impl LogChannel for LiveFrameChannel {
 
     fn stats(&self) -> ChannelStats {
         self.sender.shared.snapshot()
+    }
+
+    fn load_sample(&self) -> LoadSample {
+        self.sender.load_sample()
+    }
+
+    fn mark_degraded(&mut self, on: bool) {
+        self.sender.set_degraded(on);
     }
 }
 
@@ -961,6 +1059,61 @@ mod tests {
         for w in writers {
             w.join().unwrap();
         }
+    }
+
+    #[test]
+    fn stall_timeout_latches_instead_of_spinning_forever() {
+        let (mut tx, rx) = frame_channel(
+            1,
+            FrameConfig {
+                records_per_frame: 2,
+                compress: true,
+            },
+        );
+        tx.set_stall_timeout(Some(Duration::from_millis(5)));
+        // Fill the queue's only slot; the consumer never drains it.
+        tx.push(&rec(0x1000));
+        tx.push(&rec(0x1008));
+        assert!(!tx.stalled());
+        let full = tx.load_sample();
+        assert_eq!((full.inflight, full.capacity), (1, 1));
+        assert_eq!(full.occupancy_permille(), 1000);
+        // The next sealed frame cannot ship: the sender must latch the
+        // stall within the timeout instead of spinning unboundedly.
+        tx.push(&rec(0x1010));
+        tx.push(&rec(0x1018));
+        assert!(tx.stalled(), "stall must latch once the timeout elapses");
+        // Later frames (the flush-on-drop included) are discarded
+        // immediately — no repeated timeout, and the stats stay honest.
+        let stats = tx.stats();
+        tx.push(&rec(0x1020));
+        tx.push(&rec(0x1028));
+        assert_eq!(tx.stats(), stats, "discarded frames must not count");
+        drop(tx);
+        drop(rx);
+    }
+
+    #[test]
+    fn receiver_drag_slows_the_drain() {
+        let (mut tx, mut rx) = frame_channel(
+            4,
+            FrameConfig {
+                records_per_frame: 4,
+                compress: true,
+            },
+        );
+        rx.set_drag(10_000);
+        let writer = thread::spawn(move || {
+            for i in 0..40 {
+                tx.push(&rec(0x1000 + i * 8));
+            }
+        });
+        let mut count = 0;
+        while rx.recv().is_some() {
+            count += 1;
+        }
+        writer.join().unwrap();
+        assert_eq!(count, 40, "drag slows the drain but loses nothing");
     }
 
     #[test]

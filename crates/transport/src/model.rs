@@ -6,7 +6,9 @@ use std::fmt;
 use lba_compress::{Frame, FrameConfig, FrameDecoder, FrameEncoder, FRAME_LINE_BYTES};
 use lba_record::EventRecord;
 
-use crate::channel::{ChannelStats, LogChannel, PoppedFrame, PoppedRecord, PushOutcome};
+use crate::channel::{
+    ChannelStats, LoadSample, LogChannel, PoppedFrame, PoppedRecord, PushOutcome,
+};
 use crate::sink::{ChannelTee, FrameSink, FrameSource, SealedFrame, SinkError};
 
 /// A sealed log frame annotated with its production time.
@@ -531,6 +533,10 @@ impl LogChannel for ModeledFrameChannel {
         !self.parked.is_empty()
     }
 
+    fn drained(&self) -> bool {
+        self.parked.is_empty() && self.buffer.is_empty() && self.open.is_empty()
+    }
+
     fn retry_parked(&mut self, now: u64) -> Option<u64> {
         let frame = self.parked.front()?;
         if !self.frame_fits(frame.wire_bits()) {
@@ -556,6 +562,21 @@ impl LogChannel for ModeledFrameChannel {
             wire_bits: enc.wire_bits,
             high_water_bits: self.buffer.stats().high_water_bits,
         }
+    }
+
+    fn load_sample(&self) -> LoadSample {
+        // Parked frames count as in-flight: they are sealed wire traffic
+        // the consumer has not absorbed, and the clearest overload signal
+        // (occupancy reads over 1000 permille while anything is parked).
+        let parked_bits: u64 = self.parked.iter().map(Frame::wire_bits).sum();
+        LoadSample {
+            inflight: self.open_held_bits + self.buffer.occupied_bits() + parked_bits,
+            capacity: self.buffer.capacity_bits(),
+        }
+    }
+
+    fn mark_degraded(&mut self, on: bool) {
+        self.encoder.set_degraded(on);
     }
 }
 

@@ -37,10 +37,16 @@
 //!  │  whole-epoch   │   thread per shard; epoch  │                │
 //!  │  fan-out (DIFT)│   boundaries ride a frame- ┼─▶ epoch merge: │
 //!  │       │        │   header mark, so whole    │  stitch sym-   │
-//!  │  lba-cache     │   epochs land per worker   │  bolic taint   │
-//!  │  lba-mem       │   and never straddle)      │  summaries in  │
-//!  └────────────────┘          │ tee             │  global epoch  │
-//!                              │                 │  order         │
+//!  │  Capture-      │   epochs land per worker   │  bolic taint   │
+//!  │  Controller ◀──┼── LoadSample: occupancy ───┼─ summaries in  │
+//!  │  (degrades     │   feeds *back* from the    │  global epoch  │
+//!  │  capture per   │   channel; hysteresis      │  order; any    │
+//!  │  each lifeguard's  widens/samples/drops     │  finding snaps │
+//!  │  DegradationPolicy per contract only)       │  capture back  │
+//!  │       │        │                            │  to full       │
+//!  │  lba-cache     │                            │  fidelity      │
+//!  │  lba-mem       │                            │                │
+//!  └────────────────┘          │ tee             │                │
 //!                              │                 └────────────────┘
 //!                              ▼ (FrameSink)
 //!                 ┌─────────────────────────────┐
@@ -74,12 +80,12 @@
 //! | `lba-cache`      | set-associative caches and the two-core memory system |
 //! | `lba-record`     | the typed event-record vocabulary the log carries (incl. `Repeat` fold summaries) + the segmented `lbas/1` flight-recorder stream format (rotation, retention, End records) |
 //! | `lba-compress`   | value-prediction log compression + chunked frame codec (< 1 byte/instr on the wire), `CODEC_VERSION` stamped into recordings |
-//! | `lba-transport`  | `LogChannel` trait: framed buffer timing model + live cross-thread frame channel, frame-granular `pop_frame`, `shard_of` routing and per-shard channel fan-out, `EpochRouter` time-slicing with epoch-end marks in the frame header; `FrameSink`/`FrameSource` seam with tee mirroring into recordings |
-//! | `lba-lifeguard`  | dispatch engine (batch + per-record), capture filters (`AddrRangeFilter` + per-contract idempotency window in one `CaptureFilter` pass), findings, flat paged shadow memory, the `EpochSummary`/`EpochSummarizer`/`EpochLifeguard` trait triple behind the epoch-parallel modes |
-//! | `lba-lifeguards` | the paper's four lifeguards + `TaintCheck`'s symbolic epoch summaries (`taint_summary`) |
+//! | `lba-transport`  | `LogChannel` trait: framed buffer timing model + live cross-thread frame channel, frame-granular `pop_frame`, `shard_of` routing and per-shard channel fan-out, `EpochRouter` time-slicing with epoch-end marks in the frame header; `FrameSink`/`FrameSource` seam with tee mirroring into recordings; the producer-visible `LoadSample` occupancy signal (the feedback arrow above) and the seeded `FaultInjector`/`FaultSink` fault-injection wrappers |
+//! | `lba-lifeguard`  | dispatch engine (batch + per-record), capture filters (`AddrRangeFilter` + per-contract idempotency window in one `CaptureFilter` pass), findings, flat paged shadow memory, the `EpochSummary`/`EpochSummarizer`/`EpochLifeguard` trait triple behind the epoch-parallel modes, and the `DegradationPolicy`/`RegionClassifier` graceful-degradation contracts |
+//! | `lba-lifeguards` | the paper's four lifeguards + `TaintCheck`'s symbolic epoch summaries (`taint_summary`); each declares its degradation tolerance next to its idempotency story |
 //! | `lba-dbi`        | Valgrind-style inline instrumentation baseline        |
 //! | `lba-workloads`  | deterministic benchmark programs                      |
-//! | `lba-core`       | ties it together: run modes, experiments, reports     |
+//! | `lba-core`       | ties it together: run modes, experiments, reports, and the adaptive `CaptureController` closing the back-pressure feedback loop |
 //! | `lba-bench`      | table rendering, Criterion benches, `figures` binary  |
 //!
 //! ## Execution models
@@ -111,7 +117,19 @@
 //!   byte-identical to the original run, no re-simulation
 //!   ([`run_replay_epoch`] replays an epoch recording through the
 //!   summarize-then-stitch pipeline, epochs rebuilt from the frame
-//!   marks).
+//!   marks; [`run_replay_with`] in [`ReplayMode::SalvagePrefix`]
+//!   additionally survives a torn tail segment, replaying the
+//!   checksummed prefix and reporting exactly what was lost).
+//!
+//! Every producer mode can additionally run *adaptive*: set
+//! [`LogConfig::adaptive`] and the [`CaptureController`] watches the
+//! transport's [`LoadSample`], degrading capture under back-pressure
+//! strictly within each lifeguard's declared [`DegradationPolicy`] —
+//! and snapping back to full fidelity on any finding or syscall. Every
+//! degraded span is accounted in the report's [`DegradationStats`] and
+//! marked on the wire, so replays see it too. The seeded
+//! [`FaultProfile`] injectors ([`LogConfig::fault`]) exist to prove all
+//! of this deterministically in `tests/degradation.rs`.
 //!
 //! The [`experiment`] module regenerates every table and figure in the paper
 //! (`cargo run --release -p lba-bench --bin figures`), and the [`parallel`]
@@ -147,7 +165,17 @@ pub use lba_core::{
 };
 pub use lba_core::{
     run_dbi, run_epoch_parallel, run_lba, run_live, run_live_epoch_parallel, run_live_parallel,
-    run_live_taint_parallel, run_replay, run_replay_epoch, run_taint_parallel, run_unmonitored,
+    run_live_taint_parallel, run_replay, run_replay_epoch, run_replay_with, run_taint_parallel,
+    run_unmonitored,
+};
+// Adaptive capture under back-pressure: the controller and its knobs, the
+// per-lifeguard degradation contracts, the transport load signal, the
+// seeded fault injector that drives the acceptance tests, and the replay
+// salvage mode for torn recordings.
+pub use lba_core::{
+    AdaptiveConfig, CaptureController, DegradationPolicy, DegradationStats, DegradedInterval,
+    FaultInjector, FaultProfile, LoadSample, RegionClassifier, ReplayMode, SalvagedTail,
+    SamplingSpec, Transition, Verdict, MAX_RECORDED_INTERVALS,
 };
 
 #[cfg(test)]

@@ -9,8 +9,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use proptest::prelude::*;
 
 use lba::{
-    run_lba, run_live, run_live_parallel, run_replay, LifeguardKind, RecordConfig, ReplayError,
-    SystemConfig,
+    run_lba, run_live, run_live_parallel, run_replay, run_replay_with, AdaptiveConfig,
+    FaultProfile, LifeguardKind, RecordConfig, ReplayError, ReplayMode, SystemConfig,
 };
 use lba_record::{segment_file_name, StreamError};
 use lba_workloads::{bugs, Benchmark};
@@ -247,6 +247,183 @@ fn damaged_recordings_error_descriptively() {
     std::fs::remove_file(&segment).unwrap();
     let err = run_replay(&dir, || kind.make_lba(), &config).unwrap_err();
     assert!(matches!(&err, ReplayError::NoStreams { .. }), "got: {err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn salvage_prefix_replays_checksummed_prefix_of_torn_tail() {
+    // Satellite: a torn tail is survivable under `SalvagePrefix` — the
+    // proven prefix replays in full and the loss is reported, for every
+    // mid-stream damage shape the strict suite pins as fatal.
+    let program = bugs::memory_bugs();
+    let dir = temp_dir("salvage");
+    let config = recording_config(&dir);
+    let kind = LifeguardKind::AddrCheck;
+    let mut lg = kind.make_lba();
+    let original = run_lba(&program, lg.as_mut(), &config).unwrap();
+    let segment = dir.join(segment_file_name(0, 0));
+    let pristine = std::fs::read(&segment).unwrap();
+
+    // Truncated mid-record: strict refuses, salvage keeps the prefix.
+    std::fs::write(&segment, &pristine[..pristine.len() - 11]).unwrap();
+    run_replay(&dir, || kind.make_lba(), &config).unwrap_err();
+    let report =
+        run_replay_with(&dir, || kind.make_lba(), &config, ReplayMode::SalvagePrefix).unwrap();
+    assert!(report.is_lossy());
+    assert_eq!(report.salvaged.len(), 1);
+    let tail = &report.salvaged[0];
+    assert_eq!(tail.stream, report.streams[0].stream);
+    assert_eq!(tail.frames_salvaged, report.streams[0].frames);
+    assert!(
+        tail.frames_salvaged < original.log.frames,
+        "the torn frame must not be delivered"
+    );
+    assert!(report.total_records() < original.log.records);
+    assert!(report.to_string().contains("tail lost"), "got: {report}");
+
+    // Missing End record (cut exactly at the record boundary).
+    std::fs::write(&segment, &pristine[..pristine.len() - 9]).unwrap();
+    let report =
+        run_replay_with(&dir, || kind.make_lba(), &config, ReplayMode::SalvagePrefix).unwrap();
+    assert!(report.is_lossy());
+    assert!(report.salvaged[0].detail.contains("End"), "got: {report}");
+
+    // Mid-frame checksum damage salvages everything before the bad frame.
+    let mut bytes = pristine.clone();
+    bytes[24 + 21 + 40] ^= 0x55;
+    std::fs::write(&segment, &bytes).unwrap();
+    let report =
+        run_replay_with(&dir, || kind.make_lba(), &config, ReplayMode::SalvagePrefix).unwrap();
+    assert!(report.is_lossy());
+    assert!(
+        report.salvaged[0].detail.contains("checksum mismatch"),
+        "got: {report}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn salvage_prefix_on_a_multi_segment_tear_keeps_earlier_segments() {
+    // Rotation makes the salvage story concrete: tear the *last* segment
+    // and every earlier segment's frames still replay.
+    let program = Benchmark::Gzip.build();
+    let dir = temp_dir("salvage-rotate");
+    let mut config = SystemConfig::default();
+    config.log.record_to = Some(RecordConfig {
+        dir: dir.clone(),
+        segment_bytes: 8 << 10,
+        retain_bytes: u64::MAX,
+    });
+    let kind = LifeguardKind::AddrCheck;
+    let mut lg = kind.make_lba();
+    let original = run_lba(&program, lg.as_mut(), &config).unwrap();
+
+    let mut segments: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .collect();
+    segments.sort();
+    assert!(segments.len() > 2, "workload must force rotation");
+    let last = segments.last().unwrap();
+    let bytes = std::fs::read(last).unwrap();
+    std::fs::write(last, &bytes[..bytes.len() - 11]).unwrap();
+
+    let report =
+        run_replay_with(&dir, || kind.make_lba(), &config, ReplayMode::SalvagePrefix).unwrap();
+    assert!(report.is_lossy());
+    assert!(
+        report.salvaged[0].frames_salvaged > 0,
+        "frames from intact segments must survive the tear"
+    );
+    assert!(report.total_records() < original.log.records);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn salvage_prefix_keeps_pre_frame_damage_fatal() {
+    // No trustworthy prefix exists when the damage precedes any frame:
+    // codec mismatch, unknown version, and an empty directory stay fatal
+    // in both modes.
+    let program = bugs::memory_bugs();
+    let dir = temp_dir("salvage-fatal");
+    let config = recording_config(&dir);
+    let kind = LifeguardKind::AddrCheck;
+    let mut lg = kind.make_lba();
+    run_lba(&program, lg.as_mut(), &config).unwrap();
+    let segment = dir.join(segment_file_name(0, 0));
+    let pristine = std::fs::read(&segment).unwrap();
+
+    let mut bytes = pristine.clone();
+    bytes[8..12].copy_from_slice(&999u32.to_le_bytes());
+    std::fs::write(&segment, &bytes).unwrap();
+    let err =
+        run_replay_with(&dir, || kind.make_lba(), &config, ReplayMode::SalvagePrefix).unwrap_err();
+    assert!(
+        matches!(&err, ReplayError::CodecMismatch { recorded: 999, .. }),
+        "got: {err}"
+    );
+
+    let mut bytes = pristine.clone();
+    bytes[5] = b'7';
+    std::fs::write(&segment, &bytes).unwrap();
+    let err =
+        run_replay_with(&dir, || kind.make_lba(), &config, ReplayMode::SalvagePrefix).unwrap_err();
+    assert!(
+        matches!(
+            &err,
+            ReplayError::Stream(StreamError::UnknownVersion { .. })
+        ),
+        "got: {err}"
+    );
+
+    std::fs::remove_file(&segment).unwrap();
+    let err =
+        run_replay_with(&dir, || kind.make_lba(), &config, ReplayMode::SalvagePrefix).unwrap_err();
+    assert!(matches!(&err, ReplayError::NoStreams { .. }), "got: {err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn degraded_spans_ride_the_recording_into_replay() {
+    // Tentpole acceptance, replay leg: a recording made while the
+    // adaptive controller was engaged carries the degraded mark on its
+    // frames, and the replay report surfaces those spans.
+    let program = Benchmark::Gzip.build();
+    let dir = temp_dir("degraded-replay");
+    let mut config = recording_config(&dir);
+    config.log.adaptive = Some(AdaptiveConfig {
+        engage_permille: 300,
+        disengage_permille: 100,
+        sample_stride: 16,
+        ..AdaptiveConfig::default()
+    });
+    config.log.fault = Some(FaultProfile::slow_drain(42));
+    config.log.buffer_bytes = 2 << 10;
+    let kind = LifeguardKind::AddrCheck;
+    let mut lg = kind.make_lba();
+    let original = run_lba(&program, lg.as_mut(), &config).unwrap();
+    assert!(
+        !original.degradation.is_empty(),
+        "precondition: the recording run must actually degrade"
+    );
+
+    let replay = run_replay(&dir, || kind.make_lba(), &config).unwrap();
+    assert!(
+        replay.total_degraded_frames() > 0,
+        "degraded spans must ride the flight-recorder stream"
+    );
+    assert!(replay.total_degraded_frames() <= replay.streams[0].frames);
+    assert_eq!(replay.findings, original.findings);
+    assert_eq!(replay.total_records(), original.log.records);
+    assert_eq!(replay.total_wire_bits(), original.log.wire_bits);
+    assert!(
+        !replay.is_lossy(),
+        "degradation is not loss at the recorder"
+    );
+    assert!(
+        replay.to_string().contains("degraded frames replayed"),
+        "got: {replay}"
+    );
     std::fs::remove_dir_all(&dir).ok();
 }
 
