@@ -177,6 +177,14 @@ fn bench_smoke() -> i32 {
             return 1;
         }
     };
+    // The committed trajectory must itself satisfy the registry-derived
+    // shape check: every series a `RUN_MODES` entry owns is present, and
+    // nothing the registry doesn't know about lingers. A registry change
+    // therefore fails CI until the trajectory is regenerated.
+    if let Err(e) = pipeline::validate_trajectory(&committed) {
+        eprintln!("committed trajectory diverges from the run-mode registry: {e}");
+        return 1;
+    }
     let emitted_keys = pipeline::trajectory_keys(&json).expect("validated above");
     match pipeline::trajectory_keys(&committed) {
         Err(e) => {

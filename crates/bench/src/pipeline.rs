@@ -22,7 +22,7 @@ use lba::{
 use lba_cache::{MemSystem, MemSystemConfig};
 use lba_cpu::Machine;
 use lba_lifeguard::{DispatchEngine, Lifeguard};
-use lba_lifeguards::{AddrCheck, LockSet, MemProfile, TaintCheck};
+use lba_lifeguards::AddrCheck;
 use lba_record::EventRecord;
 use lba_transport::{LogChannel, ModeledFrameChannel};
 use lba_workloads::Benchmark;
@@ -30,30 +30,28 @@ use lba_workloads::Benchmark;
 /// A lifeguard factory used by the measurement matrix.
 pub type LifeguardFactory = fn() -> Box<dyn Lifeguard>;
 
-/// The four lifeguards as (name, factory) pairs — `LifeguardKind` covers
-/// the paper's three; the pipeline bench also drives MemProfile.
+/// Every lifeguard as (name, factory) pairs, derived from the
+/// [`lba::MONITORS`] registry so a new lifeguard lands in the bench
+/// matrix by adding its registry row — `LifeguardKind` covers the
+/// paper's three; the pipeline bench also drives MemProfile.
 #[must_use]
 pub fn lifeguards() -> Vec<(&'static str, LifeguardFactory)> {
-    vec![
-        ("addrcheck", || Box::new(AddrCheck::new())),
-        ("taintcheck", || Box::new(TaintCheck::new())),
-        ("lockset", || Box::new(LockSet::new())),
-        ("memprofile", || Box::new(MemProfile::new())),
-    ]
+    lba::MONITORS.iter().map(|m| (m.name, m.make)).collect()
 }
 
 /// The lifeguards the sharded (parallel) modes support — those whose
-/// per-address state is independent, so address-interleaved routing is
-/// sound. TaintCheck is excluded: its register state forms a sequential
-/// dependence chain through every instruction (same soundness note as the
-/// modeled `run_lba_parallel`); it gets its own "taint-parallel" epoch
-/// series instead (see [`epoch_speedup`]).
+/// registry row declares address-interleaved sharding sound (per-address
+/// state only). TaintCheck is excluded: its register state forms a
+/// sequential dependence chain through every instruction (same soundness
+/// note as the modeled `run_lba_parallel`); it gets its own
+/// "taint-parallel" epoch series instead (see [`epoch_speedup`]).
 #[must_use]
 pub fn sharded_lifeguards() -> Vec<(&'static str, LifeguardFactory)> {
-    vec![
-        ("addrcheck", || Box::new(AddrCheck::new())),
-        ("lockset", || Box::new(LockSet::new())),
-    ]
+    lba::MONITORS
+        .iter()
+        .filter(|m| m.shardable)
+        .map(|m| (m.name, m.make))
+        .collect()
 }
 
 /// Shard counts the live-parallel series measures.
@@ -354,11 +352,11 @@ pub fn measure_degraded(samples: usize) -> Vec<PipelineRow> {
                     let (log, degradation) = if mode == "lba" {
                         let report = run_lba(&program, lg.as_mut(), &cfg).expect("gzip runs clean");
                         modeled_cycles = report.total_cycles;
-                        (report.log, report.degradation)
+                        (report.log, report.pipeline.degradation)
                     } else {
                         let report =
                             run_live(&program, lg.as_mut(), &cfg).expect("gzip runs clean");
-                        (report.log, report.degradation)
+                        (report.log, report.pipeline.degradation)
                     };
                     assert_eq!(
                         degradation.is_empty(),
@@ -863,53 +861,60 @@ pub fn validate_trajectory(json: &str) -> Result<(), String> {
         }
     }
 
-    // The series: isolated consumption, modeled, live, live-parallel,
-    // the epoch-parallel TaintCheck pair, offline replay, the adaptive-
-    // degradation pairs, and the filtered (windowed) cells riding the
-    // lba/live modes.
-    for mode in [
-        "consume",
-        "lba",
-        "live",
-        "live-parallel",
-        "taint-parallel",
-        "live-taint-parallel",
-        "replay",
-        "lba-faulted",
-        "lba-degraded",
-        "live-faulted",
-        "live-degraded",
-    ] {
+    // The series: the consumption-only pair plus every trajectory series
+    // a registry run mode owns — derived from `lba::RUN_MODES`, so the
+    // committed trajectory and the registry cannot drift apart (a mode
+    // added to or dropped from the registry fails this check until the
+    // trajectory is regenerated).
+    let series: Vec<&'static str> = std::iter::once("consume")
+        .chain(
+            lba::RUN_MODES
+                .iter()
+                .flat_map(|m| m.bench_series.iter().copied()),
+        )
+        .collect();
+    for mode in series {
         if !json.contains(&format!("\"mode\": \"{mode}\"")) {
             return Err(format!("missing series {mode}"));
         }
     }
-    // Single-lifeguard modes cover all four lifeguards…
-    for lifeguard in ["addrcheck", "taintcheck", "lockset", "memprofile"] {
+    // Single-lifeguard modes cover every registered lifeguard…
+    for monitor in &lba::MONITORS {
         if !json.contains(&format!(
-            "\"mode\": \"lba\", \"lifeguard\": \"{lifeguard}\""
+            "\"mode\": \"lba\", \"lifeguard\": \"{}\"",
+            monitor.name
         )) {
-            return Err(format!("missing lba/{lifeguard}"));
+            return Err(format!("missing lba/{}", monitor.name));
         }
     }
-    // …the live-parallel series covers every supported lifeguard at every
-    // shard count (TaintCheck excluded: address interleaving is unsound
-    // for it)…
-    for lifeguard in ["addrcheck", "lockset"] {
-        for shards in SHARD_COUNTS {
-            let row = format!(
-                "\"mode\": \"live-parallel\", \"lifeguard\": \"{lifeguard}\", \
-                 \"benchmark\": \"gzip\", \"batched\": true, \"shards\": {shards}"
-            );
-            if !json.contains(&row) {
-                return Err(format!(
-                    "missing live-parallel/{lifeguard} at {shards} shards"
-                ));
+    // …the live-parallel series covers every registry-declared shardable
+    // lifeguard at every shard count, and nothing else (address
+    // interleaving is unsound for the rest — TaintCheck's register state
+    // is a sequential dependence chain)…
+    for monitor in &lba::MONITORS {
+        if monitor.shardable {
+            for shards in SHARD_COUNTS {
+                let row = format!(
+                    "\"mode\": \"live-parallel\", \"lifeguard\": \"{}\", \
+                     \"benchmark\": \"gzip\", \"batched\": true, \"shards\": {shards}",
+                    monitor.name
+                );
+                if !json.contains(&row) {
+                    return Err(format!(
+                        "missing live-parallel/{} at {shards} shards",
+                        monitor.name
+                    ));
+                }
             }
+        } else if json.contains(&format!(
+            "\"mode\": \"live-parallel\", \"lifeguard\": \"{}\"",
+            monitor.name
+        )) {
+            return Err(format!(
+                "{} must stay out of the sharded series",
+                monitor.name
+            ));
         }
-    }
-    if json.contains("\"mode\": \"live-parallel\", \"lifeguard\": \"taintcheck\"") {
-        return Err("TaintCheck must stay out of the sharded series".into());
     }
 
     // …the epoch-parallel series covers both execution models at every
@@ -970,8 +975,12 @@ pub fn validate_trajectory(json: &str) -> Result<(), String> {
             .find(|l| l.contains(&tag))
             .ok_or_else(|| format!("missing {mode}/{lifeguard} row at window {window}"))
     };
+    let idempotent: Vec<&'static str> = idempotent_lifeguards()
+        .into_iter()
+        .map(|(name, _)| name)
+        .collect();
     for mode in ["lba", "live"] {
-        for lifeguard in ["addrcheck", "lockset", "memprofile"] {
+        for &lifeguard in &idempotent {
             let filtered = find_row(mode, lifeguard, IDEMPOTENT_WINDOW)?;
             let unfiltered = find_row(mode, lifeguard, 0)?;
             let what = format!("{mode}/{lifeguard}");
@@ -992,12 +1001,19 @@ pub fn validate_trajectory(json: &str) -> Result<(), String> {
             }
         }
     }
-    let windowed_taint = json
-        .lines()
-        .filter(|l| l.contains("\"lifeguard\": \"taintcheck\""))
-        .any(|l| row_field(l, "window") != Some("0"));
-    if windowed_taint {
-        return Err("TaintCheck declares IdempotencyClass::None; it has no filtered row".into());
+    for (name, _) in lifeguards() {
+        if idempotent.contains(&name) {
+            continue;
+        }
+        let windowed = json
+            .lines()
+            .filter(|l| l.contains(&format!("\"lifeguard\": \"{name}\"")))
+            .any(|l| row_field(l, "window") != Some("0"));
+        if windowed {
+            return Err(format!(
+                "{name} declares IdempotencyClass::None; it has no filtered row"
+            ));
+        }
     }
 
     // …and the adaptive-degradation series covers every lifeguard whose
@@ -1024,8 +1040,12 @@ pub fn validate_trajectory(json: &str) -> Result<(), String> {
             .find(|l| l.contains(&tag))
             .ok_or_else(|| format!("missing {mode}-{suffix}/{lifeguard} row"))
     };
+    let degradable: Vec<&'static str> = degradable_lifeguards()
+        .into_iter()
+        .map(|(name, _)| name)
+        .collect();
     for mode in ["lba", "live"] {
-        for lifeguard in ["addrcheck", "lockset", "memprofile"] {
+        for &lifeguard in &degradable {
             let degraded = degraded_row(mode, "degraded", lifeguard)?;
             let faulted = degraded_row(mode, "faulted", lifeguard)?;
             let what = format!("{mode}/{lifeguard}");
@@ -1036,12 +1056,16 @@ pub fn validate_trajectory(json: &str) -> Result<(), String> {
                 return Err(format!("{what}: no controller, nothing sampled out"));
             }
             let fraction = row_f64(degraded, "sampled_out_fraction")?;
-            // LockSet's contract declares no sampling (a sampled-out
-            // access could be a fresh word's first touch); the other two
-            // must actually thin the stream.
-            if lifeguard == "lockset" {
+            // A contract that declares no sampling (LockSet: a
+            // sampled-out access could be a fresh word's first touch)
+            // must show none; the rest must actually thin the stream.
+            let samples = lifeguards()
+                .into_iter()
+                .find(|(name, _)| *name == lifeguard)
+                .is_some_and(|(_, make)| make().degradation().sampling.is_some());
+            if !samples {
                 if fraction != 0.0 {
-                    return Err(format!("{what}: LockSet declares no sampling"));
+                    return Err(format!("{what}: {lifeguard} declares no sampling"));
                 }
             } else if fraction <= 0.0 {
                 return Err(format!("{what}: sampling must bite, got {fraction}"));
@@ -1071,11 +1095,16 @@ pub fn validate_trajectory(json: &str) -> Result<(), String> {
             }
         }
     }
-    for suffix in ["degraded", "faulted"] {
-        if json.contains(&format!("-{suffix}\", \"lifeguard\": \"taintcheck\"")) {
-            return Err(
-                "TaintCheck declares DegradationPolicy::none(); it has no degraded row".into(),
-            );
+    for (name, _) in lifeguards() {
+        if degradable.contains(&name) {
+            continue;
+        }
+        for suffix in ["degraded", "faulted"] {
+            if json.contains(&format!("-{suffix}\", \"lifeguard\": \"{name}\"")) {
+                return Err(format!(
+                    "{name} declares DegradationPolicy::none(); it has no degraded row"
+                ));
+            }
         }
     }
     Ok(())

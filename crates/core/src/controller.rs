@@ -25,8 +25,8 @@
 //! flight recorder into replay.
 
 use lba_lifeguard::{
-    DegradationPolicy, DegradationStats, DegradedInterval, RegionClassifier, RegionSampler,
-    MAX_RECORDED_INTERVALS,
+    DegradationPolicy, DegradationRequest, DegradationStats, DegradedInterval, RegionClassifier,
+    RegionSampler, MAX_RECORDED_INTERVALS,
 };
 use lba_record::{EventKind, EventRecord};
 use lba_transport::LoadSample;
@@ -118,6 +118,9 @@ pub struct CaptureController {
     since_sample: u32,
     /// A syscall arrived: snap back at the next tick.
     syscall_snap: bool,
+    /// A lifeguard-side dial change requested via [`Self::request`],
+    /// applied at the next tick.
+    pending_request: Option<DegradationRequest>,
     last_findings: u64,
     open: Option<DegradedInterval>,
     stats: DegradationStats,
@@ -143,6 +146,7 @@ impl CaptureController {
             records: 0,
             since_sample: 0,
             syscall_snap: false,
+            pending_request: None,
             last_findings: 0,
             open: None,
             stats: DegradationStats::default(),
@@ -153,6 +157,19 @@ impl CaptureController {
     #[must_use]
     pub fn engaged(&self) -> bool {
         self.engaged
+    }
+
+    /// Latches a lifeguard-side degradation request
+    /// ([`lba_lifeguard::Lifeguard::degradation_request`], polled by the
+    /// runner after deliveries). The request is applied — and ledgered in
+    /// [`DegradationStats::lifeguard_requests`] — at the next
+    /// [`tick`](Self::tick), after snapback triggers but ahead of the
+    /// occupancy sample, so analysis-driven dial changes share the same
+    /// frame-boundary plumbing as load-driven ones. A request that asks
+    /// for the state the controller is already in is still counted but
+    /// produces no transition.
+    pub fn request(&mut self, request: DegradationRequest) {
+        self.pending_request = Some(request);
     }
 
     /// Decides whether capture fidelity changes at this record boundary.
@@ -168,6 +185,16 @@ impl CaptureController {
         let syscall_snap = std::mem::take(&mut self.syscall_snap);
         if self.engaged && (finding_snap || syscall_snap) {
             return Some(self.disengage(true));
+        }
+        if let Some(request) = self.pending_request.take() {
+            self.stats.lifeguard_requests += 1;
+            match request {
+                DegradationRequest::Engage if !self.engaged => return Some(self.engage()),
+                DegradationRequest::Disengage if self.engaged => {
+                    return Some(self.disengage(false))
+                }
+                _ => {}
+            }
         }
         self.since_sample += 1;
         if self.since_sample < self.config.sample_stride {
@@ -455,6 +482,32 @@ mod tests {
         let stats = ctl.finish();
         assert_eq!(stats.intervals.len(), 1);
         assert_eq!(stats.intervals[0].to_record, 5);
+    }
+
+    #[test]
+    fn lifeguard_requests_drive_and_ledger_transitions() {
+        let mut ctl = CaptureController::new(quick(), sampling_policy()).unwrap();
+        ctl.request(DegradationRequest::Engage);
+        assert_eq!(
+            ctl.tick(sample(0), 0),
+            Some(Transition::Engage { widen: true }),
+            "an analysis-side request engages even at zero load"
+        );
+        // Redundant request: counted, no transition.
+        ctl.request(DegradationRequest::Engage);
+        assert_eq!(ctl.tick(sample(500), 0), None);
+        ctl.request(DegradationRequest::Disengage);
+        assert_eq!(
+            ctl.tick(sample(999), 0),
+            Some(Transition::Disengage {
+                tighten: true,
+                snapback: false
+            }),
+            "a disengage request overrides high occupancy"
+        );
+        let stats = ctl.finish();
+        assert_eq!(stats.lifeguard_requests, 3);
+        assert_eq!(stats.engagements, 1);
     }
 
     #[test]

@@ -5,13 +5,13 @@ use lba_cache::MemSystem;
 use lba_compress::FRAME_LINE_BYTES;
 use lba_cpu::{Machine, RunError, StepOutcome};
 use lba_isa::Program;
-use lba_lifeguard::{DegradationStats, DispatchEngine, Finding, Lifeguard};
-use lba_record::{EventKind, TraceStats};
-use lba_transport::{FaultInjector, LogChannel, ModeledFrameChannel, PushOutcome};
+use lba_lifeguard::{DegradationRequest, DispatchEngine, Finding, Lifeguard};
+use lba_record::EventRecord;
+use lba_transport::{modeled_channel, FaultInjector, LoadSample, LogChannel, PushOutcome};
 
 use crate::config::SystemConfig;
-use crate::controller::{CaptureController, Transition, Verdict};
-use crate::report::{LogStats, Mode, RunReport, StallBreakdown};
+use crate::pipeline::{Producer, ProducerLink};
+use crate::report::{LogStats, Mode, PipelineReport, RunReport, StallBreakdown};
 
 /// The lifeguard core's MemSystem index (the application core is 0, which
 /// is the machine's default).
@@ -38,6 +38,9 @@ struct Cosim<'a, C: LogChannel> {
     /// Frame-granular consumption (default) versus the per-record baseline.
     batch: bool,
     stalls: StallBreakdown,
+    /// The latest analysis-side degradation request polled off the
+    /// lifeguard after a delivery, awaiting pickup by the producer.
+    pending_request: Option<DegradationRequest>,
 }
 
 impl<C: LogChannel> Cosim<'_, C> {
@@ -66,6 +69,9 @@ impl<C: LogChannel> Cosim<'_, C> {
             LG_CORE,
             &mut self.findings,
         );
+        if let Some(req) = self.engine.poll_degradation(self.lifeguard) {
+            self.pending_request = Some(req);
+        }
         true
     }
 
@@ -88,6 +94,9 @@ impl<C: LogChannel> Cosim<'_, C> {
             LG_CORE,
             &mut self.findings,
         );
+        if let Some(req) = self.engine.poll_degradation(self.lifeguard) {
+            self.pending_request = Some(req);
+        }
         true
     }
 
@@ -160,6 +169,62 @@ impl<C: LogChannel> Cosim<'_, C> {
     }
 }
 
+/// The co-simulation's transport plumbing under the shared [`Producer`]:
+/// pushes and flushes absorb modeled timing, syscall containment drains
+/// the log on the application clock, and the lock-step ablation
+/// synchronises the two clocks after every record.
+impl<C: LogChannel> ProducerLink for Cosim<'_, C> {
+    fn ship(&mut self, rec: &EventRecord) {
+        let outcome = self.channel.push_record(rec, self.t_app);
+        self.absorb(outcome);
+    }
+
+    fn on_engage(&mut self) {
+        let outcome = self.channel.flush(self.t_app);
+        self.absorb(outcome);
+        self.channel.mark_degraded(true);
+    }
+
+    fn on_disengage(&mut self) {
+        let outcome = self.channel.flush(self.t_app);
+        self.absorb(outcome);
+        self.channel.mark_degraded(false);
+    }
+
+    fn load_sample(&self) -> LoadSample {
+        self.channel.load_sample()
+    }
+
+    fn finding_count(&self) -> u64 {
+        self.findings.len() as u64
+    }
+
+    fn contain_syscall(&mut self) {
+        // Flush first: any back-pressure it hits is buffer stall, kept
+        // disjoint from the containment stall measured below.
+        let outcome = self.channel.flush(self.t_app);
+        self.absorb(outcome);
+        let before = self.t_app;
+        self.drain();
+        self.t_app = self.t_app.max(self.t_lg);
+        self.stalls.syscall_stall_cycles += self.t_app - before;
+        self.stalls.syscalls += 1;
+    }
+
+    fn lockstep(&mut self) {
+        // Synchronise after every record, paying a one-record frame each
+        // time.
+        let outcome = self.channel.flush(self.t_app);
+        self.absorb(outcome);
+        self.drain();
+        self.t_app = self.t_app.max(self.t_lg);
+    }
+
+    fn take_degradation_request(&mut self) -> Option<DegradationRequest> {
+        self.pending_request.take()
+    }
+}
+
 /// Runs `program` under LBA: the application executes on core 0 while the
 /// lifeguard consumes the compressed, framed log on core 1.
 ///
@@ -211,44 +276,23 @@ pub fn run_lba(
         });
     }
     let mut machine = Machine::new(program, config.machine);
-    let mut trace = TraceStats::new();
-    // The single capture-pass predicate (address-range filter composed
-    // with the per-lifeguard idempotency window) plus its scratch buffer:
-    // each retired record yields zero or more records to ship (fold
-    // summaries first, then the record itself when admitted). Under
-    // adaptive capture the window carries a widen reserve sized by the
-    // lifeguard's degradation policy.
-    let policy = lifeguard.degradation();
-    let mut filter = config
-        .log
-        .adaptive_capture_filter(lifeguard.idempotency(), &policy);
-    let mut shipping: Vec<lba_record::EventRecord> = Vec::new();
-    // The adaptive capture controller — absent entirely (not just
-    // disengaged) when the run is not configured for it or the
-    // lifeguard's policy tolerates nothing.
-    let mut controller = config
-        .log
-        .adaptive
-        .and_then(|a| CaptureController::new(a, policy));
+    // The shared producer stage chain: trace accounting, the capture-pass
+    // predicate (address-range filter composed with the per-lifeguard
+    // idempotency window, with a widen reserve under adaptive capture),
+    // the adaptive controller when configured, and syscall containment.
+    let mut producer = Producer::single(lifeguard, config);
 
     // Batched consumption pairs with the zero-copy channel (the hardware
     // decompressor's work is modeled, not re-run in host software); the
     // per-record baseline keeps the software-decoding channel. Both ship
     // identical wire bytes; `verify_compression` decodes and cross-checks
     // either way.
-    let mut channel = if config.log.batch_dispatch {
-        ModeledFrameChannel::zero_copy(
-            config.log.buffer_bytes,
-            config.log.frame_config(),
-            config.log.verify_compression,
-        )
-    } else {
-        ModeledFrameChannel::new(
-            config.log.buffer_bytes,
-            config.log.frame_config(),
-            config.log.verify_compression,
-        )
-    };
+    let mut channel = modeled_channel(
+        config.log.buffer_bytes,
+        config.log.frame_config(),
+        config.log.batch_dispatch,
+        config.log.verify_compression,
+    );
     // Flight recorder: mirror every sealed frame into stream 0 of the
     // configured recording directory.
     if let Some(record) = &config.log.record_to {
@@ -269,115 +313,27 @@ pub fn run_lba(
         line_transfer_cycles: config.log.line_transfer_cycles,
         batch: config.log.batch_dispatch,
         stalls: StallBreakdown::default(),
+        pending_request: None,
     };
 
+    // The run loop is now one stage-chain call per retired record: the
+    // shared producer decides what ships, when fidelity transitions and
+    // how syscalls contain; the Cosim link absorbs the modeled timing.
     loop {
         match machine.step(&mut sim.mem)? {
             StepOutcome::Finished => break,
             StepOutcome::Retired(r) => {
                 sim.t_app += r.cycles;
-                trace.observe(&r.record);
-
-                // Adaptive capture: the controller watches the channel's
-                // load signal and degrades (or restores) capture fidelity
-                // within the lifeguard's declared policy. Transitions
-                // flush first so the wire's degraded mark is
-                // frame-accurate.
-                let mut admit = Verdict::Ship;
-                if let Some(ctl) = controller.as_mut() {
-                    match ctl.tick(sim.channel.load_sample(), sim.findings.len() as u64) {
-                        Some(Transition::Engage { widen }) => {
-                            let outcome = sim.channel.flush(sim.t_app);
-                            sim.absorb(outcome);
-                            if widen {
-                                filter.widen_window();
-                            }
-                            sim.channel.mark_degraded(true);
-                        }
-                        Some(Transition::Disengage { tighten, .. }) => {
-                            let outcome = sim.channel.flush(sim.t_app);
-                            sim.absorb(outcome);
-                            sim.channel.mark_degraded(false);
-                            if tighten {
-                                filter.tighten_window_into(&mut shipping, |rec| {
-                                    let outcome = sim.channel.push_record(rec, sim.t_app);
-                                    sim.absorb(outcome);
-                                });
-                            }
-                        }
-                        None => {}
-                    }
-                    admit = ctl.admit(&r.record);
-                }
-
-                // Capture pass: range filter + idempotency window decide
-                // what enters the log in one predicate. Whatever ships
-                // feeds the capture + compression engine (hardware: no
-                // app cycles, but each shipped frame occupies shared-L2
-                // bandwidth and buffer space — back-pressure stalls the
-                // application). A record the controller sampled out or
-                // kind-dropped never reaches it.
-                if admit == Verdict::Ship {
-                    filter.capture_into(&r.record, &mut shipping, |rec| {
-                        let outcome = sim.channel.push_record(rec, sim.t_app);
-                        sim.absorb(outcome);
-                    });
-                }
-
-                // Containment: stall the syscall until the lifeguard has
-                // checked everything that precedes it — which requires
-                // flushing the open partial frame.
-                if r.record.kind == EventKind::Syscall && config.log.syscall_stall {
-                    // Flush first: any back-pressure it hits is buffer
-                    // stall, kept disjoint from the containment stall
-                    // measured below.
-                    let outcome = sim.channel.flush(sim.t_app);
-                    sim.absorb(outcome);
-                    let before = sim.t_app;
-                    sim.drain();
-                    sim.t_app = sim.t_app.max(sim.t_lg);
-                    sim.stalls.syscall_stall_cycles += sim.t_app - before;
-                    sim.stalls.syscalls += 1;
-                } else if !config.log.decoupled {
-                    // Lock-step ablation: synchronise after every record,
-                    // paying a one-record frame each time.
-                    let outcome = sim.channel.flush(sim.t_app);
-                    sim.absorb(outcome);
-                    sim.drain();
-                    sim.t_app = sim.t_app.max(sim.t_lg);
-                }
+                producer.observe(&r.record, &mut sim);
             }
         }
     }
 
-    // A run ending degraded snaps back first: the closing fold summaries
-    // and final checks happen at full fidelity, and the open degraded
-    // interval closes in the stats.
-    let degradation = match controller {
-        Some(ctl) => {
-            if ctl.engaged() {
-                let outcome = sim.channel.flush(sim.t_app);
-                sim.absorb(outcome);
-                sim.channel.mark_degraded(false);
-                if policy.widen_window {
-                    filter.tighten_window_into(&mut shipping, |rec| {
-                        let outcome = sim.channel.push_record(rec, sim.t_app);
-                        sim.absorb(outcome);
-                    });
-                }
-            }
-            ctl.finish()
-        }
-        None => DegradationStats::default(),
-    };
-
-    // End of program: settle outstanding fold counts, flush the partial
-    // frame, let the lifeguard finish the remaining log, and run its
-    // final checks.
-    filter.finish_into(&mut shipping, |rec| {
-        let outcome = sim.channel.push_record(rec, sim.t_app);
-        sim.absorb(outcome);
-    });
+    // End of stream: the producer snaps back out of any open degraded
+    // interval and settles outstanding fold counts; then flush the
+    // partial frame, let the lifeguard finish the remaining log, and run
+    // its final checks.
+    let finish = producer.finish(&mut sim);
     let outcome = sim.channel.flush(sim.t_app);
     sim.absorb(outcome);
     sim.drain();
@@ -390,30 +346,20 @@ pub fn run_lba(
     crate::recorder::finish_tee(sim.channel.inner_mut().take_tee())?;
 
     let stats = sim.channel.stats();
-    let capture = filter.stats();
-    let instructions = trace.instructions().max(1);
     Ok(RunReport {
         program: program.name().to_string(),
         mode: Mode::Lba,
         total_cycles: sim.t_app.max(sim.t_lg),
         app_cycles: sim.t_app,
         lifeguard_cycles: sim.t_lg,
-        trace,
-        findings: sim.findings,
-        log: LogStats {
-            records: stats.records,
-            captured: capture.captured,
-            filtered: capture.range_filtered,
-            deduped: capture.deduped,
-            folded: capture.folded,
-            frames: stats.frames,
-            compressed_bits: stats.payload_bits,
-            wire_bits: stats.wire_bits,
-            bytes_per_instruction: stats.payload_bits as f64 / 8.0 / instructions as f64,
-            wire_bytes_per_instruction: stats.wire_bits as f64 / 8.0 / instructions as f64,
+        pipeline: PipelineReport {
+            findings: sim.findings,
+            log: LogStats::from_channel(stats, finish.capture, finish.trace.instructions()),
+            capture: finish.capture,
+            degradation: finish.degradation,
         },
+        trace: finish.trace,
         stalls: sim.stalls,
-        degradation,
     })
 }
 

@@ -6,10 +6,10 @@
 //! dependence chain through every instruction. This module closes that gap
 //! with the follow-up LBA literature's *epoch* technique:
 //!
-//! * the producer cuts the record stream into contiguous **epochs** at
+//! * the producer — [`Producer::passthrough`] driving an [`EpochRouted`]
+//!   topology — cuts the record stream into contiguous **epochs** at
 //!   every syscall (the natural containment point, where the log flushes
-//!   anyway) and every `epoch_records` records
-//!   ([`EpochRouter`]); whole epochs fan out
+//!   anyway) and every `epoch_records` records; whole epochs fan out
 //!   to `workers` workers round-robin, riding the existing framed
 //!   transport — the epoch boundary is a one-bit mark in the sealed
 //!   frame's wire header, so frames never straddle epochs;
@@ -36,7 +36,9 @@
 //! marks of a live epoch run and re-stitch). Like the sharded parallel
 //! study, the modeled mode isolates lifeguard-side scaling: no
 //! back-pressure, syscall-stall, or line-transfer charges — compare
-//! against `run_lba`'s lifeguard-bound totals.
+//! against `run_lba`'s lifeguard-bound totals. The passthrough producer
+//! ships every retired record: epoch summaries are computed over the full
+//! stream, so no capture filter or adaptive controller may drop records.
 
 use std::collections::VecDeque;
 use std::sync::mpsc;
@@ -47,13 +49,14 @@ use lba_cpu::{Machine, RunError, StepOutcome};
 use lba_isa::Program;
 use lba_lifeguard::{DispatchEngine, EpochLifeguard, EpochSummarizer, Finding, HandlerCtx};
 use lba_lifeguards::TaintCheck;
-use lba_record::TraceStats;
+use lba_record::{EventRecord, TraceStats};
 use lba_transport::live::{shard_frame_channels, FrameReceiver};
-use lba_transport::{ChannelStats, EpochRouter, LogChannel, ModeledFrameChannel};
+use lba_transport::{ChannelStats, LogChannel, ModeledFrameChannel};
 
 use crate::config::SystemConfig;
+use crate::pipeline::{ConsumerTopology, EpochRouted, Producer, ProducerLink, Route};
 use crate::replay::ReplayError;
-use crate::report::{LogStats, ReplayReport, ReplayStreamStats};
+use crate::report::{LogStats, PipelineReport, ReplayReport, ReplayStreamStats};
 
 /// Per-worker channel byte budget in the modeled mode. Epochs drain as
 /// their frames seal, so this bounds transport memory, not the log; like
@@ -82,17 +85,19 @@ pub struct EpochParallelReport {
     /// End-to-end cycles: `max(app, stitch)` (the stitch clock already
     /// dominates every worker clock it waited on).
     pub total_cycles: u64,
-    /// Findings in program order, identical to the sequential run's.
-    pub findings: Vec<Finding>,
     /// Retired-instruction statistics.
     pub trace: TraceStats,
     /// Per-worker transport statistics. Every record lands on exactly one
     /// worker (epochs partition the stream — nothing is broadcast), so the
     /// record totals sum to the sequential stream's.
     pub worker_log: Vec<ChannelStats>,
-    /// Aggregate log statistics over the worker streams.
-    pub log: LogStats,
+    /// The shared pipeline core: findings in program order (identical to
+    /// the sequential run's), log statistics summed over the worker
+    /// streams, and the (passthrough) capture ledger.
+    pub pipeline: PipelineReport,
 }
+
+crate::report::deref_pipeline!(EpochParallelReport);
 
 impl EpochParallelReport {
     /// The slowest worker's cycles.
@@ -112,13 +117,16 @@ pub struct LiveEpochParallelReport {
     pub workers: usize,
     /// Epochs stitched by the merge thread.
     pub epochs: u64,
-    /// Findings in program order, identical to the sequential run's.
-    pub findings: Vec<Finding>,
     /// Retired-instruction statistics, gathered on the producer thread.
     pub trace: TraceStats,
     /// Per-worker transport statistics, in worker order.
     pub worker_log: Vec<ChannelStats>,
+    /// The shared pipeline core: findings in program order (identical to
+    /// the sequential run's) plus aggregate log statistics.
+    pub pipeline: PipelineReport,
 }
+
+crate::report::deref_pipeline!(LiveEpochParallelReport);
 
 impl LiveEpochParallelReport {
     /// Records carried across all workers — exactly the shipped stream,
@@ -177,6 +185,56 @@ impl<S: EpochSummarizer> ModeledWorker<S> {
     }
 }
 
+/// The modeled epoch mode's [`ProducerLink`]: the [`EpochRouted`]
+/// topology fans whole epochs out to the modeled workers, each ship
+/// opportunistically drains sealed frames into the owning summarizer, and
+/// the merge core stitches completed summaries into the master in global
+/// epoch order as soon as they become available.
+struct EpochModelLink<'m, E: EpochLifeguard> {
+    topology: EpochRouted,
+    pool: Vec<ModeledWorker<E::Summarizer>>,
+    engine: DispatchEngine,
+    mem: MemSystem,
+    master: &'m mut E,
+    merge_core: usize,
+    findings: Vec<Finding>,
+    app_cycles: u64,
+    stitch_clock: u64,
+    next_epoch: u64,
+}
+
+impl<E: EpochLifeguard> EpochModelLink<'_, E> {
+    /// Absorbs every summary that is next in global epoch order.
+    fn stitch(&mut self) {
+        loop {
+            let w = (self.next_epoch % self.pool.len() as u64) as usize;
+            let Some((summary, t_done)) = self.pool[w].done.pop_front() else {
+                break;
+            };
+            self.stitch_clock = self.stitch_clock.max(t_done);
+            let mut ctx = HandlerCtx::new(&mut self.mem, self.merge_core, &mut self.findings);
+            self.master.absorb(summary, &mut ctx);
+            self.stitch_clock += ctx.cycles();
+            self.next_epoch += 1;
+        }
+    }
+}
+
+impl<E: EpochLifeguard> ProducerLink for EpochModelLink<'_, E> {
+    fn ship(&mut self, rec: &EventRecord) {
+        match self.topology.route(rec) {
+            Route::Epoch { worker, end_epoch } => {
+                self.pool[worker]
+                    .channel
+                    .push_record_epoch(rec, self.app_cycles, end_epoch);
+                self.pool[worker].drain(&self.engine, &mut self.mem, 1 + worker);
+                self.stitch();
+            }
+            _ => unreachable!("EpochRouted only yields epoch routes"),
+        }
+    }
+}
+
 /// Runs `program` under the modeled epoch-parallel pipeline: `master` is
 /// the concrete lifeguard (it ends the run holding the same state a
 /// sequential run would), `workers` summarizers consume whole epochs
@@ -192,7 +250,7 @@ impl<S: EpochSummarizer> ModeledWorker<S> {
 /// is `max(app, stitch)`.
 ///
 /// Epoch boundaries come from [`LogConfig::epoch_records`](crate::LogConfig)
-/// and syscalls; see [`EpochRouter`].
+/// and syscalls; see [`EpochRouted`].
 ///
 /// # Errors
 ///
@@ -210,11 +268,6 @@ pub fn run_epoch_parallel<E: EpochLifeguard>(
     assert!(workers > 0, "need at least one epoch worker");
     config.log.validate_framing()?;
     let mut machine = Machine::new(program, config.machine);
-    // Core 0: application. Cores 1..=workers: summarizers. Last: merge.
-    let mut mem = MemSystem::new(MemSystemConfig::multi_core(workers + 2));
-    let merge_core = workers + 1;
-    let engine = DispatchEngine::new(config.dispatch);
-    let mut router = EpochRouter::new(workers, config.log.epoch_records);
     let mut pool: Vec<ModeledWorker<E::Summarizer>> = (0..workers)
         .map(|_| ModeledWorker {
             channel: if config.log.batch_dispatch {
@@ -239,66 +292,41 @@ pub fn run_epoch_parallel<E: EpochLifeguard>(
         }
     }
 
-    let mut findings = Vec::new();
-    let mut trace = TraceStats::new();
-    let mut app_cycles = 0u64;
-    let mut stitch_clock = 0u64;
-    let mut next_epoch = 0u64;
-
-    /// Absorbs every summary that is next in global epoch order.
-    fn stitch<E: EpochLifeguard>(
-        pool: &mut [ModeledWorker<E::Summarizer>],
-        master: &mut E,
-        mem: &mut MemSystem,
-        merge_core: usize,
-        findings: &mut Vec<Finding>,
-        next_epoch: &mut u64,
-        stitch_clock: &mut u64,
-    ) {
-        loop {
-            let w = (*next_epoch % pool.len() as u64) as usize;
-            let Some((summary, t_done)) = pool[w].done.pop_front() else {
-                break;
-            };
-            *stitch_clock = (*stitch_clock).max(t_done);
-            let mut ctx = HandlerCtx::new(mem, merge_core, findings);
-            master.absorb(summary, &mut ctx);
-            *stitch_clock += ctx.cycles();
-            *next_epoch += 1;
-        }
-    }
+    // The passthrough producer: every retired record ships (summaries are
+    // computed over the full stream), so no filter or controller.
+    let mut producer = Producer::passthrough();
+    let mut link = EpochModelLink::<E> {
+        topology: EpochRouted::new(workers, config.log.epoch_records),
+        pool,
+        engine: DispatchEngine::new(config.dispatch),
+        // Core 0: application. Cores 1..=workers: summarizers. Last: merge.
+        mem: MemSystem::new(MemSystemConfig::multi_core(workers + 2)),
+        master,
+        merge_core: workers + 1,
+        findings: Vec::new(),
+        app_cycles: 0,
+        stitch_clock: 0,
+        next_epoch: 0,
+    };
 
     loop {
-        match machine.step(&mut mem)? {
+        match machine.step(&mut link.mem)? {
             StepOutcome::Finished => break,
             StepOutcome::Retired(r) => {
-                trace.observe(&r.record);
-                app_cycles += r.cycles;
-                let route = router.route(&r.record);
-                pool[route.worker].channel.push_record_epoch(
-                    &r.record,
-                    app_cycles,
-                    route.end_epoch,
-                );
-                pool[route.worker].drain(&engine, &mut mem, 1 + route.worker);
-                stitch::<E>(
-                    &mut pool,
-                    master,
-                    &mut mem,
-                    merge_core,
-                    &mut findings,
-                    &mut next_epoch,
-                    &mut stitch_clock,
-                );
+                link.app_cycles += r.cycles;
+                producer.observe(&r.record, &mut link);
             }
         }
     }
+    let finish = producer.finish(&mut link);
 
     // End of program: the tail epoch (if open) ships via a plain unmarked
     // flush; its worker finalises the dangling summary after draining.
-    for (idx, worker) in pool.iter_mut().enumerate() {
-        worker.channel.flush(app_cycles);
-        worker.drain(&engine, &mut mem, 1 + idx);
+    let app_cycles = link.app_cycles;
+    for idx in 0..workers {
+        link.pool[idx].channel.flush(app_cycles);
+        let worker = &mut link.pool[idx];
+        worker.drain(&link.engine, &mut link.mem, 1 + idx);
         if worker.open || worker.summarizer.is_open() {
             worker
                 .done
@@ -306,55 +334,60 @@ pub fn run_epoch_parallel<E: EpochLifeguard>(
             worker.open = false;
         }
     }
-    stitch::<E>(
-        &mut pool,
-        master,
-        &mut mem,
-        merge_core,
-        &mut findings,
-        &mut next_epoch,
-        &mut stitch_clock,
+    link.stitch();
+    debug_assert_eq!(
+        link.next_epoch,
+        link.topology.epochs(),
+        "every epoch stitched"
     );
-    debug_assert_eq!(next_epoch, router.epochs(), "every epoch stitched");
-    stitch_clock += engine.finish(master, &mut mem, merge_core, &mut findings);
+    let mut findings = link.findings;
+    let mut stitch_clock = link.stitch_clock;
+    stitch_clock += link
+        .engine
+        .finish(link.master, &mut link.mem, link.merge_core, &mut findings);
 
     // Close each worker's flight recording (End records + flush).
-    for worker in &mut pool {
+    for worker in &mut link.pool {
         crate::recorder::finish_tee(worker.channel.take_tee())?;
     }
 
-    let worker_cycles: Vec<u64> = pool.iter().map(|w| w.clock).collect();
-    let worker_log: Vec<ChannelStats> = pool.iter().map(|w| w.channel.stats()).collect();
-    let records: u64 = worker_log.iter().map(|s| s.records).sum();
-    let frames: u64 = worker_log.iter().map(|s| s.frames).sum();
-    let payload_bits: u64 = worker_log.iter().map(|s| s.payload_bits).sum();
-    let wire_bits: u64 = worker_log.iter().map(|s| s.wire_bits).sum();
-    let instructions = trace.instructions().max(1);
+    let worker_cycles: Vec<u64> = link.pool.iter().map(|w| w.clock).collect();
+    let worker_log: Vec<ChannelStats> = link.pool.iter().map(|w| w.channel.stats()).collect();
     let total_cycles = app_cycles.max(stitch_clock);
     Ok(EpochParallelReport {
         program: program.name().to_string(),
         workers,
-        epochs: router.epochs(),
+        epochs: link.topology.epochs(),
         app_cycles,
         worker_cycles,
         stitch_cycles: stitch_clock,
         total_cycles,
-        findings,
-        trace,
-        worker_log,
-        log: LogStats {
-            records,
-            captured: records,
-            filtered: 0,
-            deduped: 0,
-            folded: 0,
-            frames,
-            compressed_bits: payload_bits,
-            wire_bits,
-            bytes_per_instruction: payload_bits as f64 / 8.0 / instructions as f64,
-            wire_bytes_per_instruction: wire_bits as f64 / 8.0 / instructions as f64,
+        pipeline: PipelineReport {
+            findings,
+            log: LogStats::from_channels(&worker_log, finish.capture, finish.trace.instructions()),
+            capture: finish.capture,
+            degradation: finish.degradation,
         },
+        trace: finish.trace,
+        worker_log,
     })
+}
+
+/// The live epoch mode's [`ProducerLink`]: the [`EpochRouted`] topology
+/// fans whole epochs out over one framed SPSC sender per worker thread,
+/// with the epoch-end mark riding the sealed frame's wire header.
+struct LiveEpochLink {
+    topology: EpochRouted,
+    senders: Vec<lba_transport::live::FrameSender>,
+}
+
+impl ProducerLink for LiveEpochLink {
+    fn ship(&mut self, rec: &EventRecord) {
+        match self.topology.route(rec) {
+            Route::Epoch { worker, end_epoch } => self.senders[worker].push_epoch(rec, end_epoch),
+            _ => unreachable!("EpochRouted only yields epoch routes"),
+        }
+    }
 }
 
 /// Runs `program` under the live epoch-parallel pipeline: the producer
@@ -387,7 +420,6 @@ where
 {
     assert!(workers > 0, "need at least one epoch worker");
     config.log.validate_framing()?;
-    let mut router = EpochRouter::new(workers, config.log.epoch_records);
     let (mut senders, receivers) = shard_frame_channels(
         workers,
         config.log.live_channel_frames(),
@@ -469,38 +501,48 @@ where
             })
         };
 
-        // Produce on this thread: run the machine and fan epochs out.
-        let produced = (|| -> Result<TraceStats, RunError> {
+        // Produce on this thread: run the machine and fan epochs out. The
+        // link — and every sender — drops when this closure returns,
+        // closing the worker streams so the consumers and merge finish
+        // whether or not the run errored.
+        let produced = (|| -> Result<crate::pipeline::ProducerFinish, RunError> {
             let mut machine = Machine::new(program, config.machine);
             let mut mem = MemSystem::new(config.mem_single());
-            let mut trace = TraceStats::new();
-            machine.run(&mut mem, |r| {
-                trace.observe(&r.record);
-                let route = router.route(&r.record);
-                senders[route.worker].push_epoch(&r.record, route.end_epoch);
-            })?;
-            for tx in senders.iter_mut() {
+            let mut producer = Producer::passthrough();
+            let mut link = LiveEpochLink {
+                topology: EpochRouted::new(workers, config.log.epoch_records),
+                senders,
+            };
+            machine.run(&mut mem, |r| producer.observe(&r.record, &mut link))?;
+            let finish = producer.finish(&mut link);
+            for tx in link.senders.iter_mut() {
                 tx.flush();
                 crate::recorder::finish_tee(tx.take_tee())?;
             }
-            Ok(trace)
+            Ok(finish)
         })();
-        // Close every worker stream (flush-on-drop) whether or not the run
-        // errored, so the consumers — and then the merge — can finish.
-        drop(senders);
 
         let worker_log: Vec<ChannelStats> = consumers
             .into_iter()
             .map(|h| h.join().expect("worker thread must not panic"))
             .collect();
         let (findings, epochs) = merge.join().expect("merge thread must not panic");
-        let trace = produced?;
+        let finish = produced?;
         Ok(LiveEpochParallelReport {
             program: program.name().to_string(),
             workers,
             epochs,
-            findings,
-            trace,
+            pipeline: PipelineReport {
+                findings,
+                log: LogStats::from_channels(
+                    &worker_log,
+                    finish.capture,
+                    finish.trace.instructions(),
+                ),
+                capture: finish.capture,
+                degradation: finish.degradation,
+            },
+            trace: finish.trace,
             worker_log,
         })
     })
@@ -508,10 +550,7 @@ where
 
 /// Drives one live worker's receive loop: whole frames with their
 /// epoch-end marks, until the channel closes.
-fn epoch_consume(
-    rx: &mut FrameReceiver,
-    mut consume: impl FnMut(&[lba_record::EventRecord], bool),
-) {
+fn epoch_consume(rx: &mut FrameReceiver, mut consume: impl FnMut(&[EventRecord], bool)) {
     while let Some((records, epoch_end)) = rx.recv_batch_epoch() {
         consume(records, epoch_end);
     }
@@ -524,7 +563,9 @@ fn epoch_consume(
 /// into epochs at the recorded frame marks (a stream tail with no closing
 /// mark is the run's final, open epoch), then the summaries are stitched
 /// into `master` in global epoch order — worker count equals stream
-/// count, epochs round-robin, exactly as they were recorded.
+/// count, epochs round-robin, exactly as they were recorded. This is the
+/// [`ReplaySource`](crate::pipeline::ReplaySource) topology: the recorded
+/// streams *are* the producer.
 ///
 /// Findings and final `master` state are byte-identical to the recording
 /// run's (and therefore to the sequential run's).
@@ -539,7 +580,7 @@ pub fn run_replay_epoch<E: EpochLifeguard>(
     config: &SystemConfig,
 ) -> Result<ReplayReport, ReplayError> {
     use lba_compress::{Frame, FrameDecoder, CODEC_VERSION};
-    use lba_record::{stream_ids, EventRecord, SegmentReader};
+    use lba_record::{stream_ids, SegmentReader};
 
     let dir = dir.as_ref();
     let ids = stream_ids(dir)?;
@@ -631,8 +672,8 @@ pub fn run_replay_epoch<E: EpochLifeguard>(
     Ok(ReplayReport {
         dir: dir.display().to_string(),
         codec_version,
+        pipeline: ReplayReport::stream_pipeline(&streams, findings),
         streams,
-        findings,
         salvaged: Vec::new(),
     })
 }

@@ -46,6 +46,8 @@
 //! # Ok::<(), lba::RunError>(())
 //! ```
 
+#![deny(missing_docs)]
+
 mod config;
 pub mod controller;
 mod cosim;
@@ -55,6 +57,7 @@ mod kind;
 mod live;
 pub mod live_parallel;
 pub mod parallel;
+pub mod pipeline;
 mod recorder;
 pub mod replay;
 pub mod report;
@@ -71,10 +74,15 @@ pub use epoch_parallel::{
 pub use kind::LifeguardKind;
 pub use live::run_live;
 pub use live_parallel::run_live_parallel;
+pub use pipeline::{
+    ConsumerTopology, EpochRouted, Execution, ModeOutcome, MonitorSpec, Producer, ProducerFinish,
+    ProducerLink, ReplaySource, Route, RunModeSpec, ShardedByLine, SingleConsumer, TopologyKind,
+    MONITORS, RUN_MODES,
+};
 pub use replay::{run_replay, run_replay_with, ReplayError, ReplayMode};
 pub use report::{
-    LiveParallelReport, LiveReport, LogStats, Mode, ReplayReport, ReplayStreamStats, RunReport,
-    SalvagedTail, StallBreakdown,
+    LiveParallelReport, LiveReport, LogStats, Mode, PipelineReport, ReplayReport,
+    ReplayStreamStats, RunReport, SalvagedTail, StallBreakdown,
 };
 pub use run::{run_dbi, run_unmonitored};
 
@@ -88,8 +96,9 @@ pub use lba_transport::{ChannelStats, FaultInjector, FaultProfile, LoadSample};
 // pair is what custom lifeguards implement `Lifeguard::idempotency` with.
 // The degradation set is the same story for `Lifeguard::degradation`.
 pub use lba_lifeguard::{
-    CaptureFilter, CaptureStats, DegradationPolicy, DegradationStats, DegradedInterval,
-    IdempotencyClass, RegionClassifier, SamplingSpec, WindowSpec, MAX_RECORDED_INTERVALS,
+    CaptureFilter, CaptureStats, DegradationPolicy, DegradationRequest, DegradationStats,
+    DegradedInterval, IdempotencyClass, RegionClassifier, SamplingSpec, WindowSpec,
+    MAX_RECORDED_INTERVALS,
 };
 
 // The execution error type comes from the CPU substrate.

@@ -7,10 +7,13 @@
 //! decompresses and consumes them on another, connected by the framed SPSC
 //! channel from `lba-transport`. One queue operation moves an entire frame
 //! (`config.log.records_per_frame` records), and the reported statistics
-//! are *real* wire bytes, so the live mode now exercises and measures the
+//! are *real* wire bytes, so the live mode exercises and measures the
 //! paper's < 1 B/instruction wire format instead of shipping raw structs.
-//! Integration tests assert the findings match the deterministic mode
-//! exactly.
+//!
+//! The producer side is [`Producer::live`] driving a [`LiveLink`]: the
+//! identical capture pass the co-simulation runs, plugged into the framed
+//! sender. Integration tests assert the findings — and the shipped wire
+//! stream — match the deterministic mode exactly.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::thread;
@@ -18,13 +21,70 @@ use std::thread;
 use lba_cache::MemSystem;
 use lba_cpu::{Machine, RunError};
 use lba_isa::Program;
-use lba_lifeguard::{CaptureStats, DegradationStats, DispatchEngine, Lifeguard};
-use lba_record::{EventKind, EventRecord, TraceStats};
+use lba_lifeguard::{DegradationRequest, DispatchEngine, Lifeguard};
 use lba_transport::live;
 
 use crate::config::SystemConfig;
-use crate::controller::{CaptureController, Transition, Verdict};
-use crate::report::{LiveReport, LogStats};
+use crate::pipeline::{Producer, ProducerLink};
+use crate::report::{LiveReport, LogStats, PipelineReport};
+
+/// Encoding of the analysis-side dial slot the consumer publishes and the
+/// producer drains: no request pending.
+const DIAL_NONE: u64 = 0;
+/// Dial slot: the lifeguard asked to engage degraded capture.
+const DIAL_ENGAGE: u64 = 1;
+/// Dial slot: the lifeguard asked to disengage degraded capture.
+const DIAL_DISENGAGE: u64 = 2;
+
+/// The live mode's [`ProducerLink`]: shipped records go straight into the
+/// framed SPSC sender, degradation transitions seal the open frame and
+/// toggle the wire's degraded mark, and the controller steers by the real
+/// queue occupancy plus the finding count and dial requests the consumer
+/// thread publishes through atomics.
+struct LiveLink<'a> {
+    tx: live::FrameSender,
+    finding_count: &'a AtomicU64,
+    dial: &'a AtomicU64,
+}
+
+impl ProducerLink for LiveLink<'_> {
+    fn ship(&mut self, rec: &lba_record::EventRecord) {
+        self.tx.push(rec);
+    }
+
+    fn on_engage(&mut self) {
+        self.tx.flush();
+        self.tx.set_degraded(true);
+    }
+
+    fn on_disengage(&mut self) {
+        self.tx.flush();
+        self.tx.set_degraded(false);
+    }
+
+    fn load_sample(&self) -> lba_transport::LoadSample {
+        self.tx.load_sample()
+    }
+
+    fn finding_count(&self) -> u64 {
+        self.finding_count.load(Ordering::Relaxed)
+    }
+
+    fn contain_syscall(&mut self) {
+        // Real threads cannot stall a modeled clock; containment reduces
+        // to sealing the frame so the consumer can observe everything
+        // that precedes the syscall.
+        self.tx.flush();
+    }
+
+    fn take_degradation_request(&mut self) -> Option<DegradationRequest> {
+        match self.dial.swap(DIAL_NONE, Ordering::Relaxed) {
+            DIAL_ENGAGE => Some(DegradationRequest::Engage),
+            DIAL_DISENGAGE => Some(DegradationRequest::Disengage),
+            _ => None,
+        }
+    }
+}
 
 /// Runs `program` on one thread and the lifeguard on another, returning
 /// the lifeguard's findings together with the measured wire statistics.
@@ -55,9 +115,8 @@ pub fn run_live(
     if let Some(record) = &config.log.record_to {
         tx.tee_into(crate::recorder::open_sink(record, 0)?);
     }
-    // Satellite robustness fix: bound the producer's spin on a full queue.
-    // A consumer that genuinely stops draining now surfaces as
-    // `RunError::ChannelStalled` instead of a livelock.
+    // Bound the producer's spin on a full queue: a consumer that genuinely
+    // stops draining surfaces as `RunError::ChannelStalled`, not a livelock.
     tx.set_stall_timeout(config.log.channel_stall_timeout);
     // Fault injection, live flavour: the consumer burns spin cycles per
     // frame so the queue genuinely fills and the load signal climbs.
@@ -69,91 +128,49 @@ pub fn run_live(
     // The identical capture pass the co-simulation runs (range filter +
     // idempotency window in one predicate), so the two modes ship the
     // same record stream byte for byte.
-    let policy = lifeguard.degradation();
-    let mut filter = config
-        .log
-        .adaptive_capture_filter(lifeguard.idempotency(), &policy);
-    let mut controller = config
-        .log
-        .adaptive
-        .and_then(|a| CaptureController::new(a, policy));
+    let mut stage = Producer::live(&*lifeguard, config);
     // The finding-snapback signal: the consumer publishes its running
     // finding count; any growth the producer's controller observes snaps
     // capture back to full fidelity.
     let finding_count = AtomicU64::new(0);
+    // The analysis-side degradation dial: the consumer polls the
+    // lifeguard after each delivery and publishes the latest request; the
+    // producer drains it into the controller.
+    let dial = AtomicU64::new(DIAL_NONE);
 
     thread::scope(|scope| {
         let finding_count = &finding_count;
+        let dial = &dial;
         let producer = scope.spawn(
-            move || -> Result<(TraceStats, CaptureStats, DegradationStats), RunError> {
+            move || -> Result<crate::pipeline::ProducerFinish, RunError> {
                 let mut machine = Machine::new(program, machine_config);
                 let mut mem = MemSystem::new(config.mem_single());
-                let mut trace = TraceStats::new();
-                let mut shipping: Vec<EventRecord> = Vec::new();
-                machine.run(&mut mem, |r| {
-                    trace.observe(&r.record);
-                    let mut admit = Verdict::Ship;
-                    if let Some(ctl) = controller.as_mut() {
-                        match ctl.tick(tx.load_sample(), finding_count.load(Ordering::Relaxed)) {
-                            Some(Transition::Engage { widen }) => {
-                                tx.flush();
-                                if widen {
-                                    filter.widen_window();
-                                }
-                                tx.set_degraded(true);
-                            }
-                            Some(Transition::Disengage { tighten, .. }) => {
-                                tx.flush();
-                                tx.set_degraded(false);
-                                if tighten {
-                                    filter.tighten_window_into(&mut shipping, |rec| tx.push(rec));
-                                }
-                            }
-                            None => {}
-                        }
-                        admit = ctl.admit(&r.record);
-                    }
-                    if admit == Verdict::Ship {
-                        filter.capture_into(&r.record, &mut shipping, |rec| tx.push(rec));
-                    }
-                    if r.record.kind == EventKind::Syscall && config.log.syscall_stall {
-                        tx.flush();
-                    }
-                })?;
-                // A latched stall means frames were silently discarded
-                // past the timeout: the run is no longer lossless and
-                // must fail loudly.
-                if tx.stalled() {
+                let mut link = LiveLink {
+                    tx,
+                    finding_count,
+                    dial,
+                };
+                machine.run(&mut mem, |r| stage.observe(&r.record, &mut link))?;
+                // A latched stall means frames were silently discarded past
+                // the timeout: the run is no longer lossless and must fail
+                // loudly.
+                if link.tx.stalled() {
                     return Err(RunError::ChannelStalled);
                 }
-                // A run ending degraded snaps back first, so the closing
-                // fold summaries ship at full fidelity.
-                let degradation = match controller {
-                    Some(ctl) => {
-                        if ctl.engaged() {
-                            tx.flush();
-                            tx.set_degraded(false);
-                            if policy.widen_window {
-                                filter.tighten_window_into(&mut shipping, |rec| tx.push(rec));
-                            }
-                        }
-                        ctl.finish()
-                    }
-                    None => DegradationStats::default(),
-                };
-                // Settle outstanding fold counts before the channel closes.
-                filter.finish_into(&mut shipping, |rec| tx.push(rec));
+                // Snap back out of degradation, settle fold counts, ship the
+                // tail — the shared epilogue.
+                let finish = stage.finish(&mut link);
                 // Seal the final partial frame *before* taking the tee back,
                 // so the recording carries the complete wire stream; the
                 // drop-flush below then has nothing left to ship.
-                tx.flush();
-                if tx.stalled() {
+                link.tx.flush();
+                if link.tx.stalled() {
                     return Err(RunError::ChannelStalled);
                 }
-                crate::recorder::finish_tee(tx.take_tee())?;
-                Ok((trace, filter.stats(), degradation))
-                // `tx` drops here: flushes the final partial frame and closes
-                // the channel.
+                crate::recorder::finish_tee(link.tx.take_tee())?;
+                Ok(finish)
+                // `link.tx` drops here: flushes the final partial frame and
+                // closes the channel.
             },
         );
 
@@ -167,38 +184,42 @@ pub fn run_live(
             while let Some(batch) = rx.recv_batch() {
                 engine.deliver_batch(lifeguard, batch, &mut mem, 1, &mut findings);
                 finding_count.store(findings.len() as u64, Ordering::Relaxed);
+                if let Some(req) = engine.poll_degradation(lifeguard) {
+                    dial.store(encode_dial(req), Ordering::Relaxed);
+                }
             }
         } else {
             while let Some(record) = rx.recv_ref() {
                 engine.deliver(lifeguard, record, &mut mem, 1, &mut findings);
                 finding_count.store(findings.len() as u64, Ordering::Relaxed);
+                if let Some(req) = engine.poll_degradation(lifeguard) {
+                    dial.store(encode_dial(req), Ordering::Relaxed);
+                }
             }
         }
         engine.finish(lifeguard, &mut mem, 1, &mut findings);
 
-        let (trace, capture, degradation) =
-            producer.join().expect("producer thread must not panic")?;
+        let finish = producer.join().expect("producer thread must not panic")?;
         let stats = rx.stats();
-        let instructions = trace.instructions().max(1);
         Ok(LiveReport {
             program: program.name().to_string(),
-            findings,
-            log: LogStats {
-                records: stats.records,
-                captured: capture.captured,
-                filtered: capture.range_filtered,
-                deduped: capture.deduped,
-                folded: capture.folded,
-                frames: stats.frames,
-                compressed_bits: stats.payload_bits,
-                wire_bits: stats.wire_bits,
-                bytes_per_instruction: stats.payload_bits as f64 / 8.0 / instructions as f64,
-                wire_bytes_per_instruction: stats.wire_bits as f64 / 8.0 / instructions as f64,
+            pipeline: PipelineReport {
+                findings,
+                log: LogStats::from_channel(stats, finish.capture, finish.trace.instructions()),
+                capture: finish.capture,
+                degradation: finish.degradation,
             },
-            trace,
-            degradation,
+            trace: finish.trace,
         })
     })
+}
+
+/// Maps a [`DegradationRequest`] onto the dial slot's wire encoding.
+fn encode_dial(req: DegradationRequest) -> u64 {
+    match req {
+        DegradationRequest::Engage => DIAL_ENGAGE,
+        DegradationRequest::Disengage => DIAL_DISENGAGE,
+    }
 }
 
 #[cfg(test)]

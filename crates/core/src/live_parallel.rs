@@ -5,19 +5,20 @@
 //! splitting a lifeguard across cores; this module actually does it on OS
 //! threads. The producer runs the machine and routes each load/store
 //! record to the shard owning its cache line (broadcasting everything
-//! else — the identical [`shard_of`] policy the modeled mode uses), pushing
-//! into one [`FrameSender`](lba_transport::live::FrameSender) per shard.
-//! Because every shard owns a full compressor/decompressor pair, the value
-//! predictors never thread state across shards, and the N consumer threads
-//! decode their frame streams *concurrently* — closing the ROADMAP's
-//! "parallel value decompression" item as a by-product of sharding: the
-//! per-stream codec stays sequential, but there are now N streams.
+//! else — the identical [`ShardedByLine`] topology the modeled mode uses),
+//! pushing into one [`FrameSender`](lba_transport::live::FrameSender) per
+//! shard. Because every shard owns a full compressor/decompressor pair,
+//! the value predictors never thread state across shards, and the N
+//! consumer threads decode their frame streams *concurrently* — closing
+//! the ROADMAP's "parallel value decompression" item as a by-product of
+//! sharding: the per-stream codec stays sequential, but there are now N
+//! streams.
 //!
 //! Fidelity contract with the modeled mode: the router, the per-shard
 //! record order, and the frame boundaries (seal every
-//! `records_per_frame`, flush only at end of program; no capture filter,
-//! mirroring the modeled parallel study) are identical, so each shard's
-//! wire stream — records, frames, payload and wire bits — matches
+//! `records_per_frame`, flush only at end of program; no range filter,
+//! mirroring the modeled parallel study) are identical — both modes drive
+//! [`Producer::sharded`] — so each shard's wire stream matches
 //! `run_lba_parallel`'s shard byte for byte, and the merged findings are
 //! equal. Integration tests pin both.
 //!
@@ -32,19 +33,69 @@ use std::thread;
 use lba_cache::MemSystem;
 use lba_cpu::{Machine, RunError};
 use lba_isa::Program;
-use lba_lifeguard::{CaptureStats, DegradationStats, DispatchEngine, Finding, Lifeguard};
-use lba_record::{EventRecord, TraceStats};
+use lba_lifeguard::{DispatchEngine, Finding, Lifeguard};
+use lba_record::EventRecord;
 use lba_transport::live::shard_frame_channels;
-use lba_transport::{shard_of, ChannelStats, LoadSample};
+use lba_transport::{ChannelStats, LoadSample};
 
 use crate::config::SystemConfig;
-use crate::controller::{CaptureController, Transition, Verdict};
-use crate::report::LiveParallelReport;
+use crate::pipeline::{ConsumerTopology, Producer, ProducerLink, Route, ShardedByLine};
+use crate::report::{LiveParallelReport, LogStats, PipelineReport};
 
 /// The lifeguard-core MemSystem index used by every consumer thread (each
 /// thread owns a private dual-core memory system; live mode reports no
 /// modeled clocks, so the geometry only feeds shadow-cost accounting).
 const LG_CORE: usize = 1;
+
+/// The live sharded mode's [`ProducerLink`]: one framed SPSC sender per
+/// shard, the [`ShardedByLine`] topology deciding routed-vs-broadcast,
+/// and the consumers' published finding count as the snapback signal.
+struct LiveShardLink<'a> {
+    topology: ShardedByLine,
+    senders: Vec<lba_transport::live::FrameSender>,
+    finding_count: &'a AtomicU64,
+}
+
+impl ProducerLink for LiveShardLink<'_> {
+    fn ship(&mut self, rec: &EventRecord) {
+        match self.topology.route(rec) {
+            Route::Shard(owner) => self.senders[owner].push(rec),
+            _ => {
+                for tx in self.senders.iter_mut() {
+                    tx.push(rec);
+                }
+            }
+        }
+    }
+
+    fn on_engage(&mut self) {
+        for tx in self.senders.iter_mut() {
+            tx.flush();
+            tx.set_degraded(true);
+        }
+    }
+
+    fn on_disengage(&mut self) {
+        for tx in self.senders.iter_mut() {
+            tx.flush();
+            tx.set_degraded(false);
+        }
+    }
+
+    fn load_sample(&self) -> LoadSample {
+        // The sharded producer's load signal: the fullest shard's queue —
+        // one overloaded shard is what blocks the producer.
+        self.senders
+            .iter()
+            .map(|tx| tx.load_sample())
+            .max_by_key(LoadSample::occupancy_permille)
+            .unwrap_or_default()
+    }
+
+    fn finding_count(&self) -> u64 {
+        self.finding_count.load(Ordering::Relaxed)
+    }
+}
 
 /// Runs `program` on one thread with the lifeguard sharded `shards` ways
 /// by address, each shard on its own OS thread with its own framed
@@ -159,118 +210,41 @@ pub fn run_live_parallel(
             })
             .collect();
 
-        // Produce on this thread: run the machine, apply the capture pass
-        // (identical to `run_lba_parallel`'s) and fan the log out.
-        let produced = (|| -> Result<(TraceStats, CaptureStats, DegradationStats), RunError> {
+        // Produce on this thread: run the machine, apply the shared
+        // capture pass (identical to `run_lba_parallel`'s) and fan the
+        // log out. The link — and with it every sender — drops when this
+        // closure returns, closing the shard streams so the consumers can
+        // finish whether or not the run errored.
+        let produced = (|| -> Result<crate::pipeline::ProducerFinish, RunError> {
             let mut machine = Machine::new(program, config.machine);
             let mut mem = MemSystem::new(config.mem_single());
-            let mut trace = TraceStats::new();
             let seed = make_lifeguard();
-            let policy = seed.degradation();
-            let mut filter = config
-                .log
-                .adaptive_shard_capture_filter(seed.idempotency(), &policy);
+            let mut producer = Producer::sharded(seed.as_ref(), config);
             drop(seed);
-            let mut controller = config
-                .log
-                .adaptive
-                .and_then(|a| CaptureController::new(a, policy));
-            let mut shipping: Vec<EventRecord> = Vec::new();
-            let fan_out =
-                |rec: &EventRecord, senders: &mut Vec<lba_transport::live::FrameSender>| {
-                    match shard_of(rec, shards) {
-                        Some(owner) => senders[owner].push(rec),
-                        None => {
-                            for tx in senders.iter_mut() {
-                                tx.push(rec);
-                            }
-                        }
-                    }
-                };
-            // The sharded producer's load signal: the fullest shard's
-            // queue — one overloaded shard is what blocks the producer.
-            let max_load = |senders: &[lba_transport::live::FrameSender]| {
-                senders
-                    .iter()
-                    .map(|tx| tx.load_sample())
-                    .max_by_key(LoadSample::occupancy_permille)
-                    .unwrap_or(LoadSample {
-                        inflight: 0,
-                        capacity: 0,
-                    })
+            let mut link = LiveShardLink {
+                topology: ShardedByLine::new(shards),
+                senders,
+                finding_count,
             };
-            machine.run(&mut mem, |r| {
-                trace.observe(&r.record);
-                let mut admit = Verdict::Ship;
-                if let Some(ctl) = controller.as_mut() {
-                    match ctl.tick(max_load(&senders), finding_count.load(Ordering::Relaxed)) {
-                        Some(Transition::Engage { widen }) => {
-                            for tx in senders.iter_mut() {
-                                tx.flush();
-                                tx.set_degraded(true);
-                            }
-                            if widen {
-                                filter.widen_window();
-                            }
-                        }
-                        Some(Transition::Disengage { tighten, .. }) => {
-                            for tx in senders.iter_mut() {
-                                tx.flush();
-                                tx.set_degraded(false);
-                            }
-                            if tighten {
-                                filter.tighten_window_into(&mut shipping, |rec| {
-                                    fan_out(rec, &mut senders);
-                                });
-                            }
-                        }
-                        None => {}
-                    }
-                    admit = ctl.admit(&r.record);
-                }
-                if admit == Verdict::Ship {
-                    filter.capture_into(&r.record, &mut shipping, |rec| fan_out(rec, &mut senders));
-                }
-            })?;
-            if senders.iter().any(|tx| tx.stalled()) {
+            machine.run(&mut mem, |r| producer.observe(&r.record, &mut link))?;
+            if link.senders.iter().any(|tx| tx.stalled()) {
                 return Err(RunError::ChannelStalled);
             }
-            // A run ending degraded snaps back first, so the closing fold
-            // summaries ship at full fidelity.
-            let degradation = match controller {
-                Some(ctl) => {
-                    if ctl.engaged() {
-                        for tx in senders.iter_mut() {
-                            tx.flush();
-                            tx.set_degraded(false);
-                        }
-                        if policy.widen_window {
-                            filter.tighten_window_into(&mut shipping, |rec| {
-                                fan_out(rec, &mut senders);
-                            });
-                        }
-                    }
-                    ctl.finish()
-                }
-                None => DegradationStats::default(),
-            };
-            // Settle outstanding fold counts before the streams close.
-            filter.finish_into(&mut shipping, |rec| fan_out(rec, &mut senders));
+            // Snap back out of degradation, settle fold counts, ship the
+            // tail.
+            let finish = producer.finish(&mut link);
             // Seal each shard's final partial frame before taking the
             // tees back, so the recordings carry the complete per-shard
             // wire streams (the drop-flush below then ships nothing).
-            for tx in senders.iter_mut() {
+            for tx in link.senders.iter_mut() {
                 tx.flush();
                 crate::recorder::finish_tee(tx.take_tee())?;
             }
-            if senders.iter().any(|tx| tx.stalled()) {
+            if link.senders.iter().any(|tx| tx.stalled()) {
                 return Err(RunError::ChannelStalled);
             }
-            Ok((trace, filter.stats(), degradation))
+            Ok(finish)
         })();
-        // Close every shard stream (flush-on-drop) whether or not the run
-        // errored, so the consumers can finish before any error unwinds.
-        drop(senders);
 
         let mut shard_findings = Vec::with_capacity(shards);
         let mut shard_log = Vec::with_capacity(shards);
@@ -280,15 +254,22 @@ pub fn run_live_parallel(
             shard_log.push(stats);
         }
         let findings = crate::parallel::merge_shard_findings(shard_findings);
-        let (trace, capture, degradation) = produced?;
+        let finish = produced?;
         Ok(LiveParallelReport {
             program: program.name().to_string(),
             shards,
-            findings,
-            trace,
+            pipeline: PipelineReport {
+                findings,
+                log: LogStats::from_channels(
+                    &shard_log,
+                    finish.capture,
+                    finish.trace.instructions(),
+                ),
+                capture: finish.capture,
+                degradation: finish.degradation,
+            },
+            trace: finish.trace,
             shard_log,
-            capture,
-            degradation,
         })
     })
 }

@@ -7,7 +7,7 @@
 //! per-address state is independent (AddrCheck, LockSet):
 //!
 //! * load/store events are **routed** to the shard owning their cache
-//!   line (`(addr / 64) % shards`);
+//!   line (the [`ShardedByLine`] topology);
 //! * all other events (alloc/free, lock/unlock, …) are **broadcast**,
 //!   because they update state every shard needs;
 //! * each shard is fed through its own framed [`LogChannel`] — the same
@@ -17,6 +17,10 @@
 //!   *live* lifeguards);
 //! * lifeguard time is the *maximum* over the shards' clocks, each shard
 //!   running on its own core with its own L1.
+//!
+//! The producer side is [`Producer::sharded`] driving a [`ParallelLink`]:
+//! the shared capture pass runs *before* routing, so the per-shard streams
+//! stay byte-identical with the live sharded mode.
 //!
 //! TaintCheck is deliberately not supported: its register state forms a
 //! sequential dependence chain through every instruction, so address
@@ -30,14 +34,13 @@ use lba_cache::MemSystem;
 use lba_cache::MemSystemConfig;
 use lba_cpu::{Machine, RunError, StepOutcome};
 use lba_isa::Program;
-use lba_lifeguard::{CaptureStats, DegradationStats, DispatchEngine, Finding, Lifeguard};
-use lba_record::TraceStats;
-use lba_transport::{
-    shard_of, ChannelStats, FaultInjector, LoadSample, LogChannel, ModeledFrameChannel,
-};
+use lba_lifeguard::{DispatchEngine, Finding, Lifeguard};
+use lba_record::{EventRecord, TraceStats};
+use lba_transport::{ChannelStats, FaultInjector, LoadSample, LogChannel, ModeledFrameChannel};
 
 use crate::config::SystemConfig;
-use crate::controller::{CaptureController, Transition, Verdict};
+use crate::pipeline::{ConsumerTopology, Producer, ProducerLink, Route, ShardedByLine};
+use crate::report::{LogStats, PipelineReport};
 
 /// Per-shard channel byte budget. The parallel study isolates
 /// lifeguard-side scaling, so no back-pressure is modelled: shards drain
@@ -57,21 +60,17 @@ pub struct ParallelReport {
     pub shard_cycles: Vec<u64>,
     /// End-to-end cycles: `max(app, slowest shard)`.
     pub total_cycles: u64,
-    /// Findings merged over shards, deduplicated.
-    pub findings: Vec<Finding>,
     /// Retired-instruction statistics.
     pub trace: TraceStats,
     /// Per-shard transport statistics (records, frames, wire bits).
     pub shard_log: Vec<ChannelStats>,
-    /// What the producer-side capture pass did (the idempotency window
-    /// runs before routing; the address-range filter stays ignored in
-    /// the parallel study).
-    pub capture: CaptureStats,
-    /// What the adaptive capture controller did on the producer, before
-    /// routing (empty when `LogConfig::adaptive` is unset or the policy
-    /// tolerates nothing).
-    pub degradation: DegradationStats,
+    /// The shared pipeline core: findings merged over shards
+    /// (deduplicated), log statistics summed over the shard channels, and
+    /// the producer-side capture/degradation ledgers.
+    pub pipeline: PipelineReport,
 }
+
+crate::report::deref_pipeline!(ParallelReport);
 
 impl ParallelReport {
     /// The slowest shard's cycles.
@@ -101,6 +100,105 @@ pub(crate) fn merge_shard_findings(
     findings
 }
 
+/// Delivers every currently-available frame (or record, in the per-record
+/// baseline) of one shard's channel into its lifeguard.
+fn drain_shard(
+    batch: bool,
+    channel: &mut dyn LogChannel,
+    engine: &DispatchEngine,
+    lifeguard: &mut dyn Lifeguard,
+    mem: &mut MemSystem,
+    core: usize,
+    findings: &mut Vec<Finding>,
+) -> u64 {
+    let mut cycles = 0u64;
+    if batch {
+        while let Some(frame) = channel.pop_frame() {
+            cycles += engine.deliver_batch(lifeguard, frame.records, mem, core, findings);
+        }
+    } else {
+        while let Some(popped) = channel.pop_record() {
+            cycles += engine.deliver(lifeguard, &popped.record, mem, core, findings);
+        }
+    }
+    cycles
+}
+
+/// The modeled sharded mode's [`ProducerLink`]: one framed channel,
+/// lifeguard instance and clock per shard, with the [`ShardedByLine`]
+/// topology deciding routed-vs-broadcast per record. It owns the whole
+/// consumer side so a single record's ship can charge non-owner shards
+/// their no-op dispatch cost and opportunistically drain sealed frames.
+struct ParallelLink {
+    topology: ShardedByLine,
+    batch: bool,
+    app_cycles: u64,
+    channels: Vec<FaultInjector<ModeledFrameChannel>>,
+    engine: DispatchEngine,
+    lifeguards: Vec<Box<dyn Lifeguard>>,
+    mem: MemSystem,
+    shard_cycles: Vec<u64>,
+    shard_findings: Vec<Vec<Finding>>,
+}
+
+impl ProducerLink for ParallelLink {
+    fn ship(&mut self, rec: &EventRecord) {
+        // Address-interleaved routing, shared with the live mode
+        // (`Broadcast` reaches every shard).
+        let route = self.topology.route(rec);
+        for idx in 0..self.channels.len() {
+            match route {
+                Route::Shard(owner) if owner != idx => {
+                    // Routed elsewhere: this shard skips the record
+                    // (its dispatch sees a no-op entry).
+                    self.shard_cycles[idx] += self.engine.config().unsubscribed_cycles;
+                }
+                _ => {
+                    self.channels[idx].push_record(rec, self.app_cycles);
+                }
+            }
+            self.shard_cycles[idx] += drain_shard(
+                self.batch,
+                &mut self.channels[idx],
+                &self.engine,
+                self.lifeguards[idx].as_mut(),
+                &mut self.mem,
+                1 + idx,
+                &mut self.shard_findings[idx],
+            );
+        }
+    }
+
+    fn on_engage(&mut self) {
+        for channel in &mut self.channels {
+            channel.flush(self.app_cycles);
+            channel.mark_degraded(true);
+        }
+    }
+
+    fn on_disengage(&mut self) {
+        for channel in &mut self.channels {
+            channel.flush(self.app_cycles);
+            channel.mark_degraded(false);
+        }
+    }
+
+    fn load_sample(&self) -> LoadSample {
+        // The load signal for a sharded producer: the occupancy of
+        // whichever shard channel is fullest — one overloaded shard is
+        // enough to stall the producer in the real design.
+        self.channels
+            .iter()
+            .map(|c| c.load_sample())
+            .max_by_key(LoadSample::occupancy_permille)
+            .unwrap_or_default()
+    }
+
+    fn finding_count(&self) -> u64 {
+        self.shard_findings.iter().map(|f| f.len() as u64).sum()
+    }
+}
+
 /// Runs `program` with the lifeguard sharded `shards` ways by address.
 ///
 /// `make_lifeguard` builds one (identical) lifeguard instance per shard.
@@ -121,10 +219,7 @@ pub fn run_lba_parallel(
     assert!(shards > 0, "need at least one shard");
     config.log.validate_framing()?;
     let mut machine = Machine::new(program, config.machine);
-    // Core 0: application. Cores 1..=shards: lifeguard shards.
-    let mut mem = MemSystem::new(MemSystemConfig::multi_core(shards + 1));
-    let engine = DispatchEngine::new(config.dispatch);
-    let mut lifeguards: Vec<Box<dyn Lifeguard>> = (0..shards).map(|_| make_lifeguard()).collect();
+    let lifeguards: Vec<Box<dyn Lifeguard>> = (0..shards).map(|_| make_lifeguard()).collect();
     let mut channels: Vec<ModeledFrameChannel> = (0..shards)
         .map(|_| {
             if config.log.batch_dispatch {
@@ -147,272 +242,91 @@ pub fn run_lba_parallel(
     // Every shard channel runs behind the fault injector (quiet profile =
     // pure delegation); each shard gets its own deterministic stall
     // schedule from the shared profile.
-    let mut channels: Vec<FaultInjector<ModeledFrameChannel>> = channels
+    let channels: Vec<FaultInjector<ModeledFrameChannel>> = channels
         .into_iter()
         .map(|c| FaultInjector::new(c, config.log.fault.unwrap_or_default()))
         .collect();
-    let mut shard_findings: Vec<Vec<Finding>> = vec![Vec::new(); shards];
-    let mut shard_cycles = vec![0u64; shards];
-    let mut trace = TraceStats::new();
-    let mut app_cycles = 0u64;
-    let batch = config.log.batch_dispatch;
-    // The capture pass runs *before* routing (duplicates never reach any
-    // shard — same-line duplicates would have landed on the same shard
-    // anyway, so per-shard soundness matches the unsharded argument). The
-    // live sharded mode builds the identical filter, keeping the
-    // per-shard streams byte-identical.
-    let policy = lifeguards[0].degradation();
-    let mut filter = config
-        .log
-        .adaptive_shard_capture_filter(lifeguards[0].idempotency(), &policy);
-    let mut shipping: Vec<lba_record::EventRecord> = Vec::new();
-    // The adaptive controller runs pre-routing on the producer, driven by
-    // the *most loaded* shard: one overloaded shard is enough to stall
-    // the producer in the real design, so it is the signal that matters.
-    let mut controller = config
-        .log
-        .adaptive
-        .and_then(|a| CaptureController::new(a, policy));
-
-    /// The load signal for a sharded producer: the occupancy of whichever
-    /// shard channel is fullest.
-    fn max_load(channels: &[FaultInjector<ModeledFrameChannel>]) -> LoadSample {
-        channels
-            .iter()
-            .map(|c| c.load_sample())
-            .max_by_key(LoadSample::occupancy_permille)
-            .unwrap_or(LoadSample {
-                inflight: 0,
-                capacity: 0,
-            })
-    }
-
-    /// Drains every currently-available frame (or record, in the
-    /// per-record baseline) of one shard's channel into its lifeguard.
-    fn drain_shard(
-        batch: bool,
-        channel: &mut dyn LogChannel,
-        engine: &DispatchEngine,
-        lifeguard: &mut dyn Lifeguard,
-        mem: &mut MemSystem,
-        core: usize,
-        findings: &mut Vec<Finding>,
-    ) -> u64 {
-        let mut cycles = 0u64;
-        if batch {
-            while let Some(frame) = channel.pop_frame() {
-                cycles += engine.deliver_batch(lifeguard, frame.records, mem, core, findings);
-            }
-        } else {
-            while let Some(popped) = channel.pop_record() {
-                cycles += engine.deliver(lifeguard, &popped.record, mem, core, findings);
-            }
-        }
-        cycles
-    }
-
-    /// Routes one shipped record into the shard channels and drains any
-    /// sealed frames, so transport memory stays bounded by the shard
-    /// budget instead of the whole log.
-    #[allow(clippy::too_many_arguments)]
-    fn feed_shards(
-        rec: &lba_record::EventRecord,
-        shards: usize,
-        batch: bool,
-        app_cycles: u64,
-        channels: &mut [FaultInjector<ModeledFrameChannel>],
-        engine: &DispatchEngine,
-        lifeguards: &mut [Box<dyn Lifeguard>],
-        mem: &mut MemSystem,
-        shard_cycles: &mut [u64],
-        shard_findings: &mut [Vec<Finding>],
-    ) {
-        // Address-interleaved routing, shared with the live mode
-        // (`None` means broadcast).
-        let route = shard_of(rec, shards);
-        for (idx, channel) in channels.iter_mut().enumerate() {
-            match route {
-                Some(owner) if owner != idx => {
-                    // Routed elsewhere: this shard skips the record
-                    // (its dispatch sees a no-op entry).
-                    shard_cycles[idx] += engine.config().unsubscribed_cycles;
-                }
-                _ => {
-                    channel.push_record(rec, app_cycles);
-                }
-            }
-            shard_cycles[idx] += drain_shard(
-                batch,
-                channel,
-                engine,
-                lifeguards[idx].as_mut(),
-                mem,
-                1 + idx,
-                &mut shard_findings[idx],
-            );
-        }
-    }
-
-    loop {
-        match machine.step(&mut mem)? {
-            StepOutcome::Finished => break,
-            StepOutcome::Retired(r) => {
-                trace.observe(&r.record);
-                app_cycles += r.cycles;
-                let mut admit = Verdict::Ship;
-                if let Some(ctl) = controller.as_mut() {
-                    let findings: u64 = shard_findings.iter().map(|f| f.len() as u64).sum();
-                    match ctl.tick(max_load(&channels), findings) {
-                        Some(Transition::Engage { widen }) => {
-                            for channel in &mut channels {
-                                channel.flush(app_cycles);
-                                channel.mark_degraded(true);
-                            }
-                            if widen {
-                                filter.widen_window();
-                            }
-                        }
-                        Some(Transition::Disengage { tighten, .. }) => {
-                            for channel in &mut channels {
-                                channel.flush(app_cycles);
-                                channel.mark_degraded(false);
-                            }
-                            if tighten {
-                                filter.tighten_window_into(&mut shipping, |rec| {
-                                    feed_shards(
-                                        rec,
-                                        shards,
-                                        batch,
-                                        app_cycles,
-                                        &mut channels,
-                                        &engine,
-                                        &mut lifeguards,
-                                        &mut mem,
-                                        &mut shard_cycles,
-                                        &mut shard_findings,
-                                    );
-                                });
-                            }
-                        }
-                        None => {}
-                    }
-                    admit = ctl.admit(&r.record);
-                }
-                if admit == Verdict::Ship {
-                    filter.capture_into(&r.record, &mut shipping, |rec| {
-                        feed_shards(
-                            rec,
-                            shards,
-                            batch,
-                            app_cycles,
-                            &mut channels,
-                            &engine,
-                            &mut lifeguards,
-                            &mut mem,
-                            &mut shard_cycles,
-                            &mut shard_findings,
-                        );
-                    });
-                }
-            }
-        }
-    }
-
-    // A run ending degraded snaps back first, so the closing fold
-    // summaries ship at full fidelity and the open interval closes.
-    let degradation = match controller {
-        Some(ctl) => {
-            if ctl.engaged() {
-                for channel in &mut channels {
-                    channel.flush(app_cycles);
-                    channel.mark_degraded(false);
-                }
-                if policy.widen_window {
-                    filter.tighten_window_into(&mut shipping, |rec| {
-                        feed_shards(
-                            rec,
-                            shards,
-                            batch,
-                            app_cycles,
-                            &mut channels,
-                            &engine,
-                            &mut lifeguards,
-                            &mut mem,
-                            &mut shard_cycles,
-                            &mut shard_findings,
-                        );
-                    });
-                }
-            }
-            ctl.finish()
-        }
-        None => DegradationStats::default(),
+    // The shared capture pass (idempotency window, no range filter) plus
+    // the adaptive controller, pre-routing on the producer.
+    let mut producer = Producer::sharded(lifeguards[0].as_ref(), config);
+    let mut link = ParallelLink {
+        topology: ShardedByLine::new(shards),
+        batch: config.log.batch_dispatch,
+        app_cycles: 0,
+        channels,
+        engine: DispatchEngine::new(config.dispatch),
+        lifeguards,
+        // Core 0: application. Cores 1..=shards: lifeguard shards.
+        mem: MemSystem::new(MemSystemConfig::multi_core(shards + 1)),
+        shard_cycles: vec![0u64; shards],
+        shard_findings: vec![Vec::new(); shards],
     };
 
-    // Settle outstanding fold counts before the streams close.
-    filter.finish_into(&mut shipping, |rec| {
-        feed_shards(
-            rec,
-            shards,
-            batch,
-            app_cycles,
-            &mut channels,
-            &engine,
-            &mut lifeguards,
-            &mut mem,
-            &mut shard_cycles,
-            &mut shard_findings,
-        );
-    });
+    loop {
+        match machine.step(&mut link.mem)? {
+            StepOutcome::Finished => break,
+            StepOutcome::Retired(r) => {
+                link.app_cycles += r.cycles;
+                producer.observe(&r.record, &mut link);
+            }
+        }
+    }
+
+    // Snap back out of degradation, settle fold counts, ship the tail.
+    let finish = producer.finish(&mut link);
+    let app_cycles = link.app_cycles;
 
     // Drain each shard's channel: decode its frame stream in order and
     // deliver to its lifeguard.
-    for (idx, (channel, lifeguard)) in channels.iter_mut().zip(lifeguards.iter_mut()).enumerate() {
-        channel.flush(app_cycles);
+    for idx in 0..shards {
+        link.channels[idx].flush(app_cycles);
         // Loop until the channel is truly empty: under fault injection a
         // pop refusal models a stalled consumer, and mistaking it for
         // emptiness would truncate this final drain. Stall bursts are
         // bounded, so the loop terminates.
         loop {
-            shard_cycles[idx] += drain_shard(
-                batch,
-                channel,
-                &engine,
-                lifeguard.as_mut(),
-                &mut mem,
+            link.shard_cycles[idx] += drain_shard(
+                link.batch,
+                &mut link.channels[idx],
+                &link.engine,
+                link.lifeguards[idx].as_mut(),
+                &mut link.mem,
                 1 + idx,
-                &mut shard_findings[idx],
+                &mut link.shard_findings[idx],
             );
-            if channel.drained() {
+            if link.channels[idx].drained() {
                 break;
             }
         }
-        shard_cycles[idx] += engine.finish(
-            lifeguard.as_mut(),
-            &mut mem,
+        link.shard_cycles[idx] += link.engine.finish(
+            link.lifeguards[idx].as_mut(),
+            &mut link.mem,
             1 + idx,
-            &mut shard_findings[idx],
+            &mut link.shard_findings[idx],
         );
     }
 
     // Close each shard's flight recording (End records + flush).
-    for channel in &mut channels {
+    for channel in &mut link.channels {
         crate::recorder::finish_tee(channel.inner_mut().take_tee())?;
     }
 
-    let findings = merge_shard_findings(shard_findings);
-    let shard_log: Vec<ChannelStats> = channels.iter().map(|c| c.stats()).collect();
-    let total_cycles = app_cycles.max(shard_cycles.iter().copied().max().unwrap_or(0));
+    let findings = merge_shard_findings(link.shard_findings);
+    let shard_log: Vec<ChannelStats> = link.channels.iter().map(|c| c.stats()).collect();
+    let total_cycles = app_cycles.max(link.shard_cycles.iter().copied().max().unwrap_or(0));
     Ok(ParallelReport {
         shards,
         app_cycles,
-        shard_cycles,
+        shard_cycles: link.shard_cycles,
         total_cycles,
-        findings,
-        trace,
+        pipeline: PipelineReport {
+            findings,
+            log: LogStats::from_channels(&shard_log, finish.capture, finish.trace.instructions()),
+            capture: finish.capture,
+            degradation: finish.degradation,
+        },
+        trace: finish.trace,
         shard_log,
-        capture: filter.stats(),
-        degradation,
     })
 }
 
@@ -477,6 +391,8 @@ mod tests {
             assert!(stats.frames > 0);
             assert!(stats.wire_bits >= stats.payload_bits);
         }
+        // The aggregate pipeline log is the sum over the shard channels.
+        assert_eq!(report.log.records, records);
     }
 
     #[test]

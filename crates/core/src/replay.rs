@@ -9,6 +9,9 @@
 //! lifeguard per stream: yesterday's traffic, today's (possibly
 //! *different*) analysis — the paper's retroactive-monitoring story, and
 //! the shape Jahier & Ducassé's one-trace-many-analyses monitor takes.
+//! In pipeline terms this is the
+//! [`ReplaySource`](crate::pipeline::ReplaySource) topology: the recorded
+//! streams stand in for the producer, one consumer per stream.
 //!
 //! Fidelity contract: the recorded frames are the sealed wire images, so
 //! the replay's per-stream wire-bit totals equal the recording run's
@@ -267,8 +270,8 @@ pub fn run_replay_with(
     Ok(ReplayReport {
         dir: dir.display().to_string(),
         codec_version,
+        pipeline: ReplayReport::stream_pipeline(&streams, findings),
         streams,
-        findings,
         salvaged,
     })
 }

@@ -1,4 +1,12 @@
 //! Execution reports.
+//!
+//! Every run mode's report embeds the same [`PipelineReport`] core —
+//! findings, log accounting, capture-filter ledger and degradation
+//! ledger — and adds only what its execution model genuinely measures on
+//! top (modeled clocks, per-shard wire statistics, replay stream
+//! accounting). The mode reports deref to the core, so
+//! `report.findings`, `report.log` and `report.degradation` read the
+//! same way in all of them.
 
 use std::fmt;
 
@@ -72,23 +80,98 @@ pub struct LogStats {
     pub wire_bytes_per_instruction: f64,
 }
 
+impl LogStats {
+    /// The single-channel accounting every unsharded mode reports: the
+    /// channel's shipped-record/frame/bit counters joined with the
+    /// capture filter's ledger, normalised per retired instruction.
+    #[must_use]
+    pub fn from_channel(stats: ChannelStats, capture: CaptureStats, instructions: u64) -> Self {
+        let instructions = instructions.max(1);
+        LogStats {
+            records: stats.records,
+            captured: capture.captured,
+            filtered: capture.range_filtered,
+            deduped: capture.deduped,
+            folded: capture.folded,
+            frames: stats.frames,
+            compressed_bits: stats.payload_bits,
+            wire_bits: stats.wire_bits,
+            bytes_per_instruction: stats.payload_bits as f64 / 8.0 / instructions as f64,
+            wire_bytes_per_instruction: stats.wire_bits as f64 / 8.0 / instructions as f64,
+        }
+    }
+
+    /// The aggregate accounting of a fan-out mode: per-channel counters
+    /// summed over shards or workers (broadcast records count once per
+    /// receiving channel), joined with the producer-side capture ledger.
+    #[must_use]
+    pub fn from_channels(stats: &[ChannelStats], capture: CaptureStats, instructions: u64) -> Self {
+        let mut sum = ChannelStats::default();
+        for s in stats {
+            sum.records += s.records;
+            sum.frames += s.frames;
+            sum.payload_bits += s.payload_bits;
+            sum.wire_bits += s.wire_bits;
+            sum.high_water_bits = sum.high_water_bits.max(s.high_water_bits);
+        }
+        LogStats::from_channel(sum, capture, instructions)
+    }
+}
+
+/// The mode-independent core every run report embeds: what the pipeline
+/// shipped, what capture did to it, how it degraded, and what the
+/// lifeguard(s) found. The mode reports deref here, so these fields read
+/// identically across all of them.
+#[derive(Debug, Clone, Default)]
+pub struct PipelineReport {
+    /// Problems the lifeguard(s) reported (merged and deduplicated in the
+    /// fan-out modes).
+    pub findings: Vec<Finding>,
+    /// Log-pipeline statistics (aggregated over channels in the fan-out
+    /// modes; see the mode report for per-channel detail).
+    pub log: LogStats,
+    /// What the producer-side capture pass did (records captured vs.
+    /// shipped, range-filtered, deduped, folded).
+    pub capture: CaptureStats,
+    /// What the adaptive capture controller did (empty when
+    /// `LogConfig::adaptive` is unset, the lifeguard's policy tolerates
+    /// nothing, or the mode never runs a controller).
+    pub degradation: DegradationStats,
+}
+
+/// Implements `Deref`/`DerefMut` from a mode report to its embedded
+/// [`PipelineReport`] core (field name `pipeline`).
+macro_rules! deref_pipeline {
+    ($ty:ty) => {
+        impl std::ops::Deref for $ty {
+            type Target = crate::report::PipelineReport;
+            fn deref(&self) -> &crate::report::PipelineReport {
+                &self.pipeline
+            }
+        }
+        impl std::ops::DerefMut for $ty {
+            fn deref_mut(&mut self) -> &mut crate::report::PipelineReport {
+                &mut self.pipeline
+            }
+        }
+    };
+}
+pub(crate) use deref_pipeline;
+
 /// The result of a live (two-OS-thread) run: functional findings plus real
 /// wire statistics; no modeled clocks.
 #[derive(Debug, Clone)]
 pub struct LiveReport {
     /// Program name.
     pub program: String,
-    /// Problems the lifeguard reported.
-    pub findings: Vec<Finding>,
     /// Retired-instruction statistics, gathered on the producer thread.
     pub trace: TraceStats,
-    /// Log statistics measured on the real framed channel.
-    pub log: LogStats,
-    /// What the adaptive capture controller did (empty when
-    /// `LogConfig::adaptive` is unset or the lifeguard's policy tolerates
-    /// nothing).
-    pub degradation: DegradationStats,
+    /// The shared pipeline core: findings, log statistics measured on the
+    /// real framed channel, capture ledger, degradation ledger.
+    pub pipeline: PipelineReport,
 }
+
+deref_pipeline!(LiveReport);
 
 impl fmt::Display for LiveReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -135,23 +218,20 @@ pub struct LiveParallelReport {
     pub program: String,
     /// Shard count (consumer threads).
     pub shards: usize,
-    /// Findings merged over shards, deduplicated on `(kind, pc, addr,
-    /// tid)` — broadcast events surface the same finding on every shard.
-    pub findings: Vec<Finding>,
     /// Retired-instruction statistics, gathered on the producer thread.
     pub trace: TraceStats,
     /// Per-shard transport statistics (records, frames, wire bits), in
     /// shard order.
     pub shard_log: Vec<ChannelStats>,
-    /// What the producer-side capture pass did (records captured vs.
-    /// shipped; the sharded modes run the idempotency window but not the
-    /// address-range filter).
-    pub capture: CaptureStats,
-    /// What the adaptive capture controller did on the producer (empty
-    /// when `LogConfig::adaptive` is unset or the policy tolerates
-    /// nothing).
-    pub degradation: DegradationStats,
+    /// The shared pipeline core: findings merged over shards
+    /// (deduplicated on `(kind, pc, addr, tid)` — broadcast events
+    /// surface the same finding on every shard), shard-aggregated log
+    /// statistics, the producer-side capture ledger, and the degradation
+    /// ledger.
+    pub pipeline: PipelineReport,
 }
+
+deref_pipeline!(LiveParallelReport);
 
 impl LiveParallelReport {
     /// Records carried across all shards. Broadcast records are counted
@@ -231,14 +311,44 @@ pub struct ReplayReport {
     pub codec_version: u32,
     /// Per-stream accounting, ascending by stream id.
     pub streams: Vec<ReplayStreamStats>,
-    /// Findings of the replayed lifeguard(s) — for a multi-stream
-    /// (sharded) recording, merged exactly as the sharded run modes merge
-    /// theirs, so equality with the original run holds per mode.
-    pub findings: Vec<Finding>,
     /// Torn tails a [`SalvagePrefix`](crate::ReplayMode::SalvagePrefix)
     /// replay cut away, one entry per damaged stream. Always empty under
     /// [`Strict`](crate::ReplayMode::Strict), which fails instead.
     pub salvaged: Vec<SalvagedTail>,
+    /// The shared pipeline core. Findings of the replayed lifeguard(s) —
+    /// for a multi-stream (sharded) recording, merged exactly as the
+    /// sharded run modes merge theirs, so equality with the original run
+    /// holds per mode. The log statistics aggregate the replayed streams
+    /// (no payload-bit or capture detail: the recording carries sealed
+    /// wire frames, not the capture pass that produced them).
+    pub pipeline: PipelineReport,
+}
+
+deref_pipeline!(ReplayReport);
+
+impl ReplayReport {
+    /// The stream-aggregated pipeline core of a replay: every decoded
+    /// record was "captured" as far as the replay can know, and payload
+    /// bits are unknowable (only sealed wire frames were recorded).
+    #[must_use]
+    pub fn stream_pipeline(
+        streams: &[ReplayStreamStats],
+        findings: Vec<Finding>,
+    ) -> PipelineReport {
+        let records: u64 = streams.iter().map(|s| s.records).sum();
+        PipelineReport {
+            findings,
+            log: LogStats {
+                records,
+                captured: records,
+                frames: streams.iter().map(|s| s.frames).sum(),
+                wire_bits: streams.iter().map(|s| s.wire_bits).sum(),
+                ..LogStats::default()
+            },
+            capture: CaptureStats::default(),
+            degradation: DegradationStats::default(),
+        }
+    }
 }
 
 impl ReplayReport {
@@ -316,17 +426,15 @@ pub struct RunReport {
     pub lifeguard_cycles: u64,
     /// Retired-instruction statistics.
     pub trace: TraceStats,
-    /// Problems the lifeguard reported.
-    pub findings: Vec<Finding>,
-    /// Log statistics (LBA only; default elsewhere).
-    pub log: LogStats,
+    /// The shared pipeline core: findings, log statistics (LBA only;
+    /// default for the unmonitored and DBI baselines, which ship no log),
+    /// capture ledger and degradation ledger.
+    pub pipeline: PipelineReport,
     /// Application stall breakdown (LBA only; default elsewhere).
     pub stalls: StallBreakdown,
-    /// What the adaptive capture controller did (empty when
-    /// `LogConfig::adaptive` is unset, the lifeguard's policy tolerates
-    /// nothing, or the mode is not LBA).
-    pub degradation: DegradationStats,
 }
+
+deref_pipeline!(RunReport);
 
 impl RunReport {
     /// Slowdown of this run relative to a baseline (usually the
@@ -395,11 +503,18 @@ mod tests {
             app_cycles: cycles,
             lifeguard_cycles: 0,
             trace: TraceStats::new(),
-            findings: Vec::new(),
-            log: LogStats::default(),
+            pipeline: PipelineReport::default(),
             stalls: StallBreakdown::default(),
-            degradation: DegradationStats::default(),
         }
+    }
+
+    #[test]
+    fn reports_deref_to_the_pipeline_core() {
+        let mut r = report(Mode::Lba, 1);
+        r.pipeline.log.records = 7;
+        assert_eq!(r.log.records, 7, "field reads go through the core");
+        r.log.frames = 3; // DerefMut: writes do too
+        assert_eq!(r.pipeline.log.frames, 3);
     }
 
     #[test]

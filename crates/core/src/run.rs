@@ -8,7 +8,7 @@ use lba_lifeguard::Lifeguard;
 use lba_record::TraceStats;
 
 use crate::config::SystemConfig;
-use crate::report::{LogStats, Mode, RunReport, StallBreakdown};
+use crate::report::{Mode, PipelineReport, RunReport, StallBreakdown};
 
 /// Runs `program` with no monitoring: the paper's normalisation baseline
 /// (the denominator of every bar in Figure 2).
@@ -28,10 +28,8 @@ pub fn run_unmonitored(program: &Program, config: &SystemConfig) -> Result<RunRe
         app_cycles: cycles,
         lifeguard_cycles: 0,
         trace,
-        findings: Vec::new(),
-        log: LogStats::default(),
+        pipeline: PipelineReport::default(),
         stalls: StallBreakdown::default(),
-        degradation: lba_lifeguard::DegradationStats::default(),
     })
 }
 
@@ -75,10 +73,11 @@ pub fn run_dbi(
         app_cycles,
         lifeguard_cycles: monitor_cycles,
         trace,
-        findings,
-        log: LogStats::default(),
+        pipeline: PipelineReport {
+            findings,
+            ..PipelineReport::default()
+        },
         stalls: StallBreakdown::default(),
-        degradation: lba_lifeguard::DegradationStats::default(),
     })
 }
 

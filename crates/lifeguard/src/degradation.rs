@@ -144,6 +144,26 @@ impl Default for DegradationPolicy {
     }
 }
 
+/// A lifeguard-initiated capture-fidelity request, surfaced through the
+/// dispatch engine back to the capture controller.
+///
+/// The controller's own trigger is the *transport's* load signal; this is
+/// the complementary, analysis-side dial: a lifeguard that can tell its
+/// current workload is uninteresting (or suddenly critical) may ask the
+/// producer to degrade — or restore — capture. Requests stay bounded by
+/// the same [`DegradationPolicy`] contract as load-triggered degradation:
+/// a lifeguard whose policy is [`DegradationPolicy::none`] has no
+/// controller, so its requests are provably without effect. Every request
+/// the controller consumes is counted in
+/// [`DegradationStats::lifeguard_requests`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradationRequest {
+    /// Engage degraded capture (within the declared policy).
+    Engage,
+    /// Snap capture back to full fidelity.
+    Disengage,
+}
+
 /// One engage→disengage span of degraded capture, in units of records
 /// the controller observed — every retired record, shipped or dropped,
 /// so the interval bounds index the *pre-degradation* stream.
@@ -196,6 +216,10 @@ pub struct DegradationStats {
     /// Records that passed capture while degradation was engaged
     /// (shipped or not).
     pub degraded_records: u64,
+    /// Lifeguard-initiated [`DegradationRequest`]s the controller
+    /// consumed (whether or not each one changed the dial — a request to
+    /// engage while already engaged still counts).
+    pub lifeguard_requests: u64,
 }
 
 impl DegradationStats {

@@ -4,7 +4,7 @@ use lba_cache::MemSystem;
 use lba_record::{EventMask, EventRecord};
 
 use crate::cost::HandlerCtx;
-use crate::degradation::DegradationPolicy;
+use crate::degradation::{DegradationPolicy, DegradationRequest};
 use crate::finding::Finding;
 use crate::idempotency::IdempotencyClass;
 
@@ -52,6 +52,19 @@ pub trait Lifeguard {
     /// never degraded — the controller is not even constructed for it.
     fn degradation(&self) -> DegradationPolicy {
         DegradationPolicy::none()
+    }
+
+    /// The analysis-side degradation dial: a lifeguard that has decided —
+    /// from what its handlers have seen — that capture fidelity should
+    /// change may return a [`DegradationRequest`] here. The dispatch
+    /// engine polls this after deliveries ([`DispatchEngine::poll_degradation`])
+    /// and the capture controller honours the request only within the
+    /// bounds of the lifeguard's own [`DegradationPolicy`]. Take
+    /// semantics: a returned request is considered consumed, so
+    /// implementations should clear their pending slot. The default never
+    /// requests anything.
+    fn degradation_request(&mut self) -> Option<DegradationRequest> {
+        None
     }
 }
 
@@ -145,6 +158,14 @@ impl DispatchEngine {
             }
         }
         fixed + ctx.cycles()
+    }
+
+    /// Polls the lifeguard's analysis-side degradation dial
+    /// ([`Lifeguard::degradation_request`]). Runners forward the returned
+    /// request to the capture controller, which ledgers it and applies it
+    /// within the lifeguard's declared [`DegradationPolicy`].
+    pub fn poll_degradation(&self, lifeguard: &mut dyn Lifeguard) -> Option<DegradationRequest> {
+        lifeguard.degradation_request()
     }
 
     /// Runs the lifeguard's end-of-log hook, returning its cycle cost.

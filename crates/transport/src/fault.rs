@@ -195,7 +195,10 @@ impl<C: LogChannel> FaultInjector<C> {
             return true;
         }
         self.pops += 1;
-        if self.pops.is_multiple_of(u64::from(self.profile.stall_period)) {
+        if self
+            .pops
+            .is_multiple_of(u64::from(self.profile.stall_period))
+        {
             // The period-th successful pop arms the episode: the *next*
             // `stall_burst` pops are refused.
             self.stall_left = self.profile.stall_burst;

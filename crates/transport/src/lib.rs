@@ -50,7 +50,10 @@ pub use channel::{
 };
 pub use fault::{FaultInjector, FaultProfile, FaultSink, RetrySink};
 pub use live::LiveFrameChannel;
-pub use model::{BufferFullError, LogBufferModel, ModeledFrameChannel, TimedFrame, TransportStats};
+pub use model::{
+    modeled_channel, modeled_channel_set, BufferFullError, LogBufferModel, ModeledFrameChannel,
+    TimedFrame, TransportStats,
+};
 pub use sink::{
     ChannelTee, FrameSink, FrameSource, SealedFrame, SinkError, StreamSink, StreamSource, TeeSink,
     VecSink,

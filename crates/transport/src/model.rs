@@ -600,6 +600,51 @@ impl FrameSource for ModeledFrameChannel {
     }
 }
 
+/// Builds one modeled channel for a producer→consumer edge of a topology:
+/// zero-copy consume mode when the run dispatches whole frames (the
+/// hardware decompressor's work is modeled, not re-run in host software),
+/// software-decode mode for the per-record baseline. Both ship identical
+/// wire bytes; `verify` decodes and cross-checks either way.
+///
+/// # Panics
+///
+/// Panics if `capacity_bytes` is smaller than one cache-line frame
+/// ([`FRAME_LINE_BYTES`]) — callers should reject such configurations
+/// with a proper error first.
+#[must_use]
+pub fn modeled_channel(
+    capacity_bytes: u64,
+    config: FrameConfig,
+    batch_dispatch: bool,
+    verify: bool,
+) -> ModeledFrameChannel {
+    if batch_dispatch {
+        ModeledFrameChannel::zero_copy(capacity_bytes, config, verify)
+    } else {
+        ModeledFrameChannel::new(capacity_bytes, config, verify)
+    }
+}
+
+/// Builds the per-consumer channel set for a fanned-out modeled topology
+/// (one independent framed stream per shard or epoch worker), each with
+/// the same byte budget and codec settings — the modeled counterpart of
+/// [`live::shard_frame_channels`](crate::live::shard_frame_channels).
+///
+/// # Panics
+///
+/// As [`modeled_channel`], per channel.
+#[must_use]
+pub fn modeled_channel_set(
+    consumers: usize,
+    capacity_bytes: u64,
+    config: FrameConfig,
+    batch_dispatch: bool,
+) -> Vec<ModeledFrameChannel> {
+    (0..consumers)
+        .map(|_| modeled_channel(capacity_bytes, config, batch_dispatch, false))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

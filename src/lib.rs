@@ -85,7 +85,7 @@
 //! | `lba-lifeguards` | the paper's four lifeguards + `TaintCheck`'s symbolic epoch summaries (`taint_summary`); each declares its degradation tolerance next to its idempotency story |
 //! | `lba-dbi`        | Valgrind-style inline instrumentation baseline        |
 //! | `lba-workloads`  | deterministic benchmark programs                      |
-//! | `lba-core`       | ties it together: run modes, experiments, reports, and the adaptive `CaptureController` closing the back-pressure feedback loop |
+//! | `lba-core`       | ties it together: the staged capture pipeline (`pipeline::Producer` over a `pipeline::ConsumerTopology`), the run-mode/monitor registry (`pipeline::RUN_MODES` / `pipeline::MONITORS`), the nine `run_*` entry points composed from them, experiments, the shared `PipelineReport` core every report derefs to, and the adaptive `CaptureController` closing the back-pressure feedback loop |
 //! | `lba-bench`      | table rendering, Criterion benches, `figures` binary  |
 //!
 //! ## Execution models
@@ -120,6 +120,19 @@
 //!   marks; [`run_replay_with`] in [`ReplayMode::SalvagePrefix`]
 //!   additionally survives a torn tail segment, replaying the
 //!   checksummed prefix and reporting exactly what was lost).
+//!
+//! Every one of these modes is the *same* producer: a
+//! [`Producer`] stage chain (capture filter →
+//! adaptive [`CaptureController`] verdicts → recording tee → epoch
+//! marking → channel push, with degradation ledgering and syscall-flush
+//! containment written exactly once in `lba-core/src/pipeline.rs`)
+//! composed with one of four [`ConsumerTopology`]
+//! shapes — single consumer, sharded-by-cache-line, epoch-routed
+//! fan-out/stitch, or replay source — instantiated over either the
+//! modeled or the live transport. The [`MONITORS`]
+//! and [`RUN_MODES`] registries enumerate the
+//! lifeguards and modes once; the benchmark matrix, the experiment
+//! layer and the cross-mode equivalence suite all derive from them.
 //!
 //! Every producer mode can additionally run *adaptive*: set
 //! [`LogConfig::adaptive`] and the [`CaptureController`] watches the
@@ -157,25 +170,35 @@
 //! ```
 
 pub use lba_core::{
-    epoch_parallel, experiment, live_parallel, parallel, replay, report, table, CaptureFilter,
-    CaptureStats, ChannelStats, EpochParallelReport, IdempotencyClass, LifeguardKind,
-    LiveEpochParallelReport, LiveParallelReport, LiveReport, LogConfig, LogStats, Mode,
-    RecordConfig, ReplayError, ReplayReport, ReplayStreamStats, RunError, RunReport,
-    StallBreakdown, SystemConfig, WindowSpec,
+    epoch_parallel, experiment, live_parallel, parallel, pipeline, replay, report, table,
+    CaptureFilter, CaptureStats, ChannelStats, EpochParallelReport, IdempotencyClass,
+    LifeguardKind, LiveEpochParallelReport, LiveParallelReport, LiveReport, LogConfig, LogStats,
+    Mode, PipelineReport, RecordConfig, ReplayError, ReplayReport, ReplayStreamStats, RunError,
+    RunReport, StallBreakdown, SystemConfig, WindowSpec,
 };
+// The staged capture pipeline and the run-mode/monitor registry: every
+// `run_*` entry point above is a thin composition of `Producer` over a
+// `ConsumerTopology`, and MONITORS/RUN_MODES are the single source the
+// benchmarks, experiments and equivalence suites derive their
+// enumerations from.
 pub use lba_core::{
     run_dbi, run_epoch_parallel, run_lba, run_live, run_live_epoch_parallel, run_live_parallel,
     run_live_taint_parallel, run_replay, run_replay_epoch, run_replay_with, run_taint_parallel,
     run_unmonitored,
+};
+pub use lba_core::{
+    ConsumerTopology, EpochRouted, Execution, ModeOutcome, MonitorSpec, Producer, ProducerFinish,
+    ProducerLink, ReplaySource, Route, RunModeSpec, ShardedByLine, SingleConsumer, TopologyKind,
+    MONITORS, RUN_MODES,
 };
 // Adaptive capture under back-pressure: the controller and its knobs, the
 // per-lifeguard degradation contracts, the transport load signal, the
 // seeded fault injector that drives the acceptance tests, and the replay
 // salvage mode for torn recordings.
 pub use lba_core::{
-    AdaptiveConfig, CaptureController, DegradationPolicy, DegradationStats, DegradedInterval,
-    FaultInjector, FaultProfile, LoadSample, RegionClassifier, ReplayMode, SalvagedTail,
-    SamplingSpec, Transition, Verdict, MAX_RECORDED_INTERVALS,
+    AdaptiveConfig, CaptureController, DegradationPolicy, DegradationRequest, DegradationStats,
+    DegradedInterval, FaultInjector, FaultProfile, LoadSample, RegionClassifier, ReplayMode,
+    SalvagedTail, SamplingSpec, Transition, Verdict, MAX_RECORDED_INTERVALS,
 };
 
 #[cfg(test)]
@@ -192,6 +215,20 @@ mod facade_smoke {
             &mut dyn lba_lifeguard::Lifeguard,
             &crate::SystemConfig,
         ) -> Result<crate::RunReport, crate::RunError> = crate::run_lba;
+
+        // The pipeline registry survives under its advertised names: four
+        // monitors, eight run modes, and the topology/producer types.
+        assert_eq!(crate::MONITORS.len(), 4);
+        assert_eq!(crate::RUN_MODES.len(), 8);
+        let _monitor: &crate::MonitorSpec = &crate::MONITORS[0];
+        let _mode: &crate::RunModeSpec = &crate::RUN_MODES[0];
+        let _exec: crate::Execution = crate::RUN_MODES[0].execution;
+        let _topo: crate::TopologyKind = crate::RUN_MODES[0].topology;
+        let _route: crate::Route = crate::Route::Single;
+        let _single: crate::SingleConsumer = crate::SingleConsumer;
+        let _sharded: crate::ShardedByLine = crate::ShardedByLine::new(2);
+        let _producer: crate::Producer = crate::Producer::passthrough();
+
         let config = crate::SystemConfig::default();
         let program = lba_workloads::bugs::memory_bugs();
 

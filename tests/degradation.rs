@@ -276,14 +276,14 @@ proptest! {
                 let clean = run_lba(&program, lg.as_mut(), &clean_config).unwrap();
                 let mut lg = make_kind(kind_idx);
                 let degraded = run_lba(&program, lg.as_mut(), &degraded_config).unwrap();
-                (clean.findings, degraded.findings, degraded.degradation)
+                (clean.pipeline.findings, degraded.pipeline.findings, degraded.pipeline.degradation)
             }
             1 => {
                 let mut lg = make_kind(kind_idx);
                 let clean = run_live(&program, lg.as_mut(), &clean_config).unwrap();
                 let mut lg = make_kind(kind_idx);
                 let degraded = run_live(&program, lg.as_mut(), &degraded_config).unwrap();
-                (clean.findings, degraded.findings, degraded.degradation)
+                (clean.pipeline.findings, degraded.pipeline.findings, degraded.pipeline.degradation)
             }
             2 => {
                 let clean =
@@ -291,7 +291,7 @@ proptest! {
                 let degraded =
                     run_lba_parallel(&program, || make_kind(kind_idx), 3, &degraded_config)
                         .unwrap();
-                (clean.findings, degraded.findings, degraded.degradation)
+                (clean.pipeline.findings, degraded.pipeline.findings, degraded.pipeline.degradation)
             }
             _ => {
                 let clean =
@@ -299,10 +299,109 @@ proptest! {
                 let degraded =
                     run_live_parallel(&program, || make_kind(kind_idx), 3, &degraded_config)
                         .unwrap();
-                (clean.findings, degraded.findings, degraded.degradation)
+                (clean.pipeline.findings, degraded.pipeline.findings, degraded.pipeline.degradation)
             }
         };
         prop_assert_eq!(degraded_findings, clean_findings);
         assert_stats_consistent(&stats);
     }
+}
+
+/// An AddrCheck that, after a fixed number of delivered events, asks the
+/// capture controller to engage degraded capture through the
+/// analysis-side dial (`Lifeguard::degradation_request`) — the
+/// lifeguard-driven counterpart of the load-driven engagements the rest
+/// of this suite exercises.
+struct DialAddrCheck {
+    inner: AddrCheck,
+    seen: u64,
+    trigger_at: u64,
+    pending: Option<lba::DegradationRequest>,
+}
+
+impl DialAddrCheck {
+    fn new(trigger_at: u64) -> Self {
+        DialAddrCheck {
+            inner: AddrCheck::new(),
+            seen: 0,
+            trigger_at,
+            pending: None,
+        }
+    }
+}
+
+impl Lifeguard for DialAddrCheck {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn subscriptions(&self) -> lba_record::EventMask {
+        self.inner.subscriptions()
+    }
+
+    fn on_event(
+        &mut self,
+        record: &lba_record::EventRecord,
+        ctx: &mut lba_lifeguard::HandlerCtx<'_>,
+    ) {
+        self.seen += 1;
+        if self.seen == self.trigger_at {
+            self.pending = Some(lba::DegradationRequest::Engage);
+        }
+        self.inner.on_event(record, ctx);
+    }
+
+    fn on_finish(&mut self, ctx: &mut lba_lifeguard::HandlerCtx<'_>) {
+        self.inner.on_finish(ctx);
+    }
+
+    fn idempotency(&self) -> lba::IdempotencyClass {
+        self.inner.idempotency()
+    }
+
+    fn degradation(&self) -> lba::DegradationPolicy {
+        self.inner.degradation()
+    }
+
+    fn degradation_request(&mut self) -> Option<lba::DegradationRequest> {
+        self.pending.take()
+    }
+}
+
+#[test]
+fn lifeguard_dial_request_engages_and_is_ledgered() {
+    // No injected fault, no load: the only path to an engagement is the
+    // lifeguard's own dial request surfacing from the dispatch engine
+    // back to the capture controller.
+    let program = Benchmark::Gzip.build();
+    let mut config = SystemConfig::default();
+    config.log.adaptive = Some(AdaptiveConfig::default());
+
+    let mut clean = AddrCheck::new();
+    let baseline = run_lba(&program, &mut clean, &SystemConfig::default()).unwrap();
+
+    let mut dialed = DialAddrCheck::new(1_000);
+    let report = run_lba(&program, &mut dialed, &config).unwrap();
+    let stats = &report.pipeline.degradation;
+    assert_eq!(
+        stats.lifeguard_requests, 1,
+        "exactly one dial request was made (take semantics): {stats:?}"
+    );
+    assert!(
+        stats.engagements >= 1,
+        "the dial request must engage even at zero load: {stats:?}"
+    );
+    assert_stats_consistent(stats);
+    // AddrCheck's policy promises degraded findings stay sound.
+    assert_eq!(
+        report.pipeline.findings, baseline.pipeline.findings,
+        "a dial-driven degradation span must not change findings"
+    );
+
+    // The same run without the dial never engages: the ledger entries
+    // above are attributable to the lifeguard's request alone.
+    let mut undialed = AddrCheck::new();
+    let quiet = run_lba(&program, &mut undialed, &config).unwrap();
+    assert_eq!(quiet.pipeline.degradation.lifeguard_requests, 0);
+    assert!(quiet.pipeline.degradation.is_empty());
 }

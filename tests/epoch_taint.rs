@@ -149,10 +149,10 @@ fn recorded_epoch_run_replays_byte_identical() {
         let mut master = TaintCheck::new();
         let (findings, workers) = if live {
             let r = run_live_epoch_parallel(&program, &mut master, 2, &config).expect("live run");
-            (r.findings, r.workers)
+            (r.pipeline.findings, r.workers)
         } else {
             let r = run_epoch_parallel(&program, &mut master, 2, &config).expect("modeled run");
-            (r.findings, r.workers)
+            (r.pipeline.findings, r.workers)
         };
         assert_eq!(findings, seq.findings);
 

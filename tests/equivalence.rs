@@ -2,6 +2,8 @@
 //! co-simulation, the live (two-OS-thread) pipeline, the DBI baseline and
 //! the sharded parallel runner must all agree on *what* they detect.
 
+use proptest::prelude::*;
+
 use lba::parallel::run_lba_parallel;
 use lba::{run_dbi, run_lba, run_live, LifeguardKind, SystemConfig};
 use lba_workloads::{bugs, Benchmark};
@@ -166,4 +168,81 @@ fn compression_does_not_change_what_the_lifeguard_sees() {
     };
     assert_eq!(compressed.findings, raw.findings);
     assert_eq!(compressed.trace, raw.trace);
+}
+
+/// A finding's cross-shard identity — the same `(kind, pc, addr, tid)`
+/// key the sharded modes dedup-merge on, so merged-mode finding sets can
+/// be compared against the sequential baseline as sets.
+fn finding_keys(findings: &[lba_lifeguard::Finding]) -> std::collections::BTreeSet<String> {
+    findings
+        .iter()
+        .map(|f| format!("{:?}|{:#x}|{:#x}|{}", f.kind, f.pc, f.addr, f.tid))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The registry grid: every run mode in `lba::RUN_MODES`, over every
+    /// lifeguard in `lba::MONITORS` its `supports` predicate admits, must
+    /// honour its declared equivalence contract against the sequential
+    /// `run_lba` baseline — findings byte-identical (or dedup-set equal
+    /// for the merged fan-out modes), record counts exact where
+    /// `exact_records` promises it, and wire bits exact where
+    /// `exact_wire` does. A mode added to the registry is held to its
+    /// contract here with no new test code.
+    #[test]
+    fn registry_grid_agrees_with_the_sequential_baseline(case in 0usize..4) {
+        let program = match case {
+            0 => bugs::memory_bugs(),
+            1 => bugs::exploit(),
+            2 => bugs::tainted_syscall(),
+            _ => bugs::data_race(),
+        };
+        let config = config();
+        let baseline_mode = lba::RUN_MODES
+            .iter()
+            .find(|m| m.name == "lba")
+            .expect("the sequential baseline is registered");
+        for monitor in &lba::MONITORS {
+            let baseline =
+                (baseline_mode.run)(&program, monitor, &config).expect("baseline runs");
+            for mode in &lba::RUN_MODES {
+                if !(mode.supports)(monitor) {
+                    continue;
+                }
+                let outcome = (mode.run)(&program, monitor, &config).expect("mode runs");
+                let what = format!("{}/{} on {}", mode.name, monitor.name, program.name());
+                if mode.merged_findings {
+                    prop_assert_eq!(
+                        finding_keys(&outcome.findings),
+                        finding_keys(&baseline.findings),
+                        "{}: merged finding set diverges from the baseline",
+                        what
+                    );
+                } else {
+                    prop_assert_eq!(
+                        &outcome.findings,
+                        &baseline.findings,
+                        "{}: findings diverge from the baseline",
+                        what
+                    );
+                }
+                if mode.exact_records {
+                    prop_assert_eq!(
+                        outcome.records, baseline.records,
+                        "{}: record accounting diverges from the baseline",
+                        what
+                    );
+                }
+                if mode.exact_wire {
+                    prop_assert_eq!(
+                        outcome.wire_bits, baseline.wire_bits,
+                        "{}: wire accounting diverges from the baseline",
+                        what
+                    );
+                }
+            }
+        }
+    }
 }
