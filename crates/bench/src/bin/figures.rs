@@ -10,7 +10,10 @@
 //! `figures --bench-smoke` is the CI gate: it records a run through the
 //! flight recorder and replays it (requiring byte-identical findings and
 //! wire accounting, recording left at `target/flight-recording` for the
-//! artifact upload), measures the pipeline matrix once, writes
+//! artifact upload), round-trips a sharded run over Unix-domain sockets
+//! (`RunMode::Remote`, requiring findings and per-shard wire accounting
+//! identical to the in-process `RunMode::LiveParallel`), measures the
+//! pipeline matrix once, writes
 //! `BENCH_pipeline.smoke.json` next to the committed trajectory
 //! (uploaded as a workflow artifact), validates the emitted document
 //! with the same `lba_bench::pipeline::validate_trajectory` shape check
@@ -20,9 +23,7 @@
 //! without regenerating the trajectory.
 
 use lba::experiment;
-use lba::{
-    run_lba, run_replay, run_replay_with, LifeguardKind, RecordConfig, ReplayMode, SystemConfig,
-};
+use lba::{LifeguardKind, RecordConfig, ReplayMode, Run, RunMode, RunOutcome, SystemConfig};
 use lba_bench as render;
 use lba_bench::pipeline;
 use lba_workloads::{bugs, Benchmark};
@@ -48,16 +49,25 @@ fn record_replay_smoke() -> Result<(), String> {
     let program = bugs::data_race();
     let mut config = SystemConfig::default();
     config.log.record_to = Some(RecordConfig::new(dir));
-    let kind = LifeguardKind::AddrCheck;
-    let mut lifeguard = kind.make_lba();
-    let recorded = run_lba(&program, lifeguard.as_mut(), &config)
+    let recorded = Run::new(&program)
+        .monitor(LifeguardKind::AddrCheck)
+        .config(&config)
+        .run()
         .map_err(|e| format!("recording run: {e}"))?;
 
-    let replay =
-        run_replay(dir, || kind.make_lba(), &config).map_err(|e| format!("replay: {e}"))?;
-    if replay.findings != recorded.findings {
+    let outcome = Run::new(&program)
+        .mode(RunMode::Replay)
+        .monitor(LifeguardKind::AddrCheck)
+        .config(&config)
+        .replay_from(dir)
+        .run()
+        .map_err(|e| format!("replay: {e}"))?;
+    if outcome.findings != recorded.findings {
         return Err("replayed findings diverge from the recorded run".into());
     }
+    let RunOutcome::Replay(replay) = &outcome else {
+        return Err("RunMode::Replay produced a non-replay outcome".into());
+    };
     if replay.total_wire_bits() != recorded.log.wire_bits
         || replay.total_records() != recorded.log.records
     {
@@ -86,18 +96,22 @@ fn record_replay_smoke() -> Result<(), String> {
 /// under `ReplayMode::SalvagePrefix` where strict replay refuses.
 fn fault_injection_smoke() -> Result<(), String> {
     let program = Benchmark::Gzip.build();
-    let kind = LifeguardKind::AddrCheck;
-    let mut lifeguard = kind.make_lba();
-    let clean = run_lba(&program, lifeguard.as_mut(), &SystemConfig::default())
+    let clean_config = SystemConfig::default();
+    let clean = Run::new(&program)
+        .monitor(LifeguardKind::AddrCheck)
+        .config(&clean_config)
+        .run()
         .map_err(|e| format!("clean run: {e}"))?;
 
     let dir = std::env::temp_dir().join(format!("lba-fault-smoke-{}", std::process::id()));
     std::fs::remove_dir_all(&dir).ok();
     let mut config = pipeline::fault_config("lba", true);
     config.log.record_to = Some(RecordConfig::new(&dir));
-    let mut lifeguard = kind.make_lba();
-    let degraded =
-        run_lba(&program, lifeguard.as_mut(), &config).map_err(|e| format!("degraded run: {e}"))?;
+    let degraded = Run::new(&program)
+        .monitor(LifeguardKind::AddrCheck)
+        .config(&config)
+        .run()
+        .map_err(|e| format!("degraded run: {e}"))?;
     if degraded.degradation.is_empty() {
         return Err("injected slow drain failed to engage the controller".into());
     }
@@ -110,13 +124,21 @@ fn fault_injection_smoke() -> Result<(), String> {
         ));
     }
 
-    let replay =
-        run_replay(&dir, || kind.make_lba(), &config).map_err(|e| format!("replay: {e}"))?;
+    let outcome = Run::new(&program)
+        .mode(RunMode::Replay)
+        .monitor(LifeguardKind::AddrCheck)
+        .config(&config)
+        .replay_from(&dir)
+        .run()
+        .map_err(|e| format!("replay: {e}"))?;
+    if outcome.findings != degraded.findings {
+        return Err("replay of the degraded recording diverges from the degraded run".into());
+    }
+    let RunOutcome::Replay(replay) = &outcome else {
+        return Err("RunMode::Replay produced a non-replay outcome".into());
+    };
     if replay.total_degraded_frames() == 0 {
         return Err("degraded spans did not ride the flight-recorder stream".into());
-    }
-    if replay.findings != degraded.findings {
-        return Err("replay of the degraded recording diverges from the degraded run".into());
     }
 
     // Tear the newest segment's tail: strict replay must refuse, salvage
@@ -129,11 +151,25 @@ fn fault_injection_smoke() -> Result<(), String> {
     let last = segments.last().ok_or("recording left no segments")?;
     let bytes = std::fs::read(last).map_err(|e| format!("{}: {e}", last.display()))?;
     std::fs::write(last, &bytes[..bytes.len() - 11]).map_err(|e| e.to_string())?;
-    if run_replay(&dir, || kind.make_lba(), &config).is_ok() {
+    let strict = Run::new(&program)
+        .mode(RunMode::Replay)
+        .monitor(LifeguardKind::AddrCheck)
+        .config(&config)
+        .replay_from(&dir);
+    if strict.run().is_ok() {
         return Err("strict replay accepted a torn recording".into());
     }
-    let salvaged = run_replay_with(&dir, || kind.make_lba(), &config, ReplayMode::SalvagePrefix)
+    let salvage = Run::new(&program)
+        .mode(RunMode::Replay)
+        .monitor(LifeguardKind::AddrCheck)
+        .config(&config)
+        .replay_from(&dir)
+        .replay_mode(ReplayMode::SalvagePrefix)
+        .run()
         .map_err(|e| format!("salvage replay: {e}"))?;
+    let RunOutcome::Replay(salvaged) = &salvage else {
+        return Err("RunMode::Replay produced a non-replay outcome".into());
+    };
     if !salvaged.is_lossy() {
         return Err("salvage replay of a torn recording reported no loss".into());
     }
@@ -148,6 +184,64 @@ fn fault_injection_smoke() -> Result<(), String> {
     Ok(())
 }
 
+/// The `--bench-smoke` socket-transport gate: the same sharded program
+/// through `RunMode::Remote` (every shard's sealed frames crossing a real
+/// Unix-domain socket under the credit window) and `RunMode::LiveParallel`
+/// (in-process channels) must produce identical merged findings and
+/// identical per-shard wire accounting — the socket hop is a transport,
+/// not a re-encode.
+fn socket_transport_smoke() -> Result<(), String> {
+    let program = Benchmark::Gzip.build();
+    let config = SystemConfig::default();
+    let workers = 2;
+    let request = |mode| {
+        Run::new(&program)
+            .mode(mode)
+            .monitor(LifeguardKind::AddrCheck)
+            .workers(workers)
+            .config(&config)
+    };
+    let remote = request(RunMode::Remote)
+        .run()
+        .map_err(|e| format!("remote run: {e}"))?;
+    let live = request(RunMode::LiveParallel)
+        .run()
+        .map_err(|e| format!("live-parallel run: {e}"))?;
+    if remote.findings != live.findings {
+        return Err("remote findings diverge from live-parallel".into());
+    }
+    let (RunOutcome::Remote(remote), RunOutcome::LiveParallel(live)) = (&remote, &live) else {
+        return Err("builder returned unexpected outcome variants".into());
+    };
+    if remote.shard_log.len() != live.shard_log.len() {
+        return Err(format!(
+            "remote ran {} shard streams, live-parallel {}",
+            remote.shard_log.len(),
+            live.shard_log.len()
+        ));
+    }
+    for (shard, (r, l)) in remote.shard_log.iter().zip(&live.shard_log).enumerate() {
+        if (r.records, r.frames, r.wire_bits, r.payload_bits)
+            != (l.records, l.frames, l.wire_bits, l.payload_bits)
+        {
+            return Err(format!(
+                "shard {shard} wire accounting diverges over the socket: \
+                 {} records / {} frames / {} wire bits vs in-process \
+                 {} / {} / {}",
+                r.records, r.frames, r.wire_bits, l.records, l.frames, l.wire_bits,
+            ));
+        }
+    }
+    println!(
+        "socket transport smoke: {workers} workers over Unix-domain sockets, \
+         findings and per-shard wire accounting identical to in-process \
+         ({} wire bits, {} findings)",
+        remote.total_wire_bits(),
+        remote.findings.len()
+    );
+    Ok(())
+}
+
 /// The `--bench-smoke` mode; returns the process exit code.
 fn bench_smoke() -> i32 {
     if let Err(e) = record_replay_smoke() {
@@ -156,6 +250,10 @@ fn bench_smoke() -> i32 {
     }
     if let Err(e) = fault_injection_smoke() {
         eprintln!("fault-injection smoke failed: {e}");
+        return 1;
+    }
+    if let Err(e) = socket_transport_smoke() {
+        eprintln!("socket-transport smoke failed: {e}");
         return 1;
     }
     let rows = pipeline::measure_pipeline(1);

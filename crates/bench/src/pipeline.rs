@@ -16,8 +16,8 @@
 use std::time::Instant;
 
 use lba::{
-    run_lba, run_live, run_live_parallel, run_live_taint_parallel, run_replay, run_taint_parallel,
-    AdaptiveConfig, FaultProfile, RecordConfig, SystemConfig,
+    run_lba, run_live, run_live_parallel, run_live_taint_parallel, run_remote, run_replay,
+    run_taint_parallel, AdaptiveConfig, FaultProfile, RecordConfig, SystemConfig,
 };
 use lba_cache::{MemSystem, MemSystemConfig};
 use lba_cpu::Machine;
@@ -163,6 +163,7 @@ pub fn measure_pipeline(samples: usize) -> Vec<PipelineRow> {
         }
     }
     rows.extend(measure_live_parallel(samples));
+    rows.extend(measure_remote(samples));
     rows.extend(measure_taint_parallel(samples));
     rows.extend(measure_idempotent(samples));
     rows.extend(measure_replay(samples));
@@ -513,6 +514,45 @@ pub fn measure_live_parallel(samples: usize) -> Vec<PipelineRow> {
     rows
 }
 
+/// The remote series: events/sec through `run_remote` on gzip for every
+/// supported lifeguard at each worker count — the same sharded pipeline
+/// as `live-parallel`, with each shard's frames crossing a real
+/// Unix-domain socket under the credit window instead of an in-process
+/// queue. The events/sec convention matches `measure_live_parallel`
+/// (retired records, comparable across counts), and the trajectory gate
+/// asserts the wire bits byte-identical to the matching live-parallel
+/// row: the socket must move the exact same stream, paying only wall
+/// clock for the kernel round-trips.
+#[must_use]
+pub fn measure_remote(samples: usize) -> Vec<PipelineRow> {
+    let program = Benchmark::Gzip.build();
+    let cfg = config(true);
+    let mut rows = Vec::new();
+    for (name, make) in sharded_lifeguards() {
+        for workers in SHARD_COUNTS {
+            let (records, wire_bits, wall) = best_of(samples, || {
+                let report = run_remote(&program, make, workers, &cfg).expect("gzip runs clean");
+                (report.trace.instructions(), report.total_wire_bits())
+            });
+            rows.push(PipelineRow {
+                mode: "remote",
+                lifeguard: name,
+                benchmark: "gzip",
+                batched: true,
+                shards: workers,
+                window: 0,
+                records,
+                wire_bits,
+                wall_seconds: wall,
+                events_per_sec: records as f64 / wall,
+                modeled_cycles: 0,
+                sampled_out_fraction: 0.0,
+            });
+        }
+    }
+    rows
+}
+
 /// Captures gzip's record stream once (for the consumption-path cells).
 #[must_use]
 pub fn capture_stream() -> Vec<EventRecord> {
@@ -689,6 +729,22 @@ pub fn shard_speedup(rows: &[PipelineRow], lifeguard: &str, shards: usize) -> Op
     Some(sharded.events_per_sec / single.events_per_sec)
 }
 
+/// The socket tax: a remote row's events/sec over the live-parallel row
+/// at the same lifeguard and worker count. Both modes move the identical
+/// sealed stream through the identical sharded lifeguards; the ratio
+/// isolates what the Unix-domain-socket hop (syscalls, copies, credit
+/// round-trips) costs against the in-process channel.
+#[must_use]
+pub fn socket_overhead(rows: &[PipelineRow], lifeguard: &str, shards: usize) -> Option<f64> {
+    let find = |mode: &str| {
+        rows.iter()
+            .find(|r| r.mode == mode && r.lifeguard == lifeguard && r.shards == shards)
+    };
+    let remote = find("remote")?;
+    let in_process = find("live-parallel")?;
+    Some(remote.events_per_sec / in_process.events_per_sec)
+}
+
 /// Renders the pipeline-throughput table.
 #[must_use]
 pub fn render_pipeline(rows: &[PipelineRow]) -> String {
@@ -711,6 +767,9 @@ pub fn render_pipeline(rows: &[PipelineRow]) -> String {
         } else if row.mode == "live-parallel" && row.shards > 1 {
             shard_speedup(rows, row.lifeguard, row.shards)
                 .map_or(String::new(), |s| format!("{s:.2}x vs 1 shard"))
+        } else if row.mode == "remote" {
+            socket_overhead(rows, row.lifeguard, row.shards)
+                .map_or(String::new(), |s| format!("{s:.2}x vs in-process"))
         } else if row.mode == "taint-parallel" {
             epoch_speedup(rows, row.shards)
                 .map_or(String::new(), |s| format!("{s:.2}x vs sequential"))
@@ -912,6 +971,55 @@ pub fn validate_trajectory(json: &str) -> Result<(), String> {
         )) {
             return Err(format!(
                 "{} must stay out of the sharded series",
+                monitor.name
+            ));
+        }
+    }
+
+    // …the remote series mirrors the live-parallel coverage (same
+    // shardable-only eligibility, same worker counts) and its wire bits
+    // must be *byte-identical* to the matching live-parallel row: the
+    // socket hop is a transport, not a re-encode, so the exact same
+    // sealed frames cross it…
+    for monitor in &lba::MONITORS {
+        if monitor.shardable {
+            for workers in SHARD_COUNTS {
+                let tag = format!(
+                    "\"mode\": \"remote\", \"lifeguard\": \"{}\", \
+                     \"benchmark\": \"gzip\", \"batched\": true, \"shards\": {workers}",
+                    monitor.name
+                );
+                let Some(remote_row) = json.lines().find(|l| l.contains(&tag)) else {
+                    return Err(format!(
+                        "missing remote/{} at {workers} workers",
+                        monitor.name
+                    ));
+                };
+                let lp_tag = format!(
+                    "\"mode\": \"live-parallel\", \"lifeguard\": \"{}\", \
+                     \"benchmark\": \"gzip\", \"batched\": true, \"shards\": {workers}",
+                    monitor.name
+                );
+                let lp_row = json.lines().find(|l| l.contains(&lp_tag)).ok_or_else(|| {
+                    format!("missing live-parallel twin for remote/{}", monitor.name)
+                })?;
+                let remote_wire = row_u64(remote_row, "wire_bits")?;
+                let lp_wire = row_u64(lp_row, "wire_bits")?;
+                if remote_wire != lp_wire {
+                    return Err(format!(
+                        "remote/{} at {workers} workers shipped {remote_wire} wire bits, \
+                         but live-parallel shipped {lp_wire}: the socket must carry the \
+                         identical sealed stream",
+                        monitor.name
+                    ));
+                }
+            }
+        } else if json.contains(&format!(
+            "\"mode\": \"remote\", \"lifeguard\": \"{}\"",
+            monitor.name
+        )) {
+            return Err(format!(
+                "{} must stay out of the remote series",
                 monitor.name
             ));
         }
@@ -1160,6 +1268,22 @@ mod tests {
         assert_eq!(shard_speedup(&rows, "lockset", 4), None);
         let table = render_pipeline(&rows);
         assert!(table.contains("3.00x vs 1 shard"));
+    }
+
+    #[test]
+    fn socket_overhead_compares_against_the_in_process_twin() {
+        let rows = vec![
+            row("live-parallel", true, 2, 20.0),
+            row("remote", true, 2, 15.0),
+        ];
+        assert_eq!(socket_overhead(&rows, "addrcheck", 2), Some(0.75));
+        assert_eq!(
+            socket_overhead(&rows, "addrcheck", 4),
+            None,
+            "unmeasured count"
+        );
+        let table = render_pipeline(&rows);
+        assert!(table.contains("0.75x vs in-process"), "got:\n{table}");
     }
 
     #[test]

@@ -234,7 +234,7 @@ impl<C: LogChannel> ProducerLink for Cosim<'_, C> {
 /// the open frame and draining the log first. End-to-end time is the later
 /// of the two core clocks. The transport is driven entirely through the
 /// [`LogChannel`] trait; this run plugs in the deterministic
-/// [`ModeledFrameChannel`], which runs the real frame codec so the timing
+/// [`ModeledFrameChannel`](lba_transport::ModeledFrameChannel), which runs the real frame codec so the timing
 /// model ships the same wire bytes as the live mode.
 ///
 /// Consumption is frame-granular by default: the lifeguard takes each
@@ -252,6 +252,10 @@ impl<C: LogChannel> ProducerLink for Cosim<'_, C> {
 /// verdict — before they cost compression, wire, or dispatch. Findings
 /// are proptest-pinned identical to unfiltered runs
 /// (`tests/idempotency.rs`).
+///
+/// New code should prefer the unified [`Run`](crate::Run) builder
+/// (`RunMode::Lba`), which validates mode/monitor pairings against the
+/// registry; this free function remains the mode's direct entry point.
 ///
 /// # Errors
 ///

@@ -252,6 +252,10 @@ impl<E: EpochLifeguard> ProducerLink for EpochModelLink<'_, E> {
 /// Epoch boundaries come from [`LogConfig::epoch_records`](crate::LogConfig)
 /// and syscalls; see [`EpochRouted`].
 ///
+/// New code driving [`TaintCheck`] should prefer the unified
+/// [`Run`](crate::Run) builder (`RunMode::EpochParallel`); this generic
+/// function remains the entry point for custom [`EpochLifeguard`]s.
+///
 /// # Errors
 ///
 /// Propagates any [`RunError`] from the machine.
@@ -400,6 +404,11 @@ impl ProducerLink for LiveEpochLink {
 ///
 /// Functional, not timed (like the other live modes); findings and final
 /// master state are byte-identical to the sequential run.
+///
+/// New code driving [`TaintCheck`] should prefer the unified
+/// [`Run`](crate::Run) builder (`RunMode::LiveEpochParallel`); this
+/// generic function remains the entry point for custom
+/// [`EpochLifeguard`]s.
 ///
 /// # Errors
 ///
@@ -570,6 +579,10 @@ fn epoch_consume(rx: &mut FrameReceiver, mut consume: impl FnMut(&[EventRecord],
 /// Findings and final `master` state are byte-identical to the recording
 /// run's (and therefore to the sequential run's).
 ///
+/// New code driving [`TaintCheck`] should prefer the unified
+/// [`Run`](crate::Run) builder (`RunMode::ReplayEpoch`); this generic
+/// function remains the entry point for custom [`EpochLifeguard`]s.
+///
 /// # Errors
 ///
 /// See [`ReplayError`]: stream-layer damage, a codec-version mismatch, or
@@ -691,6 +704,9 @@ pub fn run_taint_parallel(
     workers: usize,
     config: &SystemConfig,
 ) -> Result<EpochParallelReport, RunError> {
+    // Equivalent to `Run::new(program).mode(RunMode::EpochParallel)
+    //     .monitor(LifeguardKind::TaintCheck)`, which new code should
+    // prefer; kept as the registry hooks' direct entry point.
     let mut master = TaintCheck::new();
     run_epoch_parallel(program, &mut master, workers, config)
 }
@@ -705,6 +721,9 @@ pub fn run_live_taint_parallel(
     workers: usize,
     config: &SystemConfig,
 ) -> Result<LiveEpochParallelReport, RunError> {
+    // Equivalent to `Run::new(program).mode(RunMode::LiveEpochParallel)
+    //     .monitor(LifeguardKind::TaintCheck)`, which new code should
+    // prefer; kept as the registry hooks' direct entry point.
     let mut master = TaintCheck::new();
     run_live_epoch_parallel(program, &mut master, workers, config)
 }

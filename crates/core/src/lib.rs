@@ -52,6 +52,7 @@ mod config;
 pub mod controller;
 mod cosim;
 pub mod epoch_parallel;
+mod error;
 pub mod experiment;
 mod kind;
 mod live;
@@ -59,9 +60,11 @@ pub mod live_parallel;
 pub mod parallel;
 pub mod pipeline;
 mod recorder;
+pub mod remote;
 pub mod replay;
 pub mod report;
 mod run;
+pub mod runner;
 pub mod table;
 
 pub use config::{LogConfig, RecordConfig, SystemConfig, MAX_LIVE_CHANNEL_FRAMES};
@@ -71,6 +74,7 @@ pub use epoch_parallel::{
     run_epoch_parallel, run_live_epoch_parallel, run_live_taint_parallel, run_replay_epoch,
     run_taint_parallel, EpochParallelReport, LiveEpochParallelReport,
 };
+pub use error::LbaError;
 pub use kind::LifeguardKind;
 pub use live::run_live;
 pub use live_parallel::run_live_parallel;
@@ -79,12 +83,14 @@ pub use pipeline::{
     ProducerLink, ReplaySource, Route, RunModeSpec, ShardedByLine, SingleConsumer, TopologyKind,
     MONITORS, RUN_MODES,
 };
+pub use remote::run_remote;
 pub use replay::{run_replay, run_replay_with, ReplayError, ReplayMode};
 pub use report::{
-    LiveParallelReport, LiveReport, LogStats, Mode, PipelineReport, ReplayReport,
+    LiveParallelReport, LiveReport, LogStats, Mode, PipelineReport, RemoteReport, ReplayReport,
     ReplayStreamStats, RunReport, SalvagedTail, StallBreakdown,
 };
 pub use run::{run_dbi, run_unmonitored};
+pub use runner::{MonitorChoice, Run, RunMode, RunOutcome};
 
 // Per-shard transport statistics appear in the parallel reports; re-export
 // the type so downstream code can name it without a direct lba-transport

@@ -94,6 +94,10 @@ impl ProducerLink for LiveLink<'_> {
 /// syscall seals the open frame so the lifeguard can observe everything
 /// that precedes it.
 ///
+/// New code should prefer the unified [`Run`](crate::Run) builder
+/// (`RunMode::Live`); this free function remains the mode's direct entry
+/// point.
+///
 /// # Errors
 ///
 /// Propagates any [`RunError`] from the machine thread.

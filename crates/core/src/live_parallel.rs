@@ -119,6 +119,10 @@ impl ProducerLink for LiveShardLink<'_> {
 /// identical pass, which keeps each shard's wire stream byte-identical
 /// between the two modes.
 ///
+/// New code should prefer the unified [`Run`](crate::Run) builder
+/// (`RunMode::LiveParallel`); this free function remains the mode's
+/// direct entry point.
+///
 /// # Errors
 ///
 /// Propagates any [`RunError`] from the machine thread.

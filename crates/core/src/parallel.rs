@@ -18,7 +18,7 @@
 //! * lifeguard time is the *maximum* over the shards' clocks, each shard
 //!   running on its own core with its own L1.
 //!
-//! The producer side is [`Producer::sharded`] driving a [`ParallelLink`]:
+//! The producer side is [`Producer::sharded`] driving a `ParallelLink`:
 //! the shared capture pass runs *before* routing, so the per-shard streams
 //! stay byte-identical with the live sharded mode.
 //!
@@ -202,6 +202,10 @@ impl ProducerLink for ParallelLink {
 /// Runs `program` with the lifeguard sharded `shards` ways by address.
 ///
 /// `make_lifeguard` builds one (identical) lifeguard instance per shard.
+///
+/// New code should prefer the unified [`Run`](crate::Run) builder
+/// (`RunMode::LbaParallel`); this free function remains the mode's
+/// direct entry point.
 ///
 /// # Errors
 ///

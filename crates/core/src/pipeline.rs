@@ -144,9 +144,9 @@ impl Producer {
     }
 
     /// The single-consumer co-simulation producer (`run_lba`): the full
-    /// capture pass ([`LogConfig::adaptive_capture_filter`]
-    /// (crate::LogConfig::adaptive_capture_filter)), the adaptive
-    /// controller when configured, syscall containment per
+    /// capture pass
+    /// ([`LogConfig::adaptive_capture_filter`](crate::LogConfig::adaptive_capture_filter)),
+    /// the adaptive controller when configured, syscall containment per
     /// `config.log.syscall_stall`, and the lock-step ablation per
     /// `config.log.decoupled`.
     #[must_use]
@@ -680,6 +680,20 @@ fn mode_live_parallel(
     })
 }
 
+fn mode_remote(
+    program: &lba_isa::Program,
+    spec: &MonitorSpec,
+    config: &SystemConfig,
+) -> Result<ModeOutcome, String> {
+    let report =
+        crate::remote::run_remote(program, spec.make, 2, config).map_err(|e| e.to_string())?;
+    Ok(ModeOutcome {
+        records: report.log.records,
+        wire_bits: report.log.wire_bits,
+        findings: report.pipeline.findings,
+    })
+}
+
 fn mode_epoch(
     program: &lba_isa::Program,
     _spec: &MonitorSpec,
@@ -771,7 +785,7 @@ fn supports_epoch(spec: &MonitorSpec) -> bool {
 /// enumerations from this table; the union of `bench_series` (plus the
 /// consumption-only `"consume"` series) is exactly the committed
 /// `BENCH_pipeline.json` trajectory.
-pub const RUN_MODES: [RunModeSpec; 8] = [
+pub const RUN_MODES: [RunModeSpec; 9] = [
     RunModeSpec {
         name: "lba",
         execution: Execution::Modeled,
@@ -815,6 +829,17 @@ pub const RUN_MODES: [RunModeSpec; 8] = [
         supports: supports_shardable,
         run: mode_live_parallel,
         bench_series: &["live-parallel"],
+    },
+    RunModeSpec {
+        name: "remote",
+        execution: Execution::Live,
+        topology: TopologyKind::Sharded,
+        merged_findings: true,
+        exact_records: false,
+        exact_wire: false,
+        supports: supports_shardable,
+        run: mode_remote,
+        bench_series: &["remote"],
     },
     RunModeSpec {
         name: "epoch-parallel",

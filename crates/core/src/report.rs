@@ -268,6 +268,67 @@ impl fmt::Display for LiveParallelReport {
     }
 }
 
+/// The result of a remote-workers run ([`run_remote`](crate::run_remote)):
+/// one producer thread fanning sealed frames over per-shard Unix-domain
+/// sockets to `workers` lifeguard workers, each decoding its own stream
+/// behind the credit window. Routing, frame boundaries, and the capture
+/// pass are identical to [`run_live_parallel`](crate::run_live_parallel),
+/// so each shard's wire stream — and the merged findings — match the
+/// in-process sharded live mode byte for byte; only the transport differs.
+#[derive(Debug, Clone)]
+pub struct RemoteReport {
+    /// Program name.
+    pub program: String,
+    /// Worker count (one socket stream per worker).
+    pub workers: usize,
+    /// Retired-instruction statistics, gathered on the producer thread.
+    pub trace: TraceStats,
+    /// Per-worker transport statistics (records, frames, wire bits), in
+    /// shard order, from the producer side of each socket.
+    pub shard_log: Vec<ChannelStats>,
+    /// The shared pipeline core: findings merged over workers exactly as
+    /// the sharded modes merge theirs, shard-aggregated log statistics,
+    /// the producer-side capture ledger, and the degradation ledger.
+    pub pipeline: PipelineReport,
+}
+
+deref_pipeline!(RemoteReport);
+
+impl RemoteReport {
+    /// Records carried across all worker sockets. Broadcast records are
+    /// counted once per worker, so this is at least the retired count.
+    #[must_use]
+    pub fn total_records(&self) -> u64 {
+        self.shard_log.iter().map(|s| s.records).sum()
+    }
+
+    /// Wire bits shipped across all worker sockets.
+    #[must_use]
+    pub fn total_wire_bits(&self) -> u64 {
+        self.shard_log.iter().map(|s| s.wire_bits).sum()
+    }
+}
+
+impl fmt::Display for RemoteReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} [remote x{} workers]: {} instructions; log: {} records, {} frames, {} wire bits across sockets",
+            self.program,
+            self.workers,
+            self.trace.instructions(),
+            self.total_records(),
+            self.shard_log.iter().map(|s| s.frames).sum::<u64>(),
+            self.total_wire_bits(),
+        )?;
+        write_degradation(f, &self.degradation)?;
+        for finding in &self.findings {
+            writeln!(f, "  {finding}")?;
+        }
+        Ok(())
+    }
+}
+
 /// Per-stream accounting of an offline replay
 /// ([`run_replay`](crate::run_replay)).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

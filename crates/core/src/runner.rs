@@ -1,0 +1,580 @@
+//! One entry point for every execution model: the [`Run`] builder.
+//!
+//! The run modes accreted as free functions — thirteen of them by the
+//! time the socket transport landed — each with its own argument shape
+//! (`&mut dyn Lifeguard` here, a factory closure there, a hardwired
+//! `TaintCheck` in the epoch modes) and its own error type. [`Run`]
+//! collapses them behind one registry-driven builder:
+//!
+//! ```
+//! use lba::{LifeguardKind, Run, RunMode};
+//! use lba_workloads::bugs;
+//!
+//! let program = bugs::memory_bugs();
+//! let outcome = Run::new(&program)
+//!     .mode(RunMode::Live)
+//!     .monitor(LifeguardKind::AddrCheck)
+//!     .run()?;
+//! assert!(!outcome.findings.is_empty()); // Derefs to PipelineReport
+//! # Ok::<(), lba::LbaError>(())
+//! ```
+//!
+//! The builder validates the mode/monitor pairing against the capability
+//! flags in [`pipeline::MONITORS`](crate::MONITORS) and
+//! [`pipeline::RUN_MODES`](crate::RUN_MODES) *before* running anything —
+//! sharding TaintCheck is an [`LbaError::Unsupported`] with the reason,
+//! not a wrong answer — and folds every mode's failure into [`LbaError`].
+//! The mode-shaped reports survive unchanged inside [`RunOutcome`], which
+//! [`Deref`]s to the shared [`PipelineReport`] so mode-generic callers
+//! (the bench harness, the equivalence grid) read findings and log
+//! statistics without matching on the shape.
+
+use std::fmt;
+use std::ops::Deref;
+use std::path::PathBuf;
+
+use lba_isa::Program;
+use lba_lifeguards::TaintCheck;
+
+use crate::config::SystemConfig;
+use crate::epoch_parallel::{EpochParallelReport, LiveEpochParallelReport};
+use crate::error::LbaError;
+use crate::kind::LifeguardKind;
+use crate::parallel::ParallelReport;
+use crate::pipeline::{MonitorSpec, RunModeSpec, MONITORS, RUN_MODES};
+use crate::replay::ReplayMode;
+use crate::report::{
+    LiveParallelReport, LiveReport, PipelineReport, RemoteReport, ReplayReport, RunReport,
+};
+
+/// Every execution model the builder can drive: the nine registry modes
+/// (see [`RUN_MODES`]) plus the two unmonitored/inline baselines, which
+/// stand outside the registry because they ship no log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RunMode {
+    /// Modeled co-simulation with exact clocks ([`crate::run_lba`]).
+    Lba,
+    /// Real threads over an in-process framed channel
+    /// ([`crate::run_live`]).
+    Live,
+    /// Modeled address-sharded fan-out ([`crate::parallel::run_lba_parallel`]).
+    LbaParallel,
+    /// Sharded lifeguards on real threads ([`crate::run_live_parallel`]).
+    LiveParallel,
+    /// Sharded lifeguards behind real sockets ([`crate::run_remote`]).
+    Remote,
+    /// Modeled epoch-parallel taint tracking
+    /// ([`crate::run_taint_parallel`]).
+    EpochParallel,
+    /// Epoch-parallel taint tracking on real threads
+    /// ([`crate::run_live_taint_parallel`]).
+    LiveEpochParallel,
+    /// Offline replay of a flight-recorder stream set
+    /// ([`crate::run_replay`]); needs [`Run::replay_from`].
+    Replay,
+    /// Epoch-parallel replay of a sharded recording
+    /// ([`crate::run_replay_epoch`]); needs [`Run::replay_from`].
+    ReplayEpoch,
+    /// The program alone, no monitoring ([`crate::run_unmonitored`]).
+    Unmonitored,
+    /// The lifeguard inline via dynamic binary instrumentation
+    /// ([`crate::run_dbi`]).
+    Dbi,
+}
+
+impl RunMode {
+    /// Every mode, registry rows first in table order, then the two
+    /// baselines.
+    pub const ALL: [RunMode; 11] = [
+        RunMode::Lba,
+        RunMode::Live,
+        RunMode::LbaParallel,
+        RunMode::LiveParallel,
+        RunMode::Remote,
+        RunMode::EpochParallel,
+        RunMode::LiveEpochParallel,
+        RunMode::Replay,
+        RunMode::ReplayEpoch,
+        RunMode::Unmonitored,
+        RunMode::Dbi,
+    ];
+
+    /// The matching [`RUN_MODES`] row name, or `None` for the two
+    /// baseline modes that stand outside the registry.
+    #[must_use]
+    pub fn registry_name(self) -> Option<&'static str> {
+        match self {
+            RunMode::Lba => Some("lba"),
+            RunMode::Live => Some("live"),
+            RunMode::LbaParallel => Some("lba-parallel"),
+            RunMode::LiveParallel => Some("live-parallel"),
+            RunMode::Remote => Some("remote"),
+            RunMode::EpochParallel => Some("epoch-parallel"),
+            RunMode::LiveEpochParallel => Some("live-epoch-parallel"),
+            RunMode::Replay => Some("replay"),
+            RunMode::ReplayEpoch => Some("replay-epoch"),
+            RunMode::Unmonitored | RunMode::Dbi => None,
+        }
+    }
+
+    /// Stable name: the registry row's for registry modes, `unmonitored`
+    /// / `dbi` for the baselines.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            RunMode::Unmonitored => "unmonitored",
+            RunMode::Dbi => "dbi",
+            other => other.registry_name().expect("registry mode has a row"),
+        }
+    }
+
+    fn registry_spec(self) -> Option<&'static RunModeSpec> {
+        let name = self.registry_name()?;
+        RUN_MODES.iter().find(|m| m.name == name)
+    }
+}
+
+impl fmt::Display for RunMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A monitor selection: anything that resolves to a [`MONITORS`] row.
+/// [`LifeguardKind`] covers the paper's three; pass a
+/// [`&'static MonitorSpec`](MonitorSpec) directly for the extensions
+/// (MemProfile) or custom registry entries.
+#[derive(Debug, Clone, Copy)]
+pub struct MonitorChoice(&'static MonitorSpec);
+
+impl From<&'static MonitorSpec> for MonitorChoice {
+    fn from(spec: &'static MonitorSpec) -> Self {
+        MonitorChoice(spec)
+    }
+}
+
+impl From<LifeguardKind> for MonitorChoice {
+    fn from(kind: LifeguardKind) -> Self {
+        let spec = MONITORS
+            .iter()
+            .find(|m| m.name == kind.name())
+            .expect("every LifeguardKind has a MONITORS row");
+        MonitorChoice(spec)
+    }
+}
+
+/// Builder for one monitored run — see the [module docs](self) for the
+/// shape. Defaults: [`RunMode::Lba`], AddrCheck, 2 workers,
+/// [`SystemConfig::default`], [`ReplayMode::Strict`].
+pub struct Run<'a> {
+    program: &'a Program,
+    mode: RunMode,
+    monitor: MonitorChoice,
+    workers: usize,
+    config: Option<&'a SystemConfig>,
+    replay_from: Option<PathBuf>,
+    replay_mode: ReplayMode,
+}
+
+impl<'a> Run<'a> {
+    /// Starts a run request for `program` with the default mode, monitor
+    /// and configuration.
+    #[must_use]
+    pub fn new(program: &'a Program) -> Self {
+        Run {
+            program,
+            mode: RunMode::Lba,
+            monitor: MonitorChoice::from(LifeguardKind::AddrCheck),
+            workers: 2,
+            config: None,
+            replay_from: None,
+            replay_mode: ReplayMode::Strict,
+        }
+    }
+
+    /// Selects the execution model.
+    #[must_use]
+    pub fn mode(mut self, mode: RunMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Selects the lifeguard: a [`LifeguardKind`] or a
+    /// [`&'static MonitorSpec`](MonitorSpec) row. Ignored by
+    /// [`RunMode::Unmonitored`].
+    #[must_use]
+    pub fn monitor(mut self, monitor: impl Into<MonitorChoice>) -> Self {
+        self.monitor = monitor.into();
+        self
+    }
+
+    /// Shard/worker count for the fan-out modes (`*Parallel`, `Remote`);
+    /// the single-consumer modes ignore it. Defaults to 2.
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Uses `config` instead of [`SystemConfig::default`].
+    #[must_use]
+    pub fn config(mut self, config: &'a SystemConfig) -> Self {
+        self.config = Some(config);
+        self
+    }
+
+    /// The recording directory the replay modes consume — required by
+    /// [`RunMode::Replay`] and [`RunMode::ReplayEpoch`].
+    #[must_use]
+    pub fn replay_from(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.replay_from = Some(dir.into());
+        self
+    }
+
+    /// Damage policy for [`RunMode::Replay`] (strict by default).
+    #[must_use]
+    pub fn replay_mode(mut self, mode: ReplayMode) -> Self {
+        self.replay_mode = mode;
+        self
+    }
+
+    /// Validates the request against the registry capability flags and
+    /// executes it.
+    ///
+    /// # Errors
+    ///
+    /// [`LbaError::Unsupported`] when the mode's `supports` predicate
+    /// rejects the monitor (before anything runs);
+    /// [`LbaError::InvalidRequest`] for a replay mode with no
+    /// [`replay_from`](Self::replay_from) directory or a fan-out mode
+    /// with zero workers; otherwise whatever the underlying mode reports,
+    /// folded into [`LbaError`].
+    pub fn run(self) -> Result<RunOutcome, LbaError> {
+        let monitor = self.monitor.0;
+        if let Some(spec) = self.mode.registry_spec() {
+            if !(spec.supports)(monitor) {
+                return Err(LbaError::Unsupported {
+                    mode: spec.name,
+                    monitor: monitor.name.to_string(),
+                });
+            }
+        }
+        let fan_out = matches!(
+            self.mode,
+            RunMode::LbaParallel
+                | RunMode::LiveParallel
+                | RunMode::Remote
+                | RunMode::EpochParallel
+                | RunMode::LiveEpochParallel
+        );
+        if fan_out && self.workers == 0 {
+            return Err(LbaError::InvalidRequest {
+                detail: format!("mode `{}` needs at least one worker", self.mode),
+            });
+        }
+        let default_config;
+        let config = match self.config {
+            Some(config) => config,
+            None => {
+                default_config = SystemConfig::default();
+                &default_config
+            }
+        };
+        let replay_dir = |dir: Option<PathBuf>| {
+            dir.ok_or_else(|| LbaError::InvalidRequest {
+                detail: format!(
+                    "mode `{}` replays a recording: set `replay_from(dir)`",
+                    self.mode
+                ),
+            })
+        };
+        match self.mode {
+            RunMode::Lba => {
+                let mut lifeguard = (monitor.make)();
+                let report = crate::cosim::run_lba(self.program, lifeguard.as_mut(), config)?;
+                Ok(RunOutcome::Run(report))
+            }
+            RunMode::Live => {
+                let mut lifeguard = (monitor.make)();
+                let report = crate::live::run_live(self.program, lifeguard.as_mut(), config)?;
+                Ok(RunOutcome::Live(report))
+            }
+            RunMode::LbaParallel => {
+                let report = crate::parallel::run_lba_parallel(
+                    self.program,
+                    monitor.make,
+                    self.workers,
+                    config,
+                )?;
+                Ok(RunOutcome::Parallel(report))
+            }
+            RunMode::LiveParallel => {
+                let report = crate::live_parallel::run_live_parallel(
+                    self.program,
+                    monitor.make,
+                    self.workers,
+                    config,
+                )?;
+                Ok(RunOutcome::LiveParallel(report))
+            }
+            RunMode::Remote => {
+                let report =
+                    crate::remote::run_remote(self.program, monitor.make, self.workers, config)?;
+                Ok(RunOutcome::Remote(report))
+            }
+            RunMode::EpochParallel => {
+                // The supports check admitted only epoch-capable monitors,
+                // and TaintCheck is the one epoch summariser implemented.
+                let mut master = TaintCheck::new();
+                let report = crate::epoch_parallel::run_epoch_parallel(
+                    self.program,
+                    &mut master,
+                    self.workers,
+                    config,
+                )?;
+                Ok(RunOutcome::Epoch(report))
+            }
+            RunMode::LiveEpochParallel => {
+                let mut master = TaintCheck::new();
+                let report = crate::epoch_parallel::run_live_epoch_parallel(
+                    self.program,
+                    &mut master,
+                    self.workers,
+                    config,
+                )?;
+                Ok(RunOutcome::LiveEpoch(report))
+            }
+            RunMode::Replay => {
+                let dir = replay_dir(self.replay_from)?;
+                let report =
+                    crate::replay::run_replay_with(dir, monitor.make, config, self.replay_mode)?;
+                Ok(RunOutcome::Replay(report))
+            }
+            RunMode::ReplayEpoch => {
+                let dir = replay_dir(self.replay_from)?;
+                let mut master = TaintCheck::new();
+                let report = crate::epoch_parallel::run_replay_epoch(dir, &mut master, config)?;
+                Ok(RunOutcome::Replay(report))
+            }
+            RunMode::Unmonitored => {
+                let report = crate::run::run_unmonitored(self.program, config)?;
+                Ok(RunOutcome::Run(report))
+            }
+            RunMode::Dbi => {
+                let mut lifeguard = (monitor.make)();
+                let report = crate::run::run_dbi(self.program, lifeguard.as_mut(), config)?;
+                Ok(RunOutcome::Run(report))
+            }
+        }
+    }
+}
+
+/// The mode-shaped report a [`Run`] produced, behind one type.
+///
+/// Every variant [`Deref`]s to the shared [`PipelineReport`], so
+/// mode-generic code reads `outcome.findings` / `outcome.log` directly;
+/// match on the variant when the mode-specific fields (clocks, shard
+/// logs, salvage ledger) matter.
+#[derive(Debug)]
+pub enum RunOutcome {
+    /// Modeled co-simulation or baseline ([`RunMode::Lba`],
+    /// [`RunMode::Unmonitored`], [`RunMode::Dbi`]).
+    Run(RunReport),
+    /// [`RunMode::Live`].
+    Live(LiveReport),
+    /// [`RunMode::LbaParallel`].
+    Parallel(ParallelReport),
+    /// [`RunMode::LiveParallel`].
+    LiveParallel(LiveParallelReport),
+    /// [`RunMode::Remote`].
+    Remote(RemoteReport),
+    /// [`RunMode::EpochParallel`].
+    Epoch(EpochParallelReport),
+    /// [`RunMode::LiveEpochParallel`].
+    LiveEpoch(LiveEpochParallelReport),
+    /// [`RunMode::Replay`] and [`RunMode::ReplayEpoch`].
+    Replay(ReplayReport),
+}
+
+impl Deref for RunOutcome {
+    type Target = PipelineReport;
+
+    fn deref(&self) -> &PipelineReport {
+        match self {
+            RunOutcome::Run(r) => r,
+            RunOutcome::Live(r) => r,
+            RunOutcome::Parallel(r) => r,
+            RunOutcome::LiveParallel(r) => r,
+            RunOutcome::Remote(r) => r,
+            RunOutcome::Epoch(r) => r,
+            RunOutcome::LiveEpoch(r) => r,
+            RunOutcome::Replay(r) => r,
+        }
+    }
+}
+
+impl fmt::Display for RunOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // The modeled fan-out reports define no Display of their own;
+        // summarise them from the shared pipeline fields.
+        let summary = |f: &mut fmt::Formatter<'_>, mode: &str, report: &PipelineReport| {
+            writeln!(
+                f,
+                "[{mode}] {} finding(s); {} records in {} frames",
+                report.findings.len(),
+                report.log.records,
+                report.log.frames,
+            )
+        };
+        match self {
+            RunOutcome::Run(r) => r.fmt(f),
+            RunOutcome::Live(r) => r.fmt(f),
+            RunOutcome::Parallel(r) => summary(f, "lba-parallel", r),
+            RunOutcome::LiveParallel(r) => r.fmt(f),
+            RunOutcome::Remote(r) => r.fmt(f),
+            RunOutcome::Epoch(r) => summary(f, "epoch-parallel", r),
+            RunOutcome::LiveEpoch(r) => summary(f, "live-epoch-parallel", r),
+            RunOutcome::Replay(r) => r.fmt(f),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lba_lifeguard::FindingKind;
+    use lba_workloads::bugs;
+
+    #[test]
+    fn run_mode_names_are_bijective_with_the_registry() {
+        let registry: Vec<&str> = RUN_MODES.iter().map(|m| m.name).collect();
+        let builder: Vec<&str> = RunMode::ALL
+            .iter()
+            .filter_map(|m| m.registry_name())
+            .collect();
+        assert_eq!(
+            registry, builder,
+            "RunMode must mirror pipeline::RUN_MODES, in table order"
+        );
+        let baselines: Vec<&str> = RunMode::ALL
+            .iter()
+            .filter(|m| m.registry_name().is_none())
+            .map(|m| m.name())
+            .collect();
+        assert_eq!(baselines, ["unmonitored", "dbi"]);
+    }
+
+    #[test]
+    fn every_registry_mode_runs_through_the_builder() {
+        let memory = bugs::memory_bugs();
+        let tainted = bugs::tainted_syscall();
+        let config = SystemConfig::default();
+        let recording =
+            std::env::temp_dir().join(format!("lba-runner-grid-{}", std::process::id()));
+        for mode in RunMode::ALL {
+            // The epoch modes support only TaintCheck, which needs the
+            // tainted workload; everything else is exercised with
+            // AddrCheck here (the grid in tests/equivalence.rs sweeps the
+            // full monitor set).
+            let (program, monitor) = match mode {
+                RunMode::EpochParallel | RunMode::LiveEpochParallel => {
+                    (&tainted, LifeguardKind::TaintCheck)
+                }
+                _ => (&memory, LifeguardKind::AddrCheck),
+            };
+            let mut request = Run::new(program)
+                .mode(mode)
+                .monitor(monitor)
+                .config(&config);
+            if matches!(mode, RunMode::Replay | RunMode::ReplayEpoch) {
+                // Record with a matching topology first, then point the
+                // builder at the recording.
+                let mut rec = config.clone();
+                rec.log.record_to = Some(crate::config::RecordConfig::new(&recording));
+                let _ = std::fs::remove_dir_all(&recording);
+                if mode == RunMode::ReplayEpoch {
+                    Run::new(&tainted)
+                        .mode(RunMode::EpochParallel)
+                        .monitor(LifeguardKind::TaintCheck)
+                        .config(&rec)
+                        .run()
+                        .expect("recording run");
+                    request = request.monitor(LifeguardKind::TaintCheck);
+                } else {
+                    Run::new(&memory)
+                        .mode(RunMode::Lba)
+                        .monitor(LifeguardKind::AddrCheck)
+                        .config(&rec)
+                        .run()
+                        .expect("recording run");
+                }
+                request = request.replay_from(&recording);
+            }
+            let outcome = request.run().unwrap_or_else(|e| panic!("{mode}: {e}"));
+            if mode != RunMode::Unmonitored {
+                assert!(
+                    !outcome.findings.is_empty(),
+                    "{mode} must surface the planted bugs"
+                );
+            }
+        }
+        let _ = std::fs::remove_dir_all(&recording);
+    }
+
+    #[test]
+    fn capability_flags_reject_before_running() {
+        let program = bugs::memory_bugs();
+        let err = Run::new(&program)
+            .mode(RunMode::LiveParallel)
+            .monitor(LifeguardKind::TaintCheck)
+            .run()
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                LbaError::Unsupported {
+                    mode: "live-parallel",
+                    ..
+                }
+            ),
+            "got: {err}"
+        );
+        assert!(err.to_string().contains("taintcheck"));
+    }
+
+    #[test]
+    fn replay_without_a_recording_is_an_invalid_request() {
+        let program = bugs::memory_bugs();
+        let err = Run::new(&program).mode(RunMode::Replay).run().unwrap_err();
+        assert!(matches!(err, LbaError::InvalidRequest { .. }));
+        assert!(err.to_string().contains("replay_from"));
+    }
+
+    #[test]
+    fn zero_workers_is_an_invalid_request_not_a_panic() {
+        let program = bugs::memory_bugs();
+        let err = Run::new(&program)
+            .mode(RunMode::Remote)
+            .workers(0)
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, LbaError::InvalidRequest { .. }));
+    }
+
+    #[test]
+    fn outcome_derefs_to_the_shared_pipeline_report() {
+        let program = bugs::memory_bugs();
+        let outcome = Run::new(&program)
+            .mode(RunMode::Remote)
+            .monitor(LifeguardKind::AddrCheck)
+            .run()
+            .unwrap();
+        assert!(outcome
+            .findings
+            .iter()
+            .any(|f| f.kind == FindingKind::DoubleFree));
+        assert!(outcome.log.records > 0);
+        assert!(matches!(outcome, RunOutcome::Remote(_)));
+        assert!(outcome.to_string().contains("remote"));
+    }
+}

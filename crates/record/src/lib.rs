@@ -31,7 +31,7 @@ pub use event::{DecodeRecordError, EventKind, EventRecord, RAW_RECORD_BYTES};
 pub use mask::EventMask;
 pub use stats::TraceStats;
 pub use stream::{
-    segment_file_name, stream_ids, SegmentReader, SegmentWriter, StreamConfig, StreamError,
-    StreamFrame, StreamSummary, SEGMENT_HEADER_BYTES, STREAM_FORMAT,
+    payload_checksum, segment_file_name, stream_ids, SegmentReader, SegmentWriter, StreamConfig,
+    StreamError, StreamFrame, StreamSummary, SEGMENT_HEADER_BYTES, STREAM_FORMAT,
 };
 pub use trace::{TraceError, TraceReader, TraceWriter};

@@ -78,8 +78,11 @@ const END_RECORD_BYTES: u64 = 1 + 8;
 
 /// FNV-1a over the payload, folded to 32 bits — cheap enough to run at
 /// capture (the tee's only per-byte work) yet positively identifies
-/// mid-frame corruption that length checks cannot see.
-fn checksum(bytes: &[u8]) -> u32 {
+/// mid-frame corruption that length checks cannot see. Public because the
+/// socket transport frames its wire records with the same checksum, so a
+/// recorded stream and a socket stream corrupt (and salvage) identically.
+#[must_use]
+pub fn payload_checksum(bytes: &[u8]) -> u32 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         h ^= u64::from(b);
@@ -488,7 +491,7 @@ impl SegmentWriter {
         header[9..13].copy_from_slice(&records.to_le_bytes());
         #[allow(clippy::cast_possible_truncation)]
         header[13..17].copy_from_slice(&(frame.len() as u32).to_le_bytes());
-        header[17..21].copy_from_slice(&checksum(frame).to_le_bytes());
+        header[17..21].copy_from_slice(&payload_checksum(frame).to_le_bytes());
         file.write_all(&header)
             .and_then(|()| file.write_all(frame))
             .map_err(|e| StreamError::io(&path, e))?;
@@ -724,7 +727,7 @@ impl SegmentReader {
                         u32::from_le_bytes(header[12..16].try_into().expect("4 bytes")) as usize;
                     let sum = u32::from_le_bytes(header[16..20].try_into().expect("4 bytes"));
                     let payload = self.take(len, start)?.to_vec();
-                    if checksum(&payload) != sum {
+                    if payload_checksum(&payload) != sum {
                         return Err(self.corrupt(start, "frame payload checksum mismatch"));
                     }
                     // The payload is a sealed frame image whose first word

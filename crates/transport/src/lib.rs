@@ -43,6 +43,7 @@ pub mod fault;
 pub mod live;
 mod model;
 pub mod sink;
+pub mod socket;
 
 pub use channel::{
     shard_of, ChannelStats, EpochRoute, EpochRouter, LoadSample, LogChannel, PoppedFrame,
@@ -58,3 +59,4 @@ pub use sink::{
     ChannelTee, FrameSink, FrameSource, SealedFrame, SinkError, StreamSink, StreamSource, TeeSink,
     VecSink,
 };
+pub use socket::{socket_pair, SocketError, SocketSender, SocketSink, SocketSource, WireStream};

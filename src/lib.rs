@@ -58,6 +58,21 @@
 //!                 │  recording through any      │
 //!                 │  lifeguard, byte-identical  │
 //!                 │  (LogConfig::record_to)     │
+//!                 ├─────────────────────────────┤
+//!                 │  socket transport (lbas/1   │
+//!                 │  frames over UDS, TCP-ready)│
+//!                 │  SocketSink ⇄ SocketSource: │
+//!                 │  an explicit credit window  │
+//!                 │  (one credit per drained    │
+//!                 │  frame, sized like the live │
+//!                 │  channel depth) carries the │
+//!                 │  buffer_bytes back-pressure │
+//!                 │  + LoadSample degradation   │
+//!                 │  loop across the wire;      │
+//!                 │  run_remote puts one shard's│
+//!                 │  lifeguard behind each      │
+//!                 │  socket (lba-transport::    │
+//!                 │  socket)                    │
 //!                 └─────────────────────────────┘
 //!         consumption is frame-at-a-time: one
 //!         ready_at stamp, one HandlerCtx and one
@@ -80,15 +95,22 @@
 //! | `lba-cache`      | set-associative caches and the two-core memory system |
 //! | `lba-record`     | the typed event-record vocabulary the log carries (incl. `Repeat` fold summaries) + the segmented `lbas/1` flight-recorder stream format (rotation, retention, End records) |
 //! | `lba-compress`   | value-prediction log compression + chunked frame codec (< 1 byte/instr on the wire), `CODEC_VERSION` stamped into recordings |
-//! | `lba-transport`  | `LogChannel` trait: framed buffer timing model + live cross-thread frame channel, frame-granular `pop_frame`, `shard_of` routing and per-shard channel fan-out, `EpochRouter` time-slicing with epoch-end marks in the frame header; `FrameSink`/`FrameSource` seam with tee mirroring into recordings; the producer-visible `LoadSample` occupancy signal (the feedback arrow above) and the seeded `FaultInjector`/`FaultSink` fault-injection wrappers |
+//! | `lba-transport`  | `LogChannel` trait: framed buffer timing model + live cross-thread frame channel, frame-granular `pop_frame`, `shard_of` routing and per-shard channel fan-out, `EpochRouter` time-slicing with epoch-end marks in the frame header; `FrameSink`/`FrameSource` seam with tee mirroring into recordings; the `socket` module speaking `lbas/1` over Unix-domain sockets (TCP-ready via `WireStream`) with an explicit credit window so back-pressure survives the wire; the producer-visible `LoadSample` occupancy signal (the feedback arrow above) and the seeded `FaultInjector`/`FaultSink` fault-injection wrappers |
 //! | `lba-lifeguard`  | dispatch engine (batch + per-record), capture filters (`AddrRangeFilter` + per-contract idempotency window in one `CaptureFilter` pass), findings, flat paged shadow memory, the `EpochSummary`/`EpochSummarizer`/`EpochLifeguard` trait triple behind the epoch-parallel modes, and the `DegradationPolicy`/`RegionClassifier` graceful-degradation contracts |
 //! | `lba-lifeguards` | the paper's four lifeguards + `TaintCheck`'s symbolic epoch summaries (`taint_summary`); each declares its degradation tolerance next to its idempotency story |
 //! | `lba-dbi`        | Valgrind-style inline instrumentation baseline        |
 //! | `lba-workloads`  | deterministic benchmark programs                      |
-//! | `lba-core`       | ties it together: the staged capture pipeline (`pipeline::Producer` over a `pipeline::ConsumerTopology`), the run-mode/monitor registry (`pipeline::RUN_MODES` / `pipeline::MONITORS`), the nine `run_*` entry points composed from them, experiments, the shared `PipelineReport` core every report derefs to, and the adaptive `CaptureController` closing the back-pressure feedback loop |
+//! | `lba-core`       | ties it together: the staged capture pipeline (`pipeline::Producer` over a `pipeline::ConsumerTopology`), the run-mode/monitor registry (`pipeline::RUN_MODES` / `pipeline::MONITORS`), the unified `Run` builder dispatching every mode behind one validated entry point (the mode-shaped `run_*` functions remain as direct shims), the `LbaError` hierarchy folding every layer's failures, experiments, the shared `PipelineReport` core every report derefs to, and the adaptive `CaptureController` closing the back-pressure feedback loop |
 //! | `lba-bench`      | table rendering, Criterion benches, `figures` binary  |
 //!
 //! ## Execution models
+//!
+//! All of them drive through the unified [`Run`] builder —
+//! `Run::new(&program).mode(RunMode::Live).monitor(LifeguardKind::AddrCheck).run()`
+//! — which validates the mode/monitor pairing against the registry
+//! capability flags before running and returns a [`RunOutcome`] that
+//! derefs to the shared [`PipelineReport`]. The mode-shaped free
+//! functions below remain as direct entry points:
 //!
 //! * [`run_unmonitored`] — the baseline: the program alone on one core;
 //! * [`run_lba`] — the proposed system: capture → compression → framed log
@@ -101,6 +123,13 @@
 //!   route to the shard owning their cache line, every shard is its own
 //!   compressed frame stream with its own predictor bank, and N consumer
 //!   threads decode and dispatch concurrently;
+//! * [`run_remote`] — the networked twin of the sharded live mode: each
+//!   shard's sealed frames cross a real Unix-domain socket (`lbas/1`
+//!   framing, TCP-ready) to a worker owning a full decoder + dispatch +
+//!   lifeguard stack, with an explicit credit window carrying the
+//!   back-pressure and adaptive-degradation semantics across the wire;
+//!   per-shard wire streams and merged findings are byte-identical to
+//!   [`run_live_parallel`]'s;
 //! * [`run_taint_parallel`] / [`run_epoch_parallel`] — the epoch-parallel
 //!   mode for *order-sensitive* lifeguards that sharding cannot split:
 //!   the stream is cut into whole epochs at syscall boundaries, workers
@@ -152,30 +181,43 @@
 //! ## Quickstart
 //!
 //! ```
-//! use lba::{run_lba, run_unmonitored, SystemConfig};
-//! use lba_lifeguards::AddrCheck;
+//! use lba::{LifeguardKind, Run, RunMode, RunOutcome, SystemConfig};
 //! use lba_workloads::bugs;
 //!
 //! let program = bugs::memory_bugs();
 //! let config = SystemConfig::default();
 //!
-//! let baseline = run_unmonitored(&program, &config)?;
-//! let mut addrcheck = AddrCheck::new();
-//! let monitored = run_lba(&program, &mut addrcheck, &config)?;
+//! let baseline = Run::new(&program)
+//!     .mode(RunMode::Unmonitored)
+//!     .config(&config)
+//!     .run()?;
+//! let monitored = Run::new(&program)
+//!     .mode(RunMode::Lba)
+//!     .monitor(LifeguardKind::AddrCheck)
+//!     .config(&config)
+//!     .run()?;
 //!
+//! // RunOutcome derefs to the shared PipelineReport...
 //! assert!(!monitored.findings.is_empty(), "the planted bugs are caught");
-//! let slowdown = monitored.slowdown_vs(&baseline);
-//! assert!(slowdown > 1.0);
-//! # Ok::<(), lba::RunError>(())
+//! // ...and the mode-shaped report (with its clocks) is inside the variant.
+//! let (RunOutcome::Run(base), RunOutcome::Run(mon)) = (&baseline, &monitored) else {
+//!     unreachable!("Unmonitored and Lba produce RunReports");
+//! };
+//! assert!(mon.slowdown_vs(base) > 1.0);
+//! # Ok::<(), lba::LbaError>(())
 //! ```
 
 pub use lba_core::{
-    epoch_parallel, experiment, live_parallel, parallel, pipeline, replay, report, table,
-    CaptureFilter, CaptureStats, ChannelStats, EpochParallelReport, IdempotencyClass,
+    epoch_parallel, experiment, live_parallel, parallel, pipeline, remote, replay, report, runner,
+    table, CaptureFilter, CaptureStats, ChannelStats, EpochParallelReport, IdempotencyClass,
     LifeguardKind, LiveEpochParallelReport, LiveParallelReport, LiveReport, LogConfig, LogStats,
-    Mode, PipelineReport, RecordConfig, ReplayError, ReplayReport, ReplayStreamStats, RunError,
-    RunReport, StallBreakdown, SystemConfig, WindowSpec,
+    Mode, PipelineReport, RecordConfig, RemoteReport, ReplayError, ReplayReport, ReplayStreamStats,
+    RunError, RunReport, StallBreakdown, SystemConfig, WindowSpec,
 };
+// The unified entry point: one builder for every execution model, the
+// outcome type every mode-shaped report folds into, and the error
+// hierarchy every layer's failures convert into.
+pub use lba_core::{LbaError, MonitorChoice, Run, RunMode, RunOutcome};
 // The staged capture pipeline and the run-mode/monitor registry: every
 // `run_*` entry point above is a thin composition of `Producer` over a
 // `ConsumerTopology`, and MONITORS/RUN_MODES are the single source the
@@ -183,8 +225,8 @@ pub use lba_core::{
 // enumerations from.
 pub use lba_core::{
     run_dbi, run_epoch_parallel, run_lba, run_live, run_live_epoch_parallel, run_live_parallel,
-    run_live_taint_parallel, run_replay, run_replay_epoch, run_replay_with, run_taint_parallel,
-    run_unmonitored,
+    run_live_taint_parallel, run_remote, run_replay, run_replay_epoch, run_replay_with,
+    run_taint_parallel, run_unmonitored,
 };
 pub use lba_core::{
     ConsumerTopology, EpochRouted, Execution, ModeOutcome, MonitorSpec, Producer, ProducerFinish,
@@ -217,9 +259,9 @@ mod facade_smoke {
         ) -> Result<crate::RunReport, crate::RunError> = crate::run_lba;
 
         // The pipeline registry survives under its advertised names: four
-        // monitors, eight run modes, and the topology/producer types.
+        // monitors, nine run modes, and the topology/producer types.
         assert_eq!(crate::MONITORS.len(), 4);
-        assert_eq!(crate::RUN_MODES.len(), 8);
+        assert_eq!(crate::RUN_MODES.len(), 9);
         let _monitor: &crate::MonitorSpec = &crate::MONITORS[0];
         let _mode: &crate::RunModeSpec = &crate::RUN_MODES[0];
         let _exec: crate::Execution = crate::RUN_MODES[0].execution;
@@ -255,6 +297,18 @@ mod facade_smoke {
         )
         .expect("live parallel run completes");
         assert_eq!(live_sharded.findings, sharded.findings);
+
+        // The socket transport behind the unified builder: same shards,
+        // same findings, real wire.
+        let remote = crate::Run::new(&program)
+            .mode(crate::RunMode::Remote)
+            .monitor(crate::LifeguardKind::AddrCheck)
+            .workers(2)
+            .config(&config)
+            .run()
+            .expect("remote run completes");
+        assert_eq!(remote.findings, live_sharded.findings);
+        assert!(matches!(remote, crate::RunOutcome::Remote(_)));
 
         let baseline = crate::run_unmonitored(&program, &config).expect("baseline runs");
         let kind = crate::LifeguardKind::AddrCheck;
